@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Ablation studies for Pocolo's design choices (DESIGN.md §4):
+ *
+ *  A. Profiler slack guard (Section IV-A uses >= 10%): how the guard
+ *     affects fitted preferences and realized POColo throughput.
+ *  B. Controller period (Section IV-C uses 1 s): SLO safety vs
+ *     responsiveness.
+ *  C. Throttle-knob order (Section IV-C uses frequency-then-duty):
+ *     throughput under a tight cap per ordering.
+ *  D. Placement solver: LP vs Hungarian vs exhaustive vs the random
+ *     baseline, on the same matrix.
+ *  E. Matrix load range (Section II-C / Fig. 4): placing from a
+ *     single 10% operating point vs the full 10-90% range.
+ *  F. Primary DVFS fine-tuning (Section IV-C mentions frequency as
+ *     a feedback knob): throughput/power effect of enabling it.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "common.hpp"
+#include "server/server_manager.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+using cluster::ClusterEvaluator;
+using cluster::EvaluatorConfig;
+using cluster::ManagerKind;
+using cluster::PlacementKind;
+
+namespace
+{
+
+void
+ablationSlackGuard(bench::Context& ctx)
+{
+    std::printf("\n[A] profiler slack guard (paper: 10%%)\n");
+    TextTable table({"guard", "sphinx indirect c:w", "R2 perf",
+                     "POColo mean BE thr"});
+    for (double guard : {0.02, 0.10, 0.25}) {
+        EvaluatorConfig config;
+        config.profiler.minSlack = guard;
+        const ClusterEvaluator evaluator(ctx.apps, config);
+        const auto& sphinx = evaluator.lcModels()[1];
+        const auto i = sphinx.utility.indirectPreference();
+        const auto outcome =
+            evaluator.runPolicy(cluster::Policy::PoColo);
+        table.addRow({fmtPercent(guard, 0),
+                      fmt(i[0], 2) + ":" + fmt(i[1], 2),
+                      fmt(sphinx.utility.perfR2, 3),
+                      fmt(outcome.meanBeThroughput(), 3)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+void
+ablationControllerPeriod(bench::Context& ctx)
+{
+    std::printf("\n[B] control period (paper: 1 s)\n");
+    TextTable table({"period", "POColo mean BE thr",
+                     "max SLO violation", "mean power util"});
+    for (SimTime period :
+         {500 * kMillisecond, 1 * kSecond, 4 * kSecond}) {
+        EvaluatorConfig config;
+        config.server.controlPeriod = period;
+        const ClusterEvaluator evaluator(ctx.apps, config);
+        const auto outcome =
+            evaluator.runPolicy(cluster::Policy::PoColo);
+        table.addRow({formatTime(period),
+                      fmt(outcome.meanBeThroughput(), 3),
+                      fmt(outcome.maxSloViolationFraction(), 4),
+                      fmt(outcome.meanPowerUtilization(), 3)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+void
+ablationThrottleOrder(bench::Context& ctx)
+{
+    std::printf("\n[C] throttle-knob order under a tight cap "
+                "(paper: freq-then-duty)\n");
+    const wl::LcApp& xapian = ctx.xapian132;
+    TextTable table({"order", "graph thr", "avg power (W)",
+                     "over-cap fraction"});
+    for (auto order : {server::ThrottleOrder::FreqThenDuty,
+                       server::ThrottleOrder::DutyThenFreq,
+                       server::ThrottleOrder::FreqOnly,
+                       server::ThrottleOrder::DutyOnly}) {
+        server::ServerManagerConfig config;
+        config.throttler.order = order;
+        const auto result = server::runServerScenario(
+            xapian, &ctx.apps.beByName("graph"),
+            xapian.provisionedPower(),
+            std::make_unique<server::PomController>(
+                ctx.xapian132Model()),
+            wl::LoadTrace::constant(0.1), 300 * kSecond, config);
+        table.addRow(
+            {server::throttleOrderName(order),
+             fmt(result.stats.averageBeThroughput(), 3),
+             fmt(result.stats.averagePower(), 1),
+             fmt(result.stats.maxPower > xapian.provisionedPower()
+                     ? 1.0
+                     : 0.0,
+                 0)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+void
+ablationPlacementSolver(bench::Context& ctx)
+{
+    std::printf("\n[D] placement solver on the fitted matrix\n");
+    const ClusterEvaluator evaluator(ctx.apps);
+    TextTable table({"solver", "matrix value", "realized BE thr"});
+    for (auto kind : {PlacementKind::Lp, PlacementKind::Hungarian,
+                      PlacementKind::Exhaustive,
+                      PlacementKind::Random}) {
+        const auto assignment = evaluator.placeBe(kind);
+        const auto outcome =
+            evaluator.runAssignment(assignment, ManagerKind::Pom);
+        table.addRow(
+            {cluster::placementKindName(kind),
+             fmt(placementValue(evaluator.matrix(), assignment), 3),
+             fmt(outcome.meanBeThroughput(), 3)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+void
+ablationMatrixLoadRange(bench::Context& ctx)
+{
+    std::printf("\n[E] matrix load range: myopic 10%% vs full "
+                "10-90%% (the Fig. 4 lesson)\n");
+    EvaluatorConfig myopic;
+    myopic.loadPoints = {0.1};
+    const ClusterEvaluator myopic_eval(ctx.apps, myopic);
+    const ClusterEvaluator full_eval(ctx.apps);
+
+    TextTable table({"matrix built from", "realized BE thr "
+                                          "(full-range run)"});
+    // Both assignments are *evaluated* on the full load range; only
+    // the placement decision differs.
+    const auto myopic_assignment =
+        myopic_eval.placeBe(PlacementKind::Lp);
+    const auto full_assignment =
+        full_eval.placeBe(PlacementKind::Lp);
+    table.addRow(
+        {"10% point only",
+         fmt(full_eval
+                 .runAssignment(myopic_assignment, ManagerKind::Pom)
+                 .meanBeThroughput(),
+             3)});
+    table.addRow(
+        {"full 10-90% range",
+         fmt(full_eval
+                 .runAssignment(full_assignment, ManagerKind::Pom)
+                 .meanBeThroughput(),
+             3)});
+    std::printf("%s", table.render().c_str());
+}
+
+void
+ablationFrequencyTuning(bench::Context& ctx)
+{
+    std::printf("\n[F] primary DVFS fine-tuning (Section IV-C "
+                "feedback knob; off by default)\n");
+    TextTable table({"variant", "POColo mean BE thr",
+                     "mean power util", "max SLO violation"});
+    for (bool tune : {false, true}) {
+        EvaluatorConfig config;
+        config.server.controller.tunePrimaryFrequency = tune;
+        const ClusterEvaluator evaluator(ctx.apps, config);
+        const auto outcome =
+            evaluator.runPolicy(cluster::Policy::PoColo);
+        table.addRow({tune ? "freq tuning on" : "freq tuning off",
+                      fmt(outcome.meanBeThroughput(), 3),
+                      fmt(outcome.meanPowerUtilization(), 3),
+                      fmt(outcome.maxSloViolationFraction(), 4)});
+    }
+    std::printf("%s", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablation", "design-choice studies",
+                  "slack guard, control period, throttle order, "
+                  "placement solver, matrix load range");
+    auto& ctx = bench::context();
+    ablationSlackGuard(ctx);
+    ablationControllerPeriod(ctx);
+    ablationThrottleOrder(ctx);
+    ablationPlacementSolver(ctx);
+    ablationMatrixLoadRange(ctx);
+    ablationFrequencyTuning(ctx);
+    return 0;
+}

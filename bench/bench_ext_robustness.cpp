@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Extension — robustness of the placement decision to model error.
+ *
+ * Pocolo's placement is only as good as its fitted preference
+ * vectors. This study perturbs every fitted coefficient by a random
+ * relative error and measures: how often the LP assignment changes,
+ * and how much *realized* throughput the perturbed decisions lose —
+ * i.e. how much model accuracy the placement actually needs.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "common.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+namespace
+{
+
+model::CobbDouglasUtility
+perturb(const model::CobbDouglasUtility& m, double rel, Rng& rng)
+{
+    std::vector<double> alpha = m.alpha();
+    std::vector<double> p = m.pCoef();
+    for (auto& a : alpha)
+        a *= rng.noiseFactor(rel);
+    for (auto& v : p)
+        v *= rng.noiseFactor(rel);
+    model::CobbDouglasUtility out(m.logA0(), std::move(alpha),
+                                  m.pStatic(), std::move(p));
+    out.perfR2 = m.perfR2;
+    out.powerR2 = m.powerR2;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ext: robustness",
+        "placement stability under model-coefficient error",
+        "the assignment is driven by coarse preference differences, "
+        "so it should tolerate sizable coefficient error");
+
+    auto& ctx = bench::context();
+    const cluster::ClusterEvaluator evaluator(ctx.apps);
+    const auto baseline =
+        evaluator.placeBe(cluster::PlacementKind::Hungarian);
+    const double baseline_thr =
+        evaluator.runAssignment(baseline, cluster::ManagerKind::Pom)
+            .meanBeThroughput();
+
+    constexpr int kTrials = 24;
+    TextTable table({"coefficient error", "assignment changed",
+                     "mean realized thr", "worst realized thr",
+                     "vs exact-model placement"});
+    for (double rel : {0.05, 0.10, 0.20, 0.35}) {
+        int changed = 0;
+        double sum_thr = 0.0;
+        double worst_thr = 1e18;
+        Rng rng(static_cast<std::uint64_t>(rel * 1000) + 5);
+        for (int trial = 0; trial < kTrials; ++trial) {
+            // Rebuild the matrix from perturbed models.
+            std::vector<cluster::LcServerModel> lc =
+                evaluator.lcModels();
+            std::vector<cluster::BeCandidateModel> be =
+                evaluator.beModels();
+            for (auto& s : lc)
+                s.utility = perturb(s.utility, rel, rng);
+            for (auto& c : be)
+                c.utility = perturb(c.utility, rel, rng);
+            const auto matrix = cluster::buildPerformanceMatrix(
+                be, lc, ctx.apps.spec);
+            Rng placement_rng(1);
+            const auto assignment = cluster::place(
+                matrix, cluster::PlacementKind::Hungarian,
+                placement_rng);
+            changed += assignment != baseline;
+            // Realize the perturbed decision with the TRUE system.
+            const double thr =
+                evaluator
+                    .runAssignment(assignment,
+                                   cluster::ManagerKind::Pom)
+                    .meanBeThroughput();
+            sum_thr += thr;
+            worst_thr = std::min(worst_thr, thr);
+        }
+        const double mean_thr = sum_thr / kTrials;
+        table.addRow(
+            {fmtPercent(rel, 0),
+             std::to_string(changed) + "/" +
+                 std::to_string(kTrials),
+             fmt(mean_thr, 3), fmt(worst_thr, 3),
+             fmtPercent(mean_thr / baseline_thr - 1.0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nexact-model placement realizes %.3f\n",
+                baseline_thr);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension (Section V-G future work) — spatial sharing of the spare
+ * between two best-effort applications.
+ *
+ * For each complementary BE pair beside a low-load sphinx, compares:
+ * (i) the better single app on the full spare, (ii) the planner's
+ * spatial split, both in modeled and realized throughput.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "model/demand.hpp"
+#include "model/indifference.hpp"
+#include "server/server_manager.hpp"
+#include "server/spatial_share.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Ext: spatial share",
+        "partitioning spare cores/ways/power between two BE apps",
+        "Section V-G sketch: spatial sharing needs joint resource + "
+        "power partitioning; complementary pairs gain the most");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& sphinx = ctx.apps.lcByName("sphinx");
+    const double load = 0.2;
+    const Watts cap = sphinx.provisionedPower();
+
+    // Spare under the primary's min-power point at 20% load.
+    const auto point = model::minPowerPoint(sphinx, load);
+    const int spare_cores = ctx.apps.spec.cores - point->cores;
+    const int spare_ways = ctx.apps.spec.llcWays - point->ways;
+    const double spare_power = cap - point->power;
+    std::printf("sphinx@%.0f%%: primary %dc/%dw, spare %dc/%dw, "
+                "%.1f W headroom\n\n",
+                load * 100.0, point->cores, point->ways, spare_cores,
+                spare_ways, spare_power);
+
+    const std::vector<std::pair<std::string, std::string>> pairs = {
+        {"graph", "lstm"}, {"pbzip2", "lstm"}, {"graph", "rnn"},
+        {"rnn", "pbzip2"}};
+
+    TextTable table({"pair", "best single (est)", "split (est)",
+                     "gain", "split a/b (realized)",
+                     "total realized"});
+    for (const auto& [a_name, b_name] : pairs) {
+        const auto& a = ctx.beModel(a_name);
+        const auto& b = ctx.beModel(b_name);
+        const double alone = std::max(
+            model::estimateBePerformance(a, spare_power, spare_cores,
+                                         spare_ways),
+            model::estimateBePerformance(b, spare_power, spare_cores,
+                                         spare_ways));
+        const auto plan = server::planSpatialShare(
+            {&a, &b}, spare_cores, spare_ways, spare_power,
+            ctx.apps.spec);
+
+        const std::vector<const wl::BeApp*> apps = {
+            &ctx.apps.beByName(a_name), &ctx.apps.beByName(b_name)};
+        const auto run = server::runSpatialShare(
+            sphinx, apps, plan.slices, cap,
+            std::make_unique<server::PomController>(
+                ctx.lcModel("sphinx")),
+            load, 300 * kSecond);
+
+        table.addRow(
+            {a_name + "+" + b_name, fmt(alone, 3),
+             fmt(plan.totalEstimatedThroughput, 3),
+             fmtPercent(plan.totalEstimatedThroughput / alone - 1.0),
+             fmt(run.throughput[0], 3) + "/" +
+                 fmt(run.throughput[1], 3),
+             fmt(run.totalThroughput, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Extension (Section V-G future work) — time-sharing multiple
+ * best-effort jobs on one server's spare capacity.
+ *
+ * Compares FCFS, SJF, and round-robin on a mixed batch beside a
+ * xapian primary with a realistic stepped load: mean job completion
+ * time, makespan, and power behaviour.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "server/be_schedule.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Ext: time-share",
+        "FCFS vs SJF vs round-robin for a BE job batch",
+        "Section V-G sketch: multiple BE apps time-share the spare; "
+        "SJF should minimize mean completion time");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& xapian = ctx.apps.lcByName("xapian");
+
+    const auto jobs = [&] {
+        return std::vector<server::BeJob>{
+            {"graph-batch", &ctx.apps.beByName("graph"), 80.0},
+            {"lstm-epoch", &ctx.apps.beByName("lstm"), 15.0},
+            {"pbzip2-archive", &ctx.apps.beByName("pbzip2"), 40.0},
+            {"rnn-epoch", &ctx.apps.beByName("rnn"), 25.0},
+        };
+    };
+
+    TextTable table({"policy", "mean completion (s)", "makespan (s)",
+                     "finished", "avg power (W)", "SLO viol"});
+    for (auto policy : {server::SchedulePolicy::Fcfs,
+                        server::SchedulePolicy::Sjf,
+                        server::SchedulePolicy::RoundRobin}) {
+        server::SchedulerConfig config;
+        config.policy = policy;
+        config.quantum = 20 * kSecond;
+        const auto result = server::runBeSchedule(
+            xapian, jobs(), xapian.provisionedPower(),
+            std::make_unique<server::PomController>(
+                ctx.lcModel("xapian")),
+            wl::LoadTrace::stepped({0.3, 0.5, 0.2}, 180 * kSecond),
+            40 * kMinute, config);
+        table.addRow({server::schedulePolicyName(policy),
+                      fmt(result.meanCompletionSeconds(), 1),
+                      fmt(toSeconds(result.makespan), 1),
+                      std::to_string(result.finishedCount()) + "/4",
+                      fmt(result.stats.averagePower(), 1),
+                      fmt(result.stats.sloViolationFraction(), 4)});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Per-job detail under SJF.
+    server::SchedulerConfig sjf;
+    sjf.policy = server::SchedulePolicy::Sjf;
+    const auto detail = server::runBeSchedule(
+        xapian, jobs(), xapian.provisionedPower(),
+        std::make_unique<server::PomController>(
+            ctx.lcModel("xapian")),
+        wl::LoadTrace::stepped({0.3, 0.5, 0.2}, 180 * kSecond),
+        40 * kMinute, sjf);
+    std::printf("\nSJF per-job completions:\n");
+    TextTable detail_table({"job", "completion (s)", "work done"});
+    for (const auto& job : detail.jobs)
+        detail_table.addRow({job.name,
+                             job.finished()
+                                 ? fmt(toSeconds(job.completion), 1)
+                                 : "unfinished",
+                             fmt(job.workDone, 1)});
+    std::printf("%s", detail_table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 2 — Power draw of the server exceeds its provisioned capacity
+ * when best-effort applications run alongside xapian at 10% load.
+ *
+ * Paper numbers: 132 W provisioned; colocated draws 138-155 W
+ * (5-17% over).
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/indifference.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 2", "uncapped server draw: xapian@10% + each BE app",
+        "all BE apps push the server past the 132 W capacity "
+        "(paper band: 138-155 W, +5..17%)");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& xapian = ctx.xapian132;
+    const Watts cap = xapian.provisionedPower();
+    const Rps load = 0.1 * xapian.peakLoad();
+
+    const auto point = model::minPowerPoint(xapian, 0.1);
+    const sim::Allocation primary{point->cores, point->ways,
+                                  ctx.apps.spec.freqMax, 1.0};
+    const sim::Allocation spare =
+        sim::spareOf(primary, ctx.apps.spec);
+
+    std::printf("primary: %s, server draw %.1f W, capacity %.1f W\n\n",
+                primary.toString().c_str(),
+                xapian.serverPower(load, primary), cap);
+
+    TextTable table({"co-runner", "server power (W)", "over capacity"});
+    for (const auto& be : ctx.apps.be) {
+        const Watts total =
+            xapian.serverPower(load, primary) + be.power(spare);
+        table.addRow({be.name(), fmt(total, 1),
+                      fmtPercent(total / cap - 1.0)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 3 — Best-effort throughput with and without the power cap.
+ *
+ * Paper: all BE apps have similar throughput uncapped; under the
+ * 132 W budget they drop between 3% (LSTM, RNN) and 20% (Graph).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "server/server_manager.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 3", "BE throughput with/without the power capacity cap",
+        "equal uncapped throughput; capped drops 3% (lstm/rnn) to "
+        "~20% (graph)");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& xapian = ctx.xapian132;
+    const Watts cap = xapian.provisionedPower();
+    constexpr Watts kUncapped = 10000.0;
+
+    TextTable table({"co-runner", "thr (no cap)", "thr (132 W cap)",
+                     "drop", "capped power (W)"});
+    for (const auto& be : ctx.apps.be) {
+        double thr[2] = {0.0, 0.0};
+        double capped_power = 0.0;
+        for (int capped = 0; capped < 2; ++capped) {
+            const auto result = server::runServerScenario(
+                xapian, &be, capped ? cap : kUncapped,
+                std::make_unique<server::PomController>(
+                    ctx.xapian132Model()),
+                wl::LoadTrace::constant(0.1), 300 * kSecond);
+            thr[capped] = result.stats.averageBeThroughput();
+            if (capped)
+                capped_power = result.stats.averagePower();
+        }
+        table.addRow({be.name(), fmt(thr[0], 3), fmt(thr[1], 3),
+                      fmtPercent(1.0 - thr[1] / thr[0]),
+                      fmt(capped_power, 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 4 — RNN vs LSTM beside xapian across its whole load range.
+ *
+ * Paper: RNN derives better throughput than LSTM at *all* xapian
+ * loads, even though both looked equally suitable at the single 10%
+ * operating point of Fig. 3 — placement must consider the entire
+ * load spectrum.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "server/server_manager.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 4", "LSTM vs RNN throughput across xapian load 10-90%",
+        "RNN beats LSTM at every load; single-point analysis "
+        "(Fig 3) cannot see this");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& xapian = ctx.apps.lcByName("xapian");
+    const auto& model = ctx.lcModel("xapian");
+
+    TextTable table({"load %", "lstm thr", "rnn thr", "rnn/lstm"});
+    int rnn_wins = 0;
+    int points = 0;
+    for (int pct = 10; pct <= 90; pct += 10) {
+        double thr[2] = {0.0, 0.0};
+        int idx = 0;
+        for (const char* name : {"lstm", "rnn"}) {
+            const auto result = server::runServerScenario(
+                xapian, &ctx.apps.beByName(name),
+                xapian.provisionedPower(),
+                std::make_unique<server::PomController>(model),
+                wl::LoadTrace::constant(pct / 100.0),
+                240 * kSecond);
+            thr[idx++] = result.stats.averageBeThroughput();
+        }
+        rnn_wins += thr[1] > thr[0];
+        ++points;
+        table.addRow({std::to_string(pct), fmt(thr[0], 3),
+                      fmt(thr[1], 3), fmt(thr[1] / thr[0], 2)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nrnn wins at %d/%d load points\n", rnn_wins,
+                points);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 5 — Indifference curves of sphinx with the power-efficient
+ * expansion path.
+ *
+ * For iso-load levels 20-80% of peak, print the (cores, ways)
+ * combinations that sustain the load within the SLO, the server
+ * power at each point, and mark the least-power point — the dotted
+ * expansion path of the paper.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/indifference.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 5", "sphinx indifference curves + min-power path",
+        "several core/way combinations sustain each load; the "
+        "min-power point shifts with load (dotted expansion path)");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& sphinx = ctx.apps.lcByName("sphinx");
+
+    for (double load : {0.2, 0.4, 0.6, 0.8}) {
+        const auto curve = model::isoLoadCurve(sphinx, load);
+        const auto best = model::minPowerPoint(sphinx, load);
+        std::printf("\niso-load %.0f%% of peak (%zu feasible "
+                    "points):\n",
+                    load * 100.0, curve.size());
+        TextTable table({"cores", "ways", "power (W)", "min-power"});
+        for (const auto& p : curve) {
+            const bool is_best =
+                best && p.cores == best->cores &&
+                p.ways == best->ways;
+            table.addRow({std::to_string(p.cores),
+                          std::to_string(p.ways), fmt(p.power, 1),
+                          is_best ? "<== allocation-" : ""});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+
+    // The model-predicted (continuous) expansion path.
+    const auto& model = ctx.lcModel("sphinx");
+    std::printf("\nmodel expansion path (continuous min-power "
+                "allocations):\n");
+    TextTable path({"load %", "cores*", "ways*", "power* (W)"});
+    for (double load : {0.2, 0.4, 0.6, 0.8}) {
+        std::vector<double> r;
+        const double power = model.minPowerForPerformance(
+            load * sphinx.peakLoad(), &r);
+        path.addRow({fmt(load * 100.0, 0), fmt(r[0], 2),
+                     fmt(r[1], 2), fmt(power, 1)});
+    }
+    std::printf("%s", path.render().c_str());
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 6 — Edgeworth box: the primary's power-efficient allocation
+ * and the complementary spare available to the secondary.
+ *
+ * Paper example: at 20% load sphinx uses ~1 core / 5 ways, leaving
+ * ~11 cores / 15 ways; as load rises sphinx takes more ways than
+ * cores, so a BE app that derives more performance-per-watt from
+ * cores (Graph) exploits the spare best.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "model/edgeworth.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 6", "Edgeworth box for sphinx + a best-effort co-runner",
+        "sphinx's min-power path leaves a core-rich spare; a "
+        "core-per-watt-efficient BE app (graph) exploits it");
+
+    auto& ctx = bench::context();
+    const wl::LcApp& sphinx = ctx.apps.lcByName("sphinx");
+    const Watts cap = sphinx.provisionedPower();
+
+    for (const char* be_name : {"graph", "lstm"}) {
+        const auto sweep = model::edgeworthSweep(
+            sphinx, ctx.beModel(be_name),
+            {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}, cap);
+        std::printf("\nco-runner candidate: %s\n", be_name);
+        TextTable table({"load %", "primary c/w", "spare c/w",
+                         "spare power (W)", "BE demand (c, w)",
+                         "BE est. thr"});
+        for (const auto& row : sweep) {
+            std::string demand = "-";
+            if (row.beDemand.size() == 2)
+                demand = fmt(row.beDemand[0], 1) + ", " +
+                         fmt(row.beDemand[1], 1);
+            table.addRow(
+                {fmt(row.loadFraction * 100.0, 0),
+                 std::to_string(row.primaryCores) + "/" +
+                     std::to_string(row.primaryWays),
+                 std::to_string(row.spareCores) + "/" +
+                     std::to_string(row.spareWays),
+                 fmt(row.sparePower, 1), demand,
+                 fmt(row.beEstimatedPerf, 3)});
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    return 0;
+}

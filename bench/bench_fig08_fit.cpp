@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig. 8 — Goodness of fit of the Cobb-Douglas indirect utility.
+ *
+ * Paper: R-squared between 0.8 and 0.95 for performance and 0.8 and
+ * 0.98 for power, across all LC and BE applications.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner("Fig 8", "goodness of fit (R-squared)",
+                  "performance R2 in 0.80-0.95, power R2 in "
+                  "0.80-0.98 for every application");
+
+    auto& ctx = bench::context();
+
+    TextTable table({"class", "app", "R2 perf", "R2 power"});
+    for (const auto& lc : ctx.apps.lc) {
+        const auto& m = ctx.lcModel(lc.name());
+        table.addRow({"LC", lc.name(), fmt(m.perfR2, 3),
+                      fmt(m.powerR2, 3)});
+    }
+    for (const auto& be : ctx.apps.be) {
+        const auto& m = ctx.beModel(be.name());
+        table.addRow({"BE", be.name(), fmt(m.perfR2, 3),
+                      fmt(m.powerR2, 3)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figs. 9, 10, 11 — Direct utilities, power needs, and indirect
+ * (power-aware) utilities of every application.
+ *
+ * Paper headline values: sphinx direct 0.6:0.4 becomes indirect
+ * 0.2:0.8; LSTM direct 0.32:0.68 becomes 0.13:0.87; Graph indirect
+ * 0.80:0.20. Power changes who pairs with whom: power-unaware
+ * matching pairs LSTM with sphinx; power-aware matching pairs Graph
+ * with sphinx.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Figs 9-11",
+        "direct utility, power slopes, indirect utility",
+        "sphinx 0.6:0.4 -> 0.2:0.8; lstm 0.32:0.68 -> 0.13:0.87; "
+        "graph indirect 0.80:0.20");
+
+    auto& ctx = bench::context();
+
+    TextTable table({"class", "app", "alpha c:w (Fig 9)",
+                     "p c:w W/unit (Fig 10)",
+                     "alpha/p c:w (Fig 11)"});
+    auto add = [&](const char* cls, const std::string& name,
+                   const model::CobbDouglasUtility& m) {
+        const auto d = m.directPreference();
+        const auto i = m.indirectPreference();
+        table.addRow({cls, name,
+                      fmt(d[0], 2) + ":" + fmt(d[1], 2),
+                      fmt(m.pCoef()[0], 2) + ":" +
+                          fmt(m.pCoef()[1], 2),
+                      fmt(i[0], 2) + ":" + fmt(i[1], 2)});
+    };
+    for (const auto& lc : ctx.apps.lc)
+        add("LC", lc.name(), ctx.lcModel(lc.name()));
+    for (const auto& be : ctx.apps.be)
+        add("BE", be.name(), ctx.beModel(be.name()));
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\npower-unaware view (Fig 9):  sphinx prefers cores "
+        "(%.2f) -> complement = cache-lover lstm\n",
+        ctx.lcModel("sphinx").directPreference()[0]);
+    std::printf(
+        "power-aware view   (Fig 11): sphinx prefers ways  "
+        "(%.2f cores) -> complement = core-lover graph\n",
+        ctx.lcModel("sphinx").indirectPreference()[0]);
+    return 0;
+}

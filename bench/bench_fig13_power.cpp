@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 13 — Server power draw normalized to the provisioned peak
+ * capacity, by policy.
+ *
+ * Paper: Random runs at ~96% of capacity (frequent capping); POM and
+ * POColo at ~88%, an ~8% reduction, while delivering more BE work.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+using cluster::Policy;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 13", "normalized server power utilization, by policy",
+        "Random highest (~96% in paper) with frequent capping; "
+        "POM/POColo lower (~88%)");
+
+    auto& ctx = bench::context();
+    const cluster::ClusterEvaluator evaluator(ctx.apps);
+
+    const auto random = evaluator.runPolicy(Policy::Random);
+    const auto pom = evaluator.runPolicy(Policy::Pom);
+    const auto pocolo = evaluator.runPolicy(Policy::PoColo);
+
+    TextTable table({"LC server", "Random util", "POM util",
+                     "POColo util", "Random capped%", "POM capped%",
+                     "POColo capped%"});
+    for (std::size_t j = 0; j < random.servers.size(); ++j) {
+        table.addRow(
+            {random.servers[j].lcName,
+             fmt(random.servers[j].run.powerUtilization, 3),
+             fmt(pom.servers[j].run.powerUtilization, 3),
+             fmt(pocolo.servers[j].run.powerUtilization, 3),
+             fmt(random.servers[j].run.stats.cappedFraction() *
+                     100.0,
+                 1),
+             fmt(pom.servers[j].run.stats.cappedFraction() * 100.0,
+                 1),
+             fmt(pocolo.servers[j].run.stats.cappedFraction() *
+                     100.0,
+                 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nmean power utilization: Random %.3f | POM %.3f | "
+                "POColo %.3f\n",
+                random.meanPowerUtilization(),
+                pom.meanPowerUtilization(),
+                pocolo.meanPowerUtilization());
+    return 0;
+}

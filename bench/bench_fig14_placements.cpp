@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 14 — Total server throughput (LC load served + BE work) for
+ * every 4x4 placement combination across the load range, compared
+ * with POColo's choice.
+ *
+ * Paper: POColo assigns Graph to sphinx, LSTM to img-dnn, and
+ * RNN/pbzip2 to xapian/tpcc; those choices match the exhaustive
+ * search.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner(
+        "Fig 14", "total server throughput for all 4x4 pairings",
+        "POColo picks graph->sphinx, lstm->img-dnn, rnn/pbzip2 -> "
+        "xapian/tpcc; matches exhaustive search");
+
+    auto& ctx = bench::context();
+    const cluster::ClusterEvaluator evaluator(ctx.apps);
+    const auto& m = evaluator.matrix();
+
+    // Measured (not model-estimated) average server throughput for
+    // every pairing: primary load fraction served + BE work rate,
+    // per load point.
+    for (double load : {0.2, 0.5, 0.8}) {
+        std::printf("\nprimary load %.0f%% — server throughput "
+                    "(load + BE):\n",
+                    load * 100.0);
+        std::vector<std::string> header = {"BE \\ LC"};
+        header.insert(header.end(), m.lcNames.begin(),
+                      m.lcNames.end());
+        TextTable table(header);
+        for (std::size_t i = 0; i < m.beNames.size(); ++i) {
+            std::vector<std::string> row = {m.beNames[i]};
+            for (std::size_t j = 0; j < m.lcNames.size(); ++j) {
+                const auto outcome = evaluator.runPairAtLoad(
+                    j, static_cast<int>(i),
+                    cluster::ManagerKind::Pom, load);
+                row.push_back(fmt(
+                    load +
+                        outcome.run.stats.averageBeThroughput(),
+                    3));
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("%s", table.render().c_str());
+    }
+
+    const auto lp =
+        evaluator.placeBe(cluster::PlacementKind::Lp);
+    const auto exhaustive =
+        evaluator.placeBe(cluster::PlacementKind::Exhaustive);
+    std::printf("\nPOColo placement (LP) vs exhaustive search:\n");
+    TextTable placement({"BE app", "LP server", "exhaustive server"});
+    for (std::size_t i = 0; i < m.beNames.size(); ++i)
+        placement.addRow(
+            {m.beNames[i],
+             m.lcNames[static_cast<std::size_t>(lp[i])],
+             m.lcNames[static_cast<std::size_t>(exhaustive[i])]});
+    std::printf("%s", placement.render().c_str());
+    return 0;
+}

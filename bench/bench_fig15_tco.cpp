@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fig. 15 — Amortized monthly TCO of the policies at constant
+ * delivered throughput.
+ *
+ * Paper: POColo is 12%, 16%, and 8% cheaper than Random(NoCap),
+ * Random, and POM respectively; Random(NoCap) pays for 185 W of
+ * provisioned power per server.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "common.hpp"
+#include "tco/tco_model.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+using cluster::ManagerKind;
+using cluster::Policy;
+
+namespace
+{
+
+/** Average provisioned capacity across the 4 LC servers. */
+Watts
+meanProvisionedPower(const wl::AppSet& apps)
+{
+    Watts total = 0.0;
+    for (const auto& lc : apps.lc)
+        total += lc.provisionedPower();
+    return total / static_cast<double>(apps.lc.size());
+}
+
+/** Delivered throughput per server: LC load served + BE work. */
+double
+throughputPerServer(const cluster::ClusterOutcome& outcome,
+                    double mean_load_fraction)
+{
+    return mean_load_fraction + outcome.meanBeThroughput();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig 15", "amortized monthly datacenter TCO, by policy",
+        "POColo cheapest: paper -12% vs Random(NoCap), -16% vs "
+        "Random, -8% vs POM");
+
+    auto& ctx = bench::context();
+    const cluster::ClusterEvaluator evaluator(ctx.apps);
+    const Watts provisioned = meanProvisionedPower(ctx.apps);
+    constexpr Watts kNoCapProvisioned = 185.0;
+    const double mean_load = 0.5; // uniform 10..90%
+
+    const auto random = evaluator.runPolicy(Policy::Random);
+    const auto pom = evaluator.runPolicy(Policy::Pom);
+    const auto pocolo = evaluator.runPolicy(Policy::PoColo);
+
+    // Random(NoCap): random placement + baseline manager on servers
+    // provisioned at 185 W (max power need of all primaries): the
+    // cap rarely binds, so BE apps run essentially unthrottled.
+    const auto nocap = evaluator.runRandomAveraged(
+        ManagerKind::Heracles, kNoCapProvisioned);
+
+    const double ref = throughputPerServer(pocolo, mean_load);
+
+    std::vector<tco::PolicyProfile> profiles;
+    auto add = [&](const std::string& name,
+                   const cluster::ClusterOutcome& outcome,
+                   Watts prov) {
+        tco::PolicyProfile p;
+        p.name = name;
+        p.throughputPerServer =
+            throughputPerServer(outcome, mean_load);
+        p.provisionedPowerPerServer = prov;
+        p.averagePowerPerServer =
+            outcome.meanPowerUtilization() * provisioned;
+        profiles.push_back(p);
+    };
+    add("POColo", pocolo, provisioned);
+    add("POM", pom, provisioned);
+    add("Random", random, provisioned);
+    // NoCap utilization is measured against its own 185 W capacity.
+    {
+        tco::PolicyProfile p;
+        p.name = "Random(NoCap)";
+        p.throughputPerServer = throughputPerServer(nocap, mean_load);
+        p.provisionedPowerPerServer = kNoCapProvisioned;
+        p.averagePowerPerServer =
+            nocap.meanPowerUtilization() * kNoCapProvisioned;
+        profiles.push_back(p);
+    }
+
+    const tco::TcoModel model;
+    const auto costs = model.compare(profiles);
+
+    TextTable table({"policy", "servers", "server $M/mo",
+                     "power-infra $M/mo", "energy $M/mo",
+                     "total $M/mo", "vs POColo"});
+    const double pocolo_total = costs.front().total();
+    for (const auto& c : costs) {
+        table.addRow({c.policy, fmt(c.serversNeeded, 0),
+                      fmt(c.serverCost / 1e6, 3),
+                      fmt(c.powerInfraCost / 1e6, 3),
+                      fmt(c.energyCost / 1e6, 3),
+                      fmt(c.total() / 1e6, 3),
+                      fmtPercent(c.total() / pocolo_total - 1.0)});
+    }
+    std::printf("%s", table.render().c_str());
+    std::printf("\nreference throughput/server: %.3f "
+                "(POColo); TCO constants: $%.0f/server, $%.0f/W, "
+                "%.0f c/kWh, PUE %.1f\n",
+                ref, model.params().serverCost,
+                model.params().powerInfraCostPerWatt,
+                model.params().energyCostPerKwh * 100.0,
+                model.params().pue);
+    return 0;
+}

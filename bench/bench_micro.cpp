@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Microbenchmarks of Pocolo's hot paths (google-benchmark).
+ *
+ * The paper claims the analytic allocation decision is "a constant
+ * time operation (less than a millisecond)"; BM_MinPowerAllocation
+ * and BM_ClosedFormDemand verify our implementation meets that
+ * budget with wide margin.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/performance_matrix.hpp"
+#include "common.hpp"
+#include "math/hungarian.hpp"
+#include "math/regression.hpp"
+#include "math/simplex.hpp"
+#include "model/demand.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+using namespace poco;
+
+namespace
+{
+
+void
+BM_ClosedFormDemand(benchmark::State& state)
+{
+    const auto& model = bench::context().lcModel("sphinx");
+    for (auto _ : state) {
+        auto r = model.demand(150.0);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_ClosedFormDemand);
+
+void
+BM_BoxedDemand(benchmark::State& state)
+{
+    const auto& model = bench::context().beModel("graph");
+    const std::vector<double> caps = {6.0, 10.0};
+    for (auto _ : state) {
+        auto r = model.demandBoxed(120.0, caps);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_BoxedDemand);
+
+void
+BM_MinPowerAllocation(benchmark::State& state)
+{
+    auto& ctx = bench::context();
+    const auto& model = ctx.lcModel("xapian");
+    const double target = 0.5 * ctx.apps.lcByName("xapian").peakLoad();
+    for (auto _ : state) {
+        auto plan = model::minPowerAllocationFor(model, target,
+                                                 ctx.apps.spec);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_MinPowerAllocation);
+
+void
+BM_UtilityFit(benchmark::State& state)
+{
+    auto& ctx = bench::context();
+    const auto samples =
+        ctx.profiler.profileBe(ctx.apps.beByName("lstm"));
+    for (auto _ : state) {
+        auto model = ctx.fitter.fit(samples);
+        benchmark::DoNotOptimize(model);
+    }
+}
+BENCHMARK(BM_UtilityFit);
+
+void
+BM_ProfileBe(benchmark::State& state)
+{
+    auto& ctx = bench::context();
+    const auto& app = ctx.apps.beByName("rnn");
+    for (auto _ : state) {
+        auto samples = ctx.profiler.profileBe(app);
+        benchmark::DoNotOptimize(samples);
+    }
+}
+BENCHMARK(BM_ProfileBe);
+
+void
+BM_Hungarian(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(42);
+    std::vector<std::vector<double>> value(n,
+                                           std::vector<double>(n));
+    for (auto& row : value)
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+    for (auto _ : state) {
+        auto a = math::solveAssignmentMax(value);
+        benchmark::DoNotOptimize(a);
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Hungarian)->RangeMultiplier(2)->Range(4, 64)->Complexity();
+
+void
+BM_AssignmentLp(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(43);
+    std::vector<std::vector<double>> value(n,
+                                           std::vector<double>(n));
+    for (auto& row : value)
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+    for (auto _ : state) {
+        auto a = math::solveAssignmentLp(value);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(BM_AssignmentLp)->RangeMultiplier(2)->Range(4, 16);
+
+void
+BM_OlsFit(benchmark::State& state)
+{
+    Rng rng(44);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<double>> x(n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x[i] = {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+        y[i] = 1.0 + 2.0 * x[i][0] + 3.0 * x[i][1] +
+               rng.normal(0.0, 0.1);
+    }
+    for (auto _ : state) {
+        auto fit = math::fitOls(x, y);
+        benchmark::DoNotOptimize(fit);
+    }
+}
+BENCHMARK(BM_OlsFit)->Arg(120)->Arg(1000);
+
+void
+BM_PerformanceMatrix(benchmark::State& state)
+{
+    auto& ctx = bench::context();
+    std::vector<cluster::BeCandidateModel> be;
+    std::vector<cluster::LcServerModel> lc;
+    for (const auto& app : ctx.apps.be)
+        be.push_back({app.name(), ctx.beModel(app.name())});
+    for (const auto& app : ctx.apps.lc)
+        lc.push_back({app.name(), ctx.lcModel(app.name()),
+                      app.peakLoad(), app.provisionedPower()});
+    for (auto _ : state) {
+        auto matrix =
+            cluster::buildPerformanceMatrix(be, lc, ctx.apps.spec);
+        benchmark::DoNotOptimize(matrix);
+    }
+}
+BENCHMARK(BM_PerformanceMatrix);
+
+void
+BM_EventQueueChurn(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::EventQueue queue;
+        int fired = 0;
+        for (int i = 0; i < 1000; ++i)
+            queue.schedule(i, [&fired](SimTime) { ++fired; });
+        queue.runAll();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueChurn);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I — Server configuration of the experimental platform.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner("Table I", "server configuration",
+                  "Intel Xeon E5-2650: 12 cores, 1.2-2.2 GHz, 30 MB "
+                  "20-way LLC, 256 GB DDR4, idle 50 W / active 135 W");
+
+    const sim::ServerSpec spec = sim::xeonE5_2650();
+    TextTable table({"property", "configuration"});
+    table.addRow({"Processor", "Intel Xeon E5-2650 (simulated)"});
+    table.addRow({"Cores", std::to_string(spec.cores) + " cores"});
+    table.addRow({"Frequency", fmt(spec.freqMin, 1) + " GHz to " +
+                                   fmt(spec.freqMax, 1) + " GHz (" +
+                                   std::to_string(spec.freqSteps()) +
+                                   " DVFS steps)"});
+    table.addRow({"LLC capacity",
+                  fmt(spec.llcMegabytes, 0) + "M, " +
+                      std::to_string(spec.llcWays) + " ways"});
+    table.addRow({"Memory",
+                  fmt(spec.memoryGigabytes, 0) + "GB DDR4"});
+    table.addRow({"Power", "Idle:" + fmt(spec.idlePower, 0) +
+                               " W, Active:" +
+                               fmt(spec.nominalActivePower, 0) +
+                               " W"});
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table II — Server-level characteristics of the latency-critical
+ * applications: SLO latencies, peak load, and peak server power.
+ *
+ * Peak power is *measured* on the simulated platform (full
+ * allocation at peak load), so this bench validates the power-model
+ * calibration against the paper's 133/182/154/133 W.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    bench::banner("Table II", "latency-critical app characteristics",
+                  "peak power img-dnn 133 W, sphinx 182 W, xapian "
+                  "154 W, tpcc 133 W; peak loads 3500/10/4000/8000 "
+                  "req/s");
+
+    auto& ctx = bench::context();
+    TextTable table({"application", "p95 SLO", "p99 SLO",
+                     "peak load (req/s)", "peak power (W)"});
+    for (const auto& lc : ctx.apps.lc) {
+        const auto fmt_latency = [](double seconds) {
+            if (seconds >= 1.0)
+                return fmt(seconds, 2) + " s";
+            return fmt(seconds * 1000.0, 3) + " ms";
+        };
+        table.addRow({lc.name(), fmt_latency(lc.slo95()),
+                      fmt_latency(lc.slo99()),
+                      fmt(lc.peakLoad(), 0),
+                      fmt(lc.provisionedPower(), 1)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,71 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace poco::bench
+{
+
+Context::Context()
+    : apps(wl::defaultAppSet()),
+      xapian132(wl::xapianMotivationParams(), apps.spec)
+{
+}
+
+const model::CobbDouglasUtility*
+Context::cached(const std::string& key)
+{
+    const auto it = cache_.find(key);
+    return it == cache_.end() ? nullptr : &it->second;
+}
+
+const model::CobbDouglasUtility&
+Context::insert(const std::string& key, model::CobbDouglasUtility m)
+{
+    return cache_.emplace(key, std::move(m)).first->second;
+}
+
+const model::CobbDouglasUtility&
+Context::lcModel(const std::string& name)
+{
+    if (const auto* m = cached("lc/" + name))
+        return *m;
+    return insert("lc/" + name,
+                  fitter.fit(profiler.profileLc(apps.lcByName(name))));
+}
+
+const model::CobbDouglasUtility&
+Context::beModel(const std::string& name)
+{
+    if (const auto* m = cached("be/" + name))
+        return *m;
+    return insert("be/" + name,
+                  fitter.fit(profiler.profileBe(apps.beByName(name))));
+}
+
+const model::CobbDouglasUtility&
+Context::xapian132Model()
+{
+    if (const auto* m = cached("lc/xapian-132"))
+        return *m;
+    return insert("lc/xapian-132",
+                  fitter.fit(profiler.profileLc(xapian132)));
+}
+
+Context&
+context()
+{
+    static Context ctx;
+    return ctx;
+}
+
+void
+banner(const std::string& figure, const std::string& caption,
+       const std::string& paper_claim)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+    std::printf("paper: %s\n", paper_claim.c_str());
+    std::printf("==============================================================\n");
+}
+
+} // namespace poco::bench

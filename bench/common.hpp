@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared setup for the bench harness: the calibrated app set, fitted
+ * utility models, and small output helpers. Every bench binary
+ * regenerates one table or figure of the paper; see EXPERIMENTS.md
+ * for the measured-vs-paper record.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "model/cobb_douglas.hpp"
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::bench
+{
+
+/** Lazily constructed shared evaluation context. */
+struct Context
+{
+    wl::AppSet apps;
+    /** LC app used by the motivation figures (Section II-C). */
+    wl::LcApp xapian132;
+    model::Profiler profiler;
+    model::UtilityFitter fitter;
+
+    Context();
+
+    /** Fitted utility of an LC app (profiles on first use). */
+    const model::CobbDouglasUtility& lcModel(const std::string& name);
+    /** Fitted utility of a BE app. */
+    const model::CobbDouglasUtility& beModel(const std::string& name);
+    /** Fitted utility of the 132 W motivation xapian. */
+    const model::CobbDouglasUtility& xapian132Model();
+
+  private:
+    /** Node-based map: references stay valid across insertions. */
+    std::map<std::string, model::CobbDouglasUtility> cache_;
+    const model::CobbDouglasUtility*
+    cached(const std::string& key);
+    const model::CobbDouglasUtility&
+    insert(const std::string& key, model::CobbDouglasUtility m);
+};
+
+/** The shared context (constructed once per binary). */
+Context& context();
+
+/** Print a figure banner: id, caption, and the paper's claim. */
+void banner(const std::string& figure, const std::string& caption,
+            const std::string& paper_claim);
+
+} // namespace poco::bench

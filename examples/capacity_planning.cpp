@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Capacity planning what-if: when does aggressive power
+ * under-provisioning pay?
+ *
+ * The paper's TCO analysis (Fig. 15) uses one cost point
+ * ($9/W infrastructure, 7 c/kWh energy). A capacity planner wants
+ * the whole map: this example sweeps both prices and reports which
+ * provisioning strategy — right-sized 150 W with POColo, or
+ * generous 185 W with a power-unaware baseline — is cheaper at each
+ * point, and by how much.
+ *
+ * Build & run:  ./build/examples/capacity_planning
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "tco/tco_model.hpp"
+#include "util/table.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    const wl::AppSet apps = wl::defaultAppSet();
+    const cluster::ClusterEvaluator evaluator(apps);
+
+    // Measure both operating points once.
+    const auto pocolo =
+        evaluator.runPolicy(cluster::Policy::PoColo);
+    const auto nocap = evaluator.runRandomAveraged(
+        cluster::ManagerKind::Heracles, 185.0);
+
+    Watts provisioned = 0.0;
+    for (const auto& lc : apps.lc)
+        provisioned += lc.provisionedPower();
+    provisioned /= static_cast<double>(apps.lc.size());
+
+    tco::PolicyProfile tight;
+    tight.name = "POColo@150W";
+    tight.throughputPerServer = 0.5 + pocolo.meanBeThroughput();
+    tight.provisionedPowerPerServer = provisioned;
+    tight.averagePowerPerServer =
+        pocolo.meanPowerUtilization() * provisioned;
+
+    tco::PolicyProfile generous;
+    generous.name = "Random@185W";
+    generous.throughputPerServer = 0.5 + nocap.meanBeThroughput();
+    generous.provisionedPowerPerServer = 185.0;
+    generous.averagePowerPerServer =
+        nocap.meanPowerUtilization() * 185.0;
+
+    std::printf("monthly TCO advantage of POColo@150W over "
+                "Random@185W (positive = POColo cheaper)\n\n");
+
+    TextTable table({"infra $/W \\ energy c/kWh", "4", "7", "12",
+                     "20"});
+    for (double infra : {3.0, 6.0, 9.0, 15.0, 25.0}) {
+        std::vector<std::string> row = {fmt(infra, 0)};
+        for (double cents : {4.0, 7.0, 12.0, 20.0}) {
+            tco::TcoParams params;
+            params.powerInfraCostPerWatt = infra;
+            params.energyCostPerKwh = cents / 100.0;
+            const tco::TcoModel model(params);
+            const auto costs = model.compare({tight, generous});
+            const double saving =
+                1.0 - costs[0].total() / costs[1].total();
+            row.push_back(fmtPercent(saving));
+        }
+        table.addRow(std::move(row));
+    }
+    std::printf("%s", table.render().c_str());
+
+    std::printf(
+        "\nreading the map: the advantage grows with the price of "
+        "provisioned watts\n(vertical) because POColo needs 35 W "
+        "less infrastructure per server, and\nwith the energy price "
+        "(horizontal) because it extracts more work per joule.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: the whole Pocolo pipeline in ~80 lines.
+ *
+ *  1. Take a latency-critical app (web search) and a best-effort
+ *     candidate (PageRank).
+ *  2. Profile both and fit Cobb-Douglas indirect utility models.
+ *  3. Read off the power-aware resource preferences.
+ *  4. Ask the model for the primary's min-power allocation at the
+ *     current load.
+ *  5. Run the managed colocation and report what happened.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "model/demand.hpp"
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "server/server_manager.hpp"
+#include "wl/registry.hpp"
+
+using namespace poco;
+
+int
+main()
+{
+    // The calibrated evaluation applications on a simulated
+    // Xeon E5-2650 (12 cores, 20 LLC ways, 1.2-2.2 GHz).
+    const wl::AppSet apps = wl::defaultAppSet();
+    const wl::LcApp& search = apps.lcByName("xapian");
+    const wl::BeApp& pagerank = apps.beByName("graph");
+
+    // 1-2. Profile (allocation sweep through the observable
+    // surface) and fit the indirect utility models.
+    const model::Profiler profiler;
+    const model::UtilityFitter fitter;
+    const auto search_model =
+        fitter.fit(profiler.profileLc(search));
+    const auto pagerank_model =
+        fitter.fit(profiler.profileBe(pagerank));
+
+    std::printf("fitted models (R2 perf/power):\n");
+    std::printf("  %-8s %s  [%.2f/%.2f]\n", search.name().c_str(),
+                search_model.toString().c_str(), search_model.perfR2,
+                search_model.powerR2);
+    std::printf("  %-8s %s  [%.2f/%.2f]\n", pagerank.name().c_str(),
+                pagerank_model.toString().c_str(),
+                pagerank_model.perfR2, pagerank_model.powerR2);
+
+    // 3. Power-aware preferences: performance-per-watt of cores vs
+    // LLC ways (the paper's alpha_j / p_j).
+    const auto sp = search_model.indirectPreference();
+    const auto pp = pagerank_model.indirectPreference();
+    std::printf("\nindirect preferences (cores : ways)\n");
+    std::printf("  %-8s %.2f : %.2f\n", search.name().c_str(), sp[0],
+                sp[1]);
+    std::printf("  %-8s %.2f : %.2f  -> complementary, good "
+                "co-runner\n",
+                pagerank.name().c_str(), pp[0], pp[1]);
+
+    // 4. Min-power allocation for the primary at 30% load.
+    const double load = 0.3 * search.peakLoad();
+    const auto plan = model::minPowerAllocationFor(
+        search_model, load, apps.spec);
+    std::printf("\nmin-power allocation for %.0f req/s: %s "
+                "(modeled %.1f W)\n",
+                load, plan->alloc.toString().c_str(),
+                plan->modeledPower);
+
+    // 5. Run the managed colocation for 10 simulated minutes.
+    const auto result = server::runServerScenario(
+        search, &pagerank, search.provisionedPower(),
+        std::make_unique<server::PomController>(search_model),
+        wl::LoadTrace::constant(0.3), 10 * kMinute);
+
+    std::printf("\nafter 10 simulated minutes:\n");
+    std::printf("  best-effort throughput : %.3f units/s\n",
+                result.stats.averageBeThroughput());
+    std::printf("  server power           : %.1f W of %.1f W cap "
+                "(%.0f%%)\n",
+                result.stats.averagePower(),
+                search.provisionedPower(),
+                100.0 * result.powerUtilization);
+    std::printf("  primary latency slack  : %.0f%% (SLO violations: "
+                "%.2f%%)\n",
+                100.0 * result.averageSlack,
+                100.0 * result.stats.sloViolationFraction());
+    return 0;
+}

@@ -1,0 +1,312 @@
+#include "cluster/cluster_evaluator.hpp"
+
+#include <sstream>
+
+#include "model/fitter.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+
+const char*
+managerKindName(ManagerKind kind)
+{
+    switch (kind) {
+      case ManagerKind::Heracles: return "heracles";
+      case ManagerKind::Pom:      return "pom";
+    }
+    return "?";
+}
+
+const char*
+policyName(Policy policy)
+{
+    switch (policy) {
+      case Policy::Random: return "Random";
+      case Policy::Pom:    return "POM";
+      case Policy::PoColo: return "POColo";
+    }
+    return "?";
+}
+
+double
+ClusterOutcome::totalBeThroughput() const
+{
+    double total = 0.0;
+    for (const auto& s : servers)
+        total += s.run.stats.averageBeThroughput();
+    return total;
+}
+
+double
+ClusterOutcome::meanBeThroughput() const
+{
+    return servers.empty()
+               ? 0.0
+               : totalBeThroughput() /
+                     static_cast<double>(servers.size());
+}
+
+double
+ClusterOutcome::meanPowerUtilization() const
+{
+    if (servers.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const auto& s : servers)
+        total += s.run.powerUtilization;
+    return total / static_cast<double>(servers.size());
+}
+
+double
+ClusterOutcome::totalEnergyJoules() const
+{
+    double total = 0.0;
+    for (const auto& s : servers)
+        total += s.run.stats.energyJoules;
+    return total;
+}
+
+double
+ClusterOutcome::maxSloViolationFraction() const
+{
+    double worst = 0.0;
+    for (const auto& s : servers)
+        worst = std::max(worst,
+                         s.run.stats.sloViolationFraction());
+    return worst;
+}
+
+ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
+                                   EvaluatorConfig config)
+    : apps_(&apps), config_(std::move(config))
+{
+    POCO_REQUIRE(!apps.lc.empty() && !apps.be.empty(),
+                 "evaluator needs LC and BE applications");
+    POCO_REQUIRE(!config_.loadPoints.empty(),
+                 "evaluator needs at least one load point");
+
+    // Stage I (Fig. 7): profile and fit every application once.
+    model::ProfilerConfig profiler_config = config_.profiler;
+    profiler_config.seed ^= config_.seedSalt * 0x9e3779b97f4a7c15ULL;
+    const model::Profiler profiler(profiler_config);
+    const model::UtilityFitter fitter;
+    for (const auto& lc : apps.lc) {
+        LcServerModel m;
+        m.name = lc.name();
+        m.utility = fitter.fit(profiler.profileLc(lc));
+        m.peakLoad = lc.peakLoad();
+        m.powerCap = lc.provisionedPower();
+        lc_models_.push_back(std::move(m));
+    }
+    for (const auto& be : apps.be) {
+        BeCandidateModel m;
+        m.name = be.name();
+        m.utility = fitter.fit(profiler.profileBe(be));
+        be_models_.push_back(std::move(m));
+    }
+
+    // Stage II: the performance matrix.
+    MatrixConfig mc;
+    mc.loadPoints = config_.loadPoints;
+    mc.headroom = config_.server.controller.headroom;
+    matrix_ = buildPerformanceMatrix(be_models_, lc_models_,
+                                     apps.spec, mc);
+}
+
+std::vector<int>
+ClusterEvaluator::placeBe(PlacementKind kind, std::uint64_t seed) const
+{
+    Rng rng(seed);
+    return place(matrix_, kind, rng);
+}
+
+std::unique_ptr<server::PrimaryController>
+ClusterEvaluator::makeController(std::size_t lc_idx,
+                                 ManagerKind kind,
+                                 int seed_variant) const
+{
+    switch (kind) {
+      case ManagerKind::Heracles:
+        return std::make_unique<server::HeraclesController>(
+            config_.server.controller,
+            0x9d5f ^ (static_cast<std::uint64_t>(lc_idx) * 7919) ^
+                (config_.seedSalt * 0x2545f4914f6cdd1dULL) ^
+                (static_cast<std::uint64_t>(seed_variant) *
+                 0xd1342543de82ef95ULL));
+      case ManagerKind::Pom:
+        return std::make_unique<server::PomController>(
+            lc_models_.at(lc_idx).utility, config_.server.controller);
+    }
+    poco::panic("unreachable manager kind");
+}
+
+ServerOutcome
+ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
+                          ManagerKind kind, Watts cap_override,
+                          int seed_variant) const
+{
+    POCO_REQUIRE(lc_idx < apps_->lc.size(), "LC index out of range");
+    POCO_REQUIRE(be_idx < static_cast<int>(apps_->be.size()),
+                 "BE index out of range");
+    POCO_REQUIRE(cap_override >= 0.0,
+                 "cap override must be non-negative");
+
+    std::ostringstream key;
+    key << "pair/" << lc_idx << "/" << be_idx << "/"
+        << managerKindName(kind) << "/" << cap_override << "/"
+        << seed_variant;
+    if (auto it = cache_.find(key.str()); it != cache_.end())
+        return it->second;
+
+    const wl::LcApp& lc = apps_->lc[lc_idx];
+    const wl::BeApp* be =
+        be_idx >= 0 ? &apps_->be[static_cast<std::size_t>(be_idx)]
+                    : nullptr;
+    const Watts cap = cap_override > 0.0 ? cap_override
+                                         : lc.provisionedPower();
+    const SimTime duration =
+        config_.server.warmup +
+        config_.dwell *
+            static_cast<SimTime>(config_.loadPoints.size());
+
+    ServerOutcome outcome;
+    outcome.lcName = lc.name();
+    outcome.beName = be ? be->name() : "(none)";
+    outcome.run = server::runServerScenario(
+        lc, be, cap, makeController(lc_idx, kind, seed_variant),
+        wl::LoadTrace::stepped(config_.loadPoints, config_.dwell),
+        duration, config_.server);
+    cache_[key.str()] = outcome;
+    return outcome;
+}
+
+ServerOutcome
+ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
+                                ManagerKind kind,
+                                double load_fraction,
+                                Watts cap_override) const
+{
+    POCO_REQUIRE(lc_idx < apps_->lc.size(), "LC index out of range");
+    POCO_REQUIRE(be_idx < static_cast<int>(apps_->be.size()),
+                 "BE index out of range");
+    POCO_REQUIRE(cap_override >= 0.0,
+                 "cap override must be non-negative");
+
+    std::ostringstream key;
+    key << "load/" << lc_idx << "/" << be_idx << "/"
+        << managerKindName(kind) << "/" << load_fraction << "/"
+        << cap_override;
+    if (auto it = cache_.find(key.str()); it != cache_.end())
+        return it->second;
+
+    const wl::LcApp& lc = apps_->lc[lc_idx];
+    const wl::BeApp* be =
+        be_idx >= 0 ? &apps_->be[static_cast<std::size_t>(be_idx)]
+                    : nullptr;
+    const Watts cap = cap_override > 0.0 ? cap_override
+                                         : lc.provisionedPower();
+    const SimTime duration = config_.server.warmup + config_.dwell;
+
+    ServerOutcome outcome;
+    outcome.lcName = lc.name();
+    outcome.beName = be ? be->name() : "(none)";
+    outcome.run = server::runServerScenario(
+        lc, be, cap, makeController(lc_idx, kind, 0),
+        wl::LoadTrace::constant(load_fraction), duration,
+        config_.server);
+    cache_[key.str()] = outcome;
+    return outcome;
+}
+
+ClusterOutcome
+ClusterEvaluator::runAssignment(const std::vector<int>& assignment,
+                                ManagerKind kind) const
+{
+    POCO_REQUIRE(assignment.size() <= apps_->lc.size(),
+                 "more assignments than servers");
+    ClusterOutcome outcome;
+    // Servers with an assigned co-runner.
+    std::vector<int> be_of(apps_->lc.size(), -1);
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        const int j = assignment[i];
+        POCO_REQUIRE(j >= 0 &&
+                     static_cast<std::size_t>(j) < apps_->lc.size(),
+                     "assignment server index out of range");
+        POCO_REQUIRE(be_of[static_cast<std::size_t>(j)] == -1,
+                     "two BE apps assigned to one server");
+        be_of[static_cast<std::size_t>(j)] = static_cast<int>(i);
+    }
+    for (std::size_t j = 0; j < apps_->lc.size(); ++j)
+        outcome.servers.push_back(runPair(j, be_of[j], kind));
+    return outcome;
+}
+
+ClusterOutcome
+ClusterEvaluator::runRandomAveraged(ManagerKind kind,
+                                    Watts cap_override) const
+{
+    // Expectation over the uniform random permutation: by symmetry
+    // each server sees each BE app with equal probability, so the
+    // per-server expectation is the mean over candidates.
+    ClusterOutcome outcome;
+    for (std::size_t j = 0; j < apps_->lc.size(); ++j) {
+        ServerOutcome avg;
+        avg.lcName = apps_->lc[j].name();
+        avg.beName = "(random)";
+        server::ServerRunResult acc;
+        const int replicas =
+            kind == ManagerKind::Heracles
+                ? std::max(1, config_.heraclesReplicas)
+                : 1;
+        for (std::size_t i = 0; i < apps_->be.size(); ++i) {
+          for (int rep = 0; rep < replicas; ++rep) {
+            const ServerOutcome one = runPair(
+                j, static_cast<int>(i), kind, cap_override, rep);
+            acc.stats.elapsed = one.run.stats.elapsed;
+            acc.stats.energyJoules += one.run.stats.energyJoules;
+            acc.stats.beWorkDone += one.run.stats.beWorkDone;
+            acc.stats.sloViolationTime +=
+                one.run.stats.sloViolationTime;
+            acc.stats.cappedTime += one.run.stats.cappedTime;
+            acc.stats.maxPower =
+                std::max(acc.stats.maxPower, one.run.stats.maxPower);
+            acc.powerUtilization += one.run.powerUtilization;
+            acc.averageSlack += one.run.averageSlack;
+            acc.slackShortfallFraction +=
+                one.run.slackShortfallFraction;
+          }
+        }
+        const double n = static_cast<double>(apps_->be.size()) *
+                         static_cast<double>(replicas);
+        acc.stats.energyJoules /= n;
+        acc.stats.beWorkDone /= n;
+        acc.stats.sloViolationTime = static_cast<SimTime>(
+            static_cast<double>(acc.stats.sloViolationTime) / n);
+        acc.stats.cappedTime = static_cast<SimTime>(
+            static_cast<double>(acc.stats.cappedTime) / n);
+        acc.powerUtilization /= n;
+        acc.averageSlack /= n;
+        acc.slackShortfallFraction /= n;
+        avg.run = acc;
+        outcome.servers.push_back(std::move(avg));
+    }
+    return outcome;
+}
+
+ClusterOutcome
+ClusterEvaluator::runPolicy(Policy policy) const
+{
+    switch (policy) {
+      case Policy::Random:
+        return runRandomAveraged(ManagerKind::Heracles);
+      case Policy::Pom:
+        return runRandomAveraged(ManagerKind::Pom);
+      case Policy::PoColo:
+        return runAssignment(placeBe(PlacementKind::Lp),
+                             ManagerKind::Pom);
+    }
+    poco::panic("unreachable policy");
+}
+
+} // namespace poco::cluster

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * End-to-end cluster evaluation (Section V-D/V-E).
+ *
+ * The evaluator owns the full Pocolo pipeline for the 4-LC x 4-BE
+ * evaluation cluster: it profiles and fits every application, builds
+ * the performance matrix, computes placements, and runs the managed
+ * server simulations that the paper's Figs. 12-14 aggregate.
+ *
+ * Policies (paper naming):
+ *  - Random:  random placement + power-unaware (Heracles) manager.
+ *  - POM:     random placement + power-optimized manager.
+ *  - POColo:  preference-aware placement (LP) + power-optimized
+ *             manager.
+ * Random placement is reported as the expectation over the uniform
+ * random assignment, i.e. each server's metrics averaged over all
+ * candidate co-runners.
+ */
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/performance_matrix.hpp"
+#include "cluster/placement.hpp"
+#include "model/profiler.hpp"
+#include "server/server_manager.hpp"
+#include "wl/load_trace.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::cluster
+{
+
+/** Which server manager runs the primaries. */
+enum class ManagerKind
+{
+    Heracles, ///< power-unaware feedback baseline
+    Pom,      ///< utility-guided power-optimized manager
+};
+
+const char* managerKindName(ManagerKind kind);
+
+/** The paper's three evaluation policies. */
+enum class Policy
+{
+    Random,
+    Pom,
+    PoColo,
+};
+
+const char* policyName(Policy policy);
+
+/** Evaluation knobs. */
+struct EvaluatorConfig
+{
+    /** LC load points (uniform distribution, paper: 10%..90%). */
+    std::vector<double> loadPoints =
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    /** Dwell per load point in the stepped trace. */
+    SimTime dwell = 120 * kSecond;
+    /** Per-server manager configuration. */
+    server::ServerManagerConfig server;
+    /** Profiler settings for the model-fitting stage. */
+    model::ProfilerConfig profiler;
+    /**
+     * Salt mixed into every stochastic stream (profiling noise and
+     * the baseline controller's random indifference-curve draws).
+     * Re-running a policy under several salts measures how much of
+     * a result is seed luck; see bench_fig12_throughput.
+     */
+    std::uint64_t seedSalt = 0;
+    /**
+     * Controller-seed replicas averaged into the Random baseline.
+     * Its server manager draws random indifference-curve points, so
+     * a single sequence is a high-variance estimate of the policy's
+     * expectation; each extra replica re-runs the pair with a fresh
+     * seed. POM/POColo are deterministic given the fitted models and
+     * ignore this.
+     */
+    int heraclesReplicas = 3;
+};
+
+/** Result of one managed (LC, BE) pairing. */
+struct ServerOutcome
+{
+    std::string lcName;
+    std::string beName;
+    server::ServerRunResult run;
+};
+
+/** Result of one cluster-wide policy evaluation. */
+struct ClusterOutcome
+{
+    std::vector<ServerOutcome> servers;
+
+    double totalBeThroughput() const;
+    double meanBeThroughput() const;
+    double meanPowerUtilization() const;
+    double totalEnergyJoules() const;
+    double maxSloViolationFraction() const;
+};
+
+/** The full evaluation pipeline over one application set. */
+class ClusterEvaluator
+{
+  public:
+    explicit ClusterEvaluator(const wl::AppSet& apps,
+                              EvaluatorConfig config = {});
+
+    const wl::AppSet& apps() const { return *apps_; }
+    const EvaluatorConfig& config() const { return config_; }
+
+    /** Fitted utilities (profiled once at construction). */
+    const std::vector<LcServerModel>& lcModels() const
+    {
+        return lc_models_;
+    }
+    const std::vector<BeCandidateModel>& beModels() const
+    {
+        return be_models_;
+    }
+
+    /** The model-driven performance matrix (Fig. 7-II). */
+    const PerformanceMatrix& matrix() const { return matrix_; }
+
+    /** Placement under the given algorithm (deterministic seed). */
+    std::vector<int> placeBe(PlacementKind kind,
+                             std::uint64_t seed = 1) const;
+
+    /**
+     * Run one (LC, BE) pairing over the stepped load schedule with
+     * the given manager. Results are cached: runs are deterministic.
+     *
+     * @param be_idx Index into apps().be, or -1 for "primary alone".
+     * @param cap_override Server power capacity to use instead of
+     *        the LC app's provisioned power; 0 keeps the default.
+     *        Used by the Random(NoCap) TCO variant (185 W).
+     */
+    ServerOutcome runPair(std::size_t lc_idx, int be_idx,
+                          ManagerKind kind,
+                          Watts cap_override = 0.0,
+                          int seed_variant = 0) const;
+
+    /** Same, but holding the load constant at @p load_fraction. */
+    ServerOutcome runPairAtLoad(std::size_t lc_idx, int be_idx,
+                                ManagerKind kind,
+                                double load_fraction,
+                                Watts cap_override = 0.0) const;
+
+    /** Run a full assignment (result[i] = server for BE i). */
+    ClusterOutcome runAssignment(const std::vector<int>& assignment,
+                                 ManagerKind kind) const;
+
+    /**
+     * Expected outcome of uniform-random placement: each server's
+     * metrics averaged over all BE candidates.
+     *
+     * @param cap_override See runPair().
+     */
+    ClusterOutcome runRandomAveraged(ManagerKind kind,
+                                     Watts cap_override = 0.0) const;
+
+    /** Evaluate one of the paper's named policies end to end. */
+    ClusterOutcome runPolicy(Policy policy) const;
+
+  private:
+    std::unique_ptr<server::PrimaryController>
+    makeController(std::size_t lc_idx, ManagerKind kind,
+                   int seed_variant) const;
+
+    const wl::AppSet* apps_;
+    EvaluatorConfig config_;
+    std::vector<LcServerModel> lc_models_;
+    std::vector<BeCandidateModel> be_models_;
+    PerformanceMatrix matrix_;
+
+    mutable std::map<std::string, ServerOutcome> cache_;
+};
+
+} // namespace poco::cluster

@@ -1,0 +1,66 @@
+#include "cluster/performance_matrix.hpp"
+
+#include "model/demand.hpp"
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace poco::cluster
+{
+
+double
+estimateCellAtLoad(const BeCandidateModel& be, const LcServerModel& lc,
+                   const sim::ServerSpec& spec, double load_fraction,
+                   double headroom)
+{
+    POCO_REQUIRE(load_fraction > 0.0 && load_fraction <= 1.0,
+                 "load fraction must be in (0, 1]");
+    const double target =
+        load_fraction * lc.peakLoad * headroom;
+    const auto plan =
+        model::minPowerAllocationFor(lc.utility, target, spec);
+    if (!plan)
+        return 0.0; // LC needs the whole machine (or more): no spare
+
+    const int spare_cores = spec.cores - plan->alloc.cores;
+    const int spare_ways = spec.llcWays - plan->alloc.ways;
+    const double spare_power =
+        lc.powerCap - plan->modeledPower;
+    if (spare_cores < 1 || spare_ways < 1 || spare_power <= 0.0)
+        return 0.0;
+    return model::estimateBePerformance(be.utility, spare_power,
+                                        spare_cores, spare_ways);
+}
+
+PerformanceMatrix
+buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
+                       const std::vector<LcServerModel>& lc,
+                       const sim::ServerSpec& spec,
+                       const MatrixConfig& config)
+{
+    POCO_REQUIRE(!be.empty() && !lc.empty(),
+                 "matrix needs at least one BE and one LC entry");
+    POCO_REQUIRE(!config.loadPoints.empty(),
+                 "matrix needs at least one load point");
+
+    PerformanceMatrix matrix;
+    for (const auto& b : be)
+        matrix.beNames.push_back(b.name);
+    for (const auto& l : lc)
+        matrix.lcNames.push_back(l.name);
+
+    matrix.value.assign(be.size(),
+                        std::vector<double>(lc.size(), 0.0));
+    for (std::size_t i = 0; i < be.size(); ++i) {
+        for (std::size_t j = 0; j < lc.size(); ++j) {
+            double sum = 0.0;
+            for (double load : config.loadPoints)
+                sum += estimateCellAtLoad(be[i], lc[j], spec, load,
+                                          config.headroom);
+            matrix.value[i][j] =
+                sum / static_cast<double>(config.loadPoints.size());
+        }
+    }
+    return matrix;
+}
+
+} // namespace poco::cluster

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The performance matrix (Fig. 7-II of the paper).
+ *
+ * Entry (i, j) estimates the throughput best-effort application i
+ * would achieve alongside latency-critical server j, averaged over
+ * the LC app's whole operating range. The estimate is purely
+ * model-driven: the LC app's fitted utility gives its power-efficient
+ * allocation (and modeled draw) at each load, the complement gives
+ * the spare resources and power headroom, and the BE app's fitted
+ * utility maps that spare capacity to throughput.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/cobb_douglas.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+
+namespace poco::cluster
+{
+
+/** A latency-critical server's model inputs for matrix building. */
+struct LcServerModel
+{
+    std::string name;
+    model::CobbDouglasUtility utility;
+    /** Peak load the utility's performance unit is measured in. */
+    Rps peakLoad = 0.0;
+    /** Provisioned power capacity of the server. */
+    Watts powerCap = 0.0;
+};
+
+/** A best-effort candidate's model inputs. */
+struct BeCandidateModel
+{
+    std::string name;
+    model::CobbDouglasUtility utility;
+};
+
+/** Matrix-construction knobs. */
+struct MatrixConfig
+{
+    /** LC load points averaged over (uniform 10%..90%, paper V-D). */
+    std::vector<double> loadPoints =
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    /** Demand inflation applied to the LC model (see controllers). */
+    double headroom = 1.05;
+};
+
+/** value[i][j]: estimated throughput of BE i on LC server j. */
+struct PerformanceMatrix
+{
+    std::vector<std::string> beNames;
+    std::vector<std::string> lcNames;
+    std::vector<std::vector<double>> value;
+};
+
+/**
+ * Build the matrix from fitted models.
+ *
+ * @param spec The (homogeneous) server platform.
+ */
+PerformanceMatrix
+buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
+                       const std::vector<LcServerModel>& lc,
+                       const sim::ServerSpec& spec,
+                       const MatrixConfig& config = {});
+
+/**
+ * Single-cell estimate: BE throughput beside one LC server at one
+ * load fraction (exposed for tests and the Edgeworth analysis).
+ */
+double estimateCellAtLoad(const BeCandidateModel& be,
+                          const LcServerModel& lc,
+                          const sim::ServerSpec& spec,
+                          double load_fraction, double headroom);
+
+} // namespace poco::cluster

@@ -1,0 +1,90 @@
+#include "cluster/placement.hpp"
+
+#include "math/hungarian.hpp"
+#include "math/simplex.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+
+const char*
+placementKindName(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::Random:     return "random";
+      case PlacementKind::Lp:         return "lp";
+      case PlacementKind::Hungarian:  return "hungarian";
+      case PlacementKind::Exhaustive: return "exhaustive";
+    }
+    return "?";
+}
+
+std::vector<int>
+place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng)
+{
+    const std::size_t rows = matrix.value.size();
+    POCO_REQUIRE(rows > 0, "empty performance matrix");
+    const std::size_t cols = matrix.value.front().size();
+    POCO_REQUIRE(rows <= cols,
+                 "placement needs BE apps <= LC servers");
+
+    switch (kind) {
+      case PlacementKind::Random: {
+        const std::vector<int> perm =
+            rng.permutation(static_cast<int>(cols));
+        return std::vector<int>(perm.begin(),
+                                perm.begin() +
+                                    static_cast<std::ptrdiff_t>(rows));
+      }
+      case PlacementKind::Lp:
+        return math::solveAssignmentLp(matrix.value);
+      case PlacementKind::Hungarian:
+        return math::solveAssignmentMax(matrix.value);
+      case PlacementKind::Exhaustive:
+        return math::solveAssignmentExhaustive(matrix.value);
+    }
+    poco::panic("unreachable placement kind");
+}
+
+double
+placementValue(const PerformanceMatrix& matrix,
+               const std::vector<int>& assignment)
+{
+    return math::assignmentValue(matrix.value, assignment);
+}
+
+std::vector<int>
+admitAndPlace(const PerformanceMatrix& matrix)
+{
+    const std::size_t n_be = matrix.value.size();
+    POCO_REQUIRE(n_be > 0, "empty performance matrix");
+    const std::size_t n_srv = matrix.value.front().size();
+
+    if (n_be <= n_srv) {
+        // Everyone fits: ordinary assignment.
+        Rng rng(0);
+        return place(matrix, PlacementKind::Hungarian, rng);
+    }
+
+    // Transpose: servers are the agents, candidates the tasks.
+    std::vector<std::vector<double>> transposed(
+        n_srv, std::vector<double>(n_be, 0.0));
+    for (std::size_t i = 0; i < n_be; ++i)
+        for (std::size_t j = 0; j < n_srv; ++j)
+            transposed[j][i] = matrix.value[i][j];
+    const std::vector<int> choice =
+        math::solveAssignmentMax(transposed);
+
+    std::vector<int> admitted(n_be, -1);
+    for (std::size_t j = 0; j < n_srv; ++j) {
+        const int be = choice[j];
+        POCO_ASSERT(be >= 0 &&
+                    static_cast<std::size_t>(be) < n_be,
+                    "transposed assignment out of range");
+        admitted[static_cast<std::size_t>(be)] =
+            static_cast<int>(j);
+    }
+    return admitted;
+}
+
+} // namespace poco::cluster

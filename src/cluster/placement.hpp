@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Cluster placement policies (Section IV-B).
+ *
+ * Given the performance matrix, a policy picks which best-effort
+ * application runs beside which latency-critical server. Pocolo uses
+ * an LP solver (the assignment polytope is integral); Hungarian and
+ * exhaustive search are provided as equivalent exact alternatives and
+ * as test oracles; random placement is the baseline.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/performance_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace poco::cluster
+{
+
+/** Available placement algorithms. */
+enum class PlacementKind
+{
+    Random,
+    Lp,
+    Hungarian,
+    Exhaustive,
+};
+
+const char* placementKindName(PlacementKind kind);
+
+/**
+ * Compute an assignment: result[i] = LC server index for BE app i.
+ *
+ * @param matrix Performance matrix (rows: BE apps, cols: servers);
+ *        requires #BE <= #servers.
+ * @param rng Used only by PlacementKind::Random.
+ */
+std::vector<int> place(const PerformanceMatrix& matrix,
+                       PlacementKind kind, Rng& rng);
+
+/** Total estimated throughput of an assignment under the matrix. */
+double placementValue(const PerformanceMatrix& matrix,
+                      const std::vector<int>& assignment);
+
+/**
+ * Admission control + placement when best-effort candidates
+ * outnumber servers (the queue-drain case): pick which candidates
+ * to admit and where, maximizing total estimated throughput.
+ *
+ * Solved exactly as the transposed assignment problem (each server
+ * "chooses" a candidate; unchosen candidates wait).
+ *
+ * @return admitted[i] = server index for BE i, or -1 when BE i is
+ *         not admitted this round. Exactly min(#BE, #servers)
+ *         entries are >= 0.
+ */
+std::vector<int> admitAndPlace(const PerformanceMatrix& matrix);
+
+} // namespace poco::cluster

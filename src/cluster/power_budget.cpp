@@ -1,0 +1,150 @@
+#include "cluster/power_budget.hpp"
+
+#include <algorithm>
+
+#include "model/demand.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+
+const char*
+budgetPolicyName(BudgetPolicy policy)
+{
+    switch (policy) {
+      case BudgetPolicy::Proportional: return "proportional";
+      case BudgetPolicy::UtilityAware: return "utility-aware";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Modeled primary reservation and spare resources at a load. */
+struct Reservation
+{
+    Watts primaryDraw = 0.0;
+    int spareCores = 0;
+    int spareWays = 0;
+};
+
+Reservation
+reserveFor(const BudgetServer& server, const sim::ServerSpec& spec)
+{
+    Reservation r;
+    const double target =
+        server.loadFraction * server.lc.peakLoad;
+    const auto plan = model::minPowerAllocationFor(
+        server.lc.utility, target, spec);
+    if (!plan) {
+        // Load beyond modeled capacity: the primary takes the
+        // machine; nothing is spare.
+        r.primaryDraw = server.lc.powerCap;
+        return r;
+    }
+    r.primaryDraw = std::min(plan->modeledPower, server.lc.powerCap);
+    r.spareCores = spec.cores - plan->alloc.cores;
+    r.spareWays = spec.llcWays - plan->alloc.ways;
+    return r;
+}
+
+double
+beValue(const BudgetServer& server, const Reservation& r,
+        Watts headroom)
+{
+    if (headroom <= 0.0)
+        return 0.0;
+    return model::estimateBePerformance(server.beUtility, headroom,
+                                        r.spareCores, r.spareWays);
+}
+
+} // namespace
+
+BudgetSplit
+splitClusterBudget(const std::vector<BudgetServer>& servers,
+                   Watts total_budget, const sim::ServerSpec& spec,
+                   BudgetPolicy policy, Watts step)
+{
+    POCO_REQUIRE(!servers.empty(), "budget needs >= 1 server");
+    POCO_REQUIRE(total_budget > 0.0, "budget must be positive");
+    POCO_REQUIRE(step > 0.0, "water-filling step must be positive");
+    for (const auto& s : servers) {
+        POCO_REQUIRE(s.loadFraction > 0.0 && s.loadFraction <= 1.0,
+                     "load fraction must be in (0, 1]");
+        POCO_REQUIRE(s.lc.powerCap > 0.0,
+                     "server capacity must be positive");
+    }
+
+    const std::size_t n = servers.size();
+    BudgetSplit split;
+    split.caps.assign(n, 0.0);
+
+    if (policy == BudgetPolicy::Proportional) {
+        Watts provisioned = 0.0;
+        for (const auto& s : servers)
+            provisioned += s.lc.powerCap;
+        const double fraction =
+            std::min(1.0, total_budget / provisioned);
+        for (std::size_t j = 0; j < n; ++j)
+            split.caps[j] = servers[j].lc.powerCap * fraction;
+        // Estimated value for reporting (same model as below).
+        for (std::size_t j = 0; j < n; ++j) {
+            const Reservation r = reserveFor(servers[j], spec);
+            split.estimatedBeThroughput += beValue(
+                servers[j], r, split.caps[j] - r.primaryDraw);
+        }
+        return split;
+    }
+
+    // UtilityAware: reserve primaries, then greedy water-filling.
+    std::vector<Reservation> reservations(n);
+    Watts reserved = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+        reservations[j] = reserveFor(servers[j], spec);
+        split.caps[j] = reservations[j].primaryDraw;
+        reserved += reservations[j].primaryDraw;
+    }
+    if (reserved > total_budget)
+        poco::fatal("cluster budget below the primaries' aggregate "
+                    "reservation");
+
+    Watts remaining = total_budget - reserved;
+    std::vector<double> value(n);
+    for (std::size_t j = 0; j < n; ++j)
+        value[j] = beValue(servers[j], reservations[j],
+                           split.caps[j] -
+                               reservations[j].primaryDraw);
+
+    while (remaining >= step) {
+        // Give the next step of watts to the server whose BE gains
+        // the most from it, respecting provisioned capacities.
+        double best_gain = 0.0;
+        std::size_t best = n;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (split.caps[j] + step >
+                servers[j].lc.powerCap + 1e-9)
+                continue;
+            const double candidate = beValue(
+                servers[j], reservations[j],
+                split.caps[j] + step -
+                    reservations[j].primaryDraw);
+            const double gain = candidate - value[j];
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = j;
+            }
+        }
+        if (best == n)
+            break; // nobody can use more power
+        split.caps[best] += step;
+        value[best] += best_gain;
+        remaining -= step;
+    }
+
+    for (double v : value)
+        split.estimatedBeThroughput += v;
+    return split;
+}
+
+} // namespace poco::cluster

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Cluster-level power budgeting (beyond the paper).
+ *
+ * The paper right-sizes each server's power individually; real
+ * facilities also carry *aggregate* limits per rack/row/feed that
+ * can be tighter than the sum of per-server capacities (cf. Dynamo,
+ * power "virtualization" in the paper's related work). This module
+ * splits a cluster budget into per-server caps:
+ *
+ *  - Proportional: each server gets the same fraction of its
+ *    provisioned capacity — the standard static policy.
+ *  - UtilityAware: first reserve every primary's modeled min-power
+ *    draw at its current load (primaries keep absolute priority),
+ *    then water-fill the remaining watts greedily by the marginal
+ *    best-effort value each server's fitted co-runner model assigns
+ *    to one more watt of headroom. Greedy is optimal here because
+ *    BE value is concave in the power budget (Cobb-Douglas demand).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cluster/performance_matrix.hpp"
+#include "model/cobb_douglas.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+
+namespace poco::cluster
+{
+
+/** How to split the cluster budget. */
+enum class BudgetPolicy
+{
+    Proportional,
+    UtilityAware,
+};
+
+const char* budgetPolicyName(BudgetPolicy policy);
+
+/** One server's inputs to the budgeting decision. */
+struct BudgetServer
+{
+    /** The primary's fitted utility and scale (for reservations). */
+    LcServerModel lc;
+    /** Fitted utility of the co-runner assigned to this server. */
+    model::CobbDouglasUtility beUtility;
+    /** The primary's current load fraction in (0, 1]. */
+    double loadFraction = 0.5;
+};
+
+/** The resulting per-server caps. */
+struct BudgetSplit
+{
+    std::vector<Watts> caps;
+    /** Modeled total BE throughput under the split. */
+    double estimatedBeThroughput = 0.0;
+};
+
+/**
+ * Split @p total_budget across the servers.
+ *
+ * Every cap is at least the server's modeled primary draw plus the
+ * platform margin (a primary is never budget-starved), and at most
+ * its provisioned capacity. Throws FatalError when even the
+ * reservations alone exceed the budget.
+ *
+ * @param step Water-filling granularity in watts (UtilityAware).
+ */
+BudgetSplit
+splitClusterBudget(const std::vector<BudgetServer>& servers,
+                   Watts total_budget, const sim::ServerSpec& spec,
+                   BudgetPolicy policy, Watts step = 1.0);
+
+} // namespace poco::cluster

@@ -1,0 +1,157 @@
+#include "math/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace poco::math
+{
+
+namespace
+{
+
+void
+validateRectangular(const std::vector<std::vector<double>>& m)
+{
+    POCO_REQUIRE(!m.empty(), "assignment matrix must be non-empty");
+    const std::size_t cols = m.front().size();
+    POCO_REQUIRE(cols > 0, "assignment matrix must have columns");
+    for (const auto& row : m)
+        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+    POCO_REQUIRE(m.size() <= cols, "requires rows <= cols");
+}
+
+} // namespace
+
+std::vector<int>
+solveAssignmentMin(const std::vector<std::vector<double>>& cost)
+{
+    validateRectangular(cost);
+    const int n = static_cast<int>(cost.size());
+    const int m = static_cast<int>(cost.front().size());
+    constexpr double inf = std::numeric_limits<double>::infinity();
+
+    // Potentials-based Kuhn-Munkres with 1-based sentinel row/column.
+    // u[i], v[j] are dual potentials; way[j] is the augmenting-path
+    // predecessor; p[j] is the row matched to column j.
+    std::vector<double> u(static_cast<std::size_t>(n) + 1, 0.0);
+    std::vector<double> v(static_cast<std::size_t>(m) + 1, 0.0);
+    std::vector<int> p(static_cast<std::size_t>(m) + 1, 0);
+    std::vector<int> way(static_cast<std::size_t>(m) + 1, 0);
+
+    for (int i = 1; i <= n; ++i) {
+        p[0] = i;
+        int j0 = 0;
+        std::vector<double> minv(static_cast<std::size_t>(m) + 1, inf);
+        std::vector<char> used(static_cast<std::size_t>(m) + 1, 0);
+        do {
+            used[static_cast<std::size_t>(j0)] = 1;
+            const int i0 = p[static_cast<std::size_t>(j0)];
+            double delta = inf;
+            int j1 = -1;
+            for (int j = 1; j <= m; ++j) {
+                if (used[static_cast<std::size_t>(j)])
+                    continue;
+                const double cur =
+                    cost[static_cast<std::size_t>(i0 - 1)]
+                        [static_cast<std::size_t>(j - 1)] -
+                    u[static_cast<std::size_t>(i0)] -
+                    v[static_cast<std::size_t>(j)];
+                if (cur < minv[static_cast<std::size_t>(j)]) {
+                    minv[static_cast<std::size_t>(j)] = cur;
+                    way[static_cast<std::size_t>(j)] = j0;
+                }
+                if (minv[static_cast<std::size_t>(j)] < delta) {
+                    delta = minv[static_cast<std::size_t>(j)];
+                    j1 = j;
+                }
+            }
+            POCO_ASSERT(j1 != -1, "no augmenting column found");
+            for (int j = 0; j <= m; ++j) {
+                if (used[static_cast<std::size_t>(j)]) {
+                    u[static_cast<std::size_t>(
+                        p[static_cast<std::size_t>(j)])] += delta;
+                    v[static_cast<std::size_t>(j)] -= delta;
+                } else {
+                    minv[static_cast<std::size_t>(j)] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (p[static_cast<std::size_t>(j0)] != 0);
+
+        // Augment along the alternating path.
+        do {
+            const int j1 = way[static_cast<std::size_t>(j0)];
+            p[static_cast<std::size_t>(j0)] =
+                p[static_cast<std::size_t>(j1)];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    std::vector<int> assignment(static_cast<std::size_t>(n), -1);
+    for (int j = 1; j <= m; ++j)
+        if (p[static_cast<std::size_t>(j)] > 0)
+            assignment[static_cast<std::size_t>(
+                p[static_cast<std::size_t>(j)] - 1)] = j - 1;
+    return assignment;
+}
+
+std::vector<int>
+solveAssignmentMax(const std::vector<std::vector<double>>& value)
+{
+    validateRectangular(value);
+    std::vector<std::vector<double>> cost(value.size());
+    for (std::size_t i = 0; i < value.size(); ++i) {
+        cost[i].resize(value[i].size());
+        for (std::size_t j = 0; j < value[i].size(); ++j)
+            cost[i][j] = -value[i][j];
+    }
+    return solveAssignmentMin(cost);
+}
+
+double
+assignmentValue(const std::vector<std::vector<double>>& value,
+                const std::vector<int>& assignment)
+{
+    POCO_REQUIRE(assignment.size() == value.size(),
+                 "assignment arity mismatch");
+    double total = 0.0;
+    for (std::size_t i = 0; i < assignment.size(); ++i) {
+        const int j = assignment[i];
+        POCO_REQUIRE(j >= 0 &&
+                     static_cast<std::size_t>(j) < value[i].size(),
+                     "assignment index out of range");
+        total += value[i][static_cast<std::size_t>(j)];
+    }
+    return total;
+}
+
+std::vector<int>
+solveAssignmentExhaustive(const std::vector<std::vector<double>>& value)
+{
+    validateRectangular(value);
+    const std::size_t rows = value.size();
+    const std::size_t cols = value.front().size();
+    POCO_REQUIRE(cols <= 10, "exhaustive search limited to <= 10 tasks");
+
+    std::vector<int> perm(cols);
+    for (std::size_t j = 0; j < cols; ++j)
+        perm[j] = static_cast<int>(j);
+
+    std::vector<int> best;
+    double best_value = -std::numeric_limits<double>::infinity();
+    do {
+        std::vector<int> candidate(perm.begin(),
+                                   perm.begin() +
+                                       static_cast<std::ptrdiff_t>(rows));
+        const double v = assignmentValue(value, candidate);
+        if (v > best_value) {
+            best_value = v;
+            best = candidate;
+        }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+} // namespace poco::math

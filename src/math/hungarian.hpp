@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Hungarian (Kuhn-Munkres) algorithm for the assignment problem.
+ *
+ * O(n^3) potentials-based implementation. The cluster manager uses it
+ * as an exact, fast alternative to the assignment LP (the paper cites
+ * Munkres [30] among the standard methods); tests cross-check both
+ * against exhaustive search.
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace poco::math
+{
+
+/**
+ * Minimum-cost assignment.
+ *
+ * @param cost cost[i][j] is the cost of assigning agent i to task j.
+ *             Must be rectangular with rows <= cols.
+ * @return assignment[i] = task chosen for agent i (distinct tasks).
+ */
+std::vector<int>
+solveAssignmentMin(const std::vector<std::vector<double>>& cost);
+
+/**
+ * Maximum-value assignment (negates and delegates to the min solver).
+ *
+ * @param value value[i][j] is the benefit of assigning agent i to
+ *              task j. Must be rectangular with rows <= cols.
+ */
+std::vector<int>
+solveAssignmentMax(const std::vector<std::vector<double>>& value);
+
+/** Total value of an assignment under a value matrix. */
+double assignmentValue(const std::vector<std::vector<double>>& value,
+                       const std::vector<int>& assignment);
+
+/**
+ * Exhaustive assignment search (reference oracle, O(cols!/(cols-rows)!)).
+ * Only suitable for tiny instances such as the paper's 4x4 study.
+ */
+std::vector<int>
+solveAssignmentExhaustive(const std::vector<std::vector<double>>& value);
+
+} // namespace poco::math

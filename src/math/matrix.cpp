@@ -1,0 +1,141 @@
+#include "math/matrix.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco::math
+{
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        POCO_REQUIRE(row.size() == cols_, "ragged initializer list");
+        for (double v : row)
+            data_.push_back(v);
+    }
+}
+
+double&
+Matrix::at(std::size_t r, std::size_t c)
+{
+    POCO_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::at(std::size_t r, std::size_t c) const
+{
+    POCO_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+Matrix
+Matrix::transpose() const
+{
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            t(c, r) = (*this)(r, c);
+    return t;
+}
+
+Matrix
+Matrix::multiply(const Matrix& rhs) const
+{
+    POCO_REQUIRE(cols_ == rhs.rows_, "matrix multiply shape mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            const double a = (*this)(r, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t c = 0; c < rhs.cols_; ++c)
+                out(r, c) += a * rhs(k, c);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double>& v) const
+{
+    POCO_REQUIRE(v.size() == cols_, "matrix-vector shape mismatch");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out[r] += (*this)(r, c) * v[c];
+    return out;
+}
+
+bool
+Matrix::approxEquals(const Matrix& rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::abs(data_[i] - rhs.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+std::vector<double>
+solveLinearSystem(Matrix a, std::vector<double> b)
+{
+    const std::size_t n = a.rows();
+    POCO_REQUIRE(a.cols() == n, "solve requires a square matrix");
+    POCO_REQUIRE(b.size() == n, "rhs length must match matrix order");
+
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivoting: bring the largest remaining entry up.
+        std::size_t pivot = col;
+        for (std::size_t r = col + 1; r < n; ++r)
+            if (std::abs(a(r, col)) > std::abs(a(pivot, col)))
+                pivot = r;
+        if (std::abs(a(pivot, col)) < 1e-12)
+            poco::fatal("singular matrix in solveLinearSystem");
+        if (pivot != col) {
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(a(pivot, c), a(col, c));
+            std::swap(b[pivot], b[col]);
+        }
+        const double inv = 1.0 / a(col, col);
+        for (std::size_t r = col + 1; r < n; ++r) {
+            const double factor = a(r, col) * inv;
+            if (factor == 0.0)
+                continue;
+            a(r, col) = 0.0;
+            for (std::size_t c = col + 1; c < n; ++c)
+                a(r, c) -= factor * a(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    std::vector<double> x(n, 0.0);
+    for (std::size_t ri = n; ri-- > 0;) {
+        double acc = b[ri];
+        for (std::size_t c = ri + 1; c < n; ++c)
+            acc -= a(ri, c) * x[c];
+        x[ri] = acc / a(ri, ri);
+    }
+    return x;
+}
+
+} // namespace poco::math

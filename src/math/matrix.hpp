@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Small dense matrix type with the linear algebra the library needs:
+ * multiply, transpose, and a partially pivoted Gaussian solver. Sizes
+ * are tiny (regression designs are n x k with k <= 4; assignment
+ * matrices are 4x4 to ~64x64), so no blocking or BLAS is warranted.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace poco::math
+{
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Construct a rows x cols matrix filled with @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Construct from a nested initializer list of rows. */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    double& at(std::size_t r, std::size_t c);
+    double at(std::size_t r, std::size_t c) const;
+
+    double& operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** rows x rows identity. */
+    static Matrix identity(std::size_t n);
+
+    Matrix transpose() const;
+    Matrix multiply(const Matrix& rhs) const;
+
+    /** Matrix-vector product; @p v must have cols() entries. */
+    std::vector<double> multiply(const std::vector<double>& v) const;
+
+    /** Elementwise comparison with tolerance. */
+    bool approxEquals(const Matrix& rhs, double tol = 1e-9) const;
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve A x = b via Gaussian elimination with partial pivoting.
+ *
+ * @param a Square nonsingular matrix.
+ * @param b Right-hand side, length a.rows().
+ * @return Solution vector x.
+ * @throws poco::FatalError if A is singular (pivot below 1e-12) or
+ *         dimensions disagree.
+ */
+std::vector<double> solveLinearSystem(Matrix a, std::vector<double> b);
+
+} // namespace poco::math

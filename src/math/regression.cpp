@@ -1,0 +1,79 @@
+#include "math/regression.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/stats.hpp"
+
+namespace poco::math
+{
+
+double
+OlsResult::predict(const std::vector<double>& x) const
+{
+    POCO_REQUIRE(x.size() == numPredictors(),
+                 "feature arity must match fitted model");
+    double y = coefficients[0];
+    for (std::size_t j = 0; j < x.size(); ++j)
+        y += coefficients[j + 1] * x[j];
+    return y;
+}
+
+OlsResult
+fitOls(const std::vector<std::vector<double>>& x,
+       const std::vector<double>& y,
+       bool fit_intercept)
+{
+    POCO_REQUIRE(!x.empty(), "OLS needs at least one sample");
+    POCO_REQUIRE(x.size() == y.size(), "OLS feature/target size mismatch");
+    const std::size_t n = x.size();
+    const std::size_t k = x.front().size();
+    POCO_REQUIRE(k >= 1, "OLS needs at least one predictor");
+    for (const auto& row : x)
+        POCO_REQUIRE(row.size() == k, "ragged OLS design");
+
+    // Build the design including the (optional) intercept column so the
+    // same normal-equation path handles both cases.
+    const std::size_t p = k + (fit_intercept ? 1 : 0);
+    POCO_REQUIRE(n >= p, "OLS needs at least as many samples as params");
+
+    Matrix design(n, p);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t c = 0;
+        if (fit_intercept)
+            design(i, c++) = 1.0;
+        for (std::size_t j = 0; j < k; ++j)
+            design(i, c++) = x[i][j];
+    }
+
+    const Matrix xt = design.transpose();
+    const Matrix xtx = xt.multiply(design);
+    std::vector<double> xty(p, 0.0);
+    for (std::size_t j = 0; j < p; ++j)
+        for (std::size_t i = 0; i < n; ++i)
+            xty[j] += design(i, j) * y[i];
+
+    std::vector<double> beta = solveLinearSystem(xtx, std::move(xty));
+
+    OlsResult result;
+    result.n = n;
+    result.coefficients.resize(k + 1, 0.0);
+    std::size_t c = 0;
+    if (fit_intercept)
+        result.coefficients[0] = beta[c++];
+    for (std::size_t j = 0; j < k; ++j)
+        result.coefficients[j + 1] = beta[c++];
+
+    std::vector<double> predicted(n);
+    for (std::size_t i = 0; i < n; ++i)
+        predicted[i] = result.predict(x[i]);
+    result.r_squared = poco::rSquared(y, predicted);
+    result.rss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double res = y[i] - predicted[i];
+        result.rss += res * res;
+    }
+    return result;
+}
+
+} // namespace poco::math

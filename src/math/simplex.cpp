@@ -1,0 +1,323 @@
+#include "math/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace poco::math
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau in canonical form.
+ *
+ * Layout: `table` has m rows (one per constraint) over `ncols` columns
+ * (structural + slack/surplus + artificial variables), plus a separate
+ * rhs column and an objective row. `basis[r]` names the basic variable
+ * of row r.
+ */
+struct Tableau
+{
+    std::size_t m = 0;      // constraint rows
+    std::size_t ncols = 0;  // total variables
+    std::vector<std::vector<double>> rows;
+    std::vector<double> rhs;
+    std::vector<double> obj;      // objective coefficients (maximize)
+    double objShift = 0.0;        // constant term accumulated in pivots
+    std::vector<std::size_t> basis;
+
+    /** Price out: reduced cost of column j given the current basis. */
+    double
+    reducedCost(std::size_t j) const
+    {
+        double z = 0.0;
+        for (std::size_t r = 0; r < m; ++r)
+            z += obj[basis[r]] * rows[r][j];
+        return obj[j] - z;
+    }
+
+    /** Objective value of the current basic solution. */
+    double
+    objective() const
+    {
+        double z = objShift;
+        for (std::size_t r = 0; r < m; ++r)
+            z += obj[basis[r]] * rhs[r];
+        return z;
+    }
+
+    void
+    pivot(std::size_t row, std::size_t col)
+    {
+        const double p = rows[row][col];
+        POCO_ASSERT(std::abs(p) > kEps, "pivot on a ~zero element");
+        const double inv = 1.0 / p;
+        for (auto& v : rows[row])
+            v *= inv;
+        rhs[row] *= inv;
+        rows[row][col] = 1.0;
+        for (std::size_t r = 0; r < m; ++r) {
+            if (r == row)
+                continue;
+            const double factor = rows[r][col];
+            if (std::abs(factor) < kEps) {
+                rows[r][col] = 0.0;
+                continue;
+            }
+            for (std::size_t c = 0; c < ncols; ++c)
+                rows[r][c] -= factor * rows[row][c];
+            rows[r][col] = 0.0;
+            rhs[r] -= factor * rhs[row];
+        }
+        basis[row] = col;
+    }
+
+    /**
+     * Run simplex iterations until optimal or unbounded.
+     * Uses Bland's rule (lowest-index entering and leaving variable)
+     * to guarantee termination on degenerate problems.
+     *
+     * @return true when an optimum was reached, false when unbounded.
+     */
+    bool
+    iterate()
+    {
+        for (;;) {
+            // Entering variable: first column with positive reduced
+            // cost (Bland).
+            std::size_t enter = ncols;
+            for (std::size_t j = 0; j < ncols; ++j) {
+                if (reducedCost(j) > kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter == ncols)
+                return true; // optimal
+
+            // Leaving variable: min ratio, ties by lowest basis index.
+            std::size_t leave = m;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (std::size_t r = 0; r < m; ++r) {
+                if (rows[r][enter] > kEps) {
+                    const double ratio = rhs[r] / rows[r][enter];
+                    if (ratio < best_ratio - kEps ||
+                        (ratio < best_ratio + kEps &&
+                         (leave == m || basis[r] < basis[leave]))) {
+                        best_ratio = ratio;
+                        leave = r;
+                    }
+                }
+            }
+            if (leave == m)
+                return false; // unbounded direction
+
+            pivot(leave, enter);
+        }
+    }
+};
+
+} // namespace
+
+LpSolution
+solveLp(const LpProblem& problem)
+{
+    const std::size_t n = problem.objective.size();
+    POCO_REQUIRE(n > 0, "LP needs at least one variable");
+    for (const auto& con : problem.constraints)
+        POCO_REQUIRE(con.coeffs.size() == n,
+                     "constraint arity must match objective");
+
+    const std::size_t m = problem.constraints.size();
+
+    // Count auxiliary columns. Each <= / >= gets one slack/surplus;
+    // each >= and = gets one artificial; a <= with negative rhs is
+    // flipped to >= first.
+    struct Row
+    {
+        std::vector<double> coeffs;
+        Relation rel;
+        double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(m);
+    for (const auto& con : problem.constraints) {
+        Row row{con.coeffs, con.rel, con.rhs};
+        if (row.rhs < 0.0) {
+            for (auto& c : row.coeffs)
+                c = -c;
+            row.rhs = -row.rhs;
+            if (row.rel == Relation::LessEqual)
+                row.rel = Relation::GreaterEqual;
+            else if (row.rel == Relation::GreaterEqual)
+                row.rel = Relation::LessEqual;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::size_t num_slack = 0;
+    std::size_t num_art = 0;
+    for (const auto& row : rows) {
+        if (row.rel != Relation::Equal)
+            ++num_slack;
+        if (row.rel != Relation::LessEqual)
+            ++num_art;
+    }
+
+    Tableau t;
+    t.m = m;
+    t.ncols = n + num_slack + num_art;
+    t.rows.assign(m, std::vector<double>(t.ncols, 0.0));
+    t.rhs.resize(m);
+    t.basis.assign(m, 0);
+
+    std::size_t slack_at = n;
+    std::size_t art_at = n + num_slack;
+    const std::size_t art_begin = art_at;
+
+    for (std::size_t r = 0; r < m; ++r) {
+        const Row& row = rows[r];
+        for (std::size_t j = 0; j < n; ++j)
+            t.rows[r][j] = row.coeffs[j];
+        t.rhs[r] = row.rhs;
+        switch (row.rel) {
+          case Relation::LessEqual:
+            t.rows[r][slack_at] = 1.0;
+            t.basis[r] = slack_at++;
+            break;
+          case Relation::GreaterEqual:
+            t.rows[r][slack_at] = -1.0;
+            ++slack_at;
+            t.rows[r][art_at] = 1.0;
+            t.basis[r] = art_at++;
+            break;
+          case Relation::Equal:
+            t.rows[r][art_at] = 1.0;
+            t.basis[r] = art_at++;
+            break;
+        }
+    }
+
+    LpSolution solution;
+
+    // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
+    if (num_art > 0) {
+        t.obj.assign(t.ncols, 0.0);
+        for (std::size_t j = art_begin; j < t.ncols; ++j)
+            t.obj[j] = -1.0;
+        if (!t.iterate()) {
+            // Cannot be unbounded: the phase-1 objective is bounded
+            // above by zero.
+            poco::panic("phase-1 simplex reported unbounded");
+        }
+        if (t.objective() < -1e-7) {
+            solution.status = LpStatus::Infeasible;
+            return solution;
+        }
+        // Drive any artificial still basic (at zero level) out of the
+        // basis so phase 2 never re-enters it.
+        for (std::size_t r = 0; r < m; ++r) {
+            if (t.basis[r] >= art_begin) {
+                std::size_t enter = t.ncols;
+                for (std::size_t j = 0; j < art_begin; ++j) {
+                    if (std::abs(t.rows[r][j]) > kEps) {
+                        enter = j;
+                        break;
+                    }
+                }
+                if (enter != t.ncols)
+                    t.pivot(r, enter);
+                // else: the row is all-zero over real variables, i.e. a
+                // redundant constraint; the artificial stays basic at 0
+                // and is harmless because phase 2 gives it a huge
+                // negative cost below.
+            }
+        }
+    } else {
+        t.obj.assign(t.ncols, 0.0);
+    }
+
+    // Phase 2: the real objective. Artificials are priced at a large
+    // negative value so a degenerate basic artificial never rises.
+    t.obj.assign(t.ncols, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+        t.obj[j] = problem.objective[j];
+    for (std::size_t j = art_begin; j < t.ncols; ++j)
+        t.obj[j] = -1e15;
+
+    if (!t.iterate()) {
+        solution.status = LpStatus::Unbounded;
+        return solution;
+    }
+
+    solution.status = LpStatus::Optimal;
+    solution.x.assign(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r)
+        if (t.basis[r] < n)
+            solution.x[t.basis[r]] = t.rhs[r];
+    solution.objective = 0.0;
+    for (std::size_t j = 0; j < n; ++j)
+        solution.objective += problem.objective[j] * solution.x[j];
+    return solution;
+}
+
+std::vector<int>
+solveAssignmentLp(const std::vector<std::vector<double>>& value)
+{
+    const std::size_t rows = value.size();
+    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
+    const std::size_t cols = value.front().size();
+    for (const auto& row : value)
+        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+    POCO_REQUIRE(rows <= cols,
+                 "assignment LP requires agents <= tasks");
+
+    const std::size_t n = rows * cols;
+    LpProblem lp;
+    lp.objective.resize(n);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            lp.objective[i * cols + j] = value[i][j];
+
+    // Each agent assigned exactly once.
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<double> coeffs(n, 0.0);
+        for (std::size_t j = 0; j < cols; ++j)
+            coeffs[i * cols + j] = 1.0;
+        lp.addConstraint(std::move(coeffs), Relation::Equal, 1.0);
+    }
+    // Each task used at most once.
+    for (std::size_t j = 0; j < cols; ++j) {
+        std::vector<double> coeffs(n, 0.0);
+        for (std::size_t i = 0; i < rows; ++i)
+            coeffs[i * cols + j] = 1.0;
+        lp.addConstraint(std::move(coeffs), Relation::LessEqual, 1.0);
+    }
+
+    const LpSolution sol = solveLp(lp);
+    POCO_ASSERT(sol.status == LpStatus::Optimal,
+                "assignment LP must be feasible and bounded");
+
+    std::vector<int> assignment(rows, -1);
+    for (std::size_t i = 0; i < rows; ++i) {
+        double best = -1.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double xij = sol.x[i * cols + j];
+            if (xij > best) {
+                best = xij;
+                assignment[i] = static_cast<int>(j);
+            }
+        }
+        POCO_ASSERT(best > 0.5,
+                    "assignment LP produced a fractional solution");
+    }
+    return assignment;
+}
+
+} // namespace poco::math

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-phase dense simplex solver for small linear programs.
+ *
+ * The cluster manager formulates placement as an assignment LP
+ * (Section IV-B cites standard LP/Hungarian methods). The assignment
+ * polytope is integral, so the LP optimum is a permutation matrix; we
+ * verify this against the Hungarian solver in tests.
+ *
+ * The solver handles: maximize c'x subject to a mix of <=, =, >=
+ * constraints and x >= 0. Bland's rule guards against cycling.
+ */
+
+#pragma once
+
+#include <vector>
+
+namespace poco::math
+{
+
+/** Constraint relation. */
+enum class Relation
+{
+    LessEqual,
+    Equal,
+    GreaterEqual,
+};
+
+/** One linear constraint: coeffs . x (rel) rhs. */
+struct LpConstraint
+{
+    std::vector<double> coeffs;
+    Relation rel = Relation::LessEqual;
+    double rhs = 0.0;
+};
+
+/** A linear program: maximize objective . x, subject to constraints. */
+struct LpProblem
+{
+    std::vector<double> objective;
+    std::vector<LpConstraint> constraints;
+
+    /** Convenience builder. */
+    void
+    addConstraint(std::vector<double> coeffs, Relation rel, double rhs)
+    {
+        constraints.push_back({std::move(coeffs), rel, rhs});
+    }
+};
+
+/** Outcome classification. */
+enum class LpStatus
+{
+    Optimal,
+    Infeasible,
+    Unbounded,
+};
+
+/** Solver result. x is meaningful only when status == Optimal. */
+struct LpSolution
+{
+    LpStatus status = LpStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+};
+
+/**
+ * Solve the LP with the two-phase simplex method.
+ *
+ * @param problem LP in the form above; all variables implicitly >= 0.
+ * @throws poco::FatalError on malformed input (empty objective, ragged
+ *         constraint rows).
+ */
+LpSolution solveLp(const LpProblem& problem);
+
+/**
+ * Solve a maximum-total-value assignment problem as an LP.
+ *
+ * Builds the standard doubly-stochastic formulation: variable x_ij is
+ * the fraction of "agent" i assigned to "task" j; row and column sums
+ * are constrained to 1 (rows <= 1 when rectangular). Integrality of
+ * the assignment polytope makes the optimum a 0/1 matrix.
+ *
+ * @param value value[i][j] is the benefit of assigning agent i to task
+ *              j. Must be rectangular with rows <= cols.
+ * @return assignment[i] = chosen task j for each agent i.
+ */
+std::vector<int>
+solveAssignmentLp(const std::vector<std::vector<double>>& value);
+
+} // namespace poco::math

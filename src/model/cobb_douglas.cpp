@@ -1,0 +1,195 @@
+#include "model/cobb_douglas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace poco::model
+{
+
+CobbDouglasUtility::CobbDouglasUtility(double log_a0,
+                                       std::vector<double> alpha,
+                                       double p_static,
+                                       std::vector<double> p_coef)
+    : log_a0_(log_a0), alpha_(std::move(alpha)), p_static_(p_static),
+      p_coef_(std::move(p_coef))
+{
+    POCO_REQUIRE(!alpha_.empty(), "utility needs >= 1 resource");
+    POCO_REQUIRE(alpha_.size() == p_coef_.size(),
+                 "alpha/p dimension mismatch");
+    for (double a : alpha_)
+        POCO_REQUIRE(a > 0.0, "alpha exponents must be positive");
+    for (double p : p_coef_)
+        POCO_REQUIRE(p > 0.0, "power slopes must be positive");
+}
+
+double
+CobbDouglasUtility::alphaSum() const
+{
+    return std::accumulate(alpha_.begin(), alpha_.end(), 0.0);
+}
+
+double
+CobbDouglasUtility::performance(const std::vector<double>& r) const
+{
+    POCO_REQUIRE(r.size() == alpha_.size(),
+                 "resource vector dimension mismatch");
+    double log_perf = log_a0_;
+    for (std::size_t j = 0; j < r.size(); ++j) {
+        POCO_REQUIRE(r[j] > 0.0, "resources must be positive");
+        log_perf += alpha_[j] * std::log(r[j]);
+    }
+    return std::exp(log_perf);
+}
+
+double
+CobbDouglasUtility::powerAt(const std::vector<double>& r) const
+{
+    POCO_REQUIRE(r.size() == p_coef_.size(),
+                 "resource vector dimension mismatch");
+    double power = p_static_;
+    for (std::size_t j = 0; j < r.size(); ++j)
+        power += p_coef_[j] * r[j];
+    return power;
+}
+
+namespace
+{
+
+std::vector<double>
+normalized(std::vector<double> v)
+{
+    const double total = std::accumulate(v.begin(), v.end(), 0.0);
+    POCO_ASSERT(total > 0.0, "normalization of a non-positive vector");
+    for (double& x : v)
+        x /= total;
+    return v;
+}
+
+} // namespace
+
+std::vector<double>
+CobbDouglasUtility::directPreference() const
+{
+    return normalized(alpha_);
+}
+
+std::vector<double>
+CobbDouglasUtility::indirectPreference() const
+{
+    std::vector<double> pref(alpha_.size());
+    for (std::size_t j = 0; j < alpha_.size(); ++j)
+        pref[j] = alpha_[j] / p_coef_[j];
+    return normalized(pref);
+}
+
+std::vector<double>
+CobbDouglasUtility::demand(double power_budget) const
+{
+    POCO_REQUIRE(power_budget > p_static_,
+                 "power budget must exceed static power");
+    const double dynamic = power_budget - p_static_;
+    const double asum = alphaSum();
+    std::vector<double> r(alpha_.size());
+    for (std::size_t j = 0; j < alpha_.size(); ++j)
+        r[j] = dynamic / p_coef_[j] * alpha_[j] / asum;
+    return r;
+}
+
+std::vector<double>
+CobbDouglasUtility::demandBoxed(double power_budget,
+                                const std::vector<double>& r_max) const
+{
+    POCO_REQUIRE(r_max.size() == alpha_.size(),
+                 "resource cap dimension mismatch");
+    POCO_REQUIRE(power_budget > p_static_,
+                 "power budget must exceed static power");
+    for (double cap : r_max)
+        POCO_REQUIRE(cap > 0.0, "resource caps must be positive");
+
+    // Iterative clamping: Cobb-Douglas demand splits the dynamic
+    // budget proportionally to alpha; dimensions that would exceed
+    // their cap are pinned there, their cost removed from the budget,
+    // and the rest re-split. Each round pins >= 1 dimension, so the
+    // loop runs at most k times.
+    std::vector<double> r(alpha_.size(), 0.0);
+    std::vector<bool> clamped(alpha_.size(), false);
+    double budget = power_budget - p_static_;
+
+    for (;;) {
+        double alpha_free = 0.0;
+        for (std::size_t j = 0; j < alpha_.size(); ++j)
+            if (!clamped[j])
+                alpha_free += alpha_[j];
+        if (alpha_free <= 0.0 || budget <= 0.0)
+            break;
+
+        bool newly_clamped = false;
+        for (std::size_t j = 0; j < alpha_.size(); ++j) {
+            if (clamped[j])
+                continue;
+            const double want =
+                budget / p_coef_[j] * alpha_[j] / alpha_free;
+            if (want > r_max[j]) {
+                r[j] = r_max[j];
+                clamped[j] = true;
+                budget -= p_coef_[j] * r_max[j];
+                newly_clamped = true;
+                // Restart the split with the reduced budget.
+                break;
+            }
+            r[j] = want;
+        }
+        if (!newly_clamped)
+            break;
+    }
+    // A pathological budget could drive free dimensions to zero;
+    // ensure strict positivity so performance() stays defined.
+    for (std::size_t j = 0; j < r.size(); ++j)
+        r[j] = std::clamp(r[j], 1e-9, r_max[j]);
+    return r;
+}
+
+double
+CobbDouglasUtility::minPowerForPerformance(double perf,
+                                           std::vector<double>* r_out)
+    const
+{
+    POCO_REQUIRE(perf > 0.0, "target performance must be positive");
+    // First-order conditions give r_j = t * alpha_j / p_j; solve the
+    // performance constraint for the scale t.
+    const double asum = alphaSum();
+    double log_prod = 0.0;
+    for (std::size_t j = 0; j < alpha_.size(); ++j)
+        log_prod += alpha_[j] * std::log(alpha_[j] / p_coef_[j]);
+    const double log_t =
+        (std::log(perf) - log_a0_ - log_prod) / asum;
+    const double t = std::exp(log_t);
+
+    if (r_out) {
+        r_out->resize(alpha_.size());
+        for (std::size_t j = 0; j < alpha_.size(); ++j)
+            (*r_out)[j] = t * alpha_[j] / p_coef_[j];
+    }
+    return p_static_ + t * asum;
+}
+
+std::string
+CobbDouglasUtility::toString() const
+{
+    std::ostringstream out;
+    out << "a0=" << fmt(std::exp(log_a0_), 4) << ", alpha=[";
+    for (std::size_t j = 0; j < alpha_.size(); ++j)
+        out << (j ? ", " : "") << fmt(alpha_[j], 3);
+    out << "], p_static=" << fmt(p_static_, 2) << ", p=[";
+    for (std::size_t j = 0; j < p_coef_.size(); ++j)
+        out << (j ? ", " : "") << fmt(p_coef_[j], 3);
+    out << "]";
+    return out.str();
+}
+
+} // namespace poco::model

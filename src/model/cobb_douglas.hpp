@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Cobb-Douglas indirect utility model (Section III of the paper).
+ *
+ * Performance of an application over k direct resources:
+ *
+ *   perf(r) = a0 * prod_j r_j^alpha_j
+ *   s.t.  p_static + sum_j r_j * p_j <= Power            (Eq. 1-2)
+ *
+ * The alpha_j capture the performance impact of each direct resource,
+ * the p_j its power cost. The closed-form demand maximizing utility
+ * under a power budget B is
+ *
+ *   r_j* = (B - p_static) / p_j * alpha_j / sum_j alpha_j,
+ *
+ * and the scale-free preference vector alpha_j / p_j (normalized)
+ * ranks resources by performance-per-watt, independent of load or
+ * budget — Pocolo's placement signal.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace poco::model
+{
+
+/** A fitted (or constructed) Cobb-Douglas indirect utility. */
+class CobbDouglasUtility
+{
+  public:
+    CobbDouglasUtility() = default;
+
+    /**
+     * @param log_a0 Natural log of the scale constant a0.
+     * @param alpha Performance exponents per resource (k entries,
+     *              each > 0 for a usable model).
+     * @param p_static Static power intercept (watts).
+     * @param p_coef Power slope per resource unit (k entries, > 0).
+     */
+    CobbDouglasUtility(double log_a0, std::vector<double> alpha,
+                       double p_static, std::vector<double> p_coef);
+
+    std::size_t numResources() const { return alpha_.size(); }
+
+    double logA0() const { return log_a0_; }
+    const std::vector<double>& alpha() const { return alpha_; }
+    double pStatic() const { return p_static_; }
+    const std::vector<double>& pCoef() const { return p_coef_; }
+    double alphaSum() const;
+
+    /** Goodness of fit, populated by the fitter (1.0 if constructed). */
+    double perfR2 = 1.0;
+    double powerR2 = 1.0;
+
+    /** Modeled performance at resource vector @p r (all r_j > 0). */
+    double performance(const std::vector<double>& r) const;
+
+    /** Modeled power draw at resource vector @p r. */
+    double powerAt(const std::vector<double>& r) const;
+
+    /**
+     * Direct preference: alpha_j normalized to sum 1 (paper Fig. 9).
+     * Power-unaware view of which resources help performance.
+     */
+    std::vector<double> directPreference() const;
+
+    /**
+     * Indirect (power-aware) preference: alpha_j / p_j normalized to
+     * sum 1 (paper Fig. 11). Higher means more performance per watt
+     * from that resource.
+     */
+    std::vector<double> indirectPreference() const;
+
+    /**
+     * Closed-form utility-maximizing demand under a power budget
+     * (continuous relaxation; no per-resource capacity limits).
+     *
+     * @param power_budget Total budget B; must exceed pStatic().
+     * @return r_j* = (B - p_static)/p_j * alpha_j / sum(alpha).
+     */
+    std::vector<double> demand(double power_budget) const;
+
+    /**
+     * Utility-maximizing demand under both a power budget and
+     * per-resource capacity limits (box constraints). Solves by
+     * iterative clamping: resources whose unconstrained demand
+     * exceeds the cap are fixed at the cap and the residual budget is
+     * re-split among the rest — optimal for Cobb-Douglas utilities
+     * with a linear budget.
+     *
+     * @param power_budget Total budget B.
+     * @param r_max Per-resource caps (k entries, > 0).
+     */
+    std::vector<double>
+    demandBoxed(double power_budget,
+                const std::vector<double>& r_max) const;
+
+    /**
+     * Minimum modeled power needed to reach performance @p perf (the
+     * inverse problem: the power-efficient expansion path of Fig. 5).
+     * Returns the optimal resource vector through @p r_out when
+     * non-null.
+     */
+    double minPowerForPerformance(double perf,
+                                  std::vector<double>* r_out
+                                  = nullptr) const;
+
+    /** Render as "a0=…, alpha=[…], p_static=…, p=[…]". */
+    std::string toString() const;
+
+  private:
+    double log_a0_ = 0.0;
+    std::vector<double> alpha_;
+    double p_static_ = 0.0;
+    std::vector<double> p_coef_;
+};
+
+} // namespace poco::model

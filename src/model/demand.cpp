@@ -1,0 +1,114 @@
+#include "model/demand.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+std::optional<AllocationPlan>
+minPowerAllocationFor(const CobbDouglasUtility& utility,
+                      double target_perf, const sim::ServerSpec& spec,
+                      double headroom, double tie_epsilon)
+{
+    POCO_REQUIRE(utility.numResources() == 2,
+                 "allocation search expects (cores, ways) models");
+    POCO_REQUIRE(target_perf > 0.0, "target performance must be > 0");
+    POCO_REQUIRE(headroom >= 1.0, "headroom must be >= 1");
+    POCO_REQUIRE(tie_epsilon >= 0.0, "tie epsilon must be >= 0");
+
+    // Pass 1: the true power minimum over feasible cells.
+    const double want = target_perf * headroom;
+    double min_power = 0.0;
+    bool feasible = false;
+    for (int c = 1; c <= spec.cores; ++c) {
+        for (int w = 1; w <= spec.llcWays; ++w) {
+            const std::vector<double> r = {static_cast<double>(c),
+                                           static_cast<double>(w)};
+            if (utility.performance(r) < want)
+                continue;
+            const double power = utility.powerAt(r);
+            if (!feasible || power < min_power) {
+                min_power = power;
+                feasible = true;
+            }
+        }
+    }
+    if (!feasible)
+        return std::nullopt;
+
+    // Pass 2: within the tie band, free the most cores (then ways)
+    // for the co-runner.
+    const double band = min_power * (1.0 + tie_epsilon);
+    std::optional<AllocationPlan> best;
+    for (int c = 1; c <= spec.cores; ++c) {
+        for (int w = 1; w <= spec.llcWays; ++w) {
+            const std::vector<double> r = {static_cast<double>(c),
+                                           static_cast<double>(w)};
+            const double perf = utility.performance(r);
+            if (perf < want)
+                continue;
+            const double power = utility.powerAt(r);
+            if (power > band)
+                continue;
+            const bool better =
+                !best || c < best->alloc.cores ||
+                (c == best->alloc.cores && w < best->alloc.ways);
+            if (better) {
+                best = AllocationPlan{
+                    sim::Allocation{c, w, spec.freqMax, 1.0}, power,
+                    perf};
+            }
+        }
+    }
+    return best;
+}
+
+AllocationPlan
+roundedDemand(const CobbDouglasUtility& utility, double power_budget,
+              const sim::ServerSpec& spec)
+{
+    POCO_REQUIRE(utility.numResources() == 2,
+                 "allocation rounding expects (cores, ways) models");
+    const std::vector<double> caps = {
+        static_cast<double>(spec.cores),
+        static_cast<double>(spec.llcWays)};
+    const std::vector<double> r =
+        utility.demandBoxed(power_budget, caps);
+
+    AllocationPlan plan;
+    plan.alloc.cores = std::clamp(
+        static_cast<int>(std::ceil(r[0])), 1, spec.cores);
+    plan.alloc.ways = std::clamp(
+        static_cast<int>(std::ceil(r[1])), 1, spec.llcWays);
+    plan.alloc.freq = spec.freqMax;
+    plan.alloc.dutyCycle = 1.0;
+
+    const std::vector<double> ri = {
+        static_cast<double>(plan.alloc.cores),
+        static_cast<double>(plan.alloc.ways)};
+    plan.modeledPower = utility.powerAt(ri);
+    plan.modeledPerf = utility.performance(ri);
+    return plan;
+}
+
+double
+estimateBePerformance(const CobbDouglasUtility& be_utility,
+                      double spare_power, int spare_cores,
+                      int spare_ways)
+{
+    POCO_REQUIRE(spare_power >= 0.0, "spare power must be >= 0");
+    if (spare_cores < 1 || spare_ways < 1 || spare_power <= 0.0)
+        return 0.0;
+    const std::vector<double> caps = {
+        static_cast<double>(spare_cores),
+        static_cast<double>(spare_ways)};
+    const std::vector<double> r = be_utility.demandBoxed(
+        be_utility.pStatic() + spare_power, caps);
+    return be_utility.performance(r);
+}
+
+} // namespace poco::model

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * From modeled demand to discrete allocations.
+ *
+ * The Cobb-Douglas closed forms produce continuous resource vectors;
+ * servers allocate whole cores and LLC ways. These helpers bridge the
+ * two: the POM server manager asks for the minimum-power integer
+ * allocation that sustains a target load, and the cluster manager
+ * estimates best-effort performance from spare capacity (the entries
+ * of the performance matrix in Fig. 7-II).
+ */
+
+#pragma once
+
+#include <optional>
+
+#include "model/cobb_douglas.hpp"
+#include "sim/allocation.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+
+namespace poco::model
+{
+
+/** A discrete allocation with its modeled cost and benefit. */
+struct AllocationPlan
+{
+    sim::Allocation alloc;
+    double modeledPower = 0.0;  ///< watts, includes the intercept
+    double modeledPerf = 0.0;
+};
+
+/**
+ * Minimum modeled-power integer allocation whose modeled performance
+ * reaches @p target_perf, at maximum frequency.
+ *
+ * Scans the cores x ways grid (<= 240 cells on the E5-2650 — well
+ * under the paper's millisecond budget). Returns std::nullopt when
+ * even the full allocation falls short.
+ *
+ * Ties are colocation-friendly: among allocations whose modeled
+ * power is within @p tie_epsilon of the minimum, the one holding the
+ * fewest cores (then fewest ways) wins, leaving the co-runner the
+ * most useful spare for ~free.
+ *
+ * @param headroom Demand inflation factor (>= 1) guarding against
+ *        model inaccuracies; 1.05 asks the model for 5% extra.
+ * @param tie_epsilon Relative power band treated as a tie (>= 0).
+ */
+std::optional<AllocationPlan>
+minPowerAllocationFor(const CobbDouglasUtility& utility,
+                      double target_perf, const sim::ServerSpec& spec,
+                      double headroom = 1.0,
+                      double tie_epsilon = 0.002);
+
+/**
+ * The continuous closed-form demand under @p power_budget, rounded to
+ * a feasible integer allocation (ceil, clamped to capacity).
+ */
+AllocationPlan roundedDemand(const CobbDouglasUtility& utility,
+                             double power_budget,
+                             const sim::ServerSpec& spec);
+
+/**
+ * Estimated best-effort performance achievable with the given spare
+ * resources and spare power headroom (performance-matrix entry).
+ *
+ * The BE app's incremental draw is powerAt(r) - pStatic, so the boxed
+ * demand is solved with budget pStatic + spare_power.
+ *
+ * @param spare_power Power headroom left under the server cap once
+ *        the primary's draw is accounted for (watts, >= 0).
+ */
+double estimateBePerformance(const CobbDouglasUtility& be_utility,
+                             double spare_power, int spare_cores,
+                             int spare_ways);
+
+} // namespace poco::model

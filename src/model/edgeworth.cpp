@@ -1,0 +1,49 @@
+#include "model/edgeworth.hpp"
+
+#include <algorithm>
+
+#include "model/demand.hpp"
+#include "model/indifference.hpp"
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+std::vector<EdgeworthPoint>
+edgeworthSweep(const wl::LcApp& app,
+               const CobbDouglasUtility& be_utility,
+               const std::vector<double>& load_fractions,
+               Watts power_cap)
+{
+    POCO_REQUIRE(power_cap > 0.0, "power cap must be positive");
+    const sim::ServerSpec& spec = app.spec();
+
+    std::vector<EdgeworthPoint> sweep;
+    for (double load_fraction : load_fractions) {
+        const auto point = minPowerPoint(app, load_fraction);
+        if (!point)
+            continue; // load not sustainable on this server at all
+
+        EdgeworthPoint row;
+        row.loadFraction = load_fraction;
+        row.primaryCores = point->cores;
+        row.primaryWays = point->ways;
+        row.primaryServerPower = point->power;
+        row.spareCores = spec.cores - point->cores;
+        row.spareWays = spec.llcWays - point->ways;
+        row.sparePower = std::max(0.0, power_cap - point->power);
+        row.beEstimatedPerf = estimateBePerformance(
+            be_utility, row.sparePower, row.spareCores, row.spareWays);
+        if (row.spareCores >= 1 && row.spareWays >= 1 &&
+            row.sparePower > 0.0) {
+            row.beDemand = be_utility.demandBoxed(
+                be_utility.pStatic() + row.sparePower,
+                {static_cast<double>(row.spareCores),
+                 static_cast<double>(row.spareWays)});
+        }
+        sweep.push_back(std::move(row));
+    }
+    return sweep;
+}
+
+} // namespace poco::model

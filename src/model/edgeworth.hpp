@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Edgeworth-box analysis (Fig. 6 of the paper).
+ *
+ * For a two-resource server shared by a primary and a secondary
+ * application, the Edgeworth box plots the primary's allocation from
+ * the lower-left origin and the complementary spare resources — the
+ * secondary's allocation — from the upper-right origin. Sweeping the
+ * primary's load along its power-efficient expansion path yields the
+ * feasible region for the secondary, including its power headroom.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "model/cobb_douglas.hpp"
+#include "sim/allocation.hpp"
+#include "util/units.hpp"
+#include "wl/be_app.hpp"
+#include "wl/lc_app.hpp"
+
+namespace poco::model
+{
+
+/** One row of the Edgeworth box sweep. */
+struct EdgeworthPoint
+{
+    double loadFraction = 0.0;
+
+    /** Primary's power-efficient allocation at this load. */
+    int primaryCores = 0;
+    int primaryWays = 0;
+    Watts primaryServerPower = 0.0;  ///< includes static power
+
+    /** Complementary spare resources (the secondary's origin view). */
+    int spareCores = 0;
+    int spareWays = 0;
+    Watts sparePower = 0.0;  ///< headroom under the provisioned cap
+
+    /** Modeled best response of the secondary on the spare. */
+    std::vector<double> beDemand;
+    double beEstimatedPerf = 0.0;
+};
+
+/**
+ * Sweep the primary's load and report the box geometry plus the
+ * secondary's modeled best response at every point.
+ *
+ * @param app Ground-truth primary (provides capacity/power).
+ * @param be_utility Fitted utility of the candidate secondary.
+ * @param load_fractions Primary loads to sweep, each in (0, 1].
+ * @param power_cap Provisioned server power capacity (watts); points
+ *        where the primary alone exceeds it get zero spare power.
+ */
+std::vector<EdgeworthPoint>
+edgeworthSweep(const wl::LcApp& app,
+               const CobbDouglasUtility& be_utility,
+               const std::vector<double>& load_fractions,
+               Watts power_cap);
+
+} // namespace poco::model

@@ -1,0 +1,66 @@
+#include "model/fitter.hpp"
+
+#include <cmath>
+
+#include "math/regression.hpp"
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+CobbDouglasUtility
+UtilityFitter::fit(const std::vector<ProfileSample>& samples) const
+{
+    POCO_REQUIRE(!samples.empty(), "cannot fit from zero samples");
+    const std::size_t k = samples.front().r.size();
+    POCO_REQUIRE(k >= 1, "samples must carry >= 1 resource");
+
+    std::vector<std::vector<double>> log_r;
+    std::vector<double> log_perf;
+    std::vector<std::vector<double>> lin_r;
+    std::vector<double> power;
+
+    for (const auto& s : samples) {
+        POCO_REQUIRE(s.r.size() == k, "inconsistent sample arity");
+        bool positive = s.perf > 0.0;
+        for (double rj : s.r)
+            positive = positive && rj > 0.0;
+        if (!positive)
+            continue; // unusable for the log transform
+        std::vector<double> lr(k);
+        for (std::size_t j = 0; j < k; ++j)
+            lr[j] = std::log(s.r[j]);
+        log_r.push_back(std::move(lr));
+        log_perf.push_back(std::log(s.perf));
+        lin_r.push_back(s.r);
+        power.push_back(s.power);
+    }
+    POCO_REQUIRE(log_r.size() >= k + 1,
+                 "too few usable samples to identify the model");
+
+    const math::OlsResult perf_fit = math::fitOls(log_r, log_perf);
+    const math::OlsResult power_fit = math::fitOls(lin_r, power);
+
+    std::vector<double> alpha(k), p_coef(k);
+    for (std::size_t j = 0; j < k; ++j) {
+        alpha[j] = perf_fit.beta(j);
+        p_coef[j] = power_fit.beta(j);
+        // Guard against pathological fits: the Cobb-Douglas form
+        // requires positive exponents/slopes. Tiny positive floors
+        // keep downstream algebra defined while a bad fit will still
+        // show up in the R-squared diagnostics.
+        if (alpha[j] <= 0.0)
+            alpha[j] = 1e-6;
+        if (p_coef[j] <= 0.0)
+            p_coef[j] = 1e-6;
+    }
+
+    CobbDouglasUtility utility(perf_fit.intercept(), std::move(alpha),
+                               power_fit.intercept(),
+                               std::move(p_coef));
+    utility.perfR2 = perf_fit.r_squared;
+    utility.powerR2 = power_fit.r_squared;
+    return utility;
+}
+
+} // namespace poco::model

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Utility-model fitting (Section IV-A "Model fitting").
+ *
+ * Estimates the Cobb-Douglas parameters from profiled samples with
+ * two least-squares regressions:
+ *
+ *   log(perf) = log(a0) + sum_j alpha_j log(r_j)    (log-linear OLS)
+ *   power     = p_static + sum_j p_j r_j            (linear OLS)
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "model/cobb_douglas.hpp"
+#include "model/profiler.hpp"
+
+namespace poco::model
+{
+
+/** Fits CobbDouglasUtility models from profile samples. */
+class UtilityFitter
+{
+  public:
+    /**
+     * Fit both the performance and the power model.
+     *
+     * @param samples Profiled observations; needs at least k+1
+     *        samples with positive perf and resources.
+     * @return The fitted utility with perfR2/powerR2 populated.
+     * @throws poco::FatalError when the data cannot identify the
+     *         model (too few samples, non-positive values, or a
+     *         degenerate design).
+     */
+    CobbDouglasUtility fit(const std::vector<ProfileSample>& samples)
+        const;
+};
+
+} // namespace poco::model

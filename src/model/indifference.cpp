@@ -1,0 +1,57 @@
+#include "model/indifference.hpp"
+
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+std::vector<IndifferencePoint>
+isoLoadCurve(const wl::LcApp& app, double load_fraction)
+{
+    POCO_REQUIRE(load_fraction > 0.0 && load_fraction <= 1.0,
+                 "load fraction must be in (0, 1]");
+    const sim::ServerSpec& spec = app.spec();
+    const Rps load = load_fraction * app.peakLoad();
+
+    std::vector<IndifferencePoint> curve;
+    for (int c = 1; c <= spec.cores; ++c) {
+        for (int w = 1; w <= spec.llcWays; ++w) {
+            const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
+            if (app.capacity(alloc) >= load) {
+                curve.push_back(IndifferencePoint{
+                    c, w, app.serverPower(load, alloc)});
+                break; // fewest ways for this core count
+            }
+        }
+    }
+    return curve;
+}
+
+std::optional<IndifferencePoint>
+minPowerPoint(const wl::LcApp& app, double load_fraction)
+{
+    const auto curve = isoLoadCurve(app, load_fraction);
+    if (curve.empty())
+        return std::nullopt;
+    const IndifferencePoint* best = &curve.front();
+    for (const auto& point : curve)
+        if (point.power < best->power)
+            best = &point;
+    return *best;
+}
+
+std::vector<std::vector<double>>
+modelExpansionPath(const CobbDouglasUtility& utility,
+                   const std::vector<double>& perf_targets)
+{
+    std::vector<std::vector<double>> path;
+    path.reserve(perf_targets.size());
+    for (double perf : perf_targets) {
+        std::vector<double> r;
+        utility.minPowerForPerformance(perf, &r);
+        path.push_back(std::move(r));
+    }
+    return path;
+}
+
+} // namespace poco::model

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Indifference curves and the power-efficient expansion path (Fig. 5).
+ *
+ * An application is indifferent between (cores, ways) combinations
+ * that sustain the same load within its SLO. Among those, the one
+ * with the least power draw defines the expansion path a power-
+ * constrained server should follow as load changes.
+ */
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "model/cobb_douglas.hpp"
+#include "sim/allocation.hpp"
+#include "util/units.hpp"
+#include "wl/lc_app.hpp"
+
+namespace poco::model
+{
+
+/** One point on an iso-load (indifference) curve. */
+struct IndifferencePoint
+{
+    int cores = 0;
+    int ways = 0;
+    /** Server power while serving the iso-load on this allocation. */
+    Watts power = 0.0;
+};
+
+/**
+ * Ground-truth iso-load curve: for each core count, the fewest LLC
+ * ways whose capacity sustains @p load_fraction of peak within the
+ * SLO. Core counts that cannot sustain the load at any way count are
+ * omitted.
+ *
+ * @param load_fraction Load as a fraction of peak, in (0, 1].
+ */
+std::vector<IndifferencePoint>
+isoLoadCurve(const wl::LcApp& app, double load_fraction);
+
+/**
+ * The minimum-power allocation on an iso-load curve — one point of
+ * the dotted expansion path in Fig. 5. Empty when the load cannot be
+ * sustained at all.
+ */
+std::optional<IndifferencePoint>
+minPowerPoint(const wl::LcApp& app, double load_fraction);
+
+/**
+ * Model-predicted expansion path: for each load fraction, the
+ * continuous minimum-power resource vector according to a fitted
+ * utility (closed form; Section III).
+ */
+std::vector<std::vector<double>>
+modelExpansionPath(const CobbDouglasUtility& utility,
+                   const std::vector<double>& perf_targets);
+
+} // namespace poco::model

@@ -1,0 +1,128 @@
+#include "model/model_store.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+void
+ModelStore::put(const std::string& name, CobbDouglasUtility model)
+{
+    POCO_REQUIRE(!name.empty(), "model name must be non-empty");
+    POCO_REQUIRE(name.find_first_of(" \t\n#") == std::string::npos,
+                 "model name must not contain spaces or '#'");
+    models_.insert_or_assign(name, std::move(model));
+}
+
+bool
+ModelStore::contains(const std::string& name) const
+{
+    return models_.count(name) > 0;
+}
+
+const CobbDouglasUtility&
+ModelStore::get(const std::string& name) const
+{
+    const auto it = models_.find(name);
+    if (it == models_.end())
+        poco::fatal("model store has no entry named: " + name);
+    return it->second;
+}
+
+void
+ModelStore::save(std::ostream& out) const
+{
+    out << "# pocolo fitted utility models: name k log_a0 alpha.. "
+           "p_static p.. r2_perf r2_power\n";
+    out << std::setprecision(17);
+    for (const auto& [name, m] : models_) {
+        out << name << " " << m.numResources() << " " << m.logA0();
+        for (double a : m.alpha())
+            out << " " << a;
+        out << " " << m.pStatic();
+        for (double p : m.pCoef())
+            out << " " << p;
+        out << " " << m.perfR2 << " " << m.powerR2 << "\n";
+    }
+}
+
+void
+ModelStore::saveFile(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        poco::fatal("cannot open model store file for writing: " +
+                    path);
+    save(out);
+    if (!out)
+        poco::fatal("error writing model store file: " + path);
+}
+
+void
+ModelStore::load(std::istream& in)
+{
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        std::string name;
+        if (!(fields >> name))
+            continue; // blank/comment line
+
+        const auto complain = [&](const std::string& what) {
+            std::ostringstream oss;
+            oss << "model store line " << line_no << ": " << what;
+            poco::fatal(oss.str());
+        };
+
+        std::size_t k = 0;
+        double log_a0 = 0.0;
+        if (!(fields >> k >> log_a0) || k == 0)
+            complain("expected '<k> <log_a0>' after the name");
+        std::vector<double> alpha(k), p_coef(k);
+        for (auto& a : alpha)
+            if (!(fields >> a))
+                complain("truncated alpha vector");
+        double p_static = 0.0;
+        if (!(fields >> p_static))
+            complain("missing p_static");
+        for (auto& p : p_coef)
+            if (!(fields >> p))
+                complain("truncated power-slope vector");
+        double r2p = 1.0, r2w = 1.0;
+        if (!(fields >> r2p >> r2w))
+            complain("missing R-squared fields");
+        std::string extra;
+        if (fields >> extra)
+            complain("trailing fields after record");
+
+        try {
+            CobbDouglasUtility model(log_a0, std::move(alpha),
+                                     p_static, std::move(p_coef));
+            model.perfR2 = r2p;
+            model.powerR2 = r2w;
+            put(name, std::move(model));
+        } catch (const poco::FatalError& error) {
+            complain(error.what());
+        }
+    }
+}
+
+void
+ModelStore::loadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        poco::fatal("cannot open model store file: " + path);
+    load(in);
+}
+
+} // namespace poco::model

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Persistence for fitted utility models.
+ *
+ * Section IV-A: "The applications either provide their fitted
+ * parameters using historical knowledge or they are sampled online
+ * during execution." The store is the historical-knowledge path: a
+ * plain-text, line-oriented format so fitted models can be shipped
+ * with an application, inspected, and diffed.
+ *
+ * Format (one record per line, '#' starts a comment):
+ *
+ *   <name> <k> <log_a0> <alpha_1..k> <p_static> <p_1..k> <r2p> <r2w>
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "model/cobb_douglas.hpp"
+
+namespace poco::model
+{
+
+/** A named collection of fitted utilities with file round-tripping. */
+class ModelStore
+{
+  public:
+    /** Add or replace a model under @p name (no spaces allowed). */
+    void put(const std::string& name, CobbDouglasUtility model);
+
+    bool contains(const std::string& name) const;
+
+    /** Fetch by name; throws FatalError when missing. */
+    const CobbDouglasUtility& get(const std::string& name) const;
+
+    std::size_t size() const { return models_.size(); }
+    const std::map<std::string, CobbDouglasUtility>& all() const
+    {
+        return models_;
+    }
+
+    /** Serialize every model, sorted by name. */
+    void save(std::ostream& out) const;
+    void saveFile(const std::string& path) const;
+
+    /**
+     * Parse records from a stream, replacing same-named entries.
+     * Throws FatalError on malformed lines.
+     */
+    void load(std::istream& in);
+    void loadFile(const std::string& path);
+
+  private:
+    std::map<std::string, CobbDouglasUtility> models_;
+};
+
+} // namespace poco::model

@@ -1,0 +1,91 @@
+#include "model/profiler.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco::model
+{
+
+Profiler::Profiler(ProfilerConfig config) : config_(config)
+{
+    POCO_REQUIRE(config_.coreStep >= 1 && config_.wayStep >= 1,
+                 "grid steps must be >= 1");
+    POCO_REQUIRE(config_.minCores >= 1 && config_.minWays >= 1,
+                 "grid minima must be >= 1");
+    POCO_REQUIRE(config_.minSlack >= 0.0 && config_.minSlack < 1.0,
+                 "slack guard must be in [0, 1)");
+    POCO_REQUIRE(config_.perfNoiseSigma >= 0.0 &&
+                 config_.powerNoiseSigma >= 0.0,
+                 "noise sigmas must be non-negative");
+}
+
+std::vector<ProfileSample>
+Profiler::profileLc(const wl::LcApp& app) const
+{
+    const sim::ServerSpec& spec = app.spec();
+    Rng rng(config_.seed ^ std::hash<std::string>{}(app.name()));
+
+    std::vector<ProfileSample> samples;
+    for (int c = config_.minCores; c <= spec.cores;
+         c += config_.coreStep) {
+        for (int w = config_.minWays; w <= spec.llcWays;
+             w += config_.wayStep) {
+            const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
+
+            // Highest load keeping slack >= minSlack. With the M/M/1
+            // latency model this is analytic, but we search by
+            // bisection against the observable latency surface so the
+            // profiler works for any ground truth.
+            const Rps cap = app.capacity(alloc);
+            Rps lo = 0.0, hi = cap;
+            for (int iter = 0; iter < 40; ++iter) {
+                const Rps mid = 0.5 * (lo + hi);
+                if (app.slack99(mid, alloc) >= config_.minSlack)
+                    lo = mid;
+                else
+                    hi = mid;
+            }
+            const Rps guarded_load = lo;
+            if (guarded_load <= 0.0)
+                continue; // allocation cannot meet the guard at all
+
+            ProfileSample s;
+            s.r = {static_cast<double>(c), static_cast<double>(w)};
+            s.perf = guarded_load *
+                     rng.noiseFactor(config_.perfNoiseSigma);
+            s.power = app.serverPower(guarded_load, alloc) *
+                      rng.noiseFactor(config_.powerNoiseSigma);
+            samples.push_back(std::move(s));
+        }
+    }
+    POCO_ASSERT(!samples.empty(), "LC profile produced no samples");
+    return samples;
+}
+
+std::vector<ProfileSample>
+Profiler::profileBe(const wl::BeApp& app) const
+{
+    const sim::ServerSpec& spec = app.spec();
+    Rng rng(config_.seed ^ std::hash<std::string>{}(app.name()));
+
+    std::vector<ProfileSample> samples;
+    for (int c = config_.minCores; c <= spec.cores;
+         c += config_.coreStep) {
+        for (int w = config_.minWays; w <= spec.llcWays;
+             w += config_.wayStep) {
+            const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
+            ProfileSample s;
+            s.r = {static_cast<double>(c), static_cast<double>(w)};
+            s.perf = app.throughput(alloc) *
+                     rng.noiseFactor(config_.perfNoiseSigma);
+            s.power = (spec.idlePower + app.power(alloc)) *
+                      rng.noiseFactor(config_.powerNoiseSigma);
+            samples.push_back(std::move(s));
+        }
+    }
+    POCO_ASSERT(!samples.empty(), "BE profile produced no samples");
+    return samples;
+}
+
+} // namespace poco::model

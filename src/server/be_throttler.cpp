@@ -1,0 +1,121 @@
+#include "server/be_throttler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace poco::server
+{
+
+const char*
+throttleOrderName(ThrottleOrder order)
+{
+    switch (order) {
+      case ThrottleOrder::FreqThenDuty: return "freq-then-duty";
+      case ThrottleOrder::DutyThenFreq: return "duty-then-freq";
+      case ThrottleOrder::FreqOnly:     return "freq-only";
+      case ThrottleOrder::DutyOnly:     return "duty-only";
+    }
+    return "?";
+}
+
+BeThrottler::BeThrottler(ThrottlerConfig config) : config_(config)
+{
+    POCO_REQUIRE(config_.window > 0, "meter window must be positive");
+    POCO_REQUIRE(config_.releaseMargin >= 0.0,
+                 "release margin must be non-negative");
+    POCO_REQUIRE(config_.minDutyCycle > 0.0 &&
+                 config_.minDutyCycle <= 1.0,
+                 "duty floor must be in (0, 1]");
+    POCO_REQUIRE(config_.dutyStep > 0.0 && config_.dutyStep < 1.0,
+                 "duty step must be in (0, 1)");
+}
+
+sim::Allocation
+BeThrottler::decide(const ColocatedServer& server, SimTime now) const
+{
+    return decideAt(server, 0, now);
+}
+
+sim::Allocation
+BeThrottler::decideAt(const ColocatedServer& server, std::size_t slot,
+                      SimTime now) const
+{
+    sim::Allocation alloc = server.beAllocAt(slot);
+    if (alloc.empty())
+        return alloc;
+
+    const sim::ServerSpec& spec = server.spec();
+    const Watts cap = server.powerCap();
+    const Watts avg = server.meter().average(now, config_.window);
+
+    const bool can_lower_freq = alloc.freq > spec.freqMin + 1e-9;
+    const bool can_lower_duty =
+        alloc.dutyCycle > config_.minDutyCycle;
+    const bool can_raise_freq = alloc.freq < spec.freqMax - 1e-9;
+    const bool can_raise_duty = alloc.dutyCycle < 1.0;
+
+    auto lower_freq = [&] { alloc.freq = spec.stepDown(alloc.freq); };
+    auto lower_duty = [&] {
+        alloc.dutyCycle = std::max(config_.minDutyCycle,
+                                   alloc.dutyCycle -
+                                       config_.dutyStep);
+    };
+    auto raise_freq = [&] { alloc.freq = spec.stepUp(alloc.freq); };
+    auto raise_duty = [&] {
+        alloc.dutyCycle =
+            std::min(1.0, alloc.dutyCycle + config_.dutyStep);
+    };
+
+    if (avg > cap) {
+        switch (config_.order) {
+          case ThrottleOrder::FreqThenDuty:
+            if (can_lower_freq)
+                lower_freq();
+            else if (can_lower_duty)
+                lower_duty();
+            break;
+          case ThrottleOrder::DutyThenFreq:
+            if (can_lower_duty)
+                lower_duty();
+            else if (can_lower_freq)
+                lower_freq();
+            break;
+          case ThrottleOrder::FreqOnly:
+            if (can_lower_freq)
+                lower_freq();
+            break;
+          case ThrottleOrder::DutyOnly:
+            if (can_lower_duty)
+                lower_duty();
+            break;
+        }
+    } else if (avg < cap - config_.releaseMargin) {
+        // Release in the reverse order of throttling.
+        switch (config_.order) {
+          case ThrottleOrder::FreqThenDuty:
+            if (can_raise_duty)
+                raise_duty();
+            else if (can_raise_freq)
+                raise_freq();
+            break;
+          case ThrottleOrder::DutyThenFreq:
+            if (can_raise_freq)
+                raise_freq();
+            else if (can_raise_duty)
+                raise_duty();
+            break;
+          case ThrottleOrder::FreqOnly:
+            if (can_raise_freq)
+                raise_freq();
+            break;
+          case ThrottleOrder::DutyOnly:
+            if (can_raise_duty)
+                raise_duty();
+            break;
+        }
+    }
+    return alloc;
+}
+
+} // namespace poco::server

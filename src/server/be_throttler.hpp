@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Best-effort power throttler (Section IV-C "Secondary application").
+ *
+ * Every 100 ms the server manager reads the power meter and, when the
+ * draw exceeds the provisioned capacity, throttles the best-effort
+ * application: first by stepping its per-core frequency down (the
+ * fine-grained knob), then by limiting its CPU execution time (duty
+ * cycle) once the frequency floor is reached. When comfortably under
+ * the cap it releases the throttle in the reverse order.
+ */
+
+#pragma once
+
+#include "server/colocated_server.hpp"
+#include "sim/allocation.hpp"
+#include "util/units.hpp"
+
+namespace poco::server
+{
+
+/** Which knob the throttler reaches for first (ablation study). */
+enum class ThrottleOrder
+{
+    FreqThenDuty, ///< the paper's policy: DVFS first, duty second
+    DutyThenFreq, ///< duty-cycle first, DVFS second
+    FreqOnly,     ///< DVFS only; may fail to reach the cap
+    DutyOnly,     ///< duty-cycle only
+};
+
+const char* throttleOrderName(ThrottleOrder order);
+
+/** Throttler tuning. */
+struct ThrottlerConfig
+{
+    /** Knob ordering; the paper uses frequency-then-duty. */
+    ThrottleOrder order = ThrottleOrder::FreqThenDuty;
+
+    /** Meter averaging window (paper: 100 ms sampling). */
+    SimTime window = 100 * kMillisecond;
+    /** Release hysteresis: unthrottle only below cap - margin. */
+    Watts releaseMargin = 3.0;
+    /** Duty-cycle floor so the BE app keeps making some progress. */
+    double minDutyCycle = 0.05;
+    /** Multiplicative duty adjustment per period. */
+    double dutyStep = 0.05;
+};
+
+/** Reactive power-cap enforcement for the secondary application. */
+class BeThrottler
+{
+  public:
+    explicit BeThrottler(ThrottlerConfig config = {});
+
+    const ThrottlerConfig& config() const { return config_; }
+
+    /**
+     * One control step: read the meter's trailing-window average and
+     * return the secondary allocation to install (same cores/ways,
+     * adjusted frequency/duty). Operates on slot 0.
+     *
+     * @param now Current time (for the meter window query).
+     */
+    sim::Allocation decide(const ColocatedServer& server,
+                           SimTime now) const;
+
+    /**
+     * Same decision for secondary slot @p slot — with spatial
+     * sharing every co-runner is throttled in lockstep.
+     */
+    sim::Allocation decideAt(const ColocatedServer& server,
+                             std::size_t slot, SimTime now) const;
+
+  private:
+    ThrottlerConfig config_;
+};
+
+} // namespace poco::server

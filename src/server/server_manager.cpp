@@ -1,0 +1,176 @@
+#include "server/server_manager.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace poco::server
+{
+
+ServerManager::ServerManager(
+    ColocatedServer& server,
+    std::unique_ptr<PrimaryController> controller,
+    wl::LoadTrace trace, ServerManagerConfig config)
+    : server_(&server), controller_(std::move(controller)),
+      trace_(std::move(trace)), config_(config),
+      throttler_(config.throttler)
+{
+    POCO_REQUIRE(controller_ != nullptr, "controller must be set");
+    POCO_REQUIRE(config_.controlPeriod > 0 &&
+                 config_.throttlePeriod > 0 &&
+                 config_.telemetryPeriod > 0 && config_.loadPeriod > 0,
+                 "manager periods must be positive");
+}
+
+void
+ServerManager::attach(sim::EventQueue& queue)
+{
+    POCO_REQUIRE(queue_ == nullptr, "manager already attached");
+    queue_ = &queue;
+    const SimTime now = queue.now();
+    // Apply the initial load immediately, then start the loops. The
+    // offsets stagger same-period loops deterministically: load
+    // first, control next, throttle and telemetry after.
+    loadTick(now);
+    queue.schedule(now + config_.controlPeriod,
+                   [this](SimTime t) { controlTick(t); });
+    queue.schedule(now + config_.throttlePeriod,
+                   [this](SimTime t) { throttleTick(t); });
+    queue.schedule(now + config_.telemetryPeriod,
+                   [this](SimTime t) { telemetryTick(t); });
+}
+
+void
+ServerManager::loadTick(SimTime now)
+{
+    server_->setLoad(now,
+                     trace_.at(now) * server_->lc().peakLoad());
+    queue_->schedule(now + config_.loadPeriod,
+                     [this](SimTime t) { loadTick(t); });
+}
+
+void
+ServerManager::controlTick(SimTime now)
+{
+    server_->advanceTo(now);
+    const sim::Allocation next = controller_->decide(*server_);
+    if (!(next == server_->primaryAlloc()))
+        server_->setPrimaryAlloc(now, next);
+
+    // With a single secondary, hand it the whole spare, preserving
+    // its current throttle state (frequency and duty cycle). With
+    // spatial sharing (2+ slots) the slices are placed explicitly by
+    // the planner and only clipped by primary growth.
+    if (server_->secondaryCount() == 1 && server_->be() != nullptr) {
+        const sim::Allocation spare =
+            sim::spareOf(server_->primaryAlloc(), server_->spec());
+        sim::Allocation be = server_->beAlloc();
+        const bool parked = be.empty();
+        be.cores = spare.cores;
+        be.ways = spare.ways;
+        if (parked) {
+            be.freq = server_->spec().freqMax;
+            be.dutyCycle = 1.0;
+        }
+        if (!(be == server_->beAlloc()))
+            server_->setBeAlloc(now, be);
+    }
+
+    // Slack bookkeeping for result().
+    const double slack = server_->slack99();
+    slack_sum_ += slack;
+    ++slack_samples_;
+    if (slack < config_.controller.minSlack)
+        ++slack_shortfalls_;
+
+    queue_->schedule(now + config_.controlPeriod,
+                     [this](SimTime t) { controlTick(t); });
+}
+
+void
+ServerManager::throttleTick(SimTime now)
+{
+    server_->advanceTo(now);
+    for (std::size_t slot = 0; slot < server_->secondaryCount();
+         ++slot) {
+        if (server_->beAppAt(slot) == nullptr ||
+            server_->beAllocAt(slot).empty())
+            continue;
+        const sim::Allocation next =
+            throttler_.decideAt(*server_, slot, now);
+        if (!(next == server_->beAllocAt(slot)))
+            server_->setBeAllocAt(now, slot, next);
+    }
+    queue_->schedule(now + config_.throttlePeriod,
+                     [this](SimTime t) { throttleTick(t); });
+}
+
+void
+ServerManager::telemetryTick(SimTime now)
+{
+    server_->advanceTo(now);
+    sim::TelemetrySample sample;
+    sample.when = now;
+    sample.lcLoad = server_->load();
+    sample.lcLatencyP95 =
+        server_->lc().latencyP95(server_->load(),
+                                 server_->primaryAlloc());
+    sample.lcLatencyP99 = server_->latencyP99();
+    sample.lcAlloc = server_->primaryAlloc();
+    sample.beThroughput = server_->beThroughput();
+    sample.beAlloc = server_->beAlloc();
+    sample.power = server_->power();
+    telemetry_.record(sample);
+    queue_->schedule(now + config_.telemetryPeriod,
+                     [this](SimTime t) { telemetryTick(t); });
+}
+
+ServerRunResult
+ServerManager::result() const
+{
+    ServerRunResult out;
+    out.stats = server_->stats();
+    out.powerUtilization =
+        out.stats.averagePower() / server_->powerCap();
+    out.averageSlack =
+        slack_samples_
+            ? slack_sum_ / static_cast<double>(slack_samples_)
+            : 0.0;
+    out.slackShortfallFraction =
+        slack_samples_ ? static_cast<double>(slack_shortfalls_) /
+                             static_cast<double>(slack_samples_)
+                       : 0.0;
+    return out;
+}
+
+void
+ServerManager::resetStats(SimTime now)
+{
+    server_->resetStats(now);
+    slack_sum_ = 0.0;
+    slack_samples_ = 0;
+    slack_shortfalls_ = 0;
+}
+
+ServerRunResult
+runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
+                  Watts power_cap,
+                  std::unique_ptr<PrimaryController> controller,
+                  wl::LoadTrace trace, SimTime duration,
+                  ServerManagerConfig config)
+{
+    POCO_REQUIRE(duration > config.warmup,
+                 "duration must exceed the warm-up period");
+    sim::EventQueue queue;
+    ColocatedServer server(lc, be, power_cap);
+    ServerManager manager(server, std::move(controller),
+                          std::move(trace), config);
+    manager.attach(queue);
+    queue.runUntil(config.warmup);
+    manager.resetStats(queue.now());
+    queue.runUntil(duration);
+    server.advanceTo(queue.now());
+    return manager.result();
+}
+
+} // namespace poco::server

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Server manager: wires the primary controller, the best-effort
+ * throttler, the load trace, and telemetry onto the event queue, and
+ * provides a one-call scenario runner used by the cluster manager,
+ * the benches, and the tests.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "server/be_throttler.hpp"
+#include "server/colocated_server.hpp"
+#include "server/primary_controller.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/telemetry.hpp"
+#include "wl/load_trace.hpp"
+
+namespace poco::server
+{
+
+/** Periods and tunables of the management loops. */
+struct ServerManagerConfig
+{
+    /** Primary controller decision period (paper: every second). */
+    SimTime controlPeriod = 1 * kSecond;
+    /** BE power-throttle period (paper: every 100 ms). */
+    SimTime throttlePeriod = 100 * kMillisecond;
+    /** Telemetry sampling period. */
+    SimTime telemetryPeriod = 100 * kMillisecond;
+    /** Offered-load update period (trace resolution). */
+    SimTime loadPeriod = 1 * kSecond;
+    /** Settling time excluded from the reported statistics. */
+    SimTime warmup = 60 * kSecond;
+
+    ControllerConfig controller;
+    ThrottlerConfig throttler;
+};
+
+/** Outcome of one managed run. */
+struct ServerRunResult
+{
+    ServerStats stats;
+    /** Average power as a fraction of the provisioned capacity. */
+    double powerUtilization = 0.0;
+    /** Mean tail-latency slack of the primary over the run. */
+    double averageSlack = 0.0;
+    /** Fraction of samples with slack below the controller target. */
+    double slackShortfallFraction = 0.0;
+};
+
+/**
+ * Drives one ColocatedServer on an event queue.
+ *
+ * The manager owns its controller but borrows the server and the
+ * queue; both must outlive it. Call attach() once to register the
+ * periodic loops.
+ */
+class ServerManager
+{
+  public:
+    ServerManager(ColocatedServer& server,
+                  std::unique_ptr<PrimaryController> controller,
+                  wl::LoadTrace trace,
+                  ServerManagerConfig config = {});
+
+    /** Register the management loops starting at queue.now(). */
+    void attach(sim::EventQueue& queue);
+
+    const ColocatedServer& server() const { return *server_; }
+    ColocatedServer& server() { return *server_; }
+    const sim::TelemetryRecorder& telemetry() const
+    {
+        return telemetry_;
+    }
+    const ServerManagerConfig& config() const { return config_; }
+
+    /** Summarize statistics accumulated since the last reset. */
+    ServerRunResult result() const;
+
+    /** Forget warm-up history (stats and slack samples). */
+    void resetStats(SimTime now);
+
+  private:
+    void loadTick(SimTime now);
+    void controlTick(SimTime now);
+    void throttleTick(SimTime now);
+    void telemetryTick(SimTime now);
+
+    ColocatedServer* server_;
+    std::unique_ptr<PrimaryController> controller_;
+    wl::LoadTrace trace_;
+    ServerManagerConfig config_;
+    BeThrottler throttler_;
+    sim::EventQueue* queue_ = nullptr;
+    sim::TelemetryRecorder telemetry_;
+
+    /** Slack tracking for result(). */
+    double slack_sum_ = 0.0;
+    std::size_t slack_samples_ = 0;
+    std::size_t slack_shortfalls_ = 0;
+};
+
+/**
+ * Convenience: build a server, manage it with the given controller
+ * over @p duration of simulated time, and report the results
+ * (statistics exclude the configured warm-up).
+ *
+ * @param be Pass nullptr to run the primary alone.
+ */
+ServerRunResult
+runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
+                  Watts power_cap,
+                  std::unique_ptr<PrimaryController> controller,
+                  wl::LoadTrace trace, SimTime duration,
+                  ServerManagerConfig config = {});
+
+} // namespace poco::server

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Spatial sharing of spare capacity between best-effort applications
+ * (Section V-G: "Spatial sharing would entail further partitioning
+ * of direct resources and power, which we intend to explore as
+ * future work").
+ *
+ * The planner splits the spare cores, LLC ways, and power headroom
+ * between two (or more) best-effort candidates using their fitted
+ * indirect utilities: for every integer resource split it solves the
+ * per-app boxed demand under a swept power split and keeps the
+ * partition maximizing total estimated throughput. The runtime
+ * validator executes a plan on a multi-secondary ColocatedServer.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/cobb_douglas.hpp"
+#include "server/server_manager.hpp"
+#include "sim/allocation.hpp"
+
+namespace poco::server
+{
+
+/** A planned partition of the spare between BE applications. */
+struct SpatialPlan
+{
+    /** Per-app resource slices (freq = max, duty = 1). */
+    std::vector<sim::Allocation> slices;
+    /** Per-app modeled throughput under the plan. */
+    std::vector<double> estimatedThroughput;
+    double totalEstimatedThroughput = 0.0;
+};
+
+/**
+ * Plan the best spatial partition of the spare.
+ *
+ * @param utilities Fitted indirect utilities of the candidates (two
+ *        or more; pointers must outlive the call).
+ * @param spare_cores Spare cores after the primary's allocation.
+ * @param spare_ways Spare LLC ways after the primary's allocation.
+ * @param spare_power Power headroom under the provisioned capacity
+ *        once the primary's draw is accounted for (watts).
+ * @param spec Server platform (for frequency limits).
+ *
+ * Complexity: O(cores * ways * power-grid) for two apps; the
+ * three-plus-app case recurses on the first split.
+ */
+SpatialPlan
+planSpatialShare(
+    const std::vector<const model::CobbDouglasUtility*>& utilities,
+    int spare_cores, int spare_ways, double spare_power,
+    const sim::ServerSpec& spec);
+
+/** Outcome of executing a spatial plan on the simulated server. */
+struct SpatialRunResult
+{
+    ServerStats stats;
+    /** Realized per-app throughput (units/s). */
+    std::vector<double> throughput;
+    double totalThroughput = 0.0;
+};
+
+/**
+ * Execute two-or-more best-effort apps spatially beside a primary at
+ * a fixed load, using a POM-managed primary and the standard power
+ * throttler on every secondary slot.
+ *
+ * @param slices Per-app resource slices (e.g. from a SpatialPlan).
+ */
+SpatialRunResult
+runSpatialShare(const wl::LcApp& lc,
+                const std::vector<const wl::BeApp*>& apps,
+                const std::vector<sim::Allocation>& slices,
+                Watts power_cap,
+                std::unique_ptr<PrimaryController> controller,
+                double load_fraction, SimTime duration,
+                ServerManagerConfig config = {});
+
+} // namespace poco::server

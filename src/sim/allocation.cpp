@@ -1,0 +1,53 @@
+#include "sim/allocation.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace poco::sim
+{
+
+void
+Allocation::validate(const ServerSpec& spec) const
+{
+    POCO_REQUIRE(cores >= 0 && cores <= spec.cores,
+                 "core allocation out of range");
+    POCO_REQUIRE(ways >= 0 && ways <= spec.llcWays,
+                 "way allocation out of range");
+    POCO_REQUIRE(freq >= spec.freqMin - 1e-9 &&
+                 freq <= spec.freqMax + 1e-9,
+                 "frequency out of range");
+    POCO_REQUIRE(dutyCycle > 0.0 && dutyCycle <= 1.0,
+                 "duty cycle must be in (0, 1]");
+}
+
+std::string
+Allocation::toString() const
+{
+    std::ostringstream out;
+    out << cores << "c/" << ways << "w@" << fmt(freq, 1) << "GHz d="
+        << fmt(dutyCycle, 2);
+    return out.str();
+}
+
+bool
+fits(const Allocation& a, const Allocation& b, const ServerSpec& spec)
+{
+    return a.cores + b.cores <= spec.cores &&
+           a.ways + b.ways <= spec.llcWays;
+}
+
+Allocation
+spareOf(const Allocation& used, const ServerSpec& spec)
+{
+    used.validate(spec);
+    Allocation spare;
+    spare.cores = spec.cores - used.cores;
+    spare.ways = spec.llcWays - used.ways;
+    spare.freq = spec.freqMax;
+    spare.dutyCycle = 1.0;
+    return spare;
+}
+
+} // namespace poco::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Resource allocation descriptors.
+ *
+ * An Allocation is what the server manager hands an application: a
+ * disjoint set of cores (taskset), a set of LLC ways (Intel CAT), a
+ * per-core frequency (cpupowerutils), and a CPU duty cycle (cgroup
+ * cpu.cfs_quota-style execution-time limiting, the paper's second
+ * throttling knob). Isolation is perfect by construction, matching the
+ * paper's use of hardware partitioning.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** Resources granted to one application on one server. */
+struct Allocation
+{
+    /** Number of dedicated cores (0 = application is parked). */
+    int cores = 0;
+
+    /** Number of dedicated LLC ways. */
+    int ways = 0;
+
+    /** Frequency of the granted cores. */
+    GHz freq = 2.2;
+
+    /**
+     * Fraction of CPU time the granted cores may execute, in (0, 1].
+     * Used only for best-effort throttling; primaries always run at 1.
+     */
+    double dutyCycle = 1.0;
+
+    bool
+    operator==(const Allocation& other) const
+    {
+        return cores == other.cores && ways == other.ways &&
+               freq == other.freq && dutyCycle == other.dutyCycle;
+    }
+
+    /** True when the allocation grants no execution resources. */
+    bool empty() const { return cores == 0 || ways == 0; }
+
+    /** Validate against a server spec; throws FatalError when invalid. */
+    void validate(const ServerSpec& spec) const;
+
+    /** Human-readable rendering, e.g. "4c/6w@2.0GHz d=1.00". */
+    std::string toString() const;
+};
+
+/**
+ * Check that two allocations can coexist on @p spec (resource sums
+ * within capacity). Frequencies may differ: DVFS is per-core.
+ */
+bool fits(const Allocation& a, const Allocation& b,
+          const ServerSpec& spec);
+
+/**
+ * The spare resources remaining on @p spec after @p used is granted.
+ * The result runs at the spec's maximum frequency with full duty.
+ */
+Allocation spareOf(const Allocation& used, const ServerSpec& spec);
+
+} // namespace poco::sim

@@ -1,0 +1,88 @@
+#include "sim/event_queue.hpp"
+
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+
+EventQueue::EventId
+EventQueue::schedule(SimTime when, Callback callback)
+{
+    POCO_REQUIRE(when >= now_, "cannot schedule an event in the past");
+    const EventId id = next_id_++;
+    queue_.push(Event{when, id, std::move(callback)});
+    pending_.insert(id);
+    return id;
+}
+
+EventQueue::EventId
+EventQueue::scheduleAfter(SimTime delay, Callback callback)
+{
+    POCO_REQUIRE(delay >= 0, "delay must be non-negative");
+    return schedule(now_ + delay, std::move(callback));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Cancelling an already-fired (or already-cancelled) event is a
+    // harmless no-op.
+    if (pending_.erase(id) > 0)
+        cancelled_.insert(id);
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        Event ev = queue_.top();
+        queue_.pop();
+        if (cancelled_.erase(ev.id) > 0)
+            continue;
+        POCO_ASSERT(ev.when >= now_, "event queue went backwards");
+        pending_.erase(ev.id);
+        now_ = ev.when;
+        ev.callback(now_);
+        return true;
+    }
+    return false;
+}
+
+std::size_t
+EventQueue::runUntil(SimTime deadline)
+{
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+        // Skip cancelled heads so the peek below is accurate.
+        while (!queue_.empty() && cancelled_.count(queue_.top().id)) {
+            cancelled_.erase(queue_.top().id);
+            queue_.pop();
+        }
+        if (queue_.empty() || queue_.top().when > deadline)
+            break;
+        runOne();
+        ++executed;
+    }
+    // Even with no events left, time advances to the deadline so that
+    // callers can integrate meters over the full interval.
+    if (now_ < deadline)
+        now_ = deadline;
+    return executed;
+}
+
+std::size_t
+EventQueue::runAll()
+{
+    std::size_t executed = 0;
+    while (runOne())
+        ++executed;
+    return executed;
+}
+
+bool
+EventQueue::empty() const
+{
+    return pending_.empty();
+}
+
+} // namespace poco::sim

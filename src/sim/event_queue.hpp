@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete-event simulation core.
+ *
+ * A minimal calendar: events are (time, sequence, callback) triples
+ * executed in time order, with the sequence number breaking ties so
+ * same-timestamp events run in scheduling order (deterministic runs).
+ * Controllers reschedule themselves to form periodic loops.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** Time-ordered event calendar with cancellation. */
+class EventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+    using Callback = std::function<void(SimTime)>;
+
+    /** Current simulated time (microseconds). */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when Absolute time, must be >= now().
+     * @param callback Invoked with the event's timestamp.
+     * @return Id usable with cancel().
+     */
+    EventId schedule(SimTime when, Callback callback);
+
+    /** Schedule a callback @p delay after now(). */
+    EventId scheduleAfter(SimTime delay, Callback callback);
+
+    /** Cancel a pending event. Cancelling a fired event is a no-op. */
+    void cancel(EventId id);
+
+    /** Execute the next pending event. @return false if none remain. */
+    bool runOne();
+
+    /**
+     * Run all events with timestamp <= deadline, then advance now() to
+     * the deadline (so meters can integrate trailing intervals).
+     *
+     * @return Number of events executed.
+     */
+    std::size_t runUntil(SimTime deadline);
+
+    /** Drain the calendar completely. @return events executed. */
+    std::size_t runAll();
+
+    bool empty() const;
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        EventId id;
+        Callback callback;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event& a, const Event& b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id;
+        }
+    };
+
+    SimTime now_ = 0;
+    EventId next_id_ = 1;
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    /** Ids scheduled but not yet fired or cancelled. */
+    std::unordered_set<EventId> pending_;
+    /** Ids cancelled while still sitting in queue_. */
+    std::unordered_set<EventId> cancelled_;
+};
+
+} // namespace poco::sim

@@ -1,0 +1,87 @@
+#include "sim/power_meter.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+
+PowerMeter::PowerMeter(SimTime retention) : retention_(retention)
+{
+    POCO_REQUIRE(retention > 0, "retention must be positive");
+    history_.push_back(Segment{0, 0.0});
+}
+
+void
+PowerMeter::setPower(SimTime when, Watts watts)
+{
+    POCO_REQUIRE(when >= last_change_,
+                 "power meter updates must be time-ordered");
+    POCO_REQUIRE(watts >= 0.0, "power must be non-negative");
+    if (watts == current_)
+        return;
+    history_.push_back(Segment{when, watts});
+    current_ = watts;
+    last_change_ = when;
+    prune(when);
+}
+
+void
+PowerMeter::prune(SimTime now)
+{
+    // Fold segments that ended before (now - retention) into the
+    // energy accumulator so window queries stay O(window changes).
+    const SimTime horizon = now - retention_;
+    while (history_.size() > 1 && history_[1].start <= horizon) {
+        const Segment& first = history_.front();
+        const SimTime end = history_[1].start;
+        folded_joules_ +=
+            first.watts * toSeconds(end - std::max(first.start,
+                                                   folded_until_));
+        folded_until_ = end;
+        history_.pop_front();
+    }
+}
+
+Watts
+PowerMeter::average(SimTime now, SimTime window) const
+{
+    POCO_REQUIRE(window > 0, "window must be positive");
+    POCO_REQUIRE(now >= last_change_,
+                 "query time precedes last recorded change");
+    const SimTime begin = std::max<SimTime>(0, now - window);
+    if (now == begin)
+        return current_;
+
+    double joules = 0.0;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        const SimTime seg_start = history_[i].start;
+        const SimTime seg_end =
+            (i + 1 < history_.size()) ? history_[i + 1].start : now;
+        const SimTime lo = std::max(seg_start, begin);
+        const SimTime hi = std::min(seg_end, now);
+        if (hi > lo)
+            joules += history_[i].watts * toSeconds(hi - lo);
+    }
+    return joules / toSeconds(now - begin);
+}
+
+double
+PowerMeter::energyJoules(SimTime now) const
+{
+    POCO_REQUIRE(now >= last_change_,
+                 "query time precedes last recorded change");
+    double joules = folded_joules_;
+    for (std::size_t i = 0; i < history_.size(); ++i) {
+        const SimTime seg_start =
+            std::max(history_[i].start, folded_until_);
+        const SimTime seg_end =
+            (i + 1 < history_.size()) ? history_[i + 1].start : now;
+        if (seg_end > seg_start)
+            joules += history_[i].watts * toSeconds(seg_end - seg_start);
+    }
+    return joules;
+}
+
+} // namespace poco::sim

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Windowed power meter.
+ *
+ * Plays the role of the paper's socket power meter: the server's
+ * instantaneous power is a step function of time (it changes only when
+ * an allocation or load changes), and managers query the average draw
+ * over a trailing window (the BE throttler samples every 100 ms). The
+ * meter also integrates total energy for the TCO analysis.
+ */
+
+#pragma once
+
+#include <deque>
+
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** Integrates a piecewise-constant power signal over simulated time. */
+class PowerMeter
+{
+  public:
+    /**
+     * @param retention How much history to keep for window queries.
+     *                  Older segments are folded into the energy total.
+     */
+    explicit PowerMeter(SimTime retention = 10 * kSecond);
+
+    /**
+     * Record that power changed to @p watts at time @p when.
+     * Times must be non-decreasing across calls.
+     */
+    void setPower(SimTime when, Watts watts);
+
+    /** The most recently recorded instantaneous power. */
+    Watts instantaneous() const { return current_; }
+
+    /**
+     * Average power over [now - window, now].
+     *
+     * @param now Current time; must be >= the last setPower() time.
+     * @param window Length of the trailing window; must be > 0.
+     */
+    Watts average(SimTime now, SimTime window) const;
+
+    /** Total energy in joules from time zero through @p now. */
+    double energyJoules(SimTime now) const;
+
+  private:
+    struct Segment
+    {
+        SimTime start;
+        Watts watts;
+    };
+
+    void prune(SimTime now);
+
+    SimTime retention_;
+    Watts current_ = 0.0;
+    SimTime last_change_ = 0;
+    /** Energy (J) accumulated in segments older than the history. */
+    double folded_joules_ = 0.0;
+    SimTime folded_until_ = 0;
+    std::deque<Segment> history_;
+};
+
+} // namespace poco::sim

@@ -1,0 +1,71 @@
+#include "sim/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+
+PowerModel::PowerModel(ServerSpec spec) : spec_(std::move(spec))
+{
+    spec_.validate();
+}
+
+Watts
+PowerModel::appPower(const PowerDraw& draw) const
+{
+    const PowerIntensity& pi = draw.intensity;
+    const Allocation& alloc = draw.alloc;
+    if (alloc.empty())
+        return 0.0;
+    alloc.validate(spec_);
+    POCO_REQUIRE(draw.utilization >= 0.0 && draw.utilization <= 1.0,
+                 "utilization must be in [0, 1]");
+
+    const double freq_ratio = alloc.freq / spec_.freqMax;
+    const double freq_scale = std::pow(freq_ratio, pi.freqExponent);
+    const double activity = draw.utilization * alloc.dutyCycle;
+
+    // Memory-bound stall interaction: fewer ways -> more stalls ->
+    // lower core switching power.
+    const double way_deficit =
+        1.0 - static_cast<double>(alloc.ways) /
+                  static_cast<double>(spec_.llcWays);
+    const double stall_scale =
+        1.0 - pi.stallFactor * way_deficit * way_deficit;
+
+    const Watts core_power = static_cast<double>(alloc.cores) *
+                             pi.corePeak * freq_scale * activity *
+                             stall_scale;
+
+    const double way_activity =
+        pi.wayActivityShare * activity + (1.0 - pi.wayActivityShare);
+    const Watts way_power =
+        static_cast<double>(alloc.ways) * pi.wayPower * way_activity;
+
+    const Watts base_power = pi.basePower * activity;
+
+    return core_power + way_power + base_power;
+}
+
+Watts
+PowerModel::serverPower(const std::vector<PowerDraw>& draws) const
+{
+    Watts total = spec_.idlePower;
+    int cores_used = 0;
+    int ways_used = 0;
+    for (const auto& draw : draws) {
+        total += appPower(draw);
+        cores_used += draw.alloc.cores;
+        ways_used += draw.alloc.ways;
+    }
+    POCO_REQUIRE(cores_used <= spec_.cores,
+                 "aggregate core allocation exceeds server capacity");
+    POCO_REQUIRE(ways_used <= spec_.llcWays,
+                 "aggregate way allocation exceeds server capacity");
+    return total;
+}
+
+} // namespace poco::sim

@@ -1,0 +1,58 @@
+#include "sim/server_spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+
+int
+ServerSpec::freqSteps() const
+{
+    return static_cast<int>(
+               std::round((freqMax - freqMin) / freqStep)) + 1;
+}
+
+GHz
+ServerSpec::clampFreq(GHz f) const
+{
+    const GHz clamped = std::clamp(f, freqMin, freqMax);
+    const double steps = std::round((clamped - freqMin) / freqStep);
+    return freqMin + steps * freqStep;
+}
+
+GHz
+ServerSpec::stepDown(GHz f) const
+{
+    return clampFreq(f - freqStep);
+}
+
+GHz
+ServerSpec::stepUp(GHz f) const
+{
+    return clampFreq(f + freqStep);
+}
+
+void
+ServerSpec::validate() const
+{
+    POCO_REQUIRE(cores > 0, "server must have at least one core");
+    POCO_REQUIRE(llcWays > 0, "server must have at least one LLC way");
+    POCO_REQUIRE(freqMin > 0 && freqMax >= freqMin,
+                 "frequency range must be positive and ordered");
+    POCO_REQUIRE(freqStep > 0, "frequency step must be positive");
+    POCO_REQUIRE(idlePower >= 0, "idle power must be non-negative");
+    POCO_REQUIRE(nominalActivePower >= idlePower,
+                 "active power must be at least idle power");
+}
+
+ServerSpec
+xeonE5_2650()
+{
+    // Values from Table I of the paper.
+    return ServerSpec{};
+}
+
+} // namespace poco::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Static description of a server platform.
+ *
+ * Mirrors the paper's Table I: an Intel Xeon E5-2650 class machine with
+ * 12 cores, a 20-way 30 MB LLC, per-core DVFS between 1.2 and 2.2 GHz,
+ * 50 W idle and ~135 W nominal active power. The provisioned power
+ * capacity is per-deployment (right-sized to the primary application's
+ * peak) and therefore lives outside this struct.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** Immutable hardware parameters of one server. */
+struct ServerSpec
+{
+    std::string name = "xeon-e5-2650";
+
+    /** Physical core count (hyperthreading disabled, as in the paper). */
+    int cores = 12;
+
+    /** LLC way count (Intel CAT allocation granularity). */
+    int llcWays = 20;
+
+    /** LLC capacity in MiB (30 MB on the E5-2650). */
+    double llcMegabytes = 30.0;
+
+    /** DVFS range and step (cpupowerutils granularity). */
+    GHz freqMin = 1.2;
+    GHz freqMax = 2.2;
+    GHz freqStep = 0.1;
+
+    /** Static platform power with all cores idle at min frequency. */
+    Watts idlePower = 50.0;
+
+    /** Nominal all-core active power (Table I "Active"). */
+    Watts nominalActivePower = 135.0;
+
+    /** Memory capacity in GiB (Table I). */
+    double memoryGigabytes = 256.0;
+
+    /** Number of discrete DVFS steps (inclusive of both endpoints). */
+    int freqSteps() const;
+
+    /** Clamp a frequency into [freqMin, freqMax], snapped to the grid. */
+    GHz clampFreq(GHz f) const;
+
+    /** One DVFS step below @p f (clamped at freqMin). */
+    GHz stepDown(GHz f) const;
+
+    /** One DVFS step above @p f (clamped at freqMax). */
+    GHz stepUp(GHz f) const;
+
+    /** Validate internal consistency; throws FatalError when broken. */
+    void validate() const;
+};
+
+/** The default experimental platform used throughout the evaluation. */
+ServerSpec xeonE5_2650();
+
+} // namespace poco::sim

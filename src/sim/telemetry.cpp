@@ -1,0 +1,69 @@
+#include "sim/telemetry.hpp"
+
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+
+TelemetryRecorder::TelemetryRecorder(std::size_t capacity)
+    : capacity_(capacity)
+{
+    POCO_REQUIRE(capacity > 0, "telemetry capacity must be positive");
+}
+
+void
+TelemetryRecorder::record(TelemetrySample sample)
+{
+    POCO_REQUIRE(samples_.empty() || sample.when >= samples_.back().when,
+                 "telemetry samples must be time-ordered");
+    if (samples_.size() == capacity_)
+        samples_.pop_front();
+    samples_.push_back(std::move(sample));
+}
+
+const TelemetrySample&
+TelemetryRecorder::latest() const
+{
+    POCO_REQUIRE(!samples_.empty(), "no telemetry recorded yet");
+    return samples_.back();
+}
+
+std::vector<TelemetrySample>
+TelemetryRecorder::since(SimTime since) const
+{
+    std::vector<TelemetrySample> out;
+    for (const auto& s : samples_)
+        if (s.when >= since)
+            out.push_back(s);
+    return out;
+}
+
+Watts
+TelemetryRecorder::averagePower(SimTime since) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+        if (s.when >= since) {
+            sum += s.power;
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+Rps
+TelemetryRecorder::averageBeThroughput(SimTime since) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& s : samples_) {
+        if (s.when >= since) {
+            sum += s.beThroughput;
+            ++n;
+        }
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+} // namespace poco::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Telemetry recorder.
+ *
+ * Today's private datacenters periodically collect per-application
+ * performance and power metrics (the paper cites Dynamo and WSMeter).
+ * The recorder stores timestamped samples and answers windowed
+ * queries; Pocolo's profiler and the evaluation pipelines consume it.
+ */
+
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "sim/allocation.hpp"
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** One telemetry sample for a server. */
+struct TelemetrySample
+{
+    SimTime when = 0;
+
+    /** Primary (latency-critical) application state. */
+    Rps lcLoad = 0.0;
+    double lcLatencyP95 = 0.0;  ///< seconds
+    double lcLatencyP99 = 0.0;  ///< seconds
+    Allocation lcAlloc;
+
+    /** Secondary (best-effort) application state. */
+    Rps beThroughput = 0.0;
+    Allocation beAlloc;
+
+    /** Server power draw at the sample instant. */
+    Watts power = 0.0;
+};
+
+/** Bounded in-memory time series of telemetry samples. */
+class TelemetryRecorder
+{
+  public:
+    /** @param capacity Maximum retained samples (FIFO eviction). */
+    explicit TelemetryRecorder(std::size_t capacity = 1 << 20);
+
+    /** Append a sample; timestamps must be non-decreasing. */
+    void record(TelemetrySample sample);
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    const TelemetrySample& latest() const;
+
+    /** All samples with when >= @p since, oldest first. */
+    std::vector<TelemetrySample> since(SimTime since) const;
+
+    /** Mean server power over samples with when >= @p since. */
+    Watts averagePower(SimTime since) const;
+
+    /** Mean best-effort throughput over samples with when >= since. */
+    Rps averageBeThroughput(SimTime since) const;
+
+    const std::deque<TelemetrySample>& all() const { return samples_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<TelemetrySample> samples_;
+};
+
+} // namespace poco::sim

@@ -1,0 +1,69 @@
+#include "tco/tco_model.hpp"
+
+#include "util/check.hpp"
+
+namespace poco::tco
+{
+
+TcoModel::TcoModel(TcoParams params) : params_(params)
+{
+    POCO_REQUIRE(params_.servers > 0, "fleet size must be positive");
+    POCO_REQUIRE(params_.serverCost >= 0 &&
+                 params_.powerInfraCostPerWatt >= 0 &&
+                 params_.energyCostPerKwh >= 0,
+                 "costs must be non-negative");
+    POCO_REQUIRE(params_.pue >= 1.0, "PUE must be >= 1");
+    POCO_REQUIRE(params_.serverLifetimeMonths > 0 &&
+                 params_.powerInfraLifetimeMonths > 0,
+                 "amortization horizons must be positive");
+}
+
+MonthlyCost
+TcoModel::monthlyCost(const PolicyProfile& profile,
+                      double reference_throughput_per_server) const
+{
+    POCO_REQUIRE(profile.throughputPerServer > 0,
+                 "policy throughput must be positive");
+    POCO_REQUIRE(reference_throughput_per_server > 0,
+                 "reference throughput must be positive");
+    POCO_REQUIRE(profile.provisionedPowerPerServer > 0,
+                 "provisioned power must be positive");
+    POCO_REQUIRE(profile.averagePowerPerServer >= 0,
+                 "average power must be non-negative");
+
+    MonthlyCost cost;
+    cost.policy = profile.name;
+    // Constant-throughput scaling: fewer servers if each does more.
+    cost.serversNeeded = params_.servers *
+                         reference_throughput_per_server /
+                         profile.throughputPerServer;
+
+    cost.serverCost = cost.serversNeeded * params_.serverCost /
+                      params_.serverLifetimeMonths;
+    cost.powerInfraCost = cost.serversNeeded *
+                          profile.provisionedPowerPerServer *
+                          params_.powerInfraCostPerWatt /
+                          params_.powerInfraLifetimeMonths;
+
+    constexpr double hours_per_month = 730.0;
+    const double kwh_per_month = cost.serversNeeded *
+                                 profile.averagePowerPerServer *
+                                 params_.pue * hours_per_month /
+                                 1000.0;
+    cost.energyCost = kwh_per_month * params_.energyCostPerKwh;
+    return cost;
+}
+
+std::vector<MonthlyCost>
+TcoModel::compare(const std::vector<PolicyProfile>& profiles) const
+{
+    POCO_REQUIRE(!profiles.empty(), "nothing to compare");
+    const double reference = profiles.front().throughputPerServer;
+    std::vector<MonthlyCost> out;
+    out.reserve(profiles.size());
+    for (const auto& profile : profiles)
+        out.push_back(monthlyCost(profile, reference));
+    return out;
+}
+
+} // namespace poco::tco

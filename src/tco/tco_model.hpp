@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Total cost of ownership model (Section V-F; Hamilton [13]).
+ *
+ * Amortized monthly datacenter cost from three components:
+ *   - servers:  purchase price amortized over the server lifetime,
+ *   - power infrastructure: $/W of *provisioned* capacity amortized
+ *     over the (longer) facility lifetime,
+ *   - energy: average draw x PUE x electricity price.
+ *
+ * The paper compares policies at *constant delivered throughput*:
+ * a policy whose servers deliver more aggregate throughput needs
+ * proportionally fewer servers (and watts) for the same work.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace poco::tco
+{
+
+/** Cost constants (defaults from Section V-F of the paper). */
+struct TcoParams
+{
+    /** Fleet size delivering the reference throughput. */
+    double servers = 100000.0;
+    /** Purchase price per server (USD). */
+    double serverCost = 1450.0;
+    /** Power-infrastructure cost per provisioned watt (USD/W). */
+    double powerInfraCostPerWatt = 9.0;
+    /** Electricity price (USD per kWh). */
+    double energyCostPerKwh = 0.07;
+    /** Power usage effectiveness of the facility. */
+    double pue = 1.1;
+    /** Server amortization horizon (months; 3 years typical). */
+    double serverLifetimeMonths = 36.0;
+    /** Facility amortization horizon (months; 12 years typical). */
+    double powerInfraLifetimeMonths = 144.0;
+};
+
+/** What one policy looks like per server. */
+struct PolicyProfile
+{
+    std::string name;
+    /**
+     * Average delivered throughput per server, in any unit that is
+     * consistent across the compared policies (the evaluation uses
+     * LC load fraction + normalized BE throughput).
+     */
+    double throughputPerServer = 1.0;
+    /** Provisioned power capacity per server (watts). */
+    Watts provisionedPowerPerServer = 150.0;
+    /** Average actual draw per server (watts). */
+    Watts averagePowerPerServer = 100.0;
+};
+
+/** Amortized monthly cost breakdown (USD). */
+struct MonthlyCost
+{
+    std::string policy;
+    double serverCost = 0.0;
+    double powerInfraCost = 0.0;
+    double energyCost = 0.0;
+    /** Servers needed for the reference throughput. */
+    double serversNeeded = 0.0;
+
+    double total() const
+    {
+        return serverCost + powerInfraCost + energyCost;
+    }
+};
+
+/** Evaluates policies under the Hamilton-style cost model. */
+class TcoModel
+{
+  public:
+    explicit TcoModel(TcoParams params = {});
+
+    const TcoParams& params() const { return params_; }
+
+    /**
+     * Monthly cost of running @p profile scaled to deliver the same
+     * total throughput as @p reference_throughput_per_server on the
+     * configured fleet size.
+     */
+    MonthlyCost monthlyCost(const PolicyProfile& profile,
+                            double reference_throughput_per_server)
+        const;
+
+    /**
+     * Compare several policies at constant delivered throughput. The
+     * first profile sets the reference throughput.
+     */
+    std::vector<MonthlyCost>
+    compare(const std::vector<PolicyProfile>& profiles) const;
+
+  private:
+    TcoParams params_;
+};
+
+} // namespace poco::tco

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fatal/panic error helpers in the spirit of gem5's logging.hh.
+ *
+ * poco::fatal() is for user errors (bad configuration, invalid
+ * arguments): it throws poco::FatalError, which callers may catch.
+ * poco::panic() is for internal invariant violations (library bugs):
+ * it aborts the process after printing a diagnostic.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace poco
+{
+
+/** Exception thrown for user-caused errors (bad config, bad args). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& what_arg)
+        : std::runtime_error(what_arg)
+    {}
+};
+
+/**
+ * Report a user error. Throws FatalError with the given message.
+ *
+ * @param msg Description of the configuration/argument problem.
+ */
+[[noreturn]] inline void
+fatal(const std::string& msg)
+{
+    throw FatalError(msg);
+}
+
+/**
+ * Report an internal bug and abort.
+ *
+ * @param msg Description of the violated invariant.
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+} // namespace poco
+
+/**
+ * Check a precondition that is the caller's responsibility; throws
+ * FatalError on failure. Use for public-API argument validation.
+ */
+#define POCO_REQUIRE(cond, msg)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream oss_;                                       \
+            oss_ << "requirement failed: " << (msg) << " [" << #cond       \
+                 << "] at " << __FILE__ << ":" << __LINE__;                \
+            ::poco::fatal(oss_.str());                                     \
+        }                                                                  \
+    } while (0)
+
+/**
+ * Check an internal invariant; aborts on failure. Use for conditions
+ * that can only fail due to a bug inside the library.
+ */
+#define POCO_ASSERT(cond, msg)                                             \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream oss_;                                       \
+            oss_ << "invariant violated: " << (msg) << " [" << #cond       \
+                 << "] at " << __FILE__ << ":" << __LINE__;                \
+            ::poco::panic(oss_.str());                                     \
+        }                                                                  \
+    } while (0)

@@ -1,0 +1,48 @@
+#include "util/logging.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace poco
+{
+
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO ";
+      case LogLevel::Warn:  return "WARN ";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off:   return "OFF  ";
+    }
+    return "?????";
+}
+
+void
+Logger::write(LogLevel level, const std::string& component,
+              const std::string& msg)
+{
+    if (!enabled(level))
+        return;
+    (*sink_) << "[" << logLevelName(level) << "] " << component << ": "
+             << msg << "\n";
+}
+
+Logger&
+log()
+{
+    static Logger global;
+    return global;
+}
+
+void
+panic(const std::string& msg)
+{
+    std::cerr << "panic: " << msg << std::endl;
+    std::abort();
+}
+
+} // namespace poco

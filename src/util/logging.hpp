@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal leveled logger used across the pocolo library.
+ *
+ * The logger writes to an std::ostream sink (default: std::cerr) and
+ * filters by severity. It is deliberately simple: simulation code logs
+ * rarely (controllers log decisions at Debug level, benches at Info),
+ * so no async machinery is needed.
+ */
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace poco
+{
+
+/** Severity levels, in increasing order of importance. */
+enum class LogLevel
+{
+    Trace = 0,
+    Debug = 1,
+    Info = 2,
+    Warn = 3,
+    Error = 4,
+    Off = 5,
+};
+
+/** Convert a level to its fixed-width display name. */
+const char* logLevelName(LogLevel level);
+
+/**
+ * A leveled logger bound to an output stream.
+ *
+ * Loggers are cheap value-ish objects; the global logger returned by
+ * poco::log() is what library code uses. Tests may construct their own
+ * logger around a std::ostringstream to assert on output.
+ */
+class Logger
+{
+  public:
+    /**
+     * @param sink Stream that receives formatted records. Must outlive
+     *             the logger.
+     * @param level Minimum severity that is emitted.
+     */
+    explicit Logger(std::ostream& sink = std::cerr,
+                    LogLevel level = LogLevel::Warn)
+        : sink_(&sink), level_(level)
+    {}
+
+    LogLevel level() const { return level_; }
+    void setLevel(LogLevel level) { level_ = level; }
+    void setSink(std::ostream& sink) { sink_ = &sink; }
+
+    /** True if a record at @p level would be emitted. */
+    bool enabled(LogLevel level) const { return level >= level_; }
+
+    /**
+     * Emit one record.
+     *
+     * @param level Record severity.
+     * @param component Short subsystem tag (e.g. "server", "cluster").
+     * @param msg Pre-formatted message text.
+     */
+    void write(LogLevel level, const std::string& component,
+               const std::string& msg);
+
+  private:
+    std::ostream* sink_;
+    LogLevel level_;
+};
+
+/** The process-wide logger used by library code. */
+Logger& log();
+
+} // namespace poco
+
+/** Log with lazy formatting: the stream expression only runs if enabled. */
+#define POCO_LOG(level, component, expr)                                   \
+    do {                                                                   \
+        if (::poco::log().enabled(level)) {                                \
+            std::ostringstream oss_;                                       \
+            oss_ << expr;                                                  \
+            ::poco::log().write(level, component, oss_.str());             \
+        }                                                                  \
+    } while (0)
+
+#define POCO_TRACE(component, expr)                                        \
+    POCO_LOG(::poco::LogLevel::Trace, component, expr)
+#define POCO_DEBUG(component, expr)                                        \
+    POCO_LOG(::poco::LogLevel::Debug, component, expr)
+#define POCO_INFO(component, expr)                                         \
+    POCO_LOG(::poco::LogLevel::Info, component, expr)
+#define POCO_WARN(component, expr)                                         \
+    POCO_LOG(::poco::LogLevel::Warn, component, expr)
+#define POCO_ERROR(component, expr)                                        \
+    POCO_LOG(::poco::LogLevel::Error, component, expr)

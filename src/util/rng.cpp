@@ -1,0 +1,128 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco
+{
+
+namespace
+{
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+std::uint64_t
+SplitMix64::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed)
+{
+    SplitMix64 sm(seed);
+    for (auto& s : s_)
+        s = sm.next();
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    POCO_REQUIRE(lo <= hi, "uniform range must satisfy lo <= hi");
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    POCO_REQUIRE(lo <= hi, "uniformInt range must satisfy lo <= hi");
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    return lo + static_cast<int>(nextU64() % span);
+}
+
+double
+Rng::normal()
+{
+    // Box-Muller without caching: simpler and stateless; the extra
+    // transcendental cost is irrelevant at our call rates.
+    double u1 = uniform();
+    while (u1 <= 0.0)
+        u1 = uniform();
+    const double u2 = uniform();
+    constexpr double two_pi = 6.28318530717958647692;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(two_pi * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::noiseFactor(double sigma)
+{
+    if (sigma <= 0.0)
+        return 1.0;
+    return std::exp(normal(0.0, sigma));
+}
+
+std::vector<int>
+Rng::permutation(int n)
+{
+    POCO_REQUIRE(n >= 0, "permutation size must be non-negative");
+    std::vector<int> idx(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        idx[static_cast<std::size_t>(i)] = i;
+    for (int i = n - 1; i > 0; --i) {
+        const int j = uniformInt(0, i);
+        std::swap(idx[static_cast<std::size_t>(i)],
+                  idx[static_cast<std::size_t>(j)]);
+    }
+    return idx;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(nextU64() ^ 0xdeadbeefcafef00dULL);
+}
+
+} // namespace poco

@@ -1,0 +1,150 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace poco
+{
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+double
+SampleSet::mean() const
+{
+    return meanOf(samples_);
+}
+
+double
+SampleSet::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+SampleSet::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleSet::percentile(double p) const
+{
+    return percentileOf(samples_, p);
+}
+
+double
+percentileOf(std::vector<double> samples, double p)
+{
+    POCO_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    if (samples.size() == 1)
+        return samples.front();
+    // Linear interpolation between closest ranks (the "exclusive"
+    // variant clamped to the data range).
+    const double rank =
+        p / 100.0 * static_cast<double>(samples.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+double
+meanOf(const std::vector<double>& samples)
+{
+    if (samples.empty())
+        return 0.0;
+    return std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+}
+
+double
+rSquared(const std::vector<double>& observed,
+         const std::vector<double>& predicted)
+{
+    POCO_REQUIRE(observed.size() == predicted.size(),
+                 "rSquared needs equal-length vectors");
+    POCO_REQUIRE(!observed.empty(), "rSquared needs at least one sample");
+    const double mean = meanOf(observed);
+    double ss_res = 0.0;
+    double ss_tot = 0.0;
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+        const double res = observed[i] - predicted[i];
+        const double dev = observed[i] - mean;
+        ss_res += res * res;
+        ss_tot += dev * dev;
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+} // namespace poco

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Summary statistics helpers: running moments, percentiles, and a
+ * sample accumulator used by the telemetry and evaluation code.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace poco
+{
+
+/**
+ * Online mean/variance accumulator (Welford's algorithm).
+ * Does not store samples; O(1) memory.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Population variance (biased); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats& other);
+
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * A stored-sample accumulator supporting exact percentiles.
+ *
+ * Used for tail-latency tracking where the controller needs p95/p99
+ * over a sliding window. Samples are kept in insertion order; the
+ * percentile query sorts a scratch copy (windows are small: <= a few
+ * thousand samples per control period).
+ */
+class SampleSet
+{
+  public:
+    void add(double x) { samples_.push_back(x); }
+
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    void clear() { samples_.clear(); }
+
+    double mean() const;
+    double sum() const;
+    double min() const;
+    double max() const;
+
+    /**
+     * Exact percentile by linear interpolation between closest ranks.
+     *
+     * @param p Percentile in [0, 100].
+     * @return The value at the p-th percentile; 0 if empty.
+     */
+    double percentile(double p) const;
+
+    const std::vector<double>& samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+};
+
+/** Percentile of an arbitrary sample vector (see SampleSet::percentile). */
+double percentileOf(std::vector<double> samples, double p);
+
+/** Arithmetic mean of a vector; 0 if empty. */
+double meanOf(const std::vector<double>& samples);
+
+/**
+ * Coefficient of determination (R-squared) between observations and
+ * model predictions. Returns 1 for a perfect fit; can be negative for
+ * fits worse than the mean predictor.
+ *
+ * @param observed Ground-truth values.
+ * @param predicted Model predictions, same length.
+ */
+double rSquared(const std::vector<double>& observed,
+                const std::vector<double>& predicted);
+
+} // namespace poco

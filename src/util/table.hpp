@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Text table and CSV rendering for benches and examples.
+ *
+ * The bench harness prints the same rows/series the paper's tables and
+ * figures report; TextTable renders aligned console output and
+ * writeCsv() emits the machine-readable twin.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace poco
+{
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   TextTable t({"app", "power (W)"});
+ *   t.addRow({"xapian", "154.0"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Render with ASCII separators, right-padding each column. */
+    std::string render() const;
+
+    /** Render as CSV (comma-separated, quoted only when needed). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (default 2 digits). */
+std::string fmt(double value, int precision = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.18 -> "18.0%". */
+std::string fmtPercent(double ratio, int precision = 1);
+
+/** Write the CSV rendering of a table to a file; throws on I/O error. */
+void writeCsv(const TextTable& table, const std::string& path);
+
+} // namespace poco

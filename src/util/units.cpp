@@ -1,0 +1,25 @@
+#include "util/units.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace poco
+{
+
+std::string
+formatTime(SimTime t)
+{
+    std::ostringstream out;
+    out << std::fixed;
+    if (t < kMillisecond) {
+        out << t << "us";
+    } else if (t < kSecond) {
+        out << std::setprecision(3)
+            << static_cast<double>(t) / kMillisecond << "ms";
+    } else {
+        out << std::setprecision(3) << toSeconds(t) << "s";
+    }
+    return out.str();
+}
+
+} // namespace poco

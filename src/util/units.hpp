@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Unit vocabulary for the simulator and managers.
+ *
+ * Simulated time is kept in integer microseconds to keep event ordering
+ * exact; power in watts; frequency in GHz. Strong typedefs would be
+ * overkill for this codebase, but the aliases document intent at call
+ * sites and the helpers centralize conversions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace poco
+{
+
+/** Simulated time in microseconds. */
+using SimTime = std::int64_t;
+
+/** Power in watts. */
+using Watts = double;
+
+/** Core frequency in GHz. */
+using GHz = double;
+
+/** Offered load / throughput in requests (or work units) per second. */
+using Rps = double;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * 1000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/** Convert a SimTime to (floating) seconds. */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert (floating) seconds to SimTime, truncating to microseconds. */
+constexpr SimTime
+fromSeconds(double seconds)
+{
+    return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+/** Render a SimTime as a human-readable string, e.g. "2.500s". */
+std::string formatTime(SimTime t);
+
+} // namespace poco

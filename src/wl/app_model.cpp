@@ -1,0 +1,30 @@
+#include "wl/app_model.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace poco::wl
+{
+
+double
+PerfSurface::evaluate(const sim::Allocation& alloc,
+                      const sim::ServerSpec& spec) const
+{
+    if (alloc.empty())
+        return 0.0;
+    alloc.validate(spec);
+
+    const double c = static_cast<double>(alloc.cores) /
+                     static_cast<double>(spec.cores);
+    const double w = static_cast<double>(alloc.ways) /
+                     static_cast<double>(spec.llcWays);
+    const double f = alloc.freq / spec.freqMax;
+
+    const double cd = std::pow(c, alphaCores) * std::pow(w, alphaWays) *
+                      std::pow(f, alphaFreq);
+    const double bend = 1.0 - curvature * c * w;
+    return cd * bend * alloc.dutyCycle;
+}
+
+} // namespace poco::wl

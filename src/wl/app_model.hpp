@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ground-truth application behaviour models.
+ *
+ * These classes replace the paper's real workloads (Tailbench img-dnn
+ * / sphinx / xapian, TPC-C on MySQL; Keras LSTM/RNN training, PageRank,
+ * pbzip2). Pocolo itself never reads the parameters in this header: it
+ * observes only (allocation, load) -> (latency, throughput, power)
+ * through profiling and telemetry, exactly as on real hardware.
+ *
+ * Performance surfaces are Cobb-Douglas-like with a small curvature
+ * term (so the fitted model is a good but imperfect approximation,
+ * like on real machines), and latency follows an M/M/1-style blow-up
+ * as offered load approaches the allocation's service capacity.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/allocation.hpp"
+#include "sim/power_model.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+
+namespace poco::wl
+{
+
+/** Shared shape parameters of a performance surface. */
+struct PerfSurface
+{
+    /** Exponent of (cores / total cores). */
+    double alphaCores = 0.5;
+    /** Exponent of (ways / total ways). */
+    double alphaWays = 0.5;
+    /** Exponent of (freq / freqMax). */
+    double alphaFreq = 0.7;
+    /**
+     * Departure from pure Cobb-Douglas: the surface is multiplied by
+     * (1 - curvature * (c/C) * (w/W)). Real applications saturate when
+     * given everything at once; this keeps fitted R-squared below 1.
+     */
+    double curvature = 0.06;
+
+    /**
+     * Normalized output in (0, 1]: fraction of the full-allocation
+     * performance achieved by the allocation.
+     */
+    double evaluate(const sim::Allocation& alloc,
+                    const sim::ServerSpec& spec) const;
+};
+
+/** Parameters for a latency-critical application. */
+struct LcAppParams
+{
+    std::string name;
+
+    /** Peak offered load the deployment is sized for (Table II). */
+    Rps peakLoad = 1000.0;
+
+    /** Tail-latency SLOs in seconds (Table II). */
+    double slo95 = 0.010;
+    double slo99 = 0.020;
+
+    /**
+     * Intrinsic (zero-queueing) p99 latency as a fraction of slo99.
+     * The max SLO-compliant occupancy is 1 - baseLatencyShare.
+     */
+    double baseLatencyShare = 0.2;
+
+    PerfSurface perf;
+    sim::PowerIntensity power;
+};
+
+/** Parameters for a best-effort application. */
+struct BeAppParams
+{
+    std::string name;
+
+    PerfSurface perf;
+    sim::PowerIntensity power;
+
+    /**
+     * Throughput normalization: work units per second when the app
+     * holds @ref normCores cores and @ref normWays ways at freqMax.
+     * Defaults make "1.0" mean "full-spare-of-an-idle-primary" so
+     * BE throughputs are comparable across apps (paper Fig. 3 shows
+     * all BE apps at the same uncapped throughput).
+     */
+    double normThroughput = 1.0;
+    int normCores = 11;
+    int normWays = 18;
+};
+
+} // namespace poco::wl

@@ -1,0 +1,56 @@
+#include "wl/be_app.hpp"
+
+#include "util/check.hpp"
+
+namespace poco::wl
+{
+
+BeApp::BeApp(BeAppParams params, sim::ServerSpec spec)
+    : params_(std::move(params)), spec_(std::move(spec)),
+      power_model_(spec_)
+{
+    spec_.validate();
+    POCO_REQUIRE(params_.normThroughput > 0,
+                 "normalization throughput must be positive");
+    POCO_REQUIRE(params_.normCores >= 1 &&
+                 params_.normCores <= spec_.cores,
+                 "normalization cores out of range");
+    POCO_REQUIRE(params_.normWays >= 1 &&
+                 params_.normWays <= spec_.llcWays,
+                 "normalization ways out of range");
+    const sim::Allocation norm{params_.normCores, params_.normWays,
+                               spec_.freqMax, 1.0};
+    norm_surface_ = params_.perf.evaluate(norm, spec_);
+    POCO_ASSERT(norm_surface_ > 0, "degenerate performance surface");
+}
+
+Rps
+BeApp::throughput(const sim::Allocation& alloc) const
+{
+    if (alloc.empty())
+        return 0.0;
+    return params_.normThroughput *
+           params_.perf.evaluate(alloc, spec_) / norm_surface_;
+}
+
+double
+BeApp::utilization(const sim::Allocation& alloc) const
+{
+    // Throughput-oriented batch work never idles its cores; the duty
+    // cycle (part of the allocation) is how the throttler limits it.
+    return alloc.empty() ? 0.0 : 1.0;
+}
+
+Watts
+BeApp::power(const sim::Allocation& alloc) const
+{
+    if (alloc.empty())
+        return 0.0;
+    sim::PowerDraw draw;
+    draw.intensity = params_.power;
+    draw.alloc = alloc;
+    draw.utilization = utilization(alloc);
+    return power_model_.appPower(draw);
+}
+
+} // namespace poco::wl

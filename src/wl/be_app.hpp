@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Best-effort application model.
+ *
+ * BE apps (deep-learning training, graph analytics, compression) are
+ * throughput oriented: given an allocation they produce work at a rate
+ * determined by their performance surface; there is no latency SLO.
+ * Throughput is normalized so that 1.0 equals the rate on the full
+ * spare allocation of an idle primary (11 cores / 18 ways at max
+ * frequency by default), matching the paper's Fig. 3 where all BE apps
+ * run at the same uncapped throughput.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/allocation.hpp"
+#include "sim/power_model.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+#include "wl/app_model.hpp"
+
+namespace poco::wl
+{
+
+/** Ground truth for one best-effort (secondary) application. */
+class BeApp
+{
+  public:
+    BeApp(BeAppParams params, sim::ServerSpec spec);
+
+    const std::string& name() const { return params_.name; }
+    const sim::ServerSpec& spec() const { return spec_; }
+    const sim::PowerIntensity& powerIntensity() const
+    {
+        return params_.power;
+    }
+
+    /**
+     * Work rate (normalized units/s) on the given allocation. Zero
+     * when parked. Scales with frequency, duty cycle, cores, ways.
+     */
+    Rps throughput(const sim::Allocation& alloc) const;
+
+    /** BE apps keep their granted cores busy: utilization is 1. */
+    double utilization(const sim::Allocation& alloc) const;
+
+    /** Power contributed by this app on top of server static power. */
+    Watts power(const sim::Allocation& alloc) const;
+
+  private:
+    BeAppParams params_;
+    sim::ServerSpec spec_;
+    sim::PowerModel power_model_;
+    double norm_surface_;  ///< surface value at the normalization point
+};
+
+} // namespace poco::wl

@@ -1,0 +1,145 @@
+#include "wl/load_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace poco::wl
+{
+
+LoadTrace::LoadTrace(std::string name, Shape shape)
+    : name_(std::move(name)), shape_(std::move(shape))
+{
+    POCO_REQUIRE(static_cast<bool>(shape_), "trace shape must be set");
+}
+
+double
+LoadTrace::at(SimTime t) const
+{
+    return std::clamp(shape_(t), 0.0, 1.0);
+}
+
+std::vector<double>
+LoadTrace::sample(SimTime duration, SimTime step) const
+{
+    POCO_REQUIRE(step > 0, "sample step must be positive");
+    std::vector<double> out;
+    for (SimTime t = 0; t < duration; t += step)
+        out.push_back(at(t));
+    return out;
+}
+
+LoadTrace
+LoadTrace::constant(double fraction)
+{
+    POCO_REQUIRE(fraction >= 0.0 && fraction <= 1.0,
+                 "constant load fraction must be in [0, 1]");
+    return LoadTrace("constant", [fraction](SimTime) {
+        return fraction;
+    });
+}
+
+LoadTrace
+LoadTrace::diurnal(SimTime period, double low, double high, double phase)
+{
+    POCO_REQUIRE(period > 0, "diurnal period must be positive");
+    POCO_REQUIRE(low >= 0.0 && high <= 1.0 && low <= high,
+                 "diurnal range must satisfy 0 <= low <= high <= 1");
+    return LoadTrace("diurnal", [=](SimTime t) {
+        const double day =
+            std::fmod(static_cast<double>(t) /
+                          static_cast<double>(period) + phase, 1.0);
+        // Raised-cosine: trough at day = 0, peak at day = 0.5. The
+        // squared shaping keeps nights long and the peak broad, like
+        // measured interactive-service traces.
+        const double s = 0.5 * (1.0 - std::cos(2.0 * M_PI * day));
+        return low + (high - low) * s * s;
+    });
+}
+
+LoadTrace
+LoadTrace::stepped(std::vector<double> fractions, SimTime dwell)
+{
+    POCO_REQUIRE(!fractions.empty(), "stepped trace needs fractions");
+    POCO_REQUIRE(dwell > 0, "dwell must be positive");
+    for (double f : fractions)
+        POCO_REQUIRE(f >= 0.0 && f <= 1.0,
+                     "stepped fractions must be in [0, 1]");
+    return LoadTrace("stepped", [=](SimTime t) {
+        const auto idx = static_cast<std::size_t>(
+            (t / dwell) % static_cast<SimTime>(fractions.size()));
+        return fractions[idx];
+    });
+}
+
+LoadTrace
+LoadTrace::jittered(LoadTrace base, double sigma, SimTime dwell,
+                    std::uint64_t seed)
+{
+    POCO_REQUIRE(sigma >= 0.0, "jitter sigma must be non-negative");
+    POCO_REQUIRE(dwell > 0, "jitter dwell must be positive");
+    return LoadTrace(base.name() + "+jitter", [=](SimTime t) {
+        // Hash the interval index so the factor is a pure function of
+        // time (traces must be re-queryable at any t).
+        const auto interval = static_cast<std::uint64_t>(t / dwell);
+        SplitMix64 sm(seed ^ (interval * 0x9e3779b97f4a7c15ULL + 1));
+        // Two uniforms -> approximately normal via sum of 4 draws.
+        double acc = 0.0;
+        for (int i = 0; i < 4; ++i)
+            acc += (sm.next() >> 11) * 0x1.0p-53;
+        const double approx_normal = (acc - 2.0) * std::sqrt(3.0);
+        const double factor = std::exp(sigma * approx_normal);
+        return base.at(t) * factor;
+    });
+}
+
+LoadTrace
+LoadTrace::fromCsv(const std::string& content, SimTime dwell)
+{
+    POCO_REQUIRE(dwell > 0, "trace dwell must be positive");
+    std::vector<double> fractions;
+    std::istringstream in(content);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        std::istringstream fields(line);
+        double value = 0.0;
+        if (!(fields >> value))
+            continue; // blank or comment-only line
+        std::string extra;
+        if (fields >> extra || value < 0.0 || value > 1.0) {
+            std::ostringstream oss;
+            oss << "trace line " << line_no
+                << ": expected one load fraction in [0, 1]";
+            poco::fatal(oss.str());
+        }
+        fractions.push_back(value);
+    }
+    POCO_REQUIRE(!fractions.empty(),
+                 "trace file contains no samples");
+    LoadTrace trace = stepped(std::move(fractions), dwell);
+    return LoadTrace("csv", [trace](SimTime t) {
+        return trace.at(t);
+    });
+}
+
+LoadTrace
+LoadTrace::fromCsvFile(const std::string& path, SimTime dwell)
+{
+    std::ifstream in(path);
+    if (!in)
+        poco::fatal("cannot open trace file: " + path);
+    std::ostringstream content;
+    content << in.rdbuf();
+    return fromCsv(content.str(), dwell);
+}
+
+} // namespace poco::wl

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Offered-load traces for latency-critical applications.
+ *
+ * User-facing services show diurnal variation (Section II-B). The
+ * trace produces the offered load as a fraction of peak at any
+ * simulated time; the cluster simulation drives each primary with one.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace poco::wl
+{
+
+/** A load trace: time -> load fraction of peak, in [floor, 1]. */
+class LoadTrace
+{
+  public:
+    using Shape = std::function<double(SimTime)>;
+
+    /**
+     * @param name Display name.
+     * @param shape Function of simulated time returning the load
+     *              fraction; values are clamped to [0, 1].
+     */
+    LoadTrace(std::string name, Shape shape);
+
+    const std::string& name() const { return name_; }
+
+    /** Load fraction of peak at time @p t, clamped to [0, 1]. */
+    double at(SimTime t) const;
+
+    /**
+     * Sample the trace every @p step over [0, duration); useful for
+     * sweeps and plotting.
+     */
+    std::vector<double> sample(SimTime duration, SimTime step) const;
+
+    /** A constant trace (fixed operating point, e.g. "10% load"). */
+    static LoadTrace constant(double fraction);
+
+    /**
+     * A smooth diurnal curve: low overnight, one broad daytime peak.
+     *
+     * @param period Length of one "day" of simulated time.
+     * @param low Overnight trough fraction (e.g. 0.1).
+     * @param high Daytime peak fraction (e.g. 0.9).
+     * @param phase Fraction of the period by which the peak is
+     *              shifted (0 puts the peak mid-period).
+     */
+    static LoadTrace diurnal(SimTime period, double low, double high,
+                             double phase = 0.0);
+
+    /**
+     * A step schedule cycling through the given fractions, holding
+     * each for @p dwell. The paper's evaluation averages across a
+     * uniform 10%..90% load distribution; stepped(…) realizes it.
+     */
+    static LoadTrace stepped(std::vector<double> fractions,
+                             SimTime dwell);
+
+    /**
+     * Add multiplicative jitter on top of another trace; each @p dwell
+     * interval gets an independent lognormal factor (deterministic in
+     * the seed).
+     */
+    static LoadTrace jittered(LoadTrace base, double sigma,
+                              SimTime dwell, std::uint64_t seed);
+
+    /**
+     * Replay a recorded trace: one load fraction per line (blank
+     * lines and '#' comments ignored), each held for @p dwell;
+     * wraps around at the end. This is how production telemetry
+     * (e.g. a day of 5-minute load averages) drives the simulator.
+     *
+     * @throws poco::FatalError on I/O errors, non-numeric lines, or
+     *         values outside [0, 1].
+     */
+    static LoadTrace fromCsvFile(const std::string& path,
+                                 SimTime dwell);
+
+    /** Same, parsing from an already-loaded string. */
+    static LoadTrace fromCsv(const std::string& content,
+                             SimTime dwell);
+
+  private:
+    std::string name_;
+    Shape shape_;
+};
+
+} // namespace poco::wl

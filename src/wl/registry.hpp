@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The calibrated application set used throughout the evaluation.
+ *
+ * Four latency-critical primaries (img-dnn, sphinx, xapian, tpcc) and
+ * four best-effort secondaries (lstm, rnn, graph, pbzip2), with
+ * parameters calibrated so the fitted preference vectors and peak
+ * power figures match the paper's reported values (see DESIGN.md §5).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/server_spec.hpp"
+#include "wl/be_app.hpp"
+#include "wl/lc_app.hpp"
+
+namespace poco::wl
+{
+
+/** Calibrated parameters for the four LC apps on @p spec. */
+std::vector<LcAppParams> defaultLcParams();
+
+/** Calibrated parameters for the four BE apps on @p spec. */
+std::vector<BeAppParams> defaultBeParams();
+
+/** Parameters for one LC app by name; throws if unknown. */
+LcAppParams lcParamsByName(const std::string& name);
+
+/** Parameters for one BE app by name; throws if unknown. */
+BeAppParams beParamsByName(const std::string& name);
+
+/**
+ * The Section II-C xapian deployment (132 W provisioned capacity)
+ * used by the motivation experiments of Figs. 1-3.
+ */
+LcAppParams xapianMotivationParams();
+
+/** The full evaluation app set deployed on one server spec. */
+struct AppSet
+{
+    sim::ServerSpec spec;
+    std::vector<LcApp> lc;
+    std::vector<BeApp> be;
+
+    const LcApp& lcByName(const std::string& name) const;
+    const BeApp& beByName(const std::string& name) const;
+};
+
+/** Build the default 4+4 app set on the Xeon E5-2650 platform. */
+AppSet defaultAppSet();
+
+/**
+ * Extended application set for scaling studies: the default eight
+ * apps plus two further latency-critical services (memcached, moses)
+ * and two further best-effort candidates (spark-batch, x264). These
+ * are plausibility-calibrated only — the paper does not evaluate
+ * them — and exist so cluster-level experiments can sweep beyond the
+ * 4x4 configuration.
+ */
+AppSet extendedAppSet();
+
+} // namespace poco::wl

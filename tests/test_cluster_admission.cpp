@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for admission control when best-effort candidates outnumber
+ * servers (admitAndPlace).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "cluster/placement.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::cluster
+{
+namespace
+{
+
+PerformanceMatrix
+makeMatrix(std::vector<std::vector<double>> value)
+{
+    PerformanceMatrix m;
+    m.value = std::move(value);
+    for (std::size_t i = 0; i < m.value.size(); ++i)
+        m.beNames.push_back("be" + std::to_string(i));
+    for (std::size_t j = 0; j < m.value.front().size(); ++j)
+        m.lcNames.push_back("lc" + std::to_string(j));
+    return m;
+}
+
+double
+admittedValue(const PerformanceMatrix& m,
+              const std::vector<int>& admitted)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < admitted.size(); ++i)
+        if (admitted[i] >= 0)
+            total += m.value[i][static_cast<std::size_t>(
+                admitted[i])];
+    return total;
+}
+
+TEST(Admission, SquareCaseMatchesAssignment)
+{
+    const auto m = makeMatrix({{10.0, 1.0}, {1.0, 10.0}});
+    const auto admitted = admitAndPlace(m);
+    EXPECT_EQ(admitted, (std::vector<int>{0, 1}));
+}
+
+TEST(Admission, DropsTheWeakestCandidate)
+{
+    // 3 candidates, 2 servers; be2 is dominated everywhere.
+    const auto m = makeMatrix(
+        {{5.0, 4.0}, {4.0, 6.0}, {1.0, 1.0}});
+    const auto admitted = admitAndPlace(m);
+    ASSERT_EQ(admitted.size(), 3u);
+    EXPECT_EQ(admitted[2], -1);
+    EXPECT_EQ(admitted[0], 0);
+    EXPECT_EQ(admitted[1], 1);
+}
+
+TEST(Admission, PrefersHighValueOutsiders)
+{
+    // The third candidate crushes everyone on server 1.
+    const auto m = makeMatrix(
+        {{5.0, 4.0}, {4.0, 6.0}, {1.0, 20.0}});
+    const auto admitted = admitAndPlace(m);
+    EXPECT_EQ(admitted[2], 1);
+    EXPECT_EQ(admitted[0], 0);
+    EXPECT_EQ(admitted[1], -1);
+}
+
+TEST(Admission, ExactlyServerCountAdmitted)
+{
+    Rng rng(3);
+    std::vector<std::vector<double>> value(
+        7, std::vector<double>(3));
+    for (auto& row : value)
+        for (auto& v : row)
+            v = rng.uniform(0.0, 10.0);
+    const auto m = makeMatrix(value);
+    const auto admitted = admitAndPlace(m);
+    std::set<int> servers;
+    int count = 0;
+    for (int a : admitted) {
+        if (a >= 0) {
+            ++count;
+            servers.insert(a);
+        }
+    }
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(servers.size(), 3u); // distinct servers
+}
+
+/** Property: matches brute force over candidate subsets x perms. */
+class AdmissionOptimality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AdmissionOptimality, MatchesBruteForce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 11);
+    const std::size_t n_be = 5;
+    const std::size_t n_srv = 3;
+    std::vector<std::vector<double>> value(
+        n_be, std::vector<double>(n_srv));
+    for (auto& row : value)
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+    const auto m = makeMatrix(value);
+    const auto admitted = admitAndPlace(m);
+    const double got = admittedValue(m, admitted);
+
+    // Brute force: every injective map of servers -> candidates.
+    double best = 0.0;
+    std::vector<int> cand = {0, 1, 2, 3, 4};
+    std::sort(cand.begin(), cand.end());
+    do {
+        double total = 0.0;
+        for (std::size_t j = 0; j < n_srv; ++j)
+            total += value[static_cast<std::size_t>(cand[j])][j];
+        best = std::max(best, total);
+    } while (std::next_permutation(cand.begin(), cand.end()));
+
+    EXPECT_NEAR(got, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, AdmissionOptimality,
+                         ::testing::Range(1, 11));
+
+TEST(Admission, RejectsEmptyMatrix)
+{
+    PerformanceMatrix empty;
+    EXPECT_THROW(admitAndPlace(empty), poco::FatalError);
+}
+
+} // namespace
+} // namespace poco::cluster

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for cluster-level power budgeting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "cluster/power_budget.hpp"
+#include "model/demand.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+namespace
+{
+
+class BudgetTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        set_ = new wl::AppSet(wl::defaultAppSet());
+        evaluator_ = new ClusterEvaluator(*set_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete evaluator_;
+        delete set_;
+        evaluator_ = nullptr;
+        set_ = nullptr;
+    }
+
+    /** The POColo pairing as budget inputs at a common load. */
+    std::vector<BudgetServer>
+    pocoloServers(double load) const
+    {
+        const auto assignment =
+            evaluator_->placeBe(PlacementKind::Hungarian);
+        std::vector<BudgetServer> servers;
+        for (std::size_t i = 0; i < assignment.size(); ++i) {
+            BudgetServer s;
+            s.lc = evaluator_->lcModels()[static_cast<std::size_t>(
+                assignment[i])];
+            s.beUtility = evaluator_->beModels()[i].utility;
+            s.loadFraction = load;
+            servers.push_back(std::move(s));
+        }
+        return servers;
+    }
+
+    Watts
+    provisionedTotal() const
+    {
+        Watts total = 0.0;
+        for (const auto& lc : evaluator_->lcModels())
+            total += lc.powerCap;
+        return total;
+    }
+
+    static wl::AppSet* set_;
+    static ClusterEvaluator* evaluator_;
+};
+
+wl::AppSet* BudgetTest::set_ = nullptr;
+ClusterEvaluator* BudgetTest::evaluator_ = nullptr;
+
+TEST_F(BudgetTest, ProportionalScalesEveryCap)
+{
+    const auto servers = pocoloServers(0.4);
+    const Watts total = 0.9 * provisionedTotal();
+    const auto split = splitClusterBudget(
+        servers, total, set_->spec, BudgetPolicy::Proportional);
+    ASSERT_EQ(split.caps.size(), servers.size());
+    Watts sum = 0.0;
+    for (std::size_t j = 0; j < servers.size(); ++j) {
+        EXPECT_NEAR(split.caps[j], 0.9 * servers[j].lc.powerCap,
+                    1e-9);
+        sum += split.caps[j];
+    }
+    EXPECT_NEAR(sum, total, 1e-6);
+}
+
+TEST_F(BudgetTest, ProportionalNeverExceedsProvisioned)
+{
+    const auto servers = pocoloServers(0.4);
+    const auto split = splitClusterBudget(
+        servers, 10.0 * provisionedTotal(), set_->spec,
+        BudgetPolicy::Proportional);
+    for (std::size_t j = 0; j < servers.size(); ++j)
+        EXPECT_LE(split.caps[j], servers[j].lc.powerCap + 1e-9);
+}
+
+TEST_F(BudgetTest, UtilityAwareRespectsBoundsAndBudget)
+{
+    const auto servers = pocoloServers(0.4);
+    const Watts total = 0.85 * provisionedTotal();
+    const auto split = splitClusterBudget(
+        servers, total, set_->spec, BudgetPolicy::UtilityAware);
+    Watts sum = 0.0;
+    for (std::size_t j = 0; j < servers.size(); ++j) {
+        EXPECT_LE(split.caps[j], servers[j].lc.powerCap + 1e-9);
+        sum += split.caps[j];
+    }
+    EXPECT_LE(sum, total + 1e-6);
+}
+
+TEST_F(BudgetTest, UtilityAwareBeatsProportionalInModel)
+{
+    // Under a tight budget the utility-aware split must estimate at
+    // least as much BE throughput (it optimizes that objective).
+    const auto servers = pocoloServers(0.3);
+    for (double fraction : {0.8, 0.85, 0.9, 0.95}) {
+        const Watts total = fraction * provisionedTotal();
+        const auto prop = splitClusterBudget(
+            servers, total, set_->spec,
+            BudgetPolicy::Proportional);
+        const auto smart = splitClusterBudget(
+            servers, total, set_->spec,
+            BudgetPolicy::UtilityAware);
+        EXPECT_GE(smart.estimatedBeThroughput,
+                  prop.estimatedBeThroughput - 1e-9)
+            << "budget fraction " << fraction;
+    }
+}
+
+TEST_F(BudgetTest, PrimariesAlwaysCovered)
+{
+    // Even at a very tight budget every cap covers the primary's
+    // modeled draw.
+    const auto servers = pocoloServers(0.6);
+    Watts reserved = 0.0;
+    const auto split_tight = splitClusterBudget(
+        servers, 0.999 * provisionedTotal(), set_->spec,
+        BudgetPolicy::UtilityAware);
+    for (std::size_t j = 0; j < servers.size(); ++j) {
+        const double target =
+            servers[j].loadFraction * servers[j].lc.peakLoad;
+        const auto plan = model::minPowerAllocationFor(
+            servers[j].lc.utility, target, set_->spec);
+        ASSERT_TRUE(plan.has_value());
+        EXPECT_GE(split_tight.caps[j],
+                  plan->modeledPower - 1e-6);
+        reserved += plan->modeledPower;
+    }
+    // And a budget below the reservations is rejected.
+    EXPECT_THROW(splitClusterBudget(servers, reserved * 0.9,
+                                    set_->spec,
+                                    BudgetPolicy::UtilityAware),
+                 poco::FatalError);
+}
+
+TEST_F(BudgetTest, AbundantBudgetSaturates)
+{
+    // With budget = sum of capacities, the utility-aware split
+    // should push caps to (near) the provisioned limits wherever
+    // the BE app can use the power.
+    const auto servers = pocoloServers(0.2);
+    const auto split = splitClusterBudget(
+        servers, provisionedTotal(), set_->spec,
+        BudgetPolicy::UtilityAware);
+    const auto unconstrained = splitClusterBudget(
+        servers, 2.0 * provisionedTotal(), set_->spec,
+        BudgetPolicy::UtilityAware);
+    EXPECT_NEAR(split.estimatedBeThroughput,
+                unconstrained.estimatedBeThroughput,
+                0.05 * unconstrained.estimatedBeThroughput + 1e-9);
+}
+
+TEST_F(BudgetTest, InputValidation)
+{
+    const auto servers = pocoloServers(0.4);
+    EXPECT_THROW(splitClusterBudget({}, 100.0, set_->spec,
+                                    BudgetPolicy::Proportional),
+                 poco::FatalError);
+    EXPECT_THROW(splitClusterBudget(servers, -1.0, set_->spec,
+                                    BudgetPolicy::Proportional),
+                 poco::FatalError);
+    EXPECT_THROW(splitClusterBudget(servers, 100.0, set_->spec,
+                                    BudgetPolicy::UtilityAware,
+                                    0.0),
+                 poco::FatalError);
+    auto bad = servers;
+    bad[0].loadFraction = 0.0;
+    EXPECT_THROW(splitClusterBudget(bad, 500.0, set_->spec,
+                                    BudgetPolicy::Proportional),
+                 poco::FatalError);
+}
+
+TEST(BudgetUnit, PolicyNames)
+{
+    EXPECT_STREQ(budgetPolicyName(BudgetPolicy::Proportional),
+                 "proportional");
+    EXPECT_STREQ(budgetPolicyName(BudgetPolicy::UtilityAware),
+                 "utility-aware");
+}
+
+} // namespace
+} // namespace poco::cluster

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the performance matrix and placement policies, including
+ * the paper's placement decisions (Section V-E).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "cluster/performance_matrix.hpp"
+#include "cluster/placement.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+namespace
+{
+
+class PlacementTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        set_ = new wl::AppSet(wl::defaultAppSet());
+        evaluator_ = new ClusterEvaluator(*set_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete evaluator_;
+        delete set_;
+        evaluator_ = nullptr;
+        set_ = nullptr;
+    }
+
+    static wl::AppSet* set_;
+    static ClusterEvaluator* evaluator_;
+};
+
+wl::AppSet* PlacementTest::set_ = nullptr;
+ClusterEvaluator* PlacementTest::evaluator_ = nullptr;
+
+TEST_F(PlacementTest, MatrixShapeAndPositivity)
+{
+    const auto& m = evaluator_->matrix();
+    ASSERT_EQ(m.value.size(), 4u);
+    ASSERT_EQ(m.value.front().size(), 4u);
+    EXPECT_EQ(m.beNames.size(), 4u);
+    EXPECT_EQ(m.lcNames.size(), 4u);
+    for (const auto& row : m.value)
+        for (double v : row)
+            EXPECT_GT(v, 0.0);
+}
+
+TEST_F(PlacementTest, MatrixFavorsComplementaryPreferences)
+{
+    const auto& m = evaluator_->matrix();
+    // Column index lookup.
+    auto col = [&](const std::string& name) {
+        for (std::size_t j = 0; j < m.lcNames.size(); ++j)
+            if (m.lcNames[j] == name)
+                return j;
+        poco::fatal("missing column " + name);
+    };
+    auto row = [&](const std::string& name) {
+        for (std::size_t i = 0; i < m.beNames.size(); ++i)
+            if (m.beNames[i] == name)
+                return i;
+        poco::fatal("missing row " + name);
+    };
+    // Graph (core-loving) does best on the cache-preferring
+    // primaries (sphinx, and xapian which is nearly tied) whose
+    // min-power allocations leave core-rich spares — paper Section
+    // III/V-E. It must clearly beat the core-preferring/balanced
+    // servers.
+    const std::size_t graph = row("graph");
+    const std::size_t sphinx = col("sphinx");
+    EXPECT_GT(m.value[graph][sphinx],
+              1.2 * m.value[graph][col("img-dnn")]);
+    EXPECT_GT(m.value[graph][sphinx],
+              1.2 * m.value[graph][col("tpcc")]);
+    // And sphinx is (at worst a hair's width from) its best server.
+    for (std::size_t j = 0; j < m.lcNames.size(); ++j)
+        EXPECT_GT(m.value[graph][sphinx],
+                  0.99 * m.value[graph][j]);
+    // And graph gains more from sphinx than the cache-loving LSTM
+    // does (relative advantage drives the matching).
+    const std::size_t lstm = row("lstm");
+    const std::size_t imgdnn = col("img-dnn");
+    EXPECT_GT(m.value[graph][sphinx] - m.value[graph][imgdnn],
+              m.value[lstm][sphinx] - m.value[lstm][imgdnn]);
+}
+
+TEST_F(PlacementTest, ExactSolversAgreeOnTheMatrix)
+{
+    const auto lp = evaluator_->placeBe(PlacementKind::Lp);
+    const auto hungarian =
+        evaluator_->placeBe(PlacementKind::Hungarian);
+    const auto exhaustive =
+        evaluator_->placeBe(PlacementKind::Exhaustive);
+    const auto& m = evaluator_->matrix();
+    const double v_lp = placementValue(m, lp);
+    EXPECT_NEAR(v_lp, placementValue(m, hungarian), 1e-9);
+    EXPECT_NEAR(v_lp, placementValue(m, exhaustive), 1e-9);
+}
+
+TEST_F(PlacementTest, PaperPlacementDecisions)
+{
+    // Section V-E: Graph -> sphinx, LSTM -> img-dnn, RNN and pbzip2
+    // to xapian/tpcc (interchangeably).
+    const auto& m = evaluator_->matrix();
+    const auto assignment = evaluator_->placeBe(PlacementKind::Lp);
+    std::set<std::string> rnn_pbzip_servers;
+    for (std::size_t i = 0; i < m.beNames.size(); ++i) {
+        const std::string& be = m.beNames[i];
+        const std::string& lc =
+            m.lcNames[static_cast<std::size_t>(assignment[i])];
+        if (be == "graph")
+            EXPECT_EQ(lc, "sphinx");
+        else if (be == "lstm")
+            EXPECT_EQ(lc, "img-dnn");
+        else
+            rnn_pbzip_servers.insert(lc);
+    }
+    EXPECT_EQ(rnn_pbzip_servers,
+              (std::set<std::string>{"xapian", "tpcc"}));
+}
+
+TEST_F(PlacementTest, RandomPlacementIsValidAndSeedStable)
+{
+    Rng rng_a(5), rng_b(5), rng_c(6);
+    const auto a = place(evaluator_->matrix(),
+                         PlacementKind::Random, rng_a);
+    const auto b = place(evaluator_->matrix(),
+                         PlacementKind::Random, rng_b);
+    EXPECT_EQ(a, b);
+    const std::set<int> unique(a.begin(), a.end());
+    EXPECT_EQ(unique.size(), a.size());
+    // A different seed eventually differs (try a few draws).
+    bool differs = false;
+    for (int i = 0; i < 10 && !differs; ++i)
+        differs = place(evaluator_->matrix(),
+                        PlacementKind::Random, rng_c) != a;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(PlacementTest, OptimalBeatsEveryOtherPermutation)
+{
+    const auto& m = evaluator_->matrix();
+    const auto best = evaluator_->placeBe(PlacementKind::Hungarian);
+    const double best_value = placementValue(m, best);
+    std::vector<int> perm = {0, 1, 2, 3};
+    do {
+        EXPECT_LE(placementValue(m, perm), best_value + 1e-9);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(MatrixUnit, EstimateCellBehaviour)
+{
+    const wl::AppSet set = wl::defaultAppSet();
+    const ClusterEvaluator evaluator(set);
+    const auto& lc = evaluator.lcModels().front();
+    const auto& be = evaluator.beModels().front();
+    // Higher LC load -> lower BE estimate.
+    const double lo = estimateCellAtLoad(be, lc, set.spec, 0.2, 1.0);
+    const double hi = estimateCellAtLoad(be, lc, set.spec, 0.8, 1.0);
+    EXPECT_GT(lo, hi);
+    EXPECT_THROW(estimateCellAtLoad(be, lc, set.spec, 0.0, 1.0),
+                 poco::FatalError);
+}
+
+TEST(MatrixUnit, BuildValidation)
+{
+    const wl::AppSet set = wl::defaultAppSet();
+    EXPECT_THROW(buildPerformanceMatrix({}, {}, set.spec),
+                 poco::FatalError);
+}
+
+TEST(PlacementUnit, KindNames)
+{
+    EXPECT_STREQ(placementKindName(PlacementKind::Random), "random");
+    EXPECT_STREQ(placementKindName(PlacementKind::Lp), "lp");
+    EXPECT_STREQ(placementKindName(PlacementKind::Hungarian),
+                 "hungarian");
+    EXPECT_STREQ(placementKindName(PlacementKind::Exhaustive),
+                 "exhaustive");
+}
+
+} // namespace
+} // namespace poco::cluster

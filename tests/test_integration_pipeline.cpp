@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Cross-module integration invariants: properties that must hold
+ * across the whole pipeline for every (LC, BE, load) combination,
+ * plus the optional DVFS fine-tuning feature.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/demand.hpp"
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "server/server_manager.hpp"
+#include "util/check.hpp"
+#include "wl/registry.hpp"
+
+namespace poco
+{
+namespace
+{
+
+class PipelineTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        set_ = new wl::AppSet(wl::defaultAppSet());
+        model::Profiler profiler;
+        model::UtilityFitter fitter;
+        for (const auto& lc : set_->lc)
+            models_.push_back(fitter.fit(profiler.profileLc(lc)));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        models_.clear();
+        delete set_;
+        set_ = nullptr;
+    }
+
+    static wl::AppSet* set_;
+    static std::vector<model::CobbDouglasUtility> models_;
+};
+
+wl::AppSet* PipelineTest::set_ = nullptr;
+std::vector<model::CobbDouglasUtility> PipelineTest::models_;
+
+/** (lc index, be index, load) sweep. */
+class PipelineSweep
+    : public PipelineTest,
+      public ::testing::WithParamInterface<std::tuple<int, int,
+                                                      double>>
+{
+};
+
+TEST_P(PipelineSweep, InvariantsHold)
+{
+    const auto [lc_idx, be_idx, load] = GetParam();
+    const wl::LcApp& lc =
+        set_->lc[static_cast<std::size_t>(lc_idx)];
+    const wl::BeApp& be =
+        set_->be[static_cast<std::size_t>(be_idx)];
+    const Watts cap = lc.provisionedPower();
+
+    const auto result = server::runServerScenario(
+        lc, &be, cap,
+        std::make_unique<server::PomController>(
+            models_[static_cast<std::size_t>(lc_idx)]),
+        wl::LoadTrace::constant(load), 180 * kSecond);
+
+    // 1. Power-cap invariant: long-run average at or below the cap.
+    EXPECT_LE(result.stats.averagePower(), cap * 1.01)
+        << lc.name() << "+" << be.name() << "@" << load;
+    // 2. SLO invariant: the managed primary never violates at a
+    //    steady operating point.
+    EXPECT_EQ(result.stats.sloViolationTime, 0)
+        << lc.name() << "+" << be.name() << "@" << load;
+    // 3. Energy identity: energy == average power * elapsed time.
+    EXPECT_NEAR(result.stats.energyJoules,
+                result.stats.averagePower() *
+                    toSeconds(result.stats.elapsed),
+                1e-6);
+    // 4. Power sanity: between idle and the machine's physical max.
+    EXPECT_GE(result.stats.averagePower(),
+              set_->spec.idlePower * 0.99);
+    // 5. BE throughput bounded by the uncapped full-spare rate.
+    EXPECT_LE(result.stats.averageBeThroughput(), 1.25);
+    EXPECT_GE(result.stats.averageBeThroughput(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, PipelineSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(0.15, 0.45, 0.85)));
+
+TEST_F(PipelineTest, CapDominanceAcrossCapLevels)
+{
+    // For a fixed pairing, tightening the cap never increases BE
+    // throughput, and the realized power respects each cap.
+    const wl::LcApp& lc = set_->lcByName("xapian");
+    const wl::BeApp& be = set_->beByName("graph");
+    double prev_thr = 1e18;
+    for (Watts cap : {154.0, 140.0, 125.0, 110.0}) {
+        const auto result = server::runServerScenario(
+            lc, &be, cap,
+            std::make_unique<server::PomController>(models_[2]),
+            wl::LoadTrace::constant(0.2), 240 * kSecond);
+        EXPECT_LE(result.stats.averagePower(), cap * 1.02);
+        EXPECT_LE(result.stats.averageBeThroughput(),
+                  prev_thr + 0.01)
+            << "cap " << cap;
+        prev_thr = result.stats.averageBeThroughput();
+    }
+}
+
+TEST_F(PipelineTest, FrequencyTuningSavesPowerWhenAlone)
+{
+    // Running the primary alone (no co-runner to hand the savings
+    // to), DVFS fine-tuning must strictly reduce energy while
+    // keeping the SLO.
+    const wl::LcApp& lc = set_->lcByName("sphinx");
+    for (double load : {0.1, 0.3}) {
+        server::ServerManagerConfig base;
+        server::ServerManagerConfig tuned;
+        tuned.controller.tunePrimaryFrequency = true;
+
+        const auto off = server::runServerScenario(
+            lc, nullptr, lc.provisionedPower(),
+            std::make_unique<server::PomController>(
+                models_[1], base.controller),
+            wl::LoadTrace::constant(load), 300 * kSecond, base);
+        const auto on = server::runServerScenario(
+            lc, nullptr, lc.provisionedPower(),
+            std::make_unique<server::PomController>(
+                models_[1], tuned.controller),
+            wl::LoadTrace::constant(load), 300 * kSecond, tuned);
+
+        // Strictly cheaper where the slack allowed a step; never
+        // more expensive.
+        EXPECT_LE(on.stats.averagePower(),
+                  off.stats.averagePower() + 1e-9)
+            << "load " << load;
+        if (load <= 0.15) {
+            EXPECT_LT(on.stats.averagePower(),
+                      off.stats.averagePower() - 0.1)
+                << "load " << load;
+        }
+        EXPECT_EQ(on.stats.sloViolationTime, 0) << "load " << load;
+        EXPECT_GT(on.averageSlack, 0.05) << "load " << load;
+    }
+}
+
+TEST_F(PipelineTest, FrequencyTuningRevertsOnLoadRise)
+{
+    // After a quiet phase at low load (frequency stepped down), a
+    // jump to high load must not cause SLO violations: the
+    // controller snaps back to max frequency.
+    const wl::LcApp& lc = set_->lcByName("xapian");
+    server::ServerManagerConfig config;
+    config.controller.tunePrimaryFrequency = true;
+    const auto result = server::runServerScenario(
+        lc, nullptr, lc.provisionedPower(),
+        std::make_unique<server::PomController>(
+            models_[2], config.controller),
+        wl::LoadTrace::stepped({0.15, 0.85}, 120 * kSecond),
+        6 * 120 * kSecond, config);
+    EXPECT_LT(result.stats.sloViolationFraction(), 0.01);
+}
+
+TEST_F(PipelineTest, ModeledPowerTracksRealizedPower)
+{
+    // The fitted model's power prediction for the controller's
+    // chosen allocation must track the simulator's measured draw
+    // within the noise budget (it is what the matrix builder uses
+    // to compute headroom).
+    for (std::size_t i = 0; i < set_->lc.size(); ++i) {
+        const wl::LcApp& lc = set_->lc[i];
+        const auto result = server::runServerScenario(
+            lc, nullptr, lc.provisionedPower(),
+            std::make_unique<server::PomController>(models_[i]),
+            wl::LoadTrace::constant(0.5), 180 * kSecond);
+        // Reconstruct the model's view of the steady allocation.
+        const auto plan = model::minPowerAllocationFor(
+            models_[i], 0.5 * lc.peakLoad(), set_->spec);
+        ASSERT_TRUE(plan.has_value()) << lc.name();
+        EXPECT_NEAR(plan->modeledPower /
+                        result.stats.averagePower(),
+                    1.0, 0.15)
+            << lc.name();
+    }
+}
+
+} // namespace
+} // namespace poco

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the dense matrix and linear solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "math/matrix.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::math
+{
+namespace
+{
+
+TEST(Matrix, ConstructionAndIndexing)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+    m(0, 0) = 7.0;
+    EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+    EXPECT_THROW(m.at(2, 0), poco::FatalError);
+    EXPECT_THROW(m.at(0, 3), poco::FatalError);
+}
+
+TEST(Matrix, InitializerList)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+    EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+    EXPECT_THROW((Matrix{{1.0}, {1.0, 2.0}}), poco::FatalError);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    const Matrix i = Matrix::identity(2);
+    EXPECT_TRUE(m.multiply(i).approxEquals(m));
+    EXPECT_TRUE(i.multiply(m).approxEquals(m));
+}
+
+TEST(Matrix, MultiplyKnownProduct)
+{
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+    Matrix expect{{58.0, 64.0}, {139.0, 154.0}};
+    EXPECT_TRUE(a.multiply(b).approxEquals(expect));
+    EXPECT_THROW(a.multiply(a), poco::FatalError); // 2x3 * 2x3
+}
+
+TEST(Matrix, TransposeInvolution)
+{
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    EXPECT_TRUE(a.transpose().transpose().approxEquals(a));
+    EXPECT_DOUBLE_EQ(a.transpose()(2, 1), 6.0);
+}
+
+TEST(Matrix, VectorMultiply)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    const auto v = a.multiply(std::vector<double>{1.0, 1.0});
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 3.0);
+    EXPECT_DOUBLE_EQ(v[1], 7.0);
+}
+
+TEST(Solve, KnownSystem)
+{
+    // 2x + y = 5; x - y = 1  ->  x = 2, y = 1.
+    Matrix a{{2.0, 1.0}, {1.0, -1.0}};
+    const auto x = solveLinearSystem(a, {5.0, 1.0});
+    EXPECT_NEAR(x[0], 2.0, 1e-12);
+    EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(Solve, RequiresPivoting)
+{
+    // Zero leading pivot forces a row swap.
+    Matrix a{{0.0, 1.0}, {1.0, 0.0}};
+    const auto x = solveLinearSystem(a, {3.0, 4.0});
+    EXPECT_NEAR(x[0], 4.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows)
+{
+    Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+    EXPECT_THROW(solveLinearSystem(a, {1.0, 2.0}), poco::FatalError);
+}
+
+TEST(Solve, ShapeValidation)
+{
+    Matrix rect(2, 3);
+    EXPECT_THROW(solveLinearSystem(rect, {1.0, 2.0}),
+                 poco::FatalError);
+    Matrix sq = Matrix::identity(2);
+    EXPECT_THROW(solveLinearSystem(sq, {1.0}), poco::FatalError);
+}
+
+/** Property: for random well-conditioned systems, A x = b holds. */
+class SolveProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SolveProperty, ResidualIsTiny)
+{
+    const int n = GetParam();
+    poco::Rng rng(static_cast<std::uint64_t>(n) * 101);
+    Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c))
+                = rng.uniform(-1.0, 1.0);
+    // Diagonal dominance keeps the system well-conditioned.
+    for (int d = 0; d < n; ++d)
+        a(static_cast<std::size_t>(d), static_cast<std::size_t>(d)) +=
+            static_cast<double>(n);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (auto& v : b)
+        v = rng.uniform(-10.0, 10.0);
+
+    const auto x = solveLinearSystem(a, b);
+    const auto ax = a.multiply(x);
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR(ax[static_cast<std::size_t>(i)],
+                    b[static_cast<std::size_t>(i)], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+} // namespace
+} // namespace poco::math

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Tests for the two-phase simplex LP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "math/hungarian.hpp"
+#include "math/simplex.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::math
+{
+namespace
+{
+
+TEST(Simplex, TextbookMaximization)
+{
+    // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> z = 36 at
+    // (2, 6). (Dantzig's classic example.)
+    LpProblem lp;
+    lp.objective = {3.0, 5.0};
+    lp.addConstraint({1.0, 0.0}, Relation::LessEqual, 4.0);
+    lp.addConstraint({0.0, 2.0}, Relation::LessEqual, 12.0);
+    lp.addConstraint({3.0, 2.0}, Relation::LessEqual, 18.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 36.0, 1e-7);
+    EXPECT_NEAR(sol.x[0], 2.0, 1e-7);
+    EXPECT_NEAR(sol.x[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraints)
+{
+    // max x + y s.t. x + y = 5, x <= 3 -> 5 with x in [0,3].
+    LpProblem lp;
+    lp.objective = {1.0, 1.0};
+    lp.addConstraint({1.0, 1.0}, Relation::Equal, 5.0);
+    lp.addConstraint({1.0, 0.0}, Relation::LessEqual, 3.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+    EXPECT_NEAR(sol.x[0] + sol.x[1], 5.0, 1e-7);
+    EXPECT_LE(sol.x[0], 3.0 + 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints)
+{
+    // max -x - y (i.e. min x + y) s.t. x + 2y >= 4, 3x + y >= 6.
+    // Optimum x = 1.6, y = 1.2, objective -2.8.
+    LpProblem lp;
+    lp.objective = {-1.0, -1.0};
+    lp.addConstraint({1.0, 2.0}, Relation::GreaterEqual, 4.0);
+    lp.addConstraint({3.0, 1.0}, Relation::GreaterEqual, 6.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -2.8, 1e-7);
+    EXPECT_NEAR(sol.x[0], 1.6, 1e-7);
+    EXPECT_NEAR(sol.x[1], 1.2, 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalized)
+{
+    // x - y <= -2 with max x + 0y, x,y >= 0; feasible (x=0, y>=2);
+    // max x s.t. x <= y - 2, y unbounded? y has no cost; objective x
+    // only; x can grow with y -> unbounded.
+    LpProblem lp;
+    lp.objective = {1.0, 0.0};
+    lp.addConstraint({1.0, -1.0}, Relation::LessEqual, -2.0);
+    const LpSolution sol = solveLp(lp);
+    EXPECT_EQ(sol.status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, InfeasibleDetected)
+{
+    LpProblem lp;
+    lp.objective = {1.0};
+    lp.addConstraint({1.0}, Relation::LessEqual, 1.0);
+    lp.addConstraint({1.0}, Relation::GreaterEqual, 2.0);
+    EXPECT_EQ(solveLp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected)
+{
+    LpProblem lp;
+    lp.objective = {1.0};
+    lp.addConstraint({-1.0}, Relation::LessEqual, 1.0);
+    EXPECT_EQ(solveLp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, DegenerateProblemTerminates)
+{
+    // Redundant constraints create degeneracy; Bland's rule must
+    // still terminate at the optimum.
+    LpProblem lp;
+    lp.objective = {1.0, 1.0};
+    lp.addConstraint({1.0, 0.0}, Relation::LessEqual, 2.0);
+    lp.addConstraint({1.0, 0.0}, Relation::LessEqual, 2.0);
+    lp.addConstraint({2.0, 0.0}, Relation::LessEqual, 4.0);
+    lp.addConstraint({0.0, 1.0}, Relation::LessEqual, 3.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 5.0, 1e-7);
+}
+
+TEST(Simplex, RedundantEqualityHandled)
+{
+    // Duplicate equality rows leave an artificial basic at zero.
+    LpProblem lp;
+    lp.objective = {1.0, 2.0};
+    lp.addConstraint({1.0, 1.0}, Relation::Equal, 3.0);
+    lp.addConstraint({1.0, 1.0}, Relation::Equal, 3.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 6.0, 1e-7); // all weight on y
+}
+
+TEST(Simplex, InputValidation)
+{
+    LpProblem empty;
+    EXPECT_THROW(solveLp(empty), poco::FatalError);
+    LpProblem ragged;
+    ragged.objective = {1.0, 1.0};
+    ragged.addConstraint({1.0}, Relation::LessEqual, 1.0);
+    EXPECT_THROW(solveLp(ragged), poco::FatalError);
+}
+
+TEST(AssignmentLp, SimpleMatrix)
+{
+    // Diagonal is optimal.
+    const std::vector<std::vector<double>> value = {
+        {10.0, 1.0, 1.0},
+        {1.0, 10.0, 1.0},
+        {1.0, 1.0, 10.0}};
+    const auto a = solveAssignmentLp(value);
+    EXPECT_EQ(a, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(AssignmentLp, RectangularLeavesTasksFree)
+{
+    const std::vector<std::vector<double>> value = {
+        {1.0, 9.0, 2.0, 3.0},
+        {8.0, 1.0, 2.0, 1.0}};
+    const auto a = solveAssignmentLp(value);
+    EXPECT_EQ(a, (std::vector<int>{1, 0}));
+}
+
+TEST(AssignmentLp, RejectsMoreAgentsThanTasks)
+{
+    const std::vector<std::vector<double>> value = {{1.0}, {2.0}};
+    EXPECT_THROW(solveAssignmentLp(value), poco::FatalError);
+}
+
+/**
+ * Property: on random assignment matrices the LP relaxation is
+ * integral and matches the Hungarian and exhaustive optima.
+ */
+class LpVsHungarian : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LpVsHungarian, AgreeOnRandomInstances)
+{
+    const int n = GetParam();
+    for (int trial = 0; trial < 10; ++trial) {
+        poco::Rng rng(static_cast<std::uint64_t>(n * 100 + trial));
+        std::vector<std::vector<double>> value(
+            static_cast<std::size_t>(n),
+            std::vector<double>(static_cast<std::size_t>(n)));
+        for (auto& row : value)
+            for (auto& v : row)
+                v = rng.uniform(0.0, 100.0);
+
+        const auto lp = solveAssignmentLp(value);
+        const auto hungarian = solveAssignmentMax(value);
+        const auto exhaustive = solveAssignmentExhaustive(value);
+
+        const double v_lp = assignmentValue(value, lp);
+        const double v_h = assignmentValue(value, hungarian);
+        const double v_e = assignmentValue(value, exhaustive);
+        EXPECT_NEAR(v_lp, v_e, 1e-6) << "LP vs exhaustive, n=" << n;
+        EXPECT_NEAR(v_h, v_e, 1e-6)
+            << "Hungarian vs exhaustive, n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LpVsHungarian,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+} // namespace
+} // namespace poco::math

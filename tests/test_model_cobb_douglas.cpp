@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for the Cobb-Douglas indirect utility: closed-form demand,
+ * boxed demand, preference vectors, and the expansion path —
+ * including the optimality properties that justify the closed forms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/cobb_douglas.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::model
+{
+namespace
+{
+
+CobbDouglasUtility
+makeUtility(double a_c = 0.6, double a_w = 0.4, double p_c = 4.0,
+            double p_w = 2.0, double p_static = 50.0,
+            double log_a0 = 1.0)
+{
+    return CobbDouglasUtility(log_a0, {a_c, a_w}, p_static,
+                              {p_c, p_w});
+}
+
+TEST(CobbDouglas, PerformanceFollowsForm)
+{
+    const auto u = makeUtility();
+    const double perf = u.performance({2.0, 8.0});
+    EXPECT_NEAR(perf,
+                std::exp(1.0) * std::pow(2.0, 0.6) *
+                    std::pow(8.0, 0.4),
+                1e-12);
+    EXPECT_THROW(u.performance({2.0}), poco::FatalError);
+    EXPECT_THROW(u.performance({0.0, 1.0}), poco::FatalError);
+}
+
+TEST(CobbDouglas, PowerIsAffine)
+{
+    const auto u = makeUtility();
+    EXPECT_NEAR(u.powerAt({2.0, 8.0}), 50.0 + 8.0 + 16.0, 1e-12);
+    EXPECT_THROW(u.powerAt({1.0}), poco::FatalError);
+}
+
+TEST(CobbDouglas, ConstructionValidation)
+{
+    EXPECT_THROW(CobbDouglasUtility(0.0, {}, 0.0, {}),
+                 poco::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(0.0, {0.5}, 0.0, {0.5, 0.5}),
+                 poco::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(0.0, {-0.5, 0.5}, 0.0,
+                                    {1.0, 1.0}),
+                 poco::FatalError);
+    EXPECT_THROW(CobbDouglasUtility(0.0, {0.5, 0.5}, 0.0,
+                                    {1.0, 0.0}),
+                 poco::FatalError);
+}
+
+TEST(CobbDouglas, PreferenceVectors)
+{
+    const auto u = makeUtility(0.6, 0.4, 8.609, 1.435);
+    const auto direct = u.directPreference();
+    EXPECT_NEAR(direct[0], 0.6, 1e-12);
+    EXPECT_NEAR(direct[1], 0.4, 1e-12);
+    // The paper's sphinx example: indirect ~0.2 : 0.8.
+    const auto indirect = u.indirectPreference();
+    EXPECT_NEAR(indirect[0], 0.2, 0.01);
+    EXPECT_NEAR(indirect[1], 0.8, 0.01);
+    EXPECT_NEAR(indirect[0] + indirect[1], 1.0, 1e-12);
+}
+
+TEST(CobbDouglas, PreferencesAreScaleFree)
+{
+    const auto a = makeUtility(0.6, 0.4, 4.0, 2.0);
+    const auto b = makeUtility(1.2, 0.8, 8.0, 4.0); // scaled by 2
+    const auto pa = a.indirectPreference();
+    const auto pb = b.indirectPreference();
+    EXPECT_NEAR(pa[0], pb[0], 1e-12);
+    EXPECT_NEAR(pa[1], pb[1], 1e-12);
+}
+
+TEST(CobbDouglas, DemandMatchesClosedForm)
+{
+    const auto u = makeUtility(0.6, 0.4, 4.0, 2.0, 50.0);
+    const auto r = u.demand(150.0);
+    // (B - p_static) = 100; r_c = 100/4 * 0.6 = 15; r_w = 100/2*0.4 = 20.
+    EXPECT_NEAR(r[0], 15.0, 1e-12);
+    EXPECT_NEAR(r[1], 20.0, 1e-12);
+    // Demand exhausts the budget exactly.
+    EXPECT_NEAR(u.powerAt(r), 150.0, 1e-9);
+    EXPECT_THROW(u.demand(40.0), poco::FatalError);
+}
+
+/** Property: the closed-form demand beats any grid alternative. */
+class DemandOptimality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DemandOptimality, ClosedFormBeatsGridSearch)
+{
+    poco::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const auto u = makeUtility(rng.uniform(0.2, 1.0),
+                               rng.uniform(0.2, 1.0),
+                               rng.uniform(1.0, 8.0),
+                               rng.uniform(1.0, 8.0),
+                               rng.uniform(20.0, 60.0));
+    const double budget = u.pStatic() + rng.uniform(30.0, 120.0);
+    const auto star = u.demand(budget);
+    const double best = u.performance(star);
+
+    // Grid over budget splits: spend fraction f on resource 0.
+    for (double f = 0.02; f < 1.0; f += 0.02) {
+        const double dyn = budget - u.pStatic();
+        const std::vector<double> r = {
+            f * dyn / u.pCoef()[0], (1.0 - f) * dyn / u.pCoef()[1]};
+        EXPECT_LE(u.performance(r), best * (1.0 + 1e-9))
+            << "split " << f << " beats closed form";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, DemandOptimality,
+                         ::testing::Range(1, 13));
+
+TEST(CobbDouglas, BoxedDemandRespectsCaps)
+{
+    const auto u = makeUtility(0.6, 0.4, 4.0, 2.0, 50.0);
+    // Unconstrained demand was (15, 20); cap cores at 10.
+    const auto r = u.demandBoxed(150.0, {10.0, 100.0});
+    EXPECT_NEAR(r[0], 10.0, 1e-9);
+    // Freed budget (100 - 40 = 60) all flows to ways: 60/2 = 30.
+    EXPECT_NEAR(r[1], 30.0, 1e-9);
+    EXPECT_LE(u.powerAt(r), 150.0 + 1e-9);
+}
+
+TEST(CobbDouglas, BoxedDemandAllCapsBinding)
+{
+    const auto u = makeUtility(0.5, 0.5, 1.0, 1.0, 0.0);
+    const auto r = u.demandBoxed(1000.0, {3.0, 4.0});
+    EXPECT_NEAR(r[0], 3.0, 1e-9);
+    EXPECT_NEAR(r[1], 4.0, 1e-9);
+}
+
+TEST(CobbDouglas, BoxedDemandUnconstrainedMatchesClosedForm)
+{
+    const auto u = makeUtility();
+    const auto free = u.demand(120.0);
+    const auto boxed = u.demandBoxed(120.0, {1e9, 1e9});
+    EXPECT_NEAR(free[0], boxed[0], 1e-9);
+    EXPECT_NEAR(free[1], boxed[1], 1e-9);
+}
+
+/** Property: boxed demand is optimal among feasible budget splits. */
+class BoxedOptimality : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BoxedOptimality, BeatsFeasibleGridPoints)
+{
+    poco::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+    const auto u = makeUtility(rng.uniform(0.2, 1.0),
+                               rng.uniform(0.2, 1.0),
+                               rng.uniform(1.0, 6.0),
+                               rng.uniform(1.0, 6.0), 0.0);
+    const double budget = rng.uniform(20.0, 80.0);
+    const std::vector<double> caps = {rng.uniform(2.0, 12.0),
+                                      rng.uniform(2.0, 20.0)};
+    const auto star = u.demandBoxed(budget, caps);
+    const double best = u.performance(star);
+
+    for (double r0 = 0.25; r0 <= caps[0]; r0 += 0.25) {
+        const double left = budget - r0 * u.pCoef()[0];
+        if (left <= 0)
+            continue;
+        const double r1 = std::min(caps[1], left / u.pCoef()[1]);
+        if (r1 <= 0)
+            continue;
+        EXPECT_LE(u.performance({r0, r1}), best * (1.0 + 1e-6));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, BoxedOptimality,
+                         ::testing::Range(1, 13));
+
+TEST(CobbDouglas, MinPowerForPerformanceInvertsDemand)
+{
+    const auto u = makeUtility();
+    const auto r = u.demand(140.0);
+    const double perf = u.performance(r);
+    std::vector<double> r_back;
+    const double power = u.minPowerForPerformance(perf, &r_back);
+    EXPECT_NEAR(power, 140.0, 1e-6);
+    EXPECT_NEAR(r_back[0], r[0], 1e-6);
+    EXPECT_NEAR(r_back[1], r[1], 1e-6);
+    EXPECT_THROW(u.minPowerForPerformance(0.0), poco::FatalError);
+}
+
+TEST(CobbDouglas, MinPowerIsMonotoneInTarget)
+{
+    const auto u = makeUtility();
+    double prev = 0.0;
+    for (double perf : {1.0, 2.0, 4.0, 8.0}) {
+        const double p = u.minPowerForPerformance(perf);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(CobbDouglas, ToStringMentionsParameters)
+{
+    const auto u = makeUtility();
+    const std::string s = u.toString();
+    EXPECT_NE(s.find("alpha="), std::string::npos);
+    EXPECT_NE(s.find("p_static=50.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace poco::model

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the profiler and the utility fitter — including the
+ * paper-facing goodness-of-fit (Fig. 8) and preference-vector
+ * (Figs. 9-11) regression checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "util/check.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::model
+{
+namespace
+{
+
+class FittingTest : public ::testing::Test
+{
+  protected:
+    wl::AppSet set_ = wl::defaultAppSet();
+    Profiler profiler_;
+    UtilityFitter fitter_;
+};
+
+TEST_F(FittingTest, ProfilerCoversTheGrid)
+{
+    const auto samples = profiler_.profileLc(set_.lcByName("xapian"));
+    // cores 1..12 x ways {2,4,...,20} = 120 cells; all pass the
+    // slack guard on this app.
+    EXPECT_EQ(samples.size(), 120u);
+    for (const auto& s : samples) {
+        ASSERT_EQ(s.r.size(), kNumResources);
+        EXPECT_GE(s.r[kResCores], 1.0);
+        EXPECT_LE(s.r[kResCores], 12.0);
+        EXPECT_GE(s.r[kResWays], 2.0);
+        EXPECT_LE(s.r[kResWays], 20.0);
+        EXPECT_GT(s.perf, 0.0);
+        EXPECT_GT(s.power, set_.spec.idlePower * 0.5);
+    }
+}
+
+TEST_F(FittingTest, ProfilerIsDeterministicInSeed)
+{
+    const auto a = profiler_.profileBe(set_.beByName("graph"));
+    const auto b = profiler_.profileBe(set_.beByName("graph"));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].perf, b[i].perf);
+        EXPECT_DOUBLE_EQ(a[i].power, b[i].power);
+    }
+    ProfilerConfig other;
+    other.seed = 99;
+    const auto c = Profiler(other).profileBe(set_.beByName("graph"));
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs || a[i].perf != c[i].perf;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(FittingTest, SlackGuardHoldsOnProfiledLoads)
+{
+    // The profiler reports the largest load with >= 10% slack; verify
+    // against the ground truth directly (no noise on this check).
+    ProfilerConfig quiet;
+    quiet.perfNoiseSigma = 0.0;
+    quiet.powerNoiseSigma = 0.0;
+    const Profiler profiler(quiet);
+    const auto& app = set_.lcByName("sphinx");
+    for (const auto& s : profiler.profileLc(app)) {
+        const sim::Allocation alloc{
+            static_cast<int>(s.r[kResCores]),
+            static_cast<int>(s.r[kResWays]), set_.spec.freqMax, 1.0};
+        EXPECT_GE(app.slack99(s.perf, alloc), 0.10 - 1e-6);
+        // And it is maximal: 2% more load breaks the guard.
+        EXPECT_LT(app.slack99(s.perf * 1.02, alloc), 0.10);
+    }
+}
+
+TEST_F(FittingTest, Fig8GoodnessOfFitBands)
+{
+    // Paper: R-squared 0.8-0.95 for performance, 0.8-0.98 for power.
+    // We assert the same qualitative band (allowing slight overshoot
+    // at the top since bands are app-dependent).
+    for (const auto& lc : set_.lc) {
+        const auto m = fitter_.fit(profiler_.profileLc(lc));
+        EXPECT_GT(m.perfR2, 0.80) << lc.name();
+        EXPECT_LT(m.perfR2, 0.995) << lc.name();
+        EXPECT_GT(m.powerR2, 0.80) << lc.name();
+    }
+    for (const auto& be : set_.be) {
+        const auto m = fitter_.fit(profiler_.profileBe(be));
+        EXPECT_GT(m.perfR2, 0.80) << be.name();
+        EXPECT_LT(m.perfR2, 0.995) << be.name();
+        EXPECT_GT(m.powerR2, 0.80) << be.name();
+    }
+}
+
+TEST_F(FittingTest, PaperPreferenceRatios)
+{
+    // Section V-C headline numbers.
+    const auto sphinx =
+        fitter_.fit(profiler_.profileLc(set_.lcByName("sphinx")));
+    EXPECT_NEAR(sphinx.directPreference()[0], 0.60, 0.06);
+    EXPECT_NEAR(sphinx.indirectPreference()[0], 0.20, 0.06);
+
+    const auto lstm =
+        fitter_.fit(profiler_.profileBe(set_.beByName("lstm")));
+    EXPECT_NEAR(lstm.directPreference()[0], 0.32, 0.06);
+    EXPECT_NEAR(lstm.indirectPreference()[0], 0.13, 0.06);
+
+    const auto graph =
+        fitter_.fit(profiler_.profileBe(set_.beByName("graph")));
+    EXPECT_NEAR(graph.indirectPreference()[0], 0.80, 0.06);
+}
+
+TEST_F(FittingTest, PowerInterceptNearStaticPower)
+{
+    // The fitted p_static should land near the server's idle power
+    // (plus app base activity).
+    const auto m =
+        fitter_.fit(profiler_.profileLc(set_.lcByName("tpcc")));
+    EXPECT_NEAR(m.pStatic(), set_.spec.idlePower, 12.0);
+}
+
+TEST_F(FittingTest, FittedModelPredictsHoldOutCells)
+{
+    // Fit on the default grid, check prediction error on off-grid
+    // cells (odd way counts the profiler never sampled).
+    const auto& app = set_.lcByName("img-dnn");
+    const auto m = fitter_.fit(profiler_.profileLc(app));
+    for (int c : {2, 5, 9}) {
+        for (int w : {3, 9, 15}) {
+            const sim::Allocation alloc{c, w, set_.spec.freqMax, 1.0};
+            const double truth = app.capacity(alloc);
+            const double pred = m.performance(
+                {static_cast<double>(c), static_cast<double>(w)});
+            EXPECT_NEAR(pred / truth, 1.0, 0.25)
+                << "cell " << c << "c/" << w << "w";
+        }
+    }
+}
+
+TEST(Fitter, RecoversPlantedModelExactly)
+{
+    // Synthetic noiseless Cobb-Douglas data -> near-perfect recovery.
+    const CobbDouglasUtility truth(std::log(7.0), {0.55, 0.45}, 48.0,
+                                   {3.5, 2.5});
+    std::vector<ProfileSample> samples;
+    for (int c = 1; c <= 12; ++c) {
+        for (int w = 2; w <= 20; w += 2) {
+            ProfileSample s;
+            s.r = {static_cast<double>(c), static_cast<double>(w)};
+            s.perf = truth.performance(s.r);
+            s.power = truth.powerAt(s.r);
+            samples.push_back(std::move(s));
+        }
+    }
+    const auto fit = UtilityFitter().fit(samples);
+    EXPECT_NEAR(fit.alpha()[0], 0.55, 1e-9);
+    EXPECT_NEAR(fit.alpha()[1], 0.45, 1e-9);
+    EXPECT_NEAR(fit.pStatic(), 48.0, 1e-9);
+    EXPECT_NEAR(fit.pCoef()[0], 3.5, 1e-9);
+    EXPECT_NEAR(fit.pCoef()[1], 2.5, 1e-9);
+    EXPECT_NEAR(fit.perfR2, 1.0, 1e-9);
+    EXPECT_NEAR(fit.powerR2, 1.0, 1e-9);
+}
+
+TEST(Fitter, SkipsNonPositiveSamples)
+{
+    const CobbDouglasUtility truth(0.0, {0.5, 0.5}, 10.0, {1.0, 1.0});
+    std::vector<ProfileSample> samples;
+    for (int c = 1; c <= 6; ++c) {
+        for (int w = 1; w <= 6; ++w) {
+            ProfileSample s;
+            s.r = {static_cast<double>(c), static_cast<double>(w)};
+            s.perf = truth.performance(s.r);
+            s.power = truth.powerAt(s.r);
+            samples.push_back(std::move(s));
+        }
+    }
+    samples[0].perf = 0.0;  // unusable for the log transform
+    samples[5].perf = -1.0; // likewise
+    const auto fit = UtilityFitter().fit(samples);
+    EXPECT_NEAR(fit.alpha()[0], 0.5, 1e-9);
+}
+
+TEST(Fitter, RejectsInsufficientData)
+{
+    EXPECT_THROW(UtilityFitter().fit({}), poco::FatalError);
+    std::vector<ProfileSample> two;
+    for (int i = 1; i <= 2; ++i) {
+        ProfileSample s;
+        s.r = {static_cast<double>(i), 1.0};
+        s.perf = 1.0;
+        s.power = 1.0;
+        two.push_back(std::move(s));
+    }
+    EXPECT_THROW(UtilityFitter().fit(two), poco::FatalError);
+}
+
+TEST(Profiler, ConfigValidation)
+{
+    ProfilerConfig bad;
+    bad.coreStep = 0;
+    EXPECT_THROW(Profiler{bad}, poco::FatalError);
+    bad = ProfilerConfig{};
+    bad.minSlack = 1.0;
+    EXPECT_THROW(Profiler{bad}, poco::FatalError);
+    bad = ProfilerConfig{};
+    bad.perfNoiseSigma = -0.1;
+    EXPECT_THROW(Profiler{bad}, poco::FatalError);
+}
+
+} // namespace
+} // namespace poco::model

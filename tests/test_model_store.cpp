@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Tests for fitted-model persistence (the Section IV-A
+ * "historical knowledge" path).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "model/fitter.hpp"
+#include "model/model_store.hpp"
+#include "model/profiler.hpp"
+#include "util/check.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::model
+{
+namespace
+{
+
+CobbDouglasUtility
+sampleModel()
+{
+    CobbDouglasUtility m(std::log(2.5), {0.6, 0.4}, 51.25,
+                         {4.105, 2.737});
+    m.perfR2 = 0.93;
+    m.powerR2 = 0.97;
+    return m;
+}
+
+TEST(ModelStore, PutGetContains)
+{
+    ModelStore store;
+    EXPECT_FALSE(store.contains("xapian"));
+    store.put("xapian", sampleModel());
+    EXPECT_TRUE(store.contains("xapian"));
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_NEAR(store.get("xapian").alpha()[0], 0.6, 1e-12);
+    EXPECT_THROW(store.get("missing"), poco::FatalError);
+}
+
+TEST(ModelStore, PutReplacesExisting)
+{
+    ModelStore store;
+    store.put("m", sampleModel());
+    CobbDouglasUtility other(0.0, {1.0, 1.0}, 1.0, {1.0, 1.0});
+    store.put("m", other);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_NEAR(store.get("m").pStatic(), 1.0, 1e-12);
+}
+
+TEST(ModelStore, NameValidation)
+{
+    ModelStore store;
+    EXPECT_THROW(store.put("", sampleModel()), poco::FatalError);
+    EXPECT_THROW(store.put("has space", sampleModel()),
+                 poco::FatalError);
+    EXPECT_THROW(store.put("has#hash", sampleModel()),
+                 poco::FatalError);
+}
+
+TEST(ModelStore, StreamRoundTripIsExact)
+{
+    ModelStore store;
+    store.put("xapian", sampleModel());
+    CobbDouglasUtility k3(1.5, {0.45, 0.25, 0.30}, 50.0,
+                          {4.0, 2.0, 0.8});
+    store.put("threedee", k3);
+
+    std::stringstream buffer;
+    store.save(buffer);
+
+    ModelStore loaded;
+    loaded.load(buffer);
+    ASSERT_EQ(loaded.size(), 2u);
+    const auto& x = loaded.get("xapian");
+    EXPECT_DOUBLE_EQ(x.logA0(), std::log(2.5));
+    EXPECT_DOUBLE_EQ(x.alpha()[1], 0.4);
+    EXPECT_DOUBLE_EQ(x.pStatic(), 51.25);
+    EXPECT_DOUBLE_EQ(x.pCoef()[0], 4.105);
+    EXPECT_DOUBLE_EQ(x.perfR2, 0.93);
+    EXPECT_DOUBLE_EQ(x.powerR2, 0.97);
+    EXPECT_EQ(loaded.get("threedee").numResources(), 3u);
+}
+
+TEST(ModelStore, FileRoundTrip)
+{
+    const std::string path = "/tmp/pocolo_test_models.txt";
+    ModelStore store;
+    store.put("one", sampleModel());
+    store.saveFile(path);
+
+    ModelStore loaded;
+    loaded.loadFile(path);
+    EXPECT_TRUE(loaded.contains("one"));
+    std::remove(path.c_str());
+
+    EXPECT_THROW(loaded.loadFile("/nonexistent/dir/file.txt"),
+                 poco::FatalError);
+}
+
+TEST(ModelStore, IgnoresCommentsAndBlankLines)
+{
+    std::istringstream in(
+        "# header comment\n"
+        "\n"
+        "m 2 0.5 0.6 0.4 50.0 4.0 2.0 0.9 0.95  # trailing comment\n"
+        "   \n");
+    ModelStore store;
+    store.load(in);
+    EXPECT_EQ(store.size(), 1u);
+    EXPECT_NEAR(store.get("m").logA0(), 0.5, 1e-12);
+}
+
+TEST(ModelStore, RejectsMalformedRecords)
+{
+    const std::vector<std::string> bad = {
+        "m",                                     // nothing after name
+        "m 0 0.5",                               // k = 0
+        "m 2 0.5 0.6",                           // truncated alpha
+        "m 2 0.5 0.6 0.4 50.0 4.0",              // truncated slopes
+        "m 2 0.5 0.6 0.4 50.0 4.0 2.0 0.9",      // missing r2
+        "m 2 0.5 0.6 0.4 50.0 4.0 2.0 0.9 0.9 7", // trailing field
+        "m 2 0.5 -0.6 0.4 50.0 4.0 2.0 0.9 0.9", // negative alpha
+    };
+    for (const auto& line : bad) {
+        std::istringstream in(line);
+        ModelStore store;
+        EXPECT_THROW(store.load(in), poco::FatalError)
+            << "should reject: " << line;
+    }
+}
+
+TEST(ModelStore, RoundTripsFittedEvaluationModels)
+{
+    // End-to-end: fit the real app set, persist, reload, and verify
+    // the reloaded models drive identical demand decisions.
+    const wl::AppSet apps = wl::defaultAppSet();
+    const Profiler profiler;
+    const UtilityFitter fitter;
+
+    ModelStore store;
+    for (const auto& lc : apps.lc)
+        store.put(lc.name(), fitter.fit(profiler.profileLc(lc)));
+    for (const auto& be : apps.be)
+        store.put(be.name(), fitter.fit(profiler.profileBe(be)));
+    EXPECT_EQ(store.size(), 8u);
+
+    std::stringstream buffer;
+    store.save(buffer);
+    ModelStore loaded;
+    loaded.load(buffer);
+
+    for (const auto& [name, original] : store.all()) {
+        const auto& copy = loaded.get(name);
+        const auto demand_a = original.demand(140.0);
+        const auto demand_b = copy.demand(140.0);
+        for (std::size_t j = 0; j < demand_a.size(); ++j)
+            EXPECT_DOUBLE_EQ(demand_a[j], demand_b[j]) << name;
+    }
+}
+
+} // namespace
+} // namespace poco::model

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for spatial sharing of spare capacity (Section V-G).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "model/demand.hpp"
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "server/spatial_share.hpp"
+#include "util/check.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::server
+{
+namespace
+{
+
+class SpatialTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        set_ = new wl::AppSet(wl::defaultAppSet());
+        model::Profiler profiler;
+        model::UtilityFitter fitter;
+        for (const auto& be : set_->be)
+            be_models_.push_back(
+                fitter.fit(profiler.profileBe(be)));
+        lc_model_ = new model::CobbDouglasUtility(fitter.fit(
+            profiler.profileLc(set_->lcByName("sphinx"))));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete lc_model_;
+        lc_model_ = nullptr;
+        be_models_.clear();
+        delete set_;
+        set_ = nullptr;
+    }
+
+    const model::CobbDouglasUtility&
+    beModel(const std::string& name) const
+    {
+        for (std::size_t i = 0; i < set_->be.size(); ++i)
+            if (set_->be[i].name() == name)
+                return be_models_[i];
+        poco::fatal("unknown BE app " + name);
+    }
+
+    static wl::AppSet* set_;
+    static std::vector<model::CobbDouglasUtility> be_models_;
+    static model::CobbDouglasUtility* lc_model_;
+};
+
+wl::AppSet* SpatialTest::set_ = nullptr;
+std::vector<model::CobbDouglasUtility> SpatialTest::be_models_;
+model::CobbDouglasUtility* SpatialTest::lc_model_ = nullptr;
+
+TEST_F(SpatialTest, PlanPartitionsTheSpareExactly)
+{
+    const auto& graph = beModel("graph");
+    const auto& lstm = beModel("lstm");
+    const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
+                                       80.0, set_->spec);
+    ASSERT_EQ(plan.slices.size(), 2u);
+    EXPECT_LE(plan.slices[0].cores + plan.slices[1].cores, 10);
+    EXPECT_LE(plan.slices[0].ways + plan.slices[1].ways, 14);
+    EXPECT_GT(plan.totalEstimatedThroughput, 0.0);
+    EXPECT_NEAR(plan.estimatedThroughput[0] +
+                    plan.estimatedThroughput[1],
+                plan.totalEstimatedThroughput, 1e-9);
+}
+
+TEST_F(SpatialTest, ComplementaryAppsSplitByPreference)
+{
+    // Graph (core-loving) and LSTM (cache-loving): the optimal split
+    // gives graph the core-heavier slice.
+    const auto& graph = beModel("graph");
+    const auto& lstm = beModel("lstm");
+    const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
+                                       100.0, set_->spec);
+    const auto& g = plan.slices[0];
+    const auto& l = plan.slices[1];
+    ASSERT_FALSE(g.empty());
+    ASSERT_FALSE(l.empty());
+    const double g_ratio =
+        static_cast<double>(g.cores) / (g.cores + g.ways);
+    const double l_ratio =
+        static_cast<double>(l.cores) / (l.cores + l.ways);
+    EXPECT_GT(g_ratio, l_ratio);
+}
+
+TEST_F(SpatialTest, SpatialBeatsGivingEverythingToOne)
+{
+    // For complementary apps, splitting beats either app alone on
+    // the full spare (in modeled terms).
+    const auto& graph = beModel("graph");
+    const auto& lstm = beModel("lstm");
+    const double spare_power = 70.0;
+    const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
+                                       spare_power, set_->spec);
+    const double alone_graph =
+        model::estimateBePerformance(graph, spare_power, 10, 14);
+    const double alone_lstm =
+        model::estimateBePerformance(lstm, spare_power, 10, 14);
+    EXPECT_GT(plan.totalEstimatedThroughput,
+              std::max(alone_graph, alone_lstm));
+}
+
+TEST_F(SpatialTest, DegenerateSparesHandled)
+{
+    const auto& a = beModel("rnn");
+    const auto& b = beModel("pbzip2");
+    const auto none =
+        planSpatialShare({&a, &b}, 0, 0, 50.0, set_->spec);
+    EXPECT_DOUBLE_EQ(none.totalEstimatedThroughput, 0.0);
+    const auto no_power =
+        planSpatialShare({&a, &b}, 8, 10, 0.0, set_->spec);
+    EXPECT_DOUBLE_EQ(no_power.totalEstimatedThroughput, 0.0);
+    // One-way spare: only one app can get a usable slice.
+    const auto tight =
+        planSpatialShare({&a, &b}, 8, 1, 60.0, set_->spec);
+    EXPECT_GT(tight.totalEstimatedThroughput, 0.0);
+    EXPECT_TRUE(tight.slices[0].empty() || tight.slices[1].empty());
+}
+
+TEST_F(SpatialTest, ThreeAppRecursionCoversEveryone)
+{
+    const auto& a = beModel("graph");
+    const auto& b = beModel("lstm");
+    const auto& c = beModel("rnn");
+    const auto plan = planSpatialShare({&a, &b, &c}, 11, 18, 120.0,
+                                       set_->spec);
+    ASSERT_EQ(plan.slices.size(), 3u);
+    int cores = 0, ways = 0;
+    for (const auto& s : plan.slices) {
+        cores += s.cores;
+        ways += s.ways;
+    }
+    EXPECT_LE(cores, 11);
+    EXPECT_LE(ways, 18);
+    EXPECT_GT(plan.totalEstimatedThroughput, 0.0);
+}
+
+TEST_F(SpatialTest, PlanValidation)
+{
+    const auto& a = beModel("rnn");
+    EXPECT_THROW(planSpatialShare({&a}, 8, 10, 50.0, set_->spec),
+                 poco::FatalError);
+    const auto& b = beModel("pbzip2");
+    EXPECT_THROW(
+        planSpatialShare({&a, &b}, -1, 10, 50.0, set_->spec),
+        poco::FatalError);
+    EXPECT_THROW(
+        planSpatialShare({&a, &b}, 8, 10, -5.0, set_->spec),
+        poco::FatalError);
+    EXPECT_THROW(
+        planSpatialShare({&a, nullptr}, 8, 10, 50.0, set_->spec),
+        poco::FatalError);
+}
+
+TEST_F(SpatialTest, RuntimeMatchesPlanDirection)
+{
+    // Execute the planned split beside a low-load sphinx; the
+    // realized total must be positive, within the cap, and the
+    // per-app split must follow the plan's proportions roughly.
+    const auto& lc = set_->lcByName("sphinx");
+    const auto& graph = beModel("graph");
+    const auto& lstm = beModel("lstm");
+
+    // Spare at ~20% load under POM: primary takes ~2c/5w.
+    const auto plan = planSpatialShare({&graph, &lstm}, 9, 13,
+                                       90.0, set_->spec);
+    const std::vector<const wl::BeApp*> apps = {
+        &set_->beByName("graph"), &set_->beByName("lstm")};
+    const auto result = runSpatialShare(
+        lc, apps, plan.slices, lc.provisionedPower(),
+        std::make_unique<PomController>(*lc_model_), 0.2,
+        240 * kSecond);
+    ASSERT_EQ(result.throughput.size(), 2u);
+    EXPECT_GT(result.totalThroughput, 0.0);
+    EXPECT_LE(result.stats.averagePower(),
+              lc.provisionedPower() * 1.01);
+    if (plan.estimatedThroughput[0] > plan.estimatedThroughput[1]) {
+        EXPECT_GT(result.throughput[0], result.throughput[1] * 0.8);
+    }
+}
+
+TEST_F(SpatialTest, RuntimeValidation)
+{
+    const auto& lc = set_->lcByName("sphinx");
+    const std::vector<const wl::BeApp*> apps = {
+        &set_->beByName("graph")};
+    EXPECT_THROW(runSpatialShare(lc, apps, {}, 100.0,
+                                 std::make_unique<PomController>(
+                                     *lc_model_),
+                                 0.2, 240 * kSecond),
+                 poco::FatalError);
+}
+
+} // namespace
+} // namespace poco::server

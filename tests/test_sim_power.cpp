@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the power model and the windowed power meter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/power_meter.hpp"
+#include "sim/power_model.hpp"
+#include "sim/server_spec.hpp"
+#include "util/check.hpp"
+
+namespace poco::sim
+{
+namespace
+{
+
+PowerDraw
+makeDraw(int cores, int ways, GHz freq = 2.2, double duty = 1.0,
+         double util = 1.0)
+{
+    PowerDraw draw;
+    draw.intensity.corePeak = 6.0;
+    draw.intensity.wayPower = 2.0;
+    draw.intensity.wayActivityShare = 0.5;
+    draw.alloc = Allocation{cores, ways, freq, duty};
+    draw.utilization = util;
+    return draw;
+}
+
+TEST(PowerModel, FullBlastMatchesClosedForm)
+{
+    const PowerModel model(xeonE5_2650());
+    // 12 cores * 6 W + 20 ways * 2 W = 112 W on top of static.
+    EXPECT_NEAR(model.appPower(makeDraw(12, 20)), 112.0, 1e-9);
+    EXPECT_NEAR(model.serverPower({makeDraw(12, 20)}), 162.0, 1e-9);
+}
+
+TEST(PowerModel, EmptyAllocationDrawsNothing)
+{
+    const PowerModel model(xeonE5_2650());
+    EXPECT_DOUBLE_EQ(model.appPower(makeDraw(0, 0)), 0.0);
+    EXPECT_DOUBLE_EQ(model.serverPower({}), 50.0); // idle only
+}
+
+TEST(PowerModel, FrequencyScalingIsSuperlinear)
+{
+    const PowerModel model(xeonE5_2650());
+    const Watts full = model.appPower(makeDraw(4, 4, 2.2));
+    const Watts half_freq = model.appPower(makeDraw(4, 4, 1.2));
+    // Way power (8 W) is frequency independent; core power scales by
+    // (1.2/2.2)^2.4 ~ 0.233.
+    const double core_scale = std::pow(1.2 / 2.2, 2.4);
+    EXPECT_NEAR(half_freq, 24.0 * core_scale + 8.0, 1e-9);
+    EXPECT_LT(half_freq, full);
+}
+
+TEST(PowerModel, DutyCycleScalesActivity)
+{
+    const PowerModel model(xeonE5_2650());
+    const Watts full = model.appPower(makeDraw(4, 4, 2.2, 1.0));
+    const Watts half = model.appPower(makeDraw(4, 4, 2.2, 0.5));
+    // Core power halves; way power has a 50% activity share.
+    EXPECT_NEAR(half, 12.0 + 8.0 * 0.75, 1e-9);
+    EXPECT_LT(half, full);
+}
+
+TEST(PowerModel, UtilizationScalesCorePower)
+{
+    const PowerModel model(xeonE5_2650());
+    const Watts idle_app =
+        model.appPower(makeDraw(4, 4, 2.2, 1.0, 0.0));
+    // Only the static part of the way power remains.
+    EXPECT_NEAR(idle_app, 8.0 * 0.5, 1e-9);
+}
+
+TEST(PowerModel, StallFactorReducesCorePowerWhenWaysScarce)
+{
+    const PowerModel model(xeonE5_2650());
+    PowerDraw starved = makeDraw(4, 2);
+    starved.intensity.stallFactor = 0.2;
+    PowerDraw sated = makeDraw(4, 20);
+    sated.intensity.stallFactor = 0.2;
+    const Watts p_starved = model.appPower(starved);
+    const Watts p_sated = model.appPower(sated);
+    // Core contribution of the starved app must be below 24 W.
+    EXPECT_LT(p_starved - 2.0 * 2.0, 24.0);
+    // With all ways the stall term vanishes.
+    EXPECT_NEAR(p_sated, 24.0 + 40.0, 1e-9);
+}
+
+TEST(PowerModel, MonotoneInEveryKnob)
+{
+    const PowerModel model(xeonE5_2650());
+    Watts prev = 0.0;
+    for (int c = 1; c <= 12; ++c) {
+        const Watts p = model.appPower(makeDraw(c, 10));
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+    prev = 0.0;
+    for (int w = 1; w <= 20; ++w) {
+        const Watts p = model.appPower(makeDraw(6, w));
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+    const ServerSpec spec = xeonE5_2650();
+    prev = 0.0;
+    for (GHz f = spec.freqMin; f <= spec.freqMax + 1e-9;
+         f += spec.freqStep) {
+        const Watts p = model.appPower(makeDraw(6, 10, f));
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, AggregateCapacityChecked)
+{
+    const PowerModel model(xeonE5_2650());
+    EXPECT_THROW(model.serverPower({makeDraw(8, 10), makeDraw(8, 10)}),
+                 poco::FatalError);
+    EXPECT_NO_THROW(
+        model.serverPower({makeDraw(6, 10), makeDraw(6, 10)}));
+}
+
+TEST(PowerModel, ValidationOfInputs)
+{
+    const PowerModel model(xeonE5_2650());
+    PowerDraw bad = makeDraw(4, 4);
+    bad.utilization = 1.5;
+    EXPECT_THROW(model.appPower(bad), poco::FatalError);
+    PowerDraw too_many = makeDraw(13, 4);
+    EXPECT_THROW(model.appPower(too_many), poco::FatalError);
+}
+
+TEST(PowerMeter, AverageOfStepSignal)
+{
+    PowerMeter meter;
+    meter.setPower(0, 100.0);
+    meter.setPower(kSecond, 200.0);
+    // Window [0.5s, 1.5s]: half at 100, half at 200.
+    EXPECT_NEAR(meter.average(kSecond + 500 * kMillisecond, kSecond),
+                150.0, 1e-9);
+    EXPECT_DOUBLE_EQ(meter.instantaneous(), 200.0);
+}
+
+TEST(PowerMeter, AverageOverLeadingZeroHistory)
+{
+    PowerMeter meter;
+    meter.setPower(2 * kSecond, 100.0);
+    // Window [1s, 3s]: half 0, half 100.
+    EXPECT_NEAR(meter.average(3 * kSecond, 2 * kSecond), 50.0, 1e-9);
+}
+
+TEST(PowerMeter, EnergyIntegral)
+{
+    PowerMeter meter;
+    meter.setPower(0, 100.0);
+    meter.setPower(10 * kSecond, 50.0);
+    // 100 W * 10 s + 50 W * 5 s = 1250 J.
+    EXPECT_NEAR(meter.energyJoules(15 * kSecond), 1250.0, 1e-6);
+}
+
+TEST(PowerMeter, EnergySurvivesPruning)
+{
+    PowerMeter meter(/*retention=*/kSecond);
+    Watts level = 10.0;
+    for (SimTime t = 0; t < 100 * kSecond; t += kSecond) {
+        meter.setPower(t, level);
+        level = (level == 10.0) ? 20.0 : 10.0;
+    }
+    // Alternating 10/20 W for 100 s -> 1500 J.
+    EXPECT_NEAR(meter.energyJoules(100 * kSecond), 1500.0, 1e-6);
+    // Window query still works on the retained tail (the last
+    // segment, set at t=99 s, is 20 W).
+    EXPECT_NEAR(meter.average(100 * kSecond, kSecond), 20.0, 1e-9);
+}
+
+TEST(PowerMeter, RejectsTimeTravel)
+{
+    PowerMeter meter;
+    meter.setPower(10 * kSecond, 42.0);
+    EXPECT_THROW(meter.setPower(5 * kSecond, 10.0), poco::FatalError);
+    EXPECT_THROW(meter.average(5 * kSecond, kSecond),
+                 poco::FatalError);
+    EXPECT_THROW(meter.setPower(11 * kSecond, -1.0),
+                 poco::FatalError);
+}
+
+TEST(ServerSpec, FrequencyGrid)
+{
+    const ServerSpec spec = xeonE5_2650();
+    EXPECT_EQ(spec.freqSteps(), 11);
+    EXPECT_NEAR(spec.clampFreq(2.34), 2.2, 1e-9);
+    EXPECT_NEAR(spec.clampFreq(0.9), 1.2, 1e-9);
+    EXPECT_NEAR(spec.clampFreq(1.74), 1.7, 1e-9);
+    EXPECT_NEAR(spec.stepDown(1.2), 1.2, 1e-9);
+    EXPECT_NEAR(spec.stepUp(2.2), 2.2, 1e-9);
+    EXPECT_NEAR(spec.stepDown(2.0), 1.9, 1e-9);
+}
+
+TEST(ServerSpec, ValidationCatchesNonsense)
+{
+    ServerSpec spec = xeonE5_2650();
+    spec.cores = 0;
+    EXPECT_THROW(spec.validate(), poco::FatalError);
+    spec = xeonE5_2650();
+    spec.freqMin = 2.4;
+    EXPECT_THROW(spec.validate(), poco::FatalError);
+}
+
+} // namespace
+} // namespace poco::sim

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for the Hamilton-style TCO model (Section V-F).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tco/tco_model.hpp"
+#include "util/check.hpp"
+
+namespace poco::tco
+{
+namespace
+{
+
+PolicyProfile
+makeProfile(const std::string& name, double thr, Watts provisioned,
+            Watts average)
+{
+    PolicyProfile p;
+    p.name = name;
+    p.throughputPerServer = thr;
+    p.provisionedPowerPerServer = provisioned;
+    p.averagePowerPerServer = average;
+    return p;
+}
+
+TEST(Tco, ComponentsMatchHandComputation)
+{
+    TcoParams params; // paper defaults
+    const TcoModel model(params);
+    const auto profile = makeProfile("x", 1.0, 150.0, 120.0);
+    const auto cost = model.monthlyCost(profile, 1.0);
+
+    EXPECT_NEAR(cost.serversNeeded, 100000.0, 1e-6);
+    // Server: 100k * 1450 / 36.
+    EXPECT_NEAR(cost.serverCost, 100000.0 * 1450.0 / 36.0, 1e-3);
+    // Power infra: 100k * 150 W * $9/W / 144 months.
+    EXPECT_NEAR(cost.powerInfraCost, 100000.0 * 150.0 * 9.0 / 144.0,
+                1e-3);
+    // Energy: 100k * 120 W * 1.1 PUE * 730 h / 1000 * $0.07.
+    EXPECT_NEAR(cost.energyCost,
+                100000.0 * 120.0 * 1.1 * 730.0 / 1000.0 * 0.07,
+                1e-3);
+    EXPECT_NEAR(cost.total(),
+                cost.serverCost + cost.powerInfraCost +
+                    cost.energyCost,
+                1e-9);
+}
+
+TEST(Tco, ConstantThroughputScaling)
+{
+    const TcoModel model;
+    // A policy 25% more productive needs 20% fewer servers.
+    const auto fast = makeProfile("fast", 1.25, 150.0, 120.0);
+    const auto cost = model.monthlyCost(fast, 1.0);
+    EXPECT_NEAR(cost.serversNeeded, 80000.0, 1e-6);
+}
+
+TEST(Tco, CompareUsesFirstAsReference)
+{
+    const TcoModel model;
+    const std::vector<PolicyProfile> profiles = {
+        makeProfile("base", 1.0, 150.0, 140.0),
+        makeProfile("better", 1.2, 150.0, 135.0),
+    };
+    const auto costs = model.compare(profiles);
+    ASSERT_EQ(costs.size(), 2u);
+    EXPECT_EQ(costs[0].policy, "base");
+    EXPECT_NEAR(costs[0].serversNeeded, 100000.0, 1e-6);
+    EXPECT_NEAR(costs[1].serversNeeded, 100000.0 / 1.2, 1e-6);
+    EXPECT_LT(costs[1].total(), costs[0].total());
+}
+
+TEST(Tco, HigherProvisionedPowerCostsMore)
+{
+    const TcoModel model;
+    const auto tight = model.monthlyCost(
+        makeProfile("tight", 1.0, 150.0, 140.0), 1.0);
+    const auto nocap = model.monthlyCost(
+        makeProfile("nocap", 1.0, 185.0, 140.0), 1.0);
+    EXPECT_GT(nocap.powerInfraCost, tight.powerInfraCost);
+    EXPECT_GT(nocap.total(), tight.total());
+    EXPECT_NEAR(nocap.serverCost, tight.serverCost, 1e-9);
+}
+
+TEST(Tco, HigherDrawCostsEnergy)
+{
+    const TcoModel model;
+    const auto cool = model.monthlyCost(
+        makeProfile("cool", 1.0, 150.0, 120.0), 1.0);
+    const auto hot = model.monthlyCost(
+        makeProfile("hot", 1.0, 150.0, 145.0), 1.0);
+    EXPECT_GT(hot.energyCost, cool.energyCost);
+    EXPECT_NEAR(hot.energyCost / cool.energyCost, 145.0 / 120.0,
+                1e-9);
+}
+
+TEST(Tco, ParamValidation)
+{
+    TcoParams bad;
+    bad.servers = 0.0;
+    EXPECT_THROW(TcoModel{bad}, poco::FatalError);
+    bad = TcoParams{};
+    bad.pue = 0.9;
+    EXPECT_THROW(TcoModel{bad}, poco::FatalError);
+    bad = TcoParams{};
+    bad.serverLifetimeMonths = 0.0;
+    EXPECT_THROW(TcoModel{bad}, poco::FatalError);
+    bad = TcoParams{};
+    bad.serverCost = -1.0;
+    EXPECT_THROW(TcoModel{bad}, poco::FatalError);
+}
+
+TEST(Tco, ProfileValidation)
+{
+    const TcoModel model;
+    auto bad = makeProfile("bad", 0.0, 150.0, 120.0);
+    EXPECT_THROW(model.monthlyCost(bad, 1.0), poco::FatalError);
+    bad = makeProfile("bad", 1.0, 0.0, 120.0);
+    EXPECT_THROW(model.monthlyCost(bad, 1.0), poco::FatalError);
+    bad = makeProfile("bad", 1.0, 150.0, -5.0);
+    EXPECT_THROW(model.monthlyCost(bad, 1.0), poco::FatalError);
+    EXPECT_THROW(model.monthlyCost(
+                     makeProfile("x", 1.0, 150.0, 120.0), 0.0),
+                 poco::FatalError);
+    EXPECT_THROW(model.compare({}), poco::FatalError);
+}
+
+TEST(Tco, PaperScenarioOrdering)
+{
+    // Qualitative Section V-F shape: POColo cheapest; both random
+    // variants most expensive. Numbers here mirror the measured
+    // cluster results (see bench_fig15_tco).
+    const TcoModel model;
+    const std::vector<PolicyProfile> profiles = {
+        makeProfile("POColo", 0.970, 150.5, 136.0),
+        makeProfile("POM", 0.933, 150.5, 135.5),
+        makeProfile("Random", 0.907, 150.5, 140.5),
+        makeProfile("Random(NoCap)", 0.915, 185.0, 141.0),
+    };
+    const auto costs = model.compare(profiles);
+    EXPECT_LT(costs[0].total(), costs[1].total());
+    EXPECT_LT(costs[1].total(), costs[2].total());
+    EXPECT_LT(costs[0].total(), costs[3].total());
+}
+
+} // namespace
+} // namespace poco::tco

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the logging and error-reporting utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace poco
+{
+namespace
+{
+
+TEST(Logger, FiltersBySeverity)
+{
+    std::ostringstream sink;
+    Logger logger(sink, LogLevel::Warn);
+    logger.write(LogLevel::Debug, "test", "hidden");
+    logger.write(LogLevel::Warn, "test", "visible");
+    logger.write(LogLevel::Error, "test", "also visible");
+    const std::string out = sink.str();
+    EXPECT_EQ(out.find("hidden"), std::string::npos);
+    EXPECT_NE(out.find("visible"), std::string::npos);
+    EXPECT_NE(out.find("also visible"), std::string::npos);
+}
+
+TEST(Logger, RecordFormat)
+{
+    std::ostringstream sink;
+    Logger logger(sink, LogLevel::Info);
+    logger.write(LogLevel::Info, "server", "allocation changed");
+    EXPECT_EQ(sink.str(), "[INFO ] server: allocation changed\n");
+}
+
+TEST(Logger, EnabledReflectsLevel)
+{
+    Logger logger(std::cerr, LogLevel::Info);
+    EXPECT_FALSE(logger.enabled(LogLevel::Trace));
+    EXPECT_FALSE(logger.enabled(LogLevel::Debug));
+    EXPECT_TRUE(logger.enabled(LogLevel::Info));
+    EXPECT_TRUE(logger.enabled(LogLevel::Error));
+    logger.setLevel(LogLevel::Off);
+    EXPECT_FALSE(logger.enabled(LogLevel::Error));
+}
+
+TEST(Logger, MacroIsLazy)
+{
+    // The stream expression must not evaluate when filtered out.
+    std::ostringstream sink;
+    log().setSink(sink);
+    log().setLevel(LogLevel::Error);
+    int evaluations = 0;
+    auto expensive = [&]() {
+        ++evaluations;
+        return 42;
+    };
+    POCO_DEBUG("test", "value " << expensive());
+    EXPECT_EQ(evaluations, 0);
+    POCO_ERROR("test", "value " << expensive());
+    EXPECT_EQ(evaluations, 1);
+    EXPECT_NE(sink.str().find("value 42"), std::string::npos);
+    // Restore the global logger for other tests.
+    log().setSink(std::cerr);
+    log().setLevel(LogLevel::Warn);
+}
+
+TEST(Logger, LevelNames)
+{
+    EXPECT_STREQ(logLevelName(LogLevel::Trace), "TRACE");
+    EXPECT_STREQ(logLevelName(LogLevel::Info), "INFO ");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "ERROR");
+}
+
+TEST(Check, FatalThrowsWithMessage)
+{
+    try {
+        fatal("bad configuration");
+        FAIL() << "fatal() must throw";
+    } catch (const FatalError& error) {
+        EXPECT_STREQ(error.what(), "bad configuration");
+    }
+}
+
+TEST(Check, RequireMacroIncludesContext)
+{
+    try {
+        const int x = 3;
+        POCO_REQUIRE(x > 5, "x must exceed five");
+        FAIL() << "POCO_REQUIRE must throw";
+    } catch (const FatalError& error) {
+        const std::string what = error.what();
+        EXPECT_NE(what.find("x must exceed five"),
+                  std::string::npos);
+        EXPECT_NE(what.find("x > 5"), std::string::npos);
+        EXPECT_NE(what.find("test_util_logging.cpp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, RequirePassesSilently)
+{
+    EXPECT_NO_THROW(POCO_REQUIRE(1 + 1 == 2, "arithmetic"));
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant shattered"),
+                 "panic: invariant shattered");
+}
+
+TEST(CheckDeathTest, AssertMacroAborts)
+{
+    EXPECT_DEATH(POCO_ASSERT(false, "should never happen"),
+                 "should never happen");
+}
+
+} // namespace
+} // namespace poco

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit and property tests for the statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace poco
+{
+namespace
+{
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+    RunningStats s;
+    double sum = 0.0;
+    for (double x : xs) {
+        s.add(x);
+        sum += x;
+    }
+    const double mean = sum / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size());
+
+    EXPECT_NEAR(s.mean(), mean, 1e-12);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 16.0);
+    EXPECT_NEAR(s.sum(), sum, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsCombinedStream)
+{
+    Rng rng(11);
+    RunningStats all, a, b;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats a_copy = a;
+    a.merge(b); // empty rhs: no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_NEAR(a.mean(), a_copy.mean(), 1e-12);
+    b.merge(a); // empty lhs adopts rhs
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_NEAR(b.mean(), 2.0, 1e-12);
+}
+
+TEST(Percentile, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(percentileOf({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks)
+{
+    // p25 of {10, 20, 30, 40}: rank = 0.75 -> 10 + 0.75*10 = 17.5.
+    EXPECT_DOUBLE_EQ(percentileOf({10.0, 20.0, 30.0, 40.0}, 25.0),
+                     17.5);
+}
+
+TEST(Percentile, ExtremesAreMinAndMax)
+{
+    const std::vector<double> xs = {5.0, 9.0, 1.0, 7.0};
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentileOf(xs, 100.0), 9.0);
+}
+
+TEST(Percentile, EmptyReturnsZero)
+{
+    EXPECT_DOUBLE_EQ(percentileOf({}, 99.0), 0.0);
+}
+
+TEST(Percentile, RejectsOutOfRange)
+{
+    EXPECT_THROW(percentileOf({1.0}, -1.0), FatalError);
+    EXPECT_THROW(percentileOf({1.0}, 101.0), FatalError);
+}
+
+/** Property: percentile is monotone in p. */
+TEST(Percentile, MonotoneInP)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 200; ++i)
+        xs.push_back(rng.uniform(0.0, 1000.0));
+    double prev = percentileOf(xs, 0.0);
+    for (double p = 5.0; p <= 100.0; p += 5.0) {
+        const double cur = percentileOf(xs, p);
+        EXPECT_GE(cur, prev) << "non-monotone at p=" << p;
+        prev = cur;
+    }
+}
+
+TEST(SampleSet, TracksTailLatencies)
+{
+    SampleSet set;
+    for (int i = 1; i <= 100; ++i)
+        set.add(static_cast<double>(i));
+    EXPECT_EQ(set.size(), 100u);
+    EXPECT_NEAR(set.percentile(99.0), 99.01, 0.01);
+    EXPECT_DOUBLE_EQ(set.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(set.min(), 1.0);
+    EXPECT_DOUBLE_EQ(set.max(), 100.0);
+    set.clear();
+    EXPECT_TRUE(set.empty());
+}
+
+TEST(RSquared, PerfectFitIsOne)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(rSquared(y, y), 1.0);
+}
+
+TEST(RSquared, MeanPredictorIsZero)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    const std::vector<double> mean = {2.0, 2.0, 2.0};
+    EXPECT_NEAR(rSquared(y, mean), 0.0, 1e-12);
+}
+
+TEST(RSquared, WorseThanMeanIsNegative)
+{
+    const std::vector<double> y = {1.0, 2.0, 3.0};
+    const std::vector<double> bad = {3.0, 2.0, 1.0};
+    EXPECT_LT(rSquared(y, bad), 0.0);
+}
+
+TEST(RSquared, ConstantObservations)
+{
+    const std::vector<double> y = {2.0, 2.0};
+    EXPECT_DOUBLE_EQ(rSquared(y, y), 1.0);
+    EXPECT_DOUBLE_EQ(rSquared(y, {1.0, 3.0}), 0.0);
+}
+
+TEST(RSquared, RejectsMismatchedLengths)
+{
+    EXPECT_THROW(rSquared({1.0}, {1.0, 2.0}), FatalError);
+    EXPECT_THROW(rSquared({}, {}), FatalError);
+}
+
+TEST(MeanOf, Basics)
+{
+    EXPECT_DOUBLE_EQ(meanOf({}), 0.0);
+    EXPECT_DOUBLE_EQ(meanOf({2.0, 4.0}), 3.0);
+}
+
+} // namespace
+} // namespace poco

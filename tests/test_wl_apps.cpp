@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Tests for the ground-truth workload models, including the
+ * paper-calibration regression checks (Table II, Section II-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/server_spec.hpp"
+#include "util/check.hpp"
+#include "wl/be_app.hpp"
+#include "wl/lc_app.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::wl
+{
+namespace
+{
+
+class LcAppTest : public ::testing::Test
+{
+  protected:
+    AppSet set_ = defaultAppSet();
+};
+
+TEST_F(LcAppTest, TableIIPeakPowerCalibration)
+{
+    EXPECT_NEAR(set_.lcByName("img-dnn").provisionedPower(), 133.0,
+                1.0);
+    EXPECT_NEAR(set_.lcByName("sphinx").provisionedPower(), 182.0,
+                1.0);
+    EXPECT_NEAR(set_.lcByName("xapian").provisionedPower(), 154.0,
+                1.0);
+    EXPECT_NEAR(set_.lcByName("tpcc").provisionedPower(), 133.0, 1.0);
+}
+
+TEST_F(LcAppTest, TableIIPeakLoadsAndSlos)
+{
+    const LcApp& xapian = set_.lcByName("xapian");
+    EXPECT_DOUBLE_EQ(xapian.peakLoad(), 4000.0);
+    EXPECT_DOUBLE_EQ(xapian.slo99(), 0.004020);
+    EXPECT_DOUBLE_EQ(xapian.slo95(), 0.002588);
+    EXPECT_DOUBLE_EQ(set_.lcByName("sphinx").peakLoad(), 10.0);
+    EXPECT_DOUBLE_EQ(set_.lcByName("img-dnn").peakLoad(), 3500.0);
+    EXPECT_DOUBLE_EQ(set_.lcByName("tpcc").peakLoad(), 8000.0);
+}
+
+TEST_F(LcAppTest, FullAllocationSustainsPeakAtSlo)
+{
+    for (const auto& lc : set_.lc) {
+        const auto full = lc.fullAllocation();
+        EXPECT_NEAR(lc.capacity(full), lc.peakLoad(),
+                    1e-6 * lc.peakLoad())
+            << lc.name();
+        // At exactly peak load the p99 equals the SLO.
+        EXPECT_NEAR(lc.latencyP99(lc.peakLoad(), full), lc.slo99(),
+                    1e-9)
+            << lc.name();
+        EXPECT_NEAR(lc.slack99(lc.peakLoad(), full), 0.0, 1e-6);
+    }
+}
+
+TEST_F(LcAppTest, CapacityMonotoneInResources)
+{
+    const LcApp& app = set_.lcByName("sphinx");
+    const sim::ServerSpec& spec = app.spec();
+    for (int c = 1; c < spec.cores; ++c) {
+        const sim::Allocation a{c, 10, spec.freqMax, 1.0};
+        const sim::Allocation b{c + 1, 10, spec.freqMax, 1.0};
+        EXPECT_LT(app.capacity(a), app.capacity(b));
+    }
+    for (int w = 1; w < spec.llcWays; ++w) {
+        const sim::Allocation a{6, w, spec.freqMax, 1.0};
+        const sim::Allocation b{6, w + 1, spec.freqMax, 1.0};
+        EXPECT_LT(app.capacity(a), app.capacity(b));
+    }
+}
+
+TEST_F(LcAppTest, LatencyBlowsUpNearSaturation)
+{
+    const LcApp& app = set_.lcByName("xapian");
+    const sim::Allocation alloc{6, 10, 2.2, 1.0};
+    const Rps cap = app.capacity(alloc);
+    // Latency increases with load and crosses the SLO at capacity.
+    double prev = 0.0;
+    for (double frac : {0.2, 0.5, 0.8, 0.95, 1.0}) {
+        const double p99 = app.latencyP99(frac * cap, alloc);
+        EXPECT_GT(p99, prev);
+        prev = p99;
+    }
+    EXPECT_LE(app.latencyP99(0.999 * cap, alloc), app.slo99());
+    EXPECT_GT(app.latencyP99(1.2 * cap, alloc), app.slo99());
+    // Beyond saturation the reported latency is finite but huge.
+    EXPECT_GT(app.latencyP99(5.0 * cap, alloc), 10.0 * app.slo99());
+}
+
+TEST_F(LcAppTest, P95ScalesFromP99)
+{
+    const LcApp& app = set_.lcByName("img-dnn");
+    const sim::Allocation alloc{8, 10, 2.2, 1.0};
+    const double ratio = app.latencyP95(1000.0, alloc) /
+                         app.latencyP99(1000.0, alloc);
+    EXPECT_NEAR(ratio, app.slo95() / app.slo99(), 1e-12);
+}
+
+TEST_F(LcAppTest, UtilizationClampedToOne)
+{
+    const LcApp& app = set_.lcByName("tpcc");
+    const sim::Allocation alloc{4, 8, 2.2, 1.0};
+    EXPECT_DOUBLE_EQ(app.utilization(0.0, alloc), 0.0);
+    EXPECT_LE(app.utilization(1e9, alloc), 1.0);
+    const Rps cap = app.capacity(alloc);
+    EXPECT_NEAR(app.utilization(0.5 * cap, alloc), 0.5, 1e-9);
+}
+
+TEST_F(LcAppTest, PowerIncreasesWithLoad)
+{
+    const LcApp& app = set_.lcByName("xapian");
+    const sim::Allocation alloc{6, 10, 2.2, 1.0};
+    const Rps cap = app.capacity(alloc);
+    EXPECT_LT(app.serverPower(0.2 * cap, alloc),
+              app.serverPower(0.9 * cap, alloc));
+    // Parked app draws nothing on top of static power.
+    const sim::Allocation parked{0, 0, 2.2, 1.0};
+    EXPECT_DOUBLE_EQ(app.power(100.0, parked), 0.0);
+}
+
+TEST_F(LcAppTest, SectionIICXapianLowLoadExample)
+{
+    // Section II-C: at 10% load xapian needs only a tiny allocation
+    // and ~64 W, leaving most of the server spare.
+    const LcApp xapian132(xapianMotivationParams(), set_.spec);
+    EXPECT_NEAR(xapian132.provisionedPower(), 132.0, 1.0);
+
+    // Some small allocation must sustain 10% load within SLO.
+    bool found = false;
+    for (int c = 1; c <= 4 && !found; ++c)
+        for (int w = 1; w <= 4 && !found; ++w) {
+            const sim::Allocation alloc{c, w, 2.2, 1.0};
+            if (xapian132.capacity(alloc) >=
+                0.1 * xapian132.peakLoad()) {
+                found = true;
+                const Watts power = xapian132.serverPower(
+                    0.1 * xapian132.peakLoad(), alloc);
+                EXPECT_NEAR(power, 64.0, 8.0);
+            }
+        }
+    EXPECT_TRUE(found);
+}
+
+class BeAppTest : public ::testing::Test
+{
+  protected:
+    AppSet set_ = defaultAppSet();
+};
+
+TEST_F(BeAppTest, NormalizedThroughputAtFullSpare)
+{
+    // All BE apps are normalized to 1.0 on 11 cores / 18 ways (the
+    // spare of a near-idle primary), matching Fig. 3's equal
+    // uncapped throughput.
+    const sim::Allocation norm{11, 18, 2.2, 1.0};
+    for (const auto& be : set_.be)
+        EXPECT_NEAR(be.throughput(norm), 1.0, 1e-9) << be.name();
+}
+
+TEST_F(BeAppTest, UncappedDrawsInMotivationBand)
+{
+    // Fig. 2: running any BE app on the full spare of a low-load
+    // xapian pushes the server into the ~134-158 W band, above the
+    // 132 W provisioned capacity.
+    const LcApp xapian132(xapianMotivationParams(), set_.spec);
+    const sim::Allocation primary{2, 2, 2.2, 1.0};
+    const Rps load = 0.1 * xapian132.peakLoad();
+    const sim::Allocation spare =
+        sim::spareOf(primary, set_.spec);
+    for (const auto& be : set_.be) {
+        const Watts total =
+            xapian132.serverPower(load, primary) + be.power(spare);
+        EXPECT_GT(total, 132.0) << be.name();
+        EXPECT_LT(total, 160.0) << be.name();
+    }
+}
+
+TEST_F(BeAppTest, ThroughputMonotoneInEveryKnob)
+{
+    const BeApp& graph = set_.beByName("graph");
+    for (int c = 1; c < 12; ++c)
+        EXPECT_LT(graph.throughput({c, 10, 2.2, 1.0}),
+                  graph.throughput({c + 1, 10, 2.2, 1.0}));
+    for (int w = 1; w < 20; ++w)
+        EXPECT_LT(graph.throughput({6, w, 2.2, 1.0}),
+                  graph.throughput({6, w + 1, 2.2, 1.0}));
+    EXPECT_LT(graph.throughput({6, 10, 1.2, 1.0}),
+              graph.throughput({6, 10, 2.2, 1.0}));
+    EXPECT_LT(graph.throughput({6, 10, 2.2, 0.5}),
+              graph.throughput({6, 10, 2.2, 1.0}));
+}
+
+TEST_F(BeAppTest, DutyCycleLinearInThroughput)
+{
+    const BeApp& lstm = set_.beByName("lstm");
+    const double full = lstm.throughput({8, 10, 2.2, 1.0});
+    const double half = lstm.throughput({8, 10, 2.2, 0.5});
+    EXPECT_NEAR(half, 0.5 * full, 1e-9);
+}
+
+TEST_F(BeAppTest, ParkedAppIsFree)
+{
+    const BeApp& rnn = set_.beByName("rnn");
+    const sim::Allocation parked{0, 0, 2.2, 1.0};
+    EXPECT_DOUBLE_EQ(rnn.throughput(parked), 0.0);
+    EXPECT_DOUBLE_EQ(rnn.power(parked), 0.0);
+    EXPECT_DOUBLE_EQ(rnn.utilization(parked), 0.0);
+}
+
+TEST(Registry, LookupByName)
+{
+    const AppSet set = defaultAppSet();
+    EXPECT_EQ(set.lc.size(), 4u);
+    EXPECT_EQ(set.be.size(), 4u);
+    EXPECT_EQ(set.lcByName("sphinx").name(), "sphinx");
+    EXPECT_EQ(set.beByName("pbzip2").name(), "pbzip2");
+    EXPECT_THROW(set.lcByName("nope"), poco::FatalError);
+    EXPECT_THROW(set.beByName("nope"), poco::FatalError);
+    EXPECT_THROW(lcParamsByName("nope"), poco::FatalError);
+    EXPECT_EQ(beParamsByName("graph").name, "graph");
+}
+
+TEST(Registry, MotivationVariantSharesPerformanceSurface)
+{
+    const auto base = lcParamsByName("xapian");
+    const auto variant = xapianMotivationParams();
+    EXPECT_EQ(variant.name, "xapian-132");
+    EXPECT_DOUBLE_EQ(variant.perf.alphaCores, base.perf.alphaCores);
+    EXPECT_DOUBLE_EQ(variant.peakLoad, base.peakLoad);
+    EXPECT_LT(variant.power.corePeak, base.power.corePeak);
+}
+
+} // namespace
+} // namespace poco::wl

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the extended application set and CSV load traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "util/check.hpp"
+#include "wl/load_trace.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::wl
+{
+namespace
+{
+
+TEST(ExtendedApps, SupersetOfDefault)
+{
+    const AppSet base = defaultAppSet();
+    const AppSet ext = extendedAppSet();
+    EXPECT_EQ(ext.lc.size(), base.lc.size() + 2);
+    EXPECT_EQ(ext.be.size(), base.be.size() + 2);
+    // Default apps unchanged and in the same order.
+    for (std::size_t i = 0; i < base.lc.size(); ++i)
+        EXPECT_EQ(ext.lc[i].name(), base.lc[i].name());
+    EXPECT_NO_THROW(ext.lcByName("memcached"));
+    EXPECT_NO_THROW(ext.lcByName("moses"));
+    EXPECT_NO_THROW(ext.beByName("spark-batch"));
+    EXPECT_NO_THROW(ext.beByName("x264"));
+}
+
+TEST(ExtendedApps, NewAppsAreWellFormed)
+{
+    const AppSet ext = extendedAppSet();
+    for (const char* name : {"memcached", "moses"}) {
+        const LcApp& lc = ext.lcByName(name);
+        EXPECT_GT(lc.provisionedPower(), ext.spec.idlePower) << name;
+        EXPECT_LT(lc.provisionedPower(), 250.0) << name;
+        // Full allocation sustains peak at the SLO boundary.
+        EXPECT_NEAR(lc.capacity(lc.fullAllocation()), lc.peakLoad(),
+                    1e-6 * lc.peakLoad())
+            << name;
+    }
+    const sim::Allocation norm{11, 18, 2.2, 1.0};
+    for (const char* name : {"spark-batch", "x264"}) {
+        const BeApp& be = ext.beByName(name);
+        EXPECT_NEAR(be.throughput(norm), 1.0, 1e-9) << name;
+        EXPECT_GT(be.power(norm), 20.0) << name;
+        EXPECT_LT(be.power(norm), 130.0) << name;
+    }
+}
+
+TEST(ExtendedApps, NewAppsFitCleanly)
+{
+    const AppSet ext = extendedAppSet();
+    const model::Profiler profiler;
+    const model::UtilityFitter fitter;
+    for (const char* name : {"memcached", "moses"}) {
+        const auto m =
+            fitter.fit(profiler.profileLc(ext.lcByName(name)));
+        EXPECT_GT(m.perfR2, 0.8) << name;
+        EXPECT_GT(m.powerR2, 0.8) << name;
+        const auto pref = m.indirectPreference();
+        EXPECT_GT(pref[0], 0.05) << name;
+        EXPECT_LT(pref[0], 0.95) << name;
+    }
+    // x264 must fit as strongly core-preferring per watt.
+    const auto x264 =
+        fitter.fit(profiler.profileBe(ext.beByName("x264")));
+    EXPECT_GT(x264.indirectPreference()[0], 0.6);
+    // memcached as cache-preferring.
+    const auto mc = fitter.fit(
+        profiler.profileLc(ext.lcByName("memcached")));
+    EXPECT_LT(mc.indirectPreference()[0], 0.45);
+}
+
+TEST(CsvTrace, ParsesAndWraps)
+{
+    const auto trace = LoadTrace::fromCsv(
+        "# a comment\n0.1\n0.5\n0.9 # inline\n\n", 10 * kSecond);
+    EXPECT_DOUBLE_EQ(trace.at(0), 0.1);
+    EXPECT_DOUBLE_EQ(trace.at(10 * kSecond), 0.5);
+    EXPECT_DOUBLE_EQ(trace.at(29 * kSecond), 0.9);
+    EXPECT_DOUBLE_EQ(trace.at(30 * kSecond), 0.1); // wraps
+}
+
+TEST(CsvTrace, RejectsBadContent)
+{
+    EXPECT_THROW(LoadTrace::fromCsv("", kSecond), poco::FatalError);
+    EXPECT_THROW(LoadTrace::fromCsv("# only comments\n", kSecond),
+                 poco::FatalError);
+    EXPECT_THROW(LoadTrace::fromCsv("1.5\n", kSecond),
+                 poco::FatalError);
+    EXPECT_THROW(LoadTrace::fromCsv("-0.1\n", kSecond),
+                 poco::FatalError);
+    EXPECT_THROW(LoadTrace::fromCsv("0.5 0.6\n", kSecond),
+                 poco::FatalError);
+    EXPECT_THROW(LoadTrace::fromCsv("0.5\n", 0), poco::FatalError);
+}
+
+TEST(CsvTrace, FileRoundTrip)
+{
+    const std::string path = "/tmp/pocolo_test_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "# hourly load averages\n0.2\n0.7\n0.4\n";
+    }
+    const auto trace = LoadTrace::fromCsvFile(path, kHour);
+    EXPECT_DOUBLE_EQ(trace.at(kHour + kMinute), 0.7);
+    std::remove(path.c_str());
+    EXPECT_THROW(LoadTrace::fromCsvFile("/no/such/file", kHour),
+                 poco::FatalError);
+}
+
+} // namespace
+} // namespace poco::wl

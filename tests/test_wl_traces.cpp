@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for offered-load traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "wl/load_trace.hpp"
+
+namespace poco::wl
+{
+namespace
+{
+
+TEST(LoadTrace, ConstantIsConstant)
+{
+    const auto trace = LoadTrace::constant(0.4);
+    for (SimTime t : {SimTime{0}, kSecond, kHour})
+        EXPECT_DOUBLE_EQ(trace.at(t), 0.4);
+    EXPECT_THROW(LoadTrace::constant(1.5), poco::FatalError);
+    EXPECT_THROW(LoadTrace::constant(-0.1), poco::FatalError);
+}
+
+TEST(LoadTrace, DiurnalRangeAndPeriodicity)
+{
+    const SimTime day = 24 * kHour;
+    const auto trace = LoadTrace::diurnal(day, 0.1, 0.9);
+    double lo = 1.0, hi = 0.0;
+    for (SimTime t = 0; t < day; t += kHour / 4) {
+        const double v = trace.at(t);
+        ASSERT_GE(v, 0.1 - 1e-9);
+        ASSERT_LE(v, 0.9 + 1e-9);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    EXPECT_NEAR(lo, 0.1, 0.01);
+    EXPECT_NEAR(hi, 0.9, 0.01);
+    // Periodic: one day later the value repeats.
+    EXPECT_NEAR(trace.at(3 * kHour), trace.at(day + 3 * kHour), 1e-9);
+}
+
+TEST(LoadTrace, DiurnalTroughAtStartPeakMidPeriod)
+{
+    const SimTime day = 24 * kHour;
+    const auto trace = LoadTrace::diurnal(day, 0.1, 0.9);
+    EXPECT_NEAR(trace.at(0), 0.1, 1e-9);
+    EXPECT_NEAR(trace.at(day / 2), 0.9, 1e-9);
+}
+
+TEST(LoadTrace, DiurnalValidation)
+{
+    EXPECT_THROW(LoadTrace::diurnal(0, 0.1, 0.9), poco::FatalError);
+    EXPECT_THROW(LoadTrace::diurnal(kHour, 0.9, 0.1),
+                 poco::FatalError);
+    EXPECT_THROW(LoadTrace::diurnal(kHour, -0.1, 0.9),
+                 poco::FatalError);
+}
+
+TEST(LoadTrace, SteppedCyclesThroughFractions)
+{
+    const auto trace =
+        LoadTrace::stepped({0.1, 0.5, 0.9}, 10 * kSecond);
+    EXPECT_DOUBLE_EQ(trace.at(0), 0.1);
+    EXPECT_DOUBLE_EQ(trace.at(9 * kSecond), 0.1);
+    EXPECT_DOUBLE_EQ(trace.at(10 * kSecond), 0.5);
+    EXPECT_DOUBLE_EQ(trace.at(25 * kSecond), 0.9);
+    // Wraps around.
+    EXPECT_DOUBLE_EQ(trace.at(30 * kSecond), 0.1);
+    EXPECT_THROW(LoadTrace::stepped({}, kSecond), poco::FatalError);
+    EXPECT_THROW(LoadTrace::stepped({0.5}, 0), poco::FatalError);
+    EXPECT_THROW(LoadTrace::stepped({1.5}, kSecond),
+                 poco::FatalError);
+}
+
+TEST(LoadTrace, SampleProducesExpectedCount)
+{
+    const auto trace = LoadTrace::constant(0.3);
+    const auto samples = trace.sample(10 * kSecond, kSecond);
+    EXPECT_EQ(samples.size(), 10u);
+    for (double s : samples)
+        EXPECT_DOUBLE_EQ(s, 0.3);
+    EXPECT_THROW(trace.sample(kSecond, 0), poco::FatalError);
+}
+
+TEST(LoadTrace, JitterIsDeterministicAndBounded)
+{
+    const auto base = LoadTrace::constant(0.5);
+    const auto a = LoadTrace::jittered(base, 0.1, kSecond, 42);
+    const auto b = LoadTrace::jittered(base, 0.1, kSecond, 42);
+    const auto c = LoadTrace::jittered(base, 0.1, kSecond, 43);
+    // Same seed -> identical; different seed -> different somewhere.
+    bool differs = false;
+    for (SimTime t = 0; t < 50 * kSecond; t += kSecond) {
+        EXPECT_DOUBLE_EQ(a.at(t), b.at(t));
+        differs = differs || std::abs(a.at(t) - c.at(t)) > 1e-12;
+        ASSERT_GE(a.at(t), 0.0);
+        ASSERT_LE(a.at(t), 1.0); // clamped
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(LoadTrace, JitterIsConstantWithinDwell)
+{
+    const auto trace = LoadTrace::jittered(LoadTrace::constant(0.5),
+                                           0.2, 10 * kSecond, 7);
+    EXPECT_DOUBLE_EQ(trace.at(0), trace.at(9 * kSecond));
+}
+
+TEST(LoadTrace, JitterZeroSigmaIsIdentity)
+{
+    const auto trace = LoadTrace::jittered(LoadTrace::constant(0.5),
+                                           0.0, kSecond, 7);
+    EXPECT_DOUBLE_EQ(trace.at(12345), 0.5);
+}
+
+} // namespace
+} // namespace poco::wl

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * pocolo_cli — command-line driver for the Pocolo library.
+ *
+ * Subcommands:
+ *   spec                         print the server platform (Table I)
+ *   apps                         list the calibrated applications
+ *   profile <lc|be> <name>       dump profile samples as CSV
+ *   fit <lc|be> <name>           fit and print the utility model
+ *   curve <lc-name> <load%>      indifference curve at a load
+ *   matrix                       model-driven performance matrix
+ *   place [lp|hungarian|exhaustive|random]
+ *                                placement under a solver
+ *   policies                     run Random/POM/POColo end to end
+ *   tco                          amortized monthly TCO comparison
+ *
+ * Output is plain text (aligned tables) on stdout; `profile` emits
+ * CSV so it can feed external plotting.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "model/fitter.hpp"
+#include "model/indifference.hpp"
+#include "model/model_store.hpp"
+#include "model/profiler.hpp"
+#include "server/server_manager.hpp"
+#include "tco/tco_model.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "wl/registry.hpp"
+
+using namespace poco;
+
+namespace
+{
+
+int
+usage()
+{
+    std::printf(
+        "usage: pocolo_cli <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  spec                       server platform (Table I)\n"
+        "  apps                       calibrated applications\n"
+        "  profile <lc|be> <name>     profile samples as CSV\n"
+        "  fit <lc|be> <name>         fitted Cobb-Douglas model\n"
+        "  curve <lc-name> <load%%>    indifference curve\n"
+        "  matrix                     performance matrix\n"
+        "  place [solver]             placement (lp, hungarian,\n"
+        "                             exhaustive, random)\n"
+        "  policies                   Random/POM/POColo comparison\n"
+        "  tco                        monthly TCO comparison\n"
+        "  fit-all <file>             fit all apps, save the model\n"
+        "                             store (historical knowledge)\n"
+        "  models <file>              list a saved model store\n"
+        "  simulate <lc> <be> <load%%|trace.csv> <minutes>\n"
+        "                             run a managed colocation and\n"
+        "                             print telemetry as CSV\n");
+    return 2;
+}
+
+int
+cmdSpec()
+{
+    const sim::ServerSpec spec = sim::xeonE5_2650();
+    TextTable t({"property", "value"});
+    t.addRow({"name", spec.name});
+    t.addRow({"cores", std::to_string(spec.cores)});
+    t.addRow({"llc ways", std::to_string(spec.llcWays)});
+    t.addRow({"llc size (MB)", fmt(spec.llcMegabytes, 0)});
+    t.addRow({"freq range (GHz)",
+              fmt(spec.freqMin, 1) + " - " + fmt(spec.freqMax, 1)});
+    t.addRow({"idle power (W)", fmt(spec.idlePower, 0)});
+    t.addRow({"nominal active power (W)",
+              fmt(spec.nominalActivePower, 0)});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdApps(const wl::AppSet& apps)
+{
+    TextTable t({"class", "name", "peak load", "p99 SLO (s)",
+                 "provisioned power (W)"});
+    for (const auto& lc : apps.lc)
+        t.addRow({"LC", lc.name(), fmt(lc.peakLoad(), 0),
+                  fmt(lc.slo99(), 4),
+                  fmt(lc.provisionedPower(), 1)});
+    for (const auto& be : apps.be)
+        t.addRow({"BE", be.name(), "-", "-", "-"});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdProfile(const wl::AppSet& apps, const std::string& cls,
+           const std::string& name)
+{
+    const model::Profiler profiler;
+    std::vector<model::ProfileSample> samples;
+    if (cls == "lc")
+        samples = profiler.profileLc(apps.lcByName(name));
+    else if (cls == "be")
+        samples = profiler.profileBe(apps.beByName(name));
+    else
+        return usage();
+    std::printf("cores,ways,perf,power_w\n");
+    for (const auto& s : samples)
+        std::printf("%.0f,%.0f,%.6g,%.4f\n", s.r[0], s.r[1], s.perf,
+                    s.power);
+    return 0;
+}
+
+int
+cmdFit(const wl::AppSet& apps, const std::string& cls,
+       const std::string& name)
+{
+    const model::Profiler profiler;
+    const model::UtilityFitter fitter;
+    model::CobbDouglasUtility m;
+    if (cls == "lc")
+        m = fitter.fit(profiler.profileLc(apps.lcByName(name)));
+    else if (cls == "be")
+        m = fitter.fit(profiler.profileBe(apps.beByName(name)));
+    else
+        return usage();
+
+    std::printf("model: %s\n", m.toString().c_str());
+    std::printf("fit:   R2(perf)=%.3f R2(power)=%.3f\n", m.perfR2,
+                m.powerR2);
+    const auto d = m.directPreference();
+    const auto i = m.indirectPreference();
+    std::printf("direct preference (cores:ways):   %.2f:%.2f\n",
+                d[0], d[1]);
+    std::printf("indirect preference (cores:ways): %.2f:%.2f\n",
+                i[0], i[1]);
+    return 0;
+}
+
+int
+cmdCurve(const wl::AppSet& apps, const std::string& name,
+         double load_pct)
+{
+    const auto& lc = apps.lcByName(name);
+    const auto curve = model::isoLoadCurve(lc, load_pct / 100.0);
+    const auto best = model::minPowerPoint(lc, load_pct / 100.0);
+    TextTable t({"cores", "ways", "server power (W)", "min-power"});
+    for (const auto& p : curve)
+        t.addRow({std::to_string(p.cores), std::to_string(p.ways),
+                  fmt(p.power, 1),
+                  (best && p.cores == best->cores &&
+                   p.ways == best->ways)
+                      ? "*"
+                      : ""});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdMatrix(const wl::AppSet& apps)
+{
+    const cluster::ClusterEvaluator evaluator(apps);
+    const auto& m = evaluator.matrix();
+    std::vector<std::string> header = {"BE \\ LC"};
+    header.insert(header.end(), m.lcNames.begin(), m.lcNames.end());
+    TextTable t(header);
+    for (std::size_t i = 0; i < m.beNames.size(); ++i) {
+        std::vector<std::string> row = {m.beNames[i]};
+        for (double v : m.value[i])
+            row.push_back(fmt(v, 3));
+        t.addRow(std::move(row));
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdPlace(const wl::AppSet& apps, const std::string& solver)
+{
+    cluster::PlacementKind kind = cluster::PlacementKind::Lp;
+    if (solver == "hungarian")
+        kind = cluster::PlacementKind::Hungarian;
+    else if (solver == "exhaustive")
+        kind = cluster::PlacementKind::Exhaustive;
+    else if (solver == "random")
+        kind = cluster::PlacementKind::Random;
+    else if (solver != "lp")
+        return usage();
+
+    const cluster::ClusterEvaluator evaluator(apps);
+    const auto assignment = evaluator.placeBe(kind);
+    const auto& m = evaluator.matrix();
+    TextTable t({"BE app", "LC server", "estimated thr"});
+    for (std::size_t i = 0; i < m.beNames.size(); ++i) {
+        const auto j = static_cast<std::size_t>(assignment[i]);
+        t.addRow({m.beNames[i], m.lcNames[j], fmt(m.value[i][j], 3)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("total estimated throughput: %.3f (%s)\n",
+                cluster::placementValue(m, assignment),
+                cluster::placementKindName(kind));
+    return 0;
+}
+
+int
+cmdPolicies(const wl::AppSet& apps)
+{
+    const cluster::ClusterEvaluator evaluator(apps);
+    TextTable t({"policy", "mean BE thr", "power util",
+                 "max SLO viol", "energy (MJ)"});
+    double base = 0.0;
+    for (auto policy :
+         {cluster::Policy::Random, cluster::Policy::Pom,
+          cluster::Policy::PoColo}) {
+        const auto outcome = evaluator.runPolicy(policy);
+        if (policy == cluster::Policy::Random)
+            base = outcome.meanBeThroughput();
+        t.addRow({cluster::policyName(policy),
+                  fmt(outcome.meanBeThroughput(), 3) + " (" +
+                      fmtPercent(outcome.meanBeThroughput() / base -
+                                 1.0) +
+                      ")",
+                  fmt(outcome.meanPowerUtilization(), 3),
+                  fmt(outcome.maxSloViolationFraction(), 4),
+                  fmt(outcome.totalEnergyJoules() / 1e6, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdTco(const wl::AppSet& apps)
+{
+    const cluster::ClusterEvaluator evaluator(apps);
+    Watts provisioned = 0.0;
+    for (const auto& lc : apps.lc)
+        provisioned += lc.provisionedPower();
+    provisioned /= static_cast<double>(apps.lc.size());
+
+    std::vector<tco::PolicyProfile> profiles;
+    for (auto policy :
+         {cluster::Policy::PoColo, cluster::Policy::Pom,
+          cluster::Policy::Random}) {
+        const auto outcome = evaluator.runPolicy(policy);
+        tco::PolicyProfile p;
+        p.name = cluster::policyName(policy);
+        p.throughputPerServer = 0.5 + outcome.meanBeThroughput();
+        p.provisionedPowerPerServer = provisioned;
+        p.averagePowerPerServer =
+            outcome.meanPowerUtilization() * provisioned;
+        profiles.push_back(p);
+    }
+    const tco::TcoModel model;
+    const auto costs = model.compare(profiles);
+    TextTable t({"policy", "servers", "total $M/mo", "vs first"});
+    for (const auto& c : costs)
+        t.addRow({c.policy, fmt(c.serversNeeded, 0),
+                  fmt(c.total() / 1e6, 3),
+                  fmtPercent(c.total() / costs.front().total() -
+                             1.0)});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdFitAll(const wl::AppSet& apps, const std::string& path)
+{
+    const model::Profiler profiler;
+    const model::UtilityFitter fitter;
+    model::ModelStore store;
+    for (const auto& lc : apps.lc)
+        store.put(lc.name(), fitter.fit(profiler.profileLc(lc)));
+    for (const auto& be : apps.be)
+        store.put(be.name(), fitter.fit(profiler.profileBe(be)));
+    store.saveFile(path);
+    std::printf("saved %zu fitted models to %s\n", store.size(),
+                path.c_str());
+    return 0;
+}
+
+int
+cmdModels(const std::string& path)
+{
+    model::ModelStore store;
+    store.loadFile(path);
+    TextTable t({"name", "k", "R2 perf", "R2 power",
+                 "indirect pref"});
+    for (const auto& [name, m] : store.all()) {
+        std::string pref;
+        for (double p : m.indirectPreference())
+            pref += (pref.empty() ? "" : ":") + fmt(p, 2);
+        t.addRow({name, std::to_string(m.numResources()),
+                  fmt(m.perfR2, 3), fmt(m.powerR2, 3), pref});
+    }
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
+int
+cmdSimulate(const wl::AppSet& apps, const std::string& lc_name,
+            const std::string& be_name, const std::string& load_arg,
+            double minutes)
+{
+    const wl::LcApp& lc = apps.lcByName(lc_name);
+    const wl::BeApp& be = apps.beByName(be_name);
+
+    wl::LoadTrace trace = wl::LoadTrace::constant(0.5);
+    if (load_arg.size() > 4 &&
+        load_arg.substr(load_arg.size() - 4) == ".csv")
+        trace = wl::LoadTrace::fromCsvFile(load_arg, kMinute);
+    else
+        trace = wl::LoadTrace::constant(std::stod(load_arg) / 100.0);
+
+    const model::Profiler profiler;
+    const model::UtilityFitter fitter;
+    const auto fitted = fitter.fit(profiler.profileLc(lc));
+
+    sim::EventQueue queue;
+    server::ColocatedServer server(lc, &be, lc.provisionedPower());
+    server::ServerManager manager(
+        server, std::make_unique<server::PomController>(fitted),
+        trace);
+    manager.attach(queue);
+    queue.runUntil(fromSeconds(minutes * 60.0));
+    server.advanceTo(queue.now());
+
+    std::printf("t_s,load_rps,p99_s,primary_cores,primary_ways,"
+                "be_cores,be_ways,be_freq,be_duty,be_thr,power_w\n");
+    for (const auto& s : manager.telemetry().all()) {
+        // Down-sample to one row per second to keep output sane.
+        if (s.when % kSecond != 0)
+            continue;
+        std::printf("%.0f,%.1f,%.6f,%d,%d,%d,%d,%.1f,%.2f,%.4f,"
+                    "%.2f\n",
+                    toSeconds(s.when), s.lcLoad, s.lcLatencyP99,
+                    s.lcAlloc.cores, s.lcAlloc.ways, s.beAlloc.cores,
+                    s.beAlloc.ways, s.beAlloc.freq,
+                    s.beAlloc.dutyCycle, s.beThroughput, s.power);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+
+    try {
+        const wl::AppSet apps = wl::defaultAppSet();
+        if (cmd == "spec")
+            return cmdSpec();
+        if (cmd == "apps")
+            return cmdApps(apps);
+        if (cmd == "profile" && argc == 4)
+            return cmdProfile(apps, argv[2], argv[3]);
+        if (cmd == "fit" && argc == 4)
+            return cmdFit(apps, argv[2], argv[3]);
+        if (cmd == "curve" && argc == 4)
+            return cmdCurve(apps, argv[2], std::stod(argv[3]));
+        if (cmd == "matrix")
+            return cmdMatrix(apps);
+        if (cmd == "place")
+            return cmdPlace(apps, argc >= 3 ? argv[2] : "lp");
+        if (cmd == "policies")
+            return cmdPolicies(apps);
+        if (cmd == "tco")
+            return cmdTco(apps);
+        if (cmd == "fit-all" && argc == 3)
+            return cmdFitAll(apps, argv[2]);
+        if (cmd == "models" && argc == 3)
+            return cmdModels(argv[2]);
+        if (cmd == "simulate" && argc == 6)
+            return cmdSimulate(apps, argv[2], argv[3], argv[4],
+                               std::stod(argv[5]));
+    } catch (const poco::FatalError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return usage();
+}
