@@ -7,10 +7,12 @@
  * POColo by ~18%.
  */
 
+#include <chrono>
 #include <cstdio>
 
 #include "cluster/cluster_evaluator.hpp"
 #include "common.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/table.hpp"
 
 using namespace poco;
@@ -91,5 +93,29 @@ main()
                              (random.totalEnergyJoules() /
                               random.totalBeThroughput()) -
                          1.0));
+
+    // Runtime parallelism: the same pipeline (profiling, fits,
+    // matrix, per-server runs) serial vs on the shared pool. The
+    // results must match bit for bit; the speedup tracks the
+    // physical core count (~1x on a single-core host).
+    const auto pipeline = [&ctx](int threads) {
+        cluster::EvaluatorConfig config;
+        config.threads = threads;
+        const auto start = std::chrono::steady_clock::now();
+        const cluster::ClusterEvaluator timed(ctx.apps, config);
+        const double mean =
+            timed.runPolicy(Policy::PoColo).meanBeThroughput();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        return std::make_pair(mean, elapsed.count());
+    };
+    const auto [serial_mean, serial_s] = pipeline(1);
+    const auto [pooled_mean, pooled_s] = pipeline(0);
+    std::printf("\nruntime: POColo pipeline serial %.2fs | %u "
+                "threads %.2fs (%.2fx) | results %s\n",
+                serial_s, runtime::ThreadPool::hardwareThreads(),
+                pooled_s, serial_s / pooled_s,
+                serial_mean == pooled_mean ? "bit-identical"
+                                           : "DIVERGED");
     return 0;
 }

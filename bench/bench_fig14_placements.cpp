@@ -9,10 +9,13 @@
  * search.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "cluster/cluster_evaluator.hpp"
 #include "common.hpp"
+#include "runtime/parallel.hpp"
 #include "util/table.hpp"
 
 using namespace poco;
@@ -31,30 +34,51 @@ main()
 
     // Measured (not model-estimated) average server throughput for
     // every pairing: primary load fraction served + BE work rate,
-    // per load point.
-    for (double load : {0.2, 0.5, 0.8}) {
+    // per load point. All loads x pairings run concurrently on the
+    // evaluator's pool (runPairAtLoad caches thread-safely), then
+    // the tables render from the index-addressed results.
+    const std::vector<double> loads = {0.2, 0.5, 0.8};
+    const std::size_t per_load = m.beNames.size() * m.lcNames.size();
+    const auto sweep_start = std::chrono::steady_clock::now();
+    const auto throughput = runtime::parallelMap(
+        evaluator.pool(), loads.size() * per_load,
+        [&](std::size_t k) {
+            const double load = loads[k / per_load];
+            const std::size_t cell = k % per_load;
+            const std::size_t i = cell / m.lcNames.size();
+            const std::size_t j = cell % m.lcNames.size();
+            const auto outcome = evaluator.runPairAtLoad(
+                j, static_cast<int>(i), cluster::ManagerKind::Pom,
+                load);
+            return load + outcome.run.stats.averageBeThroughput();
+        });
+    const std::chrono::duration<double> sweep_elapsed =
+        std::chrono::steady_clock::now() - sweep_start;
+
+    for (std::size_t l = 0; l < loads.size(); ++l) {
         std::printf("\nprimary load %.0f%% — server throughput "
                     "(load + BE):\n",
-                    load * 100.0);
+                    loads[l] * 100.0);
         std::vector<std::string> header = {"BE \\ LC"};
         header.insert(header.end(), m.lcNames.begin(),
                       m.lcNames.end());
         TextTable table(header);
         for (std::size_t i = 0; i < m.beNames.size(); ++i) {
             std::vector<std::string> row = {m.beNames[i]};
-            for (std::size_t j = 0; j < m.lcNames.size(); ++j) {
-                const auto outcome = evaluator.runPairAtLoad(
-                    j, static_cast<int>(i),
-                    cluster::ManagerKind::Pom, load);
+            for (std::size_t j = 0; j < m.lcNames.size(); ++j)
                 row.push_back(fmt(
-                    load +
-                        outcome.run.stats.averageBeThroughput(),
+                    throughput[l * per_load +
+                               i * m.lcNames.size() + j],
                     3));
-            }
             table.addRow(std::move(row));
         }
         std::printf("%s", table.render().c_str());
     }
+    std::printf("\nsweep: %zu pair runs in %.2fs on %u threads\n",
+                loads.size() * per_load, sweep_elapsed.count(),
+                evaluator.pool() != nullptr
+                    ? evaluator.pool()->threadCount()
+                    : 1u);
 
     const auto lp =
         evaluator.placeBe(cluster::PlacementKind::Lp);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "model/fitter.hpp"
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace poco::cluster
@@ -86,33 +87,53 @@ ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
     POCO_REQUIRE(!config_.loadPoints.empty(),
                  "evaluator needs at least one load point");
 
-    // Stage I (Fig. 7): profile and fit every application once.
+    // Execution substrate: serial, the shared pool, or a dedicated
+    // one. Results are identical either way (see EvaluatorConfig).
+    if (config_.threads == 1) {
+        pool_ = nullptr;
+    } else if (config_.threads <= 0) {
+        pool_ = &runtime::ThreadPool::global();
+    } else {
+        owned_pool_ = std::make_unique<runtime::ThreadPool>(
+            static_cast<unsigned>(config_.threads));
+        pool_ = owned_pool_.get();
+    }
+
+    // Stage I (Fig. 7): profile and fit every application once. Each
+    // app is an independent task (its profile noise comes from a
+    // stream keyed by its own name and grid cell).
     model::ProfilerConfig profiler_config = config_.profiler;
     profiler_config.seed ^= config_.seedSalt * 0x9e3779b97f4a7c15ULL;
     const model::Profiler profiler(profiler_config);
     const model::UtilityFitter fitter;
-    for (const auto& lc : apps.lc) {
-        LcServerModel m;
-        m.name = lc.name();
-        m.utility = fitter.fit(profiler.profileLc(lc));
-        m.peakLoad = lc.peakLoad();
-        m.powerCap = lc.provisionedPower();
-        lc_models_.push_back(std::move(m));
-    }
-    for (const auto& be : apps.be) {
-        BeCandidateModel m;
-        m.name = be.name();
-        m.utility = fitter.fit(profiler.profileBe(be));
-        be_models_.push_back(std::move(m));
-    }
+    lc_models_ = runtime::parallelMap(
+        pool_, apps.lc.size(), [&](std::size_t i) {
+            const wl::LcApp& lc = apps.lc[i];
+            LcServerModel m;
+            m.name = lc.name();
+            m.utility = fitter.fit(profiler.profileLc(lc, pool_));
+            m.peakLoad = lc.peakLoad();
+            m.powerCap = lc.provisionedPower();
+            return m;
+        });
+    be_models_ = runtime::parallelMap(
+        pool_, apps.be.size(), [&](std::size_t i) {
+            const wl::BeApp& be = apps.be[i];
+            BeCandidateModel m;
+            m.name = be.name();
+            m.utility = fitter.fit(profiler.profileBe(be, pool_));
+            return m;
+        });
 
-    // Stage II: the performance matrix.
+    // Stage II: the performance matrix, one task per cell.
     MatrixConfig mc;
     mc.loadPoints = config_.loadPoints;
     mc.headroom = config_.server.controller.headroom;
     matrix_ = buildPerformanceMatrix(be_models_, lc_models_,
-                                     apps.spec, mc);
+                                     apps.spec, mc, pool_);
 }
+
+ClusterEvaluator::~ClusterEvaluator() = default;
 
 std::vector<int>
 ClusterEvaluator::placeBe(PlacementKind kind, std::uint64_t seed) const
@@ -156,8 +177,11 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
     key << "pair/" << lc_idx << "/" << be_idx << "/"
         << managerKindName(kind) << "/" << cap_override << "/"
         << seed_variant;
-    if (auto it = cache_.find(key.str()); it != cache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> guard(cache_mutex_);
+        if (auto it = cache_.find(key.str()); it != cache_.end())
+            return it->second;
+    }
 
     const wl::LcApp& lc = apps_->lc[lc_idx];
     const wl::BeApp* be =
@@ -177,8 +201,11 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
         lc, be, cap, makeController(lc_idx, kind, seed_variant),
         wl::LoadTrace::stepped(config_.loadPoints, config_.dwell),
         duration, config_.server);
-    cache_[key.str()] = outcome;
-    return outcome;
+    // Concurrent tasks may have raced on the same key; the runs are
+    // deterministic, so whichever insert lands first is the value.
+    std::lock_guard<std::mutex> guard(cache_mutex_);
+    return cache_.emplace(key.str(), std::move(outcome))
+        .first->second;
 }
 
 ServerOutcome
@@ -197,8 +224,11 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
     key << "load/" << lc_idx << "/" << be_idx << "/"
         << managerKindName(kind) << "/" << load_fraction << "/"
         << cap_override;
-    if (auto it = cache_.find(key.str()); it != cache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> guard(cache_mutex_);
+        if (auto it = cache_.find(key.str()); it != cache_.end())
+            return it->second;
+    }
 
     const wl::LcApp& lc = apps_->lc[lc_idx];
     const wl::BeApp* be =
@@ -215,8 +245,9 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
         lc, be, cap, makeController(lc_idx, kind, 0),
         wl::LoadTrace::constant(load_fraction), duration,
         config_.server);
-    cache_[key.str()] = outcome;
-    return outcome;
+    std::lock_guard<std::mutex> guard(cache_mutex_);
+    return cache_.emplace(key.str(), std::move(outcome))
+        .first->second;
 }
 
 ClusterOutcome
@@ -237,8 +268,11 @@ ClusterEvaluator::runAssignment(const std::vector<int>& assignment,
                      "two BE apps assigned to one server");
         be_of[static_cast<std::size_t>(j)] = static_cast<int>(i);
     }
-    for (std::size_t j = 0; j < apps_->lc.size(); ++j)
-        outcome.servers.push_back(runPair(j, be_of[j], kind));
+    // One simulation per server; each owns its own EventQueue, so
+    // the runs parallelize with no shared state.
+    outcome.servers = runtime::parallelMap(
+        pool_, apps_->lc.size(),
+        [&](std::size_t j) { return runPair(j, be_of[j], kind); });
     return outcome;
 }
 
@@ -249,20 +283,38 @@ ClusterEvaluator::runRandomAveraged(ManagerKind kind,
     // Expectation over the uniform random permutation: by symmetry
     // each server sees each BE app with equal probability, so the
     // per-server expectation is the mean over candidates.
+    const int replicas = kind == ManagerKind::Heracles
+                             ? std::max(1, config_.heraclesReplicas)
+                             : 1;
+    const std::size_t per_server =
+        apps_->be.size() * static_cast<std::size_t>(replicas);
+
+    // All (server, candidate, replica) simulations run as one
+    // parallel wave; the accumulation below then reduces them in the
+    // fixed serial order, keeping the averages bit-identical to a
+    // serial evaluation.
+    const auto runs = runtime::parallelMap(
+        pool_, apps_->lc.size() * per_server, [&](std::size_t k) {
+            const std::size_t j = k / per_server;
+            const std::size_t r = k % per_server;
+            const std::size_t i =
+                r / static_cast<std::size_t>(replicas);
+            const int rep =
+                static_cast<int>(r % static_cast<std::size_t>(replicas));
+            return runPair(j, static_cast<int>(i), kind,
+                           cap_override, rep);
+        });
+
     ClusterOutcome outcome;
+    std::size_t k = 0;
     for (std::size_t j = 0; j < apps_->lc.size(); ++j) {
         ServerOutcome avg;
         avg.lcName = apps_->lc[j].name();
         avg.beName = "(random)";
         server::ServerRunResult acc;
-        const int replicas =
-            kind == ManagerKind::Heracles
-                ? std::max(1, config_.heraclesReplicas)
-                : 1;
         for (std::size_t i = 0; i < apps_->be.size(); ++i) {
           for (int rep = 0; rep < replicas; ++rep) {
-            const ServerOutcome one = runPair(
-                j, static_cast<int>(i), kind, cap_override, rep);
+            const ServerOutcome& one = runs[k++];
             acc.stats.elapsed = one.run.stats.elapsed;
             acc.stats.energyJoules += one.run.stats.energyJoules;
             acc.stats.beWorkDone += one.run.stats.beWorkDone;

@@ -20,12 +20,15 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
 #include "model/profiler.hpp"
+#include "runtime/thread_pool.hpp"
 #include "server/server_manager.hpp"
 #include "wl/load_trace.hpp"
 #include "wl/registry.hpp"
@@ -80,6 +83,15 @@ struct EvaluatorConfig
      * ignore this.
      */
     int heraclesReplicas = 3;
+    /**
+     * Worker threads for the evaluation pipeline (profiling, fits,
+     * matrix cells, and per-server simulation runs): 1 runs serial
+     * on the calling thread, 0 uses the process-wide pool (hardware
+     * concurrency), N > 1 uses a dedicated pool of N workers. Every
+     * setting produces bit-identical results — tasks draw from
+     * deterministic split streams and write index-addressed slots.
+     */
+    int threads = 0;
 };
 
 /** Result of one managed (LC, BE) pairing. */
@@ -108,9 +120,13 @@ class ClusterEvaluator
   public:
     explicit ClusterEvaluator(const wl::AppSet& apps,
                               EvaluatorConfig config = {});
+    ~ClusterEvaluator();
 
     const wl::AppSet& apps() const { return *apps_; }
     const EvaluatorConfig& config() const { return config_; }
+
+    /** The pool evaluations run on; null means serial. */
+    runtime::ThreadPool* pool() const { return pool_; }
 
     /** Fitted utilities (profiled once at construction). */
     const std::vector<LcServerModel>& lcModels() const
@@ -172,10 +188,19 @@ class ClusterEvaluator
 
     const wl::AppSet* apps_;
     EvaluatorConfig config_;
+    std::unique_ptr<runtime::ThreadPool> owned_pool_;
+    runtime::ThreadPool* pool_ = nullptr;
     std::vector<LcServerModel> lc_models_;
     std::vector<BeCandidateModel> be_models_;
     PerformanceMatrix matrix_;
 
+    /**
+     * Pair-run memoization. Concurrent tasks may race to compute the
+     * same key; runs are deterministic, so both writers produce the
+     * same value and the first insert wins. The mutex only guards
+     * the map itself.
+     */
+    mutable std::mutex cache_mutex_;
     mutable std::map<std::string, ServerOutcome> cache_;
 };
 

@@ -1,6 +1,7 @@
 #include "cluster/performance_matrix.hpp"
 
 #include "model/demand.hpp"
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 #include "util/stats.hpp"
 
@@ -35,7 +36,8 @@ PerformanceMatrix
 buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
                        const std::vector<LcServerModel>& lc,
                        const sim::ServerSpec& spec,
-                       const MatrixConfig& config)
+                       const MatrixConfig& config,
+                       runtime::ThreadPool* pool)
 {
     POCO_REQUIRE(!be.empty() && !lc.empty(),
                  "matrix needs at least one BE and one LC entry");
@@ -50,16 +52,20 @@ buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
 
     matrix.value.assign(be.size(),
                         std::vector<double>(lc.size(), 0.0));
-    for (std::size_t i = 0; i < be.size(); ++i) {
-        for (std::size_t j = 0; j < lc.size(); ++j) {
+    // One task per cell; each writes only its own slot and sums its
+    // load points in a fixed order, so the matrix is bit-identical
+    // for any worker count.
+    runtime::parallelFor(
+        pool, be.size() * lc.size(), [&](std::size_t cell) {
+            const std::size_t i = cell / lc.size();
+            const std::size_t j = cell % lc.size();
             double sum = 0.0;
             for (double load : config.loadPoints)
                 sum += estimateCellAtLoad(be[i], lc[j], spec, load,
                                           config.headroom);
             matrix.value[i][j] =
                 sum / static_cast<double>(config.loadPoints.size());
-        }
-    }
+        });
     return matrix;
 }
 

@@ -20,6 +20,11 @@
 #include "sim/server_spec.hpp"
 #include "util/units.hpp"
 
+namespace poco::runtime
+{
+class ThreadPool;
+}
+
 namespace poco::cluster
 {
 
@@ -62,13 +67,18 @@ struct PerformanceMatrix
 /**
  * Build the matrix from fitted models.
  *
+ * Each (BE, LC) cell is an independent pure computation, so cells
+ * are evaluated in parallel when @p pool is non-null; the result is
+ * identical for any worker count (and for the serial path).
+ *
  * @param spec The (homogeneous) server platform.
  */
 PerformanceMatrix
 buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
                        const std::vector<LcServerModel>& lc,
                        const sim::ServerSpec& spec,
-                       const MatrixConfig& config = {});
+                       const MatrixConfig& config = {},
+                       runtime::ThreadPool* pool = nullptr);
 
 /**
  * Single-cell estimate: BE throughput beside one LC server at one

@@ -1,11 +1,77 @@
 #include "model/profiler.hpp"
 
 #include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
 
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace poco::model
 {
+
+namespace
+{
+
+/**
+ * The (cores, ways) sweep in deterministic grid order. Cell index ==
+ * position in this vector.
+ */
+std::vector<std::pair<int, int>>
+allocationGrid(const ProfilerConfig& config, const sim::ServerSpec& spec)
+{
+    std::vector<std::pair<int, int>> grid;
+    for (int c = config.minCores; c <= spec.cores; c += config.coreStep)
+        for (int w = config.minWays; w <= spec.llcWays;
+             w += config.wayStep)
+            grid.emplace_back(c, w);
+    return grid;
+}
+
+/** Noise-free measurement of one grid cell; perf <= 0 marks a
+ *  rejected allocation. */
+struct CellMeasure
+{
+    double perf = 0.0;
+    double power = 0.0;
+};
+
+/**
+ * Apply measurement noise to the measured cells, in grid order, from
+ * one sequential stream. Drawing the noise serially (the measured
+ * values themselves are deterministic, so only this stage touches the
+ * RNG) keeps every sample bit-identical to the original serial sweep
+ * for any worker count — including the generator's internal state
+ * (Box-Muller caching makes the draw sequence stateful).
+ *
+ * @param skip_rejected Drop cells with perf <= 0 without drawing
+ *        noise for them (the LC slack guard); the BE sweep keeps
+ *        every cell.
+ */
+std::vector<ProfileSample>
+applyNoise(const std::vector<std::pair<int, int>>& grid,
+           const std::vector<CellMeasure>& measured,
+           const ProfilerConfig& config, Rng rng, bool skip_rejected)
+{
+    std::vector<ProfileSample> samples;
+    samples.reserve(grid.size());
+    for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+        if (skip_rejected && measured[cell].perf <= 0.0)
+            continue; // allocation cannot meet the guard at all
+        ProfileSample s;
+        s.r = {static_cast<double>(grid[cell].first),
+               static_cast<double>(grid[cell].second)};
+        s.perf = measured[cell].perf *
+                 rng.noiseFactor(config.perfNoiseSigma);
+        s.power = measured[cell].power *
+                  rng.noiseFactor(config.powerNoiseSigma);
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+} // namespace
 
 Profiler::Profiler(ProfilerConfig config) : config_(config)
 {
@@ -21,16 +87,18 @@ Profiler::Profiler(ProfilerConfig config) : config_(config)
 }
 
 std::vector<ProfileSample>
-Profiler::profileLc(const wl::LcApp& app) const
+Profiler::profileLc(const wl::LcApp& app,
+                    runtime::ThreadPool* pool) const
 {
     const sim::ServerSpec& spec = app.spec();
-    Rng rng(config_.seed ^ std::hash<std::string>{}(app.name()));
+    const auto grid = allocationGrid(config_, spec);
 
-    std::vector<ProfileSample> samples;
-    for (int c = config_.minCores; c <= spec.cores;
-         c += config_.coreStep) {
-        for (int w = config_.minWays; w <= spec.llcWays;
-             w += config_.wayStep) {
+    // The expensive stage — a 40-iteration bisection per cell against
+    // the observable latency surface — is pure, so cells run in
+    // parallel; the noise pass below is serial and sequenced.
+    const auto measured = runtime::parallelMap(
+        pool, grid.size(), [&](std::size_t cell) {
+            const auto [c, w] = grid[cell];
             const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
 
             // Highest load keeping slack >= minSlack. With the M/M/1
@@ -47,43 +115,44 @@ Profiler::profileLc(const wl::LcApp& app) const
                     hi = mid;
             }
             const Rps guarded_load = lo;
-            if (guarded_load <= 0.0)
-                continue; // allocation cannot meet the guard at all
 
-            ProfileSample s;
-            s.r = {static_cast<double>(c), static_cast<double>(w)};
-            s.perf = guarded_load *
-                     rng.noiseFactor(config_.perfNoiseSigma);
-            s.power = app.serverPower(guarded_load, alloc) *
-                      rng.noiseFactor(config_.powerNoiseSigma);
-            samples.push_back(std::move(s));
-        }
-    }
+            CellMeasure m;
+            if (guarded_load <= 0.0)
+                return m; // allocation cannot meet the guard at all
+            m.perf = guarded_load;
+            m.power = app.serverPower(guarded_load, alloc);
+            return m;
+        });
+
+    auto samples = applyNoise(
+        grid, measured, config_,
+        Rng(config_.seed ^ std::hash<std::string>{}(app.name())),
+        /*skip_rejected=*/true);
     POCO_ASSERT(!samples.empty(), "LC profile produced no samples");
     return samples;
 }
 
 std::vector<ProfileSample>
-Profiler::profileBe(const wl::BeApp& app) const
+Profiler::profileBe(const wl::BeApp& app,
+                    runtime::ThreadPool* pool) const
 {
     const sim::ServerSpec& spec = app.spec();
-    Rng rng(config_.seed ^ std::hash<std::string>{}(app.name()));
+    const auto grid = allocationGrid(config_, spec);
 
-    std::vector<ProfileSample> samples;
-    for (int c = config_.minCores; c <= spec.cores;
-         c += config_.coreStep) {
-        for (int w = config_.minWays; w <= spec.llcWays;
-             w += config_.wayStep) {
+    const auto measured = runtime::parallelMap(
+        pool, grid.size(), [&](std::size_t cell) {
+            const auto [c, w] = grid[cell];
             const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
-            ProfileSample s;
-            s.r = {static_cast<double>(c), static_cast<double>(w)};
-            s.perf = app.throughput(alloc) *
-                     rng.noiseFactor(config_.perfNoiseSigma);
-            s.power = (spec.idlePower + app.power(alloc)) *
-                      rng.noiseFactor(config_.powerNoiseSigma);
-            samples.push_back(std::move(s));
-        }
-    }
+            CellMeasure m;
+            m.perf = app.throughput(alloc);
+            m.power = spec.idlePower + app.power(alloc);
+            return m;
+        });
+
+    auto samples = applyNoise(
+        grid, measured, config_,
+        Rng(config_.seed ^ std::hash<std::string>{}(app.name())),
+        /*skip_rejected=*/false);
     POCO_ASSERT(!samples.empty(), "BE profile produced no samples");
     return samples;
 }

@@ -19,6 +19,11 @@
 #include "wl/be_app.hpp"
 #include "wl/lc_app.hpp"
 
+namespace poco::runtime
+{
+class ThreadPool;
+}
+
 namespace poco::model
 {
 
@@ -75,14 +80,25 @@ class Profiler
      * frequency. Each sample's perf is the largest load that keeps
      * p99 slack >= minSlack on that allocation; power is measured
      * while serving that load.
+     *
+     * The per-cell load search runs on @p pool when non-null; the
+     * measurement noise is drawn afterwards in a serial pass over the
+     * grid, so the samples are bit-identical whether the grid is
+     * swept serially (@p pool == nullptr) or in parallel, for any
+     * worker count.
      */
-    std::vector<ProfileSample> profileLc(const wl::LcApp& app) const;
+    std::vector<ProfileSample>
+    profileLc(const wl::LcApp& app,
+              runtime::ThreadPool* pool = nullptr) const;
 
     /**
      * Profile a best-effort app over the same grid; perf is its
-     * throughput, power the server draw while it runs alone.
+     * throughput, power the server draw while it runs alone. Same
+     * pool/determinism contract as profileLc().
      */
-    std::vector<ProfileSample> profileBe(const wl::BeApp& app) const;
+    std::vector<ProfileSample>
+    profileBe(const wl::BeApp& app,
+              runtime::ThreadPool* pool = nullptr) const;
 
   private:
     ProfilerConfig config_;

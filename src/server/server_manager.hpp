@@ -17,6 +17,11 @@
 #include "sim/telemetry.hpp"
 #include "wl/load_trace.hpp"
 
+namespace poco::runtime
+{
+class ThreadPool;
+}
+
 namespace poco::server
 {
 
@@ -115,5 +120,27 @@ runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
                   std::unique_ptr<PrimaryController> controller,
                   wl::LoadTrace trace, SimTime duration,
                   ServerManagerConfig config = {});
+
+/** One entry for the batch scenario runner. */
+struct ServerScenario
+{
+    const wl::LcApp* lc = nullptr; ///< required
+    const wl::BeApp* be = nullptr; ///< null runs the primary alone
+    Watts powerCap = 0.0;
+    std::unique_ptr<PrimaryController> controller;
+    wl::LoadTrace trace = wl::LoadTrace::constant(0.5);
+    SimTime duration = 0;
+    ServerManagerConfig config;
+};
+
+/**
+ * Run many scenarios concurrently on @p pool (serially when null).
+ * Every scenario owns its ColocatedServer and EventQueue, so the
+ * simulations share no state; result i is bit-identical to a serial
+ * runServerScenario() call with scenarios[i]'s arguments.
+ */
+std::vector<ServerRunResult>
+runServerScenarios(std::vector<ServerScenario> scenarios,
+                   runtime::ThreadPool* pool = nullptr);
 
 } // namespace poco::server

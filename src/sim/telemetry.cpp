@@ -1,9 +1,31 @@
 #include "sim/telemetry.hpp"
 
+#include <algorithm>
+
 #include "util/check.hpp"
 
 namespace poco::sim
 {
+
+namespace
+{
+
+/**
+ * First sample with when >= since. Timestamps are non-decreasing
+ * (enforced by record()), so the windowed queries binary-search the
+ * deque instead of scanning it.
+ */
+std::deque<TelemetrySample>::const_iterator
+firstAtOrAfter(const std::deque<TelemetrySample>& samples,
+               SimTime since)
+{
+    return std::lower_bound(samples.begin(), samples.end(), since,
+                            [](const TelemetrySample& s, SimTime t) {
+                                return s.when < t;
+                            });
+}
+
+} // namespace
 
 TelemetryRecorder::TelemetryRecorder(std::size_t capacity)
     : capacity_(capacity)
@@ -31,11 +53,7 @@ TelemetryRecorder::latest() const
 std::vector<TelemetrySample>
 TelemetryRecorder::since(SimTime since) const
 {
-    std::vector<TelemetrySample> out;
-    for (const auto& s : samples_)
-        if (s.when >= since)
-            out.push_back(s);
-    return out;
+    return {firstAtOrAfter(samples_, since), samples_.end()};
 }
 
 Watts
@@ -43,11 +61,10 @@ TelemetryRecorder::averagePower(SimTime since) const
 {
     double sum = 0.0;
     std::size_t n = 0;
-    for (const auto& s : samples_) {
-        if (s.when >= since) {
-            sum += s.power;
-            ++n;
-        }
+    for (auto it = firstAtOrAfter(samples_, since);
+         it != samples_.end(); ++it) {
+        sum += it->power;
+        ++n;
     }
     return n ? sum / static_cast<double>(n) : 0.0;
 }
@@ -57,11 +74,10 @@ TelemetryRecorder::averageBeThroughput(SimTime since) const
 {
     double sum = 0.0;
     std::size_t n = 0;
-    for (const auto& s : samples_) {
-        if (s.when >= since) {
-            sum += s.beThroughput;
-            ++n;
-        }
+    for (auto it = firstAtOrAfter(samples_, since);
+         it != samples_.end(); ++it) {
+        sum += it->beThroughput;
+        ++n;
     }
     return n ? sum / static_cast<double>(n) : 0.0;
 }

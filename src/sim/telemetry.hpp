@@ -53,7 +53,11 @@ class TelemetryRecorder
 
     const TelemetrySample& latest() const;
 
-    /** All samples with when >= @p since, oldest first. */
+    /**
+     * All samples with when >= @p since, oldest first. Timestamps
+     * are non-decreasing, so the window starts at a binary-searched
+     * position (O(log n) + copy) rather than a full scan.
+     */
     std::vector<TelemetrySample> since(SimTime since) const;
 
     /** Mean server power over samples with when >= @p since. */

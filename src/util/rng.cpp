@@ -125,4 +125,17 @@ Rng::split()
     return Rng(nextU64() ^ 0xdeadbeefcafef00dULL);
 }
 
+Rng
+Rng::split(std::uint64_t stream) const
+{
+    // Fold the full 256-bit state with the stream index through
+    // SplitMix64; the constructor expands the digest again, so
+    // nearby stream indices yield fully decorrelated children.
+    const std::uint64_t state_digest =
+        s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ rotl(s_[3], 43);
+    SplitMix64 sm(state_digest +
+                  (stream + 1) * 0xd1342543de82ef95ULL);
+    return Rng(sm.next());
+}
+
 } // namespace poco

@@ -83,6 +83,16 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Derive the independent child stream for task @p stream without
+     * advancing the parent. The child depends only on the parent's
+     * current state and the stream index, so parallel tasks that each
+     * take split(taskIndex) draw exactly the streams the serial loop
+     * would, in any execution order — this is what keeps parallel
+     * evaluation bit-identical to serial (see poco::runtime).
+     */
+    Rng split(std::uint64_t stream) const;
+
   private:
     std::uint64_t s_[4];
 };

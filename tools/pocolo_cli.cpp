@@ -19,15 +19,18 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster_evaluator.hpp"
 #include "model/fitter.hpp"
 #include "model/indifference.hpp"
 #include "model/model_store.hpp"
 #include "model/profiler.hpp"
+#include "runtime/thread_pool.hpp"
 #include "server/server_manager.hpp"
 #include "tco/tco_model.hpp"
 #include "util/check.hpp"
@@ -39,11 +42,78 @@ using namespace poco;
 namespace
 {
 
+/** Global options parsed before the subcommand. */
+struct Options
+{
+    /** 1 = serial, 0 = hardware concurrency, N = N workers. */
+    int threads = 0;
+    /** Seed salt for every stochastic stream. */
+    std::uint64_t seed = 0;
+
+    /** Worker count after resolving 0 to the hardware. */
+    unsigned
+    effectiveThreads() const
+    {
+        return threads == 0
+                   ? runtime::ThreadPool::hardwareThreads()
+                   : static_cast<unsigned>(threads);
+    }
+
+    cluster::EvaluatorConfig
+    evaluatorConfig() const
+    {
+        cluster::EvaluatorConfig config;
+        config.threads = threads;
+        config.seedSalt = seed;
+        return config;
+    }
+
+    model::ProfilerConfig
+    profilerConfig() const
+    {
+        model::ProfilerConfig config;
+        // Same salt mixing as ClusterEvaluator, so standalone
+        // profile/fit output matches the evaluator's models.
+        config.seed ^= seed * 0x9e3779b97f4a7c15ULL;
+        return config;
+    }
+};
+
+/**
+ * The pool standalone (non-evaluator) commands run on: null when
+ * serial was requested, the shared pool for the hardware default,
+ * or a dedicated pool for an explicit width.
+ */
+struct CliPool
+{
+    explicit CliPool(const Options& options)
+    {
+        if (options.threads == 1)
+            return;
+        if (options.threads <= 0) {
+            pool = &runtime::ThreadPool::global();
+            return;
+        }
+        owned = std::make_unique<runtime::ThreadPool>(
+            static_cast<unsigned>(options.threads));
+        pool = owned.get();
+    }
+
+    std::unique_ptr<runtime::ThreadPool> owned;
+    runtime::ThreadPool* pool = nullptr;
+};
+
 int
 usage()
 {
     std::printf(
-        "usage: pocolo_cli <command> [args]\n"
+        "usage: pocolo_cli [--threads N] [--seed S] <command> [args]\n"
+        "\n"
+        "global options:\n"
+        "  --threads N   worker threads (1 = serial; default:\n"
+        "                hardware concurrency); results are\n"
+        "                bit-identical for every value\n"
+        "  --seed S      salt for every stochastic stream\n"
         "\n"
         "commands:\n"
         "  spec                       server platform (Table I)\n"
@@ -99,15 +169,18 @@ cmdApps(const wl::AppSet& apps)
 }
 
 int
-cmdProfile(const wl::AppSet& apps, const std::string& cls,
-           const std::string& name)
+cmdProfile(const wl::AppSet& apps, const Options& options,
+           const std::string& cls, const std::string& name)
 {
-    const model::Profiler profiler;
+    const model::Profiler profiler(options.profilerConfig());
+    CliPool cli_pool(options);
     std::vector<model::ProfileSample> samples;
     if (cls == "lc")
-        samples = profiler.profileLc(apps.lcByName(name));
+        samples = profiler.profileLc(apps.lcByName(name),
+                                     cli_pool.pool);
     else if (cls == "be")
-        samples = profiler.profileBe(apps.beByName(name));
+        samples = profiler.profileBe(apps.beByName(name),
+                                     cli_pool.pool);
     else
         return usage();
     std::printf("cores,ways,perf,power_w\n");
@@ -118,16 +191,19 @@ cmdProfile(const wl::AppSet& apps, const std::string& cls,
 }
 
 int
-cmdFit(const wl::AppSet& apps, const std::string& cls,
-       const std::string& name)
+cmdFit(const wl::AppSet& apps, const Options& options,
+       const std::string& cls, const std::string& name)
 {
-    const model::Profiler profiler;
+    const model::Profiler profiler(options.profilerConfig());
+    CliPool cli_pool(options);
     const model::UtilityFitter fitter;
     model::CobbDouglasUtility m;
     if (cls == "lc")
-        m = fitter.fit(profiler.profileLc(apps.lcByName(name)));
+        m = fitter.fit(profiler.profileLc(apps.lcByName(name),
+                                          cli_pool.pool));
     else if (cls == "be")
-        m = fitter.fit(profiler.profileBe(apps.beByName(name)));
+        m = fitter.fit(profiler.profileBe(apps.beByName(name),
+                                          cli_pool.pool));
     else
         return usage();
 
@@ -163,9 +239,10 @@ cmdCurve(const wl::AppSet& apps, const std::string& name,
 }
 
 int
-cmdMatrix(const wl::AppSet& apps)
+cmdMatrix(const wl::AppSet& apps, const Options& options)
 {
-    const cluster::ClusterEvaluator evaluator(apps);
+    const cluster::ClusterEvaluator evaluator(
+        apps, options.evaluatorConfig());
     const auto& m = evaluator.matrix();
     std::vector<std::string> header = {"BE \\ LC"};
     header.insert(header.end(), m.lcNames.begin(), m.lcNames.end());
@@ -181,7 +258,8 @@ cmdMatrix(const wl::AppSet& apps)
 }
 
 int
-cmdPlace(const wl::AppSet& apps, const std::string& solver)
+cmdPlace(const wl::AppSet& apps, const Options& options,
+         const std::string& solver)
 {
     cluster::PlacementKind kind = cluster::PlacementKind::Lp;
     if (solver == "hungarian")
@@ -193,7 +271,8 @@ cmdPlace(const wl::AppSet& apps, const std::string& solver)
     else if (solver != "lp")
         return usage();
 
-    const cluster::ClusterEvaluator evaluator(apps);
+    const cluster::ClusterEvaluator evaluator(
+        apps, options.evaluatorConfig());
     const auto assignment = evaluator.placeBe(kind);
     const auto& m = evaluator.matrix();
     TextTable t({"BE app", "LC server", "estimated thr"});
@@ -209,9 +288,10 @@ cmdPlace(const wl::AppSet& apps, const std::string& solver)
 }
 
 int
-cmdPolicies(const wl::AppSet& apps)
+cmdPolicies(const wl::AppSet& apps, const Options& options)
 {
-    const cluster::ClusterEvaluator evaluator(apps);
+    const cluster::ClusterEvaluator evaluator(
+        apps, options.evaluatorConfig());
     TextTable t({"policy", "mean BE thr", "power util",
                  "max SLO viol", "energy (MJ)"});
     double base = 0.0;
@@ -235,9 +315,10 @@ cmdPolicies(const wl::AppSet& apps)
 }
 
 int
-cmdTco(const wl::AppSet& apps)
+cmdTco(const wl::AppSet& apps, const Options& options)
 {
-    const cluster::ClusterEvaluator evaluator(apps);
+    const cluster::ClusterEvaluator evaluator(
+        apps, options.evaluatorConfig());
     Watts provisioned = 0.0;
     for (const auto& lc : apps.lc)
         provisioned += lc.provisionedPower();
@@ -269,15 +350,19 @@ cmdTco(const wl::AppSet& apps)
 }
 
 int
-cmdFitAll(const wl::AppSet& apps, const std::string& path)
+cmdFitAll(const wl::AppSet& apps, const Options& options,
+          const std::string& path)
 {
-    const model::Profiler profiler;
+    const model::Profiler profiler(options.profilerConfig());
+    CliPool cli_pool(options);
     const model::UtilityFitter fitter;
     model::ModelStore store;
     for (const auto& lc : apps.lc)
-        store.put(lc.name(), fitter.fit(profiler.profileLc(lc)));
+        store.put(lc.name(),
+                  fitter.fit(profiler.profileLc(lc, cli_pool.pool)));
     for (const auto& be : apps.be)
-        store.put(be.name(), fitter.fit(profiler.profileBe(be)));
+        store.put(be.name(),
+                  fitter.fit(profiler.profileBe(be, cli_pool.pool)));
     store.saveFile(path);
     std::printf("saved %zu fitted models to %s\n", store.size(),
                 path.c_str());
@@ -303,9 +388,9 @@ cmdModels(const std::string& path)
 }
 
 int
-cmdSimulate(const wl::AppSet& apps, const std::string& lc_name,
-            const std::string& be_name, const std::string& load_arg,
-            double minutes)
+cmdSimulate(const wl::AppSet& apps, const Options& options,
+            const std::string& lc_name, const std::string& be_name,
+            const std::string& load_arg, double minutes)
 {
     const wl::LcApp& lc = apps.lcByName(lc_name);
     const wl::BeApp& be = apps.beByName(be_name);
@@ -317,9 +402,11 @@ cmdSimulate(const wl::AppSet& apps, const std::string& lc_name,
     else
         trace = wl::LoadTrace::constant(std::stod(load_arg) / 100.0);
 
-    const model::Profiler profiler;
+    const model::Profiler profiler(options.profilerConfig());
+    CliPool cli_pool(options);
     const model::UtilityFitter fitter;
-    const auto fitted = fitter.fit(profiler.profileLc(lc));
+    const auto fitted =
+        fitter.fit(profiler.profileLc(lc, cli_pool.pool));
 
     sim::EventQueue queue;
     server::ColocatedServer server(lc, &be, lc.provisionedPower());
@@ -351,9 +438,34 @@ cmdSimulate(const wl::AppSet& apps, const std::string& lc_name,
 int
 main(int argc, char** argv)
 {
-    if (argc < 2)
+    Options options;
+    int argi = 1;
+    while (argi < argc && argv[argi][0] == '-') {
+        const std::string flag = argv[argi];
+        if (flag == "--threads" && argi + 1 < argc) {
+            options.threads = std::atoi(argv[++argi]);
+            if (options.threads < 0)
+                return usage();
+        } else if (flag == "--seed" && argi + 1 < argc) {
+            options.seed = std::strtoull(argv[++argi], nullptr, 10);
+        } else {
+            return usage();
+        }
+        ++argi;
+    }
+    if (argi >= argc)
         return usage();
-    const std::string cmd = argv[1];
+    const std::string cmd = argv[argi];
+    std::vector<std::string> args(argv + argi + 1, argv + argc);
+    const std::size_t n = args.size();
+
+    // Run header on stderr so CSV-emitting commands stay parseable.
+    std::fprintf(stderr,
+                 "pocolo_cli: threads=%u%s (hardware %u) seed=%llu\n",
+                 options.effectiveThreads(),
+                 options.threads == 1 ? " (serial)" : "",
+                 runtime::ThreadPool::hardwareThreads(),
+                 static_cast<unsigned long long>(options.seed));
 
     try {
         const wl::AppSet apps = wl::defaultAppSet();
@@ -361,27 +473,27 @@ main(int argc, char** argv)
             return cmdSpec();
         if (cmd == "apps")
             return cmdApps(apps);
-        if (cmd == "profile" && argc == 4)
-            return cmdProfile(apps, argv[2], argv[3]);
-        if (cmd == "fit" && argc == 4)
-            return cmdFit(apps, argv[2], argv[3]);
-        if (cmd == "curve" && argc == 4)
-            return cmdCurve(apps, argv[2], std::stod(argv[3]));
+        if (cmd == "profile" && n == 2)
+            return cmdProfile(apps, options, args[0], args[1]);
+        if (cmd == "fit" && n == 2)
+            return cmdFit(apps, options, args[0], args[1]);
+        if (cmd == "curve" && n == 2)
+            return cmdCurve(apps, args[0], std::stod(args[1]));
         if (cmd == "matrix")
-            return cmdMatrix(apps);
+            return cmdMatrix(apps, options);
         if (cmd == "place")
-            return cmdPlace(apps, argc >= 3 ? argv[2] : "lp");
+            return cmdPlace(apps, options, n >= 1 ? args[0] : "lp");
         if (cmd == "policies")
-            return cmdPolicies(apps);
+            return cmdPolicies(apps, options);
         if (cmd == "tco")
-            return cmdTco(apps);
-        if (cmd == "fit-all" && argc == 3)
-            return cmdFitAll(apps, argv[2]);
-        if (cmd == "models" && argc == 3)
-            return cmdModels(argv[2]);
-        if (cmd == "simulate" && argc == 6)
-            return cmdSimulate(apps, argv[2], argv[3], argv[4],
-                               std::stod(argv[5]));
+            return cmdTco(apps, options);
+        if (cmd == "fit-all" && n == 1)
+            return cmdFitAll(apps, options, args[0]);
+        if (cmd == "models" && n == 1)
+            return cmdModels(args[0]);
+        if (cmd == "simulate" && n == 4)
+            return cmdSimulate(apps, options, args[0], args[1],
+                               args[2], std::stod(args[3]));
     } catch (const poco::FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
