@@ -9,13 +9,17 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <optional>
 
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
 #include "common.hpp"
 #include "math/hungarian.hpp"
 #include "math/simplex.hpp"
+#include "math/solver_cache.hpp"
+#include "runtime/thread_pool.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -62,9 +66,14 @@ main()
         be_models.push_back({be.name(),
                              fitter.fit(profiler.profileBe(be))});
 
+    runtime::ThreadPool pool;
+    math::LpOptions lp_serial;
+    math::LpOptions lp_parallel;
+    lp_parallel.pool = &pool;
+
     TextTable table({"servers", "BE apps", "hungarian value",
                      "random value", "random gap", "hungarian (us)",
-                     "lp (us)"});
+                     "lp (us)", "lp par (us)", "memo hit (us)"});
     for (int scale : {1, 2, 4, 8, 16}) {
         // Replicate the archetypes: server i runs archetype i mod 6.
         std::vector<cluster::LcServerModel> servers;
@@ -91,13 +100,62 @@ main()
             hungarian = math::solveAssignmentMax(matrix.value);
         });
         double t_lp = 0.0;
-        if (n_servers <= 12) {
+        double t_lp_par = 0.0;
+        double t_memo = 0.0;
+        if (n_servers <= 24) {
             // The dense-tableau LP is exact but O(n^2) variables;
             // keep it to the sizes it is meant for.
-            std::vector<int> lp;
+            std::vector<int> lp_serial_assign;
             t_lp = timedUs([&] {
-                lp = math::solveAssignmentLp(matrix.value);
+                lp_serial_assign =
+                    math::solveAssignmentLp(matrix.value, lp_serial);
             });
+            std::vector<int> lp_par_assign;
+            t_lp_par = timedUs([&] {
+                lp_par_assign =
+                    math::solveAssignmentLp(matrix.value, lp_parallel);
+            });
+            // The determinism contract: the pooled solver must return
+            // the serial solver's assignment field-exact. A mismatch
+            // is a solver bug, not a tolerance issue -- fail loudly so
+            // perf smoke runs catch it.
+            if (lp_par_assign != lp_serial_assign) {
+                std::fprintf(stderr,
+                             "ERROR: parallel LP assignment disagrees "
+                             "with serial at n_servers=%d\n",
+                             n_servers);
+                return 1;
+            }
+            // Ties between replicated archetypes mean LP and
+            // Hungarian may pick different optimal assignments, but
+            // the optimal value must agree.
+            const double v_lp =
+                math::assignmentValue(matrix.value, lp_serial_assign);
+            const double v_hung =
+                math::assignmentValue(matrix.value, hungarian);
+            if (std::abs(v_lp - v_hung) >
+                1e-6 * std::max(1.0, std::abs(v_hung))) {
+                std::fprintf(stderr,
+                             "ERROR: LP value %.9f disagrees with "
+                             "Hungarian %.9f at n_servers=%d\n",
+                             v_lp, v_hung, n_servers);
+                return 1;
+            }
+
+            // Memoized re-solve: what admitAndPlace() pays when the
+            // same matrix comes back within a decision epoch.
+            math::AssignmentCache cache;
+            cache.insert("lp", matrix.value, lp_serial_assign);
+            std::optional<std::vector<int>> memo;
+            t_memo = timedUs(
+                [&] { memo = cache.lookup("lp", matrix.value); });
+            if (!memo || *memo != lp_serial_assign) {
+                std::fprintf(stderr,
+                             "ERROR: solver cache lost or corrupted "
+                             "an entry at n_servers=%d\n",
+                             n_servers);
+                return 1;
+            }
         }
 
         // Expected random value: mean over a handful of draws.
@@ -120,7 +178,9 @@ main()
                       fmt(random_value, 2),
                       fmtPercent(1.0 - random_value / best),
                       fmt(t_hungarian, 0),
-                      t_lp > 0 ? fmt(t_lp, 0) : "-"});
+                      t_lp > 0 ? fmt(t_lp, 0) : "-",
+                      t_lp_par > 0 ? fmt(t_lp_par, 0) : "-",
+                      t_memo > 0 ? fmt(t_memo, 2) : "-"});
     }
     std::printf("%s", table.render().c_str());
     return 0;

@@ -135,11 +135,24 @@ ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
 
 ClusterEvaluator::~ClusterEvaluator() = default;
 
+SolverConfig
+ClusterEvaluator::solverConfig() const
+{
+    SolverConfig config = config_.solver;
+    config.pool = pool_;
+    if (config.cache == nullptr)
+        config.cache = &solver_cache_;
+    return config;
+}
+
 std::vector<int>
 ClusterEvaluator::placeBe(PlacementKind kind, std::uint64_t seed) const
 {
-    Rng rng(seed);
-    return place(matrix_, kind, rng);
+    if (kind == PlacementKind::Random) {
+        Rng rng(seed);
+        return place(matrix_, kind, rng);
+    }
+    return place(matrix_, kind, solverConfig());
 }
 
 std::unique_ptr<server::PrimaryController>

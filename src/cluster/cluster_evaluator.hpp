@@ -27,6 +27,7 @@
 
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
+#include "math/solver_cache.hpp"
 #include "model/profiler.hpp"
 #include "runtime/thread_pool.hpp"
 #include "server/server_manager.hpp"
@@ -92,6 +93,13 @@ struct EvaluatorConfig
      * deterministic split streams and write index-addressed slots.
      */
     int threads = 0;
+    /**
+     * Assignment-solver knobs (LP parallel cutoffs, memoization).
+     * The pool is wired by the evaluator itself; a null cache uses
+     * the evaluator's own solve memo. Results never depend on these
+     * settings — only wall-clock does.
+     */
+    SolverConfig solver;
 };
 
 /** Result of one managed (LC, BE) pairing. */
@@ -140,6 +148,13 @@ class ClusterEvaluator
 
     /** The model-driven performance matrix (Fig. 7-II). */
     const PerformanceMatrix& matrix() const { return matrix_; }
+
+    /**
+     * Solver configuration the evaluator places with: the evaluation
+     * pool plus its own solve memo (unless EvaluatorConfig::solver
+     * overrides the cache).
+     */
+    SolverConfig solverConfig() const;
 
     /** Placement under the given algorithm (deterministic seed). */
     std::vector<int> placeBe(PlacementKind kind,
@@ -202,6 +217,13 @@ class ClusterEvaluator
      */
     mutable std::mutex cache_mutex_;
     mutable std::map<std::string, ServerOutcome> cache_;
+
+    /**
+     * Assignment-solve memo shared by every placeBe() call: policies
+     * and sweeps re-place on the same matrix, and the exact solvers
+     * are deterministic, so repeat solves are lookups.
+     */
+    mutable math::AssignmentCache solver_cache_;
 };
 
 } // namespace poco::cluster

@@ -2,10 +2,56 @@
 
 #include "math/hungarian.hpp"
 #include "math/simplex.hpp"
+#include "math/solver_cache.hpp"
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace poco::cluster
 {
+
+namespace
+{
+
+void
+validateMatrix(const PerformanceMatrix& matrix)
+{
+    const std::size_t rows = matrix.value.size();
+    POCO_REQUIRE(rows > 0, "empty performance matrix");
+    const std::size_t cols = matrix.value.front().size();
+    POCO_REQUIRE(rows <= cols,
+                 "placement needs BE apps <= LC servers");
+}
+
+math::LpOptions
+lpOptions(const SolverConfig& config)
+{
+    math::LpOptions options;
+    options.pool = config.pool;
+    options.pivotCutoff = config.pivotCutoff;
+    options.pricingGrain = config.pricingGrain;
+    return options;
+}
+
+/** Run the named exact solver (no memo). */
+std::vector<int>
+solveExact(const PerformanceMatrix& matrix, PlacementKind kind,
+           const SolverConfig& config)
+{
+    switch (kind) {
+      case PlacementKind::Lp:
+        return math::solveAssignmentLp(matrix.value,
+                                       lpOptions(config));
+      case PlacementKind::Hungarian:
+        return math::solveAssignmentMax(matrix.value);
+      case PlacementKind::Exhaustive:
+        return math::solveAssignmentExhaustive(matrix.value);
+      case PlacementKind::Random:
+        break;
+    }
+    poco::panic("unreachable exact placement kind");
+}
+
+} // namespace
 
 const char*
 placementKindName(PlacementKind kind)
@@ -20,30 +66,33 @@ placementKindName(PlacementKind kind)
 }
 
 std::vector<int>
-place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng)
+place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng,
+      const SolverConfig& config)
 {
-    const std::size_t rows = matrix.value.size();
-    POCO_REQUIRE(rows > 0, "empty performance matrix");
-    const std::size_t cols = matrix.value.front().size();
-    POCO_REQUIRE(rows <= cols,
-                 "placement needs BE apps <= LC servers");
-
-    switch (kind) {
-      case PlacementKind::Random: {
-        const std::vector<int> perm =
-            rng.permutation(static_cast<int>(cols));
+    if (kind == PlacementKind::Random) {
+        validateMatrix(matrix);
+        const std::size_t rows = matrix.value.size();
+        const std::vector<int> perm = rng.permutation(
+            static_cast<int>(matrix.value.front().size()));
         return std::vector<int>(perm.begin(),
                                 perm.begin() +
                                     static_cast<std::ptrdiff_t>(rows));
-      }
-      case PlacementKind::Lp:
-        return math::solveAssignmentLp(matrix.value);
-      case PlacementKind::Hungarian:
-        return math::solveAssignmentMax(matrix.value);
-      case PlacementKind::Exhaustive:
-        return math::solveAssignmentExhaustive(matrix.value);
     }
-    poco::panic("unreachable placement kind");
+    return place(matrix, kind, config);
+}
+
+std::vector<int>
+place(const PerformanceMatrix& matrix, PlacementKind kind,
+      const SolverConfig& config)
+{
+    POCO_REQUIRE(kind != PlacementKind::Random,
+                 "random placement needs an Rng");
+    validateMatrix(matrix);
+    if (config.cache == nullptr)
+        return solveExact(matrix, kind, config);
+    return config.cache->getOrCompute(
+        placementKindName(kind), matrix.value,
+        [&] { return solveExact(matrix, kind, config); });
 }
 
 double
@@ -54,37 +103,50 @@ placementValue(const PerformanceMatrix& matrix,
 }
 
 std::vector<int>
-admitAndPlace(const PerformanceMatrix& matrix)
+admitAndPlace(const PerformanceMatrix& matrix,
+              const SolverConfig& config)
 {
     const std::size_t n_be = matrix.value.size();
     POCO_REQUIRE(n_be > 0, "empty performance matrix");
     const std::size_t n_srv = matrix.value.front().size();
 
     if (n_be <= n_srv) {
-        // Everyone fits: ordinary assignment.
-        Rng rng(0);
-        return place(matrix, PlacementKind::Hungarian, rng);
+        // Everyone fits: ordinary (deterministic) assignment.
+        return place(matrix, PlacementKind::Hungarian, config);
     }
 
-    // Transpose: servers are the agents, candidates the tasks.
-    std::vector<std::vector<double>> transposed(
-        n_srv, std::vector<double>(n_be, 0.0));
-    for (std::size_t i = 0; i < n_be; ++i)
-        for (std::size_t j = 0; j < n_srv; ++j)
-            transposed[j][i] = matrix.value[i][j];
-    const std::vector<int> choice =
-        math::solveAssignmentMax(transposed);
+    auto solve = [&] {
+        // Transpose: servers are the agents, candidates the tasks.
+        // Each server's candidate-score row is independent, so the
+        // scoring batch fans out over the pool; slot-addressed writes
+        // keep the result identical for any worker count.
+        const std::vector<std::vector<double>> transposed =
+            runtime::parallelMap(
+                config.pool, n_srv, [&](std::size_t j) {
+                    std::vector<double> scores(n_be);
+                    for (std::size_t i = 0; i < n_be; ++i)
+                        scores[i] = matrix.value[i][j];
+                    return scores;
+                });
+        const std::vector<int> choice =
+            math::solveAssignmentMax(transposed);
 
-    std::vector<int> admitted(n_be, -1);
-    for (std::size_t j = 0; j < n_srv; ++j) {
-        const int be = choice[j];
-        POCO_ASSERT(be >= 0 &&
-                    static_cast<std::size_t>(be) < n_be,
-                    "transposed assignment out of range");
-        admitted[static_cast<std::size_t>(be)] =
-            static_cast<int>(j);
-    }
-    return admitted;
+        std::vector<int> admitted(n_be, -1);
+        for (std::size_t j = 0; j < n_srv; ++j) {
+            const int be = choice[j];
+            POCO_ASSERT(be >= 0 &&
+                        static_cast<std::size_t>(be) < n_be,
+                        "transposed assignment out of range");
+            admitted[static_cast<std::size_t>(be)] =
+                static_cast<int>(j);
+        }
+        return admitted;
+    };
+    if (config.cache == nullptr)
+        return solve();
+    // Memoized across admission rounds: the queue-drain loop asks
+    // again every round, usually with an unchanged matrix.
+    return config.cache->getOrCompute("admit", matrix.value, solve);
 }
 
 } // namespace poco::cluster

@@ -7,6 +7,14 @@
  * an LP solver (the assignment polytope is integral); Hungarian and
  * exhaustive search are provided as equivalent exact alternatives and
  * as test oracles; random placement is the baseline.
+ *
+ * The exact policies (LP, Hungarian, exhaustive) are deterministic
+ * pure functions of the matrix, so they take a SolverConfig instead
+ * of an Rng: a thread pool accelerates the LP's pivot/pricing kernels
+ * and the admission path's batch candidate scoring, and an
+ * AssignmentCache memoizes repeated solves of the same matrix across
+ * admission rounds and load-sweep points. Every configuration —
+ * serial, pooled, cached — returns field-identical assignments.
  */
 
 #pragma once
@@ -15,6 +23,16 @@
 
 #include "cluster/performance_matrix.hpp"
 #include "util/rng.hpp"
+
+namespace poco::runtime
+{
+class ThreadPool;
+}
+
+namespace poco::math
+{
+class AssignmentCache;
+}
 
 namespace poco::cluster
 {
@@ -31,14 +49,40 @@ enum class PlacementKind
 const char* placementKindName(PlacementKind kind);
 
 /**
+ * Execution knobs for the exact placement solvers. The defaults run
+ * serially with no memoization; results never depend on the settings.
+ */
+struct SolverConfig
+{
+    /** Pool for the LP kernels and batch admission scoring. */
+    runtime::ThreadPool* pool = nullptr;
+    /** Solve memo; null disables memoization. */
+    math::AssignmentCache* cache = nullptr;
+    /** Minimum tableau cells before an LP pivot fans out over rows. */
+    std::size_t pivotCutoff = 4096;
+    /** Columns per LP pricing/ratio-test reduction chunk. */
+    std::size_t pricingGrain = 2048;
+};
+
+/**
  * Compute an assignment: result[i] = LC server index for BE app i.
  *
  * @param matrix Performance matrix (rows: BE apps, cols: servers);
  *        requires #BE <= #servers.
  * @param rng Used only by PlacementKind::Random.
+ * @param config Pool/memo knobs for the exact solvers.
  */
 std::vector<int> place(const PerformanceMatrix& matrix,
-                       PlacementKind kind, Rng& rng);
+                       PlacementKind kind, Rng& rng,
+                       const SolverConfig& config = {});
+
+/**
+ * Deterministic-kind overload: LP, Hungarian, and exhaustive need no
+ * randomness, so no Rng. Throws poco::FatalError for Random.
+ */
+std::vector<int> place(const PerformanceMatrix& matrix,
+                       PlacementKind kind,
+                       const SolverConfig& config = {});
 
 /** Total estimated throughput of an assignment under the matrix. */
 double placementValue(const PerformanceMatrix& matrix,
@@ -50,12 +94,16 @@ double placementValue(const PerformanceMatrix& matrix,
  * to admit and where, maximizing total estimated throughput.
  *
  * Solved exactly as the transposed assignment problem (each server
- * "chooses" a candidate; unchosen candidates wait).
+ * "chooses" a candidate; unchosen candidates wait). Candidate score
+ * rows are batched over config.pool, and the whole round's solution
+ * is memoized in config.cache — repeated admission rounds over an
+ * unchanged matrix return instantly.
  *
  * @return admitted[i] = server index for BE i, or -1 when BE i is
  *         not admitted this round. Exactly min(#BE, #servers)
  *         entries are >= 0.
  */
-std::vector<int> admitAndPlace(const PerformanceMatrix& matrix);
+std::vector<int> admitAndPlace(const PerformanceMatrix& matrix,
+                               const SolverConfig& config = {});
 
 } // namespace poco::cluster

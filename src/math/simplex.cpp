@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "runtime/parallel.hpp"
 #include "util/check.hpp"
 
 namespace poco::math
@@ -14,119 +15,183 @@ namespace
 
 constexpr double kEps = 1e-9;
 
-/**
- * Dense simplex tableau in canonical form.
- *
- * Layout: `table` has m rows (one per constraint) over `ncols` columns
- * (structural + slack/surplus + artificial variables), plus a separate
- * rhs column and an objective row. `basis[r]` names the basic variable
- * of row r.
- */
-struct Tableau
-{
-    std::size_t m = 0;      // constraint rows
-    std::size_t ncols = 0;  // total variables
-    std::vector<std::vector<double>> rows;
-    std::vector<double> rhs;
-    std::vector<double> obj;      // objective coefficients (maximize)
-    double objShift = 0.0;        // constant term accumulated in pivots
-    std::vector<std::size_t> basis;
-
-    /** Price out: reduced cost of column j given the current basis. */
-    double
-    reducedCost(std::size_t j) const
-    {
-        double z = 0.0;
-        for (std::size_t r = 0; r < m; ++r)
-            z += obj[basis[r]] * rows[r][j];
-        return obj[j] - z;
-    }
-
-    /** Objective value of the current basic solution. */
-    double
-    objective() const
-    {
-        double z = objShift;
-        for (std::size_t r = 0; r < m; ++r)
-            z += obj[basis[r]] * rhs[r];
-        return z;
-    }
-
-    void
-    pivot(std::size_t row, std::size_t col)
-    {
-        const double p = rows[row][col];
-        POCO_ASSERT(std::abs(p) > kEps, "pivot on a ~zero element");
-        const double inv = 1.0 / p;
-        for (auto& v : rows[row])
-            v *= inv;
-        rhs[row] *= inv;
-        rows[row][col] = 1.0;
-        for (std::size_t r = 0; r < m; ++r) {
-            if (r == row)
-                continue;
-            const double factor = rows[r][col];
-            if (std::abs(factor) < kEps) {
-                rows[r][col] = 0.0;
-                continue;
-            }
-            for (std::size_t c = 0; c < ncols; ++c)
-                rows[r][c] -= factor * rows[row][c];
-            rows[r][col] = 0.0;
-            rhs[r] -= factor * rhs[row];
-        }
-        basis[row] = col;
-    }
-
-    /**
-     * Run simplex iterations until optimal or unbounded.
-     * Uses Bland's rule (lowest-index entering and leaving variable)
-     * to guarantee termination on degenerate problems.
-     *
-     * @return true when an optimum was reached, false when unbounded.
-     */
-    bool
-    iterate()
-    {
-        for (;;) {
-            // Entering variable: first column with positive reduced
-            // cost (Bland).
-            std::size_t enter = ncols;
-            for (std::size_t j = 0; j < ncols; ++j) {
-                if (reducedCost(j) > kEps) {
-                    enter = j;
-                    break;
-                }
-            }
-            if (enter == ncols)
-                return true; // optimal
-
-            // Leaving variable: min ratio, ties by lowest basis index.
-            std::size_t leave = m;
-            double best_ratio = std::numeric_limits<double>::infinity();
-            for (std::size_t r = 0; r < m; ++r) {
-                if (rows[r][enter] > kEps) {
-                    const double ratio = rhs[r] / rows[r][enter];
-                    if (ratio < best_ratio - kEps ||
-                        (ratio < best_ratio + kEps &&
-                         (leave == m || basis[r] < basis[leave]))) {
-                        best_ratio = ratio;
-                        leave = r;
-                    }
-                }
-            }
-            if (leave == m)
-                return false; // unbounded direction
-
-            pivot(leave, enter);
-        }
-    }
-};
+/** Phase-2 price of an artificial column: a degenerate basic
+ *  artificial (redundant constraint) must never rise above zero. */
+constexpr double kArtificialPenalty = -1e15;
 
 } // namespace
 
+SimplexTableau::SimplexTableau(std::size_t m, std::size_t ncols)
+    : m_(m), ncols_(ncols), stride_(ncols + 1),
+      data_((m + 1) * (ncols + 1), 0.0), basis_(m, 0)
+{
+    POCO_REQUIRE(m > 0 && ncols > 0,
+                 "tableau needs rows and columns");
+}
+
+void
+SimplexTableau::setObjective(const std::vector<double>& cost,
+                             const LpOptions& options)
+{
+    POCO_REQUIRE(cost.size() == ncols_,
+                 "objective arity must match tableau columns");
+    // Price out: d_j = c_j - sum_r c_basis[r] * a[r][j]. Each column
+    // is independent and sums its rows in a fixed order, so the row
+    // is bit-identical for any pool size.
+    runtime::ThreadPool* pool =
+        m_ * ncols_ >= options.pivotCutoff ? options.pool : nullptr;
+    double* __restrict__ obj = row(m_);
+    runtime::parallelFor(
+        pool, ncols_,
+        [this, &cost, obj](std::size_t j) {
+            double z = 0.0;
+            for (std::size_t r = 0; r < m_; ++r)
+                z += cost[basis_[r]] * at(r, j);
+            obj[j] = cost[j] - z;
+        },
+        /*grain=*/64);
+    double z0 = 0.0;
+    for (std::size_t r = 0; r < m_; ++r)
+        z0 += cost[basis_[r]] * rhs(r);
+    rhs(m_) = -z0;
+}
+
+std::size_t
+SimplexTableau::priceDantzig(const LpOptions& options) const
+{
+    struct Best
+    {
+        double d;
+        std::size_t j;
+    };
+    const double* __restrict__ obj = row(m_);
+    // Fold keeps the first strict maximum; combine prefers the left
+    // (lower-index) chunk on exact ties — identical to a serial scan.
+    const Best best = runtime::parallelReduce(
+        options.pool, ncols_, Best{kEps, npos},
+        [obj](Best acc, std::size_t j) {
+            if (obj[j] > acc.d)
+                return Best{obj[j], j};
+            return acc;
+        },
+        [](Best lhs, Best rhs) { return rhs.d > lhs.d ? rhs : lhs; },
+        options.pricingGrain);
+    return best.j;
+}
+
+std::size_t
+SimplexTableau::priceBland() const
+{
+    const double* __restrict__ obj = row(m_);
+    for (std::size_t j = 0; j < ncols_; ++j)
+        if (obj[j] > kEps)
+            return j;
+    return npos;
+}
+
+std::size_t
+SimplexTableau::ratioTest(std::size_t enter,
+                          const LpOptions& options) const
+{
+    struct Cand
+    {
+        double ratio;
+        std::size_t row;
+        std::size_t var; // basic variable of `row` (tie-break key)
+    };
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const Cand init{inf, npos, npos};
+    auto better = [](const Cand& a, const Cand& b) {
+        return a.ratio < b.ratio ||
+               (a.ratio == b.ratio && a.var < b.var);
+    };
+    // Exact comparisons make the lexicographic min associative, so
+    // the chunked reduction equals the serial scan for any chunking.
+    const Cand pick = runtime::parallelReduce(
+        options.pool, m_, init,
+        [this, enter, &better](Cand acc, std::size_t r) {
+            const double a = at(r, enter);
+            if (a > kEps) {
+                const Cand cand{rhs(r) / a, r, basis_[r]};
+                if (better(cand, acc))
+                    return cand;
+            }
+            return acc;
+        },
+        [&better](Cand lhs, Cand rhs) {
+            return better(rhs, lhs) ? rhs : lhs;
+        },
+        options.pricingGrain);
+    return pick.row;
+}
+
+void
+SimplexTableau::pivot(std::size_t prow, std::size_t pcol,
+                      const LpOptions& options)
+{
+    double* __restrict__ src = row(prow);
+    const double p = src[pcol];
+    POCO_ASSERT(std::abs(p) > kEps, "pivot on a ~zero element");
+    const double inv = 1.0 / p;
+    for (std::size_t c = 0; c < stride_; ++c)
+        src[c] *= inv;
+    src[pcol] = 1.0;
+
+    // Eliminate the pivot column from every other row, including the
+    // reduced-cost row at index m_. Rows are independent, so the
+    // elimination fans out once the tableau is big enough to pay for
+    // the dispatch; the arithmetic per row is identical either way.
+    runtime::ThreadPool* pool =
+        (m_ + 1) * stride_ >= options.pivotCutoff ? options.pool
+                                                  : nullptr;
+    const double* __restrict__ piv = src;
+    runtime::parallelFor(pool, m_ + 1, [this, prow, pcol,
+                                        piv](std::size_t r) {
+        if (r == prow)
+            return;
+        double* __restrict__ dst = row(r);
+        const double factor = dst[pcol];
+        if (std::abs(factor) < kEps) {
+            dst[pcol] = 0.0;
+            return;
+        }
+        for (std::size_t c = 0; c < stride_; ++c)
+            dst[c] -= factor * piv[c];
+        dst[pcol] = 0.0;
+    });
+    basis_[prow] = pcol;
+}
+
+bool
+SimplexTableau::iterate(const LpOptions& options)
+{
+    // Dantzig pricing can cycle on degenerate vertices; after this
+    // many consecutive zero-progress pivots, switch to Bland's rule
+    // (the ratio test already uses Bland's leaving tie-break), which
+    // terminates unconditionally.
+    const std::size_t degenerate_limit = 64 + 8 * (m_ + ncols_);
+    std::size_t degenerate = 0;
+    bool bland = false;
+    for (;;) {
+        const std::size_t enter =
+            bland ? priceBland() : priceDantzig(options);
+        if (enter == npos)
+            return true; // optimal
+        const std::size_t leave = ratioTest(enter, options);
+        if (leave == npos)
+            return false; // unbounded direction
+        if (rhs(leave) <= kEps) {
+            if (!bland && ++degenerate > degenerate_limit)
+                bland = true;
+        } else {
+            degenerate = 0;
+        }
+        pivot(leave, enter, options);
+    }
+}
+
 LpSolution
-solveLp(const LpProblem& problem)
+solveLp(const LpProblem& problem, const LpOptions& options)
 {
     const std::size_t n = problem.objective.size();
     POCO_REQUIRE(n > 0, "LP needs at least one variable");
@@ -170,12 +235,8 @@ solveLp(const LpProblem& problem)
             ++num_art;
     }
 
-    Tableau t;
-    t.m = m;
-    t.ncols = n + num_slack + num_art;
-    t.rows.assign(m, std::vector<double>(t.ncols, 0.0));
-    t.rhs.resize(m);
-    t.basis.assign(m, 0);
+    SimplexTableau t(m, n + num_slack + num_art);
+    const std::size_t ncols = t.cols();
 
     std::size_t slack_at = n;
     std::size_t art_at = n + num_slack;
@@ -183,23 +244,24 @@ solveLp(const LpProblem& problem)
 
     for (std::size_t r = 0; r < m; ++r) {
         const Row& row = rows[r];
+        double* dst = t.row(r);
         for (std::size_t j = 0; j < n; ++j)
-            t.rows[r][j] = row.coeffs[j];
-        t.rhs[r] = row.rhs;
+            dst[j] = row.coeffs[j];
+        t.rhs(r) = row.rhs;
         switch (row.rel) {
           case Relation::LessEqual:
-            t.rows[r][slack_at] = 1.0;
-            t.basis[r] = slack_at++;
+            dst[slack_at] = 1.0;
+            t.basis()[r] = slack_at++;
             break;
           case Relation::GreaterEqual:
-            t.rows[r][slack_at] = -1.0;
+            dst[slack_at] = -1.0;
             ++slack_at;
-            t.rows[r][art_at] = 1.0;
-            t.basis[r] = art_at++;
+            dst[art_at] = 1.0;
+            t.basis()[r] = art_at++;
             break;
           case Relation::Equal:
-            t.rows[r][art_at] = 1.0;
-            t.basis[r] = art_at++;
+            dst[art_at] = 1.0;
+            t.basis()[r] = art_at++;
             break;
         }
     }
@@ -208,10 +270,11 @@ solveLp(const LpProblem& problem)
 
     // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
     if (num_art > 0) {
-        t.obj.assign(t.ncols, 0.0);
-        for (std::size_t j = art_begin; j < t.ncols; ++j)
-            t.obj[j] = -1.0;
-        if (!t.iterate()) {
+        std::vector<double> phase1(ncols, 0.0);
+        for (std::size_t j = art_begin; j < ncols; ++j)
+            phase1[j] = -1.0;
+        t.setObjective(phase1, options);
+        if (!t.iterate(options)) {
             // Cannot be unbounded: the phase-1 objective is bounded
             // above by zero.
             poco::panic("phase-1 simplex reported unbounded");
@@ -223,35 +286,34 @@ solveLp(const LpProblem& problem)
         // Drive any artificial still basic (at zero level) out of the
         // basis so phase 2 never re-enters it.
         for (std::size_t r = 0; r < m; ++r) {
-            if (t.basis[r] >= art_begin) {
-                std::size_t enter = t.ncols;
+            if (t.basis()[r] >= art_begin) {
+                std::size_t enter = ncols;
                 for (std::size_t j = 0; j < art_begin; ++j) {
-                    if (std::abs(t.rows[r][j]) > kEps) {
+                    if (std::abs(t.at(r, j)) > kEps) {
                         enter = j;
                         break;
                     }
                 }
-                if (enter != t.ncols)
-                    t.pivot(r, enter);
+                if (enter != ncols)
+                    t.pivot(r, enter, options);
                 // else: the row is all-zero over real variables, i.e. a
                 // redundant constraint; the artificial stays basic at 0
                 // and is harmless because phase 2 gives it a huge
                 // negative cost below.
             }
         }
-    } else {
-        t.obj.assign(t.ncols, 0.0);
     }
 
     // Phase 2: the real objective. Artificials are priced at a large
     // negative value so a degenerate basic artificial never rises.
-    t.obj.assign(t.ncols, 0.0);
+    std::vector<double> phase2(ncols, 0.0);
     for (std::size_t j = 0; j < n; ++j)
-        t.obj[j] = problem.objective[j];
-    for (std::size_t j = art_begin; j < t.ncols; ++j)
-        t.obj[j] = -1e15;
+        phase2[j] = problem.objective[j];
+    for (std::size_t j = art_begin; j < ncols; ++j)
+        phase2[j] = kArtificialPenalty;
+    t.setObjective(phase2, options);
 
-    if (!t.iterate()) {
+    if (!t.iterate(options)) {
         solution.status = LpStatus::Unbounded;
         return solution;
     }
@@ -259,8 +321,8 @@ solveLp(const LpProblem& problem)
     solution.status = LpStatus::Optimal;
     solution.x.assign(n, 0.0);
     for (std::size_t r = 0; r < m; ++r)
-        if (t.basis[r] < n)
-            solution.x[t.basis[r]] = t.rhs[r];
+        if (t.basis()[r] < n)
+            solution.x[t.basis()[r]] = t.rhs(r);
     solution.objective = 0.0;
     for (std::size_t j = 0; j < n; ++j)
         solution.objective += problem.objective[j] * solution.x[j];
@@ -268,7 +330,8 @@ solveLp(const LpProblem& problem)
 }
 
 std::vector<int>
-solveAssignmentLp(const std::vector<std::vector<double>>& value)
+solveAssignmentLp(const std::vector<std::vector<double>>& value,
+                  const LpOptions& options)
 {
     const std::size_t rows = value.size();
     POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
@@ -300,7 +363,7 @@ solveAssignmentLp(const std::vector<std::vector<double>>& value)
         lp.addConstraint(std::move(coeffs), Relation::LessEqual, 1.0);
     }
 
-    const LpSolution sol = solveLp(lp);
+    const LpSolution sol = solveLp(lp, options);
     POCO_ASSERT(sol.status == LpStatus::Optimal,
                 "assignment LP must be feasible and bounded");
 

@@ -1,0 +1,126 @@
+#include "math/solver_cache.hpp"
+
+#include <bit>
+
+namespace poco::math
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: full-avalanche 64-bit mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+}
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+} // namespace
+
+std::uint64_t
+hashMatrixContent(const std::vector<std::vector<double>>& value)
+{
+    std::uint64_t h = mix64(value.size() * kGolden + 1);
+    if (!value.empty())
+        h = mix64(h ^ (value.front().size() * kGolden));
+    for (const auto& row : value)
+        for (double v : row)
+            h = mix64(h ^ (std::bit_cast<std::uint64_t>(v) + kGolden));
+    return h;
+}
+
+bool
+AssignmentCache::matches(const Entry& entry, std::string_view tag,
+                         const std::vector<std::vector<double>>& value)
+{
+    if (entry.tag != tag || entry.rows != value.size() ||
+        (entry.rows > 0 && entry.cols != value.front().size()))
+        return false;
+    std::size_t k = 0;
+    for (const auto& row : value)
+        for (double v : row)
+            // Bit-pattern equality (memcmp semantics): the key must
+            // be the exact matrix that was solved, and NaNs or signed
+            // zeros must not alias distinct instances.
+            if (std::bit_cast<std::uint64_t>(entry.flat[k++]) !=
+                std::bit_cast<std::uint64_t>(v))
+                return false;
+    return true;
+}
+
+std::optional<std::vector<int>>
+AssignmentCache::lookup(
+    std::string_view tag,
+    const std::vector<std::vector<double>>& value) const
+{
+    const std::uint64_t h = hashMatrixContent(value);
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (auto it = buckets_.find(h); it != buckets_.end()) {
+        for (const Entry& entry : it->second) {
+            if (matches(entry, tag, value)) {
+                ++hits_;
+                return entry.assignment;
+            }
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void
+AssignmentCache::insert(std::string_view tag,
+                        const std::vector<std::vector<double>>& value,
+                        std::vector<int> assignment)
+{
+    Entry entry;
+    entry.tag = std::string(tag);
+    entry.rows = value.size();
+    entry.cols = value.empty() ? 0 : value.front().size();
+    entry.flat.reserve(entry.rows * entry.cols);
+    for (const auto& row : value)
+        entry.flat.insert(entry.flat.end(), row.begin(), row.end());
+    entry.assignment = std::move(assignment);
+
+    const std::uint64_t h = hashMatrixContent(value);
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto& bucket = buckets_[h];
+    // Racing writers compute identical values; keep the first.
+    for (const Entry& existing : bucket)
+        if (matches(existing, tag, value))
+            return;
+    bucket.push_back(std::move(entry));
+    ++entries_;
+}
+
+SolverCacheStats
+AssignmentCache::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return {hits_, misses_, entries_};
+}
+
+void
+AssignmentCache::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    buckets_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    entries_ = 0;
+}
+
+AssignmentCache&
+AssignmentCache::global()
+{
+    static AssignmentCache* cache = new AssignmentCache();
+    return *cache;
+}
+
+} // namespace poco::math

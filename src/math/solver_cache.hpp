@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Thread-safe memoization of assignment solves.
+ *
+ * The cluster layer solves the same assignment instance over and over:
+ * admitAndPlace() re-runs each admission round, load sweeps re-place
+ * at every point, and the figure benches evaluate several policies on
+ * one matrix. All the exact solvers (LP, Hungarian, exhaustive) are
+ * deterministic pure functions of the value matrix, so their results
+ * can be reused across calls.
+ *
+ * Keying: a 64-bit content hash of the matrix (dimensions plus the
+ * raw bit pattern of every element, SplitMix64-style mixing) selects
+ * a bucket; the bucket entries store the full matrix and an exact
+ * element-wise comparison confirms the match, so a hash collision can
+ * never return a wrong answer. A `tag` (usually the solver name)
+ * separates solutions of different algorithms or problem framings on
+ * the same matrix.
+ *
+ * Concurrency: a mutex guards the map; solves run outside the lock,
+ * so concurrent callers may race to compute the same key. That is
+ * deliberate — the solvers are deterministic, both writers produce
+ * the same value, and the first insert wins (mirroring the pair-run
+ * cache in ClusterEvaluator).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace poco::math
+{
+
+/** Counter snapshot (monotonic since construction or clear()). */
+struct SolverCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t entries = 0;
+};
+
+/**
+ * 64-bit content hash of a rectangular matrix: dimensions plus every
+ * element's bit pattern, mixed SplitMix64-style. Deterministic across
+ * runs and platforms with IEEE-754 doubles.
+ */
+std::uint64_t
+hashMatrixContent(const std::vector<std::vector<double>>& value);
+
+/** Content-addressed memo of assignment solutions. */
+class AssignmentCache
+{
+  public:
+    /**
+     * Look up the solution stored for (@p tag, @p value); exact
+     * element-wise match required. Counts a hit or a miss.
+     */
+    std::optional<std::vector<int>>
+    lookup(std::string_view tag,
+           const std::vector<std::vector<double>>& value) const;
+
+    /** Store a solution; an exact duplicate key keeps the first. */
+    void insert(std::string_view tag,
+                const std::vector<std::vector<double>>& value,
+                std::vector<int> assignment);
+
+    /**
+     * Lookup-or-compute: returns the memoized solution, or runs
+     * @p solve (outside the lock), stores, and returns its result.
+     */
+    template <typename Solve>
+    std::vector<int>
+    getOrCompute(std::string_view tag,
+                 const std::vector<std::vector<double>>& value,
+                 Solve&& solve)
+    {
+        if (auto hit = lookup(tag, value))
+            return *std::move(hit);
+        std::vector<int> result = solve();
+        insert(tag, value, result);
+        return result;
+    }
+
+    SolverCacheStats stats() const;
+    void clear();
+
+    /**
+     * Process-wide shared cache, for callers without an evaluator
+     * (constructed on first use, never destroyed).
+     */
+    static AssignmentCache& global();
+
+  private:
+    struct Entry
+    {
+        std::string tag;
+        std::size_t rows = 0;
+        std::size_t cols = 0;
+        std::vector<double> flat; // row-major copy of the key matrix
+        std::vector<int> assignment;
+    };
+
+    static bool matches(const Entry& entry, std::string_view tag,
+                        const std::vector<std::vector<double>>& value);
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
+    mutable std::uint64_t hits_ = 0;
+    mutable std::uint64_t misses_ = 0;
+    std::uint64_t entries_ = 0;
+};
+
+} // namespace poco::math

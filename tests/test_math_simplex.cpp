@@ -104,6 +104,102 @@ TEST(Simplex, DegenerateProblemTerminates)
     EXPECT_NEAR(sol.objective, 5.0, 1e-7);
 }
 
+TEST(Simplex, BealeCyclingInstanceTerminates)
+{
+    // Beale (1955): the classic instance on which Dantzig pricing
+    // with naive tie-breaks cycles forever. The degenerate-pivot
+    // fallback to Bland's rule must terminate at z = 0.05.
+    LpProblem lp;
+    lp.objective = {0.75, -150.0, 0.02, -6.0};
+    lp.addConstraint({0.25, -60.0, -1.0 / 25.0, 9.0},
+                     Relation::LessEqual, 0.0);
+    lp.addConstraint({0.5, -90.0, -1.0 / 50.0, 3.0},
+                     Relation::LessEqual, 0.0);
+    lp.addConstraint({0.0, 0.0, 1.0, 0.0}, Relation::LessEqual, 1.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 0.05, 1e-7);
+    EXPECT_NEAR(sol.x[2], 1.0, 1e-7);
+}
+
+TEST(Simplex, HighlyDegenerateTiesResolved)
+{
+    // Every constraint is active at the origin-adjacent optimum; the
+    // ratio test sees nothing but zero-ratio ties and must still
+    // make progress via its lowest-basic-variable tie-break.
+    LpProblem lp;
+    lp.objective = {1.0, 1.0, 1.0};
+    lp.addConstraint({1.0, -1.0, 0.0}, Relation::LessEqual, 0.0);
+    lp.addConstraint({1.0, 0.0, -1.0}, Relation::LessEqual, 0.0);
+    lp.addConstraint({0.0, 1.0, -1.0}, Relation::LessEqual, 0.0);
+    lp.addConstraint({1.0, 1.0, 1.0}, Relation::LessEqual, 9.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 9.0, 1e-7);
+    EXPECT_NEAR(sol.x[2], 3.0, 1e-7);
+}
+
+TEST(Simplex, ContradictoryEqualitiesInfeasible)
+{
+    LpProblem lp;
+    lp.objective = {1.0, 1.0};
+    lp.addConstraint({1.0, 1.0}, Relation::Equal, 2.0);
+    lp.addConstraint({1.0, 1.0}, Relation::Equal, 3.0);
+    EXPECT_EQ(solveLp(lp).status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, GreaterEqualOnlyUnbounded)
+{
+    // Feasible region extends to infinity along the objective after
+    // phase 1 finds a vertex: max x s.t. x >= 1.
+    LpProblem lp;
+    lp.objective = {1.0};
+    lp.addConstraint({1.0}, Relation::GreaterEqual, 1.0);
+    EXPECT_EQ(solveLp(lp).status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, BoundedAfterPhaseOne)
+{
+    // min x1 + x2 (as max of the negation) with covering rows: phase
+    // 1 must find a vertex, phase 2 a bounded optimum at (1, 1).
+    LpProblem lp;
+    lp.objective = {-1.0, -1.0};
+    lp.addConstraint({1.0, 0.0}, Relation::GreaterEqual, 1.0);
+    lp.addConstraint({0.0, 1.0}, Relation::GreaterEqual, 1.0);
+    lp.addConstraint({1.0, 1.0}, Relation::LessEqual, 10.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -2.0, 1e-7);
+    EXPECT_NEAR(sol.x[0], 1.0, 1e-7);
+    EXPECT_NEAR(sol.x[1], 1.0, 1e-7);
+}
+
+TEST(Simplex, ZeroObjectiveIsOptimalAnywhereFeasible)
+{
+    LpProblem lp;
+    lp.objective = {0.0, 0.0};
+    lp.addConstraint({1.0, 1.0}, Relation::LessEqual, 4.0);
+    const LpSolution sol = solveLp(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+}
+
+TEST(AssignmentLp, TiedValuesStayIntegral)
+{
+    // A constant matrix makes every permutation optimal; the LP must
+    // still return a 0/1 vertex (not a fractional interior point).
+    const std::vector<std::vector<double>> value(
+        4, std::vector<double>(4, 7.0));
+    const auto a = solveAssignmentLp(value);
+    std::vector<bool> used(4, false);
+    for (int j : a) {
+        ASSERT_GE(j, 0);
+        ASSERT_LT(j, 4);
+        EXPECT_FALSE(used[static_cast<std::size_t>(j)]);
+        used[static_cast<std::size_t>(j)] = true;
+    }
+}
+
 TEST(Simplex, RedundantEqualityHandled)
 {
     // Duplicate equality rows leave an artificial basic at zero.

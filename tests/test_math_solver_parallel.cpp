@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Determinism and thread-safety tests for the parallel solver layer:
+ * the flat-tableau simplex (parallel pricing/ratio-test/pivot), the
+ * placement SolverConfig path, batch admission, and the assignment
+ * solve memo. Labeled tier-tsan: a POCO_SANITIZE=thread build runs
+ * these suites to catch data races.
+ *
+ * The contract under test is the PR 1 determinism contract: every
+ * output field must be bit-identical for any thread count (serial,
+ * 1, 2, and 8 workers), even with the parallel cutoffs forced to
+ * zero so the pooled kernels actually run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "cluster/placement.hpp"
+#include "math/hungarian.hpp"
+#include "math/simplex.hpp"
+#include "math/solver_cache.hpp"
+#include "runtime/parallel.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::math
+{
+namespace
+{
+
+/** Cutoffs forced to the floor: every kernel takes the pooled path. */
+LpOptions
+forcedParallel(runtime::ThreadPool* pool)
+{
+    LpOptions options;
+    options.pool = pool;
+    options.pivotCutoff = 1;
+    options.pricingGrain = 4;
+    return options;
+}
+
+std::vector<std::vector<double>>
+randomValueMatrix(std::size_t rows, std::size_t cols,
+                  std::uint64_t seed)
+{
+    poco::Rng rng(seed);
+    std::vector<std::vector<double>> value(rows,
+                                           std::vector<double>(cols));
+    for (auto& row : value)
+        for (auto& v : row)
+            v = rng.uniform(0.0, 100.0);
+    return value;
+}
+
+/** A mixed-relation LP that exercises both simplex phases. */
+LpProblem
+mixedLp(std::uint64_t seed)
+{
+    poco::Rng rng(seed);
+    const std::size_t n = 6;
+    LpProblem lp;
+    for (std::size_t j = 0; j < n; ++j)
+        lp.objective.push_back(rng.uniform(1.0, 5.0));
+    // Bounded: positive-coefficient capacity rows.
+    for (int c = 0; c < 4; ++c) {
+        std::vector<double> coeffs(n);
+        for (auto& v : coeffs)
+            v = rng.uniform(0.5, 2.0);
+        lp.addConstraint(std::move(coeffs), Relation::LessEqual,
+                         rng.uniform(5.0, 20.0));
+    }
+    // Feasible phase-1 work: a loose covering row and an equality.
+    std::vector<double> cover(n, 1.0);
+    lp.addConstraint(std::move(cover), Relation::GreaterEqual, 1.0);
+    std::vector<double> eq(n, 0.0);
+    eq[0] = 1.0;
+    eq[1] = 1.0;
+    lp.addConstraint(std::move(eq), Relation::Equal, 2.0);
+    return lp;
+}
+
+void
+expectFieldExact(const LpSolution& a, const LpSolution& b)
+{
+    ASSERT_EQ(a.status, b.status);
+    EXPECT_EQ(a.objective, b.objective); // exact, not NEAR
+    ASSERT_EQ(a.x.size(), b.x.size());
+    for (std::size_t i = 0; i < a.x.size(); ++i)
+        EXPECT_EQ(a.x[i], b.x[i]) << "x[" << i << "]";
+}
+
+TEST(SimplexParallel, LpFieldExactForAnyThreadCount)
+{
+    for (std::uint64_t seed : {7u, 8u, 9u}) {
+        const LpProblem lp = mixedLp(seed);
+        const LpSolution serial = solveLp(lp);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            runtime::ThreadPool pool(threads);
+            const LpSolution pooled =
+                solveLp(lp, forcedParallel(&pool));
+            expectFieldExact(serial, pooled);
+        }
+    }
+}
+
+TEST(SimplexParallel, AssignmentLpFieldExactForAnyThreadCount)
+{
+    for (std::size_t n : {4u, 8u, 12u}) {
+        const auto value = randomValueMatrix(n, n, 100 + n);
+        const auto serial = solveAssignmentLp(value);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            runtime::ThreadPool pool(threads);
+            const auto pooled =
+                solveAssignmentLp(value, forcedParallel(&pool));
+            EXPECT_EQ(serial, pooled)
+                << "n=" << n << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SimplexParallel, TableauKernelsMatchSerialScan)
+{
+    // Pricing and ratio test through the pooled reductions must pick
+    // exactly the serial scan's column/row, including on ties.
+    runtime::ThreadPool pool(4);
+    SimplexTableau t(6, 24);
+    poco::Rng rng(42);
+    for (std::size_t r = 0; r < 6; ++r) {
+        for (std::size_t c = 0; c < 24; ++c)
+            t.at(r, c) = rng.uniform(-1.0, 1.0);
+        t.rhs(r) = rng.uniform(0.0, 4.0);
+        t.basis()[r] = 18 + r;
+    }
+    // Duplicate reduced costs force tie-breaks.
+    for (std::size_t c = 0; c < 24; ++c)
+        t.at(6, c) = (c % 5 == 2) ? 3.5 : -1.0;
+    const std::size_t serial_enter = t.priceDantzig();
+    const std::size_t pooled_enter =
+        t.priceDantzig(forcedParallel(&pool));
+    EXPECT_EQ(serial_enter, pooled_enter);
+    EXPECT_EQ(serial_enter, 2u); // first of the tied maxima
+
+    const std::size_t serial_leave = t.ratioTest(serial_enter);
+    const std::size_t pooled_leave =
+        t.ratioTest(serial_enter, forcedParallel(&pool));
+    EXPECT_EQ(serial_leave, pooled_leave);
+}
+
+TEST(SimplexParallel, ParallelReduceFloatSumBitIdentical)
+{
+    // The chunk layout is a pure function of (n, grain), so even a
+    // non-associative float sum reduces bit-identically for any pool.
+    poco::Rng rng(5);
+    std::vector<double> data(10'000);
+    for (auto& v : data)
+        v = rng.uniform(-1.0, 1.0);
+    auto sum = [&](runtime::ThreadPool* pool) {
+        return runtime::parallelReduce(
+            pool, data.size(), 0.0,
+            [&](double acc, std::size_t i) { return acc + data[i]; },
+            [](double a, double b) { return a + b; },
+            /*grain=*/128);
+    };
+    const double serial = sum(nullptr);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        runtime::ThreadPool pool(threads);
+        EXPECT_EQ(serial, sum(&pool)) << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace poco::math
+
+namespace poco::cluster
+{
+namespace
+{
+
+PerformanceMatrix
+randomMatrix(std::size_t n_be, std::size_t n_srv, std::uint64_t seed)
+{
+    poco::Rng rng(seed);
+    PerformanceMatrix matrix;
+    matrix.value.assign(n_be, std::vector<double>(n_srv, 0.0));
+    for (std::size_t i = 0; i < n_be; ++i) {
+        matrix.beNames.push_back("be-" + std::to_string(i));
+        for (std::size_t j = 0; j < n_srv; ++j)
+            matrix.value[i][j] = rng.uniform(0.0, 100.0);
+    }
+    for (std::size_t j = 0; j < n_srv; ++j)
+        matrix.lcNames.push_back("lc-" + std::to_string(j));
+    return matrix;
+}
+
+SolverConfig
+forcedParallel(runtime::ThreadPool* pool,
+               math::AssignmentCache* cache = nullptr)
+{
+    SolverConfig config;
+    config.pool = pool;
+    config.cache = cache;
+    config.pivotCutoff = 1;
+    config.pricingGrain = 4;
+    return config;
+}
+
+TEST(PlacementParallel, ExactKindsFieldExactForAnyThreadCount)
+{
+    const PerformanceMatrix matrix = randomMatrix(6, 6, 11);
+    for (PlacementKind kind :
+         {PlacementKind::Lp, PlacementKind::Hungarian,
+          PlacementKind::Exhaustive}) {
+        const auto serial = place(matrix, kind);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            runtime::ThreadPool pool(threads);
+            EXPECT_EQ(serial, place(matrix, kind,
+                                    forcedParallel(&pool)))
+                << placementKindName(kind) << " threads=" << threads;
+        }
+    }
+}
+
+TEST(PlacementParallel, DeterministicOverloadRejectsRandom)
+{
+    const PerformanceMatrix matrix = randomMatrix(3, 3, 12);
+    EXPECT_THROW(place(matrix, PlacementKind::Random),
+                 poco::FatalError);
+}
+
+TEST(PlacementParallel, AdmitAndPlaceFieldExactForAnyThreadCount)
+{
+    const PerformanceMatrix matrix = randomMatrix(10, 4, 13);
+    const auto serial = admitAndPlace(matrix);
+    int admitted = 0;
+    for (int s : serial)
+        if (s >= 0)
+            ++admitted;
+    EXPECT_EQ(admitted, 4);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        runtime::ThreadPool pool(threads);
+        EXPECT_EQ(serial, admitAndPlace(matrix,
+                                        forcedParallel(&pool)));
+    }
+}
+
+TEST(PlacementParallel, CacheReturnsMemoizedSolution)
+{
+    const PerformanceMatrix matrix = randomMatrix(5, 5, 14);
+    math::AssignmentCache cache;
+    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const auto first = place(matrix, PlacementKind::Lp, cached);
+    const auto second = place(matrix, PlacementKind::Lp, cached);
+    EXPECT_EQ(first, second);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(PlacementParallel, CacheKeysOnKindAndContent)
+{
+    PerformanceMatrix matrix = randomMatrix(4, 4, 15);
+    math::AssignmentCache cache;
+    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const auto lp = place(matrix, PlacementKind::Lp, cached);
+    const auto hungarian =
+        place(matrix, PlacementKind::Hungarian, cached);
+    // Same optimum, but memoized under distinct tags.
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_EQ(placementValue(matrix, lp),
+              placementValue(matrix, hungarian));
+    // A one-ulp perturbation is a different key: no stale hit.
+    matrix.value[0][0] =
+        std::nextafter(matrix.value[0][0], 1e300);
+    place(matrix, PlacementKind::Lp, cached);
+    EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(PlacementParallel, AdmissionMemoHitsAcrossRounds)
+{
+    const PerformanceMatrix matrix = randomMatrix(9, 3, 16);
+    math::AssignmentCache cache;
+    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const auto round1 = admitAndPlace(matrix, cached);
+    const auto round2 = admitAndPlace(matrix, cached);
+    EXPECT_EQ(round1, round2);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(round1, admitAndPlace(matrix)); // uncached oracle
+}
+
+TEST(PlacementParallel, CacheIsThreadSafeUnderContention)
+{
+    // Many tasks race to solve the same four matrices through one
+    // shared cache; every result must equal the serial oracle. Run
+    // under POCO_SANITIZE=thread (tier-tsan) to certify no races.
+    constexpr std::size_t kMatrices = 4;
+    std::vector<PerformanceMatrix> matrices;
+    std::vector<std::vector<int>> expected;
+    for (std::size_t k = 0; k < kMatrices; ++k) {
+        matrices.push_back(randomMatrix(6, 6, 20 + k));
+        expected.push_back(
+            place(matrices.back(), PlacementKind::Hungarian));
+    }
+    math::AssignmentCache cache;
+    runtime::ThreadPool pool(8);
+    std::atomic<int> mismatches{0};
+    runtime::parallelFor(&pool, 64, [&](std::size_t i) {
+        SolverConfig config;
+        config.cache = &cache;
+        const std::size_t k = i % kMatrices;
+        const auto got =
+            place(matrices[k], PlacementKind::Hungarian, config);
+        if (got != expected[k])
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(mismatches.load(), 0);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, 64u);
+    EXPECT_GE(stats.misses, kMatrices);
+    EXPECT_EQ(stats.entries, kMatrices);
+}
+
+} // namespace
+} // namespace poco::cluster
