@@ -1,5 +1,6 @@
 #include "cluster/cluster_evaluator.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "model/fitter.hpp"
@@ -153,6 +154,198 @@ ClusterEvaluator::placeBe(PlacementKind kind, std::uint64_t seed) const
         return place(matrix_, kind, rng);
     }
     return place(matrix_, kind, solverConfig());
+}
+
+bool
+ClusterEvaluator::modelsHealthy() const
+{
+    if (config_.minPerfR2 <= 0.0 && config_.minPowerR2 <= 0.0)
+        return true;
+    const auto ok = [&](const model::CobbDouglasUtility& u) {
+        return u.perfR2 >= config_.minPerfR2 &&
+               u.powerR2 >= config_.minPowerR2;
+    };
+    for (const auto& m : lc_models_)
+        if (!ok(m.utility))
+            return false;
+    for (const auto& m : be_models_)
+        if (!ok(m.utility))
+            return false;
+    return true;
+}
+
+std::vector<int>
+ClusterEvaluator::placeConservative(const std::vector<int>& up) const
+{
+    const std::size_t n_be = apps_->be.size();
+    std::vector<int> assignment(n_be, -1);
+    const std::size_t placed = std::min(n_be, up.size());
+    for (std::size_t k = 0; k < placed; ++k)
+        assignment[k] = up[k];
+    return assignment;
+}
+
+PlacementReport
+ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
+                                const FallbackOptions& options) const
+{
+    const std::size_t n_be = apps_->be.size();
+    const std::size_t n_srv = apps_->lc.size();
+    POCO_REQUIRE(!up.empty(), "robust placement needs a survivor");
+    for (std::size_t k = 0; k < up.size(); ++k) {
+        POCO_REQUIRE(up[k] >= 0 &&
+                     static_cast<std::size_t>(up[k]) < n_srv,
+                     "surviving server index out of range");
+        POCO_REQUIRE(k == 0 || up[k] > up[k - 1],
+                     "surviving servers must be strictly increasing");
+    }
+
+    // Which BEs compete this round: all of them when they fit,
+    // otherwise the |up| with the highest best-case surviving cell
+    // (lowest index wins ties). The rest park until capacity
+    // returns.
+    std::vector<std::size_t> rows(n_be);
+    for (std::size_t i = 0; i < n_be; ++i)
+        rows[i] = i;
+    if (n_be > up.size()) {
+        std::vector<double> score(n_be, 0.0);
+        for (std::size_t i = 0; i < n_be; ++i)
+            for (const int j : up)
+                score[i] =
+                    std::max(score[i],
+                             matrix_.value[i]
+                                          [static_cast<std::size_t>(
+                                              j)]);
+        std::stable_sort(rows.begin(), rows.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return score[a] > score[b];
+                         });
+        rows.resize(up.size());
+        std::sort(rows.begin(), rows.end());
+    }
+
+    PlacementReport report;
+    if (!modelsHealthy()) {
+        // The preference matrix is built from fits we no longer
+        // trust: place preference-free instead of optimizing noise.
+        report.assignment.assign(n_be, -1);
+        for (std::size_t k = 0; k < rows.size(); ++k)
+            report.assignment[rows[k]] = up[k];
+        report.used = PlacementKind::Greedy;
+        report.conservative = true;
+        return report;
+    }
+
+    PerformanceMatrix sub;
+    sub.value.resize(rows.size());
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+        sub.beNames.push_back(matrix_.beNames[rows[k]]);
+        for (const int j : up)
+            sub.value[k].push_back(
+                matrix_.value[rows[k]][static_cast<std::size_t>(j)]);
+    }
+    for (const int j : up)
+        sub.lcNames.push_back(
+            matrix_.lcNames[static_cast<std::size_t>(j)]);
+
+    const PlacementReport solved =
+        placeWithFallback(sub, solverConfig(), options);
+    report.used = solved.used;
+    report.attempts = solved.attempts;
+    report.conservative = solved.conservative;
+    report.assignment.assign(n_be, -1);
+    for (std::size_t k = 0; k < rows.size(); ++k)
+        report.assignment[rows[k]] =
+            up[static_cast<std::size_t>(solved.assignment[k])];
+    return report;
+}
+
+ClusterFaultOutcome
+ClusterEvaluator::runWithServerFaults(
+    const fault::FaultPlan& plan, ManagerKind kind,
+    const FallbackOptions& options) const
+{
+    const std::size_t n_srv = apps_->lc.size();
+    const fault::FaultPlan crashes =
+        plan.ofKind(fault::FaultKind::ServerCrash);
+    for (const auto& w : crashes.windows())
+        POCO_REQUIRE(w.server < static_cast<int>(n_srv),
+                     "crash window targets a server outside the "
+                     "cluster");
+
+    ClusterFaultOutcome out;
+    out.horizon = std::max(plan.horizon(), SimTime(1));
+
+    // Epoch boundaries: every crash transition inside the horizon.
+    std::vector<SimTime> cuts{0, out.horizon};
+    for (const auto& w : crashes.windows()) {
+        if (w.start < out.horizon)
+            cuts.push_back(w.start);
+        if (w.end < out.horizon)
+            cuts.push_back(w.end);
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+    double weighted = 0.0;
+    const std::vector<int>* prev = nullptr;
+    for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+        ClusterFaultEpoch epoch;
+        epoch.start = cuts[c];
+        epoch.end = cuts[c + 1];
+        // Windows are half-open and cut at every transition, so a
+        // window covering the epoch start covers the whole epoch.
+        std::vector<int> up;
+        for (std::size_t j = 0; j < n_srv; ++j) {
+            bool is_down = false;
+            for (const auto& w : crashes.windows())
+                if ((w.server < 0 ||
+                     w.server == static_cast<int>(j)) &&
+                    w.covers(epoch.start))
+                    is_down = true;
+            if (is_down)
+                epoch.down.push_back(static_cast<int>(j));
+            else
+                up.push_back(static_cast<int>(j));
+        }
+
+        if (up.empty()) {
+            // Total outage: nothing to place, nothing to run.
+            epoch.placement.assignment.assign(apps_->be.size(), -1);
+            epoch.placement.conservative = true;
+        } else {
+            epoch.placement = placeBeRobust(up, options);
+        }
+        for (const int j : epoch.placement.assignment)
+            if (j < 0)
+                ++epoch.unplaced;
+        out.solverAttempts += epoch.placement.attempts;
+        if (epoch.placement.conservative)
+            ++out.conservativeEpochs;
+        out.unplacedBeEpochs += epoch.unplaced;
+        if (prev != nullptr &&
+            !(epoch.placement.assignment == *prev))
+            ++out.replacements;
+
+        // Steady-state outcome of the epoch's placement, from the
+        // (memoized) pair simulations.
+        for (std::size_t i = 0;
+             i < epoch.placement.assignment.size(); ++i) {
+            const int j = epoch.placement.assignment[i];
+            if (j < 0)
+                continue;
+            epoch.beThroughput +=
+                runPair(static_cast<std::size_t>(j),
+                        static_cast<int>(i), kind)
+                    .run.stats.averageBeThroughput();
+        }
+        weighted += epoch.beThroughput *
+                    toSeconds(epoch.end - epoch.start);
+        out.epochs.push_back(std::move(epoch));
+        prev = &out.epochs.back().placement.assignment;
+    }
+    out.timeWeightedThroughput = weighted / toSeconds(out.horizon);
+    return out;
 }
 
 std::unique_ptr<server::PrimaryController>

@@ -27,6 +27,7 @@
 
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
+#include "fault/fault_plan.hpp"
 #include "math/solver_cache.hpp"
 #include "model/profiler.hpp"
 #include "runtime/thread_pool.hpp"
@@ -100,6 +101,14 @@ struct EvaluatorConfig
      * settings — only wall-clock does.
      */
     SolverConfig solver;
+    /**
+     * Fit-health gate for robust placement: when any fitted model's
+     * perf/power R^2 falls below these thresholds, placeBeRobust()
+     * stops trusting the preference matrix and uses the conservative
+     * preference-free allocation instead. 0 disables the gate.
+     */
+    double minPerfR2 = 0.0;
+    double minPowerR2 = 0.0;
 };
 
 /** Result of one managed (LC, BE) pairing. */
@@ -120,6 +129,42 @@ struct ClusterOutcome
     double meanPowerUtilization() const;
     double totalEnergyJoules() const;
     double maxSloViolationFraction() const;
+};
+
+/**
+ * One stable interval of a crash-plan evaluation: the set of down
+ * servers is constant over [start, end) and the placement below was
+ * computed over the survivors.
+ */
+struct ClusterFaultEpoch
+{
+    SimTime start = 0;
+    SimTime end = 0;
+    /** Servers offline throughout the epoch. */
+    std::vector<int> down;
+    /** Full-cluster indices; assignment[i] = -1 parks BE i. */
+    PlacementReport placement;
+    /** BE apps no surviving server could take this epoch. */
+    int unplaced = 0;
+    /** Cluster BE throughput while the epoch holds (units/s). */
+    double beThroughput = 0.0;
+};
+
+/** Aggregates of runWithServerFaults. */
+struct ClusterFaultOutcome
+{
+    std::vector<ClusterFaultEpoch> epochs;
+    SimTime horizon = 0;
+    /** Epochs whose assignment differs from the previous one. */
+    int replacements = 0;
+    /** Total placeWithFallback attempts across every epoch. */
+    int solverAttempts = 0;
+    /** Epochs placed by the preference-free conservative path. */
+    int conservativeEpochs = 0;
+    /** Sum of per-epoch unplaced BE counts. */
+    int unplacedBeEpochs = 0;
+    /** Duration-weighted mean cluster BE throughput (units/s). */
+    double timeWeightedThroughput = 0.0;
 };
 
 /** The full evaluation pipeline over one application set. */
@@ -159,6 +204,42 @@ class ClusterEvaluator
     /** Placement under the given algorithm (deterministic seed). */
     std::vector<int> placeBe(PlacementKind kind,
                              std::uint64_t seed = 1) const;
+
+    /** True when every fitted model clears the config's R^2 gate. */
+    bool modelsHealthy() const;
+
+    /**
+     * Preference-free conservative allocation over the surviving
+     * servers @p up: BE k runs on the k-th survivor, extra BEs are
+     * parked (-1). Used when the fitted models cannot be trusted.
+     * Full-cluster indices in, full-cluster indices out.
+     */
+    std::vector<int>
+    placeConservative(const std::vector<int>& up) const;
+
+    /**
+     * Degradation-hardened placement over the surviving servers
+     * @p up (full-cluster indices, strictly increasing): gates on
+     * modelsHealthy(), drops the lowest-value BEs when they
+     * outnumber survivors, and solves the surviving sub-matrix via
+     * the LP -> Hungarian -> Greedy fallback chain. The returned
+     * assignment uses full-cluster indices with -1 for parked BEs.
+     */
+    PlacementReport
+    placeBeRobust(const std::vector<int>& up,
+                  const FallbackOptions& options = {}) const;
+
+    /**
+     * Evaluate the cluster under a crash schedule: cut the plan's
+     * ServerCrash windows into stable epochs, re-place the BEs over
+     * each epoch's survivors (bounded retries via the fallback
+     * chain), and weight each epoch's steady-state outcome by its
+     * duration. Non-crash windows in @p plan are ignored here — the
+     * server-level injector consumes those.
+     */
+    ClusterFaultOutcome
+    runWithServerFaults(const fault::FaultPlan& plan, ManagerKind kind,
+                        const FallbackOptions& options = {}) const;
 
     /**
      * Run one (LC, BE) pairing over the stepped load schedule with

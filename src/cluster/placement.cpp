@@ -32,6 +32,39 @@ lpOptions(const SolverConfig& config)
     return options;
 }
 
+/** Repeated argmax; lowest (row, col) wins ties. */
+std::vector<int>
+solveGreedy(const PerformanceMatrix& matrix)
+{
+    const std::size_t rows = matrix.value.size();
+    const std::size_t cols = matrix.value.front().size();
+    std::vector<int> assignment(rows, -1);
+    std::vector<bool> col_used(cols, false);
+    for (std::size_t step = 0; step < rows; ++step) {
+        std::size_t best_i = 0, best_j = 0;
+        double best = 0.0;
+        bool found = false;
+        for (std::size_t i = 0; i < rows; ++i) {
+            if (assignment[i] >= 0)
+                continue;
+            for (std::size_t j = 0; j < cols; ++j) {
+                if (col_used[j])
+                    continue;
+                if (!found || matrix.value[i][j] > best) {
+                    best = matrix.value[i][j];
+                    best_i = i;
+                    best_j = j;
+                    found = true;
+                }
+            }
+        }
+        POCO_ASSERT(found, "greedy ran out of columns");
+        assignment[best_i] = static_cast<int>(best_j);
+        col_used[best_j] = true;
+    }
+    return assignment;
+}
+
 /** Run the named exact solver (no memo). */
 std::vector<int>
 solveExact(const PerformanceMatrix& matrix, PlacementKind kind,
@@ -45,6 +78,8 @@ solveExact(const PerformanceMatrix& matrix, PlacementKind kind,
         return math::solveAssignmentMax(matrix.value);
       case PlacementKind::Exhaustive:
         return math::solveAssignmentExhaustive(matrix.value);
+      case PlacementKind::Greedy:
+        return solveGreedy(matrix);
       case PlacementKind::Random:
         break;
     }
@@ -61,6 +96,7 @@ placementKindName(PlacementKind kind)
       case PlacementKind::Lp:         return "lp";
       case PlacementKind::Hungarian:  return "hungarian";
       case PlacementKind::Exhaustive: return "exhaustive";
+      case PlacementKind::Greedy:     return "greedy";
     }
     return "?";
 }
@@ -147,6 +183,58 @@ admitAndPlace(const PerformanceMatrix& matrix,
     // Memoized across admission rounds: the queue-drain loop asks
     // again every round, usually with an unchanged matrix.
     return config.cache->getOrCompute("admit", matrix.value, solve);
+}
+
+PlacementReport
+placeWithFallback(const PerformanceMatrix& matrix,
+                  const SolverConfig& config,
+                  const FallbackOptions& options)
+{
+    validateMatrix(matrix);
+    POCO_REQUIRE(options.maxAttemptsPerStage >= 1,
+                 "fallback needs at least one attempt per stage");
+
+    PlacementReport report;
+    static constexpr PlacementKind kChain[] = {
+        PlacementKind::Lp,
+        PlacementKind::Hungarian,
+        PlacementKind::Greedy,
+    };
+    for (const PlacementKind kind : kChain) {
+        for (int attempt = 0;
+             attempt < options.maxAttemptsPerStage; ++attempt) {
+            ++report.attempts;
+            try {
+                if (options.failInjection &&
+                    options.failInjection(kind, attempt))
+                    poco::fatal(
+                        std::string("injected solver failure: ") +
+                        placementKindName(kind));
+                // Bypass the memo on retries: a cached result would
+                // short-circuit genuine recomputation, and a failed
+                // stage must not poison the cache either way.
+                SolverConfig stage = config;
+                if (attempt > 0)
+                    stage.cache = nullptr;
+                report.assignment = kind == PlacementKind::Greedy
+                                        ? solveGreedy(matrix)
+                                        : place(matrix, kind, stage);
+                report.used = kind;
+                return report;
+            } catch (const FatalError&) {
+                // Fall through to the next attempt or solver.
+            }
+        }
+    }
+    // Terminal fallback: the preference-free identity map. Always
+    // feasible (#BE <= #servers) and requires no solver at all.
+    const std::size_t rows = matrix.value.size();
+    report.assignment.resize(rows);
+    for (std::size_t i = 0; i < rows; ++i)
+        report.assignment[i] = static_cast<int>(i);
+    report.used = PlacementKind::Greedy;
+    report.conservative = true;
+    return report;
 }
 
 } // namespace poco::cluster

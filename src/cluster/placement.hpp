@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "cluster/performance_matrix.hpp"
@@ -44,6 +45,12 @@ enum class PlacementKind
     Lp,
     Hungarian,
     Exhaustive,
+    /**
+     * Repeated argmax with lowest-index tie-breaks: not optimal, but
+     * O(n^3), allocation-light, and with no numerical pivoting to go
+     * wrong — the last resort of the degradation fallback chain.
+     */
+    Greedy,
 };
 
 const char* placementKindName(PlacementKind kind);
@@ -105,5 +112,42 @@ double placementValue(const PerformanceMatrix& matrix,
  */
 std::vector<int> admitAndPlace(const PerformanceMatrix& matrix,
                                const SolverConfig& config = {});
+
+/** Retry/fallback knobs for placeWithFallback. */
+struct FallbackOptions
+{
+    /** Attempts per chain stage before falling to the next solver. */
+    int maxAttemptsPerStage = 2;
+    /**
+     * Test/bench hook: return true to make (kind, attempt) fail as
+     * if the solver had thrown. Null injects nothing.
+     */
+    std::function<bool(PlacementKind, int attempt)> failInjection;
+};
+
+/** What placeWithFallback actually did. */
+struct PlacementReport
+{
+    /** assignment[i] = server for BE i (never empty on return). */
+    std::vector<int> assignment;
+    /** The solver that produced the assignment. */
+    PlacementKind used = PlacementKind::Greedy;
+    /** Total solver attempts across every stage (>= 1). */
+    int attempts = 0;
+    /** True when every stage failed and the identity map was used. */
+    bool conservative = false;
+};
+
+/**
+ * Degradation-hardened placement: walk the LP -> Hungarian -> Greedy
+ * chain, giving each solver options.maxAttemptsPerStage tries and
+ * catching poco::FatalError between them. If the whole chain fails
+ * the terminal fallback is the preference-free identity assignment
+ * (BE i -> server i), which is always feasible since #BE <= #servers
+ * — so this function never throws for a valid matrix.
+ */
+PlacementReport placeWithFallback(const PerformanceMatrix& matrix,
+                                  const SolverConfig& config = {},
+                                  const FallbackOptions& options = {});
 
 } // namespace poco::cluster

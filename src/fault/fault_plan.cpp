@@ -1,0 +1,204 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::fault
+{
+
+namespace
+{
+
+/** Every generated kind, paired with its config rate accessor. */
+struct KindRate
+{
+    FaultKind kind;
+    double rate; ///< events per simulated minute per server
+};
+
+std::vector<KindRate>
+kindRates(const FaultPlanConfig& config)
+{
+    return {
+        {FaultKind::SensorStuck, config.sensorStuckRate},
+        {FaultKind::SensorDropout, config.sensorDropoutRate},
+        {FaultKind::SensorBias, config.sensorBiasRate},
+        {FaultKind::ActuatorStuck, config.actuatorStuckRate},
+        {FaultKind::TelemetryStale, config.telemetryStaleRate},
+        {FaultKind::ServerCrash, config.crashRate},
+        {FaultKind::LoadSpike, config.loadSpikeRate},
+    };
+}
+
+/** Exponential deviate with the given mean (mean > 0). */
+double
+exponential(Rng& rng, double mean)
+{
+    // uniform() is in [0, 1), so 1 - u is in (0, 1] and log is finite.
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+bool
+windowLess(const FaultWindow& a, const FaultWindow& b)
+{
+    if (a.start != b.start)
+        return a.start < b.start;
+    if (a.end != b.end)
+        return a.end < b.end;
+    if (a.server != b.server)
+        return a.server < b.server;
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::SensorStuck:    return "sensor-stuck";
+      case FaultKind::SensorDropout:  return "sensor-dropout";
+      case FaultKind::SensorBias:     return "sensor-bias";
+      case FaultKind::ActuatorStuck:  return "actuator-stuck";
+      case FaultKind::TelemetryStale: return "telemetry-stale";
+      case FaultKind::ServerCrash:    return "server-crash";
+      case FaultKind::LoadSpike:      return "load-spike";
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::generate(const FaultPlanConfig& config)
+{
+    POCO_REQUIRE(config.horizon >= 0, "plan horizon must be >= 0");
+    POCO_REQUIRE(config.servers >= 1, "plan needs at least one server");
+    POCO_REQUIRE(config.meanDuration > 0,
+                 "mean fault duration must be positive");
+    for (const KindRate& kr : kindRates(config))
+        POCO_REQUIRE(kr.rate >= 0.0, "fault rates must be >= 0");
+
+    constexpr SimTime kMinDuration = 100 * kMillisecond;
+
+    FaultPlan plan;
+    if (config.horizon == 0)
+        return plan;
+
+    // Each (kind, server) pair owns an independent split stream, so a
+    // server's schedule does not depend on the other servers or on
+    // generation order.
+    const Rng root(config.seed ^ 0xfa017a4cb5e90d13ULL);
+    for (int s = 0; s < config.servers; ++s) {
+        for (const KindRate& kr : kindRates(config)) {
+            if (kr.rate <= 0.0)
+                continue;
+            const std::uint64_t stream =
+                (static_cast<std::uint64_t>(s) << 8) |
+                static_cast<std::uint64_t>(kr.kind);
+            Rng rng = root.split(stream);
+            SimTime t = 0;
+            while (true) {
+                t += fromSeconds(
+                    exponential(rng, toSeconds(kMinute) / kr.rate));
+                if (t >= config.horizon)
+                    break;
+                SimTime dur = fromSeconds(exponential(
+                    rng, toSeconds(config.meanDuration)));
+                dur = std::max(dur, kMinDuration);
+                const SimTime end =
+                    std::min<SimTime>(t + dur, config.horizon);
+
+                FaultWindow w;
+                w.start = t;
+                w.end = end;
+                w.kind = kr.kind;
+                w.server = s;
+                switch (kr.kind) {
+                  case FaultKind::SensorBias:
+                    // Fixed |bias| with a random sign per window.
+                    w.magnitude = rng.bernoulli(0.5)
+                                      ? config.biasMagnitude
+                                      : -config.biasMagnitude;
+                    break;
+                  case FaultKind::LoadSpike:
+                    w.magnitude = config.spikeMagnitude;
+                    break;
+                  default:
+                    w.magnitude = 0.0;
+                    break;
+                }
+                plan.windows_.push_back(w);
+                // Next arrival is drawn from the window's end so the
+                // same kind never overlaps itself on one server.
+                t = end;
+            }
+        }
+    }
+    std::sort(plan.windows_.begin(), plan.windows_.end(), windowLess);
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromWindows(std::vector<FaultWindow> windows)
+{
+    for (const FaultWindow& w : windows)
+        POCO_REQUIRE(w.end > w.start,
+                     "fault window must have positive duration");
+    FaultPlan plan;
+    plan.windows_ = std::move(windows);
+    std::sort(plan.windows_.begin(), plan.windows_.end(), windowLess);
+    return plan;
+}
+
+SimTime
+FaultPlan::horizon() const
+{
+    SimTime last = 0;
+    for (const FaultWindow& w : windows_)
+        last = std::max(last, w.end);
+    return last;
+}
+
+FaultPlan
+FaultPlan::forServer(int server) const
+{
+    FaultPlan out;
+    for (const FaultWindow& w : windows_)
+        if (w.server < 0 || w.server == server)
+            out.windows_.push_back(w);
+    return out;
+}
+
+FaultPlan
+FaultPlan::ofKind(FaultKind kind) const
+{
+    FaultPlan out;
+    for (const FaultWindow& w : windows_)
+        if (w.kind == kind)
+            out.windows_.push_back(w);
+    return out;
+}
+
+std::uint64_t
+FaultPlan::fingerprint() const
+{
+    SplitMix64 mix(0x7061c0105f4a7c15ULL + windows_.size());
+    std::uint64_t h = mix.next();
+    const auto fold = [&h](std::uint64_t bits) {
+        h = SplitMix64(h ^ bits).next();
+    };
+    for (const FaultWindow& w : windows_) {
+        fold(static_cast<std::uint64_t>(w.start));
+        fold(static_cast<std::uint64_t>(w.end));
+        fold(static_cast<std::uint64_t>(w.kind));
+        fold(std::bit_cast<std::uint64_t>(w.magnitude));
+        fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(w.server)));
+    }
+    return h;
+}
+
+} // namespace poco::fault

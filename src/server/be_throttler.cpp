@@ -41,13 +41,22 @@ sim::Allocation
 BeThrottler::decideAt(const ColocatedServer& server, std::size_t slot,
                       SimTime now) const
 {
+    return decideAt(server, slot, now,
+                    server.meter().average(now, config_.window));
+}
+
+sim::Allocation
+BeThrottler::decideAt(const ColocatedServer& server, std::size_t slot,
+                      SimTime now, Watts measured) const
+{
+    (void)now;
     sim::Allocation alloc = server.beAllocAt(slot);
     if (alloc.empty())
         return alloc;
 
     const sim::ServerSpec& spec = server.spec();
     const Watts cap = server.powerCap();
-    const Watts avg = server.meter().average(now, config_.window);
+    const Watts avg = measured;
 
     const bool can_lower_freq = alloc.freq > spec.freqMin + 1e-9;
     const bool can_lower_duty =

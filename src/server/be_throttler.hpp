@@ -71,6 +71,18 @@ class BeThrottler
     sim::Allocation decideAt(const ColocatedServer& server,
                              std::size_t slot, SimTime now) const;
 
+    /**
+     * The same decision against an externally supplied power reading
+     * @p measured instead of the server's own meter — the seam the
+     * fault injector feeds falsified readings through. A non-finite
+     * reading satisfies neither comparison, so the throttler holds
+     * its current allocation. decideAt(server, slot, now) is exactly
+     * this overload fed the meter's trailing-window average.
+     */
+    sim::Allocation decideAt(const ColocatedServer& server,
+                             std::size_t slot, SimTime now,
+                             Watts measured) const;
+
   private:
     ThrottlerConfig config_;
 };

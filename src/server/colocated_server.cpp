@@ -260,6 +260,8 @@ ColocatedServer::integrate(SimTime now)
         stats_.sloViolationTime += dt;
     if (throttled)
         stats_.cappedTime += dt;
+    stats_.capOvershootJoules +=
+        std::max(0.0, p - power_cap_) * toSeconds(dt);
     stats_.maxPower = std::max(stats_.maxPower, p);
     last_integrated_ = now;
 }

@@ -39,6 +39,8 @@ struct ServerStats
     SimTime sloViolationTime = 0; ///< time with p99 above the SLO
     SimTime cappedTime = 0;       ///< time any BE app ran throttled
     Watts maxPower = 0.0;
+    /** Integral of max(0, power - cap) — ground-truth cap damage. */
+    double capOvershootJoules = 0.0;
 
     Watts averagePower() const;
     Rps averageBeThroughput() const;

@@ -1,5 +1,8 @@
 #include "server/server_manager.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <utility>
 
 #include "runtime/parallel.hpp"
@@ -24,6 +27,14 @@ ServerManager::ServerManager(
 }
 
 void
+ServerManager::setFaultInjector(fault::FaultInjector* injector)
+{
+    POCO_REQUIRE(queue_ == nullptr,
+                 "wire the injector before attaching the manager");
+    injector_ = injector;
+}
+
+void
 ServerManager::attach(sim::EventQueue& queue)
 {
     POCO_REQUIRE(queue_ == nullptr, "manager already attached");
@@ -44,8 +55,13 @@ ServerManager::attach(sim::EventQueue& queue)
 void
 ServerManager::loadTick(SimTime now)
 {
-    server_->setLoad(now,
-                     trace_.at(now) * server_->lc().peakLoad());
+    double fraction = trace_.at(now);
+    if (injector_ != nullptr)
+        // Spikes stack multiplicatively but saturate at the app's
+        // peak: the front-end load balancer cannot offer more.
+        fraction = std::min(1.0,
+                            fraction * injector_->loadFactor(now));
+    server_->setLoad(now, fraction * server_->lc().peakLoad());
     queue_->schedule(now + config_.loadPeriod,
                      [this](SimTime t) { loadTick(t); });
 }
@@ -61,8 +77,11 @@ ServerManager::controlTick(SimTime now)
     // With a single secondary, hand it the whole spare, preserving
     // its current throttle state (frequency and duty cycle). With
     // spatial sharing (2+ slots) the slices are placed explicitly by
-    // the planner and only clipped by primary growth.
-    if (server_->secondaryCount() == 1 && server_->be() != nullptr) {
+    // the planner and only clipped by primary growth. While the
+    // watchdog holds the server degraded the hand-off is frozen, so
+    // a clamped or evicted secondary is not silently re-expanded.
+    if (server_->secondaryCount() == 1 && server_->be() != nullptr &&
+        !degraded_) {
         const sim::Allocation spare =
             sim::spareOf(server_->primaryAlloc(), server_->spec());
         sim::Allocation be = server_->beAlloc();
@@ -70,11 +89,36 @@ ServerManager::controlTick(SimTime now)
         be.cores = spare.cores;
         be.ways = spare.ways;
         if (parked) {
-            be.freq = server_->spec().freqMax;
-            be.dutyCycle = 1.0;
+            // After recovering from degraded mode, re-admit at the
+            // conservative floor and let the throttler release it
+            // step by step (hysteresis against flapping).
+            be.freq = conservative_regrant_
+                          ? server_->spec().freqMin
+                          : server_->spec().freqMax;
+            be.dutyCycle = conservative_regrant_
+                               ? config_.throttler.minDutyCycle
+                               : 1.0;
         }
         if (!(be == server_->beAlloc()))
             server_->setBeAlloc(now, be);
+        conservative_regrant_ = false;
+    } else if (server_->secondaryCount() == 1 &&
+               server_->be() != nullptr &&
+               !server_->beAlloc().empty()) {
+        // Degraded: the secondary still follows the primary's
+        // footprint (way power is frequency-independent, so holding
+        // stale cores/ways would overshoot the cap when the primary
+        // grows) but at the clamp floor. An evicted secondary stays
+        // parked until recovery.
+        const sim::Allocation spare =
+            sim::spareOf(server_->primaryAlloc(), server_->spec());
+        sim::Allocation be = server_->beAlloc();
+        be.cores = spare.cores;
+        be.ways = spare.ways;
+        be.freq = server_->spec().freqMin;
+        be.dutyCycle = config_.throttler.minDutyCycle;
+        if (!(be == server_->beAlloc()))
+            applyBeAlloc(now, 0, be);
     }
 
     // Slack bookkeeping for result().
@@ -92,18 +136,201 @@ void
 ServerManager::throttleTick(SimTime now)
 {
     server_->advanceTo(now);
-    for (std::size_t slot = 0; slot < server_->secondaryCount();
-         ++slot) {
-        if (server_->beAppAt(slot) == nullptr ||
-            server_->beAllocAt(slot).empty())
-            continue;
-        const sim::Allocation next =
-            throttler_.decideAt(*server_, slot, now);
-        if (!(next == server_->beAllocAt(slot)))
-            server_->setBeAllocAt(now, slot, next);
+    const Watts measured = measuredPower(now);
+    const bool hold =
+        watchdogArmed() && watchdogTick(now, measured);
+    if (!hold) {
+        for (std::size_t slot = 0; slot < server_->secondaryCount();
+             ++slot) {
+            if (server_->beAppAt(slot) == nullptr ||
+                server_->beAllocAt(slot).empty())
+                continue;
+            const sim::Allocation next =
+                throttler_.decideAt(*server_, slot, now, measured);
+            if (!(next == server_->beAllocAt(slot)))
+                applyBeAlloc(now, slot, next);
+        }
     }
     queue_->schedule(now + config_.throttlePeriod,
                      [this](SimTime t) { throttleTick(t); });
+}
+
+Watts
+ServerManager::measuredPower(SimTime now)
+{
+    return injector_ != nullptr
+               ? injector_->readPower(server_->meter(), now,
+                                      config_.throttler.window)
+               : server_->meter().average(now,
+                                          config_.throttler.window);
+}
+
+void
+ServerManager::applyBeAlloc(SimTime now, std::size_t slot,
+                            const sim::Allocation& next)
+{
+    sim::Allocation landed = next;
+    if (injector_ != nullptr)
+        landed = injector_->apply(server_->beAllocAt(slot), next, now);
+    if (!(landed == server_->beAllocAt(slot)))
+        server_->setBeAllocAt(now, slot, landed);
+    if (watchdogArmed() && slot == 0) {
+        // Remember what was asked for so the next watchdog tick can
+        // check that it actually landed and moved the meter.
+        commanded_ = next;
+        command_pending_ = true;
+    }
+}
+
+bool
+ServerManager::watchdogArmed() const
+{
+    return injector_ != nullptr && config_.watchdog.enabled &&
+           server_->secondaryCount() == 1 &&
+           server_->be() != nullptr;
+}
+
+bool
+ServerManager::watchdogTick(SimTime now, Watts measured)
+{
+    const WatchdogConfig& wd = config_.watchdog;
+    const Watts cap = server_->powerCap();
+    const bool valid = std::isfinite(measured) && measured >= 0.0 &&
+                       measured <= cap * wd.maxCredibleFactor;
+
+    bool bad = false;
+    if (!valid) {
+        ++fault_stats_.invalidReadings;
+        bad = true;
+    }
+
+    // Confirm the previous tick's command: it must read back as
+    // issued, and a valid reading must have moved in response (the
+    // simulated server is piecewise constant, so any landed freq or
+    // duty change shifts the trailing average).
+    if (command_pending_) {
+        command_pending_ = false;
+        if (!(server_->beAlloc() == commanded_)) {
+            ++fault_stats_.unconfirmedTicks;
+            bad = true;
+        } else if (valid && have_last_reading_ &&
+                   measured == last_reading_) {
+            ++fault_stats_.unconfirmedTicks;
+            bad = true;
+        }
+    }
+
+    // Evaluate an in-flight probe: if the deliberate step-down did
+    // not move a valid reading either, the sensor is provably frozen
+    // — conclusive on its own, no streak needed.
+    bool probe_failed = false;
+    if (probe_pending_) {
+        probe_pending_ = false;
+        if (valid && have_last_reading_ && measured == last_reading_) {
+            bad = true;
+            probe_failed = true;
+        }
+        // Restore only the throttle state: a control tick may have
+        // resized the secondary since the probe was issued, and the
+        // stale pre-probe cores/ways must not clobber that.
+        sim::Allocation restore = server_->beAlloc();
+        restore.freq = pre_probe_.freq;
+        restore.dutyCycle = pre_probe_.dutyCycle;
+        if (!(restore == server_->beAlloc()))
+            applyBeAlloc(now, 0, restore);
+        frozen_streak_ = 0;
+    }
+
+    // Track how long valid readings have been bit-identical while
+    // the loop is otherwise quiet — the stuck-low blind spot.
+    if (!bad && !degraded_ && valid && have_last_reading_ &&
+        measured == last_reading_)
+        ++frozen_streak_;
+    else
+        frozen_streak_ = 0;
+
+    if (valid) {
+        last_reading_ = measured;
+        have_last_reading_ = true;
+    }
+
+    if (bad) {
+        ++bad_streak_;
+        sane_streak_ = 0;
+    } else {
+        sane_streak_ = std::min(sane_streak_ + 1, 1 << 20);
+        bad_streak_ = 0;
+    }
+    if (probe_failed)
+        bad_streak_ = std::max(bad_streak_,
+                               config_.watchdog.faultTicksToDegrade);
+
+    if (!degraded_) {
+        if (bad_streak_ >= wd.faultTicksToDegrade) {
+            degraded_ = true;
+            ++fault_stats_.degradedEntries;
+            overshoot_streak_ = 0;
+            frozen_streak_ = 0;
+        } else if (frozen_streak_ >= wd.frozenTicksToProbe &&
+                   !command_pending_ && !server_->beAlloc().empty()) {
+            // Step the secondary down one DVFS notch (or one duty
+            // step at the frequency floor) and watch whether the
+            // meter follows.
+            pre_probe_ = server_->beAlloc();
+            sim::Allocation step = pre_probe_;
+            step.freq = server_->spec().stepDown(step.freq);
+            if (step == pre_probe_ &&
+                step.dutyCycle > config_.throttler.minDutyCycle)
+                step.dutyCycle =
+                    std::max(config_.throttler.minDutyCycle,
+                             step.dutyCycle -
+                                 config_.throttler.dutyStep);
+            if (!(step == pre_probe_)) {
+                ++fault_stats_.probes;
+                applyBeAlloc(now, 0, step);
+                probe_pending_ = true;
+            }
+            frozen_streak_ = 0;
+        }
+    }
+
+    if (!degraded_)
+        return probe_pending_;
+
+    // --- Degraded: hold the secondary at the conservative floor ---
+    ++fault_stats_.degradedTicks;
+    sim::Allocation clamp = server_->beAlloc();
+    if (!clamp.empty()) {
+        clamp.freq = server_->spec().freqMin;
+        clamp.dutyCycle = config_.throttler.minDutyCycle;
+        if (!(server_->beAlloc() == clamp))
+            applyBeAlloc(now, 0, clamp);
+    }
+    // Escalate to eviction when even the clamp does not land or a
+    // valid reading keeps showing overshoot despite it.
+    const bool clamp_unconfirmed =
+        !clamp.empty() && !(server_->beAlloc() == clamp);
+    const bool overshooting =
+        valid && measured > cap + wd.overshootMargin;
+    if (clamp_unconfirmed || overshooting)
+        ++overshoot_streak_;
+    else
+        overshoot_streak_ = 0;
+    if (overshoot_streak_ >= wd.overshootTicksToEvict &&
+        !server_->beAlloc().empty()) {
+        // Eviction is a job kill, not a DVFS write: it always lands.
+        server_->setBeAlloc(now, sim::Allocation{
+                                     0, 0, server_->spec().freqMax,
+                                     1.0});
+        command_pending_ = false;
+        ++fault_stats_.evictions;
+        overshoot_streak_ = 0;
+    }
+    if (sane_streak_ >= wd.saneTicksToRecover) {
+        degraded_ = false;
+        conservative_regrant_ = true;
+    }
+    return true;
 }
 
 void
@@ -141,6 +368,10 @@ ServerManager::result() const
         slack_samples_ ? static_cast<double>(slack_shortfalls_) /
                              static_cast<double>(slack_samples_)
                        : 0.0;
+    out.faults = fault_stats_;
+    out.faults.capOvershootJoules = out.stats.capOvershootJoules;
+    out.faults.maxOvershoot =
+        std::max(0.0, out.stats.maxPower - server_->powerCap());
     return out;
 }
 
@@ -151,6 +382,7 @@ ServerManager::resetStats(SimTime now)
     slack_sum_ = 0.0;
     slack_samples_ = 0;
     slack_shortfalls_ = 0;
+    fault_stats_ = FaultRunStats{};
 }
 
 ServerRunResult
@@ -158,7 +390,8 @@ runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
                   Watts power_cap,
                   std::unique_ptr<PrimaryController> controller,
                   wl::LoadTrace trace, SimTime duration,
-                  ServerManagerConfig config)
+                  ServerManagerConfig config,
+                  const fault::FaultPlan* faults)
 {
     POCO_REQUIRE(duration > config.warmup,
                  "duration must exceed the warm-up period");
@@ -166,6 +399,15 @@ runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
     ColocatedServer server(lc, be, power_cap);
     ServerManager manager(server, std::move(controller),
                           std::move(trace), config);
+    // The injector attaches first so its window-boundary events run
+    // ahead of same-timestamp manager ticks (EventQueue breaks time
+    // ties by schedule order).
+    std::optional<fault::FaultInjector> injector;
+    if (faults != nullptr && faults->enabled()) {
+        injector.emplace(*faults);
+        injector->attach(queue, &server.meter());
+        manager.setFaultInjector(&*injector);
+    }
     manager.attach(queue);
     queue.runUntil(config.warmup);
     manager.resetStats(queue.now());
@@ -189,7 +431,7 @@ runServerScenarios(std::vector<ServerScenario> scenarios,
             return runServerScenario(*s.lc, s.be, s.powerCap,
                                      std::move(s.controller),
                                      std::move(s.trace), s.duration,
-                                     s.config);
+                                     s.config, s.faults);
         });
 }
 

@@ -10,6 +10,7 @@
 
 #include <memory>
 
+#include "fault/fault_injector.hpp"
 #include "server/be_throttler.hpp"
 #include "server/colocated_server.hpp"
 #include "server/primary_controller.hpp"
@@ -24,6 +25,33 @@ class ThreadPool;
 
 namespace poco::server
 {
+
+/**
+ * Degradation-ladder tunables (DESIGN.md §10). The watchdog only
+ * runs when a fault injector is wired in; the fault-free path never
+ * evaluates it.
+ */
+struct WatchdogConfig
+{
+    bool enabled = true;
+    /** Readings above cap * factor are treated as sensor garbage. */
+    double maxCredibleFactor = 1.6;
+    /** Consecutive bad throttle ticks before entering degraded. */
+    int faultTicksToDegrade = 3;
+    /** Consecutive sane ticks before leaving degraded. */
+    int saneTicksToRecover = 30;
+    /**
+     * Frozen identical readings before a deliberate DVFS probe. A
+     * steady fault-free system also produces identical readings, so
+     * every probe interval pays a 100 ms throughput dip — the
+     * default probes a quiet meter every ~5 s.
+     */
+    int frozenTicksToProbe = 50;
+    /** Degraded ticks of overshoot evidence before BE eviction. */
+    int overshootTicksToEvict = 20;
+    /** Watts above cap that count as overshoot while degraded. */
+    Watts overshootMargin = 1.0;
+};
 
 /** Periods and tunables of the management loops. */
 struct ServerManagerConfig
@@ -41,6 +69,22 @@ struct ServerManagerConfig
 
     ControllerConfig controller;
     ThrottlerConfig throttler;
+    WatchdogConfig watchdog;
+};
+
+/** What the watchdog saw and did over a run (reporting only). */
+struct FaultRunStats
+{
+    long degradedTicks = 0;    ///< throttle ticks spent degraded
+    long degradedEntries = 0;  ///< normal -> degraded transitions
+    long evictions = 0;        ///< BE kills from sustained overshoot
+    long invalidReadings = 0;  ///< NaN / negative / implausible reads
+    long unconfirmedTicks = 0; ///< commands that did not read back
+    long probes = 0;           ///< deliberate DVFS probes issued
+    /** Ground-truth integral of max(0, power - cap), joules. */
+    double capOvershootJoules = 0.0;
+    /** Ground-truth max(0, peak power - cap), watts. */
+    Watts maxOvershoot = 0.0;
 };
 
 /** Outcome of one managed run. */
@@ -53,6 +97,8 @@ struct ServerRunResult
     double averageSlack = 0.0;
     /** Fraction of samples with slack below the controller target. */
     double slackShortfallFraction = 0.0;
+    /** Degradation-ladder counters (all zero on fault-free runs). */
+    FaultRunStats faults;
 };
 
 /**
@@ -72,6 +118,19 @@ class ServerManager
 
     /** Register the management loops starting at queue.now(). */
     void attach(sim::EventQueue& queue);
+
+    /**
+     * Route meter reads and throttle commands through @p injector
+     * (borrowed; may be nullptr to disconnect). Call before attach();
+     * the injector itself must be attached to the same queue first so
+     * its window-boundary events fire ahead of same-time ticks. With
+     * an injector wired in and watchdog.enabled, the degradation
+     * ladder (DESIGN.md §10) arms on single-secondary servers.
+     */
+    void setFaultInjector(fault::FaultInjector* injector);
+
+    /** True while the watchdog holds the BE at the degraded floor. */
+    bool degraded() const { return degraded_; }
 
     const ColocatedServer& server() const { return *server_; }
     ColocatedServer& server() { return *server_; }
@@ -93,6 +152,19 @@ class ServerManager
     void throttleTick(SimTime now);
     void telemetryTick(SimTime now);
 
+    /** The power reading the loops see (injector-distorted). */
+    Watts measuredPower(SimTime now);
+    /** Install a BE allocation through the actuator shim. */
+    void applyBeAlloc(SimTime now, std::size_t slot,
+                      const sim::Allocation& next);
+    /** True when the degradation ladder is armed for this run. */
+    bool watchdogArmed() const;
+    /**
+     * One watchdog step; returns true when the reactive throttler
+     * must hold off this tick (degraded clamp or in-flight probe).
+     */
+    bool watchdogTick(SimTime now, Watts measured);
+
     ColocatedServer* server_;
     std::unique_ptr<PrimaryController> controller_;
     wl::LoadTrace trace_;
@@ -100,11 +172,27 @@ class ServerManager
     BeThrottler throttler_;
     sim::EventQueue* queue_ = nullptr;
     sim::TelemetryRecorder telemetry_;
+    fault::FaultInjector* injector_ = nullptr;
 
     /** Slack tracking for result(). */
     double slack_sum_ = 0.0;
     std::size_t slack_samples_ = 0;
     std::size_t slack_shortfalls_ = 0;
+
+    /** Watchdog state (DESIGN.md §10; untouched without injector). */
+    bool degraded_ = false;
+    bool conservative_regrant_ = false;
+    int bad_streak_ = 0;
+    int sane_streak_ = 0;
+    int frozen_streak_ = 0;
+    int overshoot_streak_ = 0;
+    bool have_last_reading_ = false;
+    Watts last_reading_ = 0.0;
+    bool command_pending_ = false;
+    sim::Allocation commanded_;
+    bool probe_pending_ = false;
+    sim::Allocation pre_probe_;
+    FaultRunStats fault_stats_;
 };
 
 /**
@@ -113,13 +201,16 @@ class ServerManager
  * (statistics exclude the configured warm-up).
  *
  * @param be Pass nullptr to run the primary alone.
+ * @param faults Optional fault schedule; nullptr or an empty plan
+ *        runs the byte-identical fault-free path.
  */
 ServerRunResult
 runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
                   Watts power_cap,
                   std::unique_ptr<PrimaryController> controller,
                   wl::LoadTrace trace, SimTime duration,
-                  ServerManagerConfig config = {});
+                  ServerManagerConfig config = {},
+                  const fault::FaultPlan* faults = nullptr);
 
 /** One entry for the batch scenario runner. */
 struct ServerScenario
@@ -131,6 +222,8 @@ struct ServerScenario
     wl::LoadTrace trace = wl::LoadTrace::constant(0.5);
     SimTime duration = 0;
     ServerManagerConfig config;
+    /** Borrowed fault schedule; nullptr/empty = fault-free. */
+    const fault::FaultPlan* faults = nullptr;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "sim/power_meter.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.hpp"
 
@@ -18,6 +19,8 @@ PowerMeter::setPower(SimTime when, Watts watts)
 {
     POCO_REQUIRE(when >= last_change_,
                  "power meter updates must be time-ordered");
+    POCO_REQUIRE(std::isfinite(watts),
+                 "power must be finite (got NaN or infinity)");
     POCO_REQUIRE(watts >= 0.0, "power must be non-negative");
     if (watts == current_)
         return;

@@ -1,0 +1,42 @@
+#!/bin/sh
+# Bad configuration must fail loudly: a misconfigured CLI invocation
+# has to exit non-zero AND print a poco::fatal "error:" diagnostic on
+# stderr. ctest's WILL_FAIL only checks the exit code, so this script
+# asserts both halves.
+#
+# Usage: cli_bad_config.sh <path-to-pocolo_cli>
+
+cli="$1"
+if [ -z "$cli" ] || [ ! -x "$cli" ]; then
+    echo "cli_bad_config.sh: missing or non-executable CLI: '$cli'" >&2
+    exit 2
+fi
+
+fail=0
+
+check() {
+    desc="$1"
+    shift
+    stderr_file="${TMPDIR:-/tmp}/cli_bad_config_$$.stderr"
+    "$cli" "$@" 2>"$stderr_file"
+    status=$?
+    if [ "$status" -eq 0 ]; then
+        echo "FAIL: $desc: expected non-zero exit, got 0" >&2
+        fail=1
+    fi
+    if ! grep -q "error:" "$stderr_file"; then
+        echo "FAIL: $desc: no 'error:' message on stderr" >&2
+        sed 's/^/  stderr: /' "$stderr_file" >&2
+        fail=1
+    fi
+    rm -f "$stderr_file"
+}
+
+check "unknown LC app" simulate nosuchapp graph 30 2
+check "unknown placement algorithm" place nosuchsolver
+check "malformed numeric argument" curve sphinx not_a_number
+
+if [ "$fail" -eq 0 ]; then
+    echo "PASS: bad configs exit non-zero with an error: diagnostic"
+fi
+exit "$fail"

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for deterministic fault-plan generation and the injector's
+ * read/command shims.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/event_queue.hpp"
+#include "util/check.hpp"
+
+namespace poco::fault
+{
+namespace
+{
+
+FaultPlanConfig
+denseConfig()
+{
+    FaultPlanConfig config;
+    config.horizon = 10 * kMinute;
+    config.servers = 4;
+    config.sensorStuckRate = 1.0;
+    config.sensorDropoutRate = 1.0;
+    config.sensorBiasRate = 1.0;
+    config.actuatorStuckRate = 1.0;
+    config.telemetryStaleRate = 1.0;
+    config.crashRate = 0.5;
+    config.loadSpikeRate = 1.0;
+    config.seed = 42;
+    return config;
+}
+
+TEST(FaultPlan, DefaultPlanIsDisabled)
+{
+    const FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+    EXPECT_TRUE(plan.windows().empty());
+    EXPECT_EQ(plan.horizon(), 0);
+}
+
+TEST(FaultPlan, ZeroRatesGenerateNothing)
+{
+    FaultPlanConfig config;
+    config.horizon = 10 * kMinute;
+    const FaultPlan plan = FaultPlan::generate(config);
+    EXPECT_FALSE(plan.enabled());
+}
+
+TEST(FaultPlan, GenerationIsDeterministic)
+{
+    const FaultPlan a = FaultPlan::generate(denseConfig());
+    const FaultPlan b = FaultPlan::generate(denseConfig());
+    ASSERT_EQ(a.windows().size(), b.windows().size());
+    EXPECT_GT(a.windows().size(), 0u);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    for (std::size_t i = 0; i < a.windows().size(); ++i) {
+        EXPECT_EQ(a.windows()[i].start, b.windows()[i].start);
+        EXPECT_EQ(a.windows()[i].end, b.windows()[i].end);
+        EXPECT_EQ(a.windows()[i].kind, b.windows()[i].kind);
+        EXPECT_EQ(a.windows()[i].server, b.windows()[i].server);
+    }
+}
+
+TEST(FaultPlan, SeedChangesSchedule)
+{
+    FaultPlanConfig other = denseConfig();
+    other.seed = 43;
+    EXPECT_NE(FaultPlan::generate(denseConfig()).fingerprint(),
+              FaultPlan::generate(other).fingerprint());
+}
+
+TEST(FaultPlan, ServerStreamsAreIndependent)
+{
+    // Server 0's schedule must not depend on how many other servers
+    // the plan covers — the same split-stream property the parallel
+    // runtime relies on.
+    FaultPlanConfig small = denseConfig();
+    small.servers = 1;
+    const FaultPlan a = FaultPlan::generate(small).forServer(0);
+    const FaultPlan b =
+        FaultPlan::generate(denseConfig()).forServer(0);
+    ASSERT_EQ(a.windows().size(), b.windows().size());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(FaultPlan, WindowsSortedClippedAndPositive)
+{
+    const FaultPlan plan = FaultPlan::generate(denseConfig());
+    const SimTime horizon = 10 * kMinute;
+    SimTime prev = 0;
+    for (const FaultWindow& w : plan.windows()) {
+        EXPECT_GE(w.start, 0);
+        EXPECT_LT(w.start, w.end);
+        EXPECT_LE(w.end, horizon);
+        EXPECT_GE(w.start, prev);
+        prev = w.start;
+    }
+}
+
+TEST(FaultPlan, FiltersSelectSubsets)
+{
+    const FaultPlan plan = FaultPlan::generate(denseConfig());
+    const FaultPlan crashes = plan.ofKind(FaultKind::ServerCrash);
+    for (const FaultWindow& w : crashes.windows())
+        EXPECT_EQ(w.kind, FaultKind::ServerCrash);
+    const FaultPlan one = plan.forServer(2);
+    for (const FaultWindow& w : one.windows())
+        EXPECT_TRUE(w.server == 2 || w.server == -1);
+    std::size_t total = 0;
+    for (int s = 0; s < 4; ++s)
+        total += plan.forServer(s).windows().size();
+    EXPECT_EQ(total, plan.windows().size());
+}
+
+TEST(FaultPlan, FingerprintSeesEveryField)
+{
+    std::vector<FaultWindow> windows{
+        {1 * kSecond, 2 * kSecond, FaultKind::SensorBias, 0.25, 0}};
+    const std::uint64_t base =
+        FaultPlan::fromWindows(windows).fingerprint();
+    windows[0].magnitude = 0.30;
+    EXPECT_NE(FaultPlan::fromWindows(windows).fingerprint(), base);
+}
+
+TEST(FaultInjector, RejectsCrashWindows)
+{
+    std::vector<FaultWindow> windows{
+        {0, 1 * kSecond, FaultKind::ServerCrash, 0.0, 0}};
+    EXPECT_THROW(FaultInjector(FaultPlan::fromWindows(windows)),
+                 poco::FatalError);
+}
+
+TEST(FaultInjector, DropoutDeliversNaN)
+{
+    sim::EventQueue queue;
+    sim::PowerMeter meter;
+    meter.setPower(0, 100.0);
+    std::vector<FaultWindow> windows{{1 * kSecond, 2 * kSecond,
+                                      FaultKind::SensorDropout, 0.0,
+                                      0}};
+    FaultInjector injector(FaultPlan::fromWindows(windows));
+    injector.attach(queue, &meter);
+    queue.runUntil(500 * kMillisecond);
+    EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
+                                        100 * kMillisecond),
+                     100.0);
+    queue.runUntil(1500 * kMillisecond);
+    EXPECT_TRUE(std::isnan(injector.readPower(
+        meter, queue.now(), 100 * kMillisecond)));
+    queue.runUntil(2500 * kMillisecond);
+    EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
+                                        100 * kMillisecond),
+                     100.0);
+    EXPECT_EQ(injector.stats().faultedReads, 1);
+}
+
+TEST(FaultInjector, StuckFreezesWindowEntryValue)
+{
+    sim::EventQueue queue;
+    sim::PowerMeter meter;
+    meter.setPower(0, 80.0);
+    std::vector<FaultWindow> windows{
+        {1 * kSecond, 3 * kSecond, FaultKind::SensorStuck, 0.0, 0}};
+    FaultInjector injector(FaultPlan::fromWindows(windows));
+    injector.attach(queue, &meter);
+    queue.runUntil(2 * kSecond);
+    meter.setPower(queue.now(), 140.0); // the truth moves...
+    queue.runUntil(2900 * kMillisecond);
+    EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
+                                        100 * kMillisecond),
+                     80.0); // ...the reading does not
+    queue.runUntil(3500 * kMillisecond);
+    EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
+                                        100 * kMillisecond),
+                     140.0);
+}
+
+TEST(FaultInjector, ActuatorFreezesFreqAndDutyOnly)
+{
+    sim::EventQueue queue;
+    std::vector<FaultWindow> windows{
+        {0, 10 * kSecond, FaultKind::ActuatorStuck, 0.0, 0}};
+    FaultInjector injector(FaultPlan::fromWindows(windows));
+    injector.attach(queue);
+    queue.runUntil(1 * kSecond);
+    const sim::Allocation current{4, 4, 2.2, 1.0};
+    const sim::Allocation throttle{4, 4, 2.0, 0.5};
+    const sim::Allocation resize{2, 6, 2.0, 1.0};
+    // A pure DVFS/duty write is dropped entirely...
+    EXPECT_TRUE(injector.apply(current, throttle, queue.now()) ==
+                current);
+    // ...a resize lands cores/ways but keeps the old freq/duty.
+    const sim::Allocation landed =
+        injector.apply(current, resize, queue.now());
+    EXPECT_EQ(landed.cores, 2);
+    EXPECT_EQ(landed.ways, 6);
+    EXPECT_DOUBLE_EQ(landed.freq, 2.2);
+    EXPECT_DOUBLE_EQ(landed.dutyCycle, 1.0);
+    EXPECT_EQ(injector.stats().suppressedCommands, 2);
+    // Outside the window every write lands verbatim.
+    queue.runUntil(11 * kSecond);
+    EXPECT_TRUE(injector.apply(current, throttle, queue.now()) ==
+                throttle);
+    EXPECT_EQ(injector.stats().suppressedCommands, 2);
+}
+
+TEST(FaultInjector, LoadSpikeMultiplies)
+{
+    sim::EventQueue queue;
+    std::vector<FaultWindow> windows{
+        {0, 5 * kSecond, FaultKind::LoadSpike, 0.5, 0}};
+    FaultInjector injector(FaultPlan::fromWindows(windows));
+    injector.attach(queue);
+    queue.runUntil(1 * kSecond);
+    EXPECT_DOUBLE_EQ(injector.loadFactor(queue.now()), 1.5);
+    queue.runUntil(6 * kSecond);
+    EXPECT_DOUBLE_EQ(injector.loadFactor(queue.now()), 1.0);
+}
+
+} // namespace
+} // namespace poco::fault

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "sim/power_meter.hpp"
 #include "sim/power_model.hpp"
@@ -176,6 +177,21 @@ TEST(PowerMeter, EnergySurvivesPruning)
     // Window query still works on the retained tail (the last
     // segment, set at t=99 s, is 20 W).
     EXPECT_NEAR(meter.average(100 * kSecond, kSecond), 20.0, 1e-9);
+}
+
+TEST(PowerMeter, RejectsNonFiniteReadings)
+{
+    PowerMeter meter;
+    meter.setPower(0, 42.0);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(meter.setPower(kSecond, nan), poco::FatalError);
+    EXPECT_THROW(meter.setPower(kSecond, inf), poco::FatalError);
+    EXPECT_THROW(meter.setPower(kSecond, -inf), poco::FatalError);
+    // A rejected update must not corrupt the recorded history.
+    EXPECT_DOUBLE_EQ(meter.instantaneous(), 42.0);
+    meter.setPower(kSecond, 50.0);
+    EXPECT_DOUBLE_EQ(meter.instantaneous(), 50.0);
 }
 
 TEST(PowerMeter, RejectsTimeTravel)

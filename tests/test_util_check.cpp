@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the fatal/panic error helpers: FatalError is a catchable
+ * std::runtime_error carrying the message, POCO_REQUIRE throws it
+ * with context, and POCO_ASSERT aborts the process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace poco
+{
+namespace
+{
+
+TEST(Check, FatalThrowsFatalErrorWithMessage)
+{
+    try {
+        fatal("bad knob value");
+        FAIL() << "fatal() must not return";
+    } catch (const FatalError& e) {
+        EXPECT_STREQ(e.what(), "bad knob value");
+    }
+}
+
+TEST(Check, FatalErrorIsARuntimeError)
+{
+    // Callers that only know std::exception still catch it.
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+    EXPECT_THROW(fatal("boom"), std::exception);
+}
+
+TEST(Check, RequirePassesOnTrue)
+{
+    EXPECT_NO_THROW(POCO_REQUIRE(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Check, RequireThrowsWithContext)
+{
+    try {
+        POCO_REQUIRE(2 + 2 == 5, "arithmetic is broken");
+        FAIL() << "POCO_REQUIRE must throw";
+    } catch (const FatalError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("arithmetic is broken"),
+                  std::string::npos);
+        EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+        EXPECT_NE(what.find("test_util_check.cpp"),
+                  std::string::npos);
+    }
+}
+
+TEST(Check, RequireEvaluatesConditionOnce)
+{
+    int calls = 0;
+    POCO_REQUIRE(++calls > 0, "side effect");
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(Check, AssertPassesOnTrue)
+{
+    POCO_ASSERT(true, "never fires");
+    SUCCEED();
+}
+
+TEST(CheckDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant shattered"),
+                 "invariant shattered");
+}
+
+TEST(CheckDeathTest, AssertAbortsWithContext)
+{
+    EXPECT_DEATH(POCO_ASSERT(false, "broken invariant"),
+                 "broken invariant");
+}
+
+} // namespace
+} // namespace poco

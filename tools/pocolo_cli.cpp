@@ -9,7 +9,7 @@
  *   fit <lc|be> <name>           fit and print the utility model
  *   curve <lc-name> <load%>      indifference curve at a load
  *   matrix                       model-driven performance matrix
- *   place [lp|hungarian|exhaustive|random]
+ *   place [lp|hungarian|exhaustive|random|greedy]
  *                                placement under a solver
  *   policies                     run Random/POM/POColo end to end
  *   tco                          amortized monthly TCO comparison
@@ -123,7 +123,7 @@ usage()
         "  curve <lc-name> <load%%>    indifference curve\n"
         "  matrix                     performance matrix\n"
         "  place [solver]             placement (lp, hungarian,\n"
-        "                             exhaustive, random)\n"
+        "                             exhaustive, random, greedy)\n"
         "  policies                   Random/POM/POColo comparison\n"
         "  tco                        monthly TCO comparison\n"
         "  fit-all <file>             fit all apps, save the model\n"
@@ -268,8 +268,10 @@ cmdPlace(const wl::AppSet& apps, const Options& options,
         kind = cluster::PlacementKind::Exhaustive;
     else if (solver == "random")
         kind = cluster::PlacementKind::Random;
+    else if (solver == "greedy")
+        kind = cluster::PlacementKind::Greedy;
     else if (solver != "lp")
-        return usage();
+        poco::fatal("unknown placement algorithm: " + solver);
 
     const cluster::ClusterEvaluator evaluator(
         apps, options.evaluatorConfig());
@@ -495,6 +497,11 @@ main(int argc, char** argv)
             return cmdSimulate(apps, options, args[0], args[1],
                                args[2], std::stod(args[3]));
     } catch (const poco::FatalError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    } catch (const std::exception& error) {
+        // Malformed numeric arguments (std::stod and friends) land
+        // here; bad config must still fail with a clear diagnostic.
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
