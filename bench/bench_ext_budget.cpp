@@ -32,7 +32,7 @@ main()
     const auto assignment =
         evaluator.placeBe(cluster::PlacementKind::Hungarian);
 
-    Watts provisioned = 0.0;
+    Watts provisioned;
     for (const auto& lc : evaluator.lcModels())
         provisioned += lc.powerCap;
 
@@ -68,9 +68,11 @@ main()
                     pairing[j].first, pairing[j].second,
                     cluster::ManagerKind::Pom, load,
                     split.caps[j]);
-                realized +=
-                    outcome.run.stats.averageBeThroughput();
-                caps += (j ? "/" : "") + fmt(split.caps[j], 0);
+                realized += outcome.run.stats
+                                .averageBeThroughput()
+                                .value();
+                caps +=
+                    (j ? "/" : "") + fmt(split.caps[j].value(), 0);
             }
             table.addRow({fmtPercent(fraction, 0),
                           cluster::budgetPolicyName(policy),
@@ -81,6 +83,6 @@ main()
     std::printf("%s", table.render().c_str());
     std::printf("\nprovisioned total: %.0f W; primaries at %.0f%% "
                 "load keep absolute priority in both policies\n",
-                provisioned, load * 100.0);
+                provisioned.value(), load * 100.0);
     return 0;
 }

@@ -78,8 +78,8 @@ runDay(bench::Context& ctx, bool pom_manager, bool smart_placement)
                 day, config);
             result.beWork +=
                 run.stats.beWorkDone / partners.size();
-            result.energyJ +=
-                run.stats.energyJoules / partners.size();
+            result.energyJ += run.stats.energyJoules.value() /
+                              static_cast<double>(partners.size());
             result.worstSloViolation =
                 std::max(result.worstSloViolation,
                          run.stats.sloViolationFraction());

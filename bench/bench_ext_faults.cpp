@@ -78,8 +78,8 @@ sectionServer(bench::Context& ctx)
 
     std::printf("fault-free envelope: overshoot %.1f J "
                 "(peak %.2f W over cap), slack shortfall %.1f%%\n\n",
-                clean.faults.capOvershootJoules,
-                clean.faults.maxOvershoot,
+                clean.faults.capOvershootJoules.value(),
+                clean.faults.maxOvershoot.value(),
                 100.0 * clean.slackShortfallFraction);
 
     // The random sweep plus one hand-built worst case: the sensor
@@ -121,13 +121,13 @@ sectionServer(bench::Context& ctx)
 
         // P1: cap damage bounded by the detection-latency budget.
         if (guarded.faults.capOvershootJoules >
-            clean.faults.capOvershootJoules + 60.0) {
+            clean.faults.capOvershootJoules + Joules{60.0}) {
             std::printf("P1 FAIL at intensity %s: guarded overshoot "
                         "%.1f J exceeds the fault-free envelope "
                         "%.1f J + 60 J\n",
                         row.label.c_str(),
-                        guarded.faults.capOvershootJoules,
-                        clean.faults.capOvershootJoules);
+                        guarded.faults.capOvershootJoules.value(),
+                        clean.faults.capOvershootJoules.value());
             ++failures;
         }
         // P2: the watchdog must not starve the primary — under the
@@ -143,7 +143,7 @@ sectionServer(bench::Context& ctx)
             ++failures;
         }
         if (naive.faults.capOvershootJoules >
-            clean.faults.capOvershootJoules + 100.0)
+            clean.faults.capOvershootJoules + Joules{100.0})
             naive_violates = true;
     }
     std::printf("%s", table.render().c_str());

@@ -41,9 +41,9 @@ newerPlatform()
     sim::ServerSpec spec = sim::xeonE5_2650();
     spec.name = "xeon-16c";
     spec.cores = 16;
-    spec.freqMax = 2.6;
-    spec.idlePower = 55.0;
-    spec.nominalActivePower = 165.0;
+    spec.freqMax = GHz{2.6};
+    spec.idlePower = Watts{55.0};
+    spec.nominalActivePower = Watts{165.0};
     return spec;
 }
 

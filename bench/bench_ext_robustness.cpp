@@ -33,7 +33,8 @@ perturb(const model::CobbDouglasUtility& m, double rel, Rng& rng)
     for (auto& v : p)
         v *= rng.noiseFactor(rel);
     model::CobbDouglasUtility out(m.logA0(), std::move(alpha),
-                                  m.pStatic(), std::move(p));
+                                  m.pStatic().value(),
+                                  std::move(p));
     out.perfR2 = m.perfR2;
     out.powerR2 = m.powerR2;
     return out;

@@ -38,11 +38,11 @@ main()
     const auto point = model::minPowerPoint(sphinx, load);
     const int spare_cores = ctx.apps.spec.cores - point->cores;
     const int spare_ways = ctx.apps.spec.llcWays - point->ways;
-    const double spare_power = cap - point->power;
+    const Watts spare_power = cap - point->power;
     std::printf("sphinx@%.0f%%: primary %dc/%dw, spare %dc/%dw, "
                 "%.1f W headroom\n\n",
                 load * 100.0, point->cores, point->ways, spare_cores,
-                spare_ways, spare_power);
+                spare_ways, spare_power.value());
 
     const std::vector<std::pair<std::string, std::string>> pairs = {
         {"graph", "lstm"}, {"pbzip2", "lstm"}, {"graph", "rnn"},

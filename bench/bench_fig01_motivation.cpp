@@ -70,6 +70,6 @@ main()
     std::printf("%s", table.render().c_str());
     std::printf("\nprovisioned power capacity: %.1f W "
                 "(right-sized for the primary's peak)\n",
-                cap);
+                cap.value());
     return 0;
 }

@@ -36,7 +36,7 @@ main()
 
     std::printf("primary: %s, server draw %.1f W, capacity %.1f W\n\n",
                 primary.toString().c_str(),
-                xapian.serverPower(load, primary), cap);
+                xapian.serverPower(load, primary).value(), cap.value());
 
     TextTable table({"co-runner", "server power (W)", "over capacity"});
     for (const auto& be : ctx.apps.be) {

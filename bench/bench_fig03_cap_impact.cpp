@@ -26,7 +26,7 @@ main()
     auto& ctx = bench::context();
     const wl::LcApp& xapian = ctx.xapian132;
     const Watts cap = xapian.provisionedPower();
-    constexpr Watts kUncapped = 10000.0;
+    constexpr Watts kUncapped{10000.0};
 
     TextTable table({"co-runner", "thr (no cap)", "thr (132 W cap)",
                      "drop", "capped power (W)"});
@@ -39,9 +39,11 @@ main()
                 std::make_unique<server::PomController>(
                     ctx.xapian132Model()),
                 wl::LoadTrace::constant(0.1), 300 * kSecond);
-            thr[capped] = result.stats.averageBeThroughput();
+            thr[capped] =
+                result.stats.averageBeThroughput().value();
             if (capped)
-                capped_power = result.stats.averagePower();
+                capped_power =
+                    result.stats.averagePower().value();
         }
         table.addRow({be.name(), fmt(thr[0], 3), fmt(thr[1], 3),
                       fmtPercent(1.0 - thr[1] / thr[0]),

@@ -42,7 +42,8 @@ main()
                 std::make_unique<server::PomController>(model),
                 wl::LoadTrace::constant(pct / 100.0),
                 240 * kSecond);
-            thr[idx++] = result.stats.averageBeThroughput();
+            thr[idx++] =
+                result.stats.averageBeThroughput().value();
         }
         rnn_wins += thr[1] > thr[0];
         ++points;

@@ -53,10 +53,10 @@ main()
     TextTable path({"load %", "cores*", "ways*", "power* (W)"});
     for (double load : {0.2, 0.4, 0.6, 0.8}) {
         std::vector<double> r;
-        const double power = model.minPowerForPerformance(
-            load * sphinx.peakLoad(), &r);
+        const Watts power = model.minPowerForPerformance(
+            (load * sphinx.peakLoad()).value(), &r);
         path.addRow({fmt(load * 100.0, 0), fmt(r[0], 2),
-                     fmt(r[1], 2), fmt(power, 1)});
+                     fmt(r[1], 2), fmt(power.value(), 1)});
     }
     std::printf("%s", path.render().c_str());
     return 0;

@@ -50,7 +50,9 @@ main()
             const auto outcome = evaluator.runPairAtLoad(
                 j, static_cast<int>(i), cluster::ManagerKind::Pom,
                 load);
-            return load + outcome.run.stats.averageBeThroughput();
+            return load +
+                   outcome.run.stats.averageBeThroughput()
+                       .value();
         });
     const std::chrono::duration<double> sweep_elapsed =
         std::chrono::steady_clock::now() - sweep_start;

@@ -26,7 +26,7 @@ namespace
 Watts
 meanProvisionedPower(const wl::AppSet& apps)
 {
-    Watts total = 0.0;
+    Watts total;
     for (const auto& lc : apps.lc)
         total += lc.provisionedPower();
     return total / static_cast<double>(apps.lc.size());
@@ -53,7 +53,7 @@ main()
     auto& ctx = bench::context();
     const cluster::ClusterEvaluator evaluator(ctx.apps);
     const Watts provisioned = meanProvisionedPower(ctx.apps);
-    constexpr Watts kNoCapProvisioned = 185.0;
+    constexpr Watts kNoCapProvisioned{185.0};
     const double mean_load = 0.5; // uniform 10..90%
 
     const auto random = evaluator.runPolicy(Policy::Random);

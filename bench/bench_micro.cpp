@@ -35,7 +35,7 @@ BM_ClosedFormDemand(benchmark::State& state)
 {
     const auto& model = bench::context().lcModel("sphinx");
     for (auto _ : state) {
-        auto r = model.demand(150.0);
+        auto r = model.demand(Watts{150.0});
         benchmark::DoNotOptimize(r);
     }
 }
@@ -47,7 +47,7 @@ BM_BoxedDemand(benchmark::State& state)
     const auto& model = bench::context().beModel("graph");
     const std::vector<double> caps = {6.0, 10.0};
     for (auto _ : state) {
-        auto r = model.demandBoxed(120.0, caps);
+        auto r = model.demandBoxed(Watts{120.0}, caps);
         benchmark::DoNotOptimize(r);
     }
 }
@@ -58,7 +58,8 @@ BM_MinPowerAllocation(benchmark::State& state)
 {
     auto& ctx = bench::context();
     const auto& model = ctx.lcModel("xapian");
-    const double target = 0.5 * ctx.apps.lcByName("xapian").peakLoad();
+    const double target =
+        (0.5 * ctx.apps.lcByName("xapian").peakLoad()).value();
     for (auto _ : state) {
         auto plan = model::minPowerAllocationFor(model, target,
                                                  ctx.apps.spec);
@@ -455,7 +456,7 @@ BM_TelemetrySince(benchmark::State& state)
     for (std::size_t i = 0; i < n; ++i) {
         sim::TelemetrySample sample;
         sample.when = static_cast<SimTime>(i) * 100 * kMillisecond;
-        sample.power = 100.0 + static_cast<double>(i % 50);
+        sample.power = Watts{100.0 + static_cast<double>(i % 50)};
         recorder.record(sample);
     }
     // Query the trailing 64-sample window of the full history.
@@ -480,7 +481,7 @@ BM_TelemetryAveragePower(benchmark::State& state)
     for (std::size_t i = 0; i < n; ++i) {
         sim::TelemetrySample sample;
         sample.when = static_cast<SimTime>(i) * 100 * kMillisecond;
-        sample.power = 100.0 + static_cast<double>(i % 50);
+        sample.power = Watts{100.0 + static_cast<double>(i % 50)};
         recorder.record(sample);
     }
     const SimTime since =

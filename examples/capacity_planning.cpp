@@ -31,9 +31,9 @@ main()
     const auto pocolo =
         evaluator.runPolicy(cluster::Policy::PoColo);
     const auto nocap = evaluator.runRandomAveraged(
-        cluster::ManagerKind::Heracles, 185.0);
+        cluster::ManagerKind::Heracles, Watts{185.0});
 
-    Watts provisioned = 0.0;
+    Watts provisioned;
     for (const auto& lc : apps.lc)
         provisioned += lc.provisionedPower();
     provisioned /= static_cast<double>(apps.lc.size());
@@ -48,9 +48,9 @@ main()
     tco::PolicyProfile generous;
     generous.name = "Random@185W";
     generous.throughputPerServer = 0.5 + nocap.meanBeThroughput();
-    generous.provisionedPowerPerServer = 185.0;
+    generous.provisionedPowerPerServer = Watts{185.0};
     generous.averagePowerPerServer =
-        nocap.meanPowerUtilization() * 185.0;
+        nocap.meanPowerUtilization() * Watts{185.0};
 
     std::printf("monthly TCO advantage of POColo@150W over "
                 "Random@185W (positive = POColo cheaper)\n\n");

@@ -50,7 +50,7 @@ main()
 
     std::printf("sphinx + pagerank on a %.0f W server; load steps "
                 "20%% -> 70%% -> 20%%\n\n",
-                cap);
+                cap.value());
     TextTable table({"t", "load%", "primary", "secondary",
                      "power (W)", "slack", "BE thr"});
     for (int minute = 0; minute <= 12; ++minute) {
@@ -70,9 +70,10 @@ main()
     std::printf("\ntotals: %.1f W average (%.0f%% of cap), %.2f kJ, "
                 "BE work %.1f units, SLO violations %.2f%% of time, "
                 "throttled %.1f%% of time\n",
-                stats.averagePower(),
+                stats.averagePower().value(),
                 100.0 * stats.averagePower() / cap,
-                stats.energyJoules / 1000.0, stats.beWorkDone,
+                stats.energyJoules.value() / 1000.0,
+                stats.beWorkDone,
                 100.0 * stats.sloViolationFraction(),
                 100.0 * stats.cappedFraction());
     return 0;

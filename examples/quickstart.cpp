@@ -62,13 +62,13 @@ main()
                 pagerank.name().c_str(), pp[0], pp[1]);
 
     // 4. Min-power allocation for the primary at 30% load.
-    const double load = 0.3 * search.peakLoad();
+    const Rps load = 0.3 * search.peakLoad();
     const auto plan = model::minPowerAllocationFor(
-        search_model, load, apps.spec);
+        search_model, load.value(), apps.spec);
     std::printf("\nmin-power allocation for %.0f req/s: %s "
                 "(modeled %.1f W)\n",
-                load, plan->alloc.toString().c_str(),
-                plan->modeledPower);
+                load.value(), plan->alloc.toString().c_str(),
+                plan->modeledPower.value());
 
     // 5. Run the managed colocation for 10 simulated minutes.
     const auto result = server::runServerScenario(
@@ -78,11 +78,11 @@ main()
 
     std::printf("\nafter 10 simulated minutes:\n");
     std::printf("  best-effort throughput : %.3f units/s\n",
-                result.stats.averageBeThroughput());
+                result.stats.averageBeThroughput().value());
     std::printf("  server power           : %.1f W of %.1f W cap "
                 "(%.0f%%)\n",
-                result.stats.averagePower(),
-                search.provisionedPower(),
+                result.stats.averagePower().value(),
+                search.provisionedPower().value(),
                 100.0 * result.powerUtilization);
     std::printf("  primary latency slack  : %.0f%% (SLO violations: "
                 "%.2f%%)\n",

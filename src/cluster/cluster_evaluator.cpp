@@ -36,7 +36,7 @@ ClusterOutcome::totalBeThroughput() const
 {
     double total = 0.0;
     for (const auto& s : servers)
-        total += s.run.stats.averageBeThroughput();
+        total += s.run.stats.averageBeThroughput().value();
     return total;
 }
 
@@ -65,7 +65,7 @@ ClusterOutcome::totalEnergyJoules() const
 {
     double total = 0.0;
     for (const auto& s : servers)
-        total += s.run.stats.energyJoules;
+        total += s.run.stats.energyJoules.value();
     return total;
 }
 
@@ -337,7 +337,8 @@ ClusterEvaluator::runWithServerFaults(
             epoch.beThroughput +=
                 runPair(static_cast<std::size_t>(j),
                         static_cast<int>(i), kind)
-                    .run.stats.averageBeThroughput();
+                    .run.stats.averageBeThroughput()
+                    .value();
         }
         weighted += epoch.beThroughput *
                     toSeconds(epoch.end - epoch.start);
@@ -376,7 +377,7 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
     POCO_REQUIRE(lc_idx < apps_->lc.size(), "LC index out of range");
     POCO_REQUIRE(be_idx < static_cast<int>(apps_->be.size()),
                  "BE index out of range");
-    POCO_REQUIRE(cap_override >= 0.0,
+    POCO_REQUIRE(cap_override >= Watts{},
                  "cap override must be non-negative");
 
     std::ostringstream key;
@@ -393,7 +394,7 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
     const wl::BeApp* be =
         be_idx >= 0 ? &apps_->be[static_cast<std::size_t>(be_idx)]
                     : nullptr;
-    const Watts cap = cap_override > 0.0 ? cap_override
+    const Watts cap = cap_override > Watts{} ? cap_override
                                          : lc.provisionedPower();
     const SimTime duration =
         config_.server.warmup +
@@ -423,7 +424,7 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
     POCO_REQUIRE(lc_idx < apps_->lc.size(), "LC index out of range");
     POCO_REQUIRE(be_idx < static_cast<int>(apps_->be.size()),
                  "BE index out of range");
-    POCO_REQUIRE(cap_override >= 0.0,
+    POCO_REQUIRE(cap_override >= Watts{},
                  "cap override must be non-negative");
 
     std::ostringstream key;
@@ -440,7 +441,7 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
     const wl::BeApp* be =
         be_idx >= 0 ? &apps_->be[static_cast<std::size_t>(be_idx)]
                     : nullptr;
-    const Watts cap = cap_override > 0.0 ? cap_override
+    const Watts cap = cap_override > Watts{} ? cap_override
                                          : lc.provisionedPower();
     const SimTime duration = config_.server.warmup + config_.dwell;
 

@@ -252,14 +252,14 @@ class ClusterEvaluator
      */
     ServerOutcome runPair(std::size_t lc_idx, int be_idx,
                           ManagerKind kind,
-                          Watts cap_override = 0.0,
+                          Watts cap_override = Watts{},
                           int seed_variant = 0) const;
 
     /** Same, but holding the load constant at @p load_fraction. */
     ServerOutcome runPairAtLoad(std::size_t lc_idx, int be_idx,
                                 ManagerKind kind,
                                 double load_fraction,
-                                Watts cap_override = 0.0) const;
+                                Watts cap_override = Watts{}) const;
 
     /** Run a full assignment (result[i] = server for BE i). */
     ClusterOutcome runAssignment(const std::vector<int>& assignment,
@@ -272,7 +272,7 @@ class ClusterEvaluator
      * @param cap_override See runPair().
      */
     ClusterOutcome runRandomAveraged(ManagerKind kind,
-                                     Watts cap_override = 0.0) const;
+                                     Watts cap_override = Watts{}) const;
 
     /** Evaluate one of the paper's named policies end to end. */
     ClusterOutcome runPolicy(Policy policy) const;

@@ -16,7 +16,7 @@ estimateCellAtLoad(const BeCandidateModel& be, const LcServerModel& lc,
     POCO_REQUIRE(load_fraction > 0.0 && load_fraction <= 1.0,
                  "load fraction must be in (0, 1]");
     const double target =
-        load_fraction * lc.peakLoad * headroom;
+        (load_fraction * lc.peakLoad * headroom).value();
     const auto plan =
         model::minPowerAllocationFor(lc.utility, target, spec);
     if (!plan)
@@ -24,9 +24,9 @@ estimateCellAtLoad(const BeCandidateModel& be, const LcServerModel& lc,
 
     const int spare_cores = spec.cores - plan->alloc.cores;
     const int spare_ways = spec.llcWays - plan->alloc.ways;
-    const double spare_power =
+    const Watts spare_power =
         lc.powerCap - plan->modeledPower;
-    if (spare_cores < 1 || spare_ways < 1 || spare_power <= 0.0)
+    if (spare_cores < 1 || spare_ways < 1 || spare_power <= Watts{})
         return 0.0;
     return model::estimateBePerformance(be.utility, spare_power,
                                         spare_cores, spare_ways);

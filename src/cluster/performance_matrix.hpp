@@ -34,9 +34,9 @@ struct LcServerModel
     std::string name;
     model::CobbDouglasUtility utility;
     /** Peak load the utility's performance unit is measured in. */
-    Rps peakLoad = 0.0;
+    Rps peakLoad;
     /** Provisioned power capacity of the server. */
-    Watts powerCap = 0.0;
+    Watts powerCap;
 };
 
 /** A best-effort candidate's model inputs. */

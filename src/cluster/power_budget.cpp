@@ -24,7 +24,7 @@ namespace
 /** Modeled primary reservation and spare resources at a load. */
 struct Reservation
 {
-    Watts primaryDraw = 0.0;
+    Watts primaryDraw;
     int spareCores = 0;
     int spareWays = 0;
 };
@@ -34,7 +34,7 @@ reserveFor(const BudgetServer& server, const sim::ServerSpec& spec)
 {
     Reservation r;
     const double target =
-        server.loadFraction * server.lc.peakLoad;
+        (server.loadFraction * server.lc.peakLoad).value();
     const auto plan = model::minPowerAllocationFor(
         server.lc.utility, target, spec);
     if (!plan) {
@@ -53,7 +53,7 @@ double
 beValue(const BudgetServer& server, const Reservation& r,
         Watts headroom)
 {
-    if (headroom <= 0.0)
+    if (headroom <= Watts{})
         return 0.0;
     return model::estimateBePerformance(server.beUtility, headroom,
                                         r.spareCores, r.spareWays);
@@ -67,21 +67,22 @@ splitClusterBudget(const std::vector<BudgetServer>& servers,
                    BudgetPolicy policy, Watts step)
 {
     POCO_REQUIRE(!servers.empty(), "budget needs >= 1 server");
-    POCO_REQUIRE(total_budget > 0.0, "budget must be positive");
-    POCO_REQUIRE(step > 0.0, "water-filling step must be positive");
+    POCO_REQUIRE(total_budget > Watts{}, "budget must be positive");
+    POCO_REQUIRE(step > Watts{},
+                 "water-filling step must be positive");
     for (const auto& s : servers) {
         POCO_REQUIRE(s.loadFraction > 0.0 && s.loadFraction <= 1.0,
                      "load fraction must be in (0, 1]");
-        POCO_REQUIRE(s.lc.powerCap > 0.0,
+        POCO_REQUIRE(s.lc.powerCap > Watts{},
                      "server capacity must be positive");
     }
 
     const std::size_t n = servers.size();
     BudgetSplit split;
-    split.caps.assign(n, 0.0);
+    split.caps.assign(n, Watts{});
 
     if (policy == BudgetPolicy::Proportional) {
-        Watts provisioned = 0.0;
+        Watts provisioned;
         for (const auto& s : servers)
             provisioned += s.lc.powerCap;
         const double fraction =
@@ -99,7 +100,7 @@ splitClusterBudget(const std::vector<BudgetServer>& servers,
 
     // UtilityAware: reserve primaries, then greedy water-filling.
     std::vector<Reservation> reservations(n);
-    Watts reserved = 0.0;
+    Watts reserved;
     for (std::size_t j = 0; j < n; ++j) {
         reservations[j] = reserveFor(servers[j], spec);
         split.caps[j] = reservations[j].primaryDraw;
@@ -123,7 +124,7 @@ splitClusterBudget(const std::vector<BudgetServer>& servers,
         std::size_t best = n;
         for (std::size_t j = 0; j < n; ++j) {
             if (split.caps[j] + step >
-                servers[j].lc.powerCap + 1e-9)
+                servers[j].lc.powerCap + Watts{1e-9})
                 continue;
             const double candidate = beValue(
                 servers[j], reservations[j],

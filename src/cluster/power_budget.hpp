@@ -71,6 +71,6 @@ struct BudgetSplit
 BudgetSplit
 splitClusterBudget(const std::vector<BudgetServer>& servers,
                    Watts total_budget, const sim::ServerSpec& spec,
-                   BudgetPolicy policy, Watts step = 1.0);
+                   BudgetPolicy policy, Watts step = Watts{1.0});
 
 } // namespace poco::cluster

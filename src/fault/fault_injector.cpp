@@ -80,7 +80,7 @@ FaultInjector::readPower(const sim::PowerMeter& meter, SimTime now,
 
     if (active(FaultKind::SensorDropout, now) != nullptr) {
         ++stats_.faultedReads;
-        return std::numeric_limits<Watts>::quiet_NaN();
+        return Watts{std::numeric_limits<double>::quiet_NaN()};
     }
     if (const FaultWindow* stuck = active(FaultKind::SensorStuck, now);
         stuck != nullptr) {

@@ -96,10 +96,10 @@ class FaultInjector
     std::vector<const FaultWindow*> active_;
     /** Frozen sensor value for the open SensorStuck window. */
     const FaultWindow* stuck_window_ = nullptr;
-    Watts stuck_value_ = 0.0;
+    Watts stuck_value_;
     bool stuck_captured_ = false;
     /** Last value actually delivered (the stale-telemetry replay). */
-    Watts last_delivered_ = 0.0;
+    Watts last_delivered_;
     bool delivered_any_ = false;
     InjectorStats stats_;
 };

@@ -46,7 +46,7 @@ CobbDouglasUtility::performance(const std::vector<double>& r) const
     return std::exp(log_perf);
 }
 
-double
+Watts
 CobbDouglasUtility::powerAt(const std::vector<double>& r) const
 {
     POCO_REQUIRE(r.size() == p_coef_.size(),
@@ -54,7 +54,7 @@ CobbDouglasUtility::powerAt(const std::vector<double>& r) const
     double power = p_static_;
     for (std::size_t j = 0; j < r.size(); ++j)
         power += p_coef_[j] * r[j];
-    return power;
+    return Watts{power};
 }
 
 namespace
@@ -88,11 +88,11 @@ CobbDouglasUtility::indirectPreference() const
 }
 
 std::vector<double>
-CobbDouglasUtility::demand(double power_budget) const
+CobbDouglasUtility::demand(Watts power_budget) const
 {
-    POCO_REQUIRE(power_budget > p_static_,
+    POCO_REQUIRE(power_budget.value() > p_static_,
                  "power budget must exceed static power");
-    const double dynamic = power_budget - p_static_;
+    const double dynamic = power_budget.value() - p_static_;
     const double asum = alphaSum();
     std::vector<double> r(alpha_.size());
     for (std::size_t j = 0; j < alpha_.size(); ++j)
@@ -101,12 +101,12 @@ CobbDouglasUtility::demand(double power_budget) const
 }
 
 std::vector<double>
-CobbDouglasUtility::demandBoxed(double power_budget,
+CobbDouglasUtility::demandBoxed(Watts power_budget,
                                 const std::vector<double>& r_max) const
 {
     POCO_REQUIRE(r_max.size() == alpha_.size(),
                  "resource cap dimension mismatch");
-    POCO_REQUIRE(power_budget > p_static_,
+    POCO_REQUIRE(power_budget.value() > p_static_,
                  "power budget must exceed static power");
     for (double cap : r_max)
         POCO_REQUIRE(cap > 0.0, "resource caps must be positive");
@@ -118,7 +118,7 @@ CobbDouglasUtility::demandBoxed(double power_budget,
     // loop runs at most k times.
     std::vector<double> r(alpha_.size(), 0.0);
     std::vector<bool> clamped(alpha_.size(), false);
-    double budget = power_budget - p_static_;
+    double budget = power_budget.value() - p_static_;
 
     for (;;) {
         double alpha_free = 0.0;
@@ -154,7 +154,7 @@ CobbDouglasUtility::demandBoxed(double power_budget,
     return r;
 }
 
-double
+Watts
 CobbDouglasUtility::minPowerForPerformance(double perf,
                                            std::vector<double>* r_out)
     const
@@ -175,7 +175,7 @@ CobbDouglasUtility::minPowerForPerformance(double perf,
         for (std::size_t j = 0; j < alpha_.size(); ++j)
             (*r_out)[j] = t * alpha_[j] / p_coef_[j];
     }
-    return p_static_ + t * asum;
+    return Watts{p_static_ + t * asum};
 }
 
 std::string

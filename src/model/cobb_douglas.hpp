@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace poco::model
 {
 
@@ -46,7 +48,7 @@ class CobbDouglasUtility
 
     double logA0() const { return log_a0_; }
     const std::vector<double>& alpha() const { return alpha_; }
-    double pStatic() const { return p_static_; }
+    Watts pStatic() const { return Watts{p_static_}; }
     const std::vector<double>& pCoef() const { return p_coef_; }
     double alphaSum() const;
 
@@ -58,7 +60,7 @@ class CobbDouglasUtility
     double performance(const std::vector<double>& r) const;
 
     /** Modeled power draw at resource vector @p r. */
-    double powerAt(const std::vector<double>& r) const;
+    Watts powerAt(const std::vector<double>& r) const;
 
     /**
      * Direct preference: alpha_j normalized to sum 1 (paper Fig. 9).
@@ -80,7 +82,7 @@ class CobbDouglasUtility
      * @param power_budget Total budget B; must exceed pStatic().
      * @return r_j* = (B - p_static)/p_j * alpha_j / sum(alpha).
      */
-    std::vector<double> demand(double power_budget) const;
+    std::vector<double> demand(Watts power_budget) const;
 
     /**
      * Utility-maximizing demand under both a power budget and
@@ -94,7 +96,7 @@ class CobbDouglasUtility
      * @param r_max Per-resource caps (k entries, > 0).
      */
     std::vector<double>
-    demandBoxed(double power_budget,
+    demandBoxed(Watts power_budget,
                 const std::vector<double>& r_max) const;
 
     /**
@@ -103,9 +105,9 @@ class CobbDouglasUtility
      * Returns the optimal resource vector through @p r_out when
      * non-null.
      */
-    double minPowerForPerformance(double perf,
-                                  std::vector<double>* r_out
-                                  = nullptr) const;
+    Watts minPowerForPerformance(double perf,
+                                 std::vector<double>* r_out
+                                 = nullptr) const;
 
     /** Render as "a0=…, alpha=[…], p_static=…, p=[…]". */
     std::string toString() const;

@@ -22,7 +22,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
 
     // Pass 1: the true power minimum over feasible cells.
     const double want = target_perf * headroom;
-    double min_power = 0.0;
+    Watts min_power;
     bool feasible = false;
     for (int c = 1; c <= spec.cores; ++c) {
         for (int w = 1; w <= spec.llcWays; ++w) {
@@ -30,7 +30,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
                                            static_cast<double>(w)};
             if (utility.performance(r) < want)
                 continue;
-            const double power = utility.powerAt(r);
+            const Watts power = utility.powerAt(r);
             if (!feasible || power < min_power) {
                 min_power = power;
                 feasible = true;
@@ -42,7 +42,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
 
     // Pass 2: within the tie band, free the most cores (then ways)
     // for the co-runner.
-    const double band = min_power * (1.0 + tie_epsilon);
+    const Watts band = min_power * (1.0 + tie_epsilon);
     std::optional<AllocationPlan> best;
     for (int c = 1; c <= spec.cores; ++c) {
         for (int w = 1; w <= spec.llcWays; ++w) {
@@ -51,7 +51,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
             const double perf = utility.performance(r);
             if (perf < want)
                 continue;
-            const double power = utility.powerAt(r);
+            const Watts power = utility.powerAt(r);
             if (power > band)
                 continue;
             const bool better =
@@ -68,7 +68,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
 }
 
 AllocationPlan
-roundedDemand(const CobbDouglasUtility& utility, double power_budget,
+roundedDemand(const CobbDouglasUtility& utility, Watts power_budget,
               const sim::ServerSpec& spec)
 {
     POCO_REQUIRE(utility.numResources() == 2,
@@ -97,11 +97,11 @@ roundedDemand(const CobbDouglasUtility& utility, double power_budget,
 
 double
 estimateBePerformance(const CobbDouglasUtility& be_utility,
-                      double spare_power, int spare_cores,
+                      Watts spare_power, int spare_cores,
                       int spare_ways)
 {
-    POCO_REQUIRE(spare_power >= 0.0, "spare power must be >= 0");
-    if (spare_cores < 1 || spare_ways < 1 || spare_power <= 0.0)
+    POCO_REQUIRE(spare_power >= Watts{}, "spare power must be >= 0");
+    if (spare_cores < 1 || spare_ways < 1 || spare_power <= Watts{})
         return 0.0;
     const std::vector<double> caps = {
         static_cast<double>(spare_cores),

@@ -26,7 +26,7 @@ namespace poco::model
 struct AllocationPlan
 {
     sim::Allocation alloc;
-    double modeledPower = 0.0;  ///< watts, includes the intercept
+    Watts modeledPower;  ///< includes the intercept
     double modeledPerf = 0.0;
 };
 
@@ -58,7 +58,7 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
  * a feasible integer allocation (ceil, clamped to capacity).
  */
 AllocationPlan roundedDemand(const CobbDouglasUtility& utility,
-                             double power_budget,
+                             Watts power_budget,
                              const sim::ServerSpec& spec);
 
 /**
@@ -69,10 +69,10 @@ AllocationPlan roundedDemand(const CobbDouglasUtility& utility,
  * demand is solved with budget pStatic + spare_power.
  *
  * @param spare_power Power headroom left under the server cap once
- *        the primary's draw is accounted for (watts, >= 0).
+ *        the primary's draw is accounted for (>= 0 W).
  */
 double estimateBePerformance(const CobbDouglasUtility& be_utility,
-                             double spare_power, int spare_cores,
+                             Watts spare_power, int spare_cores,
                              int spare_ways);
 
 } // namespace poco::model

@@ -15,7 +15,7 @@ edgeworthSweep(const wl::LcApp& app,
                const std::vector<double>& load_fractions,
                Watts power_cap)
 {
-    POCO_REQUIRE(power_cap > 0.0, "power cap must be positive");
+    POCO_REQUIRE(power_cap > Watts{}, "power cap must be positive");
     const sim::ServerSpec& spec = app.spec();
 
     std::vector<EdgeworthPoint> sweep;
@@ -31,11 +31,11 @@ edgeworthSweep(const wl::LcApp& app,
         row.primaryServerPower = point->power;
         row.spareCores = spec.cores - point->cores;
         row.spareWays = spec.llcWays - point->ways;
-        row.sparePower = std::max(0.0, power_cap - point->power);
+        row.sparePower = std::max(Watts{}, power_cap - point->power);
         row.beEstimatedPerf = estimateBePerformance(
             be_utility, row.sparePower, row.spareCores, row.spareWays);
         if (row.spareCores >= 1 && row.spareWays >= 1 &&
-            row.sparePower > 0.0) {
+            row.sparePower > Watts{}) {
             row.beDemand = be_utility.demandBoxed(
                 be_utility.pStatic() + row.sparePower,
                 {static_cast<double>(row.spareCores),

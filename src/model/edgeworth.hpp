@@ -31,12 +31,12 @@ struct EdgeworthPoint
     /** Primary's power-efficient allocation at this load. */
     int primaryCores = 0;
     int primaryWays = 0;
-    Watts primaryServerPower = 0.0;  ///< includes static power
+    Watts primaryServerPower;  ///< includes static power
 
     /** Complementary spare resources (the secondary's origin view). */
     int spareCores = 0;
     int spareWays = 0;
-    Watts sparePower = 0.0;  ///< headroom under the provisioned cap
+    Watts sparePower;  ///< headroom under the provisioned cap
 
     /** Modeled best response of the secondary on the spare. */
     std::vector<double> beDemand;

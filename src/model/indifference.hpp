@@ -27,7 +27,7 @@ struct IndifferencePoint
     int cores = 0;
     int ways = 0;
     /** Server power while serving the iso-load on this allocation. */
-    Watts power = 0.0;
+    Watts power;
 };
 
 /**

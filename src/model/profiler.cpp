@@ -106,7 +106,7 @@ Profiler::profileLc(const wl::LcApp& app,
             // bisection against the observable latency surface so the
             // profiler works for any ground truth.
             const Rps cap = app.capacity(alloc);
-            Rps lo = 0.0, hi = cap;
+            Rps lo, hi = cap;
             for (int iter = 0; iter < 40; ++iter) {
                 const Rps mid = 0.5 * (lo + hi);
                 if (app.slack99(mid, alloc) >= config_.minSlack)
@@ -117,10 +117,10 @@ Profiler::profileLc(const wl::LcApp& app,
             const Rps guarded_load = lo;
 
             CellMeasure m;
-            if (guarded_load <= 0.0)
+            if (guarded_load <= Rps{})
                 return m; // allocation cannot meet the guard at all
-            m.perf = guarded_load;
-            m.power = app.serverPower(guarded_load, alloc);
+            m.perf = guarded_load.value();
+            m.power = app.serverPower(guarded_load, alloc).value();
             return m;
         });
 
@@ -144,8 +144,8 @@ Profiler::profileBe(const wl::BeApp& app,
             const auto [c, w] = grid[cell];
             const sim::Allocation alloc{c, w, spec.freqMax, 1.0};
             CellMeasure m;
-            m.perf = app.throughput(alloc);
-            m.power = spec.idlePower + app.power(alloc);
+            m.perf = app.throughput(alloc).value();
+            m.power = (spec.idlePower + app.power(alloc)).value();
             return m;
         });
 

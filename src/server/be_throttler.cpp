@@ -22,7 +22,7 @@ throttleOrderName(ThrottleOrder order)
 BeThrottler::BeThrottler(ThrottlerConfig config) : config_(config)
 {
     POCO_REQUIRE(config_.window > 0, "meter window must be positive");
-    POCO_REQUIRE(config_.releaseMargin >= 0.0,
+    POCO_REQUIRE(config_.releaseMargin >= Watts{},
                  "release margin must be non-negative");
     POCO_REQUIRE(config_.minDutyCycle > 0.0 &&
                  config_.minDutyCycle <= 1.0,
@@ -58,10 +58,12 @@ BeThrottler::decideAt(const ColocatedServer& server, std::size_t slot,
     const Watts cap = server.powerCap();
     const Watts avg = measured;
 
-    const bool can_lower_freq = alloc.freq > spec.freqMin + 1e-9;
+    const bool can_lower_freq =
+        alloc.freq > spec.freqMin + GHz{1e-9};
     const bool can_lower_duty =
         alloc.dutyCycle > config_.minDutyCycle;
-    const bool can_raise_freq = alloc.freq < spec.freqMax - 1e-9;
+    const bool can_raise_freq =
+        alloc.freq < spec.freqMax - GHz{1e-9};
     const bool can_raise_duty = alloc.dutyCycle < 1.0;
 
     auto lower_freq = [&] { alloc.freq = spec.stepDown(alloc.freq); };

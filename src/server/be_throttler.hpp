@@ -39,7 +39,7 @@ struct ThrottlerConfig
     /** Meter averaging window (paper: 100 ms sampling). */
     SimTime window = 100 * kMillisecond;
     /** Release hysteresis: unthrottle only below cap - margin. */
-    Watts releaseMargin = 3.0;
+    Watts releaseMargin{3.0};
     /** Duty-cycle floor so the BE app keeps making some progress. */
     double minDutyCycle = 0.05;
     /** Multiplicative duty adjustment per period. */

@@ -10,13 +10,15 @@ namespace poco::server
 Watts
 ServerStats::averagePower() const
 {
-    return elapsed > 0 ? energyJoules / toSeconds(elapsed) : 0.0;
+    return elapsed > 0 ? energyJoules / simSeconds(elapsed)
+                       : Watts{};
 }
 
 Rps
 ServerStats::averageBeThroughput() const
 {
-    return elapsed > 0 ? beWorkDone / toSeconds(elapsed) : 0.0;
+    return elapsed > 0 ? Rps{beWorkDone / toSeconds(elapsed)}
+                       : Rps{};
 }
 
 double
@@ -59,7 +61,7 @@ ColocatedServer::ColocatedServer(
 void
 ColocatedServer::init(Watts power_cap)
 {
-    POCO_REQUIRE(power_cap > 0.0, "power cap must be positive");
+    POCO_REQUIRE(power_cap > Watts{}, "power cap must be positive");
     power_cap_ = power_cap;
     // Boot with the primary owning the whole machine and all
     // secondaries parked — the controllers carve out spare capacity.
@@ -102,7 +104,7 @@ ColocatedServer::beAllocAt(std::size_t i) const
 void
 ColocatedServer::setLoad(SimTime now, Rps load)
 {
-    POCO_REQUIRE(load >= 0.0, "load must be non-negative");
+    POCO_REQUIRE(load >= Rps{}, "load must be non-negative");
     integrate(now);
     load_ = load;
     refreshMeter(now);
@@ -216,7 +218,7 @@ ColocatedServer::power() const
 Rps
 ColocatedServer::beThroughput() const
 {
-    Rps total = 0.0;
+    Rps total;
     for (std::size_t i = 0; i < secondaries_.size(); ++i)
         total += beThroughputAt(i);
     return total;
@@ -229,7 +231,7 @@ ColocatedServer::beThroughputAt(std::size_t i) const
                  "secondary slot out of range");
     const auto& s = secondaries_[i];
     if (s.app == nullptr || s.alloc.empty())
-        return 0.0;
+        return Rps{};
     return s.app->throughput(s.alloc);
 }
 
@@ -243,10 +245,11 @@ ColocatedServer::integrate(SimTime now)
         return;
     const Watts p = power();
     stats_.elapsed += dt;
-    stats_.energyJoules += p * toSeconds(dt);
+    stats_.energyJoules += p * simSeconds(dt);
     bool throttled = false;
     for (std::size_t i = 0; i < secondaries_.size(); ++i) {
-        const double work = beThroughputAt(i) * toSeconds(dt);
+        const double work =
+            beThroughputAt(i).value() * toSeconds(dt);
         secondaries_[i].workDone += work;
         stats_.beWorkDone += work;
         const auto& alloc = secondaries_[i].alloc;
@@ -254,14 +257,14 @@ ColocatedServer::integrate(SimTime now)
                     (secondaries_[i].app != nullptr &&
                      !alloc.empty() &&
                      (alloc.dutyCycle < 1.0 ||
-                      alloc.freq < spec().freqMax - 1e-9));
+                      alloc.freq < spec().freqMax - GHz{1e-9}));
     }
     if (latencyP99() > lc_->slo99())
         stats_.sloViolationTime += dt;
     if (throttled)
         stats_.cappedTime += dt;
     stats_.capOvershootJoules +=
-        std::max(0.0, p - power_cap_) * toSeconds(dt);
+        std::max(Watts{}, p - power_cap_) * simSeconds(dt);
     stats_.maxPower = std::max(stats_.maxPower, p);
     last_integrated_ = now;
 }

@@ -34,13 +34,13 @@ namespace poco::server
 struct ServerStats
 {
     SimTime elapsed = 0;
-    double energyJoules = 0.0;
+    Joules energyJoules;
     double beWorkDone = 0.0;      ///< integral of total BE throughput
     SimTime sloViolationTime = 0; ///< time with p99 above the SLO
     SimTime cappedTime = 0;       ///< time any BE app ran throttled
-    Watts maxPower = 0.0;
+    Watts maxPower;
     /** Integral of max(0, power - cap) — ground-truth cap damage. */
-    double capOvershootJoules = 0.0;
+    Joules capOvershootJoules;
 
     Watts averagePower() const;
     Rps averageBeThroughput() const;
@@ -157,9 +157,9 @@ class ColocatedServer
 
     const wl::LcApp* lc_;
     std::vector<Secondary> secondaries_;
-    Watts power_cap_ = 0.0;
+    Watts power_cap_;
 
-    Rps load_ = 0.0;
+    Rps load_;
     sim::Allocation primary_;
     sim::Allocation empty_alloc_;
 

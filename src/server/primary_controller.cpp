@@ -25,7 +25,7 @@ HeraclesController::decide(const ColocatedServer& server)
     const sim::ServerSpec& spec = server.spec();
     sim::Allocation alloc = server.primaryAlloc();
     const double slack = server.slack99();
-    const double load = server.load();
+    const Rps load = server.load();
 
     if (cooldown_ > 0)
         --cooldown_;
@@ -35,10 +35,10 @@ HeraclesController::decide(const ColocatedServer& server)
     // walk to a feasible point on the new curve. This realizes the
     // baseline's "any feasible allocation, undifferentiated by
     // power" behaviour.
-    const double peak = server.lc().peakLoad();
+    const Rps peak = server.lc().peakLoad();
     if (anchor_load_ < 0.0 ||
-        std::abs(load - anchor_load_) > 0.05 * peak) {
-        anchor_load_ = load;
+        std::abs(load.value() - anchor_load_) > 0.05 * peak.value()) {
+        anchor_load_ = load.value();
         // Operator rule of thumb (model-free): at X% of peak load,
         // keep at least X% of the cores. The draw is uniform over a
         // band above that floor — the realistic stretch of the
@@ -108,8 +108,8 @@ PomController::decide(const ColocatedServer& server)
 {
     const sim::ServerSpec& spec = server.spec();
     const double slack = server.slack99();
-    const double load = server.load();
-    const double peak = server.lc().peakLoad();
+    const Rps load = server.load();
+    const Rps peak = server.lc().peakLoad();
 
     // Latency feedback: a shortfall means the model is optimistic at
     // this operating point, so remember extra headroom. The boost is
@@ -118,8 +118,8 @@ PomController::decide(const ColocatedServer& server)
     // (an oscillation between violation and excess slack). It decays
     // partially when the load moves materially.
     if (anchor_load_ < 0.0 ||
-        std::abs(load - anchor_load_) > 0.05 * peak) {
-        anchor_load_ = load;
+        std::abs(load.value() - anchor_load_) > 0.05 * peak.value()) {
+        anchor_load_ = load.value();
         feedback_boost_ = std::max(feedback_boost_ - 4, 0);
         // A load shift invalidates any frequency relaxation: snap
         // back to maximum before resizing.
@@ -130,8 +130,8 @@ PomController::decide(const ColocatedServer& server)
     // inflicted by a frequency relaxation — otherwise the DVFS and
     // demand loops chase each other (snap the frequency back first).
     const bool freq_relaxed =
-        config_.tunePrimaryFrequency && freq_ > 0.0 &&
-        freq_ < spec.freqMax - 1e-9;
+        config_.tunePrimaryFrequency && freq_ > GHz{} &&
+        freq_ < spec.freqMax - GHz{1e-9};
     if (slack < config_.minSlack && !freq_relaxed)
         feedback_boost_ = std::min(feedback_boost_ + 1, 16);
 
@@ -139,7 +139,7 @@ PomController::decide(const ColocatedServer& server)
     // for >= the offered load lands at ~minSlack by construction;
     // headroom and the feedback boost cover model error.
     const double target =
-        std::max(server.load(), 1e-6) * config_.headroom *
+        std::max(server.load().value(), 1e-6) * config_.headroom *
         (1.0 + 0.02 * feedback_boost_);
     const auto plan =
         model::minPowerAllocationFor(utility_, target, spec);
@@ -173,7 +173,7 @@ PomController::decide(const ColocatedServer& server)
     // 0.9, so each step trades little slack for real watts). A
     // shortfall reverts to max frequency before any resource grows.
     if (config_.tunePrimaryFrequency) {
-        if (freq_ <= 0.0)
+        if (freq_ <= GHz{})
             freq_ = spec.freqMax;
         if (slack < config_.minSlack) {
             freq_ = spec.freqMax;

@@ -130,7 +130,7 @@ class PomController : public PrimaryController
     /** Load at the last regime change; <0 before the first decide. */
     double anchor_load_ = -1.0;
     /** Current primary frequency (used when tunePrimaryFrequency). */
-    GHz freq_ = 0.0;
+    GHz freq_{0.0};
     /** Consecutive high-slack periods seen (frequency tuning). */
     int high_slack_streak_ = 0;
 };

@@ -195,7 +195,8 @@ ServerManager::watchdogTick(SimTime now, Watts measured)
 {
     const WatchdogConfig& wd = config_.watchdog;
     const Watts cap = server_->powerCap();
-    const bool valid = std::isfinite(measured) && measured >= 0.0 &&
+    const bool valid = std::isfinite(measured.value()) &&
+                       measured >= Watts{} &&
                        measured <= cap * wd.maxCredibleFactor;
 
     bool bad = false;
@@ -371,7 +372,7 @@ ServerManager::result() const
     out.faults = fault_stats_;
     out.faults.capOvershootJoules = out.stats.capOvershootJoules;
     out.faults.maxOvershoot =
-        std::max(0.0, out.stats.maxPower - server_->powerCap());
+        std::max(Watts{}, out.stats.maxPower - server_->powerCap());
     return out;
 }
 

@@ -50,7 +50,7 @@ struct WatchdogConfig
     /** Degraded ticks of overshoot evidence before BE eviction. */
     int overshootTicksToEvict = 20;
     /** Watts above cap that count as overshoot while degraded. */
-    Watts overshootMargin = 1.0;
+    Watts overshootMargin{1.0};
 };
 
 /** Periods and tunables of the management loops. */
@@ -81,10 +81,10 @@ struct FaultRunStats
     long invalidReadings = 0;  ///< NaN / negative / implausible reads
     long unconfirmedTicks = 0; ///< commands that did not read back
     long probes = 0;           ///< deliberate DVFS probes issued
-    /** Ground-truth integral of max(0, power - cap), joules. */
-    double capOvershootJoules = 0.0;
-    /** Ground-truth max(0, peak power - cap), watts. */
-    Watts maxOvershoot = 0.0;
+    /** Ground-truth integral of max(0, power - cap). */
+    Joules capOvershootJoules;
+    /** Ground-truth max(0, peak power - cap). */
+    Watts maxOvershoot;
 };
 
 /** Outcome of one managed run. */
@@ -187,7 +187,7 @@ class ServerManager
     int frozen_streak_ = 0;
     int overshoot_streak_ = 0;
     bool have_last_reading_ = false;
-    Watts last_reading_ = 0.0;
+    Watts last_reading_;
     bool command_pending_ = false;
     sim::Allocation commanded_;
     bool probe_pending_ = false;
@@ -217,7 +217,7 @@ struct ServerScenario
 {
     const wl::LcApp* lc = nullptr; ///< required
     const wl::BeApp* be = nullptr; ///< null runs the primary alone
-    Watts powerCap = 0.0;
+    Watts powerCap;
     std::unique_ptr<PrimaryController> controller;
     wl::LoadTrace trace = wl::LoadTrace::constant(0.5);
     SimTime duration = 0;

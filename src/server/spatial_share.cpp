@@ -18,7 +18,7 @@ namespace
 double
 bestTwoAppValue(const model::CobbDouglasUtility& a,
                 const model::CobbDouglasUtility& b, int ca, int wa,
-                int cb, int wb, double spare_power, double& thr_a,
+                int cb, int wb, Watts spare_power, double& thr_a,
                 double& thr_b)
 {
     thr_a = thr_b = 0.0;
@@ -34,11 +34,11 @@ bestTwoAppValue(const model::CobbDouglasUtility& a,
     }
 
     // Unconstrained draw of each side at its full slice.
-    const double draw_a =
+    const Watts draw_a =
         a.powerAt({static_cast<double>(ca),
                    static_cast<double>(wa)}) -
         a.pStatic();
-    const double draw_b =
+    const Watts draw_b =
         b.powerAt({static_cast<double>(cb),
                    static_cast<double>(wb)}) -
         b.pStatic();
@@ -53,8 +53,8 @@ bestTwoAppValue(const model::CobbDouglasUtility& a,
     // Power is the binding constraint: sweep the split.
     double best = 0.0;
     for (double frac = 0.05; frac <= 0.951; frac += 0.05) {
-        const double pa = frac * spare_power;
-        const double pb = spare_power - pa;
+        const Watts pa = frac * spare_power;
+        const Watts pb = spare_power - pa;
         const double ta =
             model::estimateBePerformance(a, pa, ca, wa);
         const double tb =
@@ -73,7 +73,7 @@ bestTwoAppValue(const model::CobbDouglasUtility& a,
 SpatialPlan
 planSpatialShare(
     const std::vector<const model::CobbDouglasUtility*>& utilities,
-    int spare_cores, int spare_ways, double spare_power,
+    int spare_cores, int spare_ways, Watts spare_power,
     const sim::ServerSpec& spec)
 {
     POCO_REQUIRE(utilities.size() >= 2,
@@ -83,7 +83,7 @@ planSpatialShare(
                      "utilities must be (cores, ways) models");
     POCO_REQUIRE(spare_cores >= 0 && spare_ways >= 0,
                  "spare resources must be non-negative");
-    POCO_REQUIRE(spare_power >= 0.0,
+    POCO_REQUIRE(spare_power >= Watts{},
                  "spare power must be non-negative");
 
     SpatialPlan plan;
@@ -125,7 +125,7 @@ planSpatialShare(
     for (int c0 = 0; c0 <= spare_cores; ++c0) {
         for (int w0 = 0; w0 <= spare_ways; ++w0) {
             for (double frac = 0.1; frac <= 0.91; frac += 0.2) {
-                const double p0 = frac * spare_power;
+                const Watts p0 = frac * spare_power;
                 const double t0 =
                     (c0 >= 1 && w0 >= 1)
                         ? model::estimateBePerformance(

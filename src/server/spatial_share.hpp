@@ -53,7 +53,7 @@ struct SpatialPlan
 SpatialPlan
 planSpatialShare(
     const std::vector<const model::CobbDouglasUtility*>& utilities,
-    int spare_cores, int spare_ways, double spare_power,
+    int spare_cores, int spare_ways, Watts spare_power,
     const sim::ServerSpec& spec);
 
 /** Outcome of executing a spatial plan on the simulated server. */

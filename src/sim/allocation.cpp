@@ -15,8 +15,8 @@ Allocation::validate(const ServerSpec& spec) const
                  "core allocation out of range");
     POCO_REQUIRE(ways >= 0 && ways <= spec.llcWays,
                  "way allocation out of range");
-    POCO_REQUIRE(freq >= spec.freqMin - 1e-9 &&
-                 freq <= spec.freqMax + 1e-9,
+    POCO_REQUIRE(freq >= spec.freqMin - GHz{1e-9} &&
+                 freq <= spec.freqMax + GHz{1e-9},
                  "frequency out of range");
     POCO_REQUIRE(dutyCycle > 0.0 && dutyCycle <= 1.0,
                  "duty cycle must be in (0, 1]");

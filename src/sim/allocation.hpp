@@ -30,7 +30,7 @@ struct Allocation
     int ways = 0;
 
     /** Frequency of the granted cores. */
-    GHz freq = 2.2;
+    GHz freq{2.2};
 
     /**
      * Fraction of CPU time the granted cores may execute, in (0, 1].

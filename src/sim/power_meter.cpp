@@ -11,7 +11,7 @@ namespace poco::sim
 PowerMeter::PowerMeter(SimTime retention) : retention_(retention)
 {
     POCO_REQUIRE(retention > 0, "retention must be positive");
-    history_.push_back(Segment{0, 0.0});
+    history_.push_back(Segment{0, Watts{}});
 }
 
 void
@@ -19,9 +19,9 @@ PowerMeter::setPower(SimTime when, Watts watts)
 {
     POCO_REQUIRE(when >= last_change_,
                  "power meter updates must be time-ordered");
-    POCO_REQUIRE(std::isfinite(watts),
+    POCO_REQUIRE(std::isfinite(watts.value()),
                  "power must be finite (got NaN or infinity)");
-    POCO_REQUIRE(watts >= 0.0, "power must be non-negative");
+    POCO_REQUIRE(watts >= Watts{}, "power must be non-negative");
     if (watts == current_)
         return;
     history_.push_back(Segment{when, watts});
@@ -40,8 +40,8 @@ PowerMeter::prune(SimTime now)
         const Segment& first = history_.front();
         const SimTime end = history_[1].start;
         folded_joules_ +=
-            first.watts * toSeconds(end - std::max(first.start,
-                                                   folded_until_));
+            first.watts * simSeconds(end - std::max(first.start,
+                                                    folded_until_));
         folded_until_ = end;
         history_.pop_front();
     }
@@ -57,7 +57,7 @@ PowerMeter::average(SimTime now, SimTime window) const
     if (now == begin)
         return current_;
 
-    double joules = 0.0;
+    Joules joules;
     for (std::size_t i = 0; i < history_.size(); ++i) {
         const SimTime seg_start = history_[i].start;
         const SimTime seg_end =
@@ -65,24 +65,25 @@ PowerMeter::average(SimTime now, SimTime window) const
         const SimTime lo = std::max(seg_start, begin);
         const SimTime hi = std::min(seg_end, now);
         if (hi > lo)
-            joules += history_[i].watts * toSeconds(hi - lo);
+            joules += history_[i].watts * simSeconds(hi - lo);
     }
-    return joules / toSeconds(now - begin);
+    return joules / simSeconds(now - begin);
 }
 
-double
+Joules
 PowerMeter::energyJoules(SimTime now) const
 {
     POCO_REQUIRE(now >= last_change_,
                  "query time precedes last recorded change");
-    double joules = folded_joules_;
+    Joules joules = folded_joules_;
     for (std::size_t i = 0; i < history_.size(); ++i) {
         const SimTime seg_start =
             std::max(history_[i].start, folded_until_);
         const SimTime seg_end =
             (i + 1 < history_.size()) ? history_[i + 1].start : now;
         if (seg_end > seg_start)
-            joules += history_[i].watts * toSeconds(seg_end - seg_start);
+            joules +=
+                history_[i].watts * simSeconds(seg_end - seg_start);
     }
     return joules;
 }

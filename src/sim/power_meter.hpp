@@ -45,8 +45,8 @@ class PowerMeter
      */
     Watts average(SimTime now, SimTime window) const;
 
-    /** Total energy in joules from time zero through @p now. */
-    double energyJoules(SimTime now) const;
+    /** Total energy from time zero through @p now. */
+    Joules energyJoules(SimTime now) const;
 
   private:
     struct Segment
@@ -58,10 +58,10 @@ class PowerMeter
     void prune(SimTime now);
 
     SimTime retention_;
-    Watts current_ = 0.0;
+    Watts current_;
     SimTime last_change_ = 0;
-    /** Energy (J) accumulated in segments older than the history. */
-    double folded_joules_ = 0.0;
+    /** Energy accumulated in segments older than the history. */
+    Joules folded_joules_;
     SimTime folded_until_ = 0;
     std::deque<Segment> history_;
 };

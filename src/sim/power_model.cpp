@@ -19,7 +19,7 @@ PowerModel::appPower(const PowerDraw& draw) const
     const PowerIntensity& pi = draw.intensity;
     const Allocation& alloc = draw.alloc;
     if (alloc.empty())
-        return 0.0;
+        return Watts{};
     alloc.validate(spec_);
     POCO_REQUIRE(draw.utilization >= 0.0 && draw.utilization <= 1.0,
                  "utilization must be in [0, 1]");

@@ -34,13 +34,13 @@ namespace poco::sim
 struct PowerIntensity
 {
     /** Watts drawn by one fully utilized core at freqMax, duty 1. */
-    Watts corePeak = 6.0;
+    Watts corePeak{6.0};
 
     /** Watts attributable to one allocated LLC way at full activity. */
-    Watts wayPower = 2.0;
+    Watts wayPower{2.0};
 
     /** Constant activity power (uncore/DRAM) while the app runs. */
-    Watts basePower = 0.0;
+    Watts basePower;
 
     /**
      * Exponent of the (freq / freqMax) dynamic-power term. Classic

@@ -40,10 +40,10 @@ ServerSpec::validate() const
 {
     POCO_REQUIRE(cores > 0, "server must have at least one core");
     POCO_REQUIRE(llcWays > 0, "server must have at least one LLC way");
-    POCO_REQUIRE(freqMin > 0 && freqMax >= freqMin,
+    POCO_REQUIRE(freqMin > GHz{} && freqMax >= freqMin,
                  "frequency range must be positive and ordered");
-    POCO_REQUIRE(freqStep > 0, "frequency step must be positive");
-    POCO_REQUIRE(idlePower >= 0, "idle power must be non-negative");
+    POCO_REQUIRE(freqStep > GHz{}, "frequency step must be positive");
+    POCO_REQUIRE(idlePower >= Watts{}, "idle power must be non-negative");
     POCO_REQUIRE(nominalActivePower >= idlePower,
                  "active power must be at least idle power");
 }

@@ -33,15 +33,15 @@ struct ServerSpec
     double llcMegabytes = 30.0;
 
     /** DVFS range and step (cpupowerutils granularity). */
-    GHz freqMin = 1.2;
-    GHz freqMax = 2.2;
-    GHz freqStep = 0.1;
+    GHz freqMin{1.2};
+    GHz freqMax{2.2};
+    GHz freqStep{0.1};
 
     /** Static platform power with all cores idle at min frequency. */
-    Watts idlePower = 50.0;
+    Watts idlePower{50.0};
 
     /** Nominal all-core active power (Table I "Active"). */
-    Watts nominalActivePower = 135.0;
+    Watts nominalActivePower{135.0};
 
     /** Memory capacity in GiB (Table I). */
     double memoryGigabytes = 256.0;

@@ -59,27 +59,27 @@ TelemetryRecorder::since(SimTime since) const
 Watts
 TelemetryRecorder::averagePower(SimTime since) const
 {
-    double sum = 0.0;
+    Watts sum;
     std::size_t n = 0;
     for (auto it = firstAtOrAfter(samples_, since);
          it != samples_.end(); ++it) {
         sum += it->power;
         ++n;
     }
-    return n ? sum / static_cast<double>(n) : 0.0;
+    return n ? sum / static_cast<double>(n) : Watts{};
 }
 
 Rps
 TelemetryRecorder::averageBeThroughput(SimTime since) const
 {
-    double sum = 0.0;
+    Rps sum;
     std::size_t n = 0;
     for (auto it = firstAtOrAfter(samples_, since);
          it != samples_.end(); ++it) {
         sum += it->beThroughput;
         ++n;
     }
-    return n ? sum / static_cast<double>(n) : 0.0;
+    return n ? sum / static_cast<double>(n) : Rps{};
 }
 
 } // namespace poco::sim

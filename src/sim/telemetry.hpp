@@ -25,17 +25,17 @@ struct TelemetrySample
     SimTime when = 0;
 
     /** Primary (latency-critical) application state. */
-    Rps lcLoad = 0.0;
+    Rps lcLoad;
     double lcLatencyP95 = 0.0;  ///< seconds
     double lcLatencyP99 = 0.0;  ///< seconds
     Allocation lcAlloc;
 
     /** Secondary (best-effort) application state. */
-    Rps beThroughput = 0.0;
+    Rps beThroughput;
     Allocation beAlloc;
 
     /** Server power draw at the sample instant. */
-    Watts power = 0.0;
+    Watts power;
 };
 
 /** Bounded in-memory time series of telemetry samples. */

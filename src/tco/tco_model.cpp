@@ -26,9 +26,9 @@ TcoModel::monthlyCost(const PolicyProfile& profile,
                  "policy throughput must be positive");
     POCO_REQUIRE(reference_throughput_per_server > 0,
                  "reference throughput must be positive");
-    POCO_REQUIRE(profile.provisionedPowerPerServer > 0,
+    POCO_REQUIRE(profile.provisionedPowerPerServer > Watts{},
                  "provisioned power must be positive");
-    POCO_REQUIRE(profile.averagePowerPerServer >= 0,
+    POCO_REQUIRE(profile.averagePowerPerServer >= Watts{},
                  "average power must be non-negative");
 
     MonthlyCost cost;
@@ -41,15 +41,14 @@ TcoModel::monthlyCost(const PolicyProfile& profile,
     cost.serverCost = cost.serversNeeded * params_.serverCost /
                       params_.serverLifetimeMonths;
     cost.powerInfraCost = cost.serversNeeded *
-                          profile.provisionedPowerPerServer *
+                          profile.provisionedPowerPerServer.value() *
                           params_.powerInfraCostPerWatt /
                           params_.powerInfraLifetimeMonths;
 
     constexpr double hours_per_month = 730.0;
-    const double kwh_per_month = cost.serversNeeded *
-                                 profile.averagePowerPerServer *
-                                 params_.pue * hours_per_month /
-                                 1000.0;
+    const double kwh_per_month =
+        cost.serversNeeded * profile.averagePowerPerServer.value() *
+        params_.pue * hours_per_month / 1000.0;
     cost.energyCost = kwh_per_month * params_.energyCostPerKwh;
     return cost;
 }

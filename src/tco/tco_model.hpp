@@ -53,9 +53,9 @@ struct PolicyProfile
      */
     double throughputPerServer = 1.0;
     /** Provisioned power capacity per server (watts). */
-    Watts provisionedPowerPerServer = 150.0;
+    Watts provisionedPowerPerServer{150.0};
     /** Average actual draw per server (watts). */
-    Watts averagePowerPerServer = 100.0;
+    Watts averagePowerPerServer{100.0};
 };
 
 /** Amortized monthly cost breakdown (USD). */

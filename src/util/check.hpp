@@ -61,6 +61,23 @@ fatal(const std::string& msg)
     } while (0)
 
 /**
+ * Validate data that crosses the program boundary — CLI arguments,
+ * file contents, environment values. Throws FatalError on failure,
+ * like POCO_REQUIRE, but the diagnostic is phrased for the end user
+ * ("invalid input") rather than for an API caller, and poco_lint's
+ * `unchecked-parse` rule expects input parsing to funnel through
+ * helpers built on this macro (see util/parse.hpp).
+ */
+#define POCO_CHECK(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            std::ostringstream oss_;                                       \
+            oss_ << "invalid input: " << (msg);                            \
+            ::poco::fatal(oss_.str());                                     \
+        }                                                                  \
+    } while (0)
+
+/**
  * Check an internal invariant; aborts on failure. Use for conditions
  * that can only fail due to a bug inside the library.
  */

@@ -1,0 +1,71 @@
+#include "util/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace poco
+{
+
+namespace
+{
+
+/** Shared token validation: non-empty and fully consumed. */
+void
+checkConsumed(const std::string& text, const char* end,
+              const std::string& what)
+{
+    POCO_CHECK(!text.empty(), what + " is empty");
+    POCO_CHECK(end == text.c_str() + text.size(),
+               what + " is not a number: '" + text + "'");
+}
+
+} // namespace
+
+double
+parseDouble(const std::string& text, const std::string& what)
+{
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    checkConsumed(text, end, what);
+    POCO_CHECK(errno != ERANGE,
+               what + " is out of range: '" + text + "'");
+    POCO_CHECK(std::isfinite(value),
+               what + " must be finite: '" + text + "'");
+    return value;
+}
+
+int
+parseInt(const std::string& text, const std::string& what)
+{
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(text.c_str(), &end, 10);
+    checkConsumed(text, end, what);
+    POCO_CHECK(errno != ERANGE &&
+                   value >= std::numeric_limits<int>::min() &&
+                   value <= std::numeric_limits<int>::max(),
+               what + " is out of range: '" + text + "'");
+    return static_cast<int>(value);
+}
+
+std::uint64_t
+parseU64(const std::string& text, const std::string& what)
+{
+    POCO_CHECK(text.find('-') == std::string::npos,
+               what + " must be non-negative: '" + text + "'");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 10);
+    checkConsumed(text, end, what);
+    POCO_CHECK(errno != ERANGE,
+               what + " is out of range: '" + text + "'");
+    return static_cast<std::uint64_t>(value);
+}
+
+} // namespace poco

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Checked numeric parsing for data that crosses the program boundary.
+ *
+ * CLI arguments and file fields must not be fed to atoi/strtod
+ * directly: those accept trailing junk, silently return 0, or invoke
+ * UB on overflow. These helpers validate the whole token and throw
+ * FatalError (via POCO_CHECK) with the offending text and a caller
+ * supplied description. poco_lint's `unchecked-parse` rule bans the
+ * raw primitives outside util/, so all input parsing funnels here.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace poco
+{
+
+/**
+ * Parse @p text as a finite double; the entire token must be
+ * consumed. Throws FatalError naming @p what on malformed input.
+ */
+double parseDouble(const std::string& text, const std::string& what);
+
+/** Parse @p text as a decimal int; whole token, range checked. */
+int parseInt(const std::string& text, const std::string& what);
+
+/** Parse @p text as a decimal uint64; whole token, range checked. */
+std::uint64_t parseU64(const std::string& text, const std::string& what);
+
+} // namespace poco

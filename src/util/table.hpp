@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace poco
 {
 
@@ -49,6 +51,14 @@ class TextTable
 
 /** Format a double with fixed precision (default 2 digits). */
 std::string fmt(double value, int precision = 2);
+
+/** Format a strongly-typed quantity's magnitude (unit implied). */
+template <typename Tag>
+std::string
+fmt(Quantity<Tag> value, int precision = 2)
+{
+    return fmt(value.value(), precision);
+}
 
 /** Format a ratio as a percentage string, e.g. 0.18 -> "18.0%". */
 std::string fmtPercent(double ratio, int precision = 1);

@@ -3,14 +3,29 @@
  * Unit vocabulary for the simulator and managers.
  *
  * Simulated time is kept in integer microseconds to keep event ordering
- * exact; power in watts; frequency in GHz. Strong typedefs would be
- * overkill for this codebase, but the aliases document intent at call
- * sites and the helpers centralize conversions.
+ * exact. Physical quantities — power, energy, frequency, throughput —
+ * are carried by Quantity<Tag> strong types: construction from a bare
+ * double is explicit, cross-unit assignment is a compile error, and the
+ * only escape hatch back to a raw double is value(). Earlier revisions
+ * used bare-double aliases on the theory that strong typedefs would be
+ * overkill; the watt/joule bookkeeping at the heart of the power-capping
+ * loop proved otherwise, so the compiler now enforces the accounting.
+ *
+ * Dimensional rules (see DESIGN.md section 11 for the full table):
+ *   Watts  * Seconds -> Joules      Joules / Seconds -> Watts
+ *   Joules / Watts   -> Seconds     Quantity / Quantity (same unit)
+ *                                   -> dimensionless double
+ *
+ * Quantity's copy constructor is user-provided on purpose: the type is
+ * not trivially copyable, so passing one through a C varargs call
+ * (printf and friends) is ill-formed and the compiler flags every
+ * format-string site that forgot .value().
  */
 
 #pragma once
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 
 namespace poco
@@ -19,14 +34,152 @@ namespace poco
 /** Simulated time in microseconds. */
 using SimTime = std::int64_t;
 
+/**
+ * A double tagged with its physical unit. Same-unit arithmetic and
+ * scalar scaling are allowed; anything that would change or mix units
+ * is either an explicit overload (e.g. Watts * Seconds) or a compile
+ * error.
+ */
+template <typename Tag>
+class Quantity
+{
+  public:
+    constexpr Quantity() = default;
+    constexpr explicit Quantity(double value) : value_(value) {}
+
+    /**
+     * Deliberately user-provided (not `= default`): this makes the
+     * type non-trivially-copyable, so passing a Quantity through a C
+     * varargs call (printf) is a compile error instead of silent UB.
+     */
+    constexpr Quantity(const Quantity& other) : value_(other.value_) {}
+    constexpr Quantity& operator=(const Quantity& other) = default;
+
+    /** The raw magnitude — the only way back to a bare double. */
+    constexpr double value() const { return value_; }
+
+    constexpr Quantity operator-() const { return Quantity{-value_}; }
+
+    constexpr Quantity operator+(Quantity other) const
+    {
+        return Quantity{value_ + other.value_};
+    }
+    constexpr Quantity operator-(Quantity other) const
+    {
+        return Quantity{value_ - other.value_};
+    }
+    constexpr Quantity& operator+=(Quantity other)
+    {
+        value_ += other.value_;
+        return *this;
+    }
+    constexpr Quantity& operator-=(Quantity other)
+    {
+        value_ -= other.value_;
+        return *this;
+    }
+
+    /** Dimensionless scaling. */
+    constexpr Quantity operator*(double scale) const
+    {
+        return Quantity{value_ * scale};
+    }
+    constexpr Quantity operator/(double scale) const
+    {
+        return Quantity{value_ / scale};
+    }
+    constexpr Quantity& operator*=(double scale)
+    {
+        value_ *= scale;
+        return *this;
+    }
+    constexpr Quantity& operator/=(double scale)
+    {
+        value_ /= scale;
+        return *this;
+    }
+    friend constexpr Quantity operator*(double scale, Quantity q)
+    {
+        return Quantity{scale * q.value_};
+    }
+
+    /** Ratio of two same-unit quantities is dimensionless. */
+    constexpr double operator/(Quantity other) const
+    {
+        return value_ / other.value_;
+    }
+
+    friend constexpr bool operator==(Quantity, Quantity) = default;
+    friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+    friend std::ostream& operator<<(std::ostream& out, Quantity q)
+    {
+        return out << q.value_;
+    }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** Magnitude of a quantity, unit preserved. */
+template <typename Tag>
+constexpr Quantity<Tag>
+abs(Quantity<Tag> q)
+{
+    return q.value() < 0.0 ? -q : q;
+}
+
+struct WattsTag
+{};
+struct JoulesTag
+{};
+struct GHzTag
+{};
+struct RpsTag
+{};
+struct SecondsTag
+{};
+
 /** Power in watts. */
-using Watts = double;
+using Watts = Quantity<WattsTag>;
+
+/** Energy in joules. */
+using Joules = Quantity<JoulesTag>;
 
 /** Core frequency in GHz. */
-using GHz = double;
+using GHz = Quantity<GHzTag>;
 
 /** Offered load / throughput in requests (or work units) per second. */
-using Rps = double;
+using Rps = Quantity<RpsTag>;
+
+/** Wall-clock duration in (floating) seconds, for dimensional math. */
+using Seconds = Quantity<SecondsTag>;
+
+/** Power sustained for a duration is energy. */
+constexpr Joules
+operator*(Watts w, Seconds s)
+{
+    return Joules{w.value() * s.value()};
+}
+constexpr Joules
+operator*(Seconds s, Watts w)
+{
+    return w * s;
+}
+
+/** Energy spread over a duration is power. */
+constexpr Watts
+operator/(Joules j, Seconds s)
+{
+    return Watts{j.value() / s.value()};
+}
+
+/** How long a given power level takes to spend an energy amount. */
+constexpr Seconds
+operator/(Joules j, Watts w)
+{
+    return Seconds{j.value() / w.value()};
+}
 
 constexpr SimTime kMicrosecond = 1;
 constexpr SimTime kMillisecond = 1000;
@@ -39,6 +192,13 @@ constexpr double
 toSeconds(SimTime t)
 {
     return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert a SimTime to a strongly-typed duration. */
+constexpr Seconds
+simSeconds(SimTime t)
+{
+    return Seconds{toSeconds(t)};
 }
 
 /** Convert (floating) seconds to SimTime, truncating to microseconds. */

@@ -56,7 +56,7 @@ struct LcAppParams
     std::string name;
 
     /** Peak offered load the deployment is sized for (Table II). */
-    Rps peakLoad = 1000.0;
+    Rps peakLoad{1000.0};
 
     /** Tail-latency SLOs in seconds (Table II). */
     double slo95 = 0.010;

@@ -28,9 +28,9 @@ Rps
 BeApp::throughput(const sim::Allocation& alloc) const
 {
     if (alloc.empty())
-        return 0.0;
-    return params_.normThroughput *
-           params_.perf.evaluate(alloc, spec_) / norm_surface_;
+        return Rps{};
+    return Rps{params_.normThroughput *
+               params_.perf.evaluate(alloc, spec_) / norm_surface_};
 }
 
 double
@@ -45,7 +45,7 @@ Watts
 BeApp::power(const sim::Allocation& alloc) const
 {
     if (alloc.empty())
-        return 0.0;
+        return Watts{};
     sim::PowerDraw draw;
     draw.intensity = params_.power;
     draw.alloc = alloc;

@@ -13,7 +13,8 @@ LcApp::LcApp(LcAppParams params, sim::ServerSpec spec)
       power_model_(spec_)
 {
     spec_.validate();
-    POCO_REQUIRE(params_.peakLoad > 0, "peak load must be positive");
+    POCO_REQUIRE(params_.peakLoad > Rps{},
+                 "peak load must be positive");
     POCO_REQUIRE(params_.slo99 > 0 && params_.slo95 > 0,
                  "SLOs must be positive");
     POCO_REQUIRE(params_.baseLatencyShare > 0 &&
@@ -41,10 +42,10 @@ LcApp::capacity(const sim::Allocation& alloc) const
 double
 LcApp::latencyP99(Rps load, const sim::Allocation& alloc) const
 {
-    POCO_REQUIRE(load >= 0, "load must be non-negative");
+    POCO_REQUIRE(load >= Rps{}, "load must be non-negative");
     const double base = params_.baseLatencyShare * params_.slo99;
     const Rps cap = capacity(alloc);
-    if (cap <= 0)
+    if (cap <= Rps{})
         return 100.0 * params_.slo99; // parked: effectively infinite
     // Max SLO-compliant occupancy: p99 = base / (1 - rho) hits slo99
     // exactly when rho = 1 - baseLatencyShare and load = capacity.
@@ -71,7 +72,7 @@ double
 LcApp::utilization(Rps load, const sim::Allocation& alloc) const
 {
     const Rps cap = capacity(alloc);
-    if (cap <= 0)
+    if (cap <= Rps{})
         return 0.0;
     return std::clamp(load / cap, 0.0, 1.0);
 }
@@ -80,7 +81,7 @@ Watts
 LcApp::power(Rps load, const sim::Allocation& alloc) const
 {
     if (alloc.empty())
-        return 0.0;
+        return Watts{};
     sim::PowerDraw draw;
     draw.intensity = params_.power;
     draw.alloc = alloc;

@@ -32,12 +32,12 @@ defaultLcParams()
         // cache-loving LSTM as its complement.
         LcAppParams p;
         p.name = "img-dnn";
-        p.peakLoad = 3500.0;
+        p.peakLoad = Rps{3500.0};
         p.slo95 = 0.010;
         p.slo99 = 0.020;
         p.perf = {0.55, 0.45, 0.6, 0.06};
-        p.power.corePeak = 2.271;
-        p.power.wayPower = 2.787;
+        p.power.corePeak = Watts{2.271};
+        p.power.wayPower = Watts{2.787};
         p.power.stallFactor = 0.12;
         apps.push_back(p);
     }
@@ -47,12 +47,12 @@ defaultLcParams()
         // becomes indirect 0.2:0.8 (paper Figs. 9a/11a).
         LcAppParams p;
         p.name = "sphinx";
-        p.peakLoad = 10.0;
+        p.peakLoad = Rps{10.0};
         p.slo95 = 1.8;
         p.slo99 = 3.03;
         p.perf = {0.60, 0.40, 0.9, 0.05};
-        p.power.corePeak = 8.609;
-        p.power.wayPower = 1.435;
+        p.power.corePeak = Watts{8.609};
+        p.power.wayPower = Watts{1.435};
         p.power.stallFactor = 0.05;
         apps.push_back(p);
     }
@@ -64,13 +64,13 @@ defaultLcParams()
         // (Fig. 4).
         LcAppParams p;
         p.name = "xapian";
-        p.peakLoad = 4000.0;
+        p.peakLoad = Rps{4000.0};
         p.slo95 = 0.002588;
         p.slo99 = 0.004020;
         p.perf = {0.60, 0.40, 0.7, 0.06};
-        p.power.corePeak = 5.533;
-        p.power.wayPower = 1.580;
-        p.power.basePower = 6.0; // uncore/DRAM index traffic
+        p.power.corePeak = Watts{5.533};
+        p.power.wayPower = Watts{1.580};
+        p.power.basePower = Watts{6.0}; // uncore/DRAM index traffic
         p.power.stallFactor = 0.08;
         apps.push_back(p);
     }
@@ -79,12 +79,12 @@ defaultLcParams()
         // SLO (707 ms vs 51 ms p95) reflects lock/IO tail effects.
         LcAppParams p;
         p.name = "tpcc";
-        p.peakLoad = 8000.0;
+        p.peakLoad = Rps{8000.0};
         p.slo95 = 0.051;
         p.slo99 = 0.707;
         p.perf = {0.50, 0.50, 0.5, 0.07};
-        p.power.corePeak = 2.594;
-        p.power.wayPower = 2.594;
+        p.power.corePeak = Watts{2.594};
+        p.power.wayPower = Watts{2.594};
         p.power.stallFactor = 0.12;
         apps.push_back(p);
     }
@@ -102,8 +102,8 @@ defaultBeParams()
         BeAppParams p;
         p.name = "lstm";
         p.perf = {0.32, 0.68, 0.7, 0.05};
-        p.power.corePeak = 4.693;
-        p.power.wayPower = 1.490;
+        p.power.corePeak = Watts{4.693};
+        p.power.wayPower = Watts{1.490};
         p.power.stallFactor = 0.10;
         apps.push_back(p);
     }
@@ -113,8 +113,8 @@ defaultBeParams()
         BeAppParams p;
         p.name = "rnn";
         p.perf = {0.47, 0.53, 0.7, 0.05};
-        p.power.corePeak = 2.249;
-        p.power.wayPower = 2.749;
+        p.power.corePeak = Watts{2.249};
+        p.power.wayPower = Watts{2.749};
         p.power.stallFactor = 0.10;
         apps.push_back(p);
     }
@@ -126,8 +126,8 @@ defaultBeParams()
         BeAppParams p;
         p.name = "graph";
         p.perf = {0.80, 0.20, 0.85, 0.05};
-        p.power.corePeak = 4.336;
-        p.power.wayPower = 2.709;
+        p.power.corePeak = Watts{4.336};
+        p.power.wayPower = Watts{2.709};
         p.power.stallFactor = 0.05;
         apps.push_back(p);
     }
@@ -137,8 +137,8 @@ defaultBeParams()
         BeAppParams p;
         p.name = "pbzip2";
         p.perf = {0.75, 0.25, 0.95, 0.05};
-        p.power.corePeak = 4.558;
-        p.power.wayPower = 2.279;
+        p.power.corePeak = Watts{4.558};
+        p.power.wayPower = Watts{2.279};
         p.power.stallFactor = 0.05;
         apps.push_back(p);
     }
@@ -156,9 +156,9 @@ xapianMotivationParams()
     // same core:way slope ratio as the Table II variant).
     LcAppParams p = lcParamsByName("xapian");
     p.name = "xapian-132";
-    p.power.corePeak = 4.290;
-    p.power.wayPower = 1.226;
-    p.power.basePower = 6.0;
+    p.power.corePeak = Watts{4.290};
+    p.power.wayPower = Watts{1.226};
+    p.power.basePower = Watts{6.0};
     return p;
 }
 
@@ -229,13 +229,13 @@ extendedAppSet()
         // watt (indirect ~0.27:0.73).
         LcAppParams p;
         p.name = "memcached";
-        p.peakLoad = 60000.0;
+        p.peakLoad = Rps{60000.0};
         p.slo95 = 0.0006;
         p.slo99 = 0.0012;
         p.perf = {0.45, 0.55, 0.6, 0.06};
-        p.power.corePeak = 5.2;
-        p.power.wayPower = 1.8;
-        p.power.basePower = 4.0;
+        p.power.corePeak = Watts{5.2};
+        p.power.wayPower = Watts{1.8};
+        p.power.basePower = Watts{4.0};
         p.power.stallFactor = 0.10;
         set.lc.emplace_back(p, set.spec);
     }
@@ -244,12 +244,12 @@ extendedAppSet()
         // mildly core-preferring per watt (indirect ~0.61:0.39).
         LcAppParams p;
         p.name = "moses";
-        p.peakLoad = 250.0;
+        p.peakLoad = Rps{250.0};
         p.slo95 = 0.9;
         p.slo99 = 1.5;
         p.perf = {0.62, 0.38, 0.85, 0.05};
-        p.power.corePeak = 4.0;
-        p.power.wayPower = 3.9;
+        p.power.corePeak = Watts{4.0};
+        p.power.wayPower = Watts{3.9};
         p.power.stallFactor = 0.06;
         set.lc.emplace_back(p, set.spec);
     }
@@ -258,8 +258,8 @@ extendedAppSet()
         BeAppParams p;
         p.name = "spark-batch";
         p.perf = {0.55, 0.45, 0.8, 0.05};
-        p.power.corePeak = 4.8;
-        p.power.wayPower = 2.4;
+        p.power.corePeak = Watts{4.8};
+        p.power.wayPower = Watts{2.4};
         p.power.stallFactor = 0.08;
         set.be.emplace_back(p, set.spec);
     }
@@ -268,8 +268,8 @@ extendedAppSet()
         BeAppParams p;
         p.name = "x264";
         p.perf = {0.85, 0.15, 0.95, 0.04};
-        p.power.corePeak = 5.6;
-        p.power.wayPower = 1.9;
+        p.power.corePeak = Watts{5.6};
+        p.power.wayPower = Watts{1.9};
         p.power.stallFactor = 0.03;
         set.be.emplace_back(p, set.spec);
     }

@@ -1,0 +1,56 @@
+# poco_lint self-test: the seeded fixture violations must all be
+# named, the clean fixtures must stay silent, and a clean-only run
+# must exit 0.
+#
+# usage: lint_fixtures.sh <poco_lint-binary> <fixtures-dir>
+set -u
+
+lint="$1"
+fixtures="$2"
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# 1. The full fixture set must fail and name every rule and file.
+"$lint" "$fixtures" >"$out" 2>/dev/null
+status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: expected exit 1 on seeded fixtures, got $status"
+    exit 1
+fi
+
+for rule in banned-random banned-time unchecked-parse no-float \
+            no-using-namespace-std pragma-once unordered-iter; do
+    if ! grep -q "\[$rule\]" "$out"; then
+        echo "FAIL: rule $rule never fired"
+        cat "$out"
+        exit 1
+    fi
+done
+
+for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
+            bad_namespace.cpp bad_header.hpp bad_unordered.cpp; do
+    if ! grep -q "$file:[0-9]" "$out"; then
+        echo "FAIL: no file:line diagnostic for $file"
+        cat "$out"
+        exit 1
+    fi
+done
+
+# 2. Clean fixtures must not appear in the report at all.
+for file in suppressed_ok.cpp good.hpp; do
+    if grep -q "$file" "$out"; then
+        echo "FAIL: clean fixture $file was flagged"
+        cat "$out"
+        exit 1
+    fi
+done
+
+# 3. A run over only the clean fixtures must exit 0.
+if ! "$lint" "$fixtures/suppressed_ok.cpp" "$fixtures/good.hpp" \
+        >/dev/null 2>/dev/null; then
+    echo "FAIL: clean fixtures did not lint clean"
+    exit 1
+fi
+
+echo "PASS: all lint fixtures behave"
+exit 0

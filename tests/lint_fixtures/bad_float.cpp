@@ -1,0 +1,7 @@
+// Fixture: float in the power books must trip the no-float rule.
+float
+halfPrecisionPower(float watts)
+{
+    float scaled = watts * 0.5f;
+    return scaled;
+}

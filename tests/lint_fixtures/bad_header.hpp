@@ -1,0 +1,12 @@
+// Fixture: an include-guarded header without #pragma once must trip
+// the pragma-once rule.
+#ifndef POCO_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
+#define POCO_TESTS_LINT_FIXTURES_BAD_HEADER_HPP
+
+inline int
+fortyTwo()
+{
+    return 42;
+}
+
+#endif

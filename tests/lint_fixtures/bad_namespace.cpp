@@ -1,0 +1,10 @@
+// Fixture: must trip the no-using-namespace-std rule.
+#include <string>
+
+using namespace std;
+
+string
+shout(const string& s)
+{
+    return s + "!";
+}

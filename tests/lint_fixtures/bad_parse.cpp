@@ -1,0 +1,12 @@
+// Fixture: raw input parsing must trip the unchecked-parse rule.
+#include <cstdlib>
+#include <string>
+
+double
+rawParse(const char* arg, const std::string& text)
+{
+    int n = atoi(arg);
+    double load = std::strtod(arg, nullptr);
+    double minutes = std::stod(text);
+    return n + load + minutes;
+}

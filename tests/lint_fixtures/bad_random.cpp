@@ -1,0 +1,13 @@
+// Fixture: every line below must trip the banned-random rule.
+#include <cstdlib>
+#include <random>
+
+int
+unseededEntropy()
+{
+    std::srand(42);
+    int a = rand();
+    int b = std::rand();
+    std::random_device entropy;
+    return a + b + static_cast<int>(entropy());
+}

@@ -1,0 +1,15 @@
+// Fixture: wall-clock reads must trip the banned-time rule.
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+long
+wallClock()
+{
+    long now = time(NULL);
+    auto tp = std::chrono::system_clock::now();
+    struct timeval tv;
+    gettimeofday(&tv, nullptr);
+    return now + tv.tv_sec +
+           std::chrono::system_clock::to_time_t(tp);
+}

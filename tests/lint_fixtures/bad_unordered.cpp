@@ -1,0 +1,18 @@
+// Fixture: range-for over an unordered container must trip the
+// unordered-iter rule.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+double
+sumInUnspecifiedOrder(
+    const std::unordered_map<std::string, double>& by_name)
+{
+    std::unordered_set<int> seen_ids{1, 2, 3};
+    double total = 0.0;
+    for (const auto& [name, value] : by_name)
+        total += value + static_cast<double>(name.size());
+    for (int id : seen_ids)
+        total += id;
+    return total;
+}

@@ -1,0 +1,30 @@
+// Fixture: a fully clean header; must produce zero violations.
+
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace poco::fixture
+{
+
+/** steady_clock is a stopwatch, not a wall clock: allowed. */
+inline double
+stopwatchSeconds(std::chrono::steady_clock::time_point begin,
+                 std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double>(end - begin).count();
+}
+
+/** Ordered containers iterate deterministically: allowed. */
+inline double
+sumOrdered(const std::map<std::string, double>& by_name)
+{
+    double total = 0.0;
+    for (const auto& [name, value] : by_name)
+        total += value;
+    return total;
+}
+
+} // namespace poco::fixture

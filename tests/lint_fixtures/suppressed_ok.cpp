@@ -1,0 +1,31 @@
+// Fixture: must produce ZERO violations. Banned tokens appear only
+// inside comments and string literals, and the one real unordered
+// iteration carries a reviewed-suppression annotation.
+#include <string>
+#include <unordered_map>
+
+// A comment mentioning rand(), time(NULL) and system_clock is fine.
+/* So is a block comment with std::rand and atoi(argv[1]). */
+
+const char*
+bannedWordsInStrings()
+{
+    return "call rand() then time(NULL) with float precision";
+}
+
+double
+reviewedIteration(
+    const std::unordered_map<std::string, double>& weights)
+{
+    // Order-independent reduction: sum is commutative, so the
+    // unspecified iteration order cannot leak into results.
+    double total = 0.0;
+    for (const auto& [key, w] : weights) // poco-lint: allow(unordered-iter)
+        total += w + static_cast<double>(key.size());
+
+    double also = 0.0;
+    // poco-lint: allow(unordered-iter)
+    for (const auto& [key, w] : weights)
+        also += w;
+    return total + also;
+}

@@ -1,0 +1,36 @@
+# Negative-compilation harness for the strong unit types: the control
+# translation unit must compile, and every POCO_NEG_CASE_* must be
+# rejected by the compiler.
+#
+# usage: negative_compile.sh <c++-compiler> <src-include-dir> <tu.cpp>
+set -u
+
+cxx="$1"
+include_dir="$2"
+tu="$3"
+
+flags="-std=c++20 -fsyntax-only -Werror=format -I$include_dir"
+
+# Control: the legal surface compiles.
+if ! "$cxx" $flags "$tu" 2>/dev/null; then
+    echo "FAIL: control case does not compile"
+    "$cxx" $flags "$tu"
+    exit 1
+fi
+
+failures=0
+for case in CROSS_ASSIGN CROSS_ADD IMPLICIT_FROM_DOUBLE \
+            IMPLICIT_TO_DOUBLE CROSS_COMPARE PRINTF_VARARGS; do
+    if "$cxx" $flags "-DPOCO_NEG_CASE_$case" "$tu" 2>/dev/null; then
+        echo "FAIL: case $case compiled but must be rejected"
+        failures=$((failures + 1))
+    else
+        echo "ok: case $case rejected by the compiler"
+    fi
+done
+
+if [ "$failures" -ne 0 ]; then
+    exit 1
+fi
+echo "PASS: all negative-compilation cases rejected"
+exit 0

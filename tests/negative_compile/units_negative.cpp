@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Negative-compilation cases for the strong unit types.
+ *
+ * Compiled by negative_compile.sh with -fsyntax-only: the control
+ * build (no case macro) must succeed, and each POCO_NEG_CASE_* must
+ * FAIL to compile — that failure is the feature under test. If one of
+ * these cases ever starts compiling, the unit-safety layer has a
+ * hole.
+ */
+
+#include "util/units.hpp"
+
+using poco::GHz;
+using poco::Joules;
+using poco::Seconds;
+using poco::Watts;
+
+int
+main()
+{
+    // Control: the legal API surface must stay legal.
+    Watts draw{100.0};
+    draw += Watts{5.0};
+    const Joules energy = draw * Seconds{60.0};
+    const double ratio = draw / Watts{200.0};
+    const GHz freq{2.2};
+
+#ifdef POCO_NEG_CASE_CROSS_ASSIGN
+    // Watts and Joules are different dimensions.
+    Watts w = Joules{1.0};
+#endif
+
+#ifdef POCO_NEG_CASE_CROSS_ADD
+    // Adding Watts to GHz is meaningless.
+    auto sum = draw + freq;
+#endif
+
+#ifdef POCO_NEG_CASE_IMPLICIT_FROM_DOUBLE
+    // Construction from a bare double must be explicit.
+    Watts w = 1.0;
+#endif
+
+#ifdef POCO_NEG_CASE_IMPLICIT_TO_DOUBLE
+    // Reading the magnitude requires the .value() escape hatch.
+    double d = draw;
+#endif
+
+#ifdef POCO_NEG_CASE_CROSS_COMPARE
+    // Comparing different dimensions is meaningless.
+    bool b = draw < energy;
+#endif
+
+#ifdef POCO_NEG_CASE_PRINTF_VARARGS
+    // A Quantity through printf's varargs is a -Werror=format error
+    // (the type is non-trivially copyable by design).
+    __builtin_printf("%f\n", draw);
+#endif
+
+    return static_cast<int>(energy.value() + ratio + freq.value()) >
+                   0
+               ? 0
+               : 1;
+}

@@ -55,7 +55,7 @@ class BudgetTest : public ::testing::Test
     Watts
     provisionedTotal() const
     {
-        Watts total = 0.0;
+        Watts total;
         for (const auto& lc : evaluator_->lcModels())
             total += lc.powerCap;
         return total;
@@ -75,13 +75,13 @@ TEST_F(BudgetTest, ProportionalScalesEveryCap)
     const auto split = splitClusterBudget(
         servers, total, set_->spec, BudgetPolicy::Proportional);
     ASSERT_EQ(split.caps.size(), servers.size());
-    Watts sum = 0.0;
+    Watts sum;
     for (std::size_t j = 0; j < servers.size(); ++j) {
-        EXPECT_NEAR(split.caps[j], 0.9 * servers[j].lc.powerCap,
-                    1e-9);
+        EXPECT_NEAR(split.caps[j].value(),
+                    0.9 * servers[j].lc.powerCap.value(), 1e-9);
         sum += split.caps[j];
     }
-    EXPECT_NEAR(sum, total, 1e-6);
+    EXPECT_NEAR(sum.value(), total.value(), 1e-6);
 }
 
 TEST_F(BudgetTest, ProportionalNeverExceedsProvisioned)
@@ -91,7 +91,8 @@ TEST_F(BudgetTest, ProportionalNeverExceedsProvisioned)
         servers, 10.0 * provisionedTotal(), set_->spec,
         BudgetPolicy::Proportional);
     for (std::size_t j = 0; j < servers.size(); ++j)
-        EXPECT_LE(split.caps[j], servers[j].lc.powerCap + 1e-9);
+        EXPECT_LE(split.caps[j],
+                  servers[j].lc.powerCap + Watts{1e-9});
 }
 
 TEST_F(BudgetTest, UtilityAwareRespectsBoundsAndBudget)
@@ -100,12 +101,12 @@ TEST_F(BudgetTest, UtilityAwareRespectsBoundsAndBudget)
     const Watts total = 0.85 * provisionedTotal();
     const auto split = splitClusterBudget(
         servers, total, set_->spec, BudgetPolicy::UtilityAware);
-    Watts sum = 0.0;
+    Watts sum;
     for (std::size_t j = 0; j < servers.size(); ++j) {
-        EXPECT_LE(split.caps[j], servers[j].lc.powerCap + 1e-9);
+        EXPECT_LE(split.caps[j], servers[j].lc.powerCap + Watts{1e-9});
         sum += split.caps[j];
     }
-    EXPECT_LE(sum, total + 1e-6);
+    EXPECT_LE(sum, total + Watts{1e-6});
 }
 
 TEST_F(BudgetTest, UtilityAwareBeatsProportionalInModel)
@@ -132,18 +133,19 @@ TEST_F(BudgetTest, PrimariesAlwaysCovered)
     // Even at a very tight budget every cap covers the primary's
     // modeled draw.
     const auto servers = pocoloServers(0.6);
-    Watts reserved = 0.0;
+    Watts reserved;
     const auto split_tight = splitClusterBudget(
         servers, 0.999 * provisionedTotal(), set_->spec,
         BudgetPolicy::UtilityAware);
     for (std::size_t j = 0; j < servers.size(); ++j) {
         const double target =
-            servers[j].loadFraction * servers[j].lc.peakLoad;
+            servers[j].loadFraction *
+            servers[j].lc.peakLoad.value();
         const auto plan = model::minPowerAllocationFor(
             servers[j].lc.utility, target, set_->spec);
         ASSERT_TRUE(plan.has_value());
         EXPECT_GE(split_tight.caps[j],
-                  plan->modeledPower - 1e-6);
+                  plan->modeledPower - Watts{1e-6});
         reserved += plan->modeledPower;
     }
     // And a budget below the reservations is rejected.
@@ -173,19 +175,19 @@ TEST_F(BudgetTest, AbundantBudgetSaturates)
 TEST_F(BudgetTest, InputValidation)
 {
     const auto servers = pocoloServers(0.4);
-    EXPECT_THROW(splitClusterBudget({}, 100.0, set_->spec,
+    EXPECT_THROW(splitClusterBudget({}, Watts{100.0}, set_->spec,
                                     BudgetPolicy::Proportional),
                  poco::FatalError);
-    EXPECT_THROW(splitClusterBudget(servers, -1.0, set_->spec,
+    EXPECT_THROW(splitClusterBudget(servers, Watts{-1.0}, set_->spec,
                                     BudgetPolicy::Proportional),
                  poco::FatalError);
-    EXPECT_THROW(splitClusterBudget(servers, 100.0, set_->spec,
+    EXPECT_THROW(splitClusterBudget(servers, Watts{100.0}, set_->spec,
                                     BudgetPolicy::UtilityAware,
-                                    0.0),
+                                    Watts{}),
                  poco::FatalError);
     auto bad = servers;
     bad[0].loadFraction = 0.0;
-    EXPECT_THROW(splitClusterBudget(bad, 500.0, set_->spec,
+    EXPECT_THROW(splitClusterBudget(bad, Watts{500.0}, set_->spec,
                                     BudgetPolicy::Proportional),
                  poco::FatalError);
 }

@@ -119,7 +119,7 @@ TEST_F(EndToEndTest, OutcomeAccountingIsConsistent)
         ASSERT_EQ(outcome->servers.size(), 4u);
         double total = 0.0;
         for (const auto& s : outcome->servers)
-            total += s.run.stats.averageBeThroughput();
+            total += s.run.stats.averageBeThroughput().value();
         EXPECT_NEAR(outcome->totalBeThroughput(), total, 1e-9);
         EXPECT_NEAR(outcome->meanBeThroughput(), total / 4.0, 1e-9);
         EXPECT_GT(outcome->totalEnergyJoules(), 0.0);
@@ -140,8 +140,8 @@ TEST_F(EndToEndTest, PairRunsAreCachedAndDeterministic)
 {
     const auto a = evaluator_->runPair(0, 0, ManagerKind::Pom);
     const auto b = evaluator_->runPair(0, 0, ManagerKind::Pom);
-    EXPECT_DOUBLE_EQ(a.run.stats.averageBeThroughput(),
-                     b.run.stats.averageBeThroughput());
+    EXPECT_DOUBLE_EQ(a.run.stats.averageBeThroughput().value(),
+                     b.run.stats.averageBeThroughput().value());
     EXPECT_DOUBLE_EQ(a.run.powerUtilization, b.run.powerUtilization);
 }
 

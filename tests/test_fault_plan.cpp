@@ -139,7 +139,7 @@ TEST(FaultInjector, DropoutDeliversNaN)
 {
     sim::EventQueue queue;
     sim::PowerMeter meter;
-    meter.setPower(0, 100.0);
+    meter.setPower(0, Watts{100.0});
     std::vector<FaultWindow> windows{{1 * kSecond, 2 * kSecond,
                                       FaultKind::SensorDropout, 0.0,
                                       0}};
@@ -147,14 +147,15 @@ TEST(FaultInjector, DropoutDeliversNaN)
     injector.attach(queue, &meter);
     queue.runUntil(500 * kMillisecond);
     EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
-                                        100 * kMillisecond),
+                                        100 * kMillisecond).value(),
                      100.0);
     queue.runUntil(1500 * kMillisecond);
-    EXPECT_TRUE(std::isnan(injector.readPower(
-        meter, queue.now(), 100 * kMillisecond)));
+    EXPECT_TRUE(std::isnan(
+        injector.readPower(meter, queue.now(), 100 * kMillisecond)
+            .value()));
     queue.runUntil(2500 * kMillisecond);
     EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
-                                        100 * kMillisecond),
+                                        100 * kMillisecond).value(),
                      100.0);
     EXPECT_EQ(injector.stats().faultedReads, 1);
 }
@@ -163,20 +164,20 @@ TEST(FaultInjector, StuckFreezesWindowEntryValue)
 {
     sim::EventQueue queue;
     sim::PowerMeter meter;
-    meter.setPower(0, 80.0);
+    meter.setPower(0, Watts{80.0});
     std::vector<FaultWindow> windows{
         {1 * kSecond, 3 * kSecond, FaultKind::SensorStuck, 0.0, 0}};
     FaultInjector injector(FaultPlan::fromWindows(windows));
     injector.attach(queue, &meter);
     queue.runUntil(2 * kSecond);
-    meter.setPower(queue.now(), 140.0); // the truth moves...
+    meter.setPower(queue.now(), Watts{140.0}); // the truth moves...
     queue.runUntil(2900 * kMillisecond);
     EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
-                                        100 * kMillisecond),
+                                        100 * kMillisecond).value(),
                      80.0); // ...the reading does not
     queue.runUntil(3500 * kMillisecond);
     EXPECT_DOUBLE_EQ(injector.readPower(meter, queue.now(),
-                                        100 * kMillisecond),
+                                        100 * kMillisecond).value(),
                      140.0);
 }
 
@@ -188,9 +189,9 @@ TEST(FaultInjector, ActuatorFreezesFreqAndDutyOnly)
     FaultInjector injector(FaultPlan::fromWindows(windows));
     injector.attach(queue);
     queue.runUntil(1 * kSecond);
-    const sim::Allocation current{4, 4, 2.2, 1.0};
-    const sim::Allocation throttle{4, 4, 2.0, 0.5};
-    const sim::Allocation resize{2, 6, 2.0, 1.0};
+    const sim::Allocation current{4, 4, GHz{2.2}, 1.0};
+    const sim::Allocation throttle{4, 4, GHz{2.0}, 0.5};
+    const sim::Allocation resize{2, 6, GHz{2.0}, 1.0};
     // A pure DVFS/duty write is dropped entirely...
     EXPECT_TRUE(injector.apply(current, throttle, queue.now()) ==
                 current);
@@ -199,7 +200,7 @@ TEST(FaultInjector, ActuatorFreezesFreqAndDutyOnly)
         injector.apply(current, resize, queue.now());
     EXPECT_EQ(landed.cores, 2);
     EXPECT_EQ(landed.ways, 6);
-    EXPECT_DOUBLE_EQ(landed.freq, 2.2);
+    EXPECT_DOUBLE_EQ(landed.freq.value(), 2.2);
     EXPECT_DOUBLE_EQ(landed.dutyCycle, 1.0);
     EXPECT_EQ(injector.stats().suppressedCommands, 2);
     // Outside the window every write lands verbatim.

@@ -133,8 +133,8 @@ TEST_F(FaultServerTest, StuckSensorWatchdogLimitsOvershoot)
     // The naive manager sustains the overshoot for tens of seconds;
     // the clean run at worst grazes the cap during the transition.
     EXPECT_GT(naive.faults.capOvershootJoules,
-              clean.faults.capOvershootJoules + 50.0);
-    EXPECT_GT(naive.faults.maxOvershoot, 1.0);
+              clean.faults.capOvershootJoules + Joules{50.0});
+    EXPECT_GT(naive.faults.maxOvershoot, Watts{1.0});
     EXPECT_LT(guarded.faults.capOvershootJoules,
               naive.faults.capOvershootJoules / 4.0);
     EXPECT_GT(guarded.faults.degradedTicks, 0);
@@ -187,7 +187,7 @@ TEST_F(FaultServerTest, ActuatorStuckEscalatesToEviction)
     EXPECT_GE(guarded.faults.evictions, 1);
     EXPECT_GT(guarded.faults.unconfirmedTicks, 0);
     EXPECT_GT(naive.faults.capOvershootJoules,
-              guarded.faults.capOvershootJoules + 50.0);
+              guarded.faults.capOvershootJoules + Joules{50.0});
 }
 
 TEST_F(FaultServerTest, LoadSpikeSaturatesAtPeak)

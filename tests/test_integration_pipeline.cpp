@@ -80,16 +80,17 @@ TEST_P(PipelineSweep, InvariantsHold)
     EXPECT_EQ(result.stats.sloViolationTime, 0)
         << lc.name() << "+" << be.name() << "@" << load;
     // 3. Energy identity: energy == average power * elapsed time.
-    EXPECT_NEAR(result.stats.energyJoules,
-                result.stats.averagePower() *
-                    toSeconds(result.stats.elapsed),
+    EXPECT_NEAR(result.stats.energyJoules.value(),
+                (result.stats.averagePower() *
+                 simSeconds(result.stats.elapsed))
+                    .value(),
                 1e-6);
     // 4. Power sanity: between idle and the machine's physical max.
     EXPECT_GE(result.stats.averagePower(),
               set_->spec.idlePower * 0.99);
     // 5. BE throughput bounded by the uncapped full-spare rate.
-    EXPECT_LE(result.stats.averageBeThroughput(), 1.25);
-    EXPECT_GE(result.stats.averageBeThroughput(), 0.0);
+    EXPECT_LE(result.stats.averageBeThroughput(), Rps{1.25});
+    EXPECT_GE(result.stats.averageBeThroughput(), Rps{});
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -105,16 +106,17 @@ TEST_F(PipelineTest, CapDominanceAcrossCapLevels)
     const wl::LcApp& lc = set_->lcByName("xapian");
     const wl::BeApp& be = set_->beByName("graph");
     double prev_thr = 1e18;
-    for (Watts cap : {154.0, 140.0, 125.0, 110.0}) {
+    for (double cap_w : {154.0, 140.0, 125.0, 110.0}) {
+        const Watts cap{cap_w};
         const auto result = server::runServerScenario(
             lc, &be, cap,
             std::make_unique<server::PomController>(models_[2]),
             wl::LoadTrace::constant(0.2), 240 * kSecond);
         EXPECT_LE(result.stats.averagePower(), cap * 1.02);
-        EXPECT_LE(result.stats.averageBeThroughput(),
+        EXPECT_LE(result.stats.averageBeThroughput().value(),
                   prev_thr + 0.01)
             << "cap " << cap;
-        prev_thr = result.stats.averageBeThroughput();
+        prev_thr = result.stats.averageBeThroughput().value();
     }
 }
 
@@ -143,11 +145,11 @@ TEST_F(PipelineTest, FrequencyTuningSavesPowerWhenAlone)
         // Strictly cheaper where the slack allowed a step; never
         // more expensive.
         EXPECT_LE(on.stats.averagePower(),
-                  off.stats.averagePower() + 1e-9)
+                  off.stats.averagePower() + Watts{1e-9})
             << "load " << load;
         if (load <= 0.15) {
             EXPECT_LT(on.stats.averagePower(),
-                      off.stats.averagePower() - 0.1)
+                      off.stats.averagePower() - Watts{0.1})
                 << "load " << load;
         }
         EXPECT_EQ(on.stats.sloViolationTime, 0) << "load " << load;
@@ -186,7 +188,7 @@ TEST_F(PipelineTest, ModeledPowerTracksRealizedPower)
             wl::LoadTrace::constant(0.5), 180 * kSecond);
         // Reconstruct the model's view of the steady allocation.
         const auto plan = model::minPowerAllocationFor(
-            models_[i], 0.5 * lc.peakLoad(), set_->spec);
+            models_[i], 0.5 * lc.peakLoad().value(), set_->spec);
         ASSERT_TRUE(plan.has_value()) << lc.name();
         EXPECT_NEAR(plan->modeledPower /
                         result.stats.averagePower(),

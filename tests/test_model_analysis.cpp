@@ -56,7 +56,8 @@ CobbDouglasUtility* AnalysisTest::graph_model_ = nullptr;
 TEST_F(AnalysisTest, MinPowerAllocationMeetsTarget)
 {
     const auto& m = *sphinx_model_;
-    const double target = 0.5 * set_->lcByName("sphinx").peakLoad();
+    const double target =
+        0.5 * set_->lcByName("sphinx").peakLoad().value();
     const auto plan = minPowerAllocationFor(m, target, set_->spec);
     ASSERT_TRUE(plan.has_value());
     EXPECT_GE(plan->modeledPerf, target);
@@ -69,15 +70,15 @@ TEST_F(AnalysisTest, MinPowerAllocationMeetsTarget)
             const std::vector<double> r = {static_cast<double>(c),
                                            static_cast<double>(w)};
             if (m.performance(r) >= target)
-                min_power = std::min(min_power, m.powerAt(r));
+                min_power = std::min(min_power, m.powerAt(r).value());
         }
-    EXPECT_LE(plan->modeledPower, min_power * 1.002 + 1e-9);
+    EXPECT_LE(plan->modeledPower.value(), min_power * 1.002 + 1e-9);
     for (int c = 1; c < plan->alloc.cores; ++c)
         for (int w = 1; w <= set_->spec.llcWays; ++w) {
             const std::vector<double> r = {static_cast<double>(c),
                                            static_cast<double>(w)};
             if (m.performance(r) >= target) {
-                EXPECT_GT(m.powerAt(r), min_power * 1.002)
+                EXPECT_GT(m.powerAt(r).value(), min_power * 1.002)
                     << c << "c/" << w << "w should have won the "
                     << "tie-break";
             }
@@ -87,7 +88,7 @@ TEST_F(AnalysisTest, MinPowerAllocationMeetsTarget)
     const auto strict =
         minPowerAllocationFor(m, target, set_->spec, 1.0, 0.0);
     ASSERT_TRUE(strict.has_value());
-    EXPECT_NEAR(strict->modeledPower, min_power, 1e-9);
+    EXPECT_NEAR(strict->modeledPower.value(), min_power, 1e-9);
 }
 
 TEST_F(AnalysisTest, MinPowerAllocationImpossibleTarget)
@@ -102,7 +103,8 @@ TEST_F(AnalysisTest, MinPowerAllocationImpossibleTarget)
 
 TEST_F(AnalysisTest, MinPowerAllocationHeadroomGrowsAllocation)
 {
-    const double target = 0.4 * set_->lcByName("sphinx").peakLoad();
+    const double target =
+        0.4 * set_->lcByName("sphinx").peakLoad().value();
     const auto tight =
         minPowerAllocationFor(*sphinx_model_, target, set_->spec,
                               1.0);
@@ -116,7 +118,7 @@ TEST_F(AnalysisTest, MinPowerAllocationHeadroomGrowsAllocation)
 TEST_F(AnalysisTest, RoundedDemandIsFeasible)
 {
     const auto plan =
-        roundedDemand(*sphinx_model_, 120.0, set_->spec);
+        roundedDemand(*sphinx_model_, Watts{120.0}, set_->spec);
     EXPECT_GE(plan.alloc.cores, 1);
     EXPECT_LE(plan.alloc.cores, set_->spec.cores);
     EXPECT_GE(plan.alloc.ways, 1);
@@ -128,15 +130,16 @@ TEST_F(AnalysisTest, EstimateBePerformanceBehaviour)
 {
     const auto& be = *graph_model_;
     // No spare -> nothing.
-    EXPECT_DOUBLE_EQ(estimateBePerformance(be, 0.0, 6, 10), 0.0);
-    EXPECT_DOUBLE_EQ(estimateBePerformance(be, 50.0, 0, 10), 0.0);
+    EXPECT_DOUBLE_EQ(estimateBePerformance(be, Watts{}, 6, 10), 0.0);
+    EXPECT_DOUBLE_EQ(estimateBePerformance(be, Watts{50.0}, 0, 10),
+                     0.0);
     // More power or more resources never hurts.
-    const double base = estimateBePerformance(be, 40.0, 6, 10);
+    const double base = estimateBePerformance(be, Watts{40.0}, 6, 10);
     EXPECT_GT(base, 0.0);
-    EXPECT_GE(estimateBePerformance(be, 60.0, 6, 10), base);
-    EXPECT_GE(estimateBePerformance(be, 40.0, 8, 10), base);
-    EXPECT_GE(estimateBePerformance(be, 40.0, 6, 14), base);
-    EXPECT_THROW(estimateBePerformance(be, -1.0, 6, 10),
+    EXPECT_GE(estimateBePerformance(be, Watts{60.0}, 6, 10), base);
+    EXPECT_GE(estimateBePerformance(be, Watts{40.0}, 8, 10), base);
+    EXPECT_GE(estimateBePerformance(be, Watts{40.0}, 6, 14), base);
+    EXPECT_THROW(estimateBePerformance(be, Watts{-1.0}, 6, 10),
                  poco::FatalError);
 }
 
@@ -182,7 +185,7 @@ TEST_F(AnalysisTest, MinPowerPointIsOnCurveAndCheapest)
     ASSERT_TRUE(point.has_value());
     const auto curve = isoLoadCurve(app, 0.4);
     for (const auto& p : curve)
-        EXPECT_GE(p.power, point->power - 1e-9);
+        EXPECT_GE(p.power, point->power - Watts{1e-9});
 }
 
 TEST_F(AnalysisTest, ModelExpansionPathMonotone)
@@ -214,8 +217,8 @@ TEST_F(AnalysisTest, EdgeworthSweepComplementarity)
                   set_->spec.cores);
         EXPECT_EQ(row.primaryWays + row.spareWays,
                   set_->spec.llcWays);
-        EXPECT_GE(row.sparePower, 0.0);
-        EXPECT_LE(row.primaryServerPower, cap + 1e-9);
+        EXPECT_GE(row.sparePower, Watts{});
+        EXPECT_LE(row.primaryServerPower, cap + Watts{1e-9});
     }
     // As load rises, the spare shrinks. The BE estimate also trends
     // down but is not strictly monotone: the discrete min-power
@@ -234,7 +237,7 @@ TEST_F(AnalysisTest, EdgeworthSweepComplementarity)
         if (sweep[i].beEstimatedPerf > 0.0)
             last_nonzero = sweep[i].beEstimatedPerf;
     }
-    EXPECT_THROW(edgeworthSweep(app, *graph_model_, {0.5}, 0.0),
+    EXPECT_THROW(edgeworthSweep(app, *graph_model_, {0.5}, Watts{}),
                  poco::FatalError);
 }
 

@@ -42,7 +42,8 @@ TEST(CobbDouglas, PerformanceFollowsForm)
 TEST(CobbDouglas, PowerIsAffine)
 {
     const auto u = makeUtility();
-    EXPECT_NEAR(u.powerAt({2.0, 8.0}), 50.0 + 8.0 + 16.0, 1e-12);
+    EXPECT_NEAR(u.powerAt({2.0, 8.0}).value(), 50.0 + 8.0 + 16.0,
+                1e-12);
     EXPECT_THROW(u.powerAt({1.0}), poco::FatalError);
 }
 
@@ -86,13 +87,13 @@ TEST(CobbDouglas, PreferencesAreScaleFree)
 TEST(CobbDouglas, DemandMatchesClosedForm)
 {
     const auto u = makeUtility(0.6, 0.4, 4.0, 2.0, 50.0);
-    const auto r = u.demand(150.0);
+    const auto r = u.demand(Watts{150.0});
     // (B - p_static) = 100; r_c = 100/4 * 0.6 = 15; r_w = 100/2*0.4 = 20.
     EXPECT_NEAR(r[0], 15.0, 1e-12);
     EXPECT_NEAR(r[1], 20.0, 1e-12);
     // Demand exhausts the budget exactly.
-    EXPECT_NEAR(u.powerAt(r), 150.0, 1e-9);
-    EXPECT_THROW(u.demand(40.0), poco::FatalError);
+    EXPECT_NEAR(u.powerAt(r).value(), 150.0, 1e-9);
+    EXPECT_THROW(u.demand(Watts{40.0}), poco::FatalError);
 }
 
 /** Property: the closed-form demand beats any grid alternative. */
@@ -108,13 +109,14 @@ TEST_P(DemandOptimality, ClosedFormBeatsGridSearch)
                                rng.uniform(1.0, 8.0),
                                rng.uniform(1.0, 8.0),
                                rng.uniform(20.0, 60.0));
-    const double budget = u.pStatic() + rng.uniform(30.0, 120.0);
+    const Watts budget =
+        u.pStatic() + Watts{rng.uniform(30.0, 120.0)};
     const auto star = u.demand(budget);
     const double best = u.performance(star);
 
     // Grid over budget splits: spend fraction f on resource 0.
     for (double f = 0.02; f < 1.0; f += 0.02) {
-        const double dyn = budget - u.pStatic();
+        const double dyn = (budget - u.pStatic()).value();
         const std::vector<double> r = {
             f * dyn / u.pCoef()[0], (1.0 - f) * dyn / u.pCoef()[1]};
         EXPECT_LE(u.performance(r), best * (1.0 + 1e-9))
@@ -129,17 +131,17 @@ TEST(CobbDouglas, BoxedDemandRespectsCaps)
 {
     const auto u = makeUtility(0.6, 0.4, 4.0, 2.0, 50.0);
     // Unconstrained demand was (15, 20); cap cores at 10.
-    const auto r = u.demandBoxed(150.0, {10.0, 100.0});
+    const auto r = u.demandBoxed(Watts{150.0}, {10.0, 100.0});
     EXPECT_NEAR(r[0], 10.0, 1e-9);
     // Freed budget (100 - 40 = 60) all flows to ways: 60/2 = 30.
     EXPECT_NEAR(r[1], 30.0, 1e-9);
-    EXPECT_LE(u.powerAt(r), 150.0 + 1e-9);
+    EXPECT_LE(u.powerAt(r).value(), 150.0 + 1e-9);
 }
 
 TEST(CobbDouglas, BoxedDemandAllCapsBinding)
 {
     const auto u = makeUtility(0.5, 0.5, 1.0, 1.0, 0.0);
-    const auto r = u.demandBoxed(1000.0, {3.0, 4.0});
+    const auto r = u.demandBoxed(Watts{1000.0}, {3.0, 4.0});
     EXPECT_NEAR(r[0], 3.0, 1e-9);
     EXPECT_NEAR(r[1], 4.0, 1e-9);
 }
@@ -147,8 +149,8 @@ TEST(CobbDouglas, BoxedDemandAllCapsBinding)
 TEST(CobbDouglas, BoxedDemandUnconstrainedMatchesClosedForm)
 {
     const auto u = makeUtility();
-    const auto free = u.demand(120.0);
-    const auto boxed = u.demandBoxed(120.0, {1e9, 1e9});
+    const auto free = u.demand(Watts{120.0});
+    const auto boxed = u.demandBoxed(Watts{120.0}, {1e9, 1e9});
     EXPECT_NEAR(free[0], boxed[0], 1e-9);
     EXPECT_NEAR(free[1], boxed[1], 1e-9);
 }
@@ -165,14 +167,14 @@ TEST_P(BoxedOptimality, BeatsFeasibleGridPoints)
                                rng.uniform(0.2, 1.0),
                                rng.uniform(1.0, 6.0),
                                rng.uniform(1.0, 6.0), 0.0);
-    const double budget = rng.uniform(20.0, 80.0);
+    const Watts budget{rng.uniform(20.0, 80.0)};
     const std::vector<double> caps = {rng.uniform(2.0, 12.0),
                                       rng.uniform(2.0, 20.0)};
     const auto star = u.demandBoxed(budget, caps);
     const double best = u.performance(star);
 
     for (double r0 = 0.25; r0 <= caps[0]; r0 += 0.25) {
-        const double left = budget - r0 * u.pCoef()[0];
+        const double left = budget.value() - r0 * u.pCoef()[0];
         if (left <= 0)
             continue;
         const double r1 = std::min(caps[1], left / u.pCoef()[1]);
@@ -188,10 +190,11 @@ INSTANTIATE_TEST_SUITE_P(RandomInstances, BoxedOptimality,
 TEST(CobbDouglas, MinPowerForPerformanceInvertsDemand)
 {
     const auto u = makeUtility();
-    const auto r = u.demand(140.0);
+    const auto r = u.demand(Watts{140.0});
     const double perf = u.performance(r);
     std::vector<double> r_back;
-    const double power = u.minPowerForPerformance(perf, &r_back);
+    const double power =
+        u.minPowerForPerformance(perf, &r_back).value();
     EXPECT_NEAR(power, 140.0, 1e-6);
     EXPECT_NEAR(r_back[0], r[0], 1e-6);
     EXPECT_NEAR(r_back[1], r[1], 1e-6);
@@ -203,7 +206,7 @@ TEST(CobbDouglas, MinPowerIsMonotoneInTarget)
     const auto u = makeUtility();
     double prev = 0.0;
     for (double perf : {1.0, 2.0, 4.0, 8.0}) {
-        const double p = u.minPowerForPerformance(perf);
+        const double p = u.minPowerForPerformance(perf).value();
         EXPECT_GT(p, prev);
         prev = p;
     }

@@ -40,7 +40,7 @@ TEST_F(FittingTest, ProfilerCoversTheGrid)
         EXPECT_GE(s.r[kResWays], 2.0);
         EXPECT_LE(s.r[kResWays], 20.0);
         EXPECT_GT(s.perf, 0.0);
-        EXPECT_GT(s.power, set_.spec.idlePower * 0.5);
+        EXPECT_GT(s.power, set_.spec.idlePower.value() * 0.5);
     }
 }
 
@@ -75,9 +75,9 @@ TEST_F(FittingTest, SlackGuardHoldsOnProfiledLoads)
         const sim::Allocation alloc{
             static_cast<int>(s.r[kResCores]),
             static_cast<int>(s.r[kResWays]), set_.spec.freqMax, 1.0};
-        EXPECT_GE(app.slack99(s.perf, alloc), 0.10 - 1e-6);
+        EXPECT_GE(app.slack99(Rps{s.perf}, alloc), 0.10 - 1e-6);
         // And it is maximal: 2% more load breaks the guard.
-        EXPECT_LT(app.slack99(s.perf * 1.02, alloc), 0.10);
+        EXPECT_LT(app.slack99(Rps{s.perf * 1.02}, alloc), 0.10);
     }
 }
 
@@ -124,7 +124,8 @@ TEST_F(FittingTest, PowerInterceptNearStaticPower)
     // (plus app base activity).
     const auto m =
         fitter_.fit(profiler_.profileLc(set_.lcByName("tpcc")));
-    EXPECT_NEAR(m.pStatic(), set_.spec.idlePower, 12.0);
+    EXPECT_NEAR(m.pStatic().value(), set_.spec.idlePower.value(),
+                12.0);
 }
 
 TEST_F(FittingTest, FittedModelPredictsHoldOutCells)
@@ -136,7 +137,7 @@ TEST_F(FittingTest, FittedModelPredictsHoldOutCells)
     for (int c : {2, 5, 9}) {
         for (int w : {3, 9, 15}) {
             const sim::Allocation alloc{c, w, set_.spec.freqMax, 1.0};
-            const double truth = app.capacity(alloc);
+            const double truth = app.capacity(alloc).value();
             const double pred = m.performance(
                 {static_cast<double>(c), static_cast<double>(w)});
             EXPECT_NEAR(pred / truth, 1.0, 0.25)
@@ -156,14 +157,14 @@ TEST(Fitter, RecoversPlantedModelExactly)
             ProfileSample s;
             s.r = {static_cast<double>(c), static_cast<double>(w)};
             s.perf = truth.performance(s.r);
-            s.power = truth.powerAt(s.r);
+            s.power = truth.powerAt(s.r).value();
             samples.push_back(std::move(s));
         }
     }
     const auto fit = UtilityFitter().fit(samples);
     EXPECT_NEAR(fit.alpha()[0], 0.55, 1e-9);
     EXPECT_NEAR(fit.alpha()[1], 0.45, 1e-9);
-    EXPECT_NEAR(fit.pStatic(), 48.0, 1e-9);
+    EXPECT_NEAR(fit.pStatic().value(), 48.0, 1e-9);
     EXPECT_NEAR(fit.pCoef()[0], 3.5, 1e-9);
     EXPECT_NEAR(fit.pCoef()[1], 2.5, 1e-9);
     EXPECT_NEAR(fit.perfR2, 1.0, 1e-9);
@@ -179,7 +180,7 @@ TEST(Fitter, SkipsNonPositiveSamples)
             ProfileSample s;
             s.r = {static_cast<double>(c), static_cast<double>(w)};
             s.perf = truth.performance(s.r);
-            s.power = truth.powerAt(s.r);
+            s.power = truth.powerAt(s.r).value();
             samples.push_back(std::move(s));
         }
     }

@@ -49,7 +49,7 @@ syntheticGrid3(double noise_sigma, std::uint64_t seed)
                        static_cast<double>(b)};
                 s.perf = truth.performance(s.r) *
                          rng.noiseFactor(noise_sigma);
-                s.power = truth.powerAt(s.r) *
+                s.power = truth.powerAt(s.r).value() *
                           rng.noiseFactor(noise_sigma / 3.0);
                 samples.push_back(std::move(s));
             }
@@ -66,7 +66,7 @@ TEST(ModelK3, FitterRecoversThreeResourceModel)
     EXPECT_NEAR(fit.alpha()[0], 0.45, 1e-9);
     EXPECT_NEAR(fit.alpha()[1], 0.25, 1e-9);
     EXPECT_NEAR(fit.alpha()[2], 0.30, 1e-9);
-    EXPECT_NEAR(fit.pStatic(), 50.0, 1e-9);
+    EXPECT_NEAR(fit.pStatic().value(), 50.0, 1e-9);
     EXPECT_NEAR(fit.pCoef()[2], 0.8, 1e-9);
     EXPECT_NEAR(fit.perfR2, 1.0, 1e-12);
 }
@@ -98,12 +98,12 @@ INSTANTIATE_TEST_SUITE_P(NoiseLevels, ModelK3Noise,
 TEST(ModelK3, DemandSplitsBudgetByAlpha)
 {
     const auto truth = groundTruth3();
-    const auto r = truth.demand(150.0);
+    const auto r = truth.demand(Watts{150.0});
     // Dynamic budget 100 W split 0.45/0.25/0.30 across slopes.
     EXPECT_NEAR(r[0] * 4.0, 45.0, 1e-9);
     EXPECT_NEAR(r[1] * 2.0, 25.0, 1e-9);
     EXPECT_NEAR(r[2] * 0.8, 30.0, 1e-9);
-    EXPECT_NEAR(truth.powerAt(r), 150.0, 1e-9);
+    EXPECT_NEAR(truth.powerAt(r).value(), 150.0, 1e-9);
 }
 
 TEST(ModelK3, BoxedDemandReallocatesAcrossThreeDims)
@@ -111,7 +111,8 @@ TEST(ModelK3, BoxedDemandReallocatesAcrossThreeDims)
     const auto truth = groundTruth3();
     // Cap membw hard: its budget share must flow to the others in
     // alpha proportion.
-    const auto r = truth.demandBoxed(150.0, {100.0, 100.0, 10.0});
+    const auto r =
+        truth.demandBoxed(Watts{150.0}, {100.0, 100.0, 10.0});
     EXPECT_NEAR(r[2], 10.0, 1e-9);
     const double leftover = 100.0 - 10.0 * 0.8;
     EXPECT_NEAR(r[0] * 4.0, leftover * 0.45 / 0.70, 1e-6);
@@ -133,7 +134,8 @@ TEST_P(K3DemandOptimality, BeatsRandomFeasiblePoints)
         rng.uniform(10.0, 50.0),
         {rng.uniform(0.5, 6.0), rng.uniform(0.5, 6.0),
          rng.uniform(0.5, 6.0)});
-    const double budget = u.pStatic() + rng.uniform(30.0, 150.0);
+    const Watts budget =
+        u.pStatic() + Watts{rng.uniform(30.0, 150.0)};
     const double best = u.performance(u.demand(budget));
 
     for (int trial = 0; trial < 200; ++trial) {
@@ -142,7 +144,7 @@ TEST_P(K3DemandOptimality, BeatsRandomFeasiblePoints)
         double w1 = rng.uniform(0.01, 1.0);
         double w2 = rng.uniform(0.01, 1.0);
         const double total = w0 + w1 + w2;
-        const double dyn = budget - u.pStatic();
+        const double dyn = (budget - u.pStatic()).value();
         const std::vector<double> r = {
             w0 / total * dyn / u.pCoef()[0],
             w1 / total * dyn / u.pCoef()[1],
@@ -158,11 +160,12 @@ TEST(ModelK3, ExpansionPathInversion)
 {
     const auto truth = groundTruth3();
     for (double budget : {120.0, 160.0, 220.0}) {
-        const auto r = truth.demand(budget);
+        const auto r = truth.demand(Watts{budget});
         const double perf = truth.performance(r);
         std::vector<double> r_back;
-        EXPECT_NEAR(truth.minPowerForPerformance(perf, &r_back),
-                    budget, 1e-6);
+        EXPECT_NEAR(
+            truth.minPowerForPerformance(perf, &r_back).value(),
+            budget, 1e-6);
         for (std::size_t j = 0; j < 3; ++j)
             EXPECT_NEAR(r_back[j], r[j], 1e-6);
     }
@@ -173,9 +176,9 @@ TEST(ModelK3, FourResourcesAlsoWork)
     // Nothing in the model layer is hardwired to k <= 3.
     const CobbDouglasUtility u(0.0, {0.4, 0.3, 0.2, 0.1}, 20.0,
                                {1.0, 2.0, 3.0, 4.0});
-    const auto r = u.demand(120.0);
+    const auto r = u.demand(Watts{120.0});
     ASSERT_EQ(r.size(), 4u);
-    EXPECT_NEAR(u.powerAt(r), 120.0, 1e-9);
+    EXPECT_NEAR(u.powerAt(r).value(), 120.0, 1e-9);
     const auto pref = u.indirectPreference();
     // alpha/p: 0.4, 0.15, 0.067, 0.025 — strictly decreasing.
     for (std::size_t j = 1; j < 4; ++j)

@@ -49,7 +49,7 @@ TEST(ModelStore, PutReplacesExisting)
     CobbDouglasUtility other(0.0, {1.0, 1.0}, 1.0, {1.0, 1.0});
     store.put("m", other);
     EXPECT_EQ(store.size(), 1u);
-    EXPECT_NEAR(store.get("m").pStatic(), 1.0, 1e-12);
+    EXPECT_NEAR(store.get("m").pStatic().value(), 1.0, 1e-12);
 }
 
 TEST(ModelStore, NameValidation)
@@ -79,7 +79,7 @@ TEST(ModelStore, StreamRoundTripIsExact)
     const auto& x = loaded.get("xapian");
     EXPECT_DOUBLE_EQ(x.logA0(), std::log(2.5));
     EXPECT_DOUBLE_EQ(x.alpha()[1], 0.4);
-    EXPECT_DOUBLE_EQ(x.pStatic(), 51.25);
+    EXPECT_DOUBLE_EQ(x.pStatic().value(), 51.25);
     EXPECT_DOUBLE_EQ(x.pCoef()[0], 4.105);
     EXPECT_DOUBLE_EQ(x.perfR2, 0.93);
     EXPECT_DOUBLE_EQ(x.powerR2, 0.97);
@@ -156,8 +156,8 @@ TEST(ModelStore, RoundTripsFittedEvaluationModels)
 
     for (const auto& [name, original] : store.all()) {
         const auto& copy = loaded.get(name);
-        const auto demand_a = original.demand(140.0);
-        const auto demand_b = copy.demand(140.0);
+        const auto demand_a = original.demand(Watts{140.0});
+        const auto demand_b = copy.demand(Watts{140.0});
         for (std::size_t j = 0; j < demand_a.size(); ++j)
             EXPECT_DOUBLE_EQ(demand_a[j], demand_b[j]) << name;
     }

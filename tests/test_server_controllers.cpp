@@ -157,7 +157,7 @@ TEST_F(ControllerTest, BeThroughputRisesWhenPrimaryLoadFalls)
             lc, &be, lc.provisionedPower(),
             std::make_unique<PomController>(modelOf("sphinx")),
             wl::LoadTrace::constant(load), 240 * kSecond);
-        const double thr = result.stats.averageBeThroughput();
+        const double thr = result.stats.averageBeThroughput().value();
         EXPECT_GT(thr, prev) << "load " << load;
         prev = thr;
     }
@@ -169,14 +169,14 @@ TEST_F(ControllerTest, ThrottlingEngagesUnderTightCap)
     // throttled (capped time > 0) and still keep the average under.
     const auto& lc = set_->lcByName("xapian");
     const auto& be = set_->beByName("graph");
-    const Watts tight_cap = 120.0;
+    const Watts tight_cap{120.0};
     const auto result = runServerScenario(
         lc, &be, tight_cap,
         std::make_unique<PomController>(modelOf("xapian")),
         wl::LoadTrace::constant(0.1), 240 * kSecond);
     EXPECT_GT(result.stats.cappedFraction(), 0.5);
     EXPECT_LE(result.stats.averagePower(), tight_cap * 1.02);
-    EXPECT_GT(result.stats.averageBeThroughput(), 0.0);
+    EXPECT_GT(result.stats.averageBeThroughput(), Rps{});
 }
 
 TEST_F(ControllerTest, ScenarioRunnerValidation)
@@ -216,8 +216,9 @@ TEST_F(ControllerTest, TelemetryIsRecorded)
     queue.runUntil(10 * kSecond);
     EXPECT_GT(manager.telemetry().size(), 50u);
     const auto& sample = manager.telemetry().latest();
-    EXPECT_GT(sample.power, 0.0);
-    EXPECT_NEAR(sample.lcLoad, 0.4 * lc.peakLoad(), 1e-9);
+    EXPECT_GT(sample.power, Watts{});
+    EXPECT_NEAR(sample.lcLoad.value(), 0.4 * lc.peakLoad().value(),
+                1e-9);
 }
 
 TEST_F(ControllerTest, ControllerConfigValidation)

@@ -30,17 +30,18 @@ TEST_F(MultiTest, TwoSlotsCoexist)
         lc, {&set_.beByName("graph"), &set_.beByName("lstm")},
         lc.provisionedPower());
     EXPECT_EQ(server.secondaryCount(), 2u);
-    server.setPrimaryAlloc(0, {2, 5, 2.2, 1.0});
-    server.setBeAllocAt(0, 0, {6, 3, 2.2, 1.0});
-    server.setBeAllocAt(0, 1, {4, 12, 2.2, 1.0});
-    EXPECT_GT(server.beThroughputAt(0), 0.0);
-    EXPECT_GT(server.beThroughputAt(1), 0.0);
-    EXPECT_NEAR(server.beThroughput(),
-                server.beThroughputAt(0) + server.beThroughputAt(1),
+    server.setPrimaryAlloc(0, {2, 5, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 0, {6, 3, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 1, {4, 12, GHz{2.2}, 1.0});
+    EXPECT_GT(server.beThroughputAt(0), Rps{});
+    EXPECT_GT(server.beThroughputAt(1), Rps{});
+    EXPECT_NEAR(server.beThroughput().value(),
+                (server.beThroughputAt(0) + server.beThroughputAt(1))
+                    .value(),
                 1e-12);
     // Power includes both secondaries.
     const Watts with_both = server.power();
-    server.setBeAllocAt(0, 1, {0, 0, 2.2, 1.0});
+    server.setBeAllocAt(0, 1, {0, 0, GHz{2.2}, 1.0});
     EXPECT_LT(server.power(), with_both);
 }
 
@@ -50,12 +51,12 @@ TEST_F(MultiTest, OverlapAcrossSlotsRejected)
     ColocatedServer server(
         lc, {&set_.beByName("graph"), &set_.beByName("lstm")},
         lc.provisionedPower());
-    server.setPrimaryAlloc(0, {4, 8, 2.2, 1.0});
-    server.setBeAllocAt(0, 0, {5, 6, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {4, 8, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 0, {5, 6, GHz{2.2}, 1.0});
     // Remaining spare: 3 cores, 6 ways. Slot 1 must fit within it.
-    EXPECT_THROW(server.setBeAllocAt(0, 1, {4, 6, 2.2, 1.0}),
+    EXPECT_THROW(server.setBeAllocAt(0, 1, {4, 6, GHz{2.2}, 1.0}),
                  poco::FatalError);
-    EXPECT_NO_THROW(server.setBeAllocAt(0, 1, {3, 6, 2.2, 1.0}));
+    EXPECT_NO_THROW(server.setBeAllocAt(0, 1, {3, 6, GHz{2.2}, 1.0}));
 }
 
 TEST_F(MultiTest, PrimaryGrowthClipsLowerPrioritySlotsFirst)
@@ -64,12 +65,12 @@ TEST_F(MultiTest, PrimaryGrowthClipsLowerPrioritySlotsFirst)
     ColocatedServer server(
         lc, {&set_.beByName("graph"), &set_.beByName("lstm")},
         lc.provisionedPower());
-    server.setPrimaryAlloc(0, {2, 4, 2.2, 1.0});
-    server.setBeAllocAt(0, 0, {5, 8, 2.2, 1.0});
-    server.setBeAllocAt(0, 1, {5, 8, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {2, 4, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 0, {5, 8, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 1, {5, 8, GHz{2.2}, 1.0});
     // Primary grows to 6 cores: spare cores 6; slot 0 keeps its 5,
     // slot 1 is clipped to 1.
-    server.setPrimaryAlloc(kSecond, {6, 4, 2.2, 1.0});
+    server.setPrimaryAlloc(kSecond, {6, 4, GHz{2.2}, 1.0});
     EXPECT_EQ(server.beAllocAt(0).cores, 5);
     EXPECT_EQ(server.beAllocAt(1).cores, 1);
 }
@@ -80,11 +81,11 @@ TEST_F(MultiTest, PerSlotWorkAccounting)
     ColocatedServer server(
         lc, {&set_.beByName("graph"), &set_.beByName("lstm")},
         lc.provisionedPower());
-    server.setPrimaryAlloc(0, {2, 4, 2.2, 1.0});
-    server.setBeAllocAt(0, 0, {6, 4, 2.2, 1.0});
-    server.setBeAllocAt(0, 1, {4, 12, 2.2, 1.0});
-    const double r0 = server.beThroughputAt(0);
-    const double r1 = server.beThroughputAt(1);
+    server.setPrimaryAlloc(0, {2, 4, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 0, {6, 4, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 1, {4, 12, GHz{2.2}, 1.0});
+    const double r0 = server.beThroughputAt(0).value();
+    const double r1 = server.beThroughputAt(1).value();
     server.advanceTo(10 * kSecond);
     EXPECT_NEAR(server.beWorkAt(0), 10.0 * r0, 1e-9);
     EXPECT_NEAR(server.beWorkAt(1), 10.0 * r1, 1e-9);
@@ -99,20 +100,20 @@ TEST_F(MultiTest, AppSwapChangesThroughputAndPower)
     const auto& lc = set_.lcByName("xapian");
     ColocatedServer server(lc, &set_.beByName("lstm"),
                            lc.provisionedPower());
-    server.setPrimaryAlloc(0, {2, 4, 2.2, 1.0});
-    server.setBeAlloc(0, {8, 10, 2.2, 1.0});
-    const double thr_lstm = server.beThroughput();
+    server.setPrimaryAlloc(0, {2, 4, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {8, 10, GHz{2.2}, 1.0});
+    const double thr_lstm = server.beThroughput().value();
     const Watts p_lstm = server.power();
 
     server.setBeApp(kSecond, 0, &set_.beByName("graph"));
-    const double thr_graph = server.beThroughput();
+    const double thr_graph = server.beThroughput().value();
     const Watts p_graph = server.power();
     EXPECT_NE(thr_lstm, thr_graph);
     EXPECT_NE(p_lstm, p_graph);
 
     // Idling the slot zeroes both.
     server.setBeApp(2 * kSecond, 0, nullptr);
-    EXPECT_DOUBLE_EQ(server.beThroughput(), 0.0);
+    EXPECT_DOUBLE_EQ(server.beThroughput().value(), 0.0);
     EXPECT_THROW(server.setBeApp(0, 5, nullptr), poco::FatalError);
 }
 
@@ -121,19 +122,19 @@ TEST_F(MultiTest, ThrottlerDecidesPerSlot)
     const auto& lc = set_.lcByName("xapian");
     ColocatedServer server(
         lc, {&set_.beByName("graph"), &set_.beByName("pbzip2")},
-        /*power_cap=*/110.0); // deliberately tight
+        /*power_cap=*/Watts{110.0}); // deliberately tight
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAllocAt(0, 0, {5, 9, 2.2, 1.0});
-    server.setBeAllocAt(0, 1, {5, 9, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 0, {5, 9, GHz{2.2}, 1.0});
+    server.setBeAllocAt(0, 1, {5, 9, GHz{2.2}, 1.0});
     server.advanceTo(kSecond);
 
     const BeThrottler throttler;
     const auto slot0 = throttler.decideAt(server, 0, kSecond);
     const auto slot1 = throttler.decideAt(server, 1, kSecond);
     // Both slots step down one frequency notch.
-    EXPECT_NEAR(slot0.freq, 2.1, 1e-9);
-    EXPECT_NEAR(slot1.freq, 2.1, 1e-9);
+    EXPECT_NEAR(slot0.freq.value(), 2.1, 1e-9);
+    EXPECT_NEAR(slot1.freq.value(), 2.1, 1e-9);
     EXPECT_THROW(throttler.decideAt(server, 2, kSecond),
                  poco::FatalError);
 }
@@ -145,7 +146,7 @@ TEST_F(MultiTest, ZeroSlotServerBehaves)
     EXPECT_EQ(server.secondaryCount(), 0u);
     EXPECT_EQ(server.be(), nullptr);
     EXPECT_TRUE(server.beAlloc().empty());
-    EXPECT_DOUBLE_EQ(server.beThroughput(), 0.0);
+    EXPECT_DOUBLE_EQ(server.beThroughput().value(), 0.0);
     EXPECT_THROW(server.beAllocAt(0), poco::FatalError);
     EXPECT_THROW(server.beWorkAt(0), poco::FatalError);
 }

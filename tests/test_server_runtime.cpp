@@ -28,8 +28,8 @@ TEST_F(RuntimeTest, BootsWithPrimaryOwningMachine)
     EXPECT_EQ(server.primaryAlloc().cores, set_.spec.cores);
     EXPECT_EQ(server.primaryAlloc().ways, set_.spec.llcWays);
     EXPECT_TRUE(server.beAlloc().empty());
-    EXPECT_DOUBLE_EQ(server.beThroughput(), 0.0);
-    EXPECT_THROW(ColocatedServer(lc, nullptr, 0.0),
+    EXPECT_DOUBLE_EQ(server.beThroughput().value(), 0.0);
+    EXPECT_THROW(ColocatedServer(lc, nullptr, Watts{}),
                  poco::FatalError);
 }
 
@@ -44,8 +44,8 @@ TEST_F(RuntimeTest, ObservablesMatchGroundTruth)
     EXPECT_DOUBLE_EQ(server.slack99(),
                      lc.slack99(0.5 * lc.peakLoad(), alloc));
     EXPECT_DOUBLE_EQ(
-        server.power(),
-        lc.serverPower(0.5 * lc.peakLoad(), alloc));
+        server.power().value(),
+        lc.serverPower(0.5 * lc.peakLoad(), alloc).value());
 }
 
 TEST_F(RuntimeTest, EnergyIntegrationOverStateChanges)
@@ -57,10 +57,11 @@ TEST_F(RuntimeTest, EnergyIntegrationOverStateChanges)
     server.setLoad(10 * kSecond, 0.8 * lc.peakLoad());
     const Watts p2 = server.power();
     server.advanceTo(30 * kSecond);
-    const double expect = p1 * 10.0 + p2 * 20.0;
-    EXPECT_NEAR(server.stats().energyJoules, expect, 1e-6);
+    const double expect = (p1 * 10.0 + p2 * 20.0).value();
+    EXPECT_NEAR(server.stats().energyJoules.value(), expect, 1e-6);
     EXPECT_EQ(server.stats().elapsed, 30 * kSecond);
-    EXPECT_NEAR(server.stats().maxPower, std::max(p1, p2), 1e-12);
+    EXPECT_NEAR(server.stats().maxPower.value(),
+                std::max(p1, p2).value(), 1e-12);
 }
 
 TEST_F(RuntimeTest, BeWorkAccumulates)
@@ -69,13 +70,14 @@ TEST_F(RuntimeTest, BeWorkAccumulates)
     const auto& be = set_.beByName("lstm");
     ColocatedServer server(lc, &be, lc.provisionedPower());
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{2.2}, 1.0});
     const Rps thr = server.beThroughput();
-    EXPECT_GT(thr, 0.0);
+    EXPECT_GT(thr, Rps{});
     server.advanceTo(20 * kSecond);
-    EXPECT_NEAR(server.stats().beWorkDone, thr * 20.0, 1e-9);
-    EXPECT_NEAR(server.stats().averageBeThroughput(), thr, 1e-9);
+    EXPECT_NEAR(server.stats().beWorkDone, thr.value() * 20.0, 1e-9);
+    EXPECT_NEAR(server.stats().averageBeThroughput().value(),
+                thr.value(), 1e-9);
 }
 
 TEST_F(RuntimeTest, SloViolationTimeTracked)
@@ -84,11 +86,11 @@ TEST_F(RuntimeTest, SloViolationTimeTracked)
     ColocatedServer server(lc, nullptr, lc.provisionedPower());
     // Starve the primary at high load -> violation.
     server.setLoad(0, 0.9 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {1, 1, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {1, 1, GHz{2.2}, 1.0});
     server.advanceTo(10 * kSecond);
     // Fix it.
     server.setPrimaryAlloc(10 * kSecond,
-                           {12, 20, 2.2, 1.0});
+                           {12, 20, GHz{2.2}, 1.0});
     server.advanceTo(30 * kSecond);
     EXPECT_EQ(server.stats().sloViolationTime, 10 * kSecond);
     EXPECT_NEAR(server.stats().sloViolationFraction(), 1.0 / 3.0,
@@ -100,10 +102,10 @@ TEST_F(RuntimeTest, GrowingPrimaryClipsSecondary)
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("rnn");
     ColocatedServer server(lc, &be, lc.provisionedPower());
-    server.setPrimaryAlloc(0, {4, 6, 2.2, 1.0});
-    server.setBeAlloc(0, {8, 14, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {4, 6, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {8, 14, GHz{2.2}, 1.0});
     // Primary grows; the secondary must be clipped to fit.
-    server.setPrimaryAlloc(kSecond, {8, 10, 2.2, 1.0});
+    server.setPrimaryAlloc(kSecond, {8, 10, GHz{2.2}, 1.0});
     EXPECT_LE(server.beAlloc().cores, 4);
     EXPECT_LE(server.beAlloc().ways, 10);
 }
@@ -113,14 +115,14 @@ TEST_F(RuntimeTest, InvalidTransitionsRejected)
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("rnn");
     ColocatedServer server(lc, &be, lc.provisionedPower());
-    server.setPrimaryAlloc(0, {8, 10, 2.2, 1.0});
-    EXPECT_THROW(server.setBeAlloc(0, {5, 10, 2.2, 1.0}),
+    server.setPrimaryAlloc(0, {8, 10, GHz{2.2}, 1.0});
+    EXPECT_THROW(server.setBeAlloc(0, {5, 10, GHz{2.2}, 1.0}),
                  poco::FatalError); // overlaps
-    EXPECT_THROW(server.setPrimaryAlloc(0, {0, 10, 2.2, 1.0}),
+    EXPECT_THROW(server.setPrimaryAlloc(0, {0, 10, GHz{2.2}, 1.0}),
                  poco::FatalError); // primary must keep a core
-    EXPECT_THROW(server.setLoad(0, -1.0), poco::FatalError);
+    EXPECT_THROW(server.setLoad(0, Rps{-1.0}), poco::FatalError);
     ColocatedServer alone(lc, nullptr, lc.provisionedPower());
-    EXPECT_THROW(alone.setBeAlloc(0, {1, 1, 2.2, 1.0}),
+    EXPECT_THROW(alone.setBeAlloc(0, {1, 1, GHz{2.2}, 1.0}),
                  poco::FatalError); // no secondary present
 }
 
@@ -129,11 +131,11 @@ TEST_F(RuntimeTest, CappedTimeCountsThrottledBe)
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("graph");
     ColocatedServer server(lc, &be, lc.provisionedPower());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 1.8, 1.0}); // throttled frequency
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{1.8}, 1.0}); // throttled frequency
     server.advanceTo(5 * kSecond);
     EXPECT_EQ(server.stats().cappedTime, 5 * kSecond);
-    server.setBeAlloc(5 * kSecond, {10, 18, 2.2, 1.0});
+    server.setBeAlloc(5 * kSecond, {10, 18, GHz{2.2}, 1.0});
     server.advanceTo(10 * kSecond);
     EXPECT_EQ(server.stats().cappedTime, 5 * kSecond);
 }
@@ -144,10 +146,10 @@ TEST_F(RuntimeTest, ResetStatsClearsAccumulators)
     ColocatedServer server(lc, nullptr, lc.provisionedPower());
     server.setLoad(0, 0.5 * lc.peakLoad());
     server.advanceTo(10 * kSecond);
-    EXPECT_GT(server.stats().energyJoules, 0.0);
+    EXPECT_GT(server.stats().energyJoules, Joules{});
     server.resetStats(10 * kSecond);
     EXPECT_EQ(server.stats().elapsed, 0);
-    EXPECT_DOUBLE_EQ(server.stats().energyJoules, 0.0);
+    EXPECT_DOUBLE_EQ(server.stats().energyJoules.value(), 0.0);
 }
 
 class ThrottlerTest : public ::testing::Test
@@ -161,15 +163,15 @@ TEST_F(ThrottlerTest, StepsFrequencyDownWhenOverCap)
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("graph");
     // Tight cap: the BE at full tilt exceeds it.
-    ColocatedServer server(lc, &be, 120.0);
+    ColocatedServer server(lc, &be, Watts{120.0});
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 2.2, 1.0});
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{2.2}, 1.0});
     server.advanceTo(kSecond);
 
     const BeThrottler throttler;
     const auto next = throttler.decide(server, kSecond);
-    EXPECT_NEAR(next.freq, 2.1, 1e-9);
+    EXPECT_NEAR(next.freq.value(), 2.1, 1e-9);
     EXPECT_DOUBLE_EQ(next.dutyCycle, 1.0);
 }
 
@@ -177,15 +179,15 @@ TEST_F(ThrottlerTest, FallsBackToDutyAtFrequencyFloor)
 {
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("graph");
-    ColocatedServer server(lc, &be, 90.0); // brutally tight
+    ColocatedServer server(lc, &be, Watts{90.0}); // brutally tight
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 1.2, 1.0}); // already at floor
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{1.2}, 1.0}); // already at floor
     server.advanceTo(kSecond);
 
     const BeThrottler throttler;
     const auto next = throttler.decide(server, kSecond);
-    EXPECT_NEAR(next.freq, 1.2, 1e-9);
+    EXPECT_NEAR(next.freq.value(), 1.2, 1e-9);
     EXPECT_LT(next.dutyCycle, 1.0);
 }
 
@@ -193,22 +195,22 @@ TEST_F(ThrottlerTest, ReleasesInReverseOrder)
 {
     const auto& lc = set_.lcByName("xapian");
     const auto& be = set_.beByName("lstm");
-    ColocatedServer server(lc, &be, 1000.0); // cap far away
+    ColocatedServer server(lc, &be, Watts{1000.0}); // cap far away
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 1.2, 0.5});
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{1.2}, 0.5});
     server.advanceTo(kSecond);
 
     const BeThrottler throttler;
     // First duty recovers...
     auto next = throttler.decide(server, kSecond);
     EXPECT_GT(next.dutyCycle, 0.5);
-    EXPECT_NEAR(next.freq, 1.2, 1e-9);
+    EXPECT_NEAR(next.freq.value(), 1.2, 1e-9);
     // ...then frequency.
-    server.setBeAlloc(kSecond, {10, 18, 1.2, 1.0});
+    server.setBeAlloc(kSecond, {10, 18, GHz{1.2}, 1.0});
     server.advanceTo(2 * kSecond);
     next = throttler.decide(server, 2 * kSecond);
-    EXPECT_NEAR(next.freq, 1.3, 1e-9);
+    EXPECT_NEAR(next.freq.value(), 1.3, 1e-9);
 }
 
 TEST_F(ThrottlerTest, HoldsInsideHysteresisBand)
@@ -217,18 +219,18 @@ TEST_F(ThrottlerTest, HoldsInsideHysteresisBand)
     const auto& be = set_.beByName("lstm");
     ColocatedServer server(lc, &be, lc.provisionedPower());
     server.setLoad(0, 0.1 * lc.peakLoad());
-    server.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    server.setBeAlloc(0, {10, 18, 2.1, 1.0});
+    server.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    server.setBeAlloc(0, {10, 18, GHz{2.1}, 1.0});
     server.advanceTo(kSecond);
     const Watts avg = server.meter().average(kSecond,
                                              100 * kMillisecond);
     ThrottlerConfig config;
     // Pin the band around the current draw so neither branch fires.
-    config.releaseMargin = 1000.0;
-    ColocatedServer tight(lc, &be, avg + 1.0);
+    config.releaseMargin = Watts{1000.0};
+    ColocatedServer tight(lc, &be, avg + Watts{1.0});
     tight.setLoad(0, 0.1 * lc.peakLoad());
-    tight.setPrimaryAlloc(0, {2, 2, 2.2, 1.0});
-    tight.setBeAlloc(0, {10, 18, 2.1, 1.0});
+    tight.setPrimaryAlloc(0, {2, 2, GHz{2.2}, 1.0});
+    tight.setBeAlloc(0, {10, 18, GHz{2.1}, 1.0});
     tight.advanceTo(kSecond);
     const BeThrottler throttler(config);
     const auto next = throttler.decide(tight, kSecond);

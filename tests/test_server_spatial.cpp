@@ -68,7 +68,7 @@ TEST_F(SpatialTest, PlanPartitionsTheSpareExactly)
     const auto& graph = beModel("graph");
     const auto& lstm = beModel("lstm");
     const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
-                                       80.0, set_->spec);
+                                       Watts{80.0}, set_->spec);
     ASSERT_EQ(plan.slices.size(), 2u);
     EXPECT_LE(plan.slices[0].cores + plan.slices[1].cores, 10);
     EXPECT_LE(plan.slices[0].ways + plan.slices[1].ways, 14);
@@ -85,7 +85,7 @@ TEST_F(SpatialTest, ComplementaryAppsSplitByPreference)
     const auto& graph = beModel("graph");
     const auto& lstm = beModel("lstm");
     const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
-                                       100.0, set_->spec);
+                                       Watts{100.0}, set_->spec);
     const auto& g = plan.slices[0];
     const auto& l = plan.slices[1];
     ASSERT_FALSE(g.empty());
@@ -103,7 +103,7 @@ TEST_F(SpatialTest, SpatialBeatsGivingEverythingToOne)
     // the full spare (in modeled terms).
     const auto& graph = beModel("graph");
     const auto& lstm = beModel("lstm");
-    const double spare_power = 70.0;
+    const Watts spare_power{70.0};
     const auto plan = planSpatialShare({&graph, &lstm}, 10, 14,
                                        spare_power, set_->spec);
     const double alone_graph =
@@ -119,14 +119,14 @@ TEST_F(SpatialTest, DegenerateSparesHandled)
     const auto& a = beModel("rnn");
     const auto& b = beModel("pbzip2");
     const auto none =
-        planSpatialShare({&a, &b}, 0, 0, 50.0, set_->spec);
+        planSpatialShare({&a, &b}, 0, 0, Watts{50.0}, set_->spec);
     EXPECT_DOUBLE_EQ(none.totalEstimatedThroughput, 0.0);
     const auto no_power =
-        planSpatialShare({&a, &b}, 8, 10, 0.0, set_->spec);
+        planSpatialShare({&a, &b}, 8, 10, Watts{0.0}, set_->spec);
     EXPECT_DOUBLE_EQ(no_power.totalEstimatedThroughput, 0.0);
     // One-way spare: only one app can get a usable slice.
     const auto tight =
-        planSpatialShare({&a, &b}, 8, 1, 60.0, set_->spec);
+        planSpatialShare({&a, &b}, 8, 1, Watts{60.0}, set_->spec);
     EXPECT_GT(tight.totalEstimatedThroughput, 0.0);
     EXPECT_TRUE(tight.slices[0].empty() || tight.slices[1].empty());
 }
@@ -136,7 +136,7 @@ TEST_F(SpatialTest, ThreeAppRecursionCoversEveryone)
     const auto& a = beModel("graph");
     const auto& b = beModel("lstm");
     const auto& c = beModel("rnn");
-    const auto plan = planSpatialShare({&a, &b, &c}, 11, 18, 120.0,
+    const auto plan = planSpatialShare({&a, &b, &c}, 11, 18, Watts{120.0},
                                        set_->spec);
     ASSERT_EQ(plan.slices.size(), 3u);
     int cores = 0, ways = 0;
@@ -152,17 +152,17 @@ TEST_F(SpatialTest, ThreeAppRecursionCoversEveryone)
 TEST_F(SpatialTest, PlanValidation)
 {
     const auto& a = beModel("rnn");
-    EXPECT_THROW(planSpatialShare({&a}, 8, 10, 50.0, set_->spec),
+    EXPECT_THROW(planSpatialShare({&a}, 8, 10, Watts{50.0}, set_->spec),
                  poco::FatalError);
     const auto& b = beModel("pbzip2");
     EXPECT_THROW(
-        planSpatialShare({&a, &b}, -1, 10, 50.0, set_->spec),
+        planSpatialShare({&a, &b}, -1, 10, Watts{50.0}, set_->spec),
         poco::FatalError);
     EXPECT_THROW(
-        planSpatialShare({&a, &b}, 8, 10, -5.0, set_->spec),
+        planSpatialShare({&a, &b}, 8, 10, Watts{-5.0}, set_->spec),
         poco::FatalError);
     EXPECT_THROW(
-        planSpatialShare({&a, nullptr}, 8, 10, 50.0, set_->spec),
+        planSpatialShare({&a, nullptr}, 8, 10, Watts{50.0}, set_->spec),
         poco::FatalError);
 }
 
@@ -177,7 +177,7 @@ TEST_F(SpatialTest, RuntimeMatchesPlanDirection)
 
     // Spare at ~20% load under POM: primary takes ~2c/5w.
     const auto plan = planSpatialShare({&graph, &lstm}, 9, 13,
-                                       90.0, set_->spec);
+                                       Watts{90.0}, set_->spec);
     const std::vector<const wl::BeApp*> apps = {
         &set_->beByName("graph"), &set_->beByName("lstm")};
     const auto result = runSpatialShare(
@@ -198,7 +198,7 @@ TEST_F(SpatialTest, RuntimeValidation)
     const auto& lc = set_->lcByName("sphinx");
     const std::vector<const wl::BeApp*> apps = {
         &set_->beByName("graph")};
-    EXPECT_THROW(runSpatialShare(lc, apps, {}, 100.0,
+    EXPECT_THROW(runSpatialShare(lc, apps, {}, Watts{100.0},
                                  std::make_unique<PomController>(
                                      *lc_model_),
                                  0.2, 240 * kSecond),

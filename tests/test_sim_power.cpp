@@ -19,12 +19,12 @@ namespace
 {
 
 PowerDraw
-makeDraw(int cores, int ways, GHz freq = 2.2, double duty = 1.0,
+makeDraw(int cores, int ways, GHz freq = GHz{2.2}, double duty = 1.0,
          double util = 1.0)
 {
     PowerDraw draw;
-    draw.intensity.corePeak = 6.0;
-    draw.intensity.wayPower = 2.0;
+    draw.intensity.corePeak = Watts{6.0};
+    draw.intensity.wayPower = Watts{2.0};
     draw.intensity.wayActivityShare = 0.5;
     draw.alloc = Allocation{cores, ways, freq, duty};
     draw.utilization = util;
@@ -35,36 +35,37 @@ TEST(PowerModel, FullBlastMatchesClosedForm)
 {
     const PowerModel model(xeonE5_2650());
     // 12 cores * 6 W + 20 ways * 2 W = 112 W on top of static.
-    EXPECT_NEAR(model.appPower(makeDraw(12, 20)), 112.0, 1e-9);
-    EXPECT_NEAR(model.serverPower({makeDraw(12, 20)}), 162.0, 1e-9);
+    EXPECT_NEAR(model.appPower(makeDraw(12, 20)).value(), 112.0, 1e-9);
+    EXPECT_NEAR(model.serverPower({makeDraw(12, 20)}).value(), 162.0,
+                1e-9);
 }
 
 TEST(PowerModel, EmptyAllocationDrawsNothing)
 {
     const PowerModel model(xeonE5_2650());
-    EXPECT_DOUBLE_EQ(model.appPower(makeDraw(0, 0)), 0.0);
-    EXPECT_DOUBLE_EQ(model.serverPower({}), 50.0); // idle only
+    EXPECT_DOUBLE_EQ(model.appPower(makeDraw(0, 0)).value(), 0.0);
+    EXPECT_DOUBLE_EQ(model.serverPower({}).value(), 50.0); // idle only
 }
 
 TEST(PowerModel, FrequencyScalingIsSuperlinear)
 {
     const PowerModel model(xeonE5_2650());
-    const Watts full = model.appPower(makeDraw(4, 4, 2.2));
-    const Watts half_freq = model.appPower(makeDraw(4, 4, 1.2));
+    const Watts full = model.appPower(makeDraw(4, 4, GHz{2.2}));
+    const Watts half_freq = model.appPower(makeDraw(4, 4, GHz{1.2}));
     // Way power (8 W) is frequency independent; core power scales by
     // (1.2/2.2)^2.4 ~ 0.233.
     const double core_scale = std::pow(1.2 / 2.2, 2.4);
-    EXPECT_NEAR(half_freq, 24.0 * core_scale + 8.0, 1e-9);
+    EXPECT_NEAR(half_freq.value(), 24.0 * core_scale + 8.0, 1e-9);
     EXPECT_LT(half_freq, full);
 }
 
 TEST(PowerModel, DutyCycleScalesActivity)
 {
     const PowerModel model(xeonE5_2650());
-    const Watts full = model.appPower(makeDraw(4, 4, 2.2, 1.0));
-    const Watts half = model.appPower(makeDraw(4, 4, 2.2, 0.5));
+    const Watts full = model.appPower(makeDraw(4, 4, GHz{2.2}, 1.0));
+    const Watts half = model.appPower(makeDraw(4, 4, GHz{2.2}, 0.5));
     // Core power halves; way power has a 50% activity share.
-    EXPECT_NEAR(half, 12.0 + 8.0 * 0.75, 1e-9);
+    EXPECT_NEAR(half.value(), 12.0 + 8.0 * 0.75, 1e-9);
     EXPECT_LT(half, full);
 }
 
@@ -72,9 +73,9 @@ TEST(PowerModel, UtilizationScalesCorePower)
 {
     const PowerModel model(xeonE5_2650());
     const Watts idle_app =
-        model.appPower(makeDraw(4, 4, 2.2, 1.0, 0.0));
+        model.appPower(makeDraw(4, 4, GHz{2.2}, 1.0, 0.0));
     // Only the static part of the way power remains.
-    EXPECT_NEAR(idle_app, 8.0 * 0.5, 1e-9);
+    EXPECT_NEAR(idle_app.value(), 8.0 * 0.5, 1e-9);
 }
 
 TEST(PowerModel, StallFactorReducesCorePowerWhenWaysScarce)
@@ -87,29 +88,29 @@ TEST(PowerModel, StallFactorReducesCorePowerWhenWaysScarce)
     const Watts p_starved = model.appPower(starved);
     const Watts p_sated = model.appPower(sated);
     // Core contribution of the starved app must be below 24 W.
-    EXPECT_LT(p_starved - 2.0 * 2.0, 24.0);
+    EXPECT_LT(p_starved.value() - 2.0 * 2.0, 24.0);
     // With all ways the stall term vanishes.
-    EXPECT_NEAR(p_sated, 24.0 + 40.0, 1e-9);
+    EXPECT_NEAR(p_sated.value(), 24.0 + 40.0, 1e-9);
 }
 
 TEST(PowerModel, MonotoneInEveryKnob)
 {
     const PowerModel model(xeonE5_2650());
-    Watts prev = 0.0;
+    Watts prev;
     for (int c = 1; c <= 12; ++c) {
         const Watts p = model.appPower(makeDraw(c, 10));
         EXPECT_GT(p, prev);
         prev = p;
     }
-    prev = 0.0;
+    prev = Watts{};
     for (int w = 1; w <= 20; ++w) {
         const Watts p = model.appPower(makeDraw(6, w));
         EXPECT_GT(p, prev);
         prev = p;
     }
     const ServerSpec spec = xeonE5_2650();
-    prev = 0.0;
-    for (GHz f = spec.freqMin; f <= spec.freqMax + 1e-9;
+    prev = Watts{};
+    for (GHz f = spec.freqMin; f <= spec.freqMax + GHz{1e-9};
          f += spec.freqStep) {
         const Watts p = model.appPower(makeDraw(6, 10, f));
         EXPECT_GT(p, prev);
@@ -139,69 +140,69 @@ TEST(PowerModel, ValidationOfInputs)
 TEST(PowerMeter, AverageOfStepSignal)
 {
     PowerMeter meter;
-    meter.setPower(0, 100.0);
-    meter.setPower(kSecond, 200.0);
+    meter.setPower(0, Watts{100.0});
+    meter.setPower(kSecond, Watts{200.0});
     // Window [0.5s, 1.5s]: half at 100, half at 200.
-    EXPECT_NEAR(meter.average(kSecond + 500 * kMillisecond, kSecond),
+    EXPECT_NEAR(meter.average(kSecond + 500 * kMillisecond, kSecond).value(),
                 150.0, 1e-9);
-    EXPECT_DOUBLE_EQ(meter.instantaneous(), 200.0);
+    EXPECT_DOUBLE_EQ(meter.instantaneous().value(), 200.0);
 }
 
 TEST(PowerMeter, AverageOverLeadingZeroHistory)
 {
     PowerMeter meter;
-    meter.setPower(2 * kSecond, 100.0);
+    meter.setPower(2 * kSecond, Watts{100.0});
     // Window [1s, 3s]: half 0, half 100.
-    EXPECT_NEAR(meter.average(3 * kSecond, 2 * kSecond), 50.0, 1e-9);
+    EXPECT_NEAR(meter.average(3 * kSecond, 2 * kSecond).value(), 50.0, 1e-9);
 }
 
 TEST(PowerMeter, EnergyIntegral)
 {
     PowerMeter meter;
-    meter.setPower(0, 100.0);
-    meter.setPower(10 * kSecond, 50.0);
+    meter.setPower(0, Watts{100.0});
+    meter.setPower(10 * kSecond, Watts{50.0});
     // 100 W * 10 s + 50 W * 5 s = 1250 J.
-    EXPECT_NEAR(meter.energyJoules(15 * kSecond), 1250.0, 1e-6);
+    EXPECT_NEAR(meter.energyJoules(15 * kSecond).value(), 1250.0, 1e-6);
 }
 
 TEST(PowerMeter, EnergySurvivesPruning)
 {
     PowerMeter meter(/*retention=*/kSecond);
-    Watts level = 10.0;
+    Watts level{10.0};
     for (SimTime t = 0; t < 100 * kSecond; t += kSecond) {
         meter.setPower(t, level);
-        level = (level == 10.0) ? 20.0 : 10.0;
+        level = (level == Watts{10.0}) ? Watts{20.0} : Watts{10.0};
     }
     // Alternating 10/20 W for 100 s -> 1500 J.
-    EXPECT_NEAR(meter.energyJoules(100 * kSecond), 1500.0, 1e-6);
+    EXPECT_NEAR(meter.energyJoules(100 * kSecond).value(), 1500.0, 1e-6);
     // Window query still works on the retained tail (the last
     // segment, set at t=99 s, is 20 W).
-    EXPECT_NEAR(meter.average(100 * kSecond, kSecond), 20.0, 1e-9);
+    EXPECT_NEAR(meter.average(100 * kSecond, kSecond).value(), 20.0, 1e-9);
 }
 
 TEST(PowerMeter, RejectsNonFiniteReadings)
 {
     PowerMeter meter;
-    meter.setPower(0, 42.0);
+    meter.setPower(0, Watts{42.0});
     const double nan = std::numeric_limits<double>::quiet_NaN();
     const double inf = std::numeric_limits<double>::infinity();
-    EXPECT_THROW(meter.setPower(kSecond, nan), poco::FatalError);
-    EXPECT_THROW(meter.setPower(kSecond, inf), poco::FatalError);
-    EXPECT_THROW(meter.setPower(kSecond, -inf), poco::FatalError);
+    EXPECT_THROW(meter.setPower(kSecond, Watts{nan}), poco::FatalError);
+    EXPECT_THROW(meter.setPower(kSecond, Watts{inf}), poco::FatalError);
+    EXPECT_THROW(meter.setPower(kSecond, -Watts{inf}), poco::FatalError);
     // A rejected update must not corrupt the recorded history.
-    EXPECT_DOUBLE_EQ(meter.instantaneous(), 42.0);
-    meter.setPower(kSecond, 50.0);
-    EXPECT_DOUBLE_EQ(meter.instantaneous(), 50.0);
+    EXPECT_DOUBLE_EQ(meter.instantaneous().value(), 42.0);
+    meter.setPower(kSecond, Watts{50.0});
+    EXPECT_DOUBLE_EQ(meter.instantaneous().value(), 50.0);
 }
 
 TEST(PowerMeter, RejectsTimeTravel)
 {
     PowerMeter meter;
-    meter.setPower(10 * kSecond, 42.0);
-    EXPECT_THROW(meter.setPower(5 * kSecond, 10.0), poco::FatalError);
-    EXPECT_THROW(meter.average(5 * kSecond, kSecond),
+    meter.setPower(10 * kSecond, Watts{42.0});
+    EXPECT_THROW(meter.setPower(5 * kSecond, Watts{10.0}), poco::FatalError);
+    EXPECT_THROW(meter.average(5 * kSecond, kSecond).value(),
                  poco::FatalError);
-    EXPECT_THROW(meter.setPower(11 * kSecond, -1.0),
+    EXPECT_THROW(meter.setPower(11 * kSecond, Watts{-1.0}),
                  poco::FatalError);
 }
 
@@ -209,12 +210,12 @@ TEST(ServerSpec, FrequencyGrid)
 {
     const ServerSpec spec = xeonE5_2650();
     EXPECT_EQ(spec.freqSteps(), 11);
-    EXPECT_NEAR(spec.clampFreq(2.34), 2.2, 1e-9);
-    EXPECT_NEAR(spec.clampFreq(0.9), 1.2, 1e-9);
-    EXPECT_NEAR(spec.clampFreq(1.74), 1.7, 1e-9);
-    EXPECT_NEAR(spec.stepDown(1.2), 1.2, 1e-9);
-    EXPECT_NEAR(spec.stepUp(2.2), 2.2, 1e-9);
-    EXPECT_NEAR(spec.stepDown(2.0), 1.9, 1e-9);
+    EXPECT_NEAR(spec.clampFreq(GHz{2.34}).value(), 2.2, 1e-9);
+    EXPECT_NEAR(spec.clampFreq(GHz{0.9}).value(), 1.2, 1e-9);
+    EXPECT_NEAR(spec.clampFreq(GHz{1.74}).value(), 1.7, 1e-9);
+    EXPECT_NEAR(spec.stepDown(GHz{1.2}).value(), 1.2, 1e-9);
+    EXPECT_NEAR(spec.stepUp(GHz{2.2}).value(), 2.2, 1e-9);
+    EXPECT_NEAR(spec.stepDown(GHz{2.0}).value(), 1.9, 1e-9);
 }
 
 TEST(ServerSpec, ValidationCatchesNonsense)
@@ -223,7 +224,7 @@ TEST(ServerSpec, ValidationCatchesNonsense)
     spec.cores = 0;
     EXPECT_THROW(spec.validate(), poco::FatalError);
     spec = xeonE5_2650();
-    spec.freqMin = 2.4;
+    spec.freqMin = GHz{2.4};
     EXPECT_THROW(spec.validate(), poco::FatalError);
 }
 

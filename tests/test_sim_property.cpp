@@ -27,7 +27,7 @@ struct ReferenceSignal
     Watts
     levelAt(SimTime t) const
     {
-        Watts level = 0.0;
+        Watts level;
         for (const auto& [when, watts] : steps) {
             if (when > t)
                 break;
@@ -49,7 +49,8 @@ struct ReferenceSignal
                                               : to,
                          to);
             if (end > begin)
-                joules += steps[i].second * toSeconds(end - begin);
+                joules +=
+                    steps[i].second.value() * toSeconds(end - begin);
         }
         return joules;
     }
@@ -64,28 +65,28 @@ TEST_P(MeterProperty, MatchesBruteForceIntegration)
     Rng rng(static_cast<std::uint64_t>(GetParam()) * 997 + 3);
     PowerMeter meter(/*retention=*/2 * kSecond);
     ReferenceSignal reference;
-    reference.steps.push_back({0, 0.0});
+    reference.steps.push_back({0, Watts{}});
 
     SimTime now = 0;
     for (int i = 0; i < 300; ++i) {
         now += rng.uniformInt(1, 200) * kMillisecond / 10;
-        const Watts level = rng.uniform(0.0, 200.0);
+        const Watts level{rng.uniform(0.0, 200.0)};
         meter.setPower(now, level);
         reference.steps.push_back({now, level});
     }
     const SimTime end = now + 500 * kMillisecond;
 
-    EXPECT_NEAR(meter.energyJoules(end), reference.energy(0, end),
-                1e-6);
+    EXPECT_NEAR(meter.energyJoules(end).value(),
+                reference.energy(0, end), 1e-6);
     for (SimTime window :
          {50 * kMillisecond, 100 * kMillisecond, kSecond}) {
         const double expected =
             reference.energy(end - window, end) / toSeconds(window);
-        EXPECT_NEAR(meter.average(end, window), expected, 1e-6)
+        EXPECT_NEAR(meter.average(end, window).value(), expected, 1e-6)
             << "window " << window;
     }
-    EXPECT_DOUBLE_EQ(meter.instantaneous(),
-                     reference.levelAt(end));
+    EXPECT_DOUBLE_EQ(meter.instantaneous().value(),
+                     reference.levelAt(end).value());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MeterProperty,

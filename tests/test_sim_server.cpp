@@ -18,25 +18,25 @@ namespace
 TEST(Allocation, ValidationAgainstSpec)
 {
     const ServerSpec spec = xeonE5_2650();
-    Allocation ok{4, 10, 2.0, 1.0};
+    Allocation ok{4, 10, GHz{2.0}, 1.0};
     EXPECT_NO_THROW(ok.validate(spec));
 
-    Allocation too_many_cores{13, 10, 2.0, 1.0};
+    Allocation too_many_cores{13, 10, GHz{2.0}, 1.0};
     EXPECT_THROW(too_many_cores.validate(spec), poco::FatalError);
-    Allocation too_many_ways{4, 21, 2.0, 1.0};
+    Allocation too_many_ways{4, 21, GHz{2.0}, 1.0};
     EXPECT_THROW(too_many_ways.validate(spec), poco::FatalError);
-    Allocation bad_freq{4, 10, 3.0, 1.0};
+    Allocation bad_freq{4, 10, GHz{3.0}, 1.0};
     EXPECT_THROW(bad_freq.validate(spec), poco::FatalError);
-    Allocation bad_duty{4, 10, 2.0, 0.0};
+    Allocation bad_duty{4, 10, GHz{2.0}, 0.0};
     EXPECT_THROW(bad_duty.validate(spec), poco::FatalError);
 }
 
 TEST(Allocation, EmptyAndEquality)
 {
-    Allocation parked{0, 0, 2.2, 1.0};
+    Allocation parked{0, 0, GHz{2.2}, 1.0};
     EXPECT_TRUE(parked.empty());
-    Allocation a{4, 10, 2.0, 1.0};
-    Allocation b{4, 10, 2.0, 1.0};
+    Allocation a{4, 10, GHz{2.0}, 1.0};
+    Allocation b{4, 10, GHz{2.0}, 1.0};
     EXPECT_TRUE(a == b);
     b.ways = 11;
     EXPECT_FALSE(a == b);
@@ -45,23 +45,23 @@ TEST(Allocation, EmptyAndEquality)
 
 TEST(Allocation, ToStringFormat)
 {
-    Allocation a{4, 6, 2.0, 0.5};
+    Allocation a{4, 6, GHz{2.0}, 0.5};
     EXPECT_EQ(a.toString(), "4c/6w@2.0GHz d=0.50");
 }
 
 TEST(Allocation, FitsAndSpare)
 {
     const ServerSpec spec = xeonE5_2650();
-    Allocation primary{8, 12, 2.2, 1.0};
-    Allocation small{4, 8, 1.8, 1.0};
-    Allocation big{5, 8, 1.8, 1.0};
+    Allocation primary{8, 12, GHz{2.2}, 1.0};
+    Allocation small{4, 8, GHz{1.8}, 1.0};
+    Allocation big{5, 8, GHz{1.8}, 1.0};
     EXPECT_TRUE(fits(primary, small, spec));
     EXPECT_FALSE(fits(primary, big, spec));
 
     const Allocation spare = spareOf(primary, spec);
     EXPECT_EQ(spare.cores, 4);
     EXPECT_EQ(spare.ways, 8);
-    EXPECT_NEAR(spare.freq, spec.freqMax, 1e-12);
+    EXPECT_NEAR(spare.freq.value(), spec.freqMax.value(), 1e-12);
     EXPECT_DOUBLE_EQ(spare.dutyCycle, 1.0);
 }
 
@@ -71,16 +71,17 @@ TEST(Telemetry, RecordsAndQueries)
     for (int i = 0; i < 10; ++i) {
         TelemetrySample s;
         s.when = i * kSecond;
-        s.power = 100.0 + i;
-        s.beThroughput = 0.1 * i;
+        s.power = Watts{100.0 + i};
+        s.beThroughput = Rps{0.1 * i};
         rec.record(s);
     }
     EXPECT_EQ(rec.size(), 10u);
     EXPECT_EQ(rec.latest().when, 9 * kSecond);
     EXPECT_EQ(rec.since(7 * kSecond).size(), 3u);
     // Average power of samples 5..9: 107.
-    EXPECT_NEAR(rec.averagePower(5 * kSecond), 107.0, 1e-12);
-    EXPECT_NEAR(rec.averageBeThroughput(8 * kSecond), 0.85, 1e-12);
+    EXPECT_NEAR(rec.averagePower(5 * kSecond).value(), 107.0, 1e-12);
+    EXPECT_NEAR(rec.averageBeThroughput(8 * kSecond).value(), 0.85,
+                1e-12);
 }
 
 TEST(Telemetry, CapacityEvictsOldest)
@@ -110,7 +111,7 @@ TEST(Telemetry, EmptyQueries)
     TelemetryRecorder rec;
     EXPECT_TRUE(rec.empty());
     EXPECT_THROW(rec.latest(), poco::FatalError);
-    EXPECT_DOUBLE_EQ(rec.averagePower(0), 0.0);
+    EXPECT_DOUBLE_EQ(rec.averagePower(0).value(), 0.0);
 }
 
 } // namespace

@@ -14,14 +14,14 @@ namespace
 {
 
 PolicyProfile
-makeProfile(const std::string& name, double thr, Watts provisioned,
-            Watts average)
+makeProfile(const std::string& name, double thr, double provisioned,
+            double average)
 {
     PolicyProfile p;
     p.name = name;
     p.throughputPerServer = thr;
-    p.provisionedPowerPerServer = provisioned;
-    p.averagePowerPerServer = average;
+    p.provisionedPowerPerServer = Watts{provisioned};
+    p.averagePowerPerServer = Watts{average};
     return p;
 }
 

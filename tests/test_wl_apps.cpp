@@ -25,32 +25,37 @@ class LcAppTest : public ::testing::Test
 
 TEST_F(LcAppTest, TableIIPeakPowerCalibration)
 {
-    EXPECT_NEAR(set_.lcByName("img-dnn").provisionedPower(), 133.0,
+    EXPECT_NEAR(set_.lcByName("img-dnn").provisionedPower().value(),
+                133.0,
                 1.0);
-    EXPECT_NEAR(set_.lcByName("sphinx").provisionedPower(), 182.0,
+    EXPECT_NEAR(set_.lcByName("sphinx").provisionedPower().value(),
+                182.0,
                 1.0);
-    EXPECT_NEAR(set_.lcByName("xapian").provisionedPower(), 154.0,
+    EXPECT_NEAR(set_.lcByName("xapian").provisionedPower().value(),
+                154.0,
                 1.0);
-    EXPECT_NEAR(set_.lcByName("tpcc").provisionedPower(), 133.0, 1.0);
+    EXPECT_NEAR(set_.lcByName("tpcc").provisionedPower().value(), 133.0,
+                1.0);
 }
 
 TEST_F(LcAppTest, TableIIPeakLoadsAndSlos)
 {
     const LcApp& xapian = set_.lcByName("xapian");
-    EXPECT_DOUBLE_EQ(xapian.peakLoad(), 4000.0);
+    EXPECT_DOUBLE_EQ(xapian.peakLoad().value(), 4000.0);
     EXPECT_DOUBLE_EQ(xapian.slo99(), 0.004020);
     EXPECT_DOUBLE_EQ(xapian.slo95(), 0.002588);
-    EXPECT_DOUBLE_EQ(set_.lcByName("sphinx").peakLoad(), 10.0);
-    EXPECT_DOUBLE_EQ(set_.lcByName("img-dnn").peakLoad(), 3500.0);
-    EXPECT_DOUBLE_EQ(set_.lcByName("tpcc").peakLoad(), 8000.0);
+    EXPECT_DOUBLE_EQ(set_.lcByName("sphinx").peakLoad().value(), 10.0);
+    EXPECT_DOUBLE_EQ(set_.lcByName("img-dnn").peakLoad().value(),
+                     3500.0);
+    EXPECT_DOUBLE_EQ(set_.lcByName("tpcc").peakLoad().value(), 8000.0);
 }
 
 TEST_F(LcAppTest, FullAllocationSustainsPeakAtSlo)
 {
     for (const auto& lc : set_.lc) {
         const auto full = lc.fullAllocation();
-        EXPECT_NEAR(lc.capacity(full), lc.peakLoad(),
-                    1e-6 * lc.peakLoad())
+        EXPECT_NEAR(lc.capacity(full).value(), lc.peakLoad().value(),
+                    1e-6 * lc.peakLoad().value())
             << lc.name();
         // At exactly peak load the p99 equals the SLO.
         EXPECT_NEAR(lc.latencyP99(lc.peakLoad(), full), lc.slo99(),
@@ -79,7 +84,7 @@ TEST_F(LcAppTest, CapacityMonotoneInResources)
 TEST_F(LcAppTest, LatencyBlowsUpNearSaturation)
 {
     const LcApp& app = set_.lcByName("xapian");
-    const sim::Allocation alloc{6, 10, 2.2, 1.0};
+    const sim::Allocation alloc{6, 10, GHz{2.2}, 1.0};
     const Rps cap = app.capacity(alloc);
     // Latency increases with load and crosses the SLO at capacity.
     double prev = 0.0;
@@ -97,18 +102,18 @@ TEST_F(LcAppTest, LatencyBlowsUpNearSaturation)
 TEST_F(LcAppTest, P95ScalesFromP99)
 {
     const LcApp& app = set_.lcByName("img-dnn");
-    const sim::Allocation alloc{8, 10, 2.2, 1.0};
-    const double ratio = app.latencyP95(1000.0, alloc) /
-                         app.latencyP99(1000.0, alloc);
+    const sim::Allocation alloc{8, 10, GHz{2.2}, 1.0};
+    const double ratio = app.latencyP95(Rps{1000.0}, alloc) /
+                         app.latencyP99(Rps{1000.0}, alloc);
     EXPECT_NEAR(ratio, app.slo95() / app.slo99(), 1e-12);
 }
 
 TEST_F(LcAppTest, UtilizationClampedToOne)
 {
     const LcApp& app = set_.lcByName("tpcc");
-    const sim::Allocation alloc{4, 8, 2.2, 1.0};
-    EXPECT_DOUBLE_EQ(app.utilization(0.0, alloc), 0.0);
-    EXPECT_LE(app.utilization(1e9, alloc), 1.0);
+    const sim::Allocation alloc{4, 8, GHz{2.2}, 1.0};
+    EXPECT_DOUBLE_EQ(app.utilization(Rps{}, alloc), 0.0);
+    EXPECT_LE(app.utilization(Rps{1e9}, alloc), 1.0);
     const Rps cap = app.capacity(alloc);
     EXPECT_NEAR(app.utilization(0.5 * cap, alloc), 0.5, 1e-9);
 }
@@ -116,13 +121,13 @@ TEST_F(LcAppTest, UtilizationClampedToOne)
 TEST_F(LcAppTest, PowerIncreasesWithLoad)
 {
     const LcApp& app = set_.lcByName("xapian");
-    const sim::Allocation alloc{6, 10, 2.2, 1.0};
+    const sim::Allocation alloc{6, 10, GHz{2.2}, 1.0};
     const Rps cap = app.capacity(alloc);
     EXPECT_LT(app.serverPower(0.2 * cap, alloc),
               app.serverPower(0.9 * cap, alloc));
     // Parked app draws nothing on top of static power.
-    const sim::Allocation parked{0, 0, 2.2, 1.0};
-    EXPECT_DOUBLE_EQ(app.power(100.0, parked), 0.0);
+    const sim::Allocation parked{0, 0, GHz{2.2}, 1.0};
+    EXPECT_DOUBLE_EQ(app.power(Rps{100.0}, parked).value(), 0.0);
 }
 
 TEST_F(LcAppTest, SectionIICXapianLowLoadExample)
@@ -130,19 +135,19 @@ TEST_F(LcAppTest, SectionIICXapianLowLoadExample)
     // Section II-C: at 10% load xapian needs only a tiny allocation
     // and ~64 W, leaving most of the server spare.
     const LcApp xapian132(xapianMotivationParams(), set_.spec);
-    EXPECT_NEAR(xapian132.provisionedPower(), 132.0, 1.0);
+    EXPECT_NEAR(xapian132.provisionedPower().value(), 132.0, 1.0);
 
     // Some small allocation must sustain 10% load within SLO.
     bool found = false;
     for (int c = 1; c <= 4 && !found; ++c)
         for (int w = 1; w <= 4 && !found; ++w) {
-            const sim::Allocation alloc{c, w, 2.2, 1.0};
+            const sim::Allocation alloc{c, w, GHz{2.2}, 1.0};
             if (xapian132.capacity(alloc) >=
                 0.1 * xapian132.peakLoad()) {
                 found = true;
                 const Watts power = xapian132.serverPower(
                     0.1 * xapian132.peakLoad(), alloc);
-                EXPECT_NEAR(power, 64.0, 8.0);
+                EXPECT_NEAR(power.value(), 64.0, 8.0);
             }
         }
     EXPECT_TRUE(found);
@@ -159,9 +164,9 @@ TEST_F(BeAppTest, NormalizedThroughputAtFullSpare)
     // All BE apps are normalized to 1.0 on 11 cores / 18 ways (the
     // spare of a near-idle primary), matching Fig. 3's equal
     // uncapped throughput.
-    const sim::Allocation norm{11, 18, 2.2, 1.0};
+    const sim::Allocation norm{11, 18, GHz{2.2}, 1.0};
     for (const auto& be : set_.be)
-        EXPECT_NEAR(be.throughput(norm), 1.0, 1e-9) << be.name();
+        EXPECT_NEAR(be.throughput(norm).value(), 1.0, 1e-9) << be.name();
 }
 
 TEST_F(BeAppTest, UncappedDrawsInMotivationBand)
@@ -170,15 +175,15 @@ TEST_F(BeAppTest, UncappedDrawsInMotivationBand)
     // xapian pushes the server into the ~134-158 W band, above the
     // 132 W provisioned capacity.
     const LcApp xapian132(xapianMotivationParams(), set_.spec);
-    const sim::Allocation primary{2, 2, 2.2, 1.0};
+    const sim::Allocation primary{2, 2, GHz{2.2}, 1.0};
     const Rps load = 0.1 * xapian132.peakLoad();
     const sim::Allocation spare =
         sim::spareOf(primary, set_.spec);
     for (const auto& be : set_.be) {
         const Watts total =
             xapian132.serverPower(load, primary) + be.power(spare);
-        EXPECT_GT(total, 132.0) << be.name();
-        EXPECT_LT(total, 160.0) << be.name();
+        EXPECT_GT(total.value(), 132.0) << be.name();
+        EXPECT_LT(total.value(), 160.0) << be.name();
     }
 }
 
@@ -186,31 +191,33 @@ TEST_F(BeAppTest, ThroughputMonotoneInEveryKnob)
 {
     const BeApp& graph = set_.beByName("graph");
     for (int c = 1; c < 12; ++c)
-        EXPECT_LT(graph.throughput({c, 10, 2.2, 1.0}),
-                  graph.throughput({c + 1, 10, 2.2, 1.0}));
+        EXPECT_LT(graph.throughput({c, 10, GHz{2.2}, 1.0}),
+                  graph.throughput({c + 1, 10, GHz{2.2}, 1.0}));
     for (int w = 1; w < 20; ++w)
-        EXPECT_LT(graph.throughput({6, w, 2.2, 1.0}),
-                  graph.throughput({6, w + 1, 2.2, 1.0}));
-    EXPECT_LT(graph.throughput({6, 10, 1.2, 1.0}),
-              graph.throughput({6, 10, 2.2, 1.0}));
-    EXPECT_LT(graph.throughput({6, 10, 2.2, 0.5}),
-              graph.throughput({6, 10, 2.2, 1.0}));
+        EXPECT_LT(graph.throughput({6, w, GHz{2.2}, 1.0}),
+                  graph.throughput({6, w + 1, GHz{2.2}, 1.0}));
+    EXPECT_LT(graph.throughput({6, 10, GHz{1.2}, 1.0}),
+              graph.throughput({6, 10, GHz{2.2}, 1.0}));
+    EXPECT_LT(graph.throughput({6, 10, GHz{2.2}, 0.5}),
+              graph.throughput({6, 10, GHz{2.2}, 1.0}));
 }
 
 TEST_F(BeAppTest, DutyCycleLinearInThroughput)
 {
     const BeApp& lstm = set_.beByName("lstm");
-    const double full = lstm.throughput({8, 10, 2.2, 1.0});
-    const double half = lstm.throughput({8, 10, 2.2, 0.5});
+    const double full =
+        lstm.throughput({8, 10, GHz{2.2}, 1.0}).value();
+    const double half =
+        lstm.throughput({8, 10, GHz{2.2}, 0.5}).value();
     EXPECT_NEAR(half, 0.5 * full, 1e-9);
 }
 
 TEST_F(BeAppTest, ParkedAppIsFree)
 {
     const BeApp& rnn = set_.beByName("rnn");
-    const sim::Allocation parked{0, 0, 2.2, 1.0};
-    EXPECT_DOUBLE_EQ(rnn.throughput(parked), 0.0);
-    EXPECT_DOUBLE_EQ(rnn.power(parked), 0.0);
+    const sim::Allocation parked{0, 0, GHz{2.2}, 1.0};
+    EXPECT_DOUBLE_EQ(rnn.throughput(parked).value(), 0.0);
+    EXPECT_DOUBLE_EQ(rnn.power(parked).value(), 0.0);
     EXPECT_DOUBLE_EQ(rnn.utilization(parked), 0.0);
 }
 
@@ -233,7 +240,7 @@ TEST(Registry, MotivationVariantSharesPerformanceSurface)
     const auto variant = xapianMotivationParams();
     EXPECT_EQ(variant.name, "xapian-132");
     EXPECT_DOUBLE_EQ(variant.perf.alphaCores, base.perf.alphaCores);
-    EXPECT_DOUBLE_EQ(variant.peakLoad, base.peakLoad);
+    EXPECT_DOUBLE_EQ(variant.peakLoad.value(), base.peakLoad.value());
     EXPECT_LT(variant.power.corePeak, base.power.corePeak);
 }
 

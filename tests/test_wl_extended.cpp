@@ -40,18 +40,19 @@ TEST(ExtendedApps, NewAppsAreWellFormed)
     for (const char* name : {"memcached", "moses"}) {
         const LcApp& lc = ext.lcByName(name);
         EXPECT_GT(lc.provisionedPower(), ext.spec.idlePower) << name;
-        EXPECT_LT(lc.provisionedPower(), 250.0) << name;
+        EXPECT_LT(lc.provisionedPower(), Watts{250.0}) << name;
         // Full allocation sustains peak at the SLO boundary.
-        EXPECT_NEAR(lc.capacity(lc.fullAllocation()), lc.peakLoad(),
-                    1e-6 * lc.peakLoad())
+        EXPECT_NEAR(lc.capacity(lc.fullAllocation()).value(),
+                    lc.peakLoad().value(),
+                    1e-6 * lc.peakLoad().value())
             << name;
     }
-    const sim::Allocation norm{11, 18, 2.2, 1.0};
+    const sim::Allocation norm{11, 18, GHz{2.2}, 1.0};
     for (const char* name : {"spark-batch", "x264"}) {
         const BeApp& be = ext.beByName(name);
-        EXPECT_NEAR(be.throughput(norm), 1.0, 1e-9) << name;
-        EXPECT_GT(be.power(norm), 20.0) << name;
-        EXPECT_LT(be.power(norm), 130.0) << name;
+        EXPECT_NEAR(be.throughput(norm).value(), 1.0, 1e-9) << name;
+        EXPECT_GT(be.power(norm), Watts{20.0}) << name;
+        EXPECT_LT(be.power(norm), Watts{130.0}) << name;
     }
 }
 

@@ -1,0 +1,18 @@
+# Lint the real tree: src/, tools/ and bench/ must be clean. This is
+# the tier-lint gate CI runs; a violation fails the build with a
+# file:line diagnostic from poco_lint.
+#
+# usage: lint_smoke.sh <poco_lint-binary> <repo-root>
+set -u
+
+lint="$1"
+root="$2"
+
+"$lint" "$root/src" "$root/tools" "$root/bench"
+status=$?
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: poco_lint found violations in the tree (exit $status)"
+    exit 1
+fi
+echo "PASS: src/, tools/ and bench/ lint clean"
+exit 0

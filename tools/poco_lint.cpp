@@ -1,0 +1,461 @@
+/**
+ * @file
+ * poco_lint — project-invariant linter for the Pocolo tree.
+ *
+ * A self-contained token/line scanner (no libclang): it walks the
+ * given files/directories and enforces the repo's determinism and
+ * input-hygiene contracts as named per-rule diagnostics. Comments and
+ * string literals are stripped before matching, so rule names or
+ * banned tokens inside strings (including this file's own tables)
+ * never trigger.
+ *
+ * Rules (see DESIGN.md section 11):
+ *   banned-random     std::rand / rand() / srand / random_device
+ *                     outside util/rng.* — all randomness flows
+ *                     through the seeded poco::Rng.
+ *   banned-time       time(NULL) / std::chrono::system_clock /
+ *                     gettimeofday outside util/rng.* — wall-clock
+ *                     reads break replayable simulation.
+ *                     (steady_clock is fine: it is a stopwatch.)
+ *   unordered-iter    range-for over a std::unordered_map/set
+ *                     variable — iteration order is unspecified and
+ *                     has broken determinism before. Suppress a
+ *                     reviewed site with
+ *                     `// poco-lint: allow(unordered-iter)` on the
+ *                     same or the immediately preceding line.
+ *   unchecked-parse   atoi/atof/strtol/strtod/std::stoi/... outside
+ *                     util/ — external input must funnel through the
+ *                     POCO_CHECK-validating helpers in util/parse.hpp.
+ *   pragma-once       every header carries #pragma once.
+ *   no-float          float halves the mantissa silently; the power
+ *                     books are kept in double (or Quantity<Tag>).
+ *   no-using-namespace-std   namespace hygiene.
+ *
+ * Output: one `file:line: [rule] message` per violation, exit 1 if
+ * any fired, exit 0 on a clean tree.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct Violation
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One file, split into raw lines and comment/string-stripped code. */
+struct FileText
+{
+    std::string path;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+           c == '_';
+}
+
+/**
+ * Does @p code contain @p token with identifier boundaries on both
+ * sides? Tokens may contain punctuation (e.g. "std::rand"); only the
+ * outermost characters get the boundary check.
+ */
+bool
+containsToken(const std::string& code, const std::string& token)
+{
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        const bool left_ok =
+            pos == 0 || !isIdentChar(code[pos - 1]) ||
+            !isIdentChar(token.front());
+        const std::size_t end = pos + token.size();
+        const bool right_ok = end >= code.size() ||
+                              !isIdentChar(code[end]) ||
+                              !isIdentChar(token.back());
+        if (left_ok && right_ok)
+            return true;
+        ++pos;
+    }
+    return false;
+}
+
+/**
+ * Strip //, block comments and string/char literals, preserving line
+ * structure. @p in_block carries block-comment state across lines.
+ */
+std::string
+stripLine(const std::string& line, bool& in_block)
+{
+    std::string out;
+    out.reserve(line.size());
+    std::size_t i = 0;
+    while (i < line.size()) {
+        if (in_block) {
+            if (line.compare(i, 2, "*/") == 0) {
+                in_block = false;
+                i += 2;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        const char c = line[i];
+        if (line.compare(i, 2, "//") == 0)
+            break;
+        if (line.compare(i, 2, "/*") == 0) {
+            in_block = true;
+            i += 2;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < line.size()) {
+                if (line[i] == '\\') {
+                    i += 2;
+                    continue;
+                }
+                if (line[i] == quote) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            out.push_back(quote); // keep a marker so tokens split
+            continue;
+        }
+        out.push_back(c);
+        ++i;
+    }
+    return out;
+}
+
+FileText
+loadFile(const std::string& path)
+{
+    FileText text;
+    text.path = path;
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "poco_lint: cannot read %s\n",
+                     path.c_str());
+        std::exit(2);
+    }
+    bool in_block = false;
+    std::string line;
+    while (std::getline(in, line)) {
+        text.raw.push_back(line);
+        text.code.push_back(stripLine(line, in_block));
+    }
+    return text;
+}
+
+/** Is rule @p rule suppressed on (or just above) line @p idx? */
+bool
+isSuppressed(const FileText& text, std::size_t idx,
+             const std::string& rule)
+{
+    const std::string needle = "poco-lint: allow(" + rule + ")";
+    if (text.raw[idx].find(needle) != std::string::npos)
+        return true;
+    return idx > 0 &&
+           text.raw[idx - 1].find(needle) != std::string::npos;
+}
+
+/** Path-based exemptions, matched on generic (forward-slash) form. */
+bool
+pathContains(const std::string& path, const std::string& piece)
+{
+    std::string p = path;
+    for (char& c : p)
+        if (c == '\\')
+            c = '/';
+    return p.find(piece) != std::string::npos;
+}
+
+struct TokenRule
+{
+    std::string rule;
+    std::vector<std::string> tokens;
+    std::string message;
+    /** Files whose path contains any of these are exempt. */
+    std::vector<std::string> exempt;
+};
+
+const std::vector<TokenRule>&
+tokenRules()
+{
+    static const std::vector<TokenRule> rules = {
+        {"banned-random",
+         {"std::rand", "rand", "srand", "random_device"},
+         "unseeded randomness; use poco::Rng (util/rng.hpp)",
+         {"util/rng."}},
+        {"banned-time",
+         {"time", "std::time", "system_clock", "gettimeofday"},
+         "wall-clock read breaks deterministic replay; use SimTime "
+         "or steady_clock",
+         {"util/rng."}},
+        {"unchecked-parse",
+         {"atoi", "atof", "atol", "atoll", "strtol", "strtoll",
+          "strtoul", "strtoull", "strtod", "strtof", "stoi", "stol",
+          "stoul", "stoull", "stod", "stof"},
+         "raw parse of external input; use the POCO_CHECK-validating "
+         "helpers in util/parse.hpp",
+         {"util/parse."}},
+        {"no-float",
+         {"float"},
+         "float halves the mantissa; keep physical quantities in "
+         "double or Quantity<Tag>",
+         {}},
+    };
+    return rules;
+}
+
+/**
+ * `rand` and `time` only count when called: require a `(` after the
+ * token (skipping spaces). Keeps `steady_clock::time_point` or a
+ * variable named `rand_state` out of the net.
+ */
+bool
+isCallLike(const std::string& code, const std::string& token)
+{
+    std::size_t pos = 0;
+    while ((pos = code.find(token, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        std::size_t end = pos + token.size();
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (left_ok && right_ok) {
+            while (end < code.size() && code[end] == ' ')
+                ++end;
+            if (end < code.size() && code[end] == '(')
+                return true;
+        }
+        ++pos;
+    }
+    return false;
+}
+
+/** Tokens that only fire in call position. */
+bool
+needsCallPosition(const std::string& token)
+{
+    static const std::set<std::string> call_only = {
+        "rand",    "srand",   "time",    "std::time", "atoi",
+        "atof",    "atol",    "atoll",   "strtol",    "strtoll",
+        "strtoul", "strtoull", "strtod", "strtof",    "stoi",
+        "stol",    "stoul",   "stoull",  "stod",      "stof"};
+    return call_only.count(token) != 0;
+}
+
+void
+runTokenRules(const FileText& text, std::vector<Violation>& out)
+{
+    for (const TokenRule& rule : tokenRules()) {
+        bool exempt = false;
+        for (const std::string& piece : rule.exempt)
+            exempt = exempt || pathContains(text.path, piece);
+        if (exempt)
+            continue;
+        for (std::size_t i = 0; i < text.code.size(); ++i) {
+            for (const std::string& token : rule.tokens) {
+                const bool hit =
+                    needsCallPosition(token)
+                        ? isCallLike(text.code[i], token)
+                        : containsToken(text.code[i], token);
+                if (!hit || isSuppressed(text, i, rule.rule))
+                    continue;
+                out.push_back({text.path, i + 1, rule.rule,
+                               token + ": " + rule.message});
+                break; // one diagnostic per rule per line
+            }
+        }
+    }
+}
+
+void
+runUsingNamespaceStd(const FileText& text, std::vector<Violation>& out)
+{
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string& code = text.code[i];
+        if (code.find("using") == std::string::npos ||
+            code.find("namespace") == std::string::npos)
+            continue;
+        if (!containsToken(code, "std"))
+            continue;
+        // Tolerant of spacing: using <ws> namespace <ws> std
+        const std::size_t u = code.find("using");
+        const std::size_t n = code.find("namespace", u);
+        const std::size_t s = code.find("std", n);
+        if (u == std::string::npos || n == std::string::npos ||
+            s == std::string::npos)
+            continue;
+        if (isSuppressed(text, i, "no-using-namespace-std"))
+            continue;
+        out.push_back(
+            {text.path, i + 1, "no-using-namespace-std",
+             "namespace pollution; spell out std:: qualifiers"});
+    }
+}
+
+void
+runPragmaOnce(const FileText& text, std::vector<Violation>& out)
+{
+    if (text.path.size() < 4 ||
+        text.path.compare(text.path.size() - 4, 4, ".hpp") != 0)
+        return;
+    for (const std::string& code : text.code)
+        if (code.find("#pragma once") != std::string::npos)
+            return;
+    out.push_back({text.path, 1, "pragma-once",
+                   "header lacks #pragma once"});
+}
+
+/**
+ * Collect the names of variables/members declared with an unordered
+ * container type in this file. Handles nested template arguments by
+ * skipping the balanced <...> after the container name.
+ */
+std::set<std::string>
+unorderedNames(const FileText& text)
+{
+    std::set<std::string> names;
+    for (const std::string& code : text.code) {
+        for (const std::string& type :
+             {std::string("unordered_map"),
+              std::string("unordered_set")}) {
+            std::size_t pos = code.find(type + "<");
+            if (pos == std::string::npos)
+                continue;
+            std::size_t i = pos + type.size();
+            int depth = 0;
+            while (i < code.size()) {
+                if (code[i] == '<')
+                    ++depth;
+                else if (code[i] == '>' && --depth == 0) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            // Next identifier after the template args is the name.
+            while (i < code.size() &&
+                   !isIdentChar(code[i]) && code[i] != ';')
+                ++i;
+            std::string name;
+            while (i < code.size() && isIdentChar(code[i]))
+                name.push_back(code[i++]);
+            if (!name.empty())
+                names.insert(name);
+        }
+    }
+    return names;
+}
+
+void
+runUnorderedIter(const FileText& text, std::vector<Violation>& out)
+{
+    const std::set<std::string> names = unorderedNames(text);
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string& code = text.code[i];
+        const std::size_t for_pos = code.find("for");
+        if (for_pos == std::string::npos ||
+            !containsToken(code, "for"))
+            continue;
+        const std::size_t colon = code.find(" : ", for_pos);
+        if (colon == std::string::npos)
+            continue;
+        // The range expression: everything after " : ".
+        const std::string range = code.substr(colon + 3);
+        bool hit = containsToken(range, "unordered_map") ||
+                   containsToken(range, "unordered_set");
+        for (const std::string& name : names)
+            hit = hit || containsToken(range, name);
+        if (!hit || isSuppressed(text, i, "unordered-iter"))
+            continue;
+        out.push_back(
+            {text.path, i + 1, "unordered-iter",
+             "range-for over an unordered container has unspecified "
+             "order; sort first or annotate a reviewed site with "
+             "poco-lint: allow(unordered-iter)"});
+    }
+}
+
+bool
+lintableFile(const fs::path& path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cpp" || ext == ".hpp";
+}
+
+void
+collect(const fs::path& root, std::vector<std::string>& files)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+        if (lintableFile(root))
+            files.push_back(root.string());
+        return;
+    }
+    if (!fs::is_directory(root, ec)) {
+        std::fprintf(stderr, "poco_lint: no such file or directory: "
+                             "%s\n",
+                     root.string().c_str());
+        std::exit(2);
+    }
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintableFile(entry.path()))
+            files.push_back(entry.path().string());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: poco_lint <file-or-dir>...\n"
+                     "lints .cpp/.hpp files; exits 1 on violation\n");
+        return 2;
+    }
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i)
+        collect(argv[i], files);
+    std::sort(files.begin(), files.end());
+
+    std::vector<Violation> violations;
+    for (const std::string& path : files) {
+        const FileText text = loadFile(path);
+        runTokenRules(text, violations);
+        runUsingNamespaceStd(text, violations);
+        runPragmaOnce(text, violations);
+        runUnorderedIter(text, violations);
+    }
+
+    for (const Violation& v : violations)
+        std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                    v.rule.c_str(), v.message.c_str());
+    std::fprintf(stderr, "poco_lint: %zu file(s), %zu violation(s)\n",
+                 files.size(), violations.size());
+    return violations.empty() ? 0 : 1;
+}

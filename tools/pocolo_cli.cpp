@@ -34,6 +34,7 @@
 #include "server/server_manager.hpp"
 #include "tco/tco_model.hpp"
 #include "util/check.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 #include "wl/registry.hpp"
 
@@ -145,10 +146,11 @@ cmdSpec()
     t.addRow({"llc ways", std::to_string(spec.llcWays)});
     t.addRow({"llc size (MB)", fmt(spec.llcMegabytes, 0)});
     t.addRow({"freq range (GHz)",
-              fmt(spec.freqMin, 1) + " - " + fmt(spec.freqMax, 1)});
-    t.addRow({"idle power (W)", fmt(spec.idlePower, 0)});
+              fmt(spec.freqMin.value(), 1) + " - " +
+                  fmt(spec.freqMax.value(), 1)});
+    t.addRow({"idle power (W)", fmt(spec.idlePower.value(), 0)});
     t.addRow({"nominal active power (W)",
-              fmt(spec.nominalActivePower, 0)});
+              fmt(spec.nominalActivePower.value(), 0)});
     std::printf("%s", t.render().c_str());
     return 0;
 }
@@ -159,9 +161,9 @@ cmdApps(const wl::AppSet& apps)
     TextTable t({"class", "name", "peak load", "p99 SLO (s)",
                  "provisioned power (W)"});
     for (const auto& lc : apps.lc)
-        t.addRow({"LC", lc.name(), fmt(lc.peakLoad(), 0),
+        t.addRow({"LC", lc.name(), fmt(lc.peakLoad().value(), 0),
                   fmt(lc.slo99(), 4),
-                  fmt(lc.provisionedPower(), 1)});
+                  fmt(lc.provisionedPower().value(), 1)});
     for (const auto& be : apps.be)
         t.addRow({"BE", be.name(), "-", "-", "-"});
     std::printf("%s", t.render().c_str());
@@ -321,7 +323,7 @@ cmdTco(const wl::AppSet& apps, const Options& options)
 {
     const cluster::ClusterEvaluator evaluator(
         apps, options.evaluatorConfig());
-    Watts provisioned = 0.0;
+    Watts provisioned;
     for (const auto& lc : apps.lc)
         provisioned += lc.provisionedPower();
     provisioned /= static_cast<double>(apps.lc.size());
@@ -402,7 +404,8 @@ cmdSimulate(const wl::AppSet& apps, const Options& options,
         load_arg.substr(load_arg.size() - 4) == ".csv")
         trace = wl::LoadTrace::fromCsvFile(load_arg, kMinute);
     else
-        trace = wl::LoadTrace::constant(std::stod(load_arg) / 100.0);
+        trace = wl::LoadTrace::constant(
+            parseDouble(load_arg, "load percentage") / 100.0);
 
     const model::Profiler profiler(options.profilerConfig());
     CliPool cli_pool(options);
@@ -427,10 +430,12 @@ cmdSimulate(const wl::AppSet& apps, const Options& options,
             continue;
         std::printf("%.0f,%.1f,%.6f,%d,%d,%d,%d,%.1f,%.2f,%.4f,"
                     "%.2f\n",
-                    toSeconds(s.when), s.lcLoad, s.lcLatencyP99,
+                    toSeconds(s.when), s.lcLoad.value(),
+                    s.lcLatencyP99,
                     s.lcAlloc.cores, s.lcAlloc.ways, s.beAlloc.cores,
-                    s.beAlloc.ways, s.beAlloc.freq,
-                    s.beAlloc.dutyCycle, s.beThroughput, s.power);
+                    s.beAlloc.ways, s.beAlloc.freq.value(),
+                    s.beAlloc.dutyCycle, s.beThroughput.value(),
+                    s.power.value());
     }
     return 0;
 }
@@ -442,18 +447,24 @@ main(int argc, char** argv)
 {
     Options options;
     int argi = 1;
-    while (argi < argc && argv[argi][0] == '-') {
-        const std::string flag = argv[argi];
-        if (flag == "--threads" && argi + 1 < argc) {
-            options.threads = std::atoi(argv[++argi]);
-            if (options.threads < 0)
+    try {
+        while (argi < argc && argv[argi][0] == '-') {
+            const std::string flag = argv[argi];
+            if (flag == "--threads" && argi + 1 < argc) {
+                options.threads =
+                    parseInt(argv[++argi], "--threads");
+                if (options.threads < 0)
+                    return usage();
+            } else if (flag == "--seed" && argi + 1 < argc) {
+                options.seed = parseU64(argv[++argi], "--seed");
+            } else {
                 return usage();
-        } else if (flag == "--seed" && argi + 1 < argc) {
-            options.seed = std::strtoull(argv[++argi], nullptr, 10);
-        } else {
-            return usage();
+            }
+            ++argi;
         }
-        ++argi;
+    } catch (const poco::FatalError& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return usage();
     }
     if (argi >= argc)
         return usage();
@@ -480,7 +491,8 @@ main(int argc, char** argv)
         if (cmd == "fit" && n == 2)
             return cmdFit(apps, options, args[0], args[1]);
         if (cmd == "curve" && n == 2)
-            return cmdCurve(apps, args[0], std::stod(args[1]));
+            return cmdCurve(apps, args[0],
+                            parseDouble(args[1], "load fraction"));
         if (cmd == "matrix")
             return cmdMatrix(apps, options);
         if (cmd == "place")
@@ -495,13 +507,14 @@ main(int argc, char** argv)
             return cmdModels(args[0]);
         if (cmd == "simulate" && n == 4)
             return cmdSimulate(apps, options, args[0], args[1],
-                               args[2], std::stod(args[3]));
+                               args[2],
+                               parseDouble(args[3], "minutes"));
     } catch (const poco::FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     } catch (const std::exception& error) {
-        // Malformed numeric arguments (std::stod and friends) land
-        // here; bad config must still fail with a clear diagnostic.
+        // Any stray library exception must still fail with a clear
+        // diagnostic (parse errors arrive as FatalError above).
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
     }
