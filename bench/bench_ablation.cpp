@@ -26,7 +26,7 @@
 
 using namespace poco;
 using cluster::ClusterEvaluator;
-using cluster::EvaluatorConfig;
+using poco::FleetConfig;
 using cluster::ManagerKind;
 using cluster::PlacementKind;
 
@@ -40,7 +40,7 @@ ablationSlackGuard(bench::Context& ctx)
     TextTable table({"guard", "sphinx indirect c:w", "R2 perf",
                      "POColo mean BE thr"});
     for (double guard : {0.02, 0.10, 0.25}) {
-        EvaluatorConfig config;
+        FleetConfig config;
         config.profiler.minSlack = guard;
         const ClusterEvaluator evaluator(ctx.apps, config);
         const auto& sphinx = evaluator.lcModels()[1];
@@ -63,7 +63,7 @@ ablationControllerPeriod(bench::Context& ctx)
                      "max SLO violation", "mean power util"});
     for (SimTime period :
          {500 * kMillisecond, 1 * kSecond, 4 * kSecond}) {
-        EvaluatorConfig config;
+        FleetConfig config;
         config.server.controlPeriod = period;
         const ClusterEvaluator evaluator(ctx.apps, config);
         const auto outcome =
@@ -133,7 +133,7 @@ ablationMatrixLoadRange(bench::Context& ctx)
 {
     std::printf("\n[E] matrix load range: myopic 10%% vs full "
                 "10-90%% (the Fig. 4 lesson)\n");
-    EvaluatorConfig myopic;
+    FleetConfig myopic;
     myopic.loadPoints = {0.1};
     const ClusterEvaluator myopic_eval(ctx.apps, myopic);
     const ClusterEvaluator full_eval(ctx.apps);
@@ -169,7 +169,7 @@ ablationFrequencyTuning(bench::Context& ctx)
     TextTable table({"variant", "POColo mean BE thr",
                      "mean power util", "max SLO violation"});
     for (bool tune : {false, true}) {
-        EvaluatorConfig config;
+        FleetConfig config;
         config.server.controller.tunePrimaryFrequency = tune;
         const ClusterEvaluator evaluator(ctx.apps, config);
         const auto outcome =

@@ -191,7 +191,7 @@ sectionCluster(bench::Context& ctx)
             {"[" + fmt(toSeconds(epoch.start), 0) + "s, " +
                  fmt(toSeconds(epoch.end), 0) + "s)",
              down.empty() ? "-" : down,
-             cluster::placementKindName(epoch.placement.used),
+             poco::solverTierName(epoch.placement.tier),
              std::to_string(epoch.placement.attempts),
              std::to_string(epoch.unplaced),
              fmt(epoch.beThroughput, 3)});
@@ -220,7 +220,7 @@ sectionCluster(bench::Context& ctx)
                         epoch.placement.attempts, per_epoch_bound);
             ++failures;
         }
-        if (epoch.placement.used == cluster::PlacementKind::Lp) {
+        if (epoch.placement.tier == poco::SolverTier::Lp) {
             std::printf("P4 FAIL: an epoch still reports the broken "
                         "LP solver\n");
             ++failures;
@@ -233,10 +233,10 @@ sectionCluster(bench::Context& ctx)
     }
     std::printf("\nwith LP broken: every epoch fell back to %s, "
                 "solver attempts %d (bound %d per epoch)\n",
-                cluster::placementKindName(
+                poco::solverTierName(
                     degraded.epochs.empty()
-                        ? cluster::PlacementKind::Greedy
-                        : degraded.epochs.front().placement.used),
+                        ? poco::SolverTier::Greedy
+                        : degraded.epochs.front().placement.tier),
                 degraded.solverAttempts,
                 per_epoch_bound *
                     static_cast<int>(degraded.epochs.size()));

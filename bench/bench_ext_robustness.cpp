@@ -135,10 +135,10 @@ main()
             return ((print >> (bit & 63)) & 1ULL) != 0ULL;
         };
         const auto report = cluster::placeWithFallback(
-            evaluator.matrix(), evaluator.solverConfig(), options);
+            evaluator.matrix(), evaluator.solverContext(), options);
         const double thr =
             evaluator
-                .runAssignment(report.assignment,
+                .runAssignment(report.value,
                                cluster::ManagerKind::Pom)
                 .meanBeThroughput();
         chain.addRow(
@@ -149,9 +149,9 @@ main()
                                static_cast<unsigned long long>(print));
                  return std::string(buf);
              }(),
-             cluster::placementKindName(report.used),
+             poco::solverTierName(report.tier),
              std::to_string(report.attempts),
-             report.conservative ? "conservative" : "solved",
+             report.degraded() ? "conservative" : "solved",
              fmt(thr, 3)});
     }
     std::printf("%s", chain.render().c_str());

@@ -62,8 +62,8 @@ main()
     TextTable seeds({"salt", "Random", "POM", "POColo",
                      "POM vs Random", "POColo vs Random"});
     for (std::uint64_t salt : {1ull, 2ull, 3ull}) {
-        cluster::EvaluatorConfig config;
-        config.seedSalt = salt;
+        FleetConfig config;
+        config = config.withSeed(salt);
         const cluster::ClusterEvaluator seeded(ctx.apps, config);
         const double sr = seeded.runPolicy(Policy::Random)
                               .meanBeThroughput();
@@ -97,9 +97,20 @@ main()
     // Runtime parallelism: the same pipeline (profiling, fits,
     // matrix, per-server runs) serial vs on the shared pool. The
     // results must match bit for bit; the speedup tracks the
-    // physical core count (~1x on a single-core host).
+    // physical core count. On a narrow host the ~1x row is
+    // meaningless noise, so say so loudly instead of printing it.
+    if (runtime::ThreadPool::hardwareThreads() < 4) {
+        std::printf("\nruntime: speedup SKIPPED (%u core%s): the "
+                    "serial-vs-pooled timing needs >= 4 hardware "
+                    "threads to say anything\n",
+                    runtime::ThreadPool::hardwareThreads(),
+                    runtime::ThreadPool::hardwareThreads() == 1
+                        ? ""
+                        : "s");
+        return 0;
+    }
     const auto pipeline = [&ctx](int threads) {
-        cluster::EvaluatorConfig config;
+        FleetConfig config;
         config.threads = threads;
         const auto start = std::chrono::steady_clock::now();
         const cluster::ClusterEvaluator timed(ctx.apps, config);

@@ -80,17 +80,20 @@ ClusterOutcome::maxSloViolationFraction() const
 }
 
 ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
-                                   EvaluatorConfig config)
+                                   FleetConfig config)
     : apps_(&apps), config_(std::move(config))
 {
     POCO_REQUIRE(!apps.lc.empty() && !apps.be.empty(),
                  "evaluator needs LC and BE applications");
-    POCO_REQUIRE(!config_.loadPoints.empty(),
-                 "evaluator needs at least one load point");
+    config_.validated();
 
-    // Execution substrate: serial, the shared pool, or a dedicated
-    // one. Results are identical either way (see EvaluatorConfig).
-    if (config_.threads == 1) {
+    // Execution substrate: a borrowed pool (the fleet layer shares
+    // one across every cluster), serial, the shared pool, or a
+    // dedicated one. Results are identical either way (see
+    // FleetConfig::threads).
+    if (config_.pool != nullptr) {
+        pool_ = config_.pool;
+    } else if (config_.threads == 1) {
         pool_ = nullptr;
     } else if (config_.threads <= 0) {
         pool_ = &runtime::ThreadPool::global();
@@ -104,7 +107,7 @@ ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
     // app is an independent task (its profile noise comes from a
     // stream keyed by its own name and grid cell).
     model::ProfilerConfig profiler_config = config_.profiler;
-    profiler_config.seed ^= config_.seedSalt * 0x9e3779b97f4a7c15ULL;
+    profiler_config.seed ^= config_.seed * 0x9e3779b97f4a7c15ULL;
     const model::Profiler profiler(profiler_config);
     const model::UtilityFitter fitter;
     lc_models_ = runtime::parallelMap(
@@ -136,14 +139,17 @@ ClusterEvaluator::ClusterEvaluator(const wl::AppSet& apps,
 
 ClusterEvaluator::~ClusterEvaluator() = default;
 
-SolverConfig
-ClusterEvaluator::solverConfig() const
+SolverContext
+ClusterEvaluator::solverContext() const
 {
-    SolverConfig config = config_.solver;
-    config.pool = pool_;
-    if (config.cache == nullptr)
-        config.cache = &solver_cache_;
-    return config;
+    SolverContext context;
+    context.pool = pool_;
+    context.cache = config_.solverCache != nullptr
+                        ? config_.solverCache
+                        : &solver_cache_;
+    context.pivotCutoff = config_.solverPivotCutoff;
+    context.pricingGrain = config_.solverPricingGrain;
+    return context;
 }
 
 std::vector<int>
@@ -153,7 +159,7 @@ ClusterEvaluator::placeBe(PlacementKind kind, std::uint64_t seed) const
         Rng rng(seed);
         return place(matrix_, kind, rng);
     }
-    return place(matrix_, kind, solverConfig());
+    return place(matrix_, kind, solverContext());
 }
 
 bool
@@ -185,7 +191,7 @@ ClusterEvaluator::placeConservative(const std::vector<int>& up) const
     return assignment;
 }
 
-PlacementReport
+Outcome<std::vector<int>>
 ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
                                 const FallbackOptions& options) const
 {
@@ -224,16 +230,19 @@ ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
         std::sort(rows.begin(), rows.end());
     }
 
-    PlacementReport report;
+    Outcome<std::vector<int>> outcome;
+    if (n_be > up.size())
+        outcome.degradation.workShed = true;
     if (!modelsHealthy()) {
         // The preference matrix is built from fits we no longer
         // trust: place preference-free instead of optimizing noise.
-        report.assignment.assign(n_be, -1);
+        outcome.value.assign(n_be, -1);
         for (std::size_t k = 0; k < rows.size(); ++k)
-            report.assignment[rows[k]] = up[k];
-        report.used = PlacementKind::Greedy;
-        report.conservative = true;
-        return report;
+            outcome.value[rows[k]] = up[k];
+        outcome.tier = SolverTier::Conservative;
+        outcome.degradation.conservative = true;
+        outcome.degradation.modelsUntrusted = true;
+        return outcome;
     }
 
     PerformanceMatrix sub;
@@ -248,16 +257,16 @@ ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
         sub.lcNames.push_back(
             matrix_.lcNames[static_cast<std::size_t>(j)]);
 
-    const PlacementReport solved =
-        placeWithFallback(sub, solverConfig(), options);
-    report.used = solved.used;
-    report.attempts = solved.attempts;
-    report.conservative = solved.conservative;
-    report.assignment.assign(n_be, -1);
+    const Outcome<std::vector<int>> solved =
+        placeWithFallback(sub, solverContext(), options);
+    outcome.tier = solved.tier;
+    outcome.attempts = solved.attempts;
+    outcome.degradation |= solved.degradation;
+    outcome.value.assign(n_be, -1);
     for (std::size_t k = 0; k < rows.size(); ++k)
-        report.assignment[rows[k]] =
-            up[static_cast<std::size_t>(solved.assignment[k])];
-    return report;
+        outcome.value[rows[k]] =
+            up[static_cast<std::size_t>(solved.value[k])];
+    return outcome;
 }
 
 ClusterFaultOutcome
@@ -311,27 +320,28 @@ ClusterEvaluator::runWithServerFaults(
 
         if (up.empty()) {
             // Total outage: nothing to place, nothing to run.
-            epoch.placement.assignment.assign(apps_->be.size(), -1);
-            epoch.placement.conservative = true;
+            epoch.placement.value.assign(apps_->be.size(), -1);
+            epoch.placement.tier = SolverTier::Conservative;
+            epoch.placement.degradation.conservative = true;
+            epoch.placement.degradation.workShed = true;
         } else {
             epoch.placement = placeBeRobust(up, options);
         }
-        for (const int j : epoch.placement.assignment)
+        for (const int j : epoch.placement.value)
             if (j < 0)
                 ++epoch.unplaced;
         out.solverAttempts += epoch.placement.attempts;
-        if (epoch.placement.conservative)
+        if (epoch.placement.degradation.conservative)
             ++out.conservativeEpochs;
         out.unplacedBeEpochs += epoch.unplaced;
-        if (prev != nullptr &&
-            !(epoch.placement.assignment == *prev))
+        if (prev != nullptr && !(epoch.placement.value == *prev))
             ++out.replacements;
 
         // Steady-state outcome of the epoch's placement, from the
         // (memoized) pair simulations.
         for (std::size_t i = 0;
-             i < epoch.placement.assignment.size(); ++i) {
-            const int j = epoch.placement.assignment[i];
+             i < epoch.placement.value.size(); ++i) {
+            const int j = epoch.placement.value[i];
             if (j < 0)
                 continue;
             epoch.beThroughput +=
@@ -343,7 +353,7 @@ ClusterEvaluator::runWithServerFaults(
         weighted += epoch.beThroughput *
                     toSeconds(epoch.end - epoch.start);
         out.epochs.push_back(std::move(epoch));
-        prev = &out.epochs.back().placement.assignment;
+        prev = &out.epochs.back().placement.value;
     }
     out.timeWeightedThroughput = weighted / toSeconds(out.horizon);
     return out;
@@ -359,7 +369,7 @@ ClusterEvaluator::makeController(std::size_t lc_idx,
         return std::make_unique<server::HeraclesController>(
             config_.server.controller,
             0x9d5f ^ (static_cast<std::uint64_t>(lc_idx) * 7919) ^
-                (config_.seedSalt * 0x2545f4914f6cdd1dULL) ^
+                (config_.seed * 0x2545f4914f6cdd1dULL) ^
                 (static_cast<std::uint64_t>(seed_variant) *
                  0xd1342543de82ef95ULL));
       case ManagerKind::Pom:

@@ -28,6 +28,7 @@
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
 #include "fault/fault_plan.hpp"
+#include "fleet/fleet_config.hpp"
 #include "math/solver_cache.hpp"
 #include "model/profiler.hpp"
 #include "runtime/thread_pool.hpp"
@@ -56,60 +57,6 @@ enum class Policy
 };
 
 const char* policyName(Policy policy);
-
-/** Evaluation knobs. */
-struct EvaluatorConfig
-{
-    /** LC load points (uniform distribution, paper: 10%..90%). */
-    std::vector<double> loadPoints =
-        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
-    /** Dwell per load point in the stepped trace. */
-    SimTime dwell = 120 * kSecond;
-    /** Per-server manager configuration. */
-    server::ServerManagerConfig server;
-    /** Profiler settings for the model-fitting stage. */
-    model::ProfilerConfig profiler;
-    /**
-     * Salt mixed into every stochastic stream (profiling noise and
-     * the baseline controller's random indifference-curve draws).
-     * Re-running a policy under several salts measures how much of
-     * a result is seed luck; see bench_fig12_throughput.
-     */
-    std::uint64_t seedSalt = 0;
-    /**
-     * Controller-seed replicas averaged into the Random baseline.
-     * Its server manager draws random indifference-curve points, so
-     * a single sequence is a high-variance estimate of the policy's
-     * expectation; each extra replica re-runs the pair with a fresh
-     * seed. POM/POColo are deterministic given the fitted models and
-     * ignore this.
-     */
-    int heraclesReplicas = 3;
-    /**
-     * Worker threads for the evaluation pipeline (profiling, fits,
-     * matrix cells, and per-server simulation runs): 1 runs serial
-     * on the calling thread, 0 uses the process-wide pool (hardware
-     * concurrency), N > 1 uses a dedicated pool of N workers. Every
-     * setting produces bit-identical results — tasks draw from
-     * deterministic split streams and write index-addressed slots.
-     */
-    int threads = 0;
-    /**
-     * Assignment-solver knobs (LP parallel cutoffs, memoization).
-     * The pool is wired by the evaluator itself; a null cache uses
-     * the evaluator's own solve memo. Results never depend on these
-     * settings — only wall-clock does.
-     */
-    SolverConfig solver;
-    /**
-     * Fit-health gate for robust placement: when any fitted model's
-     * perf/power R^2 falls below these thresholds, placeBeRobust()
-     * stops trusting the preference matrix and uses the conservative
-     * preference-free allocation instead. 0 disables the gate.
-     */
-    double minPerfR2 = 0.0;
-    double minPowerR2 = 0.0;
-};
 
 /** Result of one managed (LC, BE) pairing. */
 struct ServerOutcome
@@ -142,8 +89,11 @@ struct ClusterFaultEpoch
     SimTime end = 0;
     /** Servers offline throughout the epoch. */
     std::vector<int> down;
-    /** Full-cluster indices; assignment[i] = -1 parks BE i. */
-    PlacementReport placement;
+    /**
+     * Placement outcome over the survivors. Full-cluster indices;
+     * value[i] = -1 parks BE i.
+     */
+    Outcome<std::vector<int>> placement;
     /** BE apps no surviving server could take this epoch. */
     int unplaced = 0;
     /** Cluster BE throughput while the epoch holds (units/s). */
@@ -172,11 +122,11 @@ class ClusterEvaluator
 {
   public:
     explicit ClusterEvaluator(const wl::AppSet& apps,
-                              EvaluatorConfig config = {});
+                              FleetConfig config = {});
     ~ClusterEvaluator();
 
     const wl::AppSet& apps() const { return *apps_; }
-    const EvaluatorConfig& config() const { return config_; }
+    const FleetConfig& config() const { return config_; }
 
     /** The pool evaluations run on; null means serial. */
     runtime::ThreadPool* pool() const { return pool_; }
@@ -195,11 +145,11 @@ class ClusterEvaluator
     const PerformanceMatrix& matrix() const { return matrix_; }
 
     /**
-     * Solver configuration the evaluator places with: the evaluation
-     * pool plus its own solve memo (unless EvaluatorConfig::solver
-     * overrides the cache).
+     * Solver wiring the evaluator places with: the evaluation pool
+     * plus its own solve memo (unless FleetConfig::solverCache
+     * overrides it), and the config's LP cutoffs.
      */
-    SolverConfig solverConfig() const;
+    SolverContext solverContext() const;
 
     /** Placement under the given algorithm (deterministic seed). */
     std::vector<int> placeBe(PlacementKind kind,
@@ -223,9 +173,11 @@ class ClusterEvaluator
      * modelsHealthy(), drops the lowest-value BEs when they
      * outnumber survivors, and solves the surviving sub-matrix via
      * the LP -> Hungarian -> Greedy fallback chain. The returned
-     * assignment uses full-cluster indices with -1 for parked BEs.
+     * outcome's value uses full-cluster indices with -1 for parked
+     * BEs; its degradation flags record untrusted models
+     * (modelsUntrusted + conservative) and dropped BEs (workShed).
      */
-    PlacementReport
+    Outcome<std::vector<int>>
     placeBeRobust(const std::vector<int>& up,
                   const FallbackOptions& options = {}) const;
 
@@ -283,7 +235,7 @@ class ClusterEvaluator
                    int seed_variant) const;
 
     const wl::AppSet* apps_;
-    EvaluatorConfig config_;
+    FleetConfig config_;
     std::unique_ptr<runtime::ThreadPool> owned_pool_;
     runtime::ThreadPool* pool_ = nullptr;
     std::vector<LcServerModel> lc_models_;

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deprecated configuration shims — one-PR migration aids.
+ *
+ * cluster::EvaluatorConfig and cluster::SolverConfig were unified
+ * into poco::FleetConfig (fleet/fleet_config.hpp); the solver's
+ * execution wiring is now cluster::SolverContext. These aliases keep
+ * out-of-tree callers compiling for exactly one PR, with compiler
+ * deprecation warnings pointing at the replacement. In-tree code
+ * must not include this header: the poco_lint `deprecated-config`
+ * rule flags any use of the old names outside this file.
+ */
+
+#pragma once
+
+#include "cluster/cluster_evaluator.hpp"
+#include "cluster/placement.hpp"
+#include "fleet/fleet_config.hpp"
+
+namespace poco::cluster
+{
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+/** @deprecated Execution wiring is cluster::SolverContext now. */
+using SolverConfig
+    [[deprecated("use cluster::SolverContext")]] = SolverContext;
+
+/**
+ * @deprecated Field-compatible shim for the old evaluator knobs.
+ * Converts implicitly to poco::FleetConfig, so existing
+ * `ClusterEvaluator(apps, EvaluatorConfig{...})` call sites keep
+ * compiling (with a deprecation warning) for one PR.
+ */
+struct [[deprecated("use poco::FleetConfig")]] EvaluatorConfig
+{
+    std::vector<double> loadPoints =
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    SimTime dwell = 120 * kSecond;
+    server::ServerManagerConfig server;
+    model::ProfilerConfig profiler;
+    std::uint64_t seedSalt = 0;
+    int heraclesReplicas = 3;
+    int threads = 0;
+    SolverContext solver;
+    double minPerfR2 = 0.0;
+    double minPowerR2 = 0.0;
+
+    operator FleetConfig() const
+    {
+        FleetConfig config;
+        config.loadPoints = loadPoints;
+        config.dwell = dwell;
+        config.server = server;
+        config.profiler = profiler;
+        config.seed = seedSalt;
+        config.heraclesReplicas = heraclesReplicas;
+        config.threads = threads < 0 ? 0 : threads;
+        config.pool = solver.pool;
+        config.solverCache = solver.cache;
+        config.solverPivotCutoff = solver.pivotCutoff;
+        config.solverPricingGrain = solver.pricingGrain;
+        config.minPerfR2 = minPerfR2;
+        config.minPowerR2 = minPowerR2;
+        return config;
+    }
+};
+
+#pragma GCC diagnostic pop
+
+} // namespace poco::cluster

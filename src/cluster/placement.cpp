@@ -23,12 +23,12 @@ validateMatrix(const PerformanceMatrix& matrix)
 }
 
 math::LpOptions
-lpOptions(const SolverConfig& config)
+lpOptions(const SolverContext& context)
 {
     math::LpOptions options;
-    options.pool = config.pool;
-    options.pivotCutoff = config.pivotCutoff;
-    options.pricingGrain = config.pricingGrain;
+    options.pool = context.pool;
+    options.pivotCutoff = context.pivotCutoff;
+    options.pricingGrain = context.pricingGrain;
     return options;
 }
 
@@ -68,12 +68,12 @@ solveGreedy(const PerformanceMatrix& matrix)
 /** Run the named exact solver (no memo). */
 std::vector<int>
 solveExact(const PerformanceMatrix& matrix, PlacementKind kind,
-           const SolverConfig& config)
+           const SolverContext& context)
 {
     switch (kind) {
       case PlacementKind::Lp:
         return math::solveAssignmentLp(matrix.value,
-                                       lpOptions(config));
+                                       lpOptions(context));
       case PlacementKind::Hungarian:
         return math::solveAssignmentMax(matrix.value);
       case PlacementKind::Exhaustive:
@@ -103,7 +103,7 @@ placementKindName(PlacementKind kind)
 
 std::vector<int>
 place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng,
-      const SolverConfig& config)
+      const SolverContext& context)
 {
     if (kind == PlacementKind::Random) {
         validateMatrix(matrix);
@@ -114,21 +114,21 @@ place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng,
                                 perm.begin() +
                                     static_cast<std::ptrdiff_t>(rows));
     }
-    return place(matrix, kind, config);
+    return place(matrix, kind, context);
 }
 
 std::vector<int>
 place(const PerformanceMatrix& matrix, PlacementKind kind,
-      const SolverConfig& config)
+      const SolverContext& context)
 {
     POCO_REQUIRE(kind != PlacementKind::Random,
                  "random placement needs an Rng");
     validateMatrix(matrix);
-    if (config.cache == nullptr)
-        return solveExact(matrix, kind, config);
-    return config.cache->getOrCompute(
+    if (context.cache == nullptr)
+        return solveExact(matrix, kind, context);
+    return context.cache->getOrCompute(
         placementKindName(kind), matrix.value,
-        [&] { return solveExact(matrix, kind, config); });
+        [&] { return solveExact(matrix, kind, context); });
 }
 
 double
@@ -140,7 +140,7 @@ placementValue(const PerformanceMatrix& matrix,
 
 std::vector<int>
 admitAndPlace(const PerformanceMatrix& matrix,
-              const SolverConfig& config)
+              const SolverContext& context)
 {
     const std::size_t n_be = matrix.value.size();
     POCO_REQUIRE(n_be > 0, "empty performance matrix");
@@ -148,7 +148,7 @@ admitAndPlace(const PerformanceMatrix& matrix,
 
     if (n_be <= n_srv) {
         // Everyone fits: ordinary (deterministic) assignment.
-        return place(matrix, PlacementKind::Hungarian, config);
+        return place(matrix, PlacementKind::Hungarian, context);
     }
 
     auto solve = [&] {
@@ -158,7 +158,7 @@ admitAndPlace(const PerformanceMatrix& matrix,
         // keep the result identical for any worker count.
         const std::vector<std::vector<double>> transposed =
             runtime::parallelMap(
-                config.pool, n_srv, [&](std::size_t j) {
+                context.pool, n_srv, [&](std::size_t j) {
                     std::vector<double> scores(n_be);
                     for (std::size_t i = 0; i < n_be; ++i)
                         scores[i] = matrix.value[i][j];
@@ -178,23 +178,39 @@ admitAndPlace(const PerformanceMatrix& matrix,
         }
         return admitted;
     };
-    if (config.cache == nullptr)
+    if (context.cache == nullptr)
         return solve();
     // Memoized across admission rounds: the queue-drain loop asks
     // again every round, usually with an unchanged matrix.
-    return config.cache->getOrCompute("admit", matrix.value, solve);
+    return context.cache->getOrCompute("admit", matrix.value, solve);
 }
 
-PlacementReport
+SolverTier
+placementTier(PlacementKind kind)
+{
+    switch (kind) {
+      case PlacementKind::Lp:         return SolverTier::Lp;
+      case PlacementKind::Hungarian:  return SolverTier::Hungarian;
+      // Exhaustive is an exact test oracle, as trustworthy as the
+      // Hungarian rung; Random is the experiment baseline, a
+      // heuristic like Greedy.
+      case PlacementKind::Exhaustive: return SolverTier::Hungarian;
+      case PlacementKind::Greedy:     return SolverTier::Greedy;
+      case PlacementKind::Random:     return SolverTier::Greedy;
+    }
+    return SolverTier::None;
+}
+
+Outcome<std::vector<int>>
 placeWithFallback(const PerformanceMatrix& matrix,
-                  const SolverConfig& config,
+                  const SolverContext& context,
                   const FallbackOptions& options)
 {
     validateMatrix(matrix);
     POCO_REQUIRE(options.maxAttemptsPerStage >= 1,
                  "fallback needs at least one attempt per stage");
 
-    PlacementReport report;
+    Outcome<std::vector<int>> outcome;
     static constexpr PlacementKind kChain[] = {
         PlacementKind::Lp,
         PlacementKind::Hungarian,
@@ -203,7 +219,7 @@ placeWithFallback(const PerformanceMatrix& matrix,
     for (const PlacementKind kind : kChain) {
         for (int attempt = 0;
              attempt < options.maxAttemptsPerStage; ++attempt) {
-            ++report.attempts;
+            ++outcome.attempts;
             try {
                 if (options.failInjection &&
                     options.failInjection(kind, attempt))
@@ -213,14 +229,14 @@ placeWithFallback(const PerformanceMatrix& matrix,
                 // Bypass the memo on retries: a cached result would
                 // short-circuit genuine recomputation, and a failed
                 // stage must not poison the cache either way.
-                SolverConfig stage = config;
+                SolverContext stage = context;
                 if (attempt > 0)
                     stage.cache = nullptr;
-                report.assignment = kind == PlacementKind::Greedy
-                                        ? solveGreedy(matrix)
-                                        : place(matrix, kind, stage);
-                report.used = kind;
-                return report;
+                outcome.value = kind == PlacementKind::Greedy
+                                    ? solveGreedy(matrix)
+                                    : place(matrix, kind, stage);
+                outcome.tier = placementTier(kind);
+                return outcome;
             } catch (const FatalError&) {
                 // Fall through to the next attempt or solver.
             }
@@ -229,12 +245,12 @@ placeWithFallback(const PerformanceMatrix& matrix,
     // Terminal fallback: the preference-free identity map. Always
     // feasible (#BE <= #servers) and requires no solver at all.
     const std::size_t rows = matrix.value.size();
-    report.assignment.resize(rows);
+    outcome.value.resize(rows);
     for (std::size_t i = 0; i < rows; ++i)
-        report.assignment[i] = static_cast<int>(i);
-    report.used = PlacementKind::Greedy;
-    report.conservative = true;
-    return report;
+        outcome.value[i] = static_cast<int>(i);
+    outcome.tier = SolverTier::Conservative;
+    outcome.degradation.conservative = true;
+    return outcome;
 }
 
 } // namespace poco::cluster

@@ -9,7 +9,7 @@
  * as test oracles; random placement is the baseline.
  *
  * The exact policies (LP, Hungarian, exhaustive) are deterministic
- * pure functions of the matrix, so they take a SolverConfig instead
+ * pure functions of the matrix, so they take a SolverContext instead
  * of an Rng: a thread pool accelerates the LP's pivot/pricing kernels
  * and the admission path's batch candidate scoring, and an
  * AssignmentCache memoizes repeated solves of the same matrix across
@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cluster/performance_matrix.hpp"
+#include "util/outcome.hpp"
 #include "util/rng.hpp"
 
 namespace poco::runtime
@@ -56,10 +57,14 @@ enum class PlacementKind
 const char* placementKindName(PlacementKind kind);
 
 /**
- * Execution knobs for the exact placement solvers. The defaults run
- * serially with no memoization; results never depend on the settings.
+ * Execution context for the exact placement solvers: where to run
+ * (pool) and what to remember (memo cache), plus the LP fan-out
+ * cutoffs. The defaults run serially with no memoization; results
+ * never depend on the settings. The tuning knobs are owned by
+ * poco::FleetConfig (fleet/fleet_config.hpp) — this struct is the
+ * runtime wiring the evaluators assemble from it.
  */
-struct SolverConfig
+struct SolverContext
 {
     /** Pool for the LP kernels and batch admission scoring. */
     runtime::ThreadPool* pool = nullptr;
@@ -71,17 +76,20 @@ struct SolverConfig
     std::size_t pricingGrain = 2048;
 };
 
+/** The degradation tier a given solver kind reports as. */
+SolverTier placementTier(PlacementKind kind);
+
 /**
  * Compute an assignment: result[i] = LC server index for BE app i.
  *
  * @param matrix Performance matrix (rows: BE apps, cols: servers);
  *        requires #BE <= #servers.
  * @param rng Used only by PlacementKind::Random.
- * @param config Pool/memo knobs for the exact solvers.
+ * @param context Pool/memo wiring for the exact solvers.
  */
 std::vector<int> place(const PerformanceMatrix& matrix,
                        PlacementKind kind, Rng& rng,
-                       const SolverConfig& config = {});
+                       const SolverContext& context = {});
 
 /**
  * Deterministic-kind overload: LP, Hungarian, and exhaustive need no
@@ -89,7 +97,7 @@ std::vector<int> place(const PerformanceMatrix& matrix,
  */
 std::vector<int> place(const PerformanceMatrix& matrix,
                        PlacementKind kind,
-                       const SolverConfig& config = {});
+                       const SolverContext& context = {});
 
 /** Total estimated throughput of an assignment under the matrix. */
 double placementValue(const PerformanceMatrix& matrix,
@@ -102,8 +110,8 @@ double placementValue(const PerformanceMatrix& matrix,
  *
  * Solved exactly as the transposed assignment problem (each server
  * "chooses" a candidate; unchosen candidates wait). Candidate score
- * rows are batched over config.pool, and the whole round's solution
- * is memoized in config.cache — repeated admission rounds over an
+ * rows are batched over context.pool, and the whole round's solution
+ * is memoized in context.cache — repeated admission rounds over an
  * unchanged matrix return instantly.
  *
  * @return admitted[i] = server index for BE i, or -1 when BE i is
@@ -111,7 +119,7 @@ double placementValue(const PerformanceMatrix& matrix,
  *         entries are >= 0.
  */
 std::vector<int> admitAndPlace(const PerformanceMatrix& matrix,
-                               const SolverConfig& config = {});
+                               const SolverContext& context = {});
 
 /** Retry/fallback knobs for placeWithFallback. */
 struct FallbackOptions
@@ -125,19 +133,6 @@ struct FallbackOptions
     std::function<bool(PlacementKind, int attempt)> failInjection;
 };
 
-/** What placeWithFallback actually did. */
-struct PlacementReport
-{
-    /** assignment[i] = server for BE i (never empty on return). */
-    std::vector<int> assignment;
-    /** The solver that produced the assignment. */
-    PlacementKind used = PlacementKind::Greedy;
-    /** Total solver attempts across every stage (>= 1). */
-    int attempts = 0;
-    /** True when every stage failed and the identity map was used. */
-    bool conservative = false;
-};
-
 /**
  * Degradation-hardened placement: walk the LP -> Hungarian -> Greedy
  * chain, giving each solver options.maxAttemptsPerStage tries and
@@ -145,9 +140,16 @@ struct PlacementReport
  * the terminal fallback is the preference-free identity assignment
  * (BE i -> server i), which is always feasible since #BE <= #servers
  * — so this function never throws for a valid matrix.
+ *
+ * @return Outcome whose value is the assignment (value[i] = server
+ *         for BE i, never empty), whose tier names the solver rung
+ *         that produced it (Conservative for the identity terminal,
+ *         with degradation.conservative set), and whose attempts
+ *         counts every solver try across every stage (>= 1).
  */
-PlacementReport placeWithFallback(const PerformanceMatrix& matrix,
-                                  const SolverConfig& config = {},
-                                  const FallbackOptions& options = {});
+Outcome<std::vector<int>>
+placeWithFallback(const PerformanceMatrix& matrix,
+                  const SolverContext& context = {},
+                  const FallbackOptions& options = {});
 
 } // namespace poco::cluster

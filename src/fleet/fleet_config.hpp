@@ -1,0 +1,281 @@
+/**
+ * @file
+ * poco::FleetConfig — the one knob surface for evaluation runs.
+ *
+ * Earlier revisions scattered run configuration across three places:
+ * cluster::EvaluatorConfig (load schedule, profiler, fit gate),
+ * cluster::SolverConfig (LP cutoffs, memo cache), and loose
+ * `threads` / `seed` arguments threaded through benches and the CLI.
+ * Every consumer stitched them together slightly differently, and
+ * the fleet layer would have added a fourth bundle on top.
+ *
+ * FleetConfig subsumes all of them: one value type, builder-style
+ * `withX()` setters validated by POCO_CHECK at the call site, and a
+ * `validated()` gate the evaluators run before using it. The old
+ * structs survive one PR as deprecated shims in
+ * cluster/deprecated_config.hpp.
+ *
+ * The struct lives in namespace poco (not poco::fleet) because every
+ * layer consumes it: ClusterEvaluator takes it directly, and
+ * fleet::FleetEvaluator adds no config type of its own.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "model/profiler.hpp"
+#include "server/server_manager.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace poco::runtime
+{
+class ThreadPool;
+}
+
+namespace poco::math
+{
+class AssignmentCache;
+}
+
+namespace poco
+{
+
+/** Unified evaluation configuration (cluster and fleet layers). */
+struct FleetConfig
+{
+    // ----- cluster evaluation (formerly cluster::EvaluatorConfig) --
+
+    /** LC load points (uniform distribution, paper: 10%..90%). */
+    std::vector<double> loadPoints =
+        {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    /** Dwell per load point in the stepped trace. */
+    SimTime dwell = 120 * kSecond;
+    /** Per-server manager configuration. */
+    server::ServerManagerConfig server;
+    /** Profiler settings for the model-fitting stage. */
+    model::ProfilerConfig profiler;
+    /**
+     * Root seed mixed into every stochastic stream (profiling noise,
+     * the baseline controller's random indifference-curve draws, and
+     * the fleet layer's per-cluster stream splits). Re-running a
+     * policy under several seeds measures how much of a result is
+     * seed luck; see bench_fig12_throughput.
+     */
+    std::uint64_t seed = 0;
+    /**
+     * Controller-seed replicas averaged into the Random baseline.
+     * Its server manager draws random indifference-curve points, so
+     * a single sequence is a high-variance estimate of the policy's
+     * expectation; each extra replica re-runs the pair with a fresh
+     * seed. POM/POColo are deterministic given the fitted models and
+     * ignore this.
+     */
+    int heraclesReplicas = 3;
+    /**
+     * Fit-health gate for robust placement: when any fitted model's
+     * perf/power R^2 falls below these thresholds, placeBeRobust()
+     * stops trusting the preference matrix and uses the conservative
+     * preference-free allocation instead. 0 disables the gate.
+     */
+    double minPerfR2 = 0.0;
+    double minPowerR2 = 0.0;
+
+    // ----- execution (formerly loose threads args + SolverConfig) --
+
+    /**
+     * Worker threads for the evaluation pipeline (profiling, fits,
+     * matrix cells, and per-server simulation runs): 1 runs serial
+     * on the calling thread, 0 uses the process-wide pool (hardware
+     * concurrency), N > 1 uses a dedicated pool of N workers. Every
+     * setting produces bit-identical results — tasks draw from
+     * deterministic split streams and write index-addressed slots.
+     * Ignored when `pool` is set.
+     */
+    int threads = 0;
+    /**
+     * Borrowed pool overriding `threads`. The fleet layer sets this
+     * so every per-cluster evaluator shares ONE pool — nested joins
+     * help execute queued tasks instead of blocking, so there is no
+     * pool-in-pool deadlock and no thread explosion.
+     */
+    runtime::ThreadPool* pool = nullptr;
+    /**
+     * Assignment-solve memo override; null lets each evaluator use
+     * its own. Results never depend on this — only wall-clock does.
+     */
+    math::AssignmentCache* solverCache = nullptr;
+    /** Minimum tableau cells before an LP pivot fans out over rows. */
+    std::size_t solverPivotCutoff = 4096;
+    /** Columns per LP pricing/ratio-test reduction chunk. */
+    std::size_t solverPricingGrain = 2048;
+
+    // ----- fleet layer -------------------------------------------
+
+    /**
+     * Shards the fleet's clusters are distributed over for
+     * evaluation. Sharding is an execution detail only: rollups are
+     * bit-identical for any shard count (per-cluster seeds key to
+     * the canonical cluster index, never the shard).
+     */
+    int shards = 1;
+    /**
+     * Fleet epoch schedule: one entry per epoch, each the LC load
+     * fraction every cluster serves for that epoch. Budget
+     * redistribution runs between consecutive epochs.
+     */
+    std::vector<double> epochLoads = {0.3, 0.6, 0.9};
+    /**
+     * Total fleet power budget. Zero means "sum of the member
+     * servers' provisioned budgets"; a non-zero value is split over
+     * clusters proportionally to their provisioned sums.
+     */
+    Watts fleetBudget{};
+    /** Move unused per-cluster budget to capped clusters each epoch. */
+    bool redistributeBudget = true;
+    /** Fold telemetry rollups off-thread (double-buffered epochs). */
+    bool asyncTelemetry = true;
+
+    // ----- builder setters ---------------------------------------
+
+    FleetConfig& withLoadPoints(std::vector<double> points)
+    {
+        POCO_CHECK(!points.empty(), "loadPoints must be non-empty");
+        for (const double p : points)
+            POCO_CHECK(p > 0.0 && p <= 1.0,
+                       "load points must be in (0, 1]");
+        loadPoints = std::move(points);
+        return *this;
+    }
+    FleetConfig& withDwell(SimTime value)
+    {
+        POCO_CHECK(value > 0, "dwell must be positive");
+        dwell = value;
+        return *this;
+    }
+    FleetConfig& withSeed(std::uint64_t value)
+    {
+        seed = value;
+        return *this;
+    }
+    FleetConfig& withHeraclesReplicas(int value)
+    {
+        POCO_CHECK(value >= 1,
+                   "heraclesReplicas must be at least 1");
+        heraclesReplicas = value;
+        return *this;
+    }
+    FleetConfig& withFitHealthGate(double perf_r2, double power_r2)
+    {
+        // Above 1 is allowed: an unreachable gate means "never
+        // trust the fitted models" (always place conservatively).
+        POCO_CHECK(perf_r2 >= 0.0,
+                   "minPerfR2 must be non-negative");
+        POCO_CHECK(power_r2 >= 0.0,
+                   "minPowerR2 must be non-negative");
+        minPerfR2 = perf_r2;
+        minPowerR2 = power_r2;
+        return *this;
+    }
+    FleetConfig& withThreads(int value)
+    {
+        POCO_CHECK(value >= 0,
+                   "threads must be >= 0 (0 = shared pool)");
+        threads = value;
+        return *this;
+    }
+    FleetConfig& withPool(runtime::ThreadPool* value)
+    {
+        pool = value;
+        return *this;
+    }
+    FleetConfig& withSolverCache(math::AssignmentCache* value)
+    {
+        solverCache = value;
+        return *this;
+    }
+    FleetConfig& withSolverCutoffs(std::size_t pivot_cutoff,
+                                   std::size_t pricing_grain)
+    {
+        POCO_CHECK(pivot_cutoff >= 1,
+                   "solverPivotCutoff must be at least 1");
+        POCO_CHECK(pricing_grain >= 1,
+                   "solverPricingGrain must be at least 1");
+        solverPivotCutoff = pivot_cutoff;
+        solverPricingGrain = pricing_grain;
+        return *this;
+    }
+    FleetConfig& withShards(int value)
+    {
+        POCO_CHECK(value >= 1, "shards must be at least 1");
+        shards = value;
+        return *this;
+    }
+    FleetConfig& withEpochLoads(std::vector<double> loads)
+    {
+        POCO_CHECK(!loads.empty(), "epochLoads must be non-empty");
+        for (const double p : loads)
+            POCO_CHECK(p > 0.0 && p <= 1.0,
+                       "epoch loads must be in (0, 1]");
+        epochLoads = std::move(loads);
+        return *this;
+    }
+    FleetConfig& withFleetBudget(Watts value)
+    {
+        POCO_CHECK(value >= Watts{},
+                   "fleetBudget must be non-negative");
+        fleetBudget = value;
+        return *this;
+    }
+    FleetConfig& withBudgetRedistribution(bool value)
+    {
+        redistributeBudget = value;
+        return *this;
+    }
+    FleetConfig& withAsyncTelemetry(bool value)
+    {
+        asyncTelemetry = value;
+        return *this;
+    }
+
+    /**
+     * Validate every field (the setters validate incrementally; this
+     * re-checks a config assembled by direct field writes). Returns
+     * *this so evaluator constructors can chain on it.
+     */
+    const FleetConfig& validated() const
+    {
+        POCO_CHECK(!loadPoints.empty(),
+                   "loadPoints must be non-empty");
+        for (const double p : loadPoints)
+            POCO_CHECK(p > 0.0 && p <= 1.0,
+                       "load points must be in (0, 1]");
+        POCO_CHECK(dwell > 0, "dwell must be positive");
+        POCO_CHECK(heraclesReplicas >= 1,
+                   "heraclesReplicas must be at least 1");
+        POCO_CHECK(minPerfR2 >= 0.0,
+                   "minPerfR2 must be non-negative");
+        POCO_CHECK(minPowerR2 >= 0.0,
+                   "minPowerR2 must be non-negative");
+        POCO_CHECK(threads >= 0,
+                   "threads must be >= 0 (0 = shared pool)");
+        POCO_CHECK(solverPivotCutoff >= 1,
+                   "solverPivotCutoff must be at least 1");
+        POCO_CHECK(solverPricingGrain >= 1,
+                   "solverPricingGrain must be at least 1");
+        POCO_CHECK(shards >= 1, "shards must be at least 1");
+        POCO_CHECK(!epochLoads.empty(),
+                   "epochLoads must be non-empty");
+        for (const double p : epochLoads)
+            POCO_CHECK(p > 0.0 && p <= 1.0,
+                       "epoch loads must be in (0, 1]");
+        POCO_CHECK(fleetBudget >= Watts{},
+                   "fleetBudget must be non-negative");
+        return *this;
+    }
+};
+
+} // namespace poco

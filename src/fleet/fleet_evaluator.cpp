@@ -1,0 +1,450 @@
+#include "fleet/fleet_evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::fleet
+{
+
+namespace
+{
+
+/**
+ * Budget arithmetic runs in integer milliwatts: donations and grants
+ * are exact, so the conservation invariant (sum of cluster budgets
+ * == fleet budget, every epoch) holds bit for bit with no rounding
+ * drift to chase.
+ */
+long long
+toMilliwatts(Watts w)
+{
+    return std::llround(w.value() * 1000.0);
+}
+
+Watts
+fromMilliwatts(long long mw)
+{
+    return Watts{static_cast<double>(mw) * 1e-3};
+}
+
+/** FNV-1a 64 over raw bytes. */
+void
+hashBytes(std::uint64_t& h, const void* data, std::size_t n)
+{
+    const unsigned char* bytes =
+        static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= bytes[i];
+        h *= 1099511628211ULL;
+    }
+}
+
+void
+hashDouble(std::uint64_t& h, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    hashBytes(h, &bits, sizeof bits);
+}
+
+void
+hashU64(std::uint64_t& h, std::uint64_t v)
+{
+    hashBytes(h, &v, sizeof v);
+}
+
+void
+hashRollup(std::uint64_t& h, const sim::EpochRollup& r)
+{
+    hashU64(h, static_cast<std::uint64_t>(r.start));
+    hashU64(h, static_cast<std::uint64_t>(r.end));
+    hashU64(h, r.samples);
+    hashDouble(h, r.meanPower.value());
+    hashDouble(h, r.meanBeThroughput.value());
+    hashDouble(h, r.energy.value());
+    hashDouble(h, r.capOvershoot.value());
+    hashDouble(h, r.maxLatencyP99);
+}
+
+Watts
+resolvedBudget(const FleetServer& server)
+{
+    return server.budget > Watts{}
+               ? server.budget
+               : server.apps->lc[server.lcIndex].provisionedPower();
+}
+
+} // namespace
+
+std::vector<FleetCluster>
+partitionFleet(const std::vector<FleetServer>& servers)
+{
+    POCO_REQUIRE(!servers.empty(), "fleet needs at least one server");
+    std::vector<FleetCluster> clusters;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+        const FleetServer& server = servers[s];
+        POCO_REQUIRE(server.apps != nullptr,
+                     "fleet server needs an AppSet");
+        POCO_REQUIRE(server.lcIndex < server.apps->lc.size(),
+                     "fleet server LC index out of range");
+        POCO_REQUIRE(server.budget >= Watts{},
+                     "fleet server budget must be non-negative");
+        FleetCluster* home = nullptr;
+        for (auto& cluster : clusters)
+            if (cluster.apps == server.apps) {
+                home = &cluster;
+                break;
+            }
+        if (home == nullptr) {
+            clusters.emplace_back();
+            home = &clusters.back();
+            home->apps = server.apps;
+        }
+        home->members.push_back(s);
+        home->lcIndices.push_back(server.lcIndex);
+        home->provisioned += resolvedBudget(server);
+    }
+    return clusters;
+}
+
+std::uint64_t
+FleetRollup::fingerprint() const
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV offset basis
+    hashU64(h, epochs.size());
+    for (const FleetEpoch& epoch : epochs) {
+        hashDouble(h, epoch.load);
+        hashDouble(h, epoch.fleetBudget.value());
+        hashU64(h, epoch.clusters.size());
+        for (const ClusterEpochOutcome& c : epoch.clusters) {
+            hashU64(h, c.cluster);
+            hashDouble(h, c.budget.value());
+            hashDouble(h, c.memberCap.value());
+            hashU64(h, static_cast<std::uint64_t>(c.tier));
+            hashU64(h, static_cast<std::uint64_t>(c.solverAttempts));
+            hashU64(h, (c.degradation.conservative ? 1u : 0u) |
+                           (c.degradation.modelsUntrusted ? 2u : 0u) |
+                           (c.degradation.workShed ? 4u : 0u) |
+                           (c.degradation.budgetClamped ? 8u : 0u));
+            hashDouble(h, c.beThroughput.value());
+            hashDouble(h, c.energy.value());
+            hashDouble(h, c.meanDraw.value());
+            hashU64(h, c.capped ? 1 : 0);
+            hashRollup(h, c.telemetry);
+        }
+        hashRollup(h, epoch.telemetry);
+    }
+    hashDouble(h, totalBeThroughput.value());
+    hashDouble(h, totalEnergy.value());
+    hashDouble(h, totalCapOvershoot.value());
+    // aggregatorSeconds deliberately excluded: wall-clock only.
+    return h;
+}
+
+FleetEvaluator::FleetEvaluator(std::vector<FleetServer> servers,
+                               FleetConfig config)
+    : servers_(std::move(servers)), config_(std::move(config))
+{
+    config_.validated();
+    clusters_ = partitionFleet(servers_);
+
+    // One pool for everything: shard tasks, each shard's internal
+    // cluster parallelism, and the async telemetry folds. Helping
+    // joins make the nesting safe on any pool size.
+    if (config_.pool != nullptr) {
+        pool_ = config_.pool;
+    } else if (config_.threads == 1) {
+        pool_ = nullptr;
+    } else if (config_.threads <= 0) {
+        pool_ = &runtime::ThreadPool::global();
+    } else {
+        owned_pool_ = std::make_unique<runtime::ThreadPool>(
+            static_cast<unsigned>(config_.threads));
+        pool_ = owned_pool_.get();
+    }
+
+    slot_base_.resize(clusters_.size());
+    std::size_t slots = 0;
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        slot_base_[c] = slots;
+        slots += clusters_[c].members.size();
+    }
+
+    // Build the per-cluster evaluators (profiling + fitting), shard
+    // by canonical index. Each cluster's seed splits off its
+    // canonical index, so the fitted models are a pure function of
+    // (fleet, seed) — never of the shard count that happened to
+    // schedule the construction.
+    const Rng root(config_.seed);
+    evaluators_.resize(clusters_.size());
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               static_cast<std::size_t>(config_.shards),
+               clusters_.size()));
+    runtime::TaskGroup group(pool_);
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+        group.run([this, &root, shard, shards] {
+            for (std::size_t c = shard; c < clusters_.size();
+                 c += shards) {
+                Rng stream = root.split(c);
+                FleetConfig derived = config_;
+                derived.pool = pool_;
+                derived.threads = 1;
+                derived.seed = stream.nextU64();
+                derived.server.keepTelemetry = true;
+                evaluators_[c] =
+                    std::make_unique<cluster::ClusterEvaluator>(
+                        *clusters_[c].apps, derived);
+            }
+        });
+    }
+    group.wait();
+}
+
+FleetEvaluator::~FleetEvaluator() = default;
+
+const cluster::ClusterEvaluator&
+FleetEvaluator::clusterEvaluator(std::size_t index) const
+{
+    POCO_REQUIRE(index < evaluators_.size(),
+                 "cluster index out of range");
+    return *evaluators_[index];
+}
+
+ClusterEpochOutcome
+FleetEvaluator::runClusterEpoch(
+    std::size_t index, double load, long long budget_mw,
+    sim::TelemetryAggregator& aggregator) const
+{
+    const FleetCluster& home = clusters_[index];
+    const cluster::ClusterEvaluator& evaluator = *evaluators_[index];
+    const std::size_t members = home.members.size();
+
+    ClusterEpochOutcome out;
+    out.cluster = index;
+    out.budget = fromMilliwatts(budget_mw);
+    const long long member_cap_mw =
+        budget_mw / static_cast<long long>(members);
+    POCO_ASSERT(member_cap_mw > 0,
+                "cluster budget rounds to a zero member cap");
+    out.memberCap = fromMilliwatts(member_cap_mw);
+
+    // The distinct LC servers this cluster exposes (members hosting
+    // the same LC app replicate its pairing).
+    std::vector<int> up;
+    for (const std::size_t j : home.lcIndices)
+        up.push_back(static_cast<int>(j));
+    std::sort(up.begin(), up.end());
+    up.erase(std::unique(up.begin(), up.end()), up.end());
+
+    const Outcome<std::vector<int>> placement =
+        evaluator.placeBeRobust(up);
+    out.tier = placement.tier;
+    out.solverAttempts = placement.attempts;
+    out.degradation = placement.degradation;
+
+    std::vector<int> be_of(home.apps->lc.size(), -1);
+    for (std::size_t i = 0; i < placement.value.size(); ++i)
+        if (placement.value[i] >= 0)
+            be_of[static_cast<std::size_t>(placement.value[i])] =
+                static_cast<int>(i);
+
+    for (std::size_t k = 0; k < members; ++k) {
+        const std::size_t j = home.lcIndices[k];
+        cluster::ServerOutcome run = evaluator.runPairAtLoad(
+            j, be_of[j], cluster::ManagerKind::Pom, load,
+            out.memberCap);
+        out.beThroughput += run.run.stats.averageBeThroughput();
+        out.energy += run.run.stats.energyJoules;
+        out.meanDraw += run.run.stats.averagePower();
+        if (run.run.stats.cappedTime > 0)
+            out.capped = true;
+        aggregator.add(slot_base_[index] + k,
+                       std::move(run.run.telemetry), out.memberCap);
+    }
+    return out;
+}
+
+Outcome<FleetRollup>
+FleetEvaluator::run() const
+{
+    const std::size_t n_clusters = clusters_.size();
+    const std::size_t shards = std::max<std::size_t>(
+        1, std::min<std::size_t>(
+               static_cast<std::size_t>(config_.shards), n_clusters));
+
+    // Initial budgets in integer milliwatts. A non-zero fleetBudget
+    // splits over the clusters proportionally to their provisioned
+    // sums, remainder milliwatts going to the first clusters in
+    // canonical order — integer arithmetic, exactly conserved.
+    std::vector<long long> budget_mw(n_clusters);
+    long long provisioned_total = 0;
+    for (std::size_t c = 0; c < n_clusters; ++c) {
+        budget_mw[c] = toMilliwatts(clusters_[c].provisioned);
+        provisioned_total += budget_mw[c];
+    }
+    if (config_.fleetBudget > Watts{}) {
+        const long long total = toMilliwatts(config_.fleetBudget);
+        long long assigned = 0;
+        for (std::size_t c = 0; c < n_clusters; ++c) {
+            budget_mw[c] =
+                provisioned_total > 0
+                    ? total *
+                          toMilliwatts(clusters_[c].provisioned) /
+                          provisioned_total
+                    : total / static_cast<long long>(n_clusters);
+            assigned += budget_mw[c];
+        }
+        for (std::size_t c = 0; assigned < total && c < n_clusters;
+             ++c) {
+            ++budget_mw[c];
+            ++assigned;
+        }
+        POCO_ASSERT(assigned == total,
+                    "fleet budget split lost milliwatts");
+    }
+    long long fleet_total_mw = 0;
+    for (const long long b : budget_mw)
+        fleet_total_mw += b;
+
+    // Redistribution floor: a cluster never donates below half its
+    // share of the fleet budget. Hitting the floor sets the
+    // budgetClamped degradation flag on the run outcome.
+    std::vector<long long> floor_mw(n_clusters);
+    for (std::size_t c = 0; c < n_clusters; ++c)
+        floor_mw[c] = budget_mw[c] / 2;
+
+    std::vector<std::size_t> cluster_of;
+    for (std::size_t c = 0; c < n_clusters; ++c)
+        cluster_of.insert(cluster_of.end(),
+                          clusters_[c].members.size(), c);
+    sim::TelemetryAggregator aggregator(std::move(cluster_of),
+                                        n_clusters, pool_,
+                                        config_.asyncTelemetry);
+
+    const SimTime fold_start = config_.server.warmup;
+    const SimTime fold_end = config_.server.warmup + config_.dwell;
+
+    Outcome<FleetRollup> outcome;
+    FleetRollup& rollup = outcome.value;
+
+    for (const double load : config_.epochLoads) {
+        FleetEpoch epoch;
+        epoch.load = load;
+        epoch.fleetBudget = fromMilliwatts(fleet_total_mw);
+        epoch.clusters.resize(n_clusters);
+
+        // Evaluate the epoch's clusters, sharded: shard s walks
+        // canonical indices s, s+shards, ... and writes only
+        // cluster-indexed slots (result entries, telemetry server
+        // slots), so the shard count schedules the work without
+        // touching a single result bit.
+        {
+            runtime::TaskGroup group(pool_);
+            for (std::size_t shard = 0; shard < shards; ++shard) {
+                group.run([this, &epoch, &budget_mw, &aggregator,
+                           load, shard, shards, n_clusters] {
+                    for (std::size_t c = shard; c < n_clusters;
+                         c += shards)
+                        epoch.clusters[c] = runClusterEpoch(
+                            c, load, budget_mw[c], aggregator);
+                });
+            }
+            group.wait();
+        }
+        aggregator.sealEpoch(fold_start, fold_end);
+
+        // Budget redistribution (canonical order, integer mW):
+        // donors release half their unused headroom — never below
+        // the floor — and power-capped clusters split the pooled
+        // donations proportionally to member count, remainder
+        // milliwatts to the first receivers. Releases equal grants
+        // exactly, so the fleet sum is invariant by construction.
+        if (config_.redistributeBudget) {
+            std::vector<std::size_t> receivers;
+            long long receiver_weight = 0;
+            for (std::size_t c = 0; c < n_clusters; ++c)
+                if (epoch.clusters[c].capped) {
+                    receivers.push_back(c);
+                    receiver_weight += static_cast<long long>(
+                        clusters_[c].members.size());
+                }
+            if (!receivers.empty() && receivers.size() < n_clusters) {
+                long long pool_mw = 0;
+                for (std::size_t c = 0; c < n_clusters; ++c) {
+                    const ClusterEpochOutcome& co = epoch.clusters[c];
+                    if (co.capped)
+                        continue;
+                    const long long draw_mw =
+                        toMilliwatts(co.meanDraw);
+                    const long long surplus =
+                        budget_mw[c] - draw_mw;
+                    if (surplus <= 0)
+                        continue;
+                    long long give = surplus / 2;
+                    const long long room =
+                        budget_mw[c] - floor_mw[c];
+                    if (give > room) {
+                        give = std::max<long long>(room, 0);
+                        outcome.degradation.budgetClamped = true;
+                    }
+                    budget_mw[c] -= give;
+                    pool_mw += give;
+                }
+                long long granted = 0;
+                for (const std::size_t c : receivers) {
+                    const long long share =
+                        pool_mw *
+                        static_cast<long long>(
+                            clusters_[c].members.size()) /
+                        receiver_weight;
+                    budget_mw[c] += share;
+                    granted += share;
+                }
+                for (std::size_t k = 0;
+                     granted < pool_mw && k < receivers.size(); ++k) {
+                    ++budget_mw[receivers[k]];
+                    ++granted;
+                }
+                POCO_ASSERT(granted == pool_mw,
+                            "redistribution lost milliwatts");
+            }
+        }
+
+        for (const ClusterEpochOutcome& co : epoch.clusters) {
+            outcome.tier = worseTier(outcome.tier, co.tier);
+            outcome.attempts += co.solverAttempts;
+            outcome.degradation |= co.degradation;
+        }
+        rollup.epochs.push_back(std::move(epoch));
+    }
+
+    // Attach the folded rollups. drain() blocks on folds still in
+    // flight and returns them in seal order, i.e. epoch order.
+    const auto folded = aggregator.drain();
+    POCO_ASSERT(folded.size() == rollup.epochs.size(),
+                "aggregator epoch count mismatch");
+    for (std::size_t e = 0; e < folded.size(); ++e) {
+        FleetEpoch& epoch = rollup.epochs[e];
+        for (std::size_t c = 0; c < n_clusters; ++c)
+            epoch.clusters[c].telemetry = folded[e].clusters[c];
+        epoch.telemetry = folded[e].fleet;
+        rollup.aggregatorSeconds += folded[e].foldSeconds;
+    }
+
+    for (const FleetEpoch& epoch : rollup.epochs) {
+        for (const ClusterEpochOutcome& co : epoch.clusters) {
+            rollup.totalBeThroughput += co.beThroughput;
+            rollup.totalEnergy += co.energy;
+        }
+        rollup.totalCapOvershoot += epoch.telemetry.capOvershoot;
+    }
+    return outcome;
+}
+
+} // namespace poco::fleet

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * poco::fleet — sharded multi-cluster evaluation.
+ *
+ * POColo's placement story (Section V) is per-cluster, but the
+ * deployments the paper targets serve millions of users from many
+ * heterogeneous clusters under one datacenter power envelope. The
+ * fleet layer adds the shard-and-aggregate tier above
+ * ClusterEvaluator: partition the fleet's servers into clusters by
+ * platform, evaluate the clusters concurrently on one shared thread
+ * pool (shards are TaskGroups; nested joins help, so a shard's
+ * internally-parallel cluster work cannot deadlock the pool),
+ * redistribute unused cluster power budget between epochs, and fold
+ * per-server telemetry into cluster- and fleet-level rollups off the
+ * evaluation thread.
+ *
+ * Determinism contract: the fleet rollup is bit-identical for any
+ * shard count x thread count x async-telemetry setting. Clusters
+ * are canonical (partition order depends only on the input server
+ * list); shards only schedule them (cluster c runs on shard
+ * c % shards); every per-cluster stochastic stream is seeded by
+ * Rng(seed).split(canonical cluster index); and all reductions run
+ * in fixed cluster/server order.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster_evaluator.hpp"
+#include "fleet/fleet_config.hpp"
+#include "sim/telemetry_rollup.hpp"
+#include "util/outcome.hpp"
+#include "util/units.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::fleet
+{
+
+/** One server in the fleet description. */
+struct FleetServer
+{
+    /**
+     * The server's platform: hardware spec plus the workloads it can
+     * host. Servers sharing an AppSet (by address) cluster together.
+     */
+    const wl::AppSet* apps = nullptr;
+    /** Which of the platform's LC applications this server hosts. */
+    std::size_t lcIndex = 0;
+    /**
+     * Provisioned power budget. Zero means the hosted LC app's
+     * provisionedPower().
+     */
+    Watts budget{};
+};
+
+/** A homogeneous partition of the fleet (one platform). */
+struct FleetCluster
+{
+    const wl::AppSet* apps = nullptr;
+    /** Fleet server indices, ascending (canonical member order). */
+    std::vector<std::size_t> members;
+    /** Each member's hosted LC index (parallel to members). */
+    std::vector<std::size_t> lcIndices;
+    /** Provisioned budget: sum of the members' resolved budgets. */
+    Watts provisioned{};
+};
+
+/**
+ * Group @p servers into clusters by platform (AppSet address), in
+ * first-appearance order — a pure function of the input list, so
+ * the canonical cluster indexing is independent of how the clusters
+ * are later sharded.
+ */
+std::vector<FleetCluster>
+partitionFleet(const std::vector<FleetServer>& servers);
+
+/** One cluster's outcome for one fleet epoch. */
+struct ClusterEpochOutcome
+{
+    /** Canonical cluster index. */
+    std::size_t cluster = 0;
+    /** Cluster power budget in effect during the epoch. */
+    Watts budget{};
+    /** Per-member power cap the budget divided into. */
+    Watts memberCap{};
+    /** Placement story (solver tier / attempts / degradation). */
+    SolverTier tier = SolverTier::None;
+    int solverAttempts = 0;
+    Degradation degradation;
+    /** Simulator-statistics aggregates over the members. */
+    Rps beThroughput{};
+    Joules energy{};
+    /**
+     * Summed mean power draw of the members, from the simulator
+     * statistics (energy / elapsed). Budget redistribution reads
+     * this — never the telemetry rollup, which may still be folding
+     * asynchronously when the next epoch's budgets are due.
+     */
+    Watts meanDraw{};
+    /** True when the power cap bound at least one member. */
+    bool capped = false;
+    /** Folded telemetry rollup (async or sync — identical bits). */
+    sim::EpochRollup telemetry;
+};
+
+/** One fleet epoch: every cluster at one load point. */
+struct FleetEpoch
+{
+    double load = 0.0;
+    /** Sum of cluster budgets (invariant across redistribution). */
+    Watts fleetBudget{};
+    /** Canonical cluster order. */
+    std::vector<ClusterEpochOutcome> clusters;
+    /** Fleet-level telemetry rollup (clusters combined in order). */
+    sim::EpochRollup telemetry;
+};
+
+/** Fleet-level aggregation of a full run. */
+struct FleetRollup
+{
+    std::vector<FleetEpoch> epochs;
+    /** Epoch-summed totals (fixed-order reductions). */
+    Rps totalBeThroughput{};
+    Joules totalEnergy{};
+    Joules totalCapOvershoot{};
+    /**
+     * Wall-clock seconds spent folding telemetry (sums the per-epoch
+     * folds). Timing only: excluded from fingerprint().
+     */
+    double aggregatorSeconds = 0.0;
+
+    /**
+     * FNV-1a over every result bit (loads, budgets, tiers,
+     * throughputs, energies, rollups) excluding wall-clock timing.
+     * Equal fingerprints mean bit-identical rollups — the
+     * shard-determinism suite and bench_ext_hetero gate on this.
+     */
+    std::uint64_t fingerprint() const;
+};
+
+/**
+ * Evaluates a heterogeneous fleet: builds one ClusterEvaluator per
+ * canonical cluster (profiling and fitting on the shared pool), then
+ * run() walks the epoch schedule. All expensive state is constructed
+ * once; run() is const and repeatable.
+ */
+class FleetEvaluator
+{
+  public:
+    /**
+     * @param servers Fleet description; the referenced AppSets must
+     *        outlive the evaluator.
+     * @param config Unified knobs; see FleetConfig. The per-cluster
+     *        evaluators share one pool and derive their seeds from
+     *        config.seed via Rng::split(cluster index).
+     */
+    explicit FleetEvaluator(std::vector<FleetServer> servers,
+                            FleetConfig config = {});
+    ~FleetEvaluator();
+
+    const FleetConfig& config() const { return config_; }
+    const std::vector<FleetCluster>& clusters() const
+    {
+        return clusters_;
+    }
+    /** The shared pool cluster evaluation runs on; null = serial. */
+    runtime::ThreadPool* pool() const { return pool_; }
+    /** The evaluator for canonical cluster @p index. */
+    const cluster::ClusterEvaluator&
+    clusterEvaluator(std::size_t index) const;
+
+    /**
+     * Evaluate every epoch in config().epochLoads: clusters run
+     * sharded (cluster c on shard c % shards), unused budget moves
+     * to power-capped clusters between epochs, telemetry folds into
+     * rollups (off-thread when config().asyncTelemetry).
+     *
+     * @return The fleet rollup wrapped in an Outcome: tier is the
+     *         worst placement tier any cluster-epoch used, attempts
+     *         sums the solver attempts, and degradation unions every
+     *         cluster-epoch's flags (plus budgetClamped when the
+     *         redistribution floor bound).
+     */
+    Outcome<FleetRollup> run() const;
+
+  private:
+    ClusterEpochOutcome
+    runClusterEpoch(std::size_t index, double load,
+                    long long budget_mw,
+                    sim::TelemetryAggregator& aggregator) const;
+
+    std::vector<FleetServer> servers_;
+    FleetConfig config_;
+    std::vector<FleetCluster> clusters_;
+    std::unique_ptr<runtime::ThreadPool> owned_pool_;
+    runtime::ThreadPool* pool_ = nullptr;
+    std::vector<std::unique_ptr<cluster::ClusterEvaluator>>
+        evaluators_;
+    /** Global telemetry slot of each cluster's first member. */
+    std::vector<std::size_t> slot_base_;
+};
+
+} // namespace poco::fleet

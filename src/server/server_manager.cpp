@@ -414,7 +414,12 @@ runServerScenario(const wl::LcApp& lc, const wl::BeApp* be,
     manager.resetStats(queue.now());
     queue.runUntil(duration);
     server.advanceTo(queue.now());
-    return manager.result();
+    ServerRunResult result = manager.result();
+    if (config.keepTelemetry) {
+        const auto& samples = manager.telemetry().all();
+        result.telemetry.assign(samples.begin(), samples.end());
+    }
+    return result;
 }
 
 std::vector<ServerRunResult>

@@ -66,6 +66,13 @@ struct ServerManagerConfig
     SimTime loadPeriod = 1 * kSecond;
     /** Settling time excluded from the reported statistics. */
     SimTime warmup = 60 * kSecond;
+    /**
+     * Copy the run's telemetry samples into ServerRunResult so
+     * aggregation layers (the fleet's epoch rollups) can fold them
+     * off-thread after the simulation finished. Off by default: a
+     * long run retains up to ~2^20 samples.
+     */
+    bool keepTelemetry = false;
 
     ControllerConfig controller;
     ThrottlerConfig throttler;
@@ -99,6 +106,11 @@ struct ServerRunResult
     double slackShortfallFraction = 0.0;
     /** Degradation-ladder counters (all zero on fault-free runs). */
     FaultRunStats faults;
+    /**
+     * The run's telemetry samples, oldest first. Empty unless
+     * ServerManagerConfig::keepTelemetry was set.
+     */
+    std::vector<sim::TelemetrySample> telemetry;
 };
 
 /**

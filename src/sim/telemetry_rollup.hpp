@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Telemetry epoch rollups and the off-thread aggregator.
+ *
+ * Per-server TelemetryRecorders answer windowed queries, but the
+ * evaluation pipelines used to issue those queries inline — every
+ * sweep point paid a binary search plus a full window copy on the
+ * simulation thread. The fleet layer aggregates instead: each run's
+ * samples fold once into a compact EpochRollup (time-weighted power
+ * and throughput integrals, cap-overshoot joules), rollups combine
+ * in fixed server order into cluster totals, and clusters combine in
+ * canonical cluster order into the fleet total.
+ *
+ * TelemetryAggregator schedules those folds. Within an epoch, each
+ * evaluation task deposits samples into its own server-indexed slot
+ * (slot exclusivity, no locks); sealEpoch() then moves the filled
+ * buffers into a self-contained fold task — a Future on the shared
+ * pool when async, an inline call when not. Both paths run the exact
+ * same fold code in the exact same order, so async mode changes
+ * wall-clock only, never a single output bit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel.hpp"
+#include "sim/telemetry.hpp"
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+
+/** Aggregates of one epoch's telemetry (server, cluster, or fleet). */
+struct EpochRollup
+{
+    /** Epoch window the samples were folded over. */
+    SimTime start = 0;
+    SimTime end = 0;
+    /** Samples folded in (summed across members on combine). */
+    std::uint64_t samples = 0;
+    /**
+     * Time-weighted mean power over the window. Combining sums the
+     * members, so a cluster/fleet rollup holds total mean draw.
+     */
+    Watts meanPower;
+    /** Time-weighted mean BE throughput (summed on combine). */
+    Rps meanBeThroughput;
+    /** Integral of power over the window. */
+    Joules energy;
+    /** Integral of max(0, power - cap): budget violation severity. */
+    Joules capOvershoot;
+    /** Worst p99 latency seen in the window (seconds). */
+    double maxLatencyP99 = 0.0;
+
+    /** Fixed-order combine (member into aggregate). */
+    EpochRollup& operator+=(const EpochRollup& other);
+};
+
+/**
+ * Fold one server's samples over [start, end) against its power cap
+ * @p cap. Samples are zero-order-hold: each holds until the next
+ * sample (or the window end), matching PowerMeter's integration.
+ */
+EpochRollup foldTelemetry(const std::vector<TelemetrySample>& samples,
+                          Watts cap, SimTime start, SimTime end);
+
+/**
+ * Double-buffered epoch aggregator.
+ *
+ * Threading contract: within an epoch, any task may call add() for
+ * a server slot as long as no two tasks share a slot; sealEpoch()
+ * and drain() belong to the coordinating thread, which must join
+ * the epoch's tasks first (their writes become visible through that
+ * join). Sealed buffers are immutable — the fold task owns them.
+ */
+class TelemetryAggregator
+{
+  public:
+    /**
+     * @param cluster_of_server cluster index for each server slot;
+     *        its size fixes the fleet's server count.
+     * @param clusters total cluster count (> every entry above).
+     * @param pool Fold-task pool; null folds inline even when async.
+     * @param async Fold off-thread (true) or inline at seal (false).
+     */
+    TelemetryAggregator(std::vector<std::size_t> cluster_of_server,
+                        std::size_t clusters,
+                        runtime::ThreadPool* pool, bool async);
+
+    TelemetryAggregator(const TelemetryAggregator&) = delete;
+    TelemetryAggregator& operator=(const TelemetryAggregator&) =
+        delete;
+
+    std::size_t servers() const { return cluster_of_server_.size(); }
+    std::size_t clusters() const { return clusters_; }
+
+    /**
+     * Deposit @p samples for @p server into the current epoch's
+     * front buffer. Slot-exclusive: one writer per server per epoch.
+     */
+    void add(std::size_t server,
+             std::vector<TelemetrySample> samples, Watts cap);
+
+    /**
+     * Seal the current epoch over [start, end): hand the filled
+     * buffers to the fold (async: a Future on the pool; sync: run
+     * here, which is the inline cost the async path avoids) and
+     * reset the front buffers for the next epoch.
+     */
+    void sealEpoch(SimTime start, SimTime end);
+
+    /** One sealed epoch's folded result. */
+    struct EpochResult
+    {
+        /** Per-cluster rollups, canonical cluster order. */
+        std::vector<EpochRollup> clusters;
+        /** Fleet-wide rollup (clusters combined in order). */
+        EpochRollup fleet;
+        /** Wall-clock seconds the fold itself took (timing only). */
+        double foldSeconds = 0.0;
+    };
+
+    /**
+     * Collect every sealed epoch, in seal order, blocking on folds
+     * still in flight. Leaves the aggregator empty and reusable.
+     */
+    std::vector<EpochResult> drain();
+
+  private:
+    struct ServerBuffer
+    {
+        std::vector<TelemetrySample> samples;
+        Watts cap;
+    };
+
+    std::vector<std::size_t> cluster_of_server_;
+    std::size_t clusters_;
+    runtime::ThreadPool* pool_;
+    bool async_;
+    std::vector<ServerBuffer> front_;
+    /**
+     * Sealed epochs in seal order. The fold tasks are self-contained
+     * (they capture the buffers and an index copy, never `this`), so
+     * async ones may still be folding while the front refills.
+     */
+    std::vector<runtime::Future<EpochResult>> pending_;
+};
+
+} // namespace poco::sim

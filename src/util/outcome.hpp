@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Structured result wrapper for degradation-aware computations.
+ *
+ * Several layers of the system can succeed at different quality
+ * levels: the placement fallback chain walks LP -> Hungarian ->
+ * Greedy before settling for a preference-free assignment, the fleet
+ * evaluator can finish an epoch with its power budget clamped, and
+ * the fit-health gate can refuse to trust the preference matrix
+ * entirely. Earlier revisions reported these side channels through
+ * ad-hoc report structs and out-params; Outcome<T> carries them next
+ * to the value itself so every caller sees *what* was computed and
+ * *how much the result should be trusted* in one object.
+ */
+
+#pragma once
+
+#include <utility>
+
+namespace poco
+{
+
+/**
+ * Which rung of the solver/degradation ladder produced a value.
+ * Ordered from most to least preferred; larger enumerators mean a
+ * deeper fallback.
+ */
+enum class SolverTier
+{
+    None,         ///< nothing ran (empty/unsolved outcome)
+    Lp,           ///< LP assignment solve (primary path)
+    Hungarian,    ///< exact combinatorial fallback
+    Greedy,       ///< heuristic fallback (still preference-driven)
+    Conservative, ///< preference-free terminal fallback
+};
+
+inline const char*
+solverTierName(SolverTier tier)
+{
+    switch (tier) {
+      case SolverTier::None:         return "none";
+      case SolverTier::Lp:           return "lp";
+      case SolverTier::Hungarian:    return "hungarian";
+      case SolverTier::Greedy:       return "greedy";
+      case SolverTier::Conservative: return "conservative";
+    }
+    return "?";
+}
+
+/** Of two tiers, the one further down the ladder. */
+inline SolverTier
+worseTier(SolverTier a, SolverTier b)
+{
+    return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/** Degradation flags accumulated while producing a value. */
+struct Degradation
+{
+    /** The preference-free terminal fallback produced the value. */
+    bool conservative = false;
+    /** The fit-health gate stopped trusting the fitted models. */
+    bool modelsUntrusted = false;
+    /** Work was shed (e.g. best-effort apps parked unplaced). */
+    bool workShed = false;
+    /** A power budget ran against its floor or ceiling. */
+    bool budgetClamped = false;
+
+    bool any() const
+    {
+        return conservative || modelsUntrusted || workShed ||
+               budgetClamped;
+    }
+
+    /** Union of two flag sets (for aggregating sub-results). */
+    Degradation operator|(const Degradation& other) const
+    {
+        Degradation merged;
+        merged.conservative = conservative || other.conservative;
+        merged.modelsUntrusted =
+            modelsUntrusted || other.modelsUntrusted;
+        merged.workShed = workShed || other.workShed;
+        merged.budgetClamped = budgetClamped || other.budgetClamped;
+        return merged;
+    }
+    Degradation& operator|=(const Degradation& other)
+    {
+        *this = *this | other;
+        return *this;
+    }
+};
+
+/**
+ * A value plus the story of how it was obtained: the solver tier
+ * that produced it, how many attempts the fallback chain spent, and
+ * any degradation flags picked up along the way.
+ */
+template <typename T>
+struct Outcome
+{
+    T value{};
+    SolverTier tier = SolverTier::None;
+    /** Total solver attempts across every fallback stage. */
+    int attempts = 0;
+    Degradation degradation;
+
+    Outcome() = default;
+    Outcome(T v, SolverTier t, int tries = 1, Degradation flags = {})
+        : value(std::move(v)), tier(t), attempts(tries),
+          degradation(flags)
+    {}
+
+    /** True when any degradation flag is set. */
+    bool degraded() const { return degradation.any(); }
+};
+
+} // namespace poco

@@ -19,7 +19,8 @@ if [ "$status" -ne 1 ]; then
 fi
 
 for rule in banned-random banned-time unchecked-parse no-float \
-            no-using-namespace-std pragma-once unordered-iter; do
+            no-using-namespace-std pragma-once unordered-iter \
+            deprecated-config; do
     if ! grep -q "\[$rule\]" "$out"; then
         echo "FAIL: rule $rule never fired"
         cat "$out"
@@ -28,7 +29,8 @@ for rule in banned-random banned-time unchecked-parse no-float \
 done
 
 for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
-            bad_namespace.cpp bad_header.hpp bad_unordered.cpp; do
+            bad_namespace.cpp bad_header.hpp bad_unordered.cpp \
+            bad_deprecated_config.cpp; do
     if ! grep -q "$file:[0-9]" "$out"; then
         echo "FAIL: no file:line diagnostic for $file"
         cat "$out"

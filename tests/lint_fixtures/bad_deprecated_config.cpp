@@ -1,0 +1,17 @@
+// Fixture: the retired config structs outside the shim header must
+// trip the deprecated-config rule.
+struct EvaluatorConfig
+{
+    int threads = 0;
+};
+
+int
+useOldConfigs()
+{
+    EvaluatorConfig evaluator;
+    struct SolverConfig
+    {
+        int pivotCutoff = 0;
+    } solver;
+    return evaluator.threads + solver.pivotCutoff;
+}

@@ -163,8 +163,8 @@ TEST_F(EndToEndTest, PocoloWinsAtEverySeed)
     // artifact. The POM-only margin is smaller and is allowed to
     // vary; POColo's must hold at every salt.
     for (std::uint64_t salt : {5ull, 6ull}) {
-        EvaluatorConfig config;
-        config.seedSalt = salt;
+        FleetConfig config;
+        config.seed = salt;
         const ClusterEvaluator seeded(*set_, config);
         const double r =
             seeded.runPolicy(Policy::Random).meanBeThroughput();

@@ -57,10 +57,10 @@ TEST(Placement, GreedyNeverBeatsExactButStaysValid)
 TEST(Placement, FallbackUsesLpFirst)
 {
     const auto report = placeWithFallback(handMatrix());
-    EXPECT_EQ(report.used, PlacementKind::Lp);
+    EXPECT_EQ(report.tier, SolverTier::Lp);
     EXPECT_EQ(report.attempts, 1);
-    EXPECT_FALSE(report.conservative);
-    EXPECT_EQ(report.assignment,
+    EXPECT_FALSE(report.degradation.conservative);
+    EXPECT_EQ(report.value,
               place(handMatrix(), PlacementKind::Lp));
 }
 
@@ -72,17 +72,17 @@ TEST(Placement, FallbackWalksTheChain)
     };
     const auto report =
         placeWithFallback(handMatrix(), {}, options);
-    EXPECT_EQ(report.used, PlacementKind::Hungarian);
+    EXPECT_EQ(report.tier, SolverTier::Hungarian);
     EXPECT_EQ(report.attempts, 3); // 2 failed LP tries + 1 Hungarian
-    EXPECT_FALSE(report.conservative);
-    EXPECT_EQ(report.assignment,
+    EXPECT_FALSE(report.degradation.conservative);
+    EXPECT_EQ(report.value,
               place(handMatrix(), PlacementKind::Hungarian));
 
     options.failInjection = [](PlacementKind kind, int) {
         return kind != PlacementKind::Greedy;
     };
     const auto greedy = placeWithFallback(handMatrix(), {}, options);
-    EXPECT_EQ(greedy.used, PlacementKind::Greedy);
+    EXPECT_EQ(greedy.tier, SolverTier::Greedy);
     EXPECT_EQ(greedy.attempts, 5);
 }
 
@@ -93,9 +93,9 @@ TEST(Placement, FallbackTerminatesWithIdentity)
     options.failInjection = [](PlacementKind, int) { return true; };
     const auto report =
         placeWithFallback(handMatrix(), {}, options);
-    EXPECT_TRUE(report.conservative);
+    EXPECT_TRUE(report.degradation.conservative);
     EXPECT_EQ(report.attempts, 3);
-    EXPECT_EQ(report.assignment, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(report.value, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(Placement, FallbackRetriesWithinAStage)
@@ -107,7 +107,7 @@ TEST(Placement, FallbackRetriesWithinAStage)
     };
     const auto report =
         placeWithFallback(handMatrix(), {}, options);
-    EXPECT_EQ(report.used, PlacementKind::Lp);
+    EXPECT_EQ(report.tier, SolverTier::Lp);
     EXPECT_EQ(report.attempts, 2);
 }
 
@@ -118,7 +118,7 @@ class FaultClusterTest : public ::testing::Test
     SetUpTestSuite()
     {
         set_ = new wl::AppSet(wl::defaultAppSet());
-        EvaluatorConfig config;
+        FleetConfig config;
         config.dwell = 30 * kSecond;
         config.loadPoints = {0.2, 0.5, 0.8};
         evaluator_ = new ClusterEvaluator(*set_, config);
@@ -144,20 +144,20 @@ TEST_F(FaultClusterTest, HealthyModelsPassTheGate)
 {
     EXPECT_TRUE(evaluator_->modelsHealthy());
     const auto report = evaluator_->placeBeRobust({0, 1, 2, 3});
-    EXPECT_FALSE(report.conservative);
-    EXPECT_EQ(report.assignment,
+    EXPECT_FALSE(report.degradation.conservative);
+    EXPECT_EQ(report.value,
               evaluator_->placeBe(PlacementKind::Lp));
 }
 
 TEST_F(FaultClusterTest, UnreachableGateForcesConservative)
 {
-    EvaluatorConfig config = evaluator_->config();
+    FleetConfig config = evaluator_->config();
     config.minPerfR2 = 1.1; // no fit can clear this
     const ClusterEvaluator gated(*set_, config);
     EXPECT_FALSE(gated.modelsHealthy());
     const auto report = gated.placeBeRobust({0, 1, 2, 3});
-    EXPECT_TRUE(report.conservative);
-    EXPECT_EQ(report.assignment, gated.placeConservative({0, 1, 2, 3}));
+    EXPECT_TRUE(report.degradation.conservative);
+    EXPECT_EQ(report.value, gated.placeConservative({0, 1, 2, 3}));
 }
 
 TEST_F(FaultClusterTest, RobustPlacementAvoidsDownServers)
@@ -165,7 +165,7 @@ TEST_F(FaultClusterTest, RobustPlacementAvoidsDownServers)
     const std::vector<int> up{1, 3};
     const auto report = evaluator_->placeBeRobust(up);
     int placed = 0;
-    for (const int j : report.assignment) {
+    for (const int j : report.value) {
         if (j < 0)
             continue;
         ++placed;
@@ -189,10 +189,10 @@ TEST_F(FaultClusterTest, CrashPlanDrivesReplacement)
     EXPECT_EQ(outcome.horizon, 300 * kSecond);
     // Down servers never appear in their epoch's assignment.
     EXPECT_EQ(outcome.epochs[1].down, std::vector<int>{1});
-    for (const int j : outcome.epochs[1].placement.assignment)
+    for (const int j : outcome.epochs[1].placement.value)
         EXPECT_NE(j, 1);
     EXPECT_EQ(outcome.epochs[3].down, std::vector<int>{2});
-    for (const int j : outcome.epochs[3].placement.assignment)
+    for (const int j : outcome.epochs[3].placement.value)
         EXPECT_NE(j, 2);
     // 4 BEs onto 3 survivors: one parks in each crash epoch.
     EXPECT_EQ(outcome.epochs[1].unplaced, 1);
@@ -218,7 +218,7 @@ TEST_F(FaultClusterTest, CrashPlanWithSolverFaultsStaysBounded)
         plan, ManagerKind::Pom, options);
     ASSERT_EQ(outcome.epochs.size(), 2u);
     for (const auto& epoch : outcome.epochs) {
-        EXPECT_EQ(epoch.placement.used, PlacementKind::Hungarian);
+        EXPECT_EQ(epoch.placement.tier, SolverTier::Hungarian);
         // Bounded retry: 2 failed LP tries + 1 Hungarian success.
         EXPECT_EQ(epoch.placement.attempts, 3);
     }

@@ -36,15 +36,15 @@ crashPlan(int servers)
 TEST(FaultDeterminism, ClusterEvaluationMatchesAcrossWorkerCounts)
 {
     const wl::AppSet set = wl::defaultAppSet();
-    cluster::EvaluatorConfig config;
+    FleetConfig config;
     config.dwell = 30 * kSecond;
     config.loadPoints = {0.3, 0.7};
 
-    cluster::EvaluatorConfig serial_config = config;
+    FleetConfig serial_config = config;
     serial_config.threads = 1;
     const cluster::ClusterEvaluator serial(set, serial_config);
 
-    cluster::EvaluatorConfig pooled_config = config;
+    FleetConfig pooled_config = config;
     pooled_config.threads = 4;
     const cluster::ClusterEvaluator pooled(set, pooled_config);
 
@@ -60,10 +60,10 @@ TEST(FaultDeterminism, ClusterEvaluationMatchesAcrossWorkerCounts)
         EXPECT_EQ(a.epochs[e].start, b.epochs[e].start);
         EXPECT_EQ(a.epochs[e].end, b.epochs[e].end);
         EXPECT_EQ(a.epochs[e].down, b.epochs[e].down);
-        EXPECT_EQ(a.epochs[e].placement.assignment,
-                  b.epochs[e].placement.assignment);
-        EXPECT_EQ(a.epochs[e].placement.used,
-                  b.epochs[e].placement.used);
+        EXPECT_EQ(a.epochs[e].placement.value,
+                  b.epochs[e].placement.value);
+        EXPECT_EQ(a.epochs[e].placement.tier,
+                  b.epochs[e].placement.tier);
         // Bit-identical, not approximately equal.
         EXPECT_EQ(a.epochs[e].beThroughput, b.epochs[e].beThroughput);
     }

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Fleet budget redistribution properties: the fleet budget is exactly
+ * conserved (sum of cluster budgets == fleet budget, every epoch, to
+ * the milliwatt), donations flow from uncapped donors to power-capped
+ * receivers, no cluster ever falls below its redistribution floor,
+ * and switching redistribution off freezes the split. Runs under
+ * tier-fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fleet/fleet_evaluator.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::fleet
+{
+namespace
+{
+
+long long
+toMw(Watts w)
+{
+    return std::llround(w.value() * 1000.0);
+}
+
+/**
+ * An asymmetric fleet: cluster 0 provisioned generously (headroom to
+ * donate), cluster 1 squeezed to ~55% of its apps' provisioned power
+ * so the cap binds at high load and it becomes a receiver.
+ */
+class BudgetFixture : public ::testing::Test
+{
+  protected:
+    BudgetFixture()
+        : set_a_(wl::defaultAppSet()), set_b_(wl::defaultAppSet())
+    {}
+
+    std::vector<FleetServer> servers() const
+    {
+        std::vector<FleetServer> fleet;
+        for (std::size_t j = 0; j < set_a_.lc.size(); ++j) {
+            const Watts generous =
+                2.0 * set_a_.lc[j].provisionedPower();
+            fleet.push_back({&set_a_, j, generous});
+        }
+        for (std::size_t j = 0; j < set_b_.lc.size(); ++j) {
+            const Watts squeezed =
+                0.55 * set_b_.lc[j].provisionedPower();
+            fleet.push_back({&set_b_, j, squeezed});
+        }
+        return fleet;
+    }
+
+    static FleetConfig smallConfig()
+    {
+        return FleetConfig{}
+            .withLoadPoints({0.3, 0.7})
+            .withDwell(30 * kSecond)
+            .withHeraclesReplicas(2)
+            .withSeed(23)
+            .withEpochLoads({0.9, 0.9, 0.9});
+    }
+
+    wl::AppSet set_a_;
+    wl::AppSet set_b_;
+};
+
+void
+expectBudgetsConserved(const FleetRollup& rollup)
+{
+    ASSERT_FALSE(rollup.epochs.empty());
+    const long long fleet_mw = toMw(rollup.epochs[0].fleetBudget);
+    for (std::size_t e = 0; e < rollup.epochs.size(); ++e) {
+        const FleetEpoch& epoch = rollup.epochs[e];
+        EXPECT_EQ(toMw(epoch.fleetBudget), fleet_mw)
+            << "fleet budget drifted at epoch " << e;
+        long long sum_mw = 0;
+        for (const ClusterEpochOutcome& c : epoch.clusters)
+            sum_mw += toMw(c.budget);
+        EXPECT_EQ(sum_mw, fleet_mw)
+            << "cluster budgets leak at epoch " << e;
+    }
+}
+
+TEST_F(BudgetFixture, FleetBudgetIsConservedEveryEpoch)
+{
+    const FleetEvaluator evaluator(servers(), smallConfig());
+    expectBudgetsConserved(evaluator.run().value);
+}
+
+TEST_F(BudgetFixture, ConservationHoldsUnderAnExplicitFleetBudget)
+{
+    const Watts target{700.0};
+    const FleetEvaluator evaluator(
+        servers(), smallConfig().withFleetBudget(target));
+    const auto rollup = evaluator.run().value;
+    expectBudgetsConserved(rollup);
+    EXPECT_EQ(toMw(rollup.epochs[0].fleetBudget), toMw(target));
+}
+
+TEST_F(BudgetFixture, BudgetFlowsFromDonorsToCappedClusters)
+{
+    const FleetEvaluator evaluator(servers(), smallConfig());
+    const auto rollup = evaluator.run().value;
+    ASSERT_GE(rollup.epochs.size(), 2u);
+
+    const auto& first = rollup.epochs[0].clusters;
+    const auto& second = rollup.epochs[1].clusters;
+    ASSERT_EQ(first.size(), 2u);
+
+    // The squeezed cluster must actually have hit its cap — that is
+    // what makes it a receiver.
+    EXPECT_TRUE(first[1].capped);
+    EXPECT_FALSE(first[0].capped);
+
+    // Donations move budget from the generous cluster to the capped
+    // one between the epochs.
+    EXPECT_GT(toMw(second[1].budget), toMw(first[1].budget));
+    EXPECT_LT(toMw(second[0].budget), toMw(first[0].budget));
+}
+
+TEST_F(BudgetFixture, NoClusterFallsBelowTheRedistributionFloor)
+{
+    const FleetEvaluator evaluator(servers(), smallConfig());
+    const auto rollup = evaluator.run().value;
+    const auto& initial = rollup.epochs[0].clusters;
+    for (const FleetEpoch& epoch : rollup.epochs)
+        for (std::size_t c = 0; c < epoch.clusters.size(); ++c)
+            EXPECT_GE(toMw(epoch.clusters[c].budget),
+                      toMw(initial[c].budget) / 2)
+                << "cluster " << c << " under the floor";
+}
+
+TEST_F(BudgetFixture, RedistributionOffFreezesTheSplit)
+{
+    const FleetEvaluator evaluator(
+        servers(), smallConfig().withBudgetRedistribution(false));
+    const auto rollup = evaluator.run().value;
+    const auto& initial = rollup.epochs[0].clusters;
+    for (const FleetEpoch& epoch : rollup.epochs)
+        for (std::size_t c = 0; c < epoch.clusters.size(); ++c)
+            EXPECT_EQ(toMw(epoch.clusters[c].budget),
+                      toMw(initial[c].budget));
+    expectBudgetsConserved(rollup);
+}
+
+TEST_F(BudgetFixture, MemberCapSplitsTheClusterBudgetEvenly)
+{
+    const FleetEvaluator evaluator(servers(), smallConfig());
+    const auto rollup = evaluator.run().value;
+    for (const FleetEpoch& epoch : rollup.epochs)
+        for (std::size_t c = 0; c < epoch.clusters.size(); ++c) {
+            const auto members = static_cast<long long>(
+                evaluator.clusters()[c].members.size());
+            EXPECT_EQ(toMw(epoch.clusters[c].memberCap),
+                      toMw(epoch.clusters[c].budget) / members);
+        }
+}
+
+} // namespace
+} // namespace poco::fleet

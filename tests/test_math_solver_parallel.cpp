@@ -2,7 +2,7 @@
  * @file
  * Determinism and thread-safety tests for the parallel solver layer:
  * the flat-tableau simplex (parallel pricing/ratio-test/pivot), the
- * placement SolverConfig path, batch admission, and the assignment
+ * placement SolverContext path, batch admission, and the assignment
  * solve memo. Labeled tier-tsan: a POCO_SANITIZE=thread build runs
  * these suites to catch data races.
  *
@@ -195,11 +195,11 @@ randomMatrix(std::size_t n_be, std::size_t n_srv, std::uint64_t seed)
     return matrix;
 }
 
-SolverConfig
+SolverContext
 forcedParallel(runtime::ThreadPool* pool,
                math::AssignmentCache* cache = nullptr)
 {
-    SolverConfig config;
+    SolverContext config;
     config.pool = pool;
     config.cache = cache;
     config.pivotCutoff = 1;
@@ -250,7 +250,7 @@ TEST(PlacementParallel, CacheReturnsMemoizedSolution)
 {
     const PerformanceMatrix matrix = randomMatrix(5, 5, 14);
     math::AssignmentCache cache;
-    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const SolverContext cached = forcedParallel(nullptr, &cache);
     const auto first = place(matrix, PlacementKind::Lp, cached);
     const auto second = place(matrix, PlacementKind::Lp, cached);
     EXPECT_EQ(first, second);
@@ -264,7 +264,7 @@ TEST(PlacementParallel, CacheKeysOnKindAndContent)
 {
     PerformanceMatrix matrix = randomMatrix(4, 4, 15);
     math::AssignmentCache cache;
-    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const SolverContext cached = forcedParallel(nullptr, &cache);
     const auto lp = place(matrix, PlacementKind::Lp, cached);
     const auto hungarian =
         place(matrix, PlacementKind::Hungarian, cached);
@@ -283,7 +283,7 @@ TEST(PlacementParallel, AdmissionMemoHitsAcrossRounds)
 {
     const PerformanceMatrix matrix = randomMatrix(9, 3, 16);
     math::AssignmentCache cache;
-    const SolverConfig cached = forcedParallel(nullptr, &cache);
+    const SolverContext cached = forcedParallel(nullptr, &cache);
     const auto round1 = admitAndPlace(matrix, cached);
     const auto round2 = admitAndPlace(matrix, cached);
     EXPECT_EQ(round1, round2);
@@ -308,7 +308,7 @@ TEST(PlacementParallel, CacheIsThreadSafeUnderContention)
     runtime::ThreadPool pool(8);
     std::atomic<int> mismatches{0};
     runtime::parallelFor(&pool, 64, [&](std::size_t i) {
-        SolverConfig config;
+        SolverContext config;
         config.cache = &cache;
         const std::size_t k = i % kMatrices;
         const auto got =

@@ -201,13 +201,13 @@ TEST(ScenarioDeterminism, BatchRunnerMatchesIndividualRuns)
 class EvaluatorDeterminism : public ::testing::Test
 {
   protected:
-    static cluster::EvaluatorConfig smallConfig(int threads)
+    static FleetConfig smallConfig(int threads)
     {
-        cluster::EvaluatorConfig config;
+        FleetConfig config;
         config.loadPoints = {0.3, 0.7};
         config.dwell = 30 * kSecond;
         config.heraclesReplicas = 2;
-        config.seedSalt = 11;
+        config.seed = 11;
         config.threads = threads;
         return config;
     }

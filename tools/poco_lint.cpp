@@ -29,6 +29,9 @@
  *   pragma-once       every header carries #pragma once.
  *   no-float          float halves the mantissa silently; the power
  *                     books are kept in double (or Quantity<Tag>).
+ *   deprecated-config cluster::EvaluatorConfig / cluster::SolverConfig
+ *                     outside the shim header — new code takes
+ *                     poco::FleetConfig (or cluster::SolverContext).
  *   no-using-namespace-std   namespace hygiene.
  *
  * Output: one `file:line: [rule] message` per violation, exit 1 if
@@ -224,6 +227,11 @@ tokenRules()
          "float halves the mantissa; keep physical quantities in "
          "double or Quantity<Tag>",
          {}},
+        {"deprecated-config",
+         {"EvaluatorConfig", "SolverConfig"},
+         "deprecated config struct; use poco::FleetConfig "
+         "(fleet/fleet_config.hpp) or cluster::SolverContext",
+         {"cluster/deprecated_config."}},
     };
     return rules;
 }

@@ -60,13 +60,12 @@ struct Options
                    : static_cast<unsigned>(threads);
     }
 
-    cluster::EvaluatorConfig
-    evaluatorConfig() const
+    FleetConfig
+    fleetConfig() const
     {
-        cluster::EvaluatorConfig config;
-        config.threads = threads;
-        config.seedSalt = seed;
-        return config;
+        return FleetConfig{}
+            .withThreads(threads)
+            .withSeed(seed);
     }
 
     model::ProfilerConfig
@@ -244,7 +243,7 @@ int
 cmdMatrix(const wl::AppSet& apps, const Options& options)
 {
     const cluster::ClusterEvaluator evaluator(
-        apps, options.evaluatorConfig());
+        apps, options.fleetConfig());
     const auto& m = evaluator.matrix();
     std::vector<std::string> header = {"BE \\ LC"};
     header.insert(header.end(), m.lcNames.begin(), m.lcNames.end());
@@ -276,7 +275,7 @@ cmdPlace(const wl::AppSet& apps, const Options& options,
         poco::fatal("unknown placement algorithm: " + solver);
 
     const cluster::ClusterEvaluator evaluator(
-        apps, options.evaluatorConfig());
+        apps, options.fleetConfig());
     const auto assignment = evaluator.placeBe(kind);
     const auto& m = evaluator.matrix();
     TextTable t({"BE app", "LC server", "estimated thr"});
@@ -295,7 +294,7 @@ int
 cmdPolicies(const wl::AppSet& apps, const Options& options)
 {
     const cluster::ClusterEvaluator evaluator(
-        apps, options.evaluatorConfig());
+        apps, options.fleetConfig());
     TextTable t({"policy", "mean BE thr", "power util",
                  "max SLO viol", "energy (MJ)"});
     double base = 0.0;
@@ -322,7 +321,7 @@ int
 cmdTco(const wl::AppSet& apps, const Options& options)
 {
     const cluster::ClusterEvaluator evaluator(
-        apps, options.evaluatorConfig());
+        apps, options.fleetConfig());
     Watts provisioned;
     for (const auto& lc : apps.lc)
         provisioned += lc.provisionedPower();
