@@ -138,7 +138,7 @@ makePlatform(const sim::ServerSpec& spec)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     bench::banner(
         "Ext: heterogeneous fleet",
@@ -261,6 +261,7 @@ main()
 
     TextTable sharded({"shards", "threads", "fingerprint", "wall s",
                        "total BE thr (rps)"});
+    bench::Json sharded_rows = bench::Json::array();
     for (const int shards : {1, 2, 4}) {
         for (const int threads : {1, 4}) {
             const FleetRun run =
@@ -278,6 +279,14 @@ main()
                             fmt(run.wallSeconds, 3),
                             fmt(run.rollup.totalBeThroughput.value(),
                                 1)});
+            sharded_rows.push(
+                bench::Json::object()
+                    .integer("shards", shards)
+                    .integer("threads", threads)
+                    .hex("fingerprint", fp)
+                    .num("wall_seconds", run.wallSeconds)
+                    .num("total_be_throughput_rps",
+                         run.rollup.totalBeThroughput.value()));
         }
     }
     std::printf("%s", sharded.render().c_str());
@@ -299,6 +308,27 @@ main()
     std::printf("sync pays the fold inline on the epoch loop; async "
                 "overlaps it\nwith the next epoch's simulation "
                 "(same bits either way).\n");
+
+    // Machine-readable twin of the fleet tables (CI archives it).
+    bench::Json root = bench::Json::object();
+    root.str("bench", "fleet")
+        .hex("expected_fingerprint", expected)
+        .child("sharded", sharded_rows)
+        .child("aggregator",
+               bench::Json::array()
+                   .push(bench::Json::object()
+                             .str("mode", "sync")
+                             .num("fold_seconds",
+                                  sync.rollup.aggregatorSeconds)
+                             .num("wall_seconds", sync.wallSeconds))
+                   .push(bench::Json::object()
+                             .str("mode", "async")
+                             .num("fold_seconds",
+                                  async.rollup.aggregatorSeconds)
+                             .num("wall_seconds",
+                                  async.wallSeconds)))
+        .flag("identical", identical);
+    bench::writeJson(root, argc > 1 ? argv[1] : "BENCH_fleet.json");
 
     if (!identical) {
         std::printf("\nFAIL: fleet rollup fingerprints diverged "

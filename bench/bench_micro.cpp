@@ -12,7 +12,9 @@
 
 #include <atomic>
 
+#include "cluster/incremental.hpp"
 #include "cluster/performance_matrix.hpp"
+#include "cluster/placement.hpp"
 #include "common.hpp"
 #include "math/hungarian.hpp"
 #include "math/regression.hpp"
@@ -404,6 +406,58 @@ BM_SolverCacheMiss(benchmark::State& state)
     }
 }
 BENCHMARK(BM_SolverCacheMiss)->Arg(16)->Arg(64);
+
+/**
+ * The control plane's hot path: one server column re-priced, then a
+ * re-place. The incremental variant runs the Cached/Repair/WarmLp
+ * ladder; the cold variant is the batch placeWithFallback the ladder
+ * replaces. Same perturbation stream in both, so the gap is solver
+ * work, not setup.
+ */
+void
+BM_IncrementalResolve(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(47);
+    cluster::PerformanceMatrix matrix;
+    matrix.value.assign(n, std::vector<double>(n));
+    for (auto& row : matrix.value)
+        for (double& cell : row)
+            cell = rng.uniform(0.0, 100.0);
+    cluster::IncrementalPlacer placer;
+    placer.resolve(matrix, cluster::PlacementDelta::shape());
+    std::size_t col = 0;
+    for (auto _ : state) {
+        for (auto& row : matrix.value)
+            row[col] = rng.uniform(0.0, 100.0);
+        auto placed =
+            placer.resolve(matrix, cluster::PlacementDelta::column(col));
+        benchmark::DoNotOptimize(placed);
+        col = (col + 1) % n;
+    }
+}
+BENCHMARK(BM_IncrementalResolve)->Arg(16)->Arg(64);
+
+void
+BM_ColdResolve(benchmark::State& state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    Rng rng(47);
+    cluster::PerformanceMatrix matrix;
+    matrix.value.assign(n, std::vector<double>(n));
+    for (auto& row : matrix.value)
+        for (double& cell : row)
+            cell = rng.uniform(0.0, 100.0);
+    std::size_t col = 0;
+    for (auto _ : state) {
+        for (auto& row : matrix.value)
+            row[col] = rng.uniform(0.0, 100.0);
+        auto placed = cluster::placeWithFallback(matrix);
+        benchmark::DoNotOptimize(placed);
+        col = (col + 1) % n;
+    }
+}
+BENCHMARK(BM_ColdResolve)->Arg(16)->Arg(64);
 
 void
 BM_OlsFit(benchmark::State& state)

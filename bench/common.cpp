@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/check.hpp"
+
 namespace poco::bench
 {
 
@@ -56,6 +58,106 @@ context()
 {
     static Context ctx;
     return ctx;
+}
+
+namespace
+{
+
+/** Quote and escape a JSON string (quotes and backslashes only). */
+std::string
+jsonQuote(const std::string& text)
+{
+    std::string out = "\"";
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+Json&
+Json::add(const std::string& key, const std::string& rendered)
+{
+    POCO_REQUIRE(object_, "keyed members belong to the object form");
+    items_.push_back(jsonQuote(key) + ": " + rendered);
+    return *this;
+}
+
+Json&
+Json::num(const std::string& key, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return add(key, buf);
+}
+
+Json&
+Json::integer(const std::string& key, std::int64_t value)
+{
+    return add(key, std::to_string(value));
+}
+
+Json&
+Json::hex(const std::string& key, std::uint64_t value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return add(key, jsonQuote(buf));
+}
+
+Json&
+Json::str(const std::string& key, const std::string& value)
+{
+    return add(key, jsonQuote(value));
+}
+
+Json&
+Json::flag(const std::string& key, bool value)
+{
+    return add(key, value ? "true" : "false");
+}
+
+Json&
+Json::child(const std::string& key, const Json& value)
+{
+    return add(key, value.render());
+}
+
+Json&
+Json::push(const Json& value)
+{
+    POCO_REQUIRE(!object_, "push() belongs to the array form");
+    items_.push_back(value.render());
+    return *this;
+}
+
+std::string
+Json::render() const
+{
+    std::string out = object_ ? "{" : "[";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0)
+            out += object_ ? ", " : ",\n ";
+        out += items_[i];
+    }
+    out += object_ ? "}" : "]";
+    return out;
+}
+
+void
+writeJson(const Json& json, const std::string& path)
+{
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    POCO_CHECK(file != nullptr, "cannot open " + path + " for writing");
+    const std::string text = json.render() + "\n";
+    std::fputs(text.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote %s\n", path.c_str());
 }
 
 void

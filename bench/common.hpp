@@ -8,6 +8,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,5 +55,43 @@ Context& context();
 /** Print a figure banner: id, caption, and the paper's claim. */
 void banner(const std::string& figure, const std::string& caption,
             const std::string& paper_claim);
+
+/**
+ * Minimal JSON emitter for the machine-readable BENCH_*.json
+ * artifacts. Covers exactly what the harness emits: objects and
+ * arrays of numbers, strings, and booleans. Members render on
+ * insertion, so build order is emission order; distinct method names
+ * per type sidestep overload ambiguity on integer literals.
+ */
+class Json
+{
+  public:
+    static Json object() { return Json(true); }
+    static Json array() { return Json(false); }
+
+    /** Object members (assert on the array form). */
+    Json& num(const std::string& key, double value);
+    Json& integer(const std::string& key, std::int64_t value);
+    /** A 64-bit fingerprint, rendered as a 16-digit hex string. */
+    Json& hex(const std::string& key, std::uint64_t value);
+    Json& str(const std::string& key, const std::string& value);
+    Json& flag(const std::string& key, bool value);
+    Json& child(const std::string& key, const Json& value);
+
+    /** Array element (asserts on the object form). */
+    Json& push(const Json& value);
+
+    std::string render() const;
+
+  private:
+    explicit Json(bool is_object) : object_(is_object) {}
+    Json& add(const std::string& key, const std::string& rendered);
+
+    bool object_;
+    std::vector<std::string> items_;
+};
+
+/** Write rendered JSON to @p path and note it on stdout. */
+void writeJson(const Json& json, const std::string& path);
 
 } // namespace poco::bench

@@ -1,0 +1,180 @@
+#include "cluster/incremental.hpp"
+
+#include "math/solver_cache.hpp"
+#include "util/check.hpp"
+
+namespace poco::cluster
+{
+
+namespace
+{
+
+/** Memo tag for exact incremental optima (kept apart from the batch
+ *  solvers' per-kind tags so a rung never reads another's answer). */
+constexpr const char* kCacheTag = "incremental";
+
+void
+validateMatrix(const PerformanceMatrix& matrix)
+{
+    const std::size_t rows = matrix.value.size();
+    POCO_REQUIRE(rows > 0, "empty performance matrix");
+    const std::size_t cols = matrix.value.front().size();
+    POCO_REQUIRE(rows <= cols,
+                 "placement needs BE apps <= LC servers");
+}
+
+} // namespace
+
+const char*
+placementDeltaKindName(PlacementDelta::Kind kind)
+{
+    switch (kind) {
+      case PlacementDelta::Kind::FullRefresh: return "full-refresh";
+      case PlacementDelta::Kind::Row:         return "row";
+      case PlacementDelta::Kind::Column:      return "column";
+      case PlacementDelta::Kind::Shape:       return "shape";
+    }
+    return "?";
+}
+
+Outcome<std::vector<int>>
+IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
+                           const PlacementDelta& delta)
+{
+    validateMatrix(matrix);
+    const std::size_t rows = matrix.value.size();
+    const std::size_t cols = matrix.value.front().size();
+
+    const bool single_subject =
+        delta.kind == PlacementDelta::Kind::Row ||
+        delta.kind == PlacementDelta::Kind::Column;
+    if (delta.kind == PlacementDelta::Kind::Row)
+        POCO_REQUIRE(delta.index < rows, "delta row out of range");
+    if (delta.kind == PlacementDelta::Kind::Column)
+        POCO_REQUIRE(delta.index < cols, "delta column out of range");
+
+    // Rung 0 — memo. Flapping event pairs (crash/recover, A<->B load
+    // oscillation) revisit byte-identical matrices; the exact-match
+    // cache answers without touching a solver. The hit leaves both
+    // engines pointing at some *other* matrix, so mark them stale.
+    if (context_.cache != nullptr) {
+        if (auto hit = context_.cache->lookup(kCacheTag,
+                                              matrix.value)) {
+            ++stats_.cached;
+            repair_fresh_ = false;
+            warm_fresh_ = false;
+            return {*std::move(hit), SolverTier::Cached,
+                    /*tries=*/0};
+        }
+    }
+
+    // Rung 1 — single-subject Hungarian repair: one augmenting stage
+    // from the retained duals, self-verified against the optimality
+    // conditions.
+    if (single_subject && repair_fresh_ &&
+        repair_.hasState(rows, cols)) {
+        std::optional<std::vector<int>> fixed;
+        if (delta.kind == PlacementDelta::Kind::Row) {
+            fixed = repair_.repairRow(delta.index,
+                                      matrix.value[delta.index]);
+        } else {
+            std::vector<double> column(rows);
+            for (std::size_t i = 0; i < rows; ++i)
+                column[i] = matrix.value[i][delta.index];
+            fixed = repair_.repairColumn(delta.index, column);
+        }
+        if (fixed.has_value()) {
+            ++stats_.repaired;
+            warm_fresh_ = false;
+            if (context_.cache != nullptr)
+                context_.cache->insert(kCacheTag, matrix.value,
+                                       *fixed);
+            return {*std::move(fixed), SolverTier::Repair};
+        }
+        repair_fresh_ = false; // engine invalidated itself
+    }
+
+    // Rung 2 — warm-started simplex: any same-shape perturbation can
+    // re-price the retained optimal basis and walk the few pivots to
+    // the new vertex.
+    if (delta.kind != PlacementDelta::Kind::Shape && warm_fresh_ &&
+        warm_.hasBasis(rows, cols)) {
+        if (auto sol = warm_.solveWarm(matrix.value)) {
+            ++stats_.warm;
+            repair_fresh_ = false;
+            if (context_.cache != nullptr)
+                context_.cache->insert(kCacheTag, matrix.value,
+                                       *sol);
+            return {*std::move(sol), SolverTier::WarmLp};
+        }
+        warm_fresh_ = false;
+    }
+
+    // Rung 3 — single-subject event with no fresh engine: re-arm the
+    // repair engine with a full Hungarian solve so the next
+    // one-subject event takes the cheap stage.
+    if (single_subject) {
+        std::vector<int> full = repair_.solveFull(matrix.value);
+        ++stats_.resynced;
+        repair_fresh_ = true;
+        warm_fresh_ = false;
+        if (context_.cache != nullptr)
+            context_.cache->insert(kCacheTag, matrix.value, full);
+        return {std::move(full), SolverTier::Hungarian};
+    }
+
+    return coldResolve(matrix);
+}
+
+Outcome<std::vector<int>>
+IncrementalPlacer::coldResolve(const PerformanceMatrix& matrix)
+{
+    // Honor the fallback chain's injection hook for the cold LP rung
+    // so the degradation tests can force the escape path through this
+    // placer too.
+    const bool injected_lp_failure =
+        fallback_.failInjection &&
+        fallback_.failInjection(PlacementKind::Lp, 0);
+    if (!injected_lp_failure) {
+        try {
+            std::vector<int> sol = warm_.solveCold(matrix.value);
+            ++stats_.cold;
+            warm_fresh_ = true;
+            repair_fresh_ = false;
+            if (context_.cache != nullptr)
+                context_.cache->insert(kCacheTag, matrix.value,
+                                       sol);
+            return {std::move(sol), SolverTier::Lp};
+        } catch (const FatalError&) {
+            warm_.invalidate();
+            warm_fresh_ = false;
+        }
+    }
+
+    // Escape hatch: the degradation-hardened batch chain. Its answer
+    // may be inexact (Greedy / Conservative), so only exact tiers are
+    // allowed into the memo.
+    ++stats_.fallback;
+    Outcome<std::vector<int>> outcome =
+        placeWithFallback(matrix, context_, fallback_);
+    ++outcome.attempts; // the cold LP try above
+    repair_fresh_ = false;
+    warm_fresh_ = false;
+    if (context_.cache != nullptr &&
+        (outcome.tier == SolverTier::Lp ||
+         outcome.tier == SolverTier::Hungarian))
+        context_.cache->insert(kCacheTag, matrix.value,
+                               outcome.value);
+    return outcome;
+}
+
+void
+IncrementalPlacer::reset()
+{
+    repair_.invalidate();
+    warm_.invalidate();
+    repair_fresh_ = false;
+    warm_fresh_ = false;
+}
+
+} // namespace poco::cluster

@@ -1,0 +1,302 @@
+#include "ctrl/control_plane.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "math/solver_cache.hpp"
+#include "runtime/parallel.hpp"
+#include "sim/telemetry_rollup.hpp"
+#include "util/check.hpp"
+
+namespace poco::ctrl
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void
+mixWord(std::uint64_t& h, std::uint64_t word)
+{
+    for (int byte = 0; byte < 8; ++byte) {
+        h ^= word & 0xffu;
+        h *= kFnvPrime;
+        word >>= 8;
+    }
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+std::uint64_t
+hashAssignment(const std::vector<int>& assignment)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const int j : assignment)
+        mixWord(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(j)));
+    return h;
+}
+
+std::uint64_t
+rollupFingerprint(const CtrlRollup& roll)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const EventRecord& r : roll.records) {
+        mixWord(h, static_cast<std::uint64_t>(r.tick));
+        mixWord(h, static_cast<std::uint64_t>(r.kind));
+        mixWord(h, static_cast<std::uint64_t>(
+                       static_cast<std::int64_t>(r.subject)));
+        mixWord(h, static_cast<std::uint64_t>(r.tier));
+        mixWord(h, static_cast<std::uint64_t>(r.attempts));
+        mixWord(h, doubleBits(r.objective));
+        mixWord(h, r.assignmentFingerprint);
+        mixWord(h, r.activeBe);
+        mixWord(h, r.placeableServers);
+    }
+    mixWord(h, roll.livenessFingerprint);
+    mixWord(h, doubleBits(roll.budgetPool.value()));
+    return h;
+}
+
+} // namespace
+
+ControlPlane::ControlPlane(CellModel cells,
+                           ControlPlaneConfig config,
+                           cluster::SolverContext context)
+    : cells_(std::move(cells)), config_(config), context_(context)
+{
+    POCO_REQUIRE(static_cast<bool>(cells_),
+                 "control plane needs a cell model");
+    POCO_REQUIRE(config_.servers > 0,
+                 "control plane needs at least one server");
+    POCO_REQUIRE(config_.bePool > 0,
+                 "control plane needs a BE candidate pool");
+    POCO_REQUIRE(config_.initialLoad > 0.0 &&
+                     config_.initialLoad <= 1.0,
+                 "initialLoad must be in (0, 1]");
+    config_.initialBe = std::min(config_.initialBe, config_.bePool);
+}
+
+Outcome<CtrlRollup>
+ControlPlane::replay(const EventLog& log)
+{
+    // Fresh state every replay: the identity contract is that two
+    // replays of one log agree bit-for-bit, tier counters included.
+    HeartbeatTracker tracker(config_.servers, config_.heartbeat,
+                             config_.perServerBudget);
+    math::AssignmentCache memo;
+    cluster::SolverContext ctx = context_;
+    ctx.cache = config_.forceCold ? nullptr : &memo;
+    cluster::IncrementalPlacer placer(ctx);
+
+    if (telemetry_ != nullptr)
+        POCO_REQUIRE(telemetry_->servers() == config_.servers,
+                     "telemetry sink must cover every server");
+
+    std::vector<char> active(config_.bePool, 0);
+    std::vector<std::size_t> active_list;
+    for (std::size_t i = 0; i < config_.initialBe; ++i) {
+        active[i] = 1;
+        active_list.push_back(i);
+    }
+    std::vector<double> load(config_.servers, config_.initialLoad);
+    double budget_scale = 1.0;
+    std::vector<std::size_t> prev_alive =
+        tracker.placeableServers();
+
+    CtrlRollup roll;
+    roll.records.reserve(log.size());
+    SolverTier worst = SolverTier::None;
+    int total_attempts = 0;
+    Degradation degradation;
+
+    for (const ControlEvent& e : log.events()) {
+        tracker.advanceTo(e.tick);
+        std::vector<std::size_t> alive =
+            tracker.placeableServers();
+        // Liveness transitions (dead servers leaving the matrix,
+        // recovered ones re-registering) change the topology even
+        // when the event itself would not.
+        const bool topo_changed = alive != prev_alive;
+        bool matrix_changed = topo_changed;
+        cluster::PlacementDelta delta =
+            topo_changed ? cluster::PlacementDelta::shape()
+                         : cluster::PlacementDelta::fullRefresh();
+
+        switch (e.kind) {
+          case EventKind::LoadShift: {
+            const double level =
+                std::clamp(e.value, 0.01, 1.0);
+            if (e.subject < 0) {
+                std::fill(load.begin(), load.end(), level);
+                matrix_changed = true;
+            } else if (static_cast<std::size_t>(e.subject) <
+                       config_.servers) {
+                const auto srv =
+                    static_cast<std::size_t>(e.subject);
+                load[srv] = level;
+                const auto col = std::find(alive.begin(),
+                                           alive.end(), srv);
+                if (col != alive.end()) {
+                    matrix_changed = true;
+                    if (!topo_changed)
+                        delta = cluster::PlacementDelta::column(
+                            static_cast<std::size_t>(
+                                col - alive.begin()));
+                }
+                // A dead server's load moves no matrix cell; the
+                // new level applies when it re-registers (a shape
+                // change at that tick).
+            }
+            break;
+          }
+          case EventKind::BeArrive: {
+            for (std::size_t i = 0; i < config_.bePool; ++i) {
+                if (!active[i]) {
+                    active[i] = 1;
+                    active_list.push_back(i);
+                    matrix_changed = true;
+                    delta = cluster::PlacementDelta::shape();
+                    break;
+                }
+            }
+            break; // pool exhausted: no-op event
+          }
+          case EventKind::BeDepart: {
+            const auto be = static_cast<std::size_t>(
+                e.subject < 0 ? 0 : e.subject);
+            if (be < config_.bePool && active[be]) {
+                active[be] = 0;
+                active_list.erase(std::find(active_list.begin(),
+                                            active_list.end(),
+                                            be));
+                matrix_changed = true;
+                delta = cluster::PlacementDelta::shape();
+            }
+            break;
+          }
+          case EventKind::ServerCrash: {
+            if (e.subject >= 0 &&
+                static_cast<std::size_t>(e.subject) <
+                    config_.servers)
+                tracker.crash(
+                    static_cast<std::size_t>(e.subject));
+            // The matrix only changes when the liveness ladder
+            // later declares the server dead.
+            break;
+          }
+          case EventKind::ServerRecover: {
+            if (e.subject >= 0 &&
+                static_cast<std::size_t>(e.subject) <
+                    config_.servers)
+                tracker.recover(
+                    static_cast<std::size_t>(e.subject));
+            break;
+          }
+          case EventKind::BudgetChange: {
+            budget_scale = std::max(0.05, e.value);
+            matrix_changed = true;
+            if (!topo_changed)
+                delta = cluster::PlacementDelta::fullRefresh();
+            break;
+          }
+        }
+
+        EventRecord rec;
+        rec.tick = e.tick;
+        rec.kind = e.kind;
+        rec.subject = e.subject;
+        rec.activeBe =
+            static_cast<std::uint32_t>(active_list.size());
+        rec.placeableServers =
+            static_cast<std::uint32_t>(alive.size());
+
+        if (matrix_changed && !alive.empty() &&
+            !active_list.empty()) {
+            // Rows: active BEs in arrival order, shed past the live
+            // server count (rows <= cols is a hard solver precond).
+            std::vector<std::size_t> rows = active_list;
+            if (rows.size() > alive.size()) {
+                rows.resize(alive.size());
+                degradation.workShed = true;
+            }
+
+            // Each cell is an independent pure call; fan the rows
+            // out over the pool. Slot-addressed writes keep the
+            // matrix bit-identical for any worker count.
+            cluster::PerformanceMatrix matrix;
+            matrix.value = runtime::parallelMap(
+                ctx.pool, rows.size(), [&](std::size_t i) {
+                    std::vector<double> row(alive.size());
+                    for (std::size_t c = 0; c < alive.size(); ++c)
+                        row[c] = cells_(rows[i], alive[c],
+                                        load[alive[c]]) *
+                                 budget_scale;
+                    return row;
+                });
+
+            Outcome<std::vector<int>> placed =
+                config_.forceCold
+                    ? cluster::placeWithFallback(matrix, ctx)
+                    : placer.resolve(matrix, delta);
+
+            rec.tier = placed.tier;
+            rec.attempts = placed.attempts;
+            rec.objective =
+                cluster::placementValue(matrix, placed.value);
+            rec.assignmentFingerprint =
+                hashAssignment(placed.value);
+            worst = worseTier(worst, placed.tier);
+            total_attempts += placed.attempts;
+            degradation |= placed.degradation;
+            ++roll.resolves;
+
+            if (telemetry_ != nullptr) {
+                for (std::size_t i = 0; i < rows.size(); ++i) {
+                    if (placed.value[i] < 0)
+                        continue; // degraded tiers may shed rows
+                    const auto c = static_cast<std::size_t>(
+                        placed.value[i]);
+                    const std::size_t srv = alive[c];
+                    sim::TelemetrySample sample;
+                    sample.when = e.tick;
+                    sample.lcLoad = Rps(load[srv]);
+                    sample.beThroughput =
+                        Rps(matrix.value[i][c]);
+                    sample.power = Watts(
+                        tracker.granted(srv).value() *
+                        load[srv]);
+                    telemetry_->appendDelta(
+                        srv, {sample}, tracker.granted(srv));
+                }
+            }
+        }
+
+        roll.records.push_back(rec);
+        prev_alive = std::move(alive);
+    }
+
+    if (telemetry_ != nullptr)
+        telemetry_->sealEpoch(0, log.horizon() + 1);
+
+    POCO_ASSERT(tracker.conservesBudget(),
+                "heartbeat tracker leaked budget");
+
+    roll.solver = placer.stats();
+    roll.heartbeat = tracker.stats();
+    roll.budgetPool = tracker.pool();
+    roll.livenessFingerprint = tracker.fingerprint();
+    roll.fingerprint = rollupFingerprint(roll);
+    return {std::move(roll), worst, total_attempts, degradation};
+}
+
+} // namespace poco::ctrl

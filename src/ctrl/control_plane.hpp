@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The streaming master: consume an EventLog, react incrementally.
+ *
+ * ControlPlane replaces the batch "evaluate the whole fleet every
+ * epoch" loop with an online one. It owns a HeartbeatTracker (who is
+ * alive, who holds budget) and an IncrementalPlacer (the Cached /
+ * Repair / WarmLp / cold ladder), and walks a totally-ordered
+ * EventLog tick by tick:
+ *
+ *   1. advance the heartbeat tracker to the event's tick — missed
+ *      beats may demote servers (Suspect, then Dead) or re-register
+ *      recovered ones, changing the placement topology;
+ *   2. apply the event to the modeled state (per-server LC load,
+ *      active BE set, budget scale, crash flags);
+ *   3. if the performance matrix changed, re-place with the cheapest
+ *      sound delta: one column for a single-server LoadShift, a
+ *      full same-shape refresh for a BudgetChange, a shape change
+ *      whenever the BE set or the live server set moved.
+ *
+ * Replay contract: replay() resets every piece of state (fresh
+ * tracker, fresh placer, fresh memo), so the same log produces a
+ * bit-identical CtrlRollup fingerprint on every call and for every
+ * thread count — the parallel kernels underneath (matrix cell
+ * builds, LP pricing/pivoting) are bit-identical by construction,
+ * and nothing reads the wall clock.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/incremental.hpp"
+#include "ctrl/event_log.hpp"
+#include "ctrl/heartbeat.hpp"
+#include "util/outcome.hpp"
+#include "util/units.hpp"
+
+namespace poco::sim
+{
+class TelemetryAggregator;
+}
+
+namespace poco::ctrl
+{
+
+/**
+ * Cell model: estimated BE throughput of pool candidate @p be
+ * colocated with server @p server at LC load fraction @p load. Must
+ * be a pure deterministic function — it is re-evaluated on replay.
+ */
+using CellModel = std::function<double(
+    std::size_t be, std::size_t server, double load)>;
+
+/** Cluster shape and initial conditions for a control-plane run. */
+struct ControlPlaneConfig
+{
+    /** Servers under management (heartbeat-tracked, columns). */
+    std::size_t servers = 4;
+    /** BE candidate pool BeArrive draws from (rows). */
+    std::size_t bePool = 4;
+    /** Candidates active at tick 0 (clipped to bePool). */
+    std::size_t initialBe = 4;
+    /** LC load fraction every server starts at. */
+    double initialLoad = 0.5;
+    /** Power grant issued per live server. */
+    Watts perServerBudget{100.0};
+    /** Liveness cadence and ladder thresholds. */
+    HeartbeatConfig heartbeat;
+    /**
+     * Bench baseline: disable every incremental rung and memo; every
+     * re-place is a cold placeWithFallback. Results (assignments,
+     * objectives) stay field-identical when optima are unique — only
+     * tiers, attempt counts, and wall-clock move.
+     */
+    bool forceCold = false;
+};
+
+/** What one event did to the system (one rollup line per event). */
+struct EventRecord
+{
+    SimTime tick = 0;
+    EventKind kind = EventKind::LoadShift;
+    int subject = -1;
+    /** Solver rung that re-placed, or None when no solve was due. */
+    SolverTier tier = SolverTier::None;
+    int attempts = 0;
+    /** Total matrix value of the chosen assignment (row order). */
+    double objective = 0.0;
+    /** FNV-1a over the assignment vector. */
+    std::uint64_t assignmentFingerprint = 0;
+    std::uint32_t activeBe = 0;
+    std::uint32_t placeableServers = 0;
+};
+
+/** The replay's complete, fingerprintable result. */
+struct CtrlRollup
+{
+    std::vector<EventRecord> records;
+    /** Events that triggered a re-placement. */
+    std::size_t resolves = 0;
+    /** Incremental-ladder rung counters. */
+    cluster::IncrementalStats solver;
+    /** Heartbeat/liveness counters. */
+    HeartbeatStats heartbeat;
+    /** Undistributed budget at end of log (dead servers' grants). */
+    Watts budgetPool;
+    /** Tracker state fingerprint at end of log. */
+    std::uint64_t livenessFingerprint = 0;
+    /**
+     * FNV-1a over every record field plus the liveness fingerprint
+     * and final budget. No wall-clock input — the replay identity
+     * tests compare this across thread counts and repeated replays.
+     */
+    std::uint64_t fingerprint = 0;
+};
+
+/**
+ * Event-driven online master for one cluster. Construct once with
+ * the model and shape; replay() any number of logs (each replay is
+ * independent and internally stateless-from-scratch).
+ */
+class ControlPlane
+{
+  public:
+    ControlPlane(CellModel cells, ControlPlaneConfig config,
+                 cluster::SolverContext context = {});
+
+    /**
+     * Optional telemetry sink: each re-placement appends per-server
+     * delta samples (appendDelta) and the replay seals one epoch at
+     * the end. The sink must cover config.servers slots and is the
+     * caller's to drain.
+     */
+    void attachTelemetry(sim::TelemetryAggregator* sink)
+    {
+        telemetry_ = sink;
+    }
+
+    /**
+     * Run the log from a clean slate. The outcome's tier is the
+     * worst rung any event needed (worseTier fold), its attempts the
+     * total across events, its degradation the union.
+     *
+     * Note: the context's AssignmentCache is deliberately NOT used —
+     * a shared memo would make a second replay hit where the first
+     * missed, changing tier counters and breaking replay identity.
+     * Each replay builds its own.
+     */
+    Outcome<CtrlRollup> replay(const EventLog& log);
+
+    const ControlPlaneConfig& config() const { return config_; }
+
+  private:
+    CellModel cells_;
+    ControlPlaneConfig config_;
+    cluster::SolverContext context_;
+    sim::TelemetryAggregator* telemetry_ = nullptr;
+};
+
+} // namespace poco::ctrl

@@ -1,0 +1,221 @@
+#include "ctrl/event_log.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include "fault/fault_plan.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace poco::ctrl
+{
+
+namespace
+{
+
+bool
+eventLess(const ControlEvent& a, const ControlEvent& b)
+{
+    return std::tie(a.tick, a.kind, a.subject, a.value) <
+           std::tie(b.tick, b.kind, b.subject, b.value);
+}
+
+/** Exponential inter-arrival in ticks for @p rate events/second. */
+SimTime
+nextGap(Rng& rng, double rate)
+{
+    // Inverse-CDF sampling; floored at one tick so the log stays
+    // strictly advancing even at silly rates.
+    const double u = rng.uniform();
+    const double seconds = -std::log(1.0 - u) / rate;
+    const double ticks = seconds * static_cast<double>(kSecond);
+    return std::max<SimTime>(1, static_cast<SimTime>(ticks));
+}
+
+} // namespace
+
+const char*
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::LoadShift:     return "load-shift";
+      case EventKind::BeArrive:      return "be-arrive";
+      case EventKind::BeDepart:      return "be-depart";
+      case EventKind::ServerCrash:   return "server-crash";
+      case EventKind::ServerRecover: return "server-recover";
+      case EventKind::BudgetChange:  return "budget-change";
+    }
+    return "?";
+}
+
+EventLog
+EventLog::fromEvents(std::vector<ControlEvent> events)
+{
+    for (const ControlEvent& e : events)
+        POCO_REQUIRE(e.tick >= 0, "event ticks must be non-negative");
+    std::sort(events.begin(), events.end(), eventLess);
+    EventLog log;
+    log.events_ = std::move(events);
+    return log;
+}
+
+EventLog
+EventLog::generate(const EventLogConfig& config)
+{
+    POCO_REQUIRE(config.horizon > 0, "horizon must be positive");
+    POCO_REQUIRE(config.servers >= 1, "need at least one server");
+    POCO_REQUIRE(config.bePool >= 1, "need at least one BE");
+
+    const Rng root(config.seed);
+    std::vector<ControlEvent> events;
+
+    // Each kind draws from its own split stream (keyed by the kind's
+    // ordinal), so one kind's traffic never shifts another's ticks —
+    // the FaultPlan (kind, server) pattern, collapsed to per-kind
+    // because subjects here are drawn inside the stream.
+    auto stream = [&root](EventKind kind) {
+        return root.split(
+            0x10001u + static_cast<std::uint64_t>(kind));
+    };
+
+    if (config.loadShiftRate > 0.0) {
+        Rng rng = stream(EventKind::LoadShift);
+        SimTime t = nextGap(rng, config.loadShiftRate);
+        while (t < config.horizon) {
+            ControlEvent e;
+            e.tick = t;
+            e.kind = EventKind::LoadShift;
+            // Mostly single-server shifts; 1-in-8 moves every server
+            // (the diurnal swing), exercising the full-refresh rung.
+            e.subject = rng.bernoulli(0.125)
+                            ? -1
+                            : rng.uniformInt(0, config.servers - 1);
+            e.value = rng.uniform(0.1, 0.95);
+            events.push_back(e);
+            t += nextGap(rng, config.loadShiftRate);
+        }
+    }
+
+    if (config.beChurnRate > 0.0) {
+        Rng rng = stream(EventKind::BeArrive);
+        SimTime t = nextGap(rng, config.beChurnRate);
+        while (t < config.horizon) {
+            ControlEvent e;
+            e.tick = t;
+            // Alternate-ish churn: arrivals twice as likely as
+            // departures keeps the cluster busy.
+            e.kind = rng.bernoulli(2.0 / 3.0) ? EventKind::BeArrive
+                                              : EventKind::BeDepart;
+            e.subject = e.kind == EventKind::BeDepart
+                            ? rng.uniformInt(0, config.bePool - 1)
+                            : -1;
+            events.push_back(e);
+            t += nextGap(rng, config.beChurnRate);
+        }
+    }
+
+    if (config.crashRate > 0.0) {
+        Rng rng = stream(EventKind::ServerCrash);
+        SimTime t = nextGap(rng, config.crashRate);
+        while (t < config.horizon) {
+            const int server =
+                rng.uniformInt(0, config.servers - 1);
+            ControlEvent crash;
+            crash.tick = t;
+            crash.kind = EventKind::ServerCrash;
+            crash.subject = server;
+            events.push_back(crash);
+
+            const double mean =
+                static_cast<double>(config.meanOutage);
+            const double u = rng.uniform();
+            const SimTime outage = std::max<SimTime>(
+                1,
+                static_cast<SimTime>(-std::log(1.0 - u) * mean));
+            const SimTime back = t + outage;
+            if (back < config.horizon) {
+                ControlEvent recover;
+                recover.tick = back;
+                recover.kind = EventKind::ServerRecover;
+                recover.subject = server;
+                events.push_back(recover);
+            }
+            t += nextGap(rng, config.crashRate);
+        }
+    }
+
+    if (config.budgetChangeRate > 0.0) {
+        Rng rng = stream(EventKind::BudgetChange);
+        SimTime t = nextGap(rng, config.budgetChangeRate);
+        while (t < config.horizon) {
+            ControlEvent e;
+            e.tick = t;
+            e.kind = EventKind::BudgetChange;
+            e.value = rng.uniform(0.6, 1.2);
+            events.push_back(e);
+            t += nextGap(rng, config.budgetChangeRate);
+        }
+    }
+
+    return fromEvents(std::move(events));
+}
+
+SimTime
+EventLog::horizon() const
+{
+    return events_.empty() ? 0 : events_.back().tick;
+}
+
+std::uint64_t
+EventLog::fingerprint() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t word) {
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= word & 0xffu;
+            h *= 1099511628211ull;
+            word >>= 8;
+        }
+    };
+    for (const ControlEvent& e : events_) {
+        mix(static_cast<std::uint64_t>(e.tick));
+        mix(static_cast<std::uint64_t>(e.kind));
+        mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(e.subject)));
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(e.value));
+        std::memcpy(&bits, &e.value, sizeof(bits));
+        mix(bits);
+    }
+    return h;
+}
+
+EventLog
+eventsFromFaultPlan(const fault::FaultPlan& plan, int servers)
+{
+    POCO_REQUIRE(servers >= 1, "need at least one server");
+    std::vector<ControlEvent> events;
+    for (const fault::FaultWindow& w : plan.windows()) {
+        if (w.kind != fault::FaultKind::ServerCrash)
+            continue;
+        const int first = w.server < 0 ? 0 : w.server;
+        const int last = w.server < 0 ? servers - 1 : w.server;
+        for (int s = first; s <= last; ++s) {
+            ControlEvent crash;
+            crash.tick = w.start;
+            crash.kind = EventKind::ServerCrash;
+            crash.subject = s;
+            events.push_back(crash);
+            ControlEvent recover;
+            recover.tick = w.end;
+            recover.kind = EventKind::ServerRecover;
+            recover.subject = s;
+            events.push_back(recover);
+        }
+    }
+    return EventLog::fromEvents(std::move(events));
+}
+
+} // namespace poco::ctrl

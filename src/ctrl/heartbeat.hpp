@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Server registration and heartbeat liveness tracking.
+ *
+ * Modeled on the tablet-server manager pattern from distributed
+ * databases (YugabyteDB's heartbeater / ts_manager): every server
+ * registers with the master and then reports on a jittered cadence;
+ * the master never observes a crash directly, it only notices beats
+ * going missing. Consecutive misses walk a server down the ladder
+ *
+ *     Alive --suspectMisses--> Suspect --deadMisses--> Dead
+ *
+ * and the first beat after an outage re-registers it in one step.
+ * The tracker also owns the fleet's per-server power grants: a grant
+ * is returned to the shared pool exactly once, on the Alive/Suspect
+ * -> Dead transition, and re-issued exactly once, on re-registration
+ * — a server flapping crash/recover below the dead threshold moves
+ * no budget at all. Grants are integer milliwatts so conservation
+ * (pool + sum(granted) == total) is exact, never a float epsilon.
+ *
+ * Determinism: beat schedules advance by period + jitter, with the
+ * jitter drawn from a per-server Rng::split stream keyed by the
+ * server index. The schedule keeps ticking while a server is crashed
+ * (the beats are *missed*, not unscheduled), so the stream's
+ * consumption count — and therefore every later jitter — depends
+ * only on elapsed logical time, never on fault history.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace poco::ctrl
+{
+
+/** Cadence and ladder thresholds. */
+struct HeartbeatConfig
+{
+    /** Nominal beat period in logical ticks. */
+    SimTime periodTicks = kSecond;
+    /** Uniform per-beat jitter in [0, jitterTicks]. */
+    SimTime jitterTicks = kSecond / 10;
+    /** Consecutive misses before Alive demotes to Suspect. */
+    int suspectMisses = 2;
+    /** Consecutive misses before Suspect demotes to Dead. */
+    int deadMisses = 4;
+    /** Seed for the per-server jitter streams. */
+    std::uint64_t seed = 0;
+};
+
+/** The liveness ladder. */
+enum class ServerHealth
+{
+    Alive,
+    Suspect,
+    Dead,
+};
+
+const char* serverHealthName(ServerHealth health);
+
+/** Monotonic tracker counters. */
+struct HeartbeatStats
+{
+    std::uint64_t beats = 0;       ///< delivered heartbeats
+    std::uint64_t misses = 0;      ///< missed heartbeats
+    std::uint64_t suspected = 0;   ///< Alive -> Suspect transitions
+    std::uint64_t deaths = 0;      ///< -> Dead transitions
+    std::uint64_t registrations = 0; ///< initial + re-registrations
+};
+
+/**
+ * Liveness + budget ledger for one cluster's servers. Logical-time
+ * only; drive it forward with advanceTo() before reading state.
+ * Not thread-safe; the control plane owns one.
+ */
+class HeartbeatTracker
+{
+  public:
+    /**
+     * All servers start registered (Alive, granted) with their first
+     * beat scheduled one jittered period in.
+     * @param perServerGrant power grant issued to each live server.
+     */
+    HeartbeatTracker(std::size_t servers,
+                     const HeartbeatConfig& config,
+                     Watts perServerGrant);
+
+    std::size_t servers() const { return servers_.size(); }
+
+    /**
+     * Deliver / miss every beat scheduled at ticks <= @p now.
+     * Servers are independent (separate jitter streams, commutative
+     * integer budget moves), so they are processed one at a time in
+     * index order. Monotonic: @p now must not go backwards.
+     */
+    void advanceTo(SimTime now);
+
+    /** Server stops beating (beats scheduled from now on are missed). */
+    void crash(std::size_t server);
+
+    /** Server resumes beating at its next scheduled beat. */
+    void recover(std::size_t server);
+
+    ServerHealth health(std::size_t server) const;
+
+    /** Dead servers are out of the placement matrix; Suspect ones
+     *  stay in (the ladder gives them deadMisses beats of grace). */
+    bool placeable(std::size_t server) const
+    {
+        return health(server) != ServerHealth::Dead;
+    }
+
+    /** Indices with health != Dead, ascending. */
+    std::vector<std::size_t> placeableServers() const;
+
+    /** Undistributed budget (grants of dead servers). */
+    Watts pool() const;
+
+    /** Current grant of @p server (zero while dead). */
+    Watts granted(std::size_t server) const;
+
+    /** Exact ledger invariant: pool + sum(grants) == total issued. */
+    bool conservesBudget() const;
+
+    const HeartbeatStats& stats() const { return stats_; }
+
+    /** FNV-1a over health, grants, and counters (replay identity). */
+    std::uint64_t fingerprint() const;
+
+  private:
+    struct ServerState
+    {
+        SimTime next_beat = 0;
+        int misses = 0;
+        bool crashed = false;
+        bool granted = false;
+        ServerHealth health = ServerHealth::Alive;
+        Rng jitter; // per-server split stream
+    };
+
+    SimTime jitter(ServerState& s);
+
+    HeartbeatConfig config_;
+    std::vector<ServerState> servers_;
+    SimTime now_ = 0;
+    std::int64_t grant_mw_ = 0; // per-server grant, milliwatts
+    std::int64_t pool_mw_ = 0;
+    std::int64_t total_mw_ = 0;
+    HeartbeatStats stats_;
+};
+
+} // namespace poco::ctrl

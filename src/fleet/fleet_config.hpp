@@ -12,8 +12,8 @@
  * FleetConfig subsumes all of them: one value type, builder-style
  * `withX()` setters validated by POCO_CHECK at the call site, and a
  * `validated()` gate the evaluators run before using it. The old
- * structs survive one PR as deprecated shims in
- * cluster/deprecated_config.hpp.
+ * structs survived one PR as deprecated shims and are now gone; the
+ * poco_lint `deprecated-config` rule flags any reappearance.
  *
  * The struct lives in namespace poco (not poco::fleet) because every
  * layer consumes it: ClusterEvaluator takes it directly, and
@@ -139,6 +139,26 @@ struct FleetConfig
     /** Fold telemetry rollups off-thread (double-buffered epochs). */
     bool asyncTelemetry = true;
 
+    // ----- streaming control plane (fleet::runStreaming) ---------
+    //
+    // Plain-typed knobs (no ctrl:: includes) that the fleet layer
+    // assembles into a ctrl::ControlPlaneConfig; the epoch loop
+    // above and the event loop below are alternative drivers over
+    // the same fitted models.
+
+    /** Nominal heartbeat period in logical ticks. */
+    SimTime heartbeatPeriod = kSecond;
+    /** Uniform per-beat jitter in [0, heartbeatJitter] ticks. */
+    SimTime heartbeatJitter = kSecond / 10;
+    /** Consecutive misses before Alive demotes to Suspect. */
+    int heartbeatSuspectMisses = 2;
+    /** Consecutive misses before Suspect demotes to Dead. */
+    int heartbeatDeadMisses = 4;
+    /** LC load fraction every server starts the event loop at. */
+    double streamingInitialLoad = 0.5;
+    /** Bench baseline: cold placeWithFallback on every event. */
+    bool streamingForceCold = false;
+
     // ----- builder setters ---------------------------------------
 
     FleetConfig& withLoadPoints(std::vector<double> points)
@@ -240,6 +260,30 @@ struct FleetConfig
         asyncTelemetry = value;
         return *this;
     }
+    FleetConfig& withHeartbeat(SimTime period, SimTime jitter,
+                               int suspect_misses, int dead_misses)
+    {
+        POCO_CHECK(period > 0, "heartbeatPeriod must be positive");
+        POCO_CHECK(jitter >= 0,
+                   "heartbeatJitter must be non-negative");
+        POCO_CHECK(suspect_misses >= 1,
+                   "heartbeatSuspectMisses must be at least 1");
+        POCO_CHECK(dead_misses >= suspect_misses,
+                   "heartbeatDeadMisses must be >= suspectMisses");
+        heartbeatPeriod = period;
+        heartbeatJitter = jitter;
+        heartbeatSuspectMisses = suspect_misses;
+        heartbeatDeadMisses = dead_misses;
+        return *this;
+    }
+    FleetConfig& withStreaming(double initial_load, bool force_cold)
+    {
+        POCO_CHECK(initial_load > 0.0 && initial_load <= 1.0,
+                   "streamingInitialLoad must be in (0, 1]");
+        streamingInitialLoad = initial_load;
+        streamingForceCold = force_cold;
+        return *this;
+    }
 
     /**
      * Validate every field (the setters validate incrementally; this
@@ -274,6 +318,17 @@ struct FleetConfig
                        "epoch loads must be in (0, 1]");
         POCO_CHECK(fleetBudget >= Watts{},
                    "fleetBudget must be non-negative");
+        POCO_CHECK(heartbeatPeriod > 0,
+                   "heartbeatPeriod must be positive");
+        POCO_CHECK(heartbeatJitter >= 0,
+                   "heartbeatJitter must be non-negative");
+        POCO_CHECK(heartbeatSuspectMisses >= 1,
+                   "heartbeatSuspectMisses must be at least 1");
+        POCO_CHECK(heartbeatDeadMisses >= heartbeatSuspectMisses,
+                   "heartbeatDeadMisses must be >= suspectMisses");
+        POCO_CHECK(streamingInitialLoad > 0.0 &&
+                       streamingInitialLoad <= 1.0,
+                   "streamingInitialLoad must be in (0, 1]");
         return *this;
     }
 };

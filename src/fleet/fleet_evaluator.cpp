@@ -270,6 +270,100 @@ FleetEvaluator::runClusterEpoch(
     return out;
 }
 
+Outcome<ctrl::CtrlRollup>
+FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
+{
+    // Flatten the fleet into one control-plane cluster: BE rows are
+    // every cluster's fitted candidates in canonical (cluster,
+    // candidate) order, server columns the fleet servers in global
+    // index order. Cross-platform cells pair a candidate's fitted
+    // utility with the host server's platform model and spec.
+    struct BeEntry
+    {
+        std::size_t cluster;
+        std::size_t index;
+    };
+    std::vector<BeEntry> be_table;
+    for (std::size_t c = 0; c < clusters_.size(); ++c)
+        for (std::size_t b = 0;
+             b < evaluators_[c]->beModels().size(); ++b)
+            be_table.push_back({c, b});
+    POCO_REQUIRE(!be_table.empty(),
+                 "streaming needs at least one BE candidate");
+
+    struct ServerEntry
+    {
+        std::size_t cluster;
+        std::size_t lc;
+    };
+    std::vector<ServerEntry> server_table(servers_.size());
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        const FleetCluster& home = clusters_[c];
+        for (std::size_t k = 0; k < home.members.size(); ++k)
+            server_table[home.members[k]] = {c, home.lcIndices[k]};
+    }
+
+    const double headroom = config_.server.controller.headroom;
+    ctrl::CellModel cells =
+        [this, be_table, server_table, headroom](
+            std::size_t be, std::size_t server, double load) {
+            const BeEntry& cand = be_table[be];
+            const ServerEntry& host = server_table[server];
+            return cluster::estimateCellAtLoad(
+                evaluators_[cand.cluster]->beModels()[cand.index],
+                evaluators_[host.cluster]->lcModels()[host.lc],
+                clusters_[host.cluster].apps->spec, load, headroom);
+        };
+
+    ctrl::ControlPlaneConfig cfg;
+    cfg.servers = servers_.size();
+    cfg.bePool = be_table.size();
+    cfg.initialBe = be_table.size();
+    cfg.initialLoad = config_.streamingInitialLoad;
+    // Per-server grant: the fleet's provisioned budget split evenly
+    // in integer milliwatts (same exact arithmetic as run()).
+    long long provisioned_mw = 0;
+    for (const FleetCluster& home : clusters_)
+        provisioned_mw += toMilliwatts(home.provisioned);
+    cfg.perServerBudget = fromMilliwatts(
+        provisioned_mw / static_cast<long long>(servers_.size()));
+    cfg.heartbeat.periodTicks = config_.heartbeatPeriod;
+    cfg.heartbeat.jitterTicks = config_.heartbeatJitter;
+    cfg.heartbeat.suspectMisses = config_.heartbeatSuspectMisses;
+    cfg.heartbeat.deadMisses = config_.heartbeatDeadMisses;
+    cfg.heartbeat.seed = config_.seed;
+    cfg.forceCold = config_.streamingForceCold;
+
+    cluster::SolverContext ctx;
+    ctx.pool = pool_;
+    ctx.cache = nullptr; // each replay builds its own memo
+    ctx.pivotCutoff = config_.solverPivotCutoff;
+    ctx.pricingGrain = config_.solverPricingGrain;
+
+    ctrl::ControlPlane plane(std::move(cells), cfg, ctx);
+
+    // Telemetry slots are indexed by global server index here (the
+    // control plane's column space), unlike run()'s cluster-major
+    // slot_base_ layout.
+    std::vector<std::size_t> cluster_of(servers_.size());
+    for (std::size_t s = 0; s < servers_.size(); ++s)
+        cluster_of[s] = server_table[s].cluster;
+    sim::TelemetryAggregator aggregator(std::move(cluster_of),
+                                        clusters_.size(), pool_,
+                                        config_.asyncTelemetry);
+    plane.attachTelemetry(&aggregator);
+
+    Outcome<ctrl::CtrlRollup> outcome = plane.replay(log);
+
+    // The replay sealed exactly one epoch; fold it so the delta
+    // pushes exercise the same rollup machinery as run(). The fold
+    // never feeds the fingerprint (it is telemetry-only).
+    const auto folded = aggregator.drain();
+    POCO_ASSERT(folded.size() == 1,
+                "streaming replay seals exactly one epoch");
+    return outcome;
+}
+
 Outcome<FleetRollup>
 FleetEvaluator::run() const
 {

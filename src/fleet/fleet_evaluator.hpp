@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "cluster/cluster_evaluator.hpp"
+#include "ctrl/control_plane.hpp"
 #include "fleet/fleet_config.hpp"
 #include "sim/telemetry_rollup.hpp"
 #include "util/outcome.hpp"
@@ -185,6 +186,24 @@ class FleetEvaluator
      *         redistribution floor bound).
      */
     Outcome<FleetRollup> run() const;
+
+    /**
+     * Event-driven alternative to run(): treat the whole fleet as
+     * one streaming control-plane cluster. BE rows are every
+     * cluster's fitted candidates in canonical (cluster, candidate)
+     * order; server columns are the fleet servers in global index
+     * order; each cell is estimateCellAtLoad() of the candidate's
+     * fitted model against the host server's platform. The heartbeat
+     * ladder and incremental-solve knobs come from FleetConfig
+     * (withHeartbeat / withStreaming); telemetry deltas flow through
+     * the same TelemetryAggregator machinery run() uses.
+     *
+     * Deterministic: the rollup fingerprint is a pure function of
+     * (fleet, config.seed, log) — identical across thread counts and
+     * repeated calls.
+     */
+    Outcome<ctrl::CtrlRollup>
+    runStreaming(const ctrl::EventLog& log) const;
 
   private:
     ClusterEpochOutcome

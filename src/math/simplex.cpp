@@ -19,6 +19,248 @@ constexpr double kEps = 1e-9;
  *  artificial (redundant constraint) must never rise above zero. */
 constexpr double kArtificialPenalty = -1e15;
 
+/**
+ * A canonicalized LP: the zero-initialized tableau with slack /
+ * surplus / artificial columns laid out and the starting basis
+ * installed. Shared by solveLp and AssignmentLpSolver so a retained
+ * warm-start tableau is structurally identical to a cold one.
+ */
+struct Canonical
+{
+    SimplexTableau t;
+    std::size_t n = 0;         // real (structural) variables
+    std::size_t art_begin = 0; // first artificial column
+    std::size_t num_art = 0;
+};
+
+Canonical
+canonicalize(const LpProblem& problem)
+{
+    const std::size_t n = problem.objective.size();
+    POCO_REQUIRE(n > 0, "LP needs at least one variable");
+    for (const auto& con : problem.constraints)
+        POCO_REQUIRE(con.coeffs.size() == n,
+                     "constraint arity must match objective");
+
+    const std::size_t m = problem.constraints.size();
+
+    // Count auxiliary columns. Each <= / >= gets one slack/surplus;
+    // each >= and = gets one artificial; a <= with negative rhs is
+    // flipped to >= first.
+    struct Row
+    {
+        std::vector<double> coeffs;
+        Relation rel;
+        double rhs;
+    };
+    std::vector<Row> rows;
+    rows.reserve(m);
+    for (const auto& con : problem.constraints) {
+        Row row{con.coeffs, con.rel, con.rhs};
+        if (row.rhs < 0.0) {
+            for (auto& c : row.coeffs)
+                c = -c;
+            row.rhs = -row.rhs;
+            if (row.rel == Relation::LessEqual)
+                row.rel = Relation::GreaterEqual;
+            else if (row.rel == Relation::GreaterEqual)
+                row.rel = Relation::LessEqual;
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::size_t num_slack = 0;
+    std::size_t num_art = 0;
+    for (const auto& row : rows) {
+        if (row.rel != Relation::Equal)
+            ++num_slack;
+        if (row.rel != Relation::LessEqual)
+            ++num_art;
+    }
+
+    Canonical c{SimplexTableau(m, n + num_slack + num_art), n,
+                n + num_slack, num_art};
+    SimplexTableau& t = c.t;
+
+    std::size_t slack_at = n;
+    std::size_t art_at = c.art_begin;
+
+    for (std::size_t r = 0; r < m; ++r) {
+        const Row& row = rows[r];
+        double* dst = t.row(r);
+        for (std::size_t j = 0; j < n; ++j)
+            dst[j] = row.coeffs[j];
+        t.rhs(r) = row.rhs;
+        switch (row.rel) {
+          case Relation::LessEqual:
+            dst[slack_at] = 1.0;
+            t.basis()[r] = slack_at++;
+            break;
+          case Relation::GreaterEqual:
+            dst[slack_at] = -1.0;
+            ++slack_at;
+            dst[art_at] = 1.0;
+            t.basis()[r] = art_at++;
+            break;
+          case Relation::Equal:
+            dst[art_at] = 1.0;
+            t.basis()[r] = art_at++;
+            break;
+        }
+    }
+    return c;
+}
+
+/**
+ * Spread a structural objective over the full column set: artificials
+ * get the large negative penalty so a degenerate basic artificial
+ * never re-enters at a positive level.
+ */
+std::vector<double>
+phase2Costs(const Canonical& c, const std::vector<double>& objective)
+{
+    const std::size_t ncols = c.t.cols();
+    std::vector<double> cost(ncols, 0.0);
+    for (std::size_t j = 0; j < c.n; ++j)
+        cost[j] = objective[j];
+    for (std::size_t j = c.art_begin; j < ncols; ++j)
+        cost[j] = kArtificialPenalty;
+    return cost;
+}
+
+/**
+ * Two-phase simplex over a freshly canonicalized tableau: phase 1
+ * drives the artificials to zero (infeasible when it cannot), then
+ * phase 2 optimizes @p objective (one entry per structural variable).
+ */
+LpStatus
+runTwoPhase(Canonical& c, const std::vector<double>& objective,
+            const LpOptions& options, std::size_t* pivots)
+{
+    SimplexTableau& t = c.t;
+    const std::size_t m = t.constraintRows();
+    const std::size_t ncols = t.cols();
+
+    // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
+    if (c.num_art > 0) {
+        std::vector<double> phase1(ncols, 0.0);
+        for (std::size_t j = c.art_begin; j < ncols; ++j)
+            phase1[j] = -1.0;
+        t.setObjective(phase1, options);
+        if (!t.iterate(options, pivots)) {
+            // Cannot be unbounded: the phase-1 objective is bounded
+            // above by zero.
+            poco::panic("phase-1 simplex reported unbounded");
+        }
+        if (t.objective() < -1e-7)
+            return LpStatus::Infeasible;
+        // Drive any artificial still basic (at zero level) out of the
+        // basis so phase 2 never re-enters it.
+        for (std::size_t r = 0; r < m; ++r) {
+            if (t.basis()[r] >= c.art_begin) {
+                std::size_t enter = ncols;
+                for (std::size_t j = 0; j < c.art_begin; ++j) {
+                    if (std::abs(t.at(r, j)) > kEps) {
+                        enter = j;
+                        break;
+                    }
+                }
+                if (enter != ncols) {
+                    t.pivot(r, enter, options);
+                    if (pivots != nullptr)
+                        ++*pivots;
+                }
+                // else: the row is all-zero over real variables, i.e. a
+                // redundant constraint; the artificial stays basic at 0
+                // and is harmless because phase 2 gives it a huge
+                // negative cost.
+            }
+        }
+    }
+
+    // Phase 2: the real objective.
+    t.setObjective(phase2Costs(c, objective), options);
+    if (!t.iterate(options, pivots))
+        return LpStatus::Unbounded;
+    return LpStatus::Optimal;
+}
+
+/** Structural-variable values of the current basic solution. */
+std::vector<double>
+extractX(const SimplexTableau& t, std::size_t n)
+{
+    std::vector<double> x(n, 0.0);
+    for (std::size_t r = 0; r < t.constraintRows(); ++r)
+        if (t.basis()[r] < n)
+            x[t.basis()[r]] = t.rhs(r);
+    return x;
+}
+
+/**
+ * The doubly-stochastic assignment formulation: x_ij with per-agent
+ * Equal-1 rows followed by per-task <=1 rows, objective flattened
+ * row-major. Validates the matrix shape.
+ */
+LpProblem
+buildAssignmentProblem(const std::vector<std::vector<double>>& value)
+{
+    const std::size_t rows = value.size();
+    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
+    const std::size_t cols = value.front().size();
+    for (const auto& row : value)
+        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+    POCO_REQUIRE(rows <= cols,
+                 "assignment LP requires agents <= tasks");
+
+    const std::size_t n = rows * cols;
+    LpProblem lp;
+    lp.objective.resize(n);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            lp.objective[i * cols + j] = value[i][j];
+
+    // Each agent assigned exactly once.
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::vector<double> coeffs(n, 0.0);
+        for (std::size_t j = 0; j < cols; ++j)
+            coeffs[i * cols + j] = 1.0;
+        lp.addConstraint(std::move(coeffs), Relation::Equal, 1.0);
+    }
+    // Each task used at most once.
+    for (std::size_t j = 0; j < cols; ++j) {
+        std::vector<double> coeffs(n, 0.0);
+        for (std::size_t i = 0; i < rows; ++i)
+            coeffs[i * cols + j] = 1.0;
+        lp.addConstraint(std::move(coeffs), Relation::LessEqual, 1.0);
+    }
+    return lp;
+}
+
+/**
+ * Per-row argmax of the flattened LP solution, or nullopt when any
+ * row's best cell is fractional (a degenerate-tie vertex that is not
+ * a permutation matrix).
+ */
+std::optional<std::vector<int>>
+tryExtractAssignment(const std::vector<double>& x, std::size_t rows,
+                     std::size_t cols)
+{
+    std::vector<int> assignment(rows, -1);
+    for (std::size_t i = 0; i < rows; ++i) {
+        double best = -1.0;
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double xij = x[i * cols + j];
+            if (xij > best) {
+                best = xij;
+                assignment[i] = static_cast<int>(j);
+            }
+        }
+        if (best <= 0.5)
+            return std::nullopt;
+    }
+    return assignment;
+}
+
 } // namespace
 
 SimplexTableau::SimplexTableau(std::size_t m, std::size_t ncols)
@@ -163,7 +405,7 @@ SimplexTableau::pivot(std::size_t prow, std::size_t pcol,
 }
 
 bool
-SimplexTableau::iterate(const LpOptions& options)
+SimplexTableau::iterate(const LpOptions& options, std::size_t* pivots)
 {
     // Dantzig pricing can cycle on degenerate vertices; after this
     // many consecutive zero-progress pivots, switch to Bland's rule
@@ -187,144 +429,25 @@ SimplexTableau::iterate(const LpOptions& options)
             degenerate = 0;
         }
         pivot(leave, enter, options);
+        if (pivots != nullptr)
+            ++*pivots;
     }
 }
 
 LpSolution
 solveLp(const LpProblem& problem, const LpOptions& options)
 {
-    const std::size_t n = problem.objective.size();
-    POCO_REQUIRE(n > 0, "LP needs at least one variable");
-    for (const auto& con : problem.constraints)
-        POCO_REQUIRE(con.coeffs.size() == n,
-                     "constraint arity must match objective");
-
-    const std::size_t m = problem.constraints.size();
-
-    // Count auxiliary columns. Each <= / >= gets one slack/surplus;
-    // each >= and = gets one artificial; a <= with negative rhs is
-    // flipped to >= first.
-    struct Row
-    {
-        std::vector<double> coeffs;
-        Relation rel;
-        double rhs;
-    };
-    std::vector<Row> rows;
-    rows.reserve(m);
-    for (const auto& con : problem.constraints) {
-        Row row{con.coeffs, con.rel, con.rhs};
-        if (row.rhs < 0.0) {
-            for (auto& c : row.coeffs)
-                c = -c;
-            row.rhs = -row.rhs;
-            if (row.rel == Relation::LessEqual)
-                row.rel = Relation::GreaterEqual;
-            else if (row.rel == Relation::GreaterEqual)
-                row.rel = Relation::LessEqual;
-        }
-        rows.push_back(std::move(row));
-    }
-
-    std::size_t num_slack = 0;
-    std::size_t num_art = 0;
-    for (const auto& row : rows) {
-        if (row.rel != Relation::Equal)
-            ++num_slack;
-        if (row.rel != Relation::LessEqual)
-            ++num_art;
-    }
-
-    SimplexTableau t(m, n + num_slack + num_art);
-    const std::size_t ncols = t.cols();
-
-    std::size_t slack_at = n;
-    std::size_t art_at = n + num_slack;
-    const std::size_t art_begin = art_at;
-
-    for (std::size_t r = 0; r < m; ++r) {
-        const Row& row = rows[r];
-        double* dst = t.row(r);
-        for (std::size_t j = 0; j < n; ++j)
-            dst[j] = row.coeffs[j];
-        t.rhs(r) = row.rhs;
-        switch (row.rel) {
-          case Relation::LessEqual:
-            dst[slack_at] = 1.0;
-            t.basis()[r] = slack_at++;
-            break;
-          case Relation::GreaterEqual:
-            dst[slack_at] = -1.0;
-            ++slack_at;
-            dst[art_at] = 1.0;
-            t.basis()[r] = art_at++;
-            break;
-          case Relation::Equal:
-            dst[art_at] = 1.0;
-            t.basis()[r] = art_at++;
-            break;
-        }
-    }
+    Canonical c = canonicalize(problem);
 
     LpSolution solution;
-
-    // Phase 1: maximize -(sum of artificials); feasible iff optimum 0.
-    if (num_art > 0) {
-        std::vector<double> phase1(ncols, 0.0);
-        for (std::size_t j = art_begin; j < ncols; ++j)
-            phase1[j] = -1.0;
-        t.setObjective(phase1, options);
-        if (!t.iterate(options)) {
-            // Cannot be unbounded: the phase-1 objective is bounded
-            // above by zero.
-            poco::panic("phase-1 simplex reported unbounded");
-        }
-        if (t.objective() < -1e-7) {
-            solution.status = LpStatus::Infeasible;
-            return solution;
-        }
-        // Drive any artificial still basic (at zero level) out of the
-        // basis so phase 2 never re-enters it.
-        for (std::size_t r = 0; r < m; ++r) {
-            if (t.basis()[r] >= art_begin) {
-                std::size_t enter = ncols;
-                for (std::size_t j = 0; j < art_begin; ++j) {
-                    if (std::abs(t.at(r, j)) > kEps) {
-                        enter = j;
-                        break;
-                    }
-                }
-                if (enter != ncols)
-                    t.pivot(r, enter, options);
-                // else: the row is all-zero over real variables, i.e. a
-                // redundant constraint; the artificial stays basic at 0
-                // and is harmless because phase 2 gives it a huge
-                // negative cost below.
-            }
-        }
-    }
-
-    // Phase 2: the real objective. Artificials are priced at a large
-    // negative value so a degenerate basic artificial never rises.
-    std::vector<double> phase2(ncols, 0.0);
-    for (std::size_t j = 0; j < n; ++j)
-        phase2[j] = problem.objective[j];
-    for (std::size_t j = art_begin; j < ncols; ++j)
-        phase2[j] = kArtificialPenalty;
-    t.setObjective(phase2, options);
-
-    if (!t.iterate(options)) {
-        solution.status = LpStatus::Unbounded;
+    solution.status =
+        runTwoPhase(c, problem.objective, options, nullptr);
+    if (solution.status != LpStatus::Optimal)
         return solution;
-    }
 
-    solution.status = LpStatus::Optimal;
-    solution.x.assign(n, 0.0);
-    for (std::size_t r = 0; r < m; ++r)
-        if (t.basis()[r] < n)
-            solution.x[t.basis()[r]] = t.rhs(r);
+    solution.x = extractX(c.t, c.n);
     solution.objective = 0.0;
-    for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t j = 0; j < c.n; ++j)
         solution.objective += problem.objective[j] * solution.x[j];
     return solution;
 }
@@ -336,51 +459,109 @@ solveAssignmentLp(const std::vector<std::vector<double>>& value,
     const std::size_t rows = value.size();
     POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
     const std::size_t cols = value.front().size();
-    for (const auto& row : value)
-        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
-    POCO_REQUIRE(rows <= cols,
-                 "assignment LP requires agents <= tasks");
 
-    const std::size_t n = rows * cols;
-    LpProblem lp;
-    lp.objective.resize(n);
-    for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j)
-            lp.objective[i * cols + j] = value[i][j];
-
-    // Each agent assigned exactly once.
-    for (std::size_t i = 0; i < rows; ++i) {
-        std::vector<double> coeffs(n, 0.0);
-        for (std::size_t j = 0; j < cols; ++j)
-            coeffs[i * cols + j] = 1.0;
-        lp.addConstraint(std::move(coeffs), Relation::Equal, 1.0);
-    }
-    // Each task used at most once.
-    for (std::size_t j = 0; j < cols; ++j) {
-        std::vector<double> coeffs(n, 0.0);
-        for (std::size_t i = 0; i < rows; ++i)
-            coeffs[i * cols + j] = 1.0;
-        lp.addConstraint(std::move(coeffs), Relation::LessEqual, 1.0);
-    }
-
+    const LpProblem lp = buildAssignmentProblem(value);
     const LpSolution sol = solveLp(lp, options);
     POCO_ASSERT(sol.status == LpStatus::Optimal,
                 "assignment LP must be feasible and bounded");
 
-    std::vector<int> assignment(rows, -1);
-    for (std::size_t i = 0; i < rows; ++i) {
-        double best = -1.0;
-        for (std::size_t j = 0; j < cols; ++j) {
-            const double xij = sol.x[i * cols + j];
-            if (xij > best) {
-                best = xij;
-                assignment[i] = static_cast<int>(j);
-            }
-        }
-        POCO_ASSERT(best > 0.5,
-                    "assignment LP produced a fractional solution");
+    auto assignment = tryExtractAssignment(sol.x, rows, cols);
+    POCO_ASSERT(assignment.has_value(),
+                "assignment LP produced a fractional solution");
+    return *assignment;
+}
+
+std::vector<int>
+AssignmentLpSolver::solveCold(
+    const std::vector<std::vector<double>>& value)
+{
+    const std::size_t rows = value.size();
+    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
+    const std::size_t cols = value.front().size();
+
+    const LpProblem lp = buildAssignmentProblem(value);
+    Canonical c = canonicalize(lp);
+
+    last_pivots_ = 0;
+    const LpStatus status =
+        runTwoPhase(c, lp.objective, options_, &last_pivots_);
+    POCO_ASSERT(status == LpStatus::Optimal,
+                "assignment LP must be feasible and bounded");
+
+    auto assignment =
+        tryExtractAssignment(extractX(c.t, c.n), rows, cols);
+    POCO_ASSERT(assignment.has_value(),
+                "assignment LP produced a fractional solution");
+
+    tableau_ = std::move(c.t);
+    rows_ = rows;
+    cols_ = cols;
+    art_begin_ = c.art_begin;
+    has_basis_ = true;
+    exported_basis_ = tableau_.basis();
+    return *assignment;
+}
+
+std::optional<std::vector<int>>
+AssignmentLpSolver::solveWarm(
+    const std::vector<std::vector<double>>& value)
+{
+    const std::size_t rows = value.size();
+    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
+    const std::size_t cols = value.front().size();
+    for (const auto& row : value)
+        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+
+    if (!hasBasis(rows, cols)) {
+        invalidate();
+        return std::nullopt;
     }
+
+    // The constraint rows (and therefore B^-1 b >= 0) are untouched:
+    // the retained basis stays primal feasible for any objective of
+    // the same shape. Re-price and walk to the new optimum.
+    const std::size_t ncols = tableau_.cols();
+    std::vector<double> cost(ncols, 0.0);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            cost[i * cols + j] = value[i][j];
+    for (std::size_t j = art_begin_; j < ncols; ++j)
+        cost[j] = kArtificialPenalty;
+    tableau_.setObjective(cost, options_);
+
+    last_pivots_ = 0;
+    if (!tableau_.iterate(options_, &last_pivots_)) {
+        // The assignment polytope is bounded; an unbounded report
+        // means the retained tableau is corrupt. Drop it.
+        invalidate();
+        return std::nullopt;
+    }
+
+    auto assignment = tryExtractAssignment(
+        extractX(tableau_, rows * cols), rows, cols);
+    if (!assignment.has_value()) {
+        invalidate();
+        return std::nullopt;
+    }
+    exported_basis_ = tableau_.basis();
     return assignment;
+}
+
+std::uint64_t
+AssignmentLpSolver::basisFingerprint() const
+{
+    if (!has_basis_)
+        return 0;
+    std::uint64_t h = 1469598103934665603ull;
+    for (const std::size_t var : exported_basis_) {
+        std::uint64_t word = static_cast<std::uint64_t>(var);
+        for (int byte = 0; byte < 8; ++byte) {
+            h ^= word & 0xffu;
+            h *= 1099511628211ull;
+            word >>= 8;
+        }
+    }
+    return h;
 }
 
 } // namespace poco::math

@@ -37,6 +37,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 namespace poco::runtime
@@ -199,9 +201,12 @@ class SimplexTableau
      * pricing with a Bland's-rule fallback after a long run of
      * degenerate pivots (anti-cycling).
      *
+     * @param pivots When non-null, incremented once per pivot — the
+     *        warm-start benches count how much work a hot basis saves.
      * @return true when an optimum was reached, false when unbounded.
      */
-    bool iterate(const LpOptions& options = {});
+    bool iterate(const LpOptions& options = {},
+                 std::size_t* pivots = nullptr);
 
   private:
     std::size_t m_ = 0;      // constraint rows
@@ -238,5 +243,87 @@ LpSolution solveLp(const LpProblem& problem,
 std::vector<int>
 solveAssignmentLp(const std::vector<std::vector<double>>& value,
                   const LpOptions& options = {});
+
+/**
+ * Warm-startable assignment-LP solver (the control plane's hot path).
+ *
+ * The doubly-stochastic assignment polytope has a fixed constraint
+ * structure for a given (rows, cols) shape: only the objective row
+ * depends on the value matrix. The flat tableau after an optimal
+ * solve therefore remains a valid feasible basis for *any* objective
+ * of the same shape — a perturbed matrix needs only a re-priced
+ * reduced-cost row and however few pivots separate the old vertex
+ * from the new optimum, not a cold two-phase solve.
+ *
+ * solveCold() runs the exact code path of solveAssignmentLp() (same
+ * canonicalization, same pivot sequence — bit-identical assignments)
+ * and retains the final tableau; solveWarm() re-prices and iterates
+ * from the retained basis. Warm solves are field-exact equals of cold
+ * solves whenever the optimum is unique; the degenerate-tie case is
+ * caught by the integrality check and reported as a miss so the
+ * caller can fall back to a cold solve.
+ */
+class AssignmentLpSolver
+{
+  public:
+    explicit AssignmentLpSolver(LpOptions options = {})
+        : options_(options)
+    {}
+
+    /**
+     * Two-phase solve from scratch; retains the optimal basis for
+     * subsequent warm solves. Bit-identical to solveAssignmentLp().
+     */
+    std::vector<int>
+    solveCold(const std::vector<std::vector<double>>& value);
+
+    /**
+     * Re-solve after the value matrix changed but the shape did not:
+     * re-price the new objective over the retained basis and iterate.
+     * @return The assignment, or nullopt (with the basis invalidated)
+     *         when no compatible basis is held or the warm pivot path
+     *         ends on a fractional vertex — the caller must fall back
+     *         to solveCold().
+     */
+    std::optional<std::vector<int>>
+    solveWarm(const std::vector<std::vector<double>>& value);
+
+    /** True when a basis for a (rows, cols) instance is retained. */
+    bool hasBasis(std::size_t rows, std::size_t cols) const
+    {
+        return has_basis_ && rows == rows_ && cols == cols_;
+    }
+
+    /** Drop the retained basis (next solve must be cold). */
+    void invalidate() { has_basis_ = false; }
+
+    /**
+     * The retained basis: basic-variable index per constraint row.
+     * Exported so replay checkpoints and the determinism tests can
+     * compare solver states across runs. Empty when !hasBasis().
+     */
+    const std::vector<std::size_t>& basis() const
+    {
+        return exported_basis_;
+    }
+
+    /** FNV-1a over the retained basis (0 when none is held). */
+    std::uint64_t basisFingerprint() const;
+
+    /** Pivots the most recent solve spent (cold or warm). */
+    std::size_t lastPivots() const { return last_pivots_; }
+
+    const LpOptions& options() const { return options_; }
+
+  private:
+    LpOptions options_;
+    SimplexTableau tableau_;
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::size_t art_begin_ = 0;
+    bool has_basis_ = false;
+    std::vector<std::size_t> exported_basis_;
+    std::size_t last_pivots_ = 0;
+};
 
 } // namespace poco::math

@@ -107,6 +107,21 @@ TelemetryAggregator::add(std::size_t server,
 }
 
 void
+TelemetryAggregator::appendDelta(std::size_t server,
+                                 std::vector<TelemetrySample> samples,
+                                 Watts cap)
+{
+    POCO_REQUIRE(server < front_.size(),
+                 "telemetry server slot out of range");
+    if (!front_[server].samples.empty() && !samples.empty())
+        POCO_REQUIRE(front_[server].samples.back().when <=
+                         samples.front().when,
+                     "telemetry deltas must arrive in time order");
+    ++delta_pushes_;
+    add(server, std::move(samples), cap);
+}
+
+void
 TelemetryAggregator::sealEpoch(SimTime start, SimTime end)
 {
     // Move the filled buffers into a self-contained task: it owns

@@ -104,6 +104,22 @@ class TelemetryAggregator
              std::vector<TelemetrySample> samples, Watts cap);
 
     /**
+     * Streaming hook: append a heartbeat-cadence *delta* — a few
+     * samples pushed mid-epoch — to the server's front buffer. Same
+     * slot-exclusivity contract as add(), but semantically the
+     * writer calls it many times per epoch (the control plane pushes
+     * one delta per re-placement), and pushes are counted so the
+     * streaming tests can assert the cadence. Samples must arrive in
+     * non-decreasing time order across pushes (the fold assumes it).
+     */
+    void appendDelta(std::size_t server,
+                     std::vector<TelemetrySample> samples,
+                     Watts cap);
+
+    /** Total appendDelta() calls since construction (all slots). */
+    std::uint64_t deltaPushes() const { return delta_pushes_; }
+
+    /**
      * Seal the current epoch over [start, end): hand the filled
      * buffers to the fold (async: a Future on the pool; sync: run
      * here, which is the inline cost the async path avoids) and
@@ -139,6 +155,7 @@ class TelemetryAggregator
     std::size_t clusters_;
     runtime::ThreadPool* pool_;
     bool async_;
+    std::uint64_t delta_pushes_ = 0;
     std::vector<ServerBuffer> front_;
     /**
      * Sealed epochs in seal order. The fold tasks are self-contained

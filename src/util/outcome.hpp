@@ -28,6 +28,9 @@ namespace poco
 enum class SolverTier
 {
     None,         ///< nothing ran (empty/unsolved outcome)
+    Cached,       ///< exact hit in the assignment cache (no solve)
+    Repair,       ///< incremental Hungarian repair of a prior optimum
+    WarmLp,       ///< simplex warm-started from the retained basis
     Lp,           ///< LP assignment solve (primary path)
     Hungarian,    ///< exact combinatorial fallback
     Greedy,       ///< heuristic fallback (still preference-driven)
@@ -39,6 +42,9 @@ solverTierName(SolverTier tier)
 {
     switch (tier) {
       case SolverTier::None:         return "none";
+      case SolverTier::Cached:       return "cached";
+      case SolverTier::Repair:       return "repair";
+      case SolverTier::WarmLp:       return "warm-lp";
       case SolverTier::Lp:           return "lp";
       case SolverTier::Hungarian:    return "hungarian";
       case SolverTier::Greedy:       return "greedy";

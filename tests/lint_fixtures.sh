@@ -30,7 +30,8 @@ done
 
 for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
             bad_namespace.cpp bad_header.hpp bad_unordered.cpp \
-            bad_deprecated_config.cpp; do
+            bad_deprecated_config.cpp \
+            cluster/deprecated_config.hpp; do
     if ! grep -q "$file:[0-9]" "$out"; then
         echo "FAIL: no file:line diagnostic for $file"
         cat "$out"

@@ -1,0 +1,17 @@
+// Fixture: the shim header path that used to be exempt from the
+// deprecated-config rule. The shim itself is deleted; a file
+// re-appearing at this path must be flagged like any other.
+
+#pragma once
+
+namespace poco::cluster
+{
+
+struct EvaluatorConfig
+{
+    int threads = 0;
+};
+
+using SolverConfig = EvaluatorConfig;
+
+} // namespace poco::cluster

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * The heartbeat liveness state machine: the missed -> suspect ->
+ * dead -> re-register ladder must be deterministic under
+ * Rng::split-seeded jittered cadences, and the budget ledger must be
+ * exact — a flapping server never double-frees or double-takes its
+ * grant. Runs under tier-ctrl.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ctrl/heartbeat.hpp"
+#include "util/rng.hpp"
+
+namespace poco::ctrl
+{
+namespace
+{
+
+/** Jitter-free config: beats land exactly on period multiples. */
+HeartbeatConfig
+exactCadence()
+{
+    HeartbeatConfig config;
+    config.periodTicks = kSecond;
+    config.jitterTicks = 0;
+    config.suspectMisses = 2;
+    config.deadMisses = 4;
+    config.seed = 7;
+    return config;
+}
+
+TEST(CtrlHeartbeat, LadderWalksAliveSuspectDead)
+{
+    HeartbeatTracker tracker(1, exactCadence(), Watts{100.0});
+    EXPECT_EQ(tracker.health(0), ServerHealth::Alive);
+    EXPECT_EQ(tracker.granted(0), Watts{100.0});
+    EXPECT_EQ(tracker.pool(), Watts{});
+
+    tracker.crash(0);
+    tracker.advanceTo(1 * kSecond); // miss 1
+    EXPECT_EQ(tracker.health(0), ServerHealth::Alive);
+    tracker.advanceTo(2 * kSecond); // miss 2 -> Suspect
+    EXPECT_EQ(tracker.health(0), ServerHealth::Suspect);
+    EXPECT_TRUE(tracker.placeable(0)) << "suspect stays placeable";
+    tracker.advanceTo(3 * kSecond); // miss 3
+    EXPECT_EQ(tracker.health(0), ServerHealth::Suspect);
+    tracker.advanceTo(4 * kSecond); // miss 4 -> Dead
+    EXPECT_EQ(tracker.health(0), ServerHealth::Dead);
+    EXPECT_FALSE(tracker.placeable(0));
+    EXPECT_EQ(tracker.granted(0), Watts{});
+    EXPECT_EQ(tracker.pool(), Watts{100.0});
+    EXPECT_TRUE(tracker.conservesBudget());
+
+    // First delivered beat after the outage re-registers in one step.
+    tracker.recover(0);
+    tracker.advanceTo(5 * kSecond);
+    EXPECT_EQ(tracker.health(0), ServerHealth::Alive);
+    EXPECT_EQ(tracker.granted(0), Watts{100.0});
+    EXPECT_EQ(tracker.pool(), Watts{});
+    EXPECT_TRUE(tracker.conservesBudget());
+
+    const HeartbeatStats& stats = tracker.stats();
+    EXPECT_EQ(stats.misses, 4u);
+    EXPECT_EQ(stats.suspected, 1u);
+    EXPECT_EQ(stats.deaths, 1u);
+    EXPECT_EQ(stats.registrations, 2u); // initial + re-register
+}
+
+TEST(CtrlHeartbeat, HealthyServersJustBeat)
+{
+    HeartbeatTracker tracker(3, exactCadence(), Watts{50.0});
+    tracker.advanceTo(10 * kSecond);
+    for (std::size_t s = 0; s < 3; ++s)
+        EXPECT_EQ(tracker.health(s), ServerHealth::Alive);
+    EXPECT_EQ(tracker.stats().beats, 30u);
+    EXPECT_EQ(tracker.stats().misses, 0u);
+    EXPECT_EQ(tracker.placeableServers(),
+              (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_TRUE(tracker.conservesBudget());
+}
+
+TEST(CtrlHeartbeat, JitteredCadencesAreDeterministic)
+{
+    HeartbeatConfig config;
+    config.periodTicks = kSecond;
+    config.jitterTicks = kSecond / 4;
+    config.suspectMisses = 1;
+    config.deadMisses = 2;
+    config.seed = 42;
+
+    // The same seed must reproduce the whole run — fingerprints and
+    // counters — under an identical crash schedule.
+    auto drive = [&config]() {
+        HeartbeatTracker tracker(4, config, Watts{75.0});
+        tracker.crash(2);
+        tracker.advanceTo(3 * kSecond);
+        tracker.recover(2);
+        tracker.crash(0);
+        tracker.advanceTo(9 * kSecond);
+        tracker.recover(0);
+        tracker.advanceTo(15 * kSecond);
+        return tracker.fingerprint();
+    };
+    EXPECT_EQ(drive(), drive());
+
+    // A different seed moves the beat schedule (jitter streams are
+    // split from it), which the fingerprint must expose.
+    HeartbeatConfig other = config;
+    other.seed = 43;
+    HeartbeatTracker a(4, config, Watts{75.0});
+    HeartbeatTracker b(4, other, Watts{75.0});
+    a.advanceTo(15 * kSecond);
+    b.advanceTo(15 * kSecond);
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CtrlHeartbeat, JitterStreamsAreIndependentOfFaultHistory)
+{
+    // The beat schedule must tick on through an outage: the jitter
+    // stream's consumption is a pure function of elapsed time, so a
+    // crash/recover episode never shifts any *later* beat tick.
+    HeartbeatConfig config;
+    config.periodTicks = kSecond;
+    config.jitterTicks = kSecond / 3;
+    config.suspectMisses = 2;
+    config.deadMisses = 3;
+    config.seed = 11;
+
+    HeartbeatTracker clean(1, config, Watts{10.0});
+    HeartbeatTracker faulted(1, config, Watts{10.0});
+    faulted.crash(0);
+    faulted.advanceTo(20 * kSecond);
+    faulted.recover(0);
+    clean.advanceTo(20 * kSecond);
+
+    // Drain both far past the outage; by then the faulted tracker
+    // has re-registered and both are Alive with zero misses. Every
+    // counter that can agree must agree (the beat *ticks* were the
+    // same; only delivered-vs-missed differed during the outage).
+    clean.advanceTo(40 * kSecond);
+    faulted.advanceTo(40 * kSecond);
+    EXPECT_EQ(clean.health(0), ServerHealth::Alive);
+    EXPECT_EQ(faulted.health(0), ServerHealth::Alive);
+    EXPECT_EQ(clean.stats().misses, 0u);
+    EXPECT_EQ(clean.stats().beats,
+              faulted.stats().beats + faulted.stats().misses)
+        << "total scheduled beats must match tick for tick";
+}
+
+TEST(CtrlHeartbeat, FlappingBelowDeadThresholdMovesNoBudget)
+{
+    // Crash/recover cycles shorter than the dead threshold never
+    // touch the ledger: no deaths, no re-registrations, pool empty.
+    HeartbeatConfig config = exactCadence(); // dead at 4 misses
+    HeartbeatTracker tracker(2, config, Watts{60.0});
+    for (int cycle = 0; cycle < 8; ++cycle) {
+        tracker.crash(1);
+        tracker.advanceTo((cycle * 4 + 2) * kSecond); // 2 misses
+        tracker.recover(1);
+        tracker.advanceTo((cycle * 4 + 4) * kSecond); // beats again
+        EXPECT_TRUE(tracker.conservesBudget());
+        EXPECT_EQ(tracker.pool(), Watts{});
+        EXPECT_EQ(tracker.granted(1), Watts{60.0});
+    }
+    EXPECT_EQ(tracker.stats().deaths, 0u);
+    EXPECT_EQ(tracker.stats().registrations, 2u); // initial only
+}
+
+TEST(CtrlHeartbeat, FlappingThroughDeadNeverDoubleFreesBudget)
+{
+    // Full die/revive cycles: the grant is freed exactly once per
+    // death and re-issued exactly once per re-registration, so the
+    // ledger balances after every step of every cycle.
+    HeartbeatConfig config = exactCadence();
+    HeartbeatTracker tracker(3, config, Watts{40.0});
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        const SimTime base = cycle * 8 * kSecond;
+        tracker.crash(0);
+        tracker.advanceTo(base + 4 * kSecond); // 4 misses -> Dead
+        EXPECT_EQ(tracker.health(0), ServerHealth::Dead);
+        EXPECT_EQ(tracker.pool(), Watts{40.0});
+        EXPECT_TRUE(tracker.conservesBudget());
+        // Extra missed beats while already dead must not free again.
+        tracker.advanceTo(base + 6 * kSecond);
+        EXPECT_EQ(tracker.pool(), Watts{40.0});
+        EXPECT_TRUE(tracker.conservesBudget());
+        tracker.recover(0);
+        tracker.advanceTo(base + 8 * kSecond);
+        EXPECT_EQ(tracker.health(0), ServerHealth::Alive);
+        EXPECT_EQ(tracker.pool(), Watts{});
+        EXPECT_TRUE(tracker.conservesBudget());
+    }
+    EXPECT_EQ(tracker.stats().deaths, 5u);
+    EXPECT_EQ(tracker.stats().registrations, 3u + 5u);
+}
+
+TEST(CtrlHeartbeat, PerServerStreamsAreIndexKeyed)
+{
+    // Rng::split keys the jitter stream by server index, so server
+    // s beats identically whether the tracker covers 2 servers or 6.
+    HeartbeatConfig config;
+    config.periodTicks = kSecond;
+    config.jitterTicks = kSecond / 2;
+    config.seed = 99;
+    HeartbeatTracker small(2, config, Watts{20.0});
+    HeartbeatTracker large(6, config, Watts{20.0});
+    small.crash(1);
+    large.crash(1);
+    small.advanceTo(12 * kSecond);
+    large.advanceTo(12 * kSecond);
+    for (std::size_t s = 0; s < 2; ++s)
+        EXPECT_EQ(small.health(s), large.health(s)) << "server " << s;
+    // Misses accumulate identically on the shared prefix.
+    EXPECT_EQ(small.stats().misses, large.stats().misses);
+}
+
+} // namespace
+} // namespace poco::ctrl

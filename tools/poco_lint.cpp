@@ -231,7 +231,7 @@ tokenRules()
          {"EvaluatorConfig", "SolverConfig"},
          "deprecated config struct; use poco::FleetConfig "
          "(fleet/fleet_config.hpp) or cluster::SolverContext",
-         {"cluster/deprecated_config."}},
+         {}},
     };
     return rules;
 }
