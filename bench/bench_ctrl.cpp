@@ -187,10 +187,10 @@ runSingleEvent(std::size_t n, const cluster::SolverContext& context)
 {
     Rng rng(900 + static_cast<std::uint64_t>(n));
     cluster::PerformanceMatrix matrix;
-    matrix.value.assign(n, std::vector<double>(n));
-    for (auto& row : matrix.value)
-        for (double& cell : row)
-            cell = rng.uniform(0.0, 100.0);
+    matrix.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
 
     cluster::IncrementalPlacer placer(context);
     placer.resolve(matrix, cluster::PlacementDelta::shape());
@@ -201,8 +201,8 @@ runSingleEvent(std::size_t n, const cluster::SolverContext& context)
     for (int round = 0; round < out.rounds; ++round) {
         const auto col = static_cast<std::size_t>(
             rng.uniformInt(0, static_cast<int>(n) - 1));
-        for (auto& row : matrix.value)
-            row[col] = rng.uniform(0.0, 100.0);
+        for (std::size_t i = 0; i < n; ++i)
+            matrix(i, col) = rng.uniform(0.0, 100.0);
 
         const auto t_inc = std::chrono::steady_clock::now();
         const auto inc =

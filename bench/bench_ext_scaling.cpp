@@ -97,7 +97,7 @@ main()
 
         std::vector<int> hungarian;
         const double t_hungarian = timedUs([&] {
-            hungarian = math::solveAssignmentMax(matrix.value);
+            hungarian = math::solveAssignmentMax(matrix.view());
         });
         double t_lp = 0.0;
         double t_lp_par = 0.0;
@@ -108,12 +108,12 @@ main()
             std::vector<int> lp_serial_assign;
             t_lp = timedUs([&] {
                 lp_serial_assign =
-                    math::solveAssignmentLp(matrix.value, lp_serial);
+                    math::solveAssignmentLp(matrix.view(), lp_serial);
             });
             std::vector<int> lp_par_assign;
             t_lp_par = timedUs([&] {
                 lp_par_assign =
-                    math::solveAssignmentLp(matrix.value, lp_parallel);
+                    math::solveAssignmentLp(matrix.view(), lp_parallel);
             });
             // The determinism contract: the pooled solver must return
             // the serial solver's assignment field-exact. A mismatch
@@ -130,9 +130,9 @@ main()
             // Hungarian may pick different optimal assignments, but
             // the optimal value must agree.
             const double v_lp =
-                math::assignmentValue(matrix.value, lp_serial_assign);
+                math::assignmentValue(matrix.view(), lp_serial_assign);
             const double v_hung =
-                math::assignmentValue(matrix.value, hungarian);
+                math::assignmentValue(matrix.view(), hungarian);
             if (std::abs(v_lp - v_hung) >
                 1e-6 * std::max(1.0, std::abs(v_hung))) {
                 std::fprintf(stderr,
@@ -145,10 +145,10 @@ main()
             // Memoized re-solve: what admitAndPlace() pays when the
             // same matrix comes back within a decision epoch.
             math::AssignmentCache cache;
-            cache.insert("lp", matrix.value, lp_serial_assign);
+            cache.insert("lp", matrix.view(), lp_serial_assign);
             std::optional<std::vector<int>> memo;
             t_memo = timedUs(
-                [&] { memo = cache.lookup("lp", matrix.value); });
+                [&] { memo = cache.lookup("lp", matrix.view()); });
             if (!memo || *memo != lp_serial_assign) {
                 std::fprintf(stderr,
                              "ERROR: solver cache lost or corrupted "
@@ -167,12 +167,12 @@ main()
             std::vector<int> assignment(perm.begin(),
                                         perm.begin() + n_servers);
             random_value +=
-                math::assignmentValue(matrix.value, assignment);
+                math::assignmentValue(matrix.view(), assignment);
         }
         random_value /= kDraws;
 
         const double best =
-            math::assignmentValue(matrix.value, hungarian);
+            math::assignmentValue(matrix.view(), hungarian);
         table.addRow({std::to_string(n_servers),
                       std::to_string(n_servers), fmt(best, 2),
                       fmt(random_value, 2),

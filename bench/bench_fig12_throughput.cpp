@@ -99,14 +99,21 @@ main()
     // results must match bit for bit; the speedup tracks the
     // physical core count. On a narrow host the ~1x row is
     // meaningless noise, so say so loudly instead of printing it.
-    if (runtime::ThreadPool::hardwareThreads() < 4) {
-        std::printf("\nruntime: speedup SKIPPED (%u core%s): the "
+    const unsigned cores = runtime::ThreadPool::hardwareThreads();
+    const FleetConfig default_config;
+    std::printf("\nruntime: detected %u hardware core%s; pool "
+                "configuration: FleetConfig.threads=%d (%s), shared "
+                "pool spawns %u worker%s\n",
+                cores, cores == 1 ? "" : "s", default_config.threads,
+                default_config.threads == 0
+                    ? "0 = shared hardware-wide pool"
+                    : "explicit worker count",
+                cores, cores == 1 ? "" : "s");
+    if (cores < 4) {
+        std::printf("runtime: speedup SKIPPED (%u core%s): the "
                     "serial-vs-pooled timing needs >= 4 hardware "
                     "threads to say anything\n",
-                    runtime::ThreadPool::hardwareThreads(),
-                    runtime::ThreadPool::hardwareThreads() == 1
-                        ? ""
-                        : "s");
+                    cores, cores == 1 ? "" : "s");
         return 0;
     }
     const auto pipeline = [&ctx](int threads) {

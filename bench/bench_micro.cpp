@@ -1,16 +1,28 @@
 /**
  * @file
- * Microbenchmarks of Pocolo's hot paths (google-benchmark).
+ * Microbenchmarks of Pocolo's hot paths (google-benchmark), plus the
+ * SoA/vectorization before-vs-after gate.
  *
  * The paper claims the analytic allocation decision is "a constant
  * time operation (less than a millisecond)"; BM_MinPowerAllocation
  * and BM_ClosedFormDemand verify our implementation meets that
  * budget with wide margin.
+ *
+ * The default run executes the gate: each vectorized kernel
+ * (matrix-build, pricing, elimination, incremental-resolve) is timed
+ * against its scalar predecessor and checked bit-identical; results
+ * land in BENCH_micro.json (argv[1] overrides the path) and any
+ * divergence — or a matrix-build speedup below 1.5x at >= 64 cells —
+ * exits 1. Pass --benchmarks to also run the google-benchmark suite.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "cluster/incremental.hpp"
 #include "cluster/performance_matrix.hpp"
@@ -26,6 +38,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/telemetry.hpp"
 #include "util/rng.hpp"
+#include "util/table.hpp"
 
 using namespace poco;
 
@@ -420,16 +433,16 @@ BM_IncrementalResolve(benchmark::State& state)
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(47);
     cluster::PerformanceMatrix matrix;
-    matrix.value.assign(n, std::vector<double>(n));
-    for (auto& row : matrix.value)
-        for (double& cell : row)
-            cell = rng.uniform(0.0, 100.0);
+    matrix.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
     cluster::IncrementalPlacer placer;
     placer.resolve(matrix, cluster::PlacementDelta::shape());
     std::size_t col = 0;
     for (auto _ : state) {
-        for (auto& row : matrix.value)
-            row[col] = rng.uniform(0.0, 100.0);
+        for (std::size_t i = 0; i < n; ++i)
+            matrix(i, col) = rng.uniform(0.0, 100.0);
         auto placed =
             placer.resolve(matrix, cluster::PlacementDelta::column(col));
         benchmark::DoNotOptimize(placed);
@@ -444,14 +457,14 @@ BM_ColdResolve(benchmark::State& state)
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(47);
     cluster::PerformanceMatrix matrix;
-    matrix.value.assign(n, std::vector<double>(n));
-    for (auto& row : matrix.value)
-        for (double& cell : row)
-            cell = rng.uniform(0.0, 100.0);
+    matrix.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
     std::size_t col = 0;
     for (auto _ : state) {
-        for (auto& row : matrix.value)
-            row[col] = rng.uniform(0.0, 100.0);
+        for (std::size_t i = 0; i < n; ++i)
+            matrix(i, col) = rng.uniform(0.0, 100.0);
         auto placed = cluster::placeWithFallback(matrix);
         benchmark::DoNotOptimize(placed);
         col = (col + 1) % n;
@@ -589,6 +602,397 @@ BM_EventQueueChurn(benchmark::State& state)
 }
 BENCHMARK(BM_EventQueueChurn);
 
+// ---------------------------------------------------------------
+// The SoA/vectorization gate: before/after columns per kernel, each
+// "after" checked bit-identical to its scalar predecessor (and, where
+// a pooled path exists, across thread counts).
+// ---------------------------------------------------------------
+
+/** Wall-clock seconds of one invocation. */
+template <typename F>
+double
+timedSeconds(F&& fn)
+{
+    const auto begin = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - begin)
+        .count();
+}
+
+/** Best-of-@p reps wall-clock seconds (quiets scheduler noise). */
+template <typename F>
+double
+bestOf(int reps, F&& fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r)
+        best = std::min(best, timedSeconds(fn));
+    return best;
+}
+
+struct GateRow
+{
+    std::string kernel;
+    std::size_t size = 0;
+    double beforeSeconds = 0.0;
+    double afterSeconds = 0.0;
+    bool identical = true;
+};
+
+bool
+matricesIdentical(const cluster::PerformanceMatrix& a,
+                  const cluster::PerformanceMatrix& b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (a(i, j) != b(i, j))
+                return false;
+    return true;
+}
+
+/**
+ * Matrix build, 64 cells (the paper's 4x4 archetypes replicated to
+ * 8x8): batched SoA build vs the retained scalar reference, both
+ * serial; identity also checked against the 4-worker batched build.
+ */
+GateRow
+gateMatrixBuild(runtime::ThreadPool& pool)
+{
+    auto& ctx = bench::context();
+    std::vector<cluster::BeCandidateModel> be;
+    std::vector<cluster::LcServerModel> lc;
+    for (int rep = 0; rep < 2; ++rep) {
+        for (const auto& app : ctx.apps.be)
+            be.push_back({app.name() + "-" + std::to_string(rep),
+                          ctx.beModel(app.name())});
+        for (const auto& app : ctx.apps.lc)
+            lc.push_back({app.name() + "-" + std::to_string(rep),
+                          ctx.lcModel(app.name()), app.peakLoad(),
+                          app.provisionedPower()});
+    }
+
+    GateRow row;
+    row.kernel = "matrix-build";
+    row.size = be.size() * lc.size();
+
+    cluster::PerformanceMatrix scalar;
+    cluster::PerformanceMatrix batched;
+    cluster::PerformanceMatrix pooled;
+    row.beforeSeconds = bestOf(3, [&] {
+        scalar = cluster::buildPerformanceMatrixScalar(
+            be, lc, ctx.apps.spec);
+    });
+    row.afterSeconds = bestOf(3, [&] {
+        batched =
+            cluster::buildPerformanceMatrix(be, lc, ctx.apps.spec);
+    });
+    pooled = cluster::buildPerformanceMatrix(be, lc, ctx.apps.spec,
+                                             {}, &pool);
+    row.identical = matricesIdentical(scalar, batched) &&
+                    matricesIdentical(scalar, pooled);
+    return row;
+}
+
+/**
+ * Dantzig pricing on the n=64 assignment-shaped reduced-cost row:
+ * the pre-vectorization scalar scan vs the vectorized row sweep,
+ * serial and on a 4-worker pool (all three must agree).
+ */
+GateRow
+gatePricing(runtime::ThreadPool& pool)
+{
+    constexpr std::size_t n = 64;
+    const math::SimplexTableau t = pricingTableau(n);
+    const std::size_t m = tableauRows(n);
+    const std::size_t ncols = tableauCols(n);
+
+    // The scalar predecessor: one branchy compare per column.
+    const auto scalarScan = [&]() -> std::size_t {
+        std::size_t best = ncols;
+        double best_d = 1e-9;
+        for (std::size_t j = 0; j < ncols; ++j) {
+            const double d = t.at(m, j);
+            if (d > best_d) {
+                best_d = d;
+                best = j;
+            }
+        }
+        return best;
+    };
+
+    math::LpOptions pooled_options;
+    pooled_options.pool = &pool;
+    pooled_options.pricingGrain = 512;
+
+    constexpr int kIters = 4000;
+    GateRow row;
+    row.kernel = "pricing";
+    row.size = ncols;
+    std::size_t before_j = 0;
+    std::size_t after_j = 0;
+    std::size_t pooled_j = 0;
+    row.beforeSeconds = bestOf(3, [&] {
+        for (int i = 0; i < kIters; ++i)
+            before_j = scalarScan();
+    });
+    row.afterSeconds = bestOf(3, [&] {
+        for (int i = 0; i < kIters; ++i)
+            after_j = t.priceDantzig();
+    });
+    pooled_j = t.priceDantzig(pooled_options);
+    row.identical = before_j == after_j && after_j == pooled_j;
+    return row;
+}
+
+/**
+ * Pivot row-elimination at n=64: the nested vector<vector> baseline
+ * vs the flat unrolled tableau. Identity is checked between the flat
+ * serial and flat 4-worker pivots (full tableau + rhs, bitwise) and
+ * against the nested baseline's constraint rows.
+ */
+GateRow
+gateElimination(runtime::ThreadPool& pool)
+{
+    constexpr std::size_t n = 64;
+    const std::size_t m = tableauRows(n);
+    const std::size_t ncols = tableauCols(n);
+
+    NestedTableau nested_pristine;
+    nested_pristine.m = m;
+    nested_pristine.ncols = ncols;
+    nested_pristine.rows.assign(m, std::vector<double>(ncols));
+    nested_pristine.rhs.assign(m, 1.0);
+    nested_pristine.obj.resize(ncols);
+    nested_pristine.basis.resize(m);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < ncols; ++c)
+            nested_pristine.rows[r][c] = tableauFill(r, c);
+    for (std::size_t c = 0; c < ncols; ++c)
+        nested_pristine.obj[c] = tableauFill(m, c);
+    for (std::size_t r = 0; r < m; ++r)
+        nested_pristine.basis[r] = ncols - m + r;
+
+    math::SimplexTableau flat_pristine(m, ncols);
+    for (std::size_t r = 0; r <= m; ++r) {
+        for (std::size_t c = 0; c < ncols; ++c)
+            flat_pristine.at(r, c) = tableauFill(r, c);
+        flat_pristine.rhs(r) = 1.0;
+    }
+
+    const auto pivotSequence = [&](auto& tableau, auto&& fix,
+                                   auto&& run) {
+        for (std::size_t k = 0; k < 4; ++k) {
+            const std::size_t col = k * (ncols / m);
+            fix(tableau, k, col);
+            run(tableau, k, col);
+        }
+    };
+    const auto fixNested = [](NestedTableau& t, std::size_t k,
+                              std::size_t col) {
+        if (std::abs(t.rows[k][col]) < 0.5)
+            t.rows[k][col] = 1.5;
+    };
+    const auto fixFlat = [](math::SimplexTableau& t, std::size_t k,
+                            std::size_t col) {
+        if (std::abs(t.at(k, col)) < 0.5)
+            t.at(k, col) = 1.5;
+    };
+
+    GateRow row;
+    row.kernel = "elimination";
+    row.size = m * ncols;
+
+    NestedTableau nested = nested_pristine;
+    row.beforeSeconds = bestOf(3, [&] {
+        nested = nested_pristine;
+        pivotSequence(nested, fixNested,
+                      [](NestedTableau& t, std::size_t k,
+                         std::size_t col) { t.pivot(k, col); });
+    });
+
+    math::SimplexTableau flat = flat_pristine;
+    row.afterSeconds = bestOf(3, [&] {
+        flat = flat_pristine;
+        pivotSequence(flat, fixFlat,
+                      [](math::SimplexTableau& t, std::size_t k,
+                         std::size_t col) { t.pivot(k, col); });
+    });
+
+    math::LpOptions pooled_options;
+    pooled_options.pool = &pool;
+    pooled_options.pivotCutoff = 1;
+    math::SimplexTableau flat_pooled = flat_pristine;
+    pivotSequence(flat_pooled, fixFlat,
+                  [&pooled_options](math::SimplexTableau& t,
+                                    std::size_t k, std::size_t col) {
+                      t.pivot(k, col, pooled_options);
+                  });
+
+    row.identical = true;
+    for (std::size_t r = 0; r <= m && row.identical; ++r) {
+        for (std::size_t c = 0; c < ncols; ++c)
+            if (flat.at(r, c) != flat_pooled.at(r, c))
+                row.identical = false;
+        if (flat.rhs(r) != flat_pooled.rhs(r))
+            row.identical = false;
+    }
+    // The nested baseline pivots the same values through the same
+    // elementwise arithmetic; its constraint rows must agree too.
+    for (std::size_t r = 0; r < m && row.identical; ++r) {
+        for (std::size_t c = 0; c < ncols; ++c)
+            if (nested.rows[r][c] != flat.at(r, c))
+                row.identical = false;
+        if (nested.rhs[r] != flat.rhs(r))
+            row.identical = false;
+    }
+    return row;
+}
+
+/**
+ * Per-event re-place at n=64: the incremental ladder vs the cold
+ * batch path it replaces, same perturbation stream, assignments
+ * checked equal every round.
+ */
+GateRow
+gateIncrementalResolve()
+{
+    constexpr std::size_t n = 64;
+    Rng rng(48);
+    cluster::PerformanceMatrix matrix;
+    matrix.resize(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
+
+    cluster::IncrementalPlacer placer;
+    placer.resolve(matrix, cluster::PlacementDelta::shape());
+
+    GateRow row;
+    row.kernel = "incremental-resolve";
+    row.size = n;
+    constexpr int kRounds = 8;
+    for (int round = 0; round < kRounds; ++round) {
+        const auto col = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(n) - 1));
+        for (std::size_t i = 0; i < n; ++i)
+            matrix(i, col) = rng.uniform(0.0, 100.0);
+
+        Outcome<std::vector<int>> inc;
+        row.afterSeconds += timedSeconds([&] {
+            inc = placer.resolve(matrix,
+                                 cluster::PlacementDelta::column(col));
+        });
+        Outcome<std::vector<int>> cold;
+        row.beforeSeconds += timedSeconds(
+            [&] { cold = cluster::placeWithFallback(matrix); });
+        if (inc.value != cold.value)
+            row.identical = false;
+    }
+    return row;
+}
+
+int
+runGate(const std::string& out_path)
+{
+    bench::banner(
+        "micro: SoA gate",
+        "vectorized kernels vs their scalar predecessors",
+        "each kernel bit-identical to its scalar predecessor for any "
+        "thread count; batched matrix build >= 1.5x at >= 64 cells");
+
+    constexpr double kMinMatrixSpeedup = 1.5;
+    runtime::ThreadPool pool(4);
+
+    std::vector<GateRow> rows;
+    rows.push_back(gateMatrixBuild(pool));
+    rows.push_back(gatePricing(pool));
+    rows.push_back(gateElimination(pool));
+    rows.push_back(gateIncrementalResolve());
+
+    bool pass = true;
+    TextTable table({"kernel", "size", "before s", "after s",
+                     "speedup", "identical"});
+    bench::Json kernels = bench::Json::array();
+    for (const GateRow& row : rows) {
+        const double speedup = row.afterSeconds > 0.0
+                                   ? row.beforeSeconds /
+                                         row.afterSeconds
+                                   : 0.0;
+        pass = pass && row.identical;
+        if (!row.identical)
+            std::printf("  divergence: %s is not bit-identical to "
+                        "its scalar predecessor\n",
+                        row.kernel.c_str());
+        if (row.kernel == "matrix-build" && row.size >= 64 &&
+            speedup < kMinMatrixSpeedup) {
+            pass = false;
+            std::printf("  gate miss: matrix-build speedup %.2f < "
+                        "%.1f at %zu cells\n",
+                        speedup, kMinMatrixSpeedup, row.size);
+        }
+        table.addRow({row.kernel, std::to_string(row.size),
+                      fmt(row.beforeSeconds, 5),
+                      fmt(row.afterSeconds, 5), fmt(speedup, 1),
+                      row.identical ? "yes" : "NO"});
+        kernels.push(
+            bench::Json::object()
+                .str("kernel", row.kernel)
+                .integer("size", static_cast<std::int64_t>(row.size))
+                .num("before_seconds", row.beforeSeconds)
+                .num("after_seconds", row.afterSeconds)
+                .num("speedup", speedup)
+                .flag("identical", row.identical));
+    }
+    std::printf("%s", table.render().c_str());
+
+    bench::Json root = bench::Json::object();
+    root.str("bench", "micro")
+        .num("gate_min_matrix_speedup", kMinMatrixSpeedup)
+        .child("kernels", kernels)
+        .flag("pass", pass);
+    bench::writeJson(root, out_path);
+
+    if (!pass) {
+        std::printf("\nFAIL: a vectorized kernel diverged from its "
+                    "scalar predecessor or missed the speedup gate\n");
+        return 1;
+    }
+    std::printf("\nall kernels bit-identical; matrix build >= %.1fx "
+                "over the scalar reference\n",
+                kMinMatrixSpeedup);
+    return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    std::string out_path = "BENCH_micro.json";
+    bool run_benchmarks = false;
+    std::vector<char*> bench_argv = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--benchmarks") == 0) {
+            run_benchmarks = true;
+        } else if (std::strncmp(argv[i], "--benchmark", 11) == 0) {
+            run_benchmarks = true; // a filter implies the suite
+            bench_argv.push_back(argv[i]);
+        } else if (argv[i][0] != '-') {
+            out_path = argv[i];
+        }
+    }
+
+    const int gate = runGate(out_path);
+    if (gate != 0)
+        return gate;
+    if (run_benchmarks) {
+        int bench_argc = static_cast<int>(bench_argv.size());
+        benchmark::Initialize(&bench_argc, bench_argv.data());
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    }
+    return 0;
+}

@@ -83,8 +83,8 @@ main()
         if (admitted[i] >= 0)
             continue;
         std::size_t best = 0;
-        for (std::size_t j = 1; j < matrix.value[i].size(); ++j)
-            if (matrix.value[i][j] > matrix.value[i][best])
+        for (std::size_t j = 1; j < matrix.cols(); ++j)
+            if (matrix(i, j) > matrix(i, best))
                 best = j;
         per_server[best].push_back(server::BeJob{
             queue[i].name, &apps.beByName(queue[i].app),

@@ -39,8 +39,8 @@ main()
     TextTable matrix_table(header);
     for (std::size_t i = 0; i < m.beNames.size(); ++i) {
         std::vector<std::string> row = {m.beNames[i]};
-        for (double v : m.value[i])
-            row.push_back(fmt(v, 3));
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            row.push_back(fmt(m(i, j), 3));
         matrix_table.addRow(std::move(row));
     }
     std::printf("%s\n", matrix_table.render().c_str());

@@ -215,13 +215,12 @@ ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
         rows[i] = i;
     if (n_be > up.size()) {
         std::vector<double> score(n_be, 0.0);
-        for (std::size_t i = 0; i < n_be; ++i)
+        for (std::size_t i = 0; i < n_be; ++i) {
+            const double* row = matrix_.row(i);
             for (const int j : up)
-                score[i] =
-                    std::max(score[i],
-                             matrix_.value[i]
-                                          [static_cast<std::size_t>(
-                                              j)]);
+                score[i] = std::max(
+                    score[i], row[static_cast<std::size_t>(j)]);
+        }
         std::stable_sort(rows.begin(), rows.end(),
                          [&](std::size_t a, std::size_t b) {
                              return score[a] > score[b];
@@ -246,12 +245,13 @@ ClusterEvaluator::placeBeRobust(const std::vector<int>& up,
     }
 
     PerformanceMatrix sub;
-    sub.value.resize(rows.size());
+    sub.resize(rows.size(), up.size());
     for (std::size_t k = 0; k < rows.size(); ++k) {
         sub.beNames.push_back(matrix_.beNames[rows[k]]);
-        for (const int j : up)
-            sub.value[k].push_back(
-                matrix_.value[rows[k]][static_cast<std::size_t>(j)]);
+        const double* src = matrix_.row(rows[k]);
+        double* dst = sub.row(k);
+        for (std::size_t c = 0; c < up.size(); ++c)
+            dst[c] = src[static_cast<std::size_t>(up[c])];
     }
     for (const int j : up)
         sub.lcNames.push_back(

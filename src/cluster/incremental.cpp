@@ -16,10 +16,8 @@ constexpr const char* kCacheTag = "incremental";
 void
 validateMatrix(const PerformanceMatrix& matrix)
 {
-    const std::size_t rows = matrix.value.size();
-    POCO_REQUIRE(rows > 0, "empty performance matrix");
-    const std::size_t cols = matrix.value.front().size();
-    POCO_REQUIRE(rows <= cols,
+    POCO_REQUIRE(matrix.rows() > 0, "empty performance matrix");
+    POCO_REQUIRE(matrix.rows() <= matrix.cols(),
                  "placement needs BE apps <= LC servers");
 }
 
@@ -42,8 +40,8 @@ IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
                            const PlacementDelta& delta)
 {
     validateMatrix(matrix);
-    const std::size_t rows = matrix.value.size();
-    const std::size_t cols = matrix.value.front().size();
+    const std::size_t rows = matrix.rows();
+    const std::size_t cols = matrix.cols();
 
     const bool single_subject =
         delta.kind == PlacementDelta::Kind::Row ||
@@ -59,7 +57,7 @@ IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
     // engines pointing at some *other* matrix, so mark them stale.
     if (context_.cache != nullptr) {
         if (auto hit = context_.cache->lookup(kCacheTag,
-                                              matrix.value)) {
+                                              matrix.view())) {
             ++stats_.cached;
             repair_fresh_ = false;
             warm_fresh_ = false;
@@ -76,18 +74,18 @@ IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
         std::optional<std::vector<int>> fixed;
         if (delta.kind == PlacementDelta::Kind::Row) {
             fixed = repair_.repairRow(delta.index,
-                                      matrix.value[delta.index]);
+                                      matrix.row(delta.index), cols);
         } else {
             std::vector<double> column(rows);
             for (std::size_t i = 0; i < rows; ++i)
-                column[i] = matrix.value[i][delta.index];
+                column[i] = matrix(i, delta.index);
             fixed = repair_.repairColumn(delta.index, column);
         }
         if (fixed.has_value()) {
             ++stats_.repaired;
             warm_fresh_ = false;
             if (context_.cache != nullptr)
-                context_.cache->insert(kCacheTag, matrix.value,
+                context_.cache->insert(kCacheTag, matrix.view(),
                                        *fixed);
             return {*std::move(fixed), SolverTier::Repair};
         }
@@ -99,11 +97,11 @@ IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
     // the new vertex.
     if (delta.kind != PlacementDelta::Kind::Shape && warm_fresh_ &&
         warm_.hasBasis(rows, cols)) {
-        if (auto sol = warm_.solveWarm(matrix.value)) {
+        if (auto sol = warm_.solveWarm(matrix.view())) {
             ++stats_.warm;
             repair_fresh_ = false;
             if (context_.cache != nullptr)
-                context_.cache->insert(kCacheTag, matrix.value,
+                context_.cache->insert(kCacheTag, matrix.view(),
                                        *sol);
             return {*std::move(sol), SolverTier::WarmLp};
         }
@@ -114,12 +112,12 @@ IncrementalPlacer::resolve(const PerformanceMatrix& matrix,
     // repair engine with a full Hungarian solve so the next
     // one-subject event takes the cheap stage.
     if (single_subject) {
-        std::vector<int> full = repair_.solveFull(matrix.value);
+        std::vector<int> full = repair_.solveFull(matrix.view());
         ++stats_.resynced;
         repair_fresh_ = true;
         warm_fresh_ = false;
         if (context_.cache != nullptr)
-            context_.cache->insert(kCacheTag, matrix.value, full);
+            context_.cache->insert(kCacheTag, matrix.view(), full);
         return {std::move(full), SolverTier::Hungarian};
     }
 
@@ -137,12 +135,12 @@ IncrementalPlacer::coldResolve(const PerformanceMatrix& matrix)
         fallback_.failInjection(PlacementKind::Lp, 0);
     if (!injected_lp_failure) {
         try {
-            std::vector<int> sol = warm_.solveCold(matrix.value);
+            std::vector<int> sol = warm_.solveCold(matrix.view());
             ++stats_.cold;
             warm_fresh_ = true;
             repair_fresh_ = false;
             if (context_.cache != nullptr)
-                context_.cache->insert(kCacheTag, matrix.value,
+                context_.cache->insert(kCacheTag, matrix.view(),
                                        sol);
             return {std::move(sol), SolverTier::Lp};
         } catch (const FatalError&) {
@@ -163,7 +161,7 @@ IncrementalPlacer::coldResolve(const PerformanceMatrix& matrix)
     if (context_.cache != nullptr &&
         (outcome.tier == SolverTier::Lp ||
          outcome.tier == SolverTier::Hungarian))
-        context_.cache->insert(kCacheTag, matrix.value,
+        context_.cache->insert(kCacheTag, matrix.view(),
                                outcome.value);
     return outcome;
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "math/matrix_view.hpp"
 #include "model/cobb_douglas.hpp"
 #include "sim/server_spec.hpp"
 #include "util/units.hpp"
@@ -56,20 +57,86 @@ struct MatrixConfig
     double headroom = 1.05;
 };
 
-/** value[i][j]: estimated throughput of BE i on LC server j. */
+/**
+ * Cell (i, j): estimated throughput of BE i on LC server j.
+ *
+ * Cells live in one contiguous row-major buffer (structure-of-arrays
+ * for the solvers: a whole row or the full matrix streams through
+ * cache, and the flat buffer feeds math::MatrixView without copies).
+ */
 struct PerformanceMatrix
 {
     std::vector<std::string> beNames;
     std::vector<std::string> lcNames;
-    std::vector<std::vector<double>> value;
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+    /** Reshape to rows x cols, every cell set to @p fill. */
+    void resize(std::size_t rows, std::size_t cols,
+                double fill = 0.0)
+    {
+        rows_ = rows;
+        cols_ = cols;
+        cells_.assign(rows * cols, fill);
+    }
+
+    double& operator()(std::size_t i, std::size_t j)
+    {
+        return cells_[i * cols_ + j];
+    }
+    double operator()(std::size_t i, std::size_t j) const
+    {
+        return cells_[i * cols_ + j];
+    }
+
+    double* row(std::size_t i) { return cells_.data() + i * cols_; }
+    const double* row(std::size_t i) const
+    {
+        return cells_.data() + i * cols_;
+    }
+
+    /** Solver-facing view of the flat cell buffer. */
+    math::MatrixView view() const
+    {
+        return {cells_.data(), rows_, cols_, cols_};
+    }
+
+    /** Build from nested rows (test/bench convenience). */
+    static PerformanceMatrix
+    fromRows(const std::vector<std::vector<double>>& rows) // poco-lint: allow(nested-vector)
+    {
+        PerformanceMatrix m;
+        m.cells_ = math::flattenRows(rows);
+        m.rows_ = rows.size();
+        m.cols_ = rows.front().size();
+        return m;
+    }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> cells_;
 };
 
 /**
- * Build the matrix from fitted models.
+ * Build the matrix from fitted models (batched SoA path).
  *
- * Each (BE, LC) cell is an independent pure computation, so cells
- * are evaluated in parallel when @p pool is non-null; the result is
- * identical for any worker count (and for the serial path).
+ * The per-cell cost is dominated by the LC-side allocation search —
+ * a log/exp pair per (cores, ways) lattice cell — which depends only
+ * on the LC model, not on the BE row or the load point. The build
+ * therefore evaluates each LC's lattice once with one batched
+ * log/exp sweep per resource column (model::AllocationGrid over
+ * CobbDouglasUtility::performanceBatch), scans it once per load
+ * point for the spare capacity, and leaves only the cheap BE-side
+ * estimate per cell. Cells and per-LC grids are evaluated in
+ * parallel when @p pool is non-null.
+ *
+ * Bit-identity contract: every cell equals the retained scalar
+ * reference (buildPerformanceMatrixScalar) bit for bit, for any
+ * worker count — gated by test_matrix_soa and the bench_micro
+ * divergence gate.
  *
  * @param spec The (homogeneous) server platform.
  */
@@ -79,6 +146,18 @@ buildPerformanceMatrix(const std::vector<BeCandidateModel>& be,
                        const sim::ServerSpec& spec,
                        const MatrixConfig& config = {},
                        runtime::ThreadPool* pool = nullptr);
+
+/**
+ * Reference scalar build: one estimateCellAtLoad() call per
+ * (cell, load point), exactly as the pre-SoA implementation.
+ * Retained as the bit-identity oracle for the batched path.
+ */
+PerformanceMatrix
+buildPerformanceMatrixScalar(const std::vector<BeCandidateModel>& be,
+                             const std::vector<LcServerModel>& lc,
+                             const sim::ServerSpec& spec,
+                             const MatrixConfig& config = {},
+                             runtime::ThreadPool* pool = nullptr);
 
 /**
  * Single-cell estimate: BE throughput beside one LC server at one

@@ -15,10 +15,8 @@ namespace
 void
 validateMatrix(const PerformanceMatrix& matrix)
 {
-    const std::size_t rows = matrix.value.size();
-    POCO_REQUIRE(rows > 0, "empty performance matrix");
-    const std::size_t cols = matrix.value.front().size();
-    POCO_REQUIRE(rows <= cols,
+    POCO_REQUIRE(matrix.rows() > 0, "empty performance matrix");
+    POCO_REQUIRE(matrix.rows() <= matrix.cols(),
                  "placement needs BE apps <= LC servers");
 }
 
@@ -36,8 +34,8 @@ lpOptions(const SolverContext& context)
 std::vector<int>
 solveGreedy(const PerformanceMatrix& matrix)
 {
-    const std::size_t rows = matrix.value.size();
-    const std::size_t cols = matrix.value.front().size();
+    const std::size_t rows = matrix.rows();
+    const std::size_t cols = matrix.cols();
     std::vector<int> assignment(rows, -1);
     std::vector<bool> col_used(cols, false);
     for (std::size_t step = 0; step < rows; ++step) {
@@ -47,11 +45,12 @@ solveGreedy(const PerformanceMatrix& matrix)
         for (std::size_t i = 0; i < rows; ++i) {
             if (assignment[i] >= 0)
                 continue;
+            const double* row = matrix.row(i);
             for (std::size_t j = 0; j < cols; ++j) {
                 if (col_used[j])
                     continue;
-                if (!found || matrix.value[i][j] > best) {
-                    best = matrix.value[i][j];
+                if (!found || row[j] > best) {
+                    best = row[j];
                     best_i = i;
                     best_j = j;
                     found = true;
@@ -72,12 +71,12 @@ solveExact(const PerformanceMatrix& matrix, PlacementKind kind,
 {
     switch (kind) {
       case PlacementKind::Lp:
-        return math::solveAssignmentLp(matrix.value,
+        return math::solveAssignmentLp(matrix.view(),
                                        lpOptions(context));
       case PlacementKind::Hungarian:
-        return math::solveAssignmentMax(matrix.value);
+        return math::solveAssignmentMax(matrix.view());
       case PlacementKind::Exhaustive:
-        return math::solveAssignmentExhaustive(matrix.value);
+        return math::solveAssignmentExhaustive(matrix.view());
       case PlacementKind::Greedy:
         return solveGreedy(matrix);
       case PlacementKind::Random:
@@ -107,9 +106,9 @@ place(const PerformanceMatrix& matrix, PlacementKind kind, Rng& rng,
 {
     if (kind == PlacementKind::Random) {
         validateMatrix(matrix);
-        const std::size_t rows = matrix.value.size();
-        const std::vector<int> perm = rng.permutation(
-            static_cast<int>(matrix.value.front().size()));
+        const std::size_t rows = matrix.rows();
+        const std::vector<int> perm =
+            rng.permutation(static_cast<int>(matrix.cols()));
         return std::vector<int>(perm.begin(),
                                 perm.begin() +
                                     static_cast<std::ptrdiff_t>(rows));
@@ -127,7 +126,7 @@ place(const PerformanceMatrix& matrix, PlacementKind kind,
     if (context.cache == nullptr)
         return solveExact(matrix, kind, context);
     return context.cache->getOrCompute(
-        placementKindName(kind), matrix.value,
+        placementKindName(kind), matrix.view(),
         [&] { return solveExact(matrix, kind, context); });
 }
 
@@ -135,16 +134,16 @@ double
 placementValue(const PerformanceMatrix& matrix,
                const std::vector<int>& assignment)
 {
-    return math::assignmentValue(matrix.value, assignment);
+    return math::assignmentValue(matrix.view(), assignment);
 }
 
 std::vector<int>
 admitAndPlace(const PerformanceMatrix& matrix,
               const SolverContext& context)
 {
-    const std::size_t n_be = matrix.value.size();
+    const std::size_t n_be = matrix.rows();
     POCO_REQUIRE(n_be > 0, "empty performance matrix");
-    const std::size_t n_srv = matrix.value.front().size();
+    const std::size_t n_srv = matrix.cols();
 
     if (n_be <= n_srv) {
         // Everyone fits: ordinary (deterministic) assignment.
@@ -153,19 +152,20 @@ admitAndPlace(const PerformanceMatrix& matrix,
 
     auto solve = [&] {
         // Transpose: servers are the agents, candidates the tasks.
-        // Each server's candidate-score row is independent, so the
-        // scoring batch fans out over the pool; slot-addressed writes
-        // keep the result identical for any worker count.
-        const std::vector<std::vector<double>> transposed =
-            runtime::parallelMap(
-                context.pool, n_srv, [&](std::size_t j) {
-                    std::vector<double> scores(n_be);
-                    for (std::size_t i = 0; i < n_be; ++i)
-                        scores[i] = matrix.value[i][j];
-                    return scores;
-                });
-        const std::vector<int> choice =
-            math::solveAssignmentMax(transposed);
+        // Each server's candidate-score row is an independent slice
+        // of one flat buffer, so the scoring batch fans out over the
+        // pool; slot-addressed writes keep the result identical for
+        // any worker count.
+        std::vector<double> transposed(n_srv * n_be);
+        runtime::parallelFor(
+            context.pool, n_srv, [&](std::size_t j) {
+                double* __restrict__ scores =
+                    transposed.data() + j * n_be;
+                for (std::size_t i = 0; i < n_be; ++i)
+                    scores[i] = matrix(i, j);
+            });
+        const std::vector<int> choice = math::solveAssignmentMax(
+            math::MatrixView{transposed.data(), n_srv, n_be});
 
         std::vector<int> admitted(n_be, -1);
         for (std::size_t j = 0; j < n_srv; ++j) {
@@ -182,7 +182,7 @@ admitAndPlace(const PerformanceMatrix& matrix,
         return solve();
     // Memoized across admission rounds: the queue-drain loop asks
     // again every round, usually with an unchanged matrix.
-    return context.cache->getOrCompute("admit", matrix.value, solve);
+    return context.cache->getOrCompute("admit", matrix.view(), solve);
 }
 
 SolverTier
@@ -244,7 +244,7 @@ placeWithFallback(const PerformanceMatrix& matrix,
     }
     // Terminal fallback: the preference-free identity map. Always
     // feasible (#BE <= #servers) and requires no solver at all.
-    const std::size_t rows = matrix.value.size();
+    const std::size_t rows = matrix.rows();
     outcome.value.resize(rows);
     for (std::size_t i = 0; i < rows; ++i)
         outcome.value[i] = static_cast<int>(i);

@@ -4,6 +4,7 @@
 
 #include "model/demand.hpp"
 #include "util/check.hpp"
+#include "util/milliwatts.hpp"
 
 namespace poco::cluster
 {
@@ -110,26 +111,40 @@ splitClusterBudget(const std::vector<BudgetServer>& servers,
         poco::fatal("cluster budget below the primaries' aggregate "
                     "reservation");
 
-    Watts remaining = total_budget - reserved;
+    // The water-filling ledger runs in integer milliwatts: grants
+    // move in exact step_mw quanta off a floor-credited pool, so the
+    // conservation check at the bottom is a pure integer equality.
+    // Reservations stay in watts (caps must track the modeled float
+    // draw exactly); a cap is always reserve + fromMilliwatts(grant),
+    // one exact addition per server rather than a drifting
+    // accumulation of steps.
+    const Milliwatts step_mw = toMilliwatts(step);
+    POCO_REQUIRE(step_mw > 0, "water-filling step below 1 mW");
+    // Floor, not round: the pool must never exceed the float
+    // remainder, or granting it all back would overshoot the budget.
+    const Milliwatts pool_mw = floorMilliwatts(total_budget - reserved);
+    Milliwatts remaining_mw = pool_mw;
+    std::vector<Milliwatts> granted_mw(n, 0);
     std::vector<double> value(n);
     for (std::size_t j = 0; j < n; ++j)
         value[j] = beValue(servers[j], reservations[j],
                            split.caps[j] -
                                reservations[j].primaryDraw);
 
-    while (remaining >= step) {
+    while (remaining_mw >= step_mw) {
         // Give the next step of watts to the server whose BE gains
         // the most from it, respecting provisioned capacities.
         double best_gain = 0.0;
         std::size_t best = n;
         for (std::size_t j = 0; j < n; ++j) {
-            if (split.caps[j] + step >
-                servers[j].lc.powerCap + Watts{1e-9})
+            const Watts candidate_cap =
+                reservations[j].primaryDraw +
+                fromMilliwatts(granted_mw[j] + step_mw);
+            if (candidate_cap > servers[j].lc.powerCap + Watts{1e-9})
                 continue;
             const double candidate = beValue(
                 servers[j], reservations[j],
-                split.caps[j] + step -
-                    reservations[j].primaryDraw);
+                candidate_cap - reservations[j].primaryDraw);
             const double gain = candidate - value[j];
             if (gain > best_gain) {
                 best_gain = gain;
@@ -138,10 +153,18 @@ splitClusterBudget(const std::vector<BudgetServer>& servers,
         }
         if (best == n)
             break; // nobody can use more power
-        split.caps[best] += step;
+        granted_mw[best] += step_mw;
+        split.caps[best] = reservations[best].primaryDraw +
+                           fromMilliwatts(granted_mw[best]);
         value[best] += best_gain;
-        remaining -= step;
+        remaining_mw -= step_mw;
     }
+
+    Milliwatts granted_total_mw = 0;
+    for (const Milliwatts g : granted_mw)
+        granted_total_mw += g;
+    POCO_ASSERT(granted_total_mw + remaining_mw == pool_mw,
+                "water-filling lost milliwatts");
 
     for (double v : value)
         split.estimatedBeThroughput += v;

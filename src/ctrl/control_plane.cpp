@@ -231,17 +231,18 @@ ControlPlane::replay(const EventLog& log)
             }
 
             // Each cell is an independent pure call; fan the rows
-            // out over the pool. Slot-addressed writes keep the
-            // matrix bit-identical for any worker count.
+            // out over the pool, each writing its own slice of the
+            // flat buffer. Slot-addressed writes keep the matrix
+            // bit-identical for any worker count.
             cluster::PerformanceMatrix matrix;
-            matrix.value = runtime::parallelMap(
+            matrix.resize(rows.size(), alive.size());
+            runtime::parallelFor(
                 ctx.pool, rows.size(), [&](std::size_t i) {
-                    std::vector<double> row(alive.size());
+                    double* row = matrix.row(i);
                     for (std::size_t c = 0; c < alive.size(); ++c)
                         row[c] = cells_(rows[i], alive[c],
                                         load[alive[c]]) *
                                  budget_scale;
-                    return row;
                 });
 
             Outcome<std::vector<int>> placed =
@@ -270,8 +271,7 @@ ControlPlane::replay(const EventLog& log)
                     sim::TelemetrySample sample;
                     sample.when = e.tick;
                     sample.lcLoad = Rps(load[srv]);
-                    sample.beThroughput =
-                        Rps(matrix.value[i][c]);
+                    sample.beThroughput = Rps(matrix(i, c));
                     sample.power = Watts(
                         tracker.granted(srv).value() *
                         load[srv]);

@@ -3,26 +3,10 @@
 #include <cmath>
 
 #include "util/check.hpp"
+#include "util/milliwatts.hpp"
 
 namespace poco::ctrl
 {
-
-namespace
-{
-
-std::int64_t
-toMilliwatts(Watts w)
-{
-    return static_cast<std::int64_t>(std::llround(w.value() * 1e3));
-}
-
-Watts
-fromMilliwatts(std::int64_t mw)
-{
-    return Watts{static_cast<double>(mw) * 1e-3};
-}
-
-} // namespace
 
 const char*
 serverHealthName(ServerHealth health)

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "util/check.hpp"
+#include "util/milliwatts.hpp"
 #include "util/rng.hpp"
 
 namespace poco::fleet
@@ -13,23 +14,10 @@ namespace poco::fleet
 namespace
 {
 
-/**
- * Budget arithmetic runs in integer milliwatts: donations and grants
- * are exact, so the conservation invariant (sum of cluster budgets
- * == fleet budget, every epoch) holds bit for bit with no rounding
- * drift to chase.
- */
-long long
-toMilliwatts(Watts w)
-{
-    return std::llround(w.value() * 1000.0);
-}
-
-Watts
-fromMilliwatts(long long mw)
-{
-    return Watts{static_cast<double>(mw) * 1e-3};
-}
+// Budget arithmetic runs in integer milliwatts (util/milliwatts.hpp):
+// donations and grants are exact, so the conservation invariant (sum
+// of cluster budgets == fleet budget, every epoch) holds bit for bit
+// with no rounding drift to chase.
 
 /** FNV-1a 64 over raw bytes. */
 void

@@ -12,24 +12,21 @@ namespace
 {
 
 void
-validateRectangular(const std::vector<std::vector<double>>& m)
+validateView(MatrixView m)
 {
-    POCO_REQUIRE(!m.empty(), "assignment matrix must be non-empty");
-    const std::size_t cols = m.front().size();
-    POCO_REQUIRE(cols > 0, "assignment matrix must have columns");
-    for (const auto& row : m)
-        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
-    POCO_REQUIRE(m.size() <= cols, "requires rows <= cols");
+    POCO_REQUIRE(m.rows > 0, "assignment matrix must be non-empty");
+    POCO_REQUIRE(m.cols > 0, "assignment matrix must have columns");
+    POCO_REQUIRE(m.rows <= m.cols, "requires rows <= cols");
 }
 
 } // namespace
 
 std::vector<int>
-solveAssignmentMin(const std::vector<std::vector<double>>& cost)
+solveAssignmentMin(MatrixView cost)
 {
-    validateRectangular(cost);
-    const int n = static_cast<int>(cost.size());
-    const int m = static_cast<int>(cost.front().size());
+    validateView(cost);
+    const int n = static_cast<int>(cost.rows);
+    const int m = static_cast<int>(cost.cols);
     constexpr double inf = std::numeric_limits<double>::infinity();
 
     // Potentials-based Kuhn-Munkres with 1-based sentinel row/column.
@@ -48,15 +45,16 @@ solveAssignmentMin(const std::vector<std::vector<double>>& cost)
         do {
             used[static_cast<std::size_t>(j0)] = 1;
             const int i0 = p[static_cast<std::size_t>(j0)];
+            const double* row =
+                cost.row(static_cast<std::size_t>(i0 - 1));
+            const double ui = u[static_cast<std::size_t>(i0)];
             double delta = inf;
             int j1 = -1;
             for (int j = 1; j <= m; ++j) {
                 if (used[static_cast<std::size_t>(j)])
                     continue;
                 const double cur =
-                    cost[static_cast<std::size_t>(i0 - 1)]
-                        [static_cast<std::size_t>(j - 1)] -
-                    u[static_cast<std::size_t>(i0)] -
+                    row[static_cast<std::size_t>(j - 1)] - ui -
                     v[static_cast<std::size_t>(j)];
                 if (cur < minv[static_cast<std::size_t>(j)]) {
                     minv[static_cast<std::size_t>(j)] = cur;
@@ -98,41 +96,42 @@ solveAssignmentMin(const std::vector<std::vector<double>>& cost)
 }
 
 std::vector<int>
-solveAssignmentMax(const std::vector<std::vector<double>>& value)
+solveAssignmentMax(MatrixView value)
 {
-    validateRectangular(value);
-    std::vector<std::vector<double>> cost(value.size());
-    for (std::size_t i = 0; i < value.size(); ++i) {
-        cost[i].resize(value[i].size());
-        for (std::size_t j = 0; j < value[i].size(); ++j)
-            cost[i][j] = -value[i][j];
+    validateView(value);
+    std::vector<double> cost(value.rows * value.cols);
+    for (std::size_t i = 0; i < value.rows; ++i) {
+        const double* __restrict__ src = value.row(i);
+        double* __restrict__ dst = cost.data() + i * value.cols;
+        for (std::size_t j = 0; j < value.cols; ++j)
+            dst[j] = -src[j];
     }
-    return solveAssignmentMin(cost);
+    return solveAssignmentMin(
+        MatrixView{cost.data(), value.rows, value.cols});
 }
 
 double
-assignmentValue(const std::vector<std::vector<double>>& value,
-                const std::vector<int>& assignment)
+assignmentValue(MatrixView value, const std::vector<int>& assignment)
 {
-    POCO_REQUIRE(assignment.size() == value.size(),
+    POCO_REQUIRE(assignment.size() == value.rows,
                  "assignment arity mismatch");
     double total = 0.0;
     for (std::size_t i = 0; i < assignment.size(); ++i) {
         const int j = assignment[i];
         POCO_REQUIRE(j >= 0 &&
-                     static_cast<std::size_t>(j) < value[i].size(),
+                     static_cast<std::size_t>(j) < value.cols,
                      "assignment index out of range");
-        total += value[i][static_cast<std::size_t>(j)];
+        total += value(i, static_cast<std::size_t>(j));
     }
     return total;
 }
 
 std::vector<int>
-solveAssignmentExhaustive(const std::vector<std::vector<double>>& value)
+solveAssignmentExhaustive(MatrixView value)
 {
-    validateRectangular(value);
-    const std::size_t rows = value.size();
-    const std::size_t cols = value.front().size();
+    validateView(value);
+    const std::size_t rows = value.rows;
+    const std::size_t cols = value.cols;
     POCO_REQUIRE(cols <= 10, "exhaustive search limited to <= 10 tasks");
 
     std::vector<int> perm(cols);
@@ -152,6 +151,41 @@ solveAssignmentExhaustive(const std::vector<std::vector<double>>& value)
         }
     } while (std::next_permutation(perm.begin(), perm.end()));
     return best;
+}
+
+std::vector<int>
+solveAssignmentMin(const std::vector<std::vector<double>>& cost) // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(cost);
+    return solveAssignmentMin(
+        MatrixView{flat.data(), cost.size(), cost.front().size()});
+}
+
+std::vector<int>
+solveAssignmentMax(const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(value);
+    return solveAssignmentMax(
+        MatrixView{flat.data(), value.size(), value.front().size()});
+}
+
+double
+assignmentValue(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
+                const std::vector<int>& assignment)
+{
+    const std::vector<double> flat = flattenRows(value);
+    return assignmentValue(
+        MatrixView{flat.data(), value.size(), value.front().size()},
+        assignment);
+}
+
+std::vector<int>
+solveAssignmentExhaustive(
+    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(value);
+    return solveAssignmentExhaustive(
+        MatrixView{flat.data(), value.size(), value.front().size()});
 }
 
 } // namespace poco::math

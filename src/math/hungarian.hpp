@@ -6,11 +6,18 @@
  * as an exact, fast alternative to the assignment LP (the paper cites
  * Munkres [30] among the standard methods); tests cross-check both
  * against exhaustive search.
+ *
+ * The primary entry points take a math::MatrixView over flat
+ * row-major storage (the cluster layer's PerformanceMatrix buffer);
+ * the nested-vector overloads are compatibility shims for tests and
+ * cold callers that still assemble nested rows.
  */
 
 #pragma once
 
 #include <vector>
+
+#include "math/matrix_view.hpp"
 
 namespace poco::math
 {
@@ -18,31 +25,38 @@ namespace poco::math
 /**
  * Minimum-cost assignment.
  *
- * @param cost cost[i][j] is the cost of assigning agent i to task j.
- *             Must be rectangular with rows <= cols.
+ * @param cost cost(i, j) is the cost of assigning agent i to task j.
+ *             Requires rows <= cols.
  * @return assignment[i] = task chosen for agent i (distinct tasks).
  */
-std::vector<int>
-solveAssignmentMin(const std::vector<std::vector<double>>& cost);
+std::vector<int> solveAssignmentMin(MatrixView cost);
 
 /**
  * Maximum-value assignment (negates and delegates to the min solver).
  *
- * @param value value[i][j] is the benefit of assigning agent i to
- *              task j. Must be rectangular with rows <= cols.
+ * @param value value(i, j) is the benefit of assigning agent i to
+ *              task j. Requires rows <= cols.
  */
-std::vector<int>
-solveAssignmentMax(const std::vector<std::vector<double>>& value);
+std::vector<int> solveAssignmentMax(MatrixView value);
 
 /** Total value of an assignment under a value matrix. */
-double assignmentValue(const std::vector<std::vector<double>>& value,
+double assignmentValue(MatrixView value,
                        const std::vector<int>& assignment);
 
 /**
  * Exhaustive assignment search (reference oracle, O(cols!/(cols-rows)!)).
  * Only suitable for tiny instances such as the paper's 4x4 study.
  */
+std::vector<int> solveAssignmentExhaustive(MatrixView value);
+
+/** Nested-row compatibility shims (cold paths and tests). */
 std::vector<int>
-solveAssignmentExhaustive(const std::vector<std::vector<double>>& value);
+solveAssignmentMin(const std::vector<std::vector<double>>& cost); // poco-lint: allow(nested-vector)
+std::vector<int>
+solveAssignmentMax(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
+double assignmentValue(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
+                       const std::vector<int>& assignment);
+std::vector<int>
+solveAssignmentExhaustive(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
 } // namespace poco::math

@@ -14,17 +14,6 @@ namespace
 
 constexpr double inf = std::numeric_limits<double>::infinity();
 
-void
-validateRectangular(const std::vector<std::vector<double>>& m)
-{
-    POCO_REQUIRE(!m.empty(), "assignment matrix must be non-empty");
-    const std::size_t cols = m.front().size();
-    POCO_REQUIRE(cols > 0, "assignment matrix must have columns");
-    for (const auto& row : m)
-        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
-    POCO_REQUIRE(m.size() <= cols, "requires rows <= cols");
-}
-
 } // namespace
 
 void
@@ -41,16 +30,16 @@ HungarianRepair::augment(int row1)
     do {
         used[static_cast<std::size_t>(j0)] = 1;
         const int i0 = p_[static_cast<std::size_t>(j0)];
+        const double* row =
+            cost_.data() + static_cast<std::size_t>(i0 - 1) * cols_;
+        const double ui = u_[static_cast<std::size_t>(i0)];
         double delta = inf;
         int j1 = -1;
         for (int j = 1; j <= m; ++j) {
             if (used[static_cast<std::size_t>(j)])
                 continue;
-            const double cur =
-                cost_[static_cast<std::size_t>(i0 - 1)]
-                     [static_cast<std::size_t>(j - 1)] -
-                u_[static_cast<std::size_t>(i0)] -
-                v_[static_cast<std::size_t>(j)];
+            const double cur = row[static_cast<std::size_t>(j - 1)] -
+                               ui - v_[static_cast<std::size_t>(j)];
             if (cur < minv[static_cast<std::size_t>(j)]) {
                 minv[static_cast<std::size_t>(j)] = cur;
                 way[static_cast<std::size_t>(j)] = j0;
@@ -91,9 +80,8 @@ HungarianRepair::verify() const
     // columns, and a complete row matching. Tolerance scales with the
     // cost magnitude so large benefit matrices don't false-fail.
     double scale = 1.0;
-    for (std::size_t i = 0; i < rows_; ++i)
-        for (std::size_t j = 0; j < cols_; ++j)
-            scale = std::max(scale, std::abs(cost_[i][j]));
+    for (const double c : cost_)
+        scale = std::max(scale, std::abs(c));
     const double tol = 1e-9 * scale;
 
     std::vector<char> row_matched(rows_ + 1, 0);
@@ -115,7 +103,7 @@ HungarianRepair::verify() const
 
     for (std::size_t i = 0; i < rows_; ++i) {
         for (std::size_t j = 0; j < cols_; ++j) {
-            const double red = cost_[i][j] - u_[i + 1] - v_[j + 1];
+            const double red = costAt(i, j) - u_[i + 1] - v_[j + 1];
             if (red < -tol)
                 return false;
             if (p_[j + 1] == static_cast<int>(i) + 1 &&
@@ -138,17 +126,23 @@ HungarianRepair::extract() const
 }
 
 std::vector<int>
-HungarianRepair::solveFull(
-    const std::vector<std::vector<double>>& value)
+HungarianRepair::solveFull(MatrixView value)
 {
-    validateRectangular(value);
-    rows_ = value.size();
-    cols_ = value.front().size();
+    POCO_REQUIRE(value.rows > 0,
+                 "assignment matrix must be non-empty");
+    POCO_REQUIRE(value.cols > 0,
+                 "assignment matrix must have columns");
+    POCO_REQUIRE(value.rows <= value.cols, "requires rows <= cols");
+    rows_ = value.rows;
+    cols_ = value.cols;
 
-    cost_.assign(rows_, std::vector<double>(cols_, 0.0));
-    for (std::size_t i = 0; i < rows_; ++i)
+    cost_.resize(rows_ * cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double* __restrict__ src = value.row(i);
+        double* __restrict__ dst = cost_.data() + i * cols_;
         for (std::size_t j = 0; j < cols_; ++j)
-            cost_[i][j] = -value[i][j];
+            dst[j] = -src[j];
+    }
 
     u_.assign(rows_ + 1, 0.0);
     v_.assign(cols_ + 1, 0.0);
@@ -161,23 +155,34 @@ HungarianRepair::solveFull(
     return extract();
 }
 
+std::vector<int>
+HungarianRepair::solveFull(
+    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(value);
+    POCO_REQUIRE(value.size() <= value.front().size(),
+                 "requires rows <= cols");
+    return solveFull(
+        MatrixView{flat.data(), value.size(), value.front().size()});
+}
+
 std::optional<std::vector<int>>
-HungarianRepair::repairRow(std::size_t row,
-                           const std::vector<double>& rowValues)
+HungarianRepair::repairRow(std::size_t row, const double* rowValues,
+                           std::size_t n)
 {
     POCO_REQUIRE(valid_, "repairRow without retained state");
     POCO_REQUIRE(row < rows_, "repairRow row out of range");
-    POCO_REQUIRE(rowValues.size() == cols_,
-                 "repairRow arity mismatch");
+    POCO_REQUIRE(n == cols_, "repairRow arity mismatch");
 
+    double* __restrict__ dst = cost_.data() + row * cols_;
     for (std::size_t j = 0; j < cols_; ++j)
-        cost_[row][j] = -rowValues[j];
+        dst[j] = -rowValues[j];
 
     // Restore dual feasibility on the changed row: the tightest u
     // that keeps every reduced cost in the row non-negative.
     double lo = inf;
     for (std::size_t j = 0; j < cols_; ++j)
-        lo = std::min(lo, cost_[row][j] - v_[j + 1]);
+        lo = std::min(lo, dst[j] - v_[j + 1]);
     u_[row + 1] = lo;
 
     // Free the row and re-match it with one stage.
@@ -207,13 +212,13 @@ HungarianRepair::repairColumn(std::size_t col,
                  "repairColumn arity mismatch");
 
     for (std::size_t i = 0; i < rows_; ++i)
-        cost_[i][col] = -colValues[i];
+        cost_[i * cols_ + col] = -colValues[i];
 
     // Restore dual feasibility on the changed column, keeping the
     // column price non-positive (the <=1 dual sign constraint).
     double lo = inf;
     for (std::size_t i = 0; i < rows_; ++i)
-        lo = std::min(lo, cost_[i][col] - u_[i + 1]);
+        lo = std::min(lo, costAt(i, col) - u_[i + 1]);
     v_[col + 1] = std::min(0.0, lo);
 
     // Free whichever row held the column and re-match it.

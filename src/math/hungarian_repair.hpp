@@ -32,6 +32,8 @@
 #include <optional>
 #include <vector>
 
+#include "math/matrix_view.hpp"
+
 namespace poco::math
 {
 
@@ -43,8 +45,11 @@ class HungarianRepair
      * rows <= cols), retaining potentials and matching for repairs.
      * Same optimum as solveAssignmentMax.
      */
+    std::vector<int> solveFull(MatrixView value);
+
+    /** Nested-row compatibility shim (tests and cold callers). */
     std::vector<int>
-    solveFull(const std::vector<std::vector<double>>& value);
+    solveFull(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
     /** True when state for a (rows, cols) instance is retained. */
     bool
@@ -57,13 +62,20 @@ class HungarianRepair
     void invalidate() { valid_ = false; }
 
     /**
-     * Re-optimize after row @p row changed to @p rowValues (size
-     * cols). One augmenting stage plus an optimality check.
+     * Re-optimize after row @p row changed to @p rowValues (@p n ==
+     * cols entries, e.g. a PerformanceMatrix row pointer — no copy).
+     * One augmenting stage plus an optimality check.
      * @return The new optimal assignment, or nullopt (state
      *         invalidated) when the check fails — fall back cold.
      */
     std::optional<std::vector<int>>
-    repairRow(std::size_t row, const std::vector<double>& rowValues);
+    repairRow(std::size_t row, const double* rowValues,
+              std::size_t n);
+    std::optional<std::vector<int>>
+    repairRow(std::size_t row, const std::vector<double>& rowValues)
+    {
+        return repairRow(row, rowValues.data(), rowValues.size());
+    }
 
     /**
      * Re-optimize after column @p col changed to @p colValues (size
@@ -88,8 +100,12 @@ class HungarianRepair
     std::size_t cols_ = 0;
     bool valid_ = false;
     std::size_t last_stages_ = 0;
-    /** Min-form costs (negated benefits), 0-based. */
-    std::vector<std::vector<double>> cost_;
+    /** Min-form costs (negated benefits), flat row-major, 0-based. */
+    std::vector<double> cost_;
+    double costAt(std::size_t i, std::size_t j) const
+    {
+        return cost_[i * cols_ + j];
+    }
     /** Dual potentials, 1-based with sentinel slot 0. */
     std::vector<double> u_;
     std::vector<double> v_;

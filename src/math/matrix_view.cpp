@@ -1,0 +1,21 @@
+#include "math/matrix_view.hpp"
+
+namespace poco::math
+{
+
+std::vector<double>
+flattenRows(const std::vector<std::vector<double>>& rows) // poco-lint: allow(nested-vector)
+{
+    POCO_REQUIRE(!rows.empty(), "matrix must be non-empty");
+    const std::size_t cols = rows.front().size();
+    POCO_REQUIRE(cols > 0, "matrix must have columns");
+    std::vector<double> flat;
+    flat.reserve(rows.size() * cols);
+    for (const auto& row : rows) {
+        POCO_REQUIRE(row.size() == cols, "ragged matrix");
+        flat.insert(flat.end(), row.begin(), row.end());
+    }
+    return flat;
+}
+
+} // namespace poco::math

@@ -20,6 +20,7 @@ OlsResult::predict(const std::vector<double>& x) const
 }
 
 OlsResult
+// poco-lint: allow(nested-vector) -- fit-time sample rows, not a solver matrix
 fitOls(const std::vector<std::vector<double>>& x,
        const std::vector<double>& y,
        bool fit_intercept)

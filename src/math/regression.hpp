@@ -53,6 +53,7 @@ struct OlsResult
  * @throws poco::FatalError on shape errors or a singular design
  *         (e.g. fewer samples than parameters, collinear features).
  */
+// poco-lint: allow(nested-vector) -- fit-time sample rows, not a solver matrix
 OlsResult fitOls(const std::vector<std::vector<double>>& x,
                  const std::vector<double>& y,
                  bool fit_intercept = true);

@@ -202,13 +202,12 @@ extractX(const SimplexTableau& t, std::size_t n)
  * row-major. Validates the matrix shape.
  */
 LpProblem
-buildAssignmentProblem(const std::vector<std::vector<double>>& value)
+buildAssignmentProblem(MatrixView value)
 {
-    const std::size_t rows = value.size();
+    const std::size_t rows = value.rows;
     POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
-    const std::size_t cols = value.front().size();
-    for (const auto& row : value)
-        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+    const std::size_t cols = value.cols;
+    POCO_REQUIRE(cols > 0, "assignment matrix must have columns");
     POCO_REQUIRE(rows <= cols,
                  "assignment LP requires agents <= tasks");
 
@@ -217,7 +216,7 @@ buildAssignmentProblem(const std::vector<std::vector<double>>& value)
     lp.objective.resize(n);
     for (std::size_t i = 0; i < rows; ++i)
         for (std::size_t j = 0; j < cols; ++j)
-            lp.objective[i * cols + j] = value[i][j];
+            lp.objective[i * cols + j] = value(i, j);
 
     // Each agent assigned exactly once.
     for (std::size_t i = 0; i < rows; ++i) {
@@ -277,21 +276,35 @@ SimplexTableau::setObjective(const std::vector<double>& cost,
 {
     POCO_REQUIRE(cost.size() == ncols_,
                  "objective arity must match tableau columns");
-    // Price out: d_j = c_j - sum_r c_basis[r] * a[r][j]. Each column
-    // is independent and sums its rows in a fixed order, so the row
-    // is bit-identical for any pool size.
+    // Price out: d_j = c_j - sum_r c_basis[r] * a[r][j]. Column
+    // blocks sweep the tableau row by row, so each constraint row's
+    // cache lines are touched once per block instead of once per
+    // column and the inner loop is a straight vectorizable axpy.
+    // Every column still accumulates its rows in the fixed r order,
+    // so the reduced-cost row is bit-identical for any pool size and
+    // any block width.
+    constexpr std::size_t kBlock = 256;
+    const std::size_t nblocks = (ncols_ + kBlock - 1) / kBlock;
     runtime::ThreadPool* pool =
         m_ * ncols_ >= options.pivotCutoff ? options.pool : nullptr;
-    double* __restrict__ obj = row(m_);
+    double* obj = row(m_);
     runtime::parallelFor(
-        pool, ncols_,
-        [this, &cost, obj](std::size_t j) {
-            double z = 0.0;
-            for (std::size_t r = 0; r < m_; ++r)
-                z += cost[basis_[r]] * at(r, j);
-            obj[j] = cost[j] - z;
+        pool, nblocks,
+        [this, &cost, obj](std::size_t b) {
+            const std::size_t lo = b * kBlock;
+            const std::size_t hi = std::min(ncols_, lo + kBlock);
+            const std::size_t width = hi - lo;
+            double acc[kBlock] = {};
+            for (std::size_t r = 0; r < m_; ++r) {
+                const double cb = cost[basis_[r]];
+                const double* __restrict__ arow = row(r) + lo;
+                for (std::size_t j = 0; j < width; ++j)
+                    acc[j] += cb * arow[j];
+            }
+            for (std::size_t j = 0; j < width; ++j)
+                obj[lo + j] = cost[lo + j] - acc[j];
         },
-        /*grain=*/64);
+        /*grain=*/1);
     double z0 = 0.0;
     for (std::size_t r = 0; r < m_; ++r)
         z0 += cost[basis_[r]] * rhs(r);
@@ -307,17 +320,63 @@ SimplexTableau::priceDantzig(const LpOptions& options) const
         std::size_t j;
     };
     const double* __restrict__ obj = row(m_);
-    // Fold keeps the first strict maximum; combine prefers the left
-    // (lower-index) chunk on exact ties — identical to a serial scan.
-    const Best best = runtime::parallelReduce(
-        options.pool, ncols_, Best{kEps, npos},
-        [obj](Best acc, std::size_t j) {
-            if (obj[j] > acc.d)
-                return Best{obj[j], j};
-            return acc;
-        },
-        [](Best lhs, Best rhs) { return rhs.d > lhs.d ? rhs : lhs; },
-        options.pricingGrain);
+
+    // The serial scan keeps the first strict maximum, and that
+    // answer is chunk-invariant: within any range the first strict
+    // maximum is the first index attaining the plain running max, so
+    // a range can be scanned as a vectorizable max sweep followed by
+    // a first-equal locate — same result, bit for bit, because the
+    // double max and the equality compare are exact. Chunks combine
+    // left to right preferring the left side on exact ties, exactly
+    // like the previous parallelReduce fold.
+    auto scanRange = [obj](std::size_t lo, std::size_t hi,
+                           Best acc) {
+        // Four independent running maxima: max is insensitive to
+        // lane interleaving, so the combined peak equals the
+        // single-chain scan's value and the locate pass below
+        // restores the exact first-index answer.
+        double p0 = acc.d;
+        double p1 = acc.d;
+        double p2 = acc.d;
+        double p3 = acc.d;
+        std::size_t j = lo;
+        for (; j + 4 <= hi; j += 4) {
+            p0 = obj[j] > p0 ? obj[j] : p0;
+            p1 = obj[j + 1] > p1 ? obj[j + 1] : p1;
+            p2 = obj[j + 2] > p2 ? obj[j + 2] : p2;
+            p3 = obj[j + 3] > p3 ? obj[j + 3] : p3;
+        }
+        double peak = p0;
+        peak = p1 > peak ? p1 : peak;
+        peak = p2 > peak ? p2 : peak;
+        peak = p3 > peak ? p3 : peak;
+        for (; j < hi; ++j)
+            peak = obj[j] > peak ? obj[j] : peak;
+        if (peak > acc.d) {
+            for (std::size_t j = lo; j < hi; ++j)
+                if (obj[j] == peak)
+                    return Best{peak, j};
+        }
+        return acc;
+    };
+
+    const Best init{kEps, npos};
+    const std::size_t grain =
+        std::max<std::size_t>(options.pricingGrain, 1);
+    const std::size_t nchunks = (ncols_ + grain - 1) / grain;
+    if (options.pool == nullptr || nchunks <= 1)
+        return scanRange(0, ncols_, init).j;
+
+    const std::vector<Best> partials = runtime::parallelMap(
+        options.pool, nchunks, [&](std::size_t chunk) {
+            const std::size_t lo = chunk * grain;
+            const std::size_t hi = std::min(ncols_, lo + grain);
+            return scanRange(lo, hi, init);
+        });
+    Best best = init;
+    for (const Best& part : partials)
+        if (part.d > best.d)
+            best = part;
     return best.j;
 }
 
@@ -367,6 +426,32 @@ SimplexTableau::ratioTest(std::size_t enter,
     return pick.row;
 }
 
+namespace
+{
+
+/**
+ * y[c] -= a * x[c] over [0, n), 4-wide unrolled so the compiler can
+ * keep SIMD lanes full without a runtime dependence check (the
+ * pointers are declared non-aliasing). Each element runs the exact
+ * scalar operation, so the result is bit-identical to the plain loop.
+ */
+inline void
+axpySub(double* __restrict__ y, const double* __restrict__ x,
+        double a, std::size_t n)
+{
+    std::size_t c = 0;
+    for (; c + 4 <= n; c += 4) {
+        y[c] -= a * x[c];
+        y[c + 1] -= a * x[c + 1];
+        y[c + 2] -= a * x[c + 2];
+        y[c + 3] -= a * x[c + 3];
+    }
+    for (; c < n; ++c)
+        y[c] -= a * x[c];
+}
+
+} // namespace
+
 void
 SimplexTableau::pivot(std::size_t prow, std::size_t pcol,
                       const LpOptions& options)
@@ -375,8 +460,17 @@ SimplexTableau::pivot(std::size_t prow, std::size_t pcol,
     const double p = src[pcol];
     POCO_ASSERT(std::abs(p) > kEps, "pivot on a ~zero element");
     const double inv = 1.0 / p;
-    for (std::size_t c = 0; c < stride_; ++c)
-        src[c] *= inv;
+    {
+        std::size_t c = 0;
+        for (; c + 4 <= stride_; c += 4) {
+            src[c] *= inv;
+            src[c + 1] *= inv;
+            src[c + 2] *= inv;
+            src[c + 3] *= inv;
+        }
+        for (; c < stride_; ++c)
+            src[c] *= inv;
+    }
     src[pcol] = 1.0;
 
     // Eliminate the pivot column from every other row, including the
@@ -397,8 +491,7 @@ SimplexTableau::pivot(std::size_t prow, std::size_t pcol,
             dst[pcol] = 0.0;
             return;
         }
-        for (std::size_t c = 0; c < stride_; ++c)
-            dst[c] -= factor * piv[c];
+        axpySub(dst, piv, factor, stride_);
         dst[pcol] = 0.0;
     });
     basis_[prow] = pcol;
@@ -453,31 +546,35 @@ solveLp(const LpProblem& problem, const LpOptions& options)
 }
 
 std::vector<int>
-solveAssignmentLp(const std::vector<std::vector<double>>& value,
-                  const LpOptions& options)
+solveAssignmentLp(MatrixView value, const LpOptions& options)
 {
-    const std::size_t rows = value.size();
-    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
-    const std::size_t cols = value.front().size();
-
     const LpProblem lp = buildAssignmentProblem(value);
     const LpSolution sol = solveLp(lp, options);
     POCO_ASSERT(sol.status == LpStatus::Optimal,
                 "assignment LP must be feasible and bounded");
 
-    auto assignment = tryExtractAssignment(sol.x, rows, cols);
+    auto assignment =
+        tryExtractAssignment(sol.x, value.rows, value.cols);
     POCO_ASSERT(assignment.has_value(),
                 "assignment LP produced a fractional solution");
     return *assignment;
 }
 
 std::vector<int>
-AssignmentLpSolver::solveCold(
-    const std::vector<std::vector<double>>& value)
+solveAssignmentLp(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
+                  const LpOptions& options)
 {
-    const std::size_t rows = value.size();
-    POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
-    const std::size_t cols = value.front().size();
+    const std::vector<double> flat = flattenRows(value);
+    return solveAssignmentLp(
+        MatrixView{flat.data(), value.size(), value.front().size()},
+        options);
+}
+
+std::vector<int>
+AssignmentLpSolver::solveCold(MatrixView value)
+{
+    const std::size_t rows = value.rows;
+    const std::size_t cols = value.cols;
 
     const LpProblem lp = buildAssignmentProblem(value);
     Canonical c = canonicalize(lp);
@@ -502,15 +599,22 @@ AssignmentLpSolver::solveCold(
     return *assignment;
 }
 
-std::optional<std::vector<int>>
-AssignmentLpSolver::solveWarm(
-    const std::vector<std::vector<double>>& value)
+std::vector<int>
+AssignmentLpSolver::solveCold(
+    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
 {
-    const std::size_t rows = value.size();
+    const std::vector<double> flat = flattenRows(value);
+    return solveCold(
+        MatrixView{flat.data(), value.size(), value.front().size()});
+}
+
+std::optional<std::vector<int>>
+AssignmentLpSolver::solveWarm(MatrixView value)
+{
+    const std::size_t rows = value.rows;
     POCO_REQUIRE(rows > 0, "assignment needs at least one agent");
-    const std::size_t cols = value.front().size();
-    for (const auto& row : value)
-        POCO_REQUIRE(row.size() == cols, "ragged assignment matrix");
+    const std::size_t cols = value.cols;
+    POCO_REQUIRE(cols > 0, "assignment matrix must have columns");
 
     if (!hasBasis(rows, cols)) {
         invalidate();
@@ -522,9 +626,12 @@ AssignmentLpSolver::solveWarm(
     // the same shape. Re-price and walk to the new optimum.
     const std::size_t ncols = tableau_.cols();
     std::vector<double> cost(ncols, 0.0);
-    for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t i = 0; i < rows; ++i) {
+        const double* __restrict__ src = value.row(i);
+        double* __restrict__ dst = cost.data() + i * cols;
         for (std::size_t j = 0; j < cols; ++j)
-            cost[i * cols + j] = value[i][j];
+            dst[j] = src[j];
+    }
     for (std::size_t j = art_begin_; j < ncols; ++j)
         cost[j] = kArtificialPenalty;
     tableau_.setObjective(cost, options_);
@@ -545,6 +652,15 @@ AssignmentLpSolver::solveWarm(
     }
     exported_basis_ = tableau_.basis();
     return assignment;
+}
+
+std::optional<std::vector<int>>
+AssignmentLpSolver::solveWarm(
+    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(value);
+    return solveWarm(
+        MatrixView{flat.data(), value.size(), value.front().size()});
 }
 
 std::uint64_t

@@ -41,6 +41,8 @@
 #include <optional>
 #include <vector>
 
+#include "math/matrix_view.hpp"
+
 namespace poco::runtime
 {
 class ThreadPool;
@@ -235,13 +237,17 @@ LpSolution solveLp(const LpProblem& problem,
  * are constrained to 1 (rows <= 1 when rectangular). Integrality of
  * the assignment polytope makes the optimum a 0/1 matrix.
  *
- * @param value value[i][j] is the benefit of assigning agent i to task
- *              j. Must be rectangular with rows <= cols.
+ * @param value value(i, j) is the benefit of assigning agent i to
+ *              task j. Requires rows <= cols.
  * @param options Pool and cutoffs; defaults run serially.
  * @return assignment[i] = chosen task j for each agent i.
  */
+std::vector<int> solveAssignmentLp(MatrixView value,
+                                   const LpOptions& options = {});
+
+/** Nested-row compatibility shim (cold paths and tests). */
 std::vector<int>
-solveAssignmentLp(const std::vector<std::vector<double>>& value,
+solveAssignmentLp(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
                   const LpOptions& options = {});
 
 /**
@@ -274,8 +280,7 @@ class AssignmentLpSolver
      * Two-phase solve from scratch; retains the optimal basis for
      * subsequent warm solves. Bit-identical to solveAssignmentLp().
      */
-    std::vector<int>
-    solveCold(const std::vector<std::vector<double>>& value);
+    std::vector<int> solveCold(MatrixView value);
 
     /**
      * Re-solve after the value matrix changed but the shape did not:
@@ -285,8 +290,13 @@ class AssignmentLpSolver
      *         ends on a fractional vertex — the caller must fall back
      *         to solveCold().
      */
+    std::optional<std::vector<int>> solveWarm(MatrixView value);
+
+    /** Nested-row compatibility shims (cold paths and tests). */
+    std::vector<int>
+    solveCold(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
     std::optional<std::vector<int>>
-    solveWarm(const std::vector<std::vector<double>>& value);
+    solveWarm(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
     /** True when a basis for a (rows, cols) instance is retained. */
     bool hasBasis(std::size_t rows, std::size_t cols) const

@@ -25,7 +25,22 @@ constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
 } // namespace
 
 std::uint64_t
-hashMatrixContent(const std::vector<std::vector<double>>& value)
+hashMatrixContent(MatrixView value)
+{
+    std::uint64_t h = mix64(value.rows * kGolden + 1);
+    if (value.rows > 0)
+        h = mix64(h ^ (value.cols * kGolden));
+    for (std::size_t i = 0; i < value.rows; ++i) {
+        const double* row = value.row(i);
+        for (std::size_t j = 0; j < value.cols; ++j)
+            h = mix64(h ^ (std::bit_cast<std::uint64_t>(row[j]) +
+                           kGolden));
+    }
+    return h;
+}
+
+std::uint64_t
+hashMatrixContent(const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
 {
     std::uint64_t h = mix64(value.size() * kGolden + 1);
     if (!value.empty())
@@ -38,27 +53,27 @@ hashMatrixContent(const std::vector<std::vector<double>>& value)
 
 bool
 AssignmentCache::matches(const Entry& entry, std::string_view tag,
-                         const std::vector<std::vector<double>>& value)
+                         MatrixView value)
 {
-    if (entry.tag != tag || entry.rows != value.size() ||
-        (entry.rows > 0 && entry.cols != value.front().size()))
+    if (entry.tag != tag || entry.rows != value.rows ||
+        (entry.rows > 0 && entry.cols != value.cols))
         return false;
     std::size_t k = 0;
-    for (const auto& row : value)
-        for (double v : row)
+    for (std::size_t i = 0; i < value.rows; ++i) {
+        const double* row = value.row(i);
+        for (std::size_t j = 0; j < value.cols; ++j)
             // Bit-pattern equality (memcmp semantics): the key must
             // be the exact matrix that was solved, and NaNs or signed
             // zeros must not alias distinct instances.
             if (std::bit_cast<std::uint64_t>(entry.flat[k++]) !=
-                std::bit_cast<std::uint64_t>(v))
+                std::bit_cast<std::uint64_t>(row[j]))
                 return false;
+    }
     return true;
 }
 
 std::optional<std::vector<int>>
-AssignmentCache::lookup(
-    std::string_view tag,
-    const std::vector<std::vector<double>>& value) const
+AssignmentCache::lookup(std::string_view tag, MatrixView value) const
 {
     const std::uint64_t h = hashMatrixContent(value);
     std::lock_guard<std::mutex> guard(mutex_);
@@ -74,18 +89,29 @@ AssignmentCache::lookup(
     return std::nullopt;
 }
 
+std::optional<std::vector<int>>
+AssignmentCache::lookup(
+    std::string_view tag,
+    const std::vector<std::vector<double>>& value) const // poco-lint: allow(nested-vector)
+{
+    const std::vector<double> flat = flattenRows(value);
+    return lookup(tag, MatrixView{flat.data(), value.size(),
+                                  value.front().size()});
+}
+
 void
-AssignmentCache::insert(std::string_view tag,
-                        const std::vector<std::vector<double>>& value,
+AssignmentCache::insert(std::string_view tag, MatrixView value,
                         std::vector<int> assignment)
 {
     Entry entry;
     entry.tag = std::string(tag);
-    entry.rows = value.size();
-    entry.cols = value.empty() ? 0 : value.front().size();
+    entry.rows = value.rows;
+    entry.cols = value.cols;
     entry.flat.reserve(entry.rows * entry.cols);
-    for (const auto& row : value)
-        entry.flat.insert(entry.flat.end(), row.begin(), row.end());
+    for (std::size_t i = 0; i < value.rows; ++i) {
+        const double* row = value.row(i);
+        entry.flat.insert(entry.flat.end(), row, row + value.cols);
+    }
     entry.assignment = std::move(assignment);
 
     const std::uint64_t h = hashMatrixContent(value);
@@ -97,6 +123,18 @@ AssignmentCache::insert(std::string_view tag,
             return;
     bucket.push_back(std::move(entry));
     ++entries_;
+}
+
+void
+AssignmentCache::insert(std::string_view tag,
+                        const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
+                        std::vector<int> assignment)
+{
+    const std::vector<double> flat = flattenRows(value);
+    insert(tag,
+           MatrixView{flat.data(), value.size(),
+                      value.front().size()},
+           std::move(assignment));
 }
 
 SolverCacheStats

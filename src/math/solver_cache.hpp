@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "math/matrix_view.hpp"
+
 namespace poco::math
 {
 
@@ -48,11 +50,13 @@ struct SolverCacheStats
 
 /**
  * 64-bit content hash of a rectangular matrix: dimensions plus every
- * element's bit pattern, mixed SplitMix64-style. Deterministic across
- * runs and platforms with IEEE-754 doubles.
+ * element's bit pattern (row-major), mixed SplitMix64-style.
+ * Deterministic across runs and platforms with IEEE-754 doubles; the
+ * view and nested overloads hash identically for equal content.
  */
+std::uint64_t hashMatrixContent(MatrixView value);
 std::uint64_t
-hashMatrixContent(const std::vector<std::vector<double>>& value);
+hashMatrixContent(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
 /** Content-addressed memo of assignment solutions. */
 class AssignmentCache
@@ -62,13 +66,17 @@ class AssignmentCache
      * Look up the solution stored for (@p tag, @p value); exact
      * element-wise match required. Counts a hit or a miss.
      */
+    std::optional<std::vector<int>> lookup(std::string_view tag,
+                                           MatrixView value) const;
     std::optional<std::vector<int>>
     lookup(std::string_view tag,
-           const std::vector<std::vector<double>>& value) const;
+           const std::vector<std::vector<double>>& value) const; // poco-lint: allow(nested-vector)
 
     /** Store a solution; an exact duplicate key keeps the first. */
+    void insert(std::string_view tag, MatrixView value,
+                std::vector<int> assignment);
     void insert(std::string_view tag,
-                const std::vector<std::vector<double>>& value,
+                const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
                 std::vector<int> assignment);
 
     /**
@@ -77,8 +85,7 @@ class AssignmentCache
      */
     template <typename Solve>
     std::vector<int>
-    getOrCompute(std::string_view tag,
-                 const std::vector<std::vector<double>>& value,
+    getOrCompute(std::string_view tag, MatrixView value,
                  Solve&& solve)
     {
         if (auto hit = lookup(tag, value))
@@ -86,6 +93,20 @@ class AssignmentCache
         std::vector<int> result = solve();
         insert(tag, value, result);
         return result;
+    }
+
+    template <typename Solve>
+    std::vector<int>
+    getOrCompute(std::string_view tag,
+                 const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
+                 Solve&& solve)
+    {
+        const std::vector<double> flat = flattenRows(value);
+        return getOrCompute(
+            tag,
+            MatrixView{flat.data(), value.size(),
+                       value.front().size()},
+            std::forward<Solve>(solve));
     }
 
     SolverCacheStats stats() const;
@@ -108,7 +129,7 @@ class AssignmentCache
     };
 
     static bool matches(const Entry& entry, std::string_view tag,
-                        const std::vector<std::vector<double>>& value);
+                        MatrixView value);
 
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;

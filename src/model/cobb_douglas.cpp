@@ -57,6 +57,51 @@ CobbDouglasUtility::powerAt(const std::vector<double>& r) const
     return Watts{power};
 }
 
+void
+CobbDouglasUtility::performanceBatch(std::size_t n,
+                                     const double* const* r_cols,
+                                     double* out) const
+{
+    // Validation up front so the sweeps below stay branch-free.
+    for (std::size_t j = 0; j < alpha_.size(); ++j) {
+        POCO_REQUIRE(r_cols[j] != nullptr,
+                     "batch needs one column per resource");
+        for (std::size_t i = 0; i < n; ++i)
+            POCO_REQUIRE(r_cols[j][i] > 0.0,
+                         "resources must be positive");
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = log_a0_;
+    for (std::size_t j = 0; j < alpha_.size(); ++j) {
+        const double a = alpha_[j];
+        const double* __restrict__ col = r_cols[j];
+        double* __restrict__ acc = out;
+        for (std::size_t i = 0; i < n; ++i)
+            acc[i] += a * std::log(col[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = std::exp(out[i]);
+}
+
+void
+CobbDouglasUtility::powerAtBatch(std::size_t n,
+                                 const double* const* r_cols,
+                                 double* out) const
+{
+    for (std::size_t j = 0; j < p_coef_.size(); ++j)
+        POCO_REQUIRE(r_cols[j] != nullptr,
+                     "batch needs one column per resource");
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = p_static_;
+    for (std::size_t j = 0; j < p_coef_.size(); ++j) {
+        const double p = p_coef_[j];
+        const double* __restrict__ col = r_cols[j];
+        double* __restrict__ acc = out;
+        for (std::size_t i = 0; i < n; ++i)
+            acc[i] += p * col[i];
+    }
+}
+
 namespace
 {
 

@@ -63,6 +63,29 @@ class CobbDouglasUtility
     Watts powerAt(const std::vector<double>& r) const;
 
     /**
+     * Batched structure-of-arrays performance: @p r_cols holds one
+     * column pointer per resource (k entries), each addressing @p n
+     * values; out[i] receives the performance of the resource vector
+     * {r_cols[0][i], ..., r_cols[k-1][i]}.
+     *
+     * One log sweep per resource column and one exp sweep over the
+     * result — not a log/exp pair per cell. Each element runs the
+     * exact operation sequence of performance() (log_a0, then
+     * += alpha_j * log(r_j) in column order, then exp), so every
+     * out[i] is bit-identical to the scalar call.
+     */
+    void performanceBatch(std::size_t n, const double* const* r_cols,
+                          double* out) const;
+
+    /**
+     * Batched modeled power (watts, raw doubles): one multiply-add
+     * sweep per resource column, bit-identical to powerAt() per
+     * element.
+     */
+    void powerAtBatch(std::size_t n, const double* const* r_cols,
+                      double* out) const;
+
+    /**
      * Direct preference: alpha_j normalized to sum 1 (paper Fig. 9).
      * Power-unaware view of which resources help performance.
      */

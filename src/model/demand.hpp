@@ -54,6 +54,58 @@ minPowerAllocationFor(const CobbDouglasUtility& utility,
                       double tie_epsilon = 0.002);
 
 /**
+ * Structure-of-arrays evaluation of a utility over the whole
+ * (cores, ways) lattice.
+ *
+ * minPowerAllocationFor() pays a log/exp pair per lattice cell per
+ * query, and the matrix build queries the same utility at every load
+ * point. The grid evaluates the modeled performance and power of
+ * every cell once — one batched log/exp sweep per resource column
+ * via CobbDouglasUtility::performanceBatch — and minPowerFor() then
+ * replays minPowerAllocationFor()'s two passes over the precomputed
+ * columns: same cell order, same comparisons, same tie band. Because
+ * the batched cell values are bit-identical to the scalar calls,
+ * every minPowerFor() result is bit-identical to
+ * minPowerAllocationFor() for any (target, headroom, tie_epsilon).
+ */
+class AllocationGrid
+{
+  public:
+    AllocationGrid(const CobbDouglasUtility& utility,
+                   const sim::ServerSpec& spec);
+
+    /** Bit-identical replay of minPowerAllocationFor(). */
+    std::optional<AllocationPlan>
+    minPowerFor(double target_perf, double headroom = 1.0,
+                double tie_epsilon = 0.002) const;
+
+    /** Modeled performance of cell (cores @p c, ways @p w), 1-based. */
+    double perfAt(int c, int w) const
+    {
+        return perf_[index(c, w)];
+    }
+
+    /** Modeled power of cell (cores @p c, ways @p w), 1-based. */
+    Watts powerAt(int c, int w) const
+    {
+        return Watts{power_[index(c, w)]};
+    }
+
+  private:
+    std::size_t index(int c, int w) const
+    {
+        return static_cast<std::size_t>(c - 1) *
+                   static_cast<std::size_t>(spec_.llcWays) +
+               static_cast<std::size_t>(w - 1);
+    }
+
+    sim::ServerSpec spec_;
+    /** SoA columns over the lattice, (c outer, w inner) order. */
+    std::vector<double> perf_;
+    std::vector<double> power_;
+};
+
+/**
  * The continuous closed-form demand under @p power_budget, rounded to
  * a feasible integer allocation (ceil, clamped to capacity).
  */

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fixed-point power arithmetic in integer milliwatts.
+ *
+ * Budget splitting, donation, and granting are ledger operations:
+ * every milliwatt handed out must come back in a conservation check.
+ * Floating-point accumulation drifts by an ulp per operation, which
+ * forces tolerance-laden checks; integer milliwatts make the ledger
+ * exact — the conservation invariants in the fleet evaluator and the
+ * cluster water-filler are plain integer equalities.
+ *
+ * 1 mW resolution spans +/- 9.2e12 kW in 64 bits, far beyond any
+ * facility; all conversions are exact for budgets below that.
+ */
+
+#pragma once
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace poco
+{
+
+/** Integer milliwatts (signed: donation ledgers go negative). */
+using Milliwatts = long long;
+
+/** Nearest integer milliwatts (round half away from zero). */
+inline Milliwatts
+toMilliwatts(Watts w)
+{
+    return std::llround(w.value() * 1000.0);
+}
+
+/**
+ * Largest integer milliwatts not exceeding @p w. Use when crediting
+ * a float-derived budget to the ledger: the ledger must never hold
+ * more than the source amount, or granting it all back overshoots.
+ */
+inline Milliwatts
+floorMilliwatts(Watts w)
+{
+    return static_cast<Milliwatts>(std::floor(w.value() * 1000.0));
+}
+
+/** Exact conversion back to watts (mw * 1e-3, one rounding). */
+inline Watts
+fromMilliwatts(Milliwatts mw)
+{
+    return Watts{static_cast<double>(mw) * 1e-3};
+}
+
+} // namespace poco

@@ -20,7 +20,7 @@ fi
 
 for rule in banned-random banned-time unchecked-parse no-float \
             no-using-namespace-std pragma-once unordered-iter \
-            deprecated-config; do
+            deprecated-config nested-vector; do
     if ! grep -q "\[$rule\]" "$out"; then
         echo "FAIL: rule $rule never fired"
         cat "$out"
@@ -31,13 +31,23 @@ done
 for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
             bad_namespace.cpp bad_header.hpp bad_unordered.cpp \
             bad_deprecated_config.cpp \
-            cluster/deprecated_config.hpp; do
+            cluster/deprecated_config.hpp \
+            cluster/nested_vector.hpp; do
     if ! grep -q "$file:[0-9]" "$out"; then
         echo "FAIL: no file:line diagnostic for $file"
         cat "$out"
         exit 1
     fi
 done
+
+# The suppressed shim in nested_vector.hpp must not double the
+# count: exactly one nested-vector diagnostic fires.
+nested_hits=$(grep -c "\[nested-vector\]" "$out")
+if [ "$nested_hits" -ne 1 ]; then
+    echo "FAIL: expected 1 nested-vector diagnostic, got $nested_hits"
+    cat "$out"
+    exit 1
+fi
 
 # 2. Clean fixtures must not appear in the report at all.
 for file in suppressed_ok.cpp good.hpp; do

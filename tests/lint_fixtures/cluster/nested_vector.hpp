@@ -1,0 +1,15 @@
+#pragma once
+
+// Seeded violation: a nested matrix in a solver-facing directory
+// must be flagged by [nested-vector]; the reviewed shim below is
+// suppressed and must stay silent.
+
+#include <vector>
+
+struct BadMatrix
+{
+    std::vector<std::vector<double>> value; // fires nested-vector
+};
+
+// poco-lint: allow(nested-vector)
+std::vector<std::vector<double>> reviewedCompatibilityShim();

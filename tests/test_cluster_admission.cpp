@@ -19,13 +19,12 @@ namespace
 {
 
 PerformanceMatrix
-makeMatrix(std::vector<std::vector<double>> value)
+makeMatrix(const std::vector<std::vector<double>>& value)
 {
-    PerformanceMatrix m;
-    m.value = std::move(value);
-    for (std::size_t i = 0; i < m.value.size(); ++i)
+    PerformanceMatrix m = PerformanceMatrix::fromRows(value);
+    for (std::size_t i = 0; i < m.rows(); ++i)
         m.beNames.push_back("be" + std::to_string(i));
-    for (std::size_t j = 0; j < m.value.front().size(); ++j)
+    for (std::size_t j = 0; j < m.cols(); ++j)
         m.lcNames.push_back("lc" + std::to_string(j));
     return m;
 }
@@ -37,8 +36,7 @@ admittedValue(const PerformanceMatrix& m,
     double total = 0.0;
     for (std::size_t i = 0; i < admitted.size(); ++i)
         if (admitted[i] >= 0)
-            total += m.value[i][static_cast<std::size_t>(
-                admitted[i])];
+            total += m(i, static_cast<std::size_t>(admitted[i]));
     return total;
 }
 

@@ -47,13 +47,13 @@ ClusterEvaluator* PlacementTest::evaluator_ = nullptr;
 TEST_F(PlacementTest, MatrixShapeAndPositivity)
 {
     const auto& m = evaluator_->matrix();
-    ASSERT_EQ(m.value.size(), 4u);
-    ASSERT_EQ(m.value.front().size(), 4u);
+    ASSERT_EQ(m.rows(), 4u);
+    ASSERT_EQ(m.cols(), 4u);
     EXPECT_EQ(m.beNames.size(), 4u);
     EXPECT_EQ(m.lcNames.size(), 4u);
-    for (const auto& row : m.value)
-        for (double v : row)
-            EXPECT_GT(v, 0.0);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            EXPECT_GT(m(i, j), 0.0);
 }
 
 TEST_F(PlacementTest, MatrixFavorsComplementaryPreferences)
@@ -79,20 +79,17 @@ TEST_F(PlacementTest, MatrixFavorsComplementaryPreferences)
     // servers.
     const std::size_t graph = row("graph");
     const std::size_t sphinx = col("sphinx");
-    EXPECT_GT(m.value[graph][sphinx],
-              1.2 * m.value[graph][col("img-dnn")]);
-    EXPECT_GT(m.value[graph][sphinx],
-              1.2 * m.value[graph][col("tpcc")]);
+    EXPECT_GT(m(graph, sphinx), 1.2 * m(graph, col("img-dnn")));
+    EXPECT_GT(m(graph, sphinx), 1.2 * m(graph, col("tpcc")));
     // And sphinx is (at worst a hair's width from) its best server.
     for (std::size_t j = 0; j < m.lcNames.size(); ++j)
-        EXPECT_GT(m.value[graph][sphinx],
-                  0.99 * m.value[graph][j]);
+        EXPECT_GT(m(graph, sphinx), 0.99 * m(graph, j));
     // And graph gains more from sphinx than the cache-loving LSTM
     // does (relative advantage drives the matching).
     const std::size_t lstm = row("lstm");
     const std::size_t imgdnn = col("img-dnn");
-    EXPECT_GT(m.value[graph][sphinx] - m.value[graph][imgdnn],
-              m.value[lstm][sphinx] - m.value[lstm][imgdnn]);
+    EXPECT_GT(m(graph, sphinx) - m(graph, imgdnn),
+              m(lstm, sphinx) - m(lstm, imgdnn));
 }
 
 TEST_F(PlacementTest, ExactSolversAgreeOnTheMatrix)

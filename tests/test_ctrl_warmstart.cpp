@@ -200,8 +200,9 @@ TEST(CtrlWarmstart, IncrementalPlacerMatchesColdChainEventByEvent)
     const std::size_t rows = 6;
     const std::size_t cols = 8;
 
-    cluster::PerformanceMatrix matrix;
-    matrix.value = randomMatrix(rng, rows, cols);
+    cluster::PerformanceMatrix matrix =
+        cluster::PerformanceMatrix::fromRows(
+            randomMatrix(rng, rows, cols));
 
     cluster::IncrementalPlacer placer;
     cluster::IncrementalStats last;
@@ -224,24 +225,24 @@ TEST(CtrlWarmstart, IncrementalPlacerMatchesColdChainEventByEvent)
           case 0: { // LoadShift: one server column re-priced
             const auto col = static_cast<std::size_t>(rng.uniformInt(
                 0, static_cast<int>(cols) - 1));
-            for (auto& row : matrix.value)
-                row[col] = rng.uniform(0.0, 100.0);
+            for (std::size_t i = 0; i < rows; ++i)
+                matrix(i, col) = rng.uniform(0.0, 100.0);
             check(cluster::PlacementDelta::column(col), round);
             break;
           }
           case 1: { // BE profile refresh: one row re-priced
             const auto row = static_cast<std::size_t>(rng.uniformInt(
                 0, static_cast<int>(rows) - 1));
-            for (double& cell : matrix.value[row])
-                cell = rng.uniform(0.0, 100.0);
+            for (std::size_t j = 0; j < cols; ++j)
+                matrix(row, j) = rng.uniform(0.0, 100.0);
             check(cluster::PlacementDelta::row(row), round);
             break;
           }
           default: { // BudgetChange: same shape, everything scaled
             const double scale = rng.uniform(0.5, 1.5);
-            for (auto& row : matrix.value)
-                for (double& cell : row)
-                    cell *= scale;
+            for (std::size_t i = 0; i < rows; ++i)
+                for (std::size_t j = 0; j < cols; ++j)
+                    matrix(i, j) *= scale;
             check(cluster::PlacementDelta::fullRefresh(), round);
             break;
           }
@@ -261,8 +262,8 @@ TEST(CtrlWarmstart, IncrementalPlacerMatchesColdChainEventByEvent)
 TEST(CtrlWarmstart, IncrementalPlacerResetForcesColdPath)
 {
     Rng rng(707);
-    cluster::PerformanceMatrix matrix;
-    matrix.value = randomMatrix(rng, 4, 4);
+    cluster::PerformanceMatrix matrix =
+        cluster::PerformanceMatrix::fromRows(randomMatrix(rng, 4, 4));
     cluster::IncrementalPlacer placer;
     const auto first =
         placer.resolve(matrix, cluster::PlacementDelta::shape());

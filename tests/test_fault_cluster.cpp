@@ -23,12 +23,10 @@ namespace
 PerformanceMatrix
 handMatrix()
 {
-    PerformanceMatrix m;
-    m.value = {{9.0, 2.0, 1.0, 1.0},
-               {2.0, 8.0, 1.0, 1.0},
-               {1.0, 2.0, 7.0, 1.0},
-               {1.0, 1.0, 2.0, 6.0}};
-    return m;
+    return PerformanceMatrix::fromRows({{9.0, 2.0, 1.0, 1.0},
+                                        {2.0, 8.0, 1.0, 1.0},
+                                        {1.0, 2.0, 7.0, 1.0},
+                                        {1.0, 1.0, 2.0, 6.0}});
 }
 
 TEST(Placement, GreedyMatchesOptimumOnDominantDiagonal)
@@ -42,9 +40,9 @@ TEST(Placement, GreedyMatchesOptimumOnDominantDiagonal)
 
 TEST(Placement, GreedyNeverBeatsExactButStaysValid)
 {
-    PerformanceMatrix m;
     // Greedy grabs (0,0)=10 first and forfeits the optimal pairing.
-    m.value = {{10.0, 9.0}, {9.0, 1.0}};
+    const PerformanceMatrix m =
+        PerformanceMatrix::fromRows({{10.0, 9.0}, {9.0, 1.0}});
     const auto greedy = place(m, PlacementKind::Greedy);
     const auto exact = place(m, PlacementKind::Hungarian);
     EXPECT_EQ(greedy, (std::vector<int>{0, 1}));

@@ -87,7 +87,9 @@ TEST(Hungarian, TiesResolveToSomeOptimum)
 
 TEST(Hungarian, InputValidation)
 {
-    EXPECT_THROW(solveAssignmentMin({}), poco::FatalError);
+    EXPECT_THROW(
+        solveAssignmentMin(std::vector<std::vector<double>>{}),
+        poco::FatalError);
     EXPECT_THROW(solveAssignmentMin({{1.0}, {2.0}}),
                  poco::FatalError); // rows > cols
     EXPECT_THROW(solveAssignmentMin({{1.0, 2.0}, {1.0}}),

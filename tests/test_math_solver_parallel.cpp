@@ -184,11 +184,11 @@ randomMatrix(std::size_t n_be, std::size_t n_srv, std::uint64_t seed)
 {
     poco::Rng rng(seed);
     PerformanceMatrix matrix;
-    matrix.value.assign(n_be, std::vector<double>(n_srv, 0.0));
+    matrix.resize(n_be, n_srv);
     for (std::size_t i = 0; i < n_be; ++i) {
         matrix.beNames.push_back("be-" + std::to_string(i));
         for (std::size_t j = 0; j < n_srv; ++j)
-            matrix.value[i][j] = rng.uniform(0.0, 100.0);
+            matrix(i, j) = rng.uniform(0.0, 100.0);
     }
     for (std::size_t j = 0; j < n_srv; ++j)
         matrix.lcNames.push_back("lc-" + std::to_string(j));
@@ -273,8 +273,7 @@ TEST(PlacementParallel, CacheKeysOnKindAndContent)
     EXPECT_EQ(placementValue(matrix, lp),
               placementValue(matrix, hungarian));
     // A one-ulp perturbation is a different key: no stale hit.
-    matrix.value[0][0] =
-        std::nextafter(matrix.value[0][0], 1e300);
+    matrix(0, 0) = std::nextafter(matrix(0, 0), 1e300);
     place(matrix, PlacementKind::Lp, cached);
     EXPECT_EQ(cache.stats().entries, 3u);
 }

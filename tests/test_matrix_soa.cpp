@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bit-identity gate for the batched (SoA) performance-matrix build.
+ *
+ * buildPerformanceMatrix hoists the per-LC allocation lattice into
+ * one batched log/exp sweep (model::AllocationGrid); every cell must
+ * still equal the retained scalar reference bit for bit, for any
+ * worker count and for every degenerate shape the control plane can
+ * feed it. Runs under tier-tsan: the parallel build's slot-addressed
+ * writes are part of the contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/performance_matrix.hpp"
+#include "model/fitter.hpp"
+#include "model/profiler.hpp"
+#include "runtime/thread_pool.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::cluster
+{
+namespace
+{
+
+struct FittedSet
+{
+    wl::AppSet apps;
+    std::vector<BeCandidateModel> be;
+    std::vector<LcServerModel> lc;
+};
+
+const FittedSet&
+fittedSet()
+{
+    static const FittedSet set = [] {
+        FittedSet out;
+        out.apps = wl::defaultAppSet();
+        const model::Profiler profiler;
+        const model::UtilityFitter fitter;
+        for (const auto& app : out.apps.lc)
+            out.lc.push_back({app.name(),
+                              fitter.fit(profiler.profileLc(app)),
+                              app.peakLoad(),
+                              app.provisionedPower()});
+        for (const auto& app : out.apps.be)
+            out.be.push_back(
+                {app.name(), fitter.fit(profiler.profileBe(app))});
+        return out;
+    }();
+    return set;
+}
+
+void
+expectBitIdentical(const PerformanceMatrix& got,
+                   const PerformanceMatrix& want,
+                   const std::string& label)
+{
+    ASSERT_EQ(got.rows(), want.rows()) << label;
+    ASSERT_EQ(got.cols(), want.cols()) << label;
+    for (std::size_t i = 0; i < got.rows(); ++i)
+        for (std::size_t j = 0; j < got.cols(); ++j)
+            EXPECT_EQ(got(i, j), want(i, j))
+                << label << " cell (" << i << ", " << j << ")";
+}
+
+/** Batched build vs scalar oracle across {1, 4} worker threads. */
+void
+expectAllPathsIdentical(const std::vector<BeCandidateModel>& be,
+                        const std::vector<LcServerModel>& lc,
+                        const sim::ServerSpec& spec,
+                        const MatrixConfig& config)
+{
+    const PerformanceMatrix oracle =
+        buildPerformanceMatrixScalar(be, lc, spec, config, nullptr);
+    expectBitIdentical(
+        buildPerformanceMatrix(be, lc, spec, config, nullptr),
+        oracle, "batched serial");
+
+    runtime::ThreadPool pool(4);
+    expectBitIdentical(
+        buildPerformanceMatrix(be, lc, spec, config, &pool), oracle,
+        "batched 4 threads");
+    expectBitIdentical(
+        buildPerformanceMatrixScalar(be, lc, spec, config, &pool),
+        oracle, "scalar 4 threads");
+}
+
+TEST(MatrixSoa, FullSetMatchesScalarBitwise)
+{
+    const FittedSet& set = fittedSet();
+    expectAllPathsIdentical(set.be, set.lc, set.apps.spec, {});
+}
+
+TEST(MatrixSoa, OneByOneMatrix)
+{
+    const FittedSet& set = fittedSet();
+    const std::vector<BeCandidateModel> be = {set.be.front()};
+    const std::vector<LcServerModel> lc = {set.lc.front()};
+    expectAllPathsIdentical(be, lc, set.apps.spec, {});
+
+    const PerformanceMatrix m =
+        buildPerformanceMatrix(be, lc, set.apps.spec);
+    EXPECT_EQ(m.rows(), 1u);
+    EXPECT_EQ(m.cols(), 1u);
+    EXPECT_GT(m(0, 0), 0.0);
+}
+
+TEST(MatrixSoa, SingleLoadPoint)
+{
+    const FittedSet& set = fittedSet();
+    MatrixConfig config;
+    config.loadPoints = {0.5};
+    expectAllPathsIdentical(set.be, set.lc, set.apps.spec, config);
+
+    // One load point means the cell IS the point estimate.
+    const PerformanceMatrix m = buildPerformanceMatrix(
+        set.be, set.lc, set.apps.spec, config);
+    EXPECT_EQ(m(0, 0),
+              estimateCellAtLoad(set.be[0], set.lc[0],
+                                 set.apps.spec, 0.5,
+                                 config.headroom));
+}
+
+TEST(MatrixSoa, AllZeroSpareCapacity)
+{
+    // A power cap below any modeled draw leaves no spare power at
+    // any load: every cell must be exactly zero on both paths.
+    const FittedSet& set = fittedSet();
+    std::vector<LcServerModel> starved = set.lc;
+    for (auto& server : starved)
+        server.powerCap = Watts{1.0};
+    expectAllPathsIdentical(set.be, starved, set.apps.spec, {});
+
+    const PerformanceMatrix m =
+        buildPerformanceMatrix(set.be, starved, set.apps.spec);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            EXPECT_EQ(m(i, j), 0.0)
+                << "cell (" << i << ", " << j << ")";
+}
+
+TEST(MatrixSoa, NamesAndShapePreserved)
+{
+    const FittedSet& set = fittedSet();
+    const PerformanceMatrix m =
+        buildPerformanceMatrix(set.be, set.lc, set.apps.spec);
+    ASSERT_EQ(m.beNames.size(), set.be.size());
+    ASSERT_EQ(m.lcNames.size(), set.lc.size());
+    for (std::size_t i = 0; i < set.be.size(); ++i)
+        EXPECT_EQ(m.beNames[i], set.be[i].name);
+    for (std::size_t j = 0; j < set.lc.size(); ++j)
+        EXPECT_EQ(m.lcNames[j], set.lc[j].name);
+}
+
+} // namespace
+} // namespace poco::cluster

@@ -132,9 +132,12 @@ TEST(MatrixDeterminism, SerialAndPooledCellsMatch)
         buildPerformanceMatrix(be, lc, set.spec, {}, nullptr);
     const auto pooled =
         buildPerformanceMatrix(be, lc, set.spec, {}, &pool);
-    ASSERT_EQ(serial.value.size(), pooled.value.size());
-    for (std::size_t i = 0; i < serial.value.size(); ++i)
-        EXPECT_EQ(serial.value[i], pooled.value[i]) << "row " << i;
+    ASSERT_EQ(serial.rows(), pooled.rows());
+    ASSERT_EQ(serial.cols(), pooled.cols());
+    for (std::size_t i = 0; i < serial.rows(); ++i)
+        for (std::size_t j = 0; j < serial.cols(); ++j)
+            EXPECT_EQ(serial(i, j), pooled(i, j))
+                << "cell (" << i << ", " << j << ")";
 }
 
 void
@@ -244,12 +247,12 @@ TEST_F(EvaluatorDeterminism, SerialAndEightThreadsBitIdentical)
         EXPECT_EQ(serial.lcModels()[j].powerCap,
                   parallel.lcModels()[j].powerCap);
     }
-    ASSERT_EQ(serial.matrix().value.size(),
-              parallel.matrix().value.size());
-    for (std::size_t i = 0; i < serial.matrix().value.size(); ++i)
-        EXPECT_EQ(serial.matrix().value[i],
-                  parallel.matrix().value[i])
-            << "matrix row " << i;
+    ASSERT_EQ(serial.matrix().rows(), parallel.matrix().rows());
+    ASSERT_EQ(serial.matrix().cols(), parallel.matrix().cols());
+    for (std::size_t i = 0; i < serial.matrix().rows(); ++i)
+        for (std::size_t j = 0; j < serial.matrix().cols(); ++j)
+            EXPECT_EQ(serial.matrix()(i, j), parallel.matrix()(i, j))
+                << "matrix cell (" << i << ", " << j << ")";
 
     // Placements agree, and so does every per-server simulation —
     // POColo exercises the deterministic POM manager path, Random the

@@ -32,6 +32,13 @@
  *   deprecated-config cluster::EvaluatorConfig / cluster::SolverConfig
  *                     outside the shim header — new code takes
  *                     poco::FleetConfig (or cluster::SolverContext).
+ *   nested-vector     std::vector<std::vector<double>> in src/math/
+ *                     or src/cluster/ — solver-facing matrices are
+ *                     flat row-major (math::MatrixView /
+ *                     cluster::PerformanceMatrix); nested rows
+ *                     scatter cache lines and defeat the vectorized
+ *                     kernels. Suppress a reviewed compatibility shim
+ *                     with `// poco-lint: allow(nested-vector)`.
  *   no-using-namespace-std   namespace hygiene.
  *
  * Output: one `file:line: [rule] message` per violation, exit 1 if
@@ -200,6 +207,9 @@ struct TokenRule
     std::string message;
     /** Files whose path contains any of these are exempt. */
     std::vector<std::string> exempt;
+    /** When non-empty, only files whose path contains one of these
+     *  are checked (e.g. scope a layout rule to the solver dirs). */
+    std::vector<std::string> only;
 };
 
 const std::vector<TokenRule>&
@@ -232,6 +242,13 @@ tokenRules()
          "deprecated config struct; use poco::FleetConfig "
          "(fleet/fleet_config.hpp) or cluster::SolverContext",
          {}},
+        {"nested-vector",
+         {"std::vector<std::vector<double>>"},
+         "nested rows scatter cache lines; solver-facing matrices "
+         "are flat row-major (math::MatrixView or "
+         "cluster::PerformanceMatrix)",
+         {},
+         {"math/", "cluster/"}},
     };
     return rules;
 }
@@ -282,6 +299,13 @@ runTokenRules(const FileText& text, std::vector<Violation>& out)
             exempt = exempt || pathContains(text.path, piece);
         if (exempt)
             continue;
+        if (!rule.only.empty()) {
+            bool applies = false;
+            for (const std::string& piece : rule.only)
+                applies = applies || pathContains(text.path, piece);
+            if (!applies)
+                continue;
+        }
         for (std::size_t i = 0; i < text.code.size(); ++i) {
             for (const std::string& token : rule.tokens) {
                 const bool hit =

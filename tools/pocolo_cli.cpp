@@ -250,8 +250,8 @@ cmdMatrix(const wl::AppSet& apps, const Options& options)
     TextTable t(header);
     for (std::size_t i = 0; i < m.beNames.size(); ++i) {
         std::vector<std::string> row = {m.beNames[i]};
-        for (double v : m.value[i])
-            row.push_back(fmt(v, 3));
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            row.push_back(fmt(m(i, j), 3));
         t.addRow(std::move(row));
     }
     std::printf("%s", t.render().c_str());
@@ -281,7 +281,7 @@ cmdPlace(const wl::AppSet& apps, const Options& options,
     TextTable t({"BE app", "LC server", "estimated thr"});
     for (std::size_t i = 0; i < m.beNames.size(); ++i) {
         const auto j = static_cast<std::size_t>(assignment[i]);
-        t.addRow({m.beNames[i], m.lcNames[j], fmt(m.value[i][j], 3)});
+        t.addRow({m.beNames[i], m.lcNames[j], fmt(m(i, j), 3)});
     }
     std::printf("%s", t.render().c_str());
     std::printf("total estimated throughput: %.3f (%s)\n",
