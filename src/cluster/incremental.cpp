@@ -166,6 +166,24 @@ IncrementalPlacer::coldResolve(const PerformanceMatrix& matrix)
     return outcome;
 }
 
+Outcome<std::vector<int>>
+IncrementalPlacer::shed(const PerformanceMatrix& matrix)
+{
+    validateMatrix(matrix);
+    ++stats_.shed;
+    // The engines saw neither this matrix nor this answer; anything
+    // they retain describes a state the stream has moved past.
+    repair_fresh_ = false;
+    warm_fresh_ = false;
+    std::vector<int> identity(matrix.rows());
+    for (std::size_t i = 0; i < identity.size(); ++i)
+        identity[i] = static_cast<int>(i);
+    Degradation flags;
+    flags.conservative = true;
+    return {std::move(identity), SolverTier::Conservative,
+            /*tries=*/0, flags};
+}
+
 void
 IncrementalPlacer::reset()
 {

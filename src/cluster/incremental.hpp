@@ -88,6 +88,7 @@ struct IncrementalStats
     std::uint64_t resynced = 0; ///< full Hungarian re-arms
     std::uint64_t cold = 0;     ///< cold LP solves
     std::uint64_t fallback = 0; ///< placeWithFallback escapes
+    std::uint64_t shed = 0;     ///< backpressure sheds (no solve)
 };
 
 /**
@@ -114,6 +115,18 @@ class IncrementalPlacer
      */
     Outcome<std::vector<int>> resolve(const PerformanceMatrix& matrix,
                                       const PlacementDelta& delta);
+
+    /**
+     * Backpressure escape: skip the whole ladder and return the
+     * Conservative identity assignment (BE row i on column i —
+     * always feasible under the rows <= cols precondition) without
+     * consulting or updating any engine. The matrix has still moved,
+     * so the retained repair/warm state is marked stale; the next
+     * resolve() should pass PlacementDelta::shape() to re-sync.
+     * Deterministic and O(rows) — this is what "shedding to the
+     * Conservative tier" costs instead of a solve.
+     */
+    Outcome<std::vector<int>> shed(const PerformanceMatrix& matrix);
 
     /** Drop all retained solver state (memo entries survive). */
     void reset();

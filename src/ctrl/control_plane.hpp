@@ -18,6 +18,27 @@
  *      full same-shape refresh for a BudgetChange, a shape change
  *      whenever the BE set or the live server set moved.
  *
+ * The per-event state machine lives in ReplayEngine so that it can
+ * be driven one event at a time, checkpointed (CtrlCheckpoint), and
+ * restored — the seams ctrl::MasterGroup builds failover on.
+ * ControlPlane::replay() is the single-master wrapper: fresh engine,
+ * whole log, one rollup.
+ *
+ * Backpressure (DESIGN.md §15): with backpressure enabled the
+ * engine models the master's re-solve budget in logical time — an
+ * admitted re-solve occupies the master for resolveCost ticks, and
+ * admitted-but-unfinished re-solves queue. When an event finds the
+ * queue at the admission window, the engine sheds: the ladder is
+ * skipped, the IncrementalPlacer hands back the Conservative
+ * identity assignment, and the event's state change (the latest
+ * LoadShift level, BE churn, budget scale) is simply folded into
+ * the modeled state so the next admitted re-solve coalesces every
+ * superseded value (LoadShift-last-wins) under one Shape re-sync.
+ * Shed decisions are recorded on the EventRecord and mixed into the
+ * rollup fingerprint — they are a pure function of (log, config),
+ * never of wall clock, so replay stays bit-identical for any
+ * thread count.
+ *
  * Replay contract: replay() resets every piece of state (fresh
  * tracker, fresh placer, fresh memo), so the same log produces a
  * bit-identical CtrlRollup fingerprint on every call and for every
@@ -35,6 +56,7 @@
 #include "cluster/incremental.hpp"
 #include "ctrl/event_log.hpp"
 #include "ctrl/heartbeat.hpp"
+#include "math/solver_cache.hpp"
 #include "util/outcome.hpp"
 #include "util/units.hpp"
 
@@ -54,6 +76,25 @@ namespace poco::ctrl
 using CellModel = std::function<double(
     std::size_t be, std::size_t server, double load)>;
 
+/**
+ * Bounded event-admission window (logical-time backpressure).
+ * Costs are logical ticks, not wall clock, so shed decisions are
+ * deterministic and replayable.
+ */
+struct BackpressureConfig
+{
+    /** Off by default: every matrix change is re-solved exactly. */
+    bool enabled = false;
+    /**
+     * Maximum admitted-but-unfinished re-solves. An event whose
+     * re-solve would be the window+1'th in flight is shed to the
+     * Conservative tier instead of queueing.
+     */
+    std::size_t window = 8;
+    /** Logical ticks one admitted ladder re-solve occupies. */
+    SimTime resolveCost = 100 * kMillisecond;
+};
+
 /** Cluster shape and initial conditions for a control-plane run. */
 struct ControlPlaneConfig
 {
@@ -69,6 +110,8 @@ struct ControlPlaneConfig
     Watts perServerBudget{100.0};
     /** Liveness cadence and ladder thresholds. */
     HeartbeatConfig heartbeat;
+    /** Event-admission window; disabled unless enabled is set. */
+    BackpressureConfig backpressure;
     /**
      * Bench baseline: disable every incremental rung and memo; every
      * re-place is a cold placeWithFallback. Results (assignments,
@@ -87,6 +130,8 @@ struct EventRecord
     /** Solver rung that re-placed, or None when no solve was due. */
     SolverTier tier = SolverTier::None;
     int attempts = 0;
+    /** Backpressure shed this event's re-solve (tier Conservative). */
+    bool shed = false;
     /** Total matrix value of the chosen assignment (row order). */
     double objective = 0.0;
     /** FNV-1a over the assignment vector. */
@@ -99,8 +144,14 @@ struct EventRecord
 struct CtrlRollup
 {
     std::vector<EventRecord> records;
-    /** Events that triggered a re-placement. */
+    /** Events that triggered a re-placement (sheds included). */
     std::size_t resolves = 0;
+    /** Re-solves shed to the Conservative tier (backpressure). */
+    std::size_t sheds = 0;
+    /** Superseded events folded into a later exact re-sync. */
+    std::size_t coalesced = 0;
+    /** High-water mark of the admitted re-solve queue. */
+    std::size_t maxQueueDepth = 0;
     /** Incremental-ladder rung counters. */
     cluster::IncrementalStats solver;
     /** Heartbeat/liveness counters. */
@@ -115,6 +166,139 @@ struct CtrlRollup
      * tests compare this across thread counts and repeated replays.
      */
     std::uint64_t fingerprint = 0;
+    /**
+     * Like fingerprint, but over result semantics only: tiers and
+     * attempt counters are excluded. A failover catch-up re-solves
+     * cold where the uninterrupted oracle ran warm, so the two runs
+     * legitimately differ in tier counters while every assignment,
+     * objective, shed decision, liveness bit, and milliwatt of
+     * budget must agree — this is the fingerprint the chaos
+     * invariants compare against the oracle.
+     */
+    std::uint64_t semanticFingerprint = 0;
+};
+
+/**
+ * A master's cheap durable state after applying events [0, lsn):
+ * the heartbeat ledger (checkpoint-by-copy, see heartbeat.hpp), the
+ * modeled cluster state, the partial rollup, and the backpressure
+ * queue. Deliberately NOT checkpointed: the IncrementalPlacer's
+ * engines and memo — solver state is a pure accelerator, and a
+ * restored master re-arms it from scratch (exactness of every rung
+ * keeps the answers identical; only tiers differ).
+ */
+struct CtrlCheckpoint
+{
+    explicit CtrlCheckpoint(HeartbeatTracker tracker_state)
+        : tracker(std::move(tracker_state))
+    {}
+
+    /** Events [0, lsn) are reflected in this state. */
+    std::size_t lsn = 0;
+    /** Tick of the last applied event (monotonic resume point). */
+    SimTime tick = 0;
+    HeartbeatTracker tracker;
+    std::vector<char> active;
+    std::vector<std::size_t> activeList;
+    std::vector<double> load;
+    double budgetScale = 1.0;
+    std::vector<std::size_t> prevAlive;
+    /** Partial rollup (records for events [0, lsn) + accumulators). */
+    std::vector<EventRecord> records;
+    std::size_t resolves = 0;
+    std::size_t sheds = 0;
+    std::size_t coalesced = 0;
+    std::size_t maxQueueDepth = 0;
+    SolverTier worst = SolverTier::None;
+    int attempts = 0;
+    Degradation degradation;
+    /** Outstanding re-solve completion ticks (ascending). */
+    std::vector<SimTime> pending;
+    /** Sheds since the last exact solve (re-sync debt). */
+    std::size_t dirtySheds = 0;
+
+    /** FNV-1a over every field; restore round-trips must preserve it. */
+    std::uint64_t fingerprint() const;
+};
+
+/**
+ * The per-event replay state machine. Apply events one at a time,
+ * checkpoint() at any LSN boundary, restore from a checkpoint and
+ * keep applying, finish() exactly once for the rollup. Not copyable
+ * or movable (the placer points into the engine's own memo);
+ * MasterGroup heap-allocates one per live master.
+ */
+class ReplayEngine
+{
+  public:
+    /** Fresh engine: state as of LSN 0 (nothing applied). */
+    ReplayEngine(const CellModel& cells,
+                 const ControlPlaneConfig& config,
+                 cluster::SolverContext context,
+                 sim::TelemetryAggregator* telemetry = nullptr);
+
+    /** Restored engine: state as of @p checkpoint (solver cold). */
+    ReplayEngine(const CellModel& cells,
+                 const ControlPlaneConfig& config,
+                 cluster::SolverContext context,
+                 const CtrlCheckpoint& checkpoint,
+                 sim::TelemetryAggregator* telemetry = nullptr);
+
+    ReplayEngine(const ReplayEngine&) = delete;
+    ReplayEngine& operator=(const ReplayEngine&) = delete;
+
+    /** Apply the next event. Ticks must not go backwards. */
+    void apply(const ControlEvent& event);
+
+    /** Events applied so far — the engine's LSN. */
+    std::size_t applied() const { return applied_; }
+
+    /** Snapshot the cheap state (see CtrlCheckpoint). */
+    CtrlCheckpoint checkpoint() const;
+
+    /** Pre-size the record vector (log length known up front). */
+    void reserveRecords(std::size_t events);
+
+    /**
+     * Seal the run: telemetry epoch, budget-conservation assert,
+     * fingerprints. Call exactly once; the engine is spent after.
+     * The outcome's tier is the worst rung any event needed, its
+     * attempts the total across events, its degradation the union.
+     */
+    Outcome<CtrlRollup> finish(SimTime horizon);
+
+  private:
+    /** Owned copies: a caller may hand us temporaries and walk away
+     *  (the engine can outlive any one call site across failovers). */
+    CellModel cells_;
+    ControlPlaneConfig config_;
+    /** Declared before the context/placer that point into it. */
+    math::AssignmentCache memo_;
+    cluster::SolverContext context_;
+    sim::TelemetryAggregator* telemetry_;
+    cluster::IncrementalPlacer placer_;
+    HeartbeatTracker tracker_;
+
+    std::size_t applied_ = 0;
+    SimTime last_tick_ = 0;
+    std::vector<char> active_;
+    std::vector<std::size_t> active_list_;
+    std::vector<double> load_;
+    double budget_scale_ = 1.0;
+    std::vector<std::size_t> prev_alive_;
+
+    std::vector<EventRecord> records_;
+    std::size_t resolves_ = 0;
+    std::size_t sheds_ = 0;
+    std::size_t coalesced_ = 0;
+    std::size_t max_queue_depth_ = 0;
+    SolverTier worst_ = SolverTier::None;
+    int total_attempts_ = 0;
+    Degradation degradation_;
+
+    std::vector<SimTime> pending_;
+    std::size_t dirty_sheds_ = 0;
+    bool finished_ = false;
 };
 
 /**

@@ -70,6 +70,15 @@ EventLog::generate(const EventLogConfig& config)
 
     const Rng root(config.seed);
     std::vector<ControlEvent> events;
+    // Expected event count: horizon seconds times the summed rates
+    // (crashes emit a recover each). The generators below append at
+    // most ~that many entries, so one reservation bounds the queue.
+    const double per_second =
+        config.loadShiftRate + config.beChurnRate +
+        2.0 * config.crashRate + config.budgetChangeRate;
+    events.reserve(static_cast<std::size_t>(
+                       toSeconds(config.horizon) * per_second * 1.5) +
+                   16);
 
     // Each kind draws from its own split stream (keyed by the kind's
     // ordinal), so one kind's traffic never shifts another's ticks —
@@ -168,6 +177,21 @@ EventLog::horizon() const
     return events_.empty() ? 0 : events_.back().tick;
 }
 
+EventLog
+EventLog::suffixFrom(std::size_t lsn) const
+{
+    POCO_REQUIRE(lsn <= events_.size(),
+                 "replay LSN past the end of the log");
+    EventLog tail;
+    // The suffix of a sorted log is sorted; copy it verbatim rather
+    // than re-sorting through fromEvents (which could reorder
+    // same-tick events relative to the prefix the caller applied).
+    tail.events_.assign(events_.begin() +
+                            static_cast<std::ptrdiff_t>(lsn),
+                        events_.end());
+    return tail;
+}
+
 std::uint64_t
 EventLog::fingerprint() const
 {
@@ -192,28 +216,79 @@ EventLog::fingerprint() const
     return h;
 }
 
+namespace
+{
+
+/** Volley spacing for an EventBurst window (magnitude events/s). */
+SimTime
+burstGap(const fault::FaultWindow& w)
+{
+    const double rate = w.magnitude > 0.0 ? w.magnitude : 50.0;
+    return std::max<SimTime>(
+        1, static_cast<SimTime>(static_cast<double>(kSecond) / rate));
+}
+
+} // namespace
+
 EventLog
 eventsFromFaultPlan(const fault::FaultPlan& plan, int servers)
 {
     POCO_REQUIRE(servers >= 1, "need at least one server");
     std::vector<ControlEvent> events;
+    // Exact capacity: crash windows lower to one pair per target,
+    // burst windows to duration / gap volley events.
+    std::size_t count = 0;
     for (const fault::FaultWindow& w : plan.windows()) {
-        if (w.kind != fault::FaultKind::ServerCrash)
-            continue;
-        const int first = w.server < 0 ? 0 : w.server;
-        const int last = w.server < 0 ? servers - 1 : w.server;
-        for (int s = first; s <= last; ++s) {
-            ControlEvent crash;
-            crash.tick = w.start;
-            crash.kind = EventKind::ServerCrash;
-            crash.subject = s;
-            events.push_back(crash);
-            ControlEvent recover;
-            recover.tick = w.end;
-            recover.kind = EventKind::ServerRecover;
-            recover.subject = s;
-            events.push_back(recover);
+        if (w.kind == fault::FaultKind::ServerCrash)
+            count += 2 * static_cast<std::size_t>(
+                             w.server < 0 ? servers : 1);
+        else if (w.kind == fault::FaultKind::EventBurst)
+            count += static_cast<std::size_t>(
+                         (w.duration() - 1) / burstGap(w)) +
+                     1;
+    }
+    events.reserve(count);
+
+    for (const fault::FaultWindow& w : plan.windows()) {
+        if (w.kind == fault::FaultKind::ServerCrash) {
+            const int first = w.server < 0 ? 0 : w.server;
+            const int last = w.server < 0 ? servers - 1 : w.server;
+            for (int s = first; s <= last; ++s) {
+                ControlEvent crash;
+                crash.tick = w.start;
+                crash.kind = EventKind::ServerCrash;
+                crash.subject = s;
+                events.push_back(crash);
+                ControlEvent recover;
+                recover.tick = w.end;
+                recover.kind = EventKind::ServerRecover;
+                recover.subject = s;
+                events.push_back(recover);
+            }
+        } else if (w.kind == fault::FaultKind::EventBurst) {
+            // A storm of single-server LoadShifts. Loads come from a
+            // stream keyed by the window's own coordinates, so a
+            // burst's volley is independent of every other window
+            // and of the plan it rides in.
+            const SimTime gap = burstGap(w);
+            Rng rng(static_cast<std::uint64_t>(w.start) *
+                        0x9e3779b97f4a7c15ULL ^
+                    static_cast<std::uint64_t>(
+                        static_cast<std::int64_t>(w.server) + 257));
+            int next_target = w.server < 0 ? 0 : w.server;
+            for (SimTime t = w.start; t < w.end; t += gap) {
+                ControlEvent shift;
+                shift.tick = t;
+                shift.kind = EventKind::LoadShift;
+                shift.subject = next_target % servers;
+                shift.value = rng.uniform(0.1, 0.95);
+                events.push_back(shift);
+                if (w.server < 0)
+                    ++next_target; // broadcast: round-robin targets
+            }
         }
+        // MasterKill / MasterPause stay with the MasterGroup; the
+        // remaining kinds are server-level injector business.
     }
     return EventLog::fromEvents(std::move(events));
 }

@@ -103,6 +103,17 @@ class EventLog
     /** Last event's tick (0 for an empty log). */
     SimTime horizon() const;
 
+    /**
+     * The log's tail starting at position @p lsn — the replay-from-
+     * LSN seam for checkpoint recovery: a master that checkpointed
+     * after applying events [0, lsn) catches up by replaying exactly
+     * suffixFrom(lsn). LSNs are positions, not ticks, so a
+     * checkpoint taken between two same-tick events splits the
+     * burst exactly where the primary stopped. lsn == size() yields
+     * an empty log; lsn > size() is a caller error (throws).
+     */
+    EventLog suffixFrom(std::size_t lsn) const;
+
     /** FNV-1a over every event's fields (replay identity checks). */
     std::uint64_t fingerprint() const;
 
@@ -112,9 +123,14 @@ class EventLog
 
 /**
  * The fault-injection seam: lower a FaultPlan's ServerCrash windows
- * into ServerCrash / ServerRecover event pairs so a schedule written
- * for the batch evaluators drives the streaming master unchanged.
- * Broadcast windows (server == -1) expand to one pair per server.
+ * into ServerCrash / ServerRecover event pairs, and its EventBurst
+ * windows into dense LoadShift volleys (`magnitude` events/second,
+ * loads drawn from a split stream keyed by the window, broadcast
+ * windows round-robining the servers), so a schedule written for
+ * the batch evaluators drives the streaming master unchanged.
+ * Broadcast crash windows (server == -1) expand to one pair per
+ * server. MasterKill / MasterPause windows are NOT lowered — they
+ * target the control plane itself and are consumed by MasterGroup.
  */
 EventLog eventsFromFaultPlan(const fault::FaultPlan& plan,
                              int servers);

@@ -157,6 +157,22 @@ HeartbeatTracker::granted(std::size_t server) const
                                     : Watts{};
 }
 
+Watts
+HeartbeatTracker::grantedTotal() const
+{
+    std::int64_t granted_mw = 0;
+    for (const ServerState& s : servers_)
+        if (s.granted)
+            granted_mw += grant_mw_;
+    return fromMilliwatts(granted_mw);
+}
+
+Watts
+HeartbeatTracker::totalIssued() const
+{
+    return fromMilliwatts(total_mw_);
+}
+
 bool
 HeartbeatTracker::conservesBudget() const
 {

@@ -76,6 +76,20 @@ struct HeartbeatStats
  * Liveness + budget ledger for one cluster's servers. Logical-time
  * only; drive it forward with advanceTo() before reading state.
  * Not thread-safe; the control plane owns one.
+ *
+ * Checkpoint contract: the tracker is a plain value type (the
+ * per-server jitter Rngs are stored by value), so a copy IS a
+ * checkpoint of the full ledger — schedules, miss counters, health,
+ * the granted flags, and the milliwatt pool. Failover restores by
+ * copying the checkpointed tracker back and replaying the event
+ * suffix; because re-registration and reclaim are guarded by the
+ * per-server granted flag (each moves budget exactly once), a
+ * server that died and re-registered inside the checkpoint interval
+ * cannot be double-granted by the replay — the restored flag
+ * already records which side of the ledger its grant sits on.
+ * Rebuilding a tracker from scratch instead of restoring the copy
+ * would re-issue every initial grant and break conservation; the
+ * chaos suite pins this down.
  */
 class HeartbeatTracker
 {
@@ -122,6 +136,12 @@ class HeartbeatTracker
 
     /** Current grant of @p server (zero while dead). */
     Watts granted(std::size_t server) const;
+
+    /** Sum of outstanding grants (exact integer milliwatts). */
+    Watts grantedTotal() const;
+
+    /** Total budget ever issued (pool + grants at all times). */
+    Watts totalIssued() const;
 
     /** Exact ledger invariant: pool + sum(grants) == total issued. */
     bool conservesBudget() const;

@@ -10,10 +10,17 @@ namespace poco::fault
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan))
 {
-    for (const FaultWindow& w : plan_.windows())
+    for (const FaultWindow& w : plan_.windows()) {
         POCO_REQUIRE(w.kind != FaultKind::ServerCrash,
                      "crash windows are consumed by the cluster "
                      "layer, not a server-level injector");
+        POCO_REQUIRE(w.kind != FaultKind::MasterKill &&
+                         w.kind != FaultKind::MasterPause &&
+                         w.kind != FaultKind::EventBurst,
+                     "control-plane windows are consumed by the "
+                     "ctrl layer (MasterGroup / eventsFromFaultPlan)"
+                     ", not a server-level injector");
+    }
 }
 
 void

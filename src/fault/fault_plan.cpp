@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <map>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -31,6 +33,17 @@ kindRates(const FaultPlanConfig& config)
         {FaultKind::TelemetryStale, config.telemetryStaleRate},
         {FaultKind::ServerCrash, config.crashRate},
         {FaultKind::LoadSpike, config.loadSpikeRate},
+        {FaultKind::EventBurst, config.eventBurstRate},
+    };
+}
+
+/** Control-plane kinds whose target space is masters, not servers. */
+std::vector<KindRate>
+masterKindRates(const FaultPlanConfig& config)
+{
+    return {
+        {FaultKind::MasterKill, config.masterKillRate},
+        {FaultKind::MasterPause, config.masterPauseRate},
     };
 }
 
@@ -67,6 +80,9 @@ faultKindName(FaultKind kind)
       case FaultKind::TelemetryStale: return "telemetry-stale";
       case FaultKind::ServerCrash:    return "server-crash";
       case FaultKind::LoadSpike:      return "load-spike";
+      case FaultKind::MasterKill:     return "master-kill";
+      case FaultKind::MasterPause:    return "master-pause";
+      case FaultKind::EventBurst:     return "event-burst";
     }
     return "?";
 }
@@ -78,7 +94,13 @@ FaultPlan::generate(const FaultPlanConfig& config)
     POCO_REQUIRE(config.servers >= 1, "plan needs at least one server");
     POCO_REQUIRE(config.meanDuration > 0,
                  "mean fault duration must be positive");
+    POCO_REQUIRE(config.masters >= 1,
+                 "plan needs at least one master");
+    POCO_REQUIRE(config.burstEventsPerSecond > 0.0,
+                 "burstEventsPerSecond must be positive");
     for (const KindRate& kr : kindRates(config))
+        POCO_REQUIRE(kr.rate >= 0.0, "fault rates must be >= 0");
+    for (const KindRate& kr : masterKindRates(config))
         POCO_REQUIRE(kr.rate >= 0.0, "fault rates must be >= 0");
 
     constexpr SimTime kMinDuration = 100 * kMillisecond;
@@ -87,56 +109,65 @@ FaultPlan::generate(const FaultPlanConfig& config)
     if (config.horizon == 0)
         return plan;
 
-    // Each (kind, server) pair owns an independent split stream, so a
-    // server's schedule does not depend on the other servers or on
-    // generation order.
+    // Each (kind, target) pair owns an independent split stream, so a
+    // target's schedule does not depend on the other targets or on
+    // generation order. Server kinds key by server index, the
+    // control-plane kinds by master index — the kind ordinal in the
+    // stream key keeps the two spaces from colliding.
     const Rng root(config.seed ^ 0xfa017a4cb5e90d13ULL);
-    for (int s = 0; s < config.servers; ++s) {
-        for (const KindRate& kr : kindRates(config)) {
-            if (kr.rate <= 0.0)
-                continue;
-            const std::uint64_t stream =
-                (static_cast<std::uint64_t>(s) << 8) |
-                static_cast<std::uint64_t>(kr.kind);
-            Rng rng = root.split(stream);
-            SimTime t = 0;
-            while (true) {
-                t += fromSeconds(
-                    exponential(rng, toSeconds(kMinute) / kr.rate));
-                if (t >= config.horizon)
-                    break;
-                SimTime dur = fromSeconds(exponential(
-                    rng, toSeconds(config.meanDuration)));
-                dur = std::max(dur, kMinDuration);
-                const SimTime end =
-                    std::min<SimTime>(t + dur, config.horizon);
+    const auto emit = [&](int target, const KindRate& kr) {
+        const std::uint64_t stream =
+            (static_cast<std::uint64_t>(target) << 8) |
+            static_cast<std::uint64_t>(kr.kind);
+        Rng rng = root.split(stream);
+        SimTime t = 0;
+        while (true) {
+            t += fromSeconds(
+                exponential(rng, toSeconds(kMinute) / kr.rate));
+            if (t >= config.horizon)
+                break;
+            SimTime dur = fromSeconds(exponential(
+                rng, toSeconds(config.meanDuration)));
+            dur = std::max(dur, kMinDuration);
+            const SimTime end =
+                std::min<SimTime>(t + dur, config.horizon);
 
-                FaultWindow w;
-                w.start = t;
-                w.end = end;
-                w.kind = kr.kind;
-                w.server = s;
-                switch (kr.kind) {
-                  case FaultKind::SensorBias:
-                    // Fixed |bias| with a random sign per window.
-                    w.magnitude = rng.bernoulli(0.5)
-                                      ? config.biasMagnitude
-                                      : -config.biasMagnitude;
-                    break;
-                  case FaultKind::LoadSpike:
-                    w.magnitude = config.spikeMagnitude;
-                    break;
-                  default:
-                    w.magnitude = 0.0;
-                    break;
-                }
-                plan.windows_.push_back(w);
-                // Next arrival is drawn from the window's end so the
-                // same kind never overlaps itself on one server.
-                t = end;
+            FaultWindow w;
+            w.start = t;
+            w.end = end;
+            w.kind = kr.kind;
+            w.server = target;
+            switch (kr.kind) {
+              case FaultKind::SensorBias:
+                // Fixed |bias| with a random sign per window.
+                w.magnitude = rng.bernoulli(0.5)
+                                  ? config.biasMagnitude
+                                  : -config.biasMagnitude;
+                break;
+              case FaultKind::LoadSpike:
+                w.magnitude = config.spikeMagnitude;
+                break;
+              case FaultKind::EventBurst:
+                w.magnitude = config.burstEventsPerSecond;
+                break;
+              default:
+                w.magnitude = 0.0;
+                break;
             }
+            plan.windows_.push_back(w);
+            // Next arrival is drawn from the window's end so the
+            // same kind never overlaps itself on one target.
+            t = end;
         }
-    }
+    };
+    for (int s = 0; s < config.servers; ++s)
+        for (const KindRate& kr : kindRates(config))
+            if (kr.rate > 0.0)
+                emit(s, kr);
+    for (int m = 0; m < config.masters; ++m)
+        for (const KindRate& kr : masterKindRates(config))
+            if (kr.rate > 0.0)
+                emit(m, kr);
     std::sort(plan.windows_.begin(), plan.windows_.end(), windowLess);
     return plan;
 }
@@ -147,8 +178,32 @@ FaultPlan::fromWindows(std::vector<FaultWindow> windows)
     for (const FaultWindow& w : windows)
         POCO_REQUIRE(w.end > w.start,
                      "fault window must have positive duration");
+    std::sort(windows.begin(), windows.end(), windowLess);
+
+    // Merge overlaps per (server, kind): two active windows of one
+    // key would double-apply downstream (a bias applied twice, a
+    // crash "recovering" mid-outage), so overlapping episodes
+    // coalesce into their hull. The sweep sees starts in ascending
+    // order, so tracking the last-kept window per key is enough; the
+    // earliest window's magnitude wins (documented in the header).
     FaultPlan plan;
-    plan.windows_ = std::move(windows);
+    plan.windows_.reserve(windows.size());
+    std::map<std::pair<int, int>, std::size_t> last_of_key;
+    for (const FaultWindow& w : windows) {
+        const std::pair<int, int> key{
+            w.server, static_cast<int>(w.kind)};
+        const auto it = last_of_key.find(key);
+        if (it != last_of_key.end() &&
+            plan.windows_[it->second].end > w.start) {
+            FaultWindow& kept = plan.windows_[it->second];
+            kept.end = std::max(kept.end, w.end);
+            continue;
+        }
+        plan.windows_.push_back(w);
+        last_of_key[key] = plan.windows_.size() - 1;
+    }
+    // Merging can grow an earlier window's end past a later one's;
+    // restore the canonical (start, end, server, kind) order.
     std::sort(plan.windows_.begin(), plan.windows_.end(), windowLess);
     return plan;
 }

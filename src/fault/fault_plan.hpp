@@ -29,7 +29,15 @@
 namespace poco::fault
 {
 
-/** The fault taxonomy (DESIGN.md §10). */
+/**
+ * The fault taxonomy (DESIGN.md §10). The last three kinds target
+ * the control plane itself (ctrl::MasterGroup) rather than a
+ * server: `server` then names a *master* index, and the windows are
+ * consumed by the chaos harness, never by a FaultInjector. New
+ * kinds append at the end so existing (server, kind) split-stream
+ * keys — and therefore every previously generated schedule — stay
+ * bit-identical.
+ */
 enum class FaultKind
 {
     SensorStuck,    ///< meter reads freeze at the window-entry value
@@ -39,6 +47,9 @@ enum class FaultKind
     TelemetryStale, ///< reads repeat the last delivered value
     ServerCrash,    ///< whole server offline (cluster-level)
     LoadSpike,      ///< offered LC load scaled by (1 + magnitude)
+    MasterKill,     ///< master loses its in-memory state (ctrl-level)
+    MasterPause,    ///< master stalls but keeps state (ctrl-level)
+    EventBurst,     ///< LoadShift volley at `magnitude` events/s
 };
 
 const char* faultKindName(FaultKind kind);
@@ -74,6 +85,18 @@ struct FaultPlanConfig
     double telemetryStaleRate = 0.0;
     double crashRate = 0.0;
     double loadSpikeRate = 0.0;
+    /** Control-plane fault rates (per master / per burst target). */
+    double masterKillRate = 0.0;
+    double masterPauseRate = 0.0;
+    double eventBurstRate = 0.0;
+
+    /**
+     * Masters the control-plane kinds (MasterKill / MasterPause)
+     * may target; their windows carry the master index in `server`.
+     */
+    int masters = 1;
+    /** LoadShift events per second inside an EventBurst window. */
+    double burstEventsPerSecond = 50.0;
 
     /** Mean fault-window length (exponential, floored at 100 ms). */
     SimTime meanDuration = 10 * kSecond;
@@ -101,7 +124,16 @@ class FaultPlan
     /** Deterministically expand a config into a schedule. */
     static FaultPlan generate(const FaultPlanConfig& config);
 
-    /** Wrap explicit windows (tests, hand-crafted scenarios). */
+    /**
+     * Wrap explicit windows (tests, hand-crafted scenarios).
+     *
+     * Overlapping windows for the same (server, kind) pair are
+     * deterministically merged into their hull — [a, max(b, d)) for
+     * [a, b) and [c, d) with c < b — keeping the earliest-starting
+     * window's magnitude, instead of being silently double-applied
+     * by downstream consumers. Touching windows (c == b) and
+     * windows for distinct (server, kind) keys are kept as given.
+     */
     static FaultPlan fromWindows(std::vector<FaultWindow> windows);
 
     /** True when the plan schedules at least one window. */

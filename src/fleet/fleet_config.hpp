@@ -158,6 +158,21 @@ struct FleetConfig
     double streamingInitialLoad = 0.5;
     /** Bench baseline: cold placeWithFallback on every event. */
     bool streamingForceCold = false;
+    /**
+     * Masters in the control-plane group for
+     * runStreamingWithFailover (primary + standbys). The lease
+     * ladder reuses the heartbeat knobs above with a seed split off
+     * config.seed, so master elections are replayable.
+     */
+    std::size_t ctrlMasters = 2;
+    /** Checkpoint the primary every this many applied events. */
+    std::size_t ctrlCheckpointEvery = 16;
+    /** Bound the master's event-admission queue (shed past it). */
+    bool backpressureEnabled = false;
+    /** Maximum admitted-but-unfinished re-solves before shedding. */
+    std::size_t backpressureWindow = 8;
+    /** Logical ticks one admitted ladder re-solve occupies. */
+    SimTime backpressureResolveCost = 100 * kMillisecond;
 
     // ----- builder setters ---------------------------------------
 
@@ -284,6 +299,29 @@ struct FleetConfig
         streamingForceCold = force_cold;
         return *this;
     }
+    FleetConfig& withFailover(std::size_t masters,
+                              std::size_t checkpoint_every)
+    {
+        POCO_CHECK(masters >= 1,
+                   "ctrlMasters must be at least 1");
+        POCO_CHECK(checkpoint_every >= 1,
+                   "ctrlCheckpointEvery must be at least 1");
+        ctrlMasters = masters;
+        ctrlCheckpointEvery = checkpoint_every;
+        return *this;
+    }
+    FleetConfig& withBackpressure(std::size_t window,
+                                  SimTime resolve_cost)
+    {
+        POCO_CHECK(window >= 1,
+                   "backpressureWindow must be at least 1");
+        POCO_CHECK(resolve_cost > 0,
+                   "backpressureResolveCost must be positive");
+        backpressureEnabled = true;
+        backpressureWindow = window;
+        backpressureResolveCost = resolve_cost;
+        return *this;
+    }
 
     /**
      * Validate every field (the setters validate incrementally; this
@@ -329,6 +367,14 @@ struct FleetConfig
         POCO_CHECK(streamingInitialLoad > 0.0 &&
                        streamingInitialLoad <= 1.0,
                    "streamingInitialLoad must be in (0, 1]");
+        POCO_CHECK(ctrlMasters >= 1,
+                   "ctrlMasters must be at least 1");
+        POCO_CHECK(ctrlCheckpointEvery >= 1,
+                   "ctrlCheckpointEvery must be at least 1");
+        POCO_CHECK(backpressureWindow >= 1,
+                   "backpressureWindow must be at least 1");
+        POCO_CHECK(backpressureResolveCost > 0,
+                   "backpressureResolveCost must be positive");
         return *this;
     }
 };

@@ -258,8 +258,8 @@ FleetEvaluator::runClusterEpoch(
     return out;
 }
 
-Outcome<ctrl::CtrlRollup>
-FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
+FleetEvaluator::StreamingSetup
+FleetEvaluator::streamingSetup() const
 {
     // Flatten the fleet into one control-plane cluster: BE rows are
     // every cluster's fitted candidates in canonical (cluster,
@@ -291,8 +291,9 @@ FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
             server_table[home.members[k]] = {c, home.lcIndices[k]};
     }
 
+    StreamingSetup setup;
     const double headroom = config_.server.controller.headroom;
-    ctrl::CellModel cells =
+    setup.cells =
         [this, be_table, server_table, headroom](
             std::size_t be, std::size_t server, double load) {
             const BeEntry& cand = be_table[be];
@@ -303,7 +304,7 @@ FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
                 clusters_[host.cluster].apps->spec, load, headroom);
         };
 
-    ctrl::ControlPlaneConfig cfg;
+    ctrl::ControlPlaneConfig& cfg = setup.config;
     cfg.servers = servers_.size();
     cfg.bePool = be_table.size();
     cfg.initialBe = be_table.size();
@@ -320,23 +321,33 @@ FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
     cfg.heartbeat.suspectMisses = config_.heartbeatSuspectMisses;
     cfg.heartbeat.deadMisses = config_.heartbeatDeadMisses;
     cfg.heartbeat.seed = config_.seed;
+    cfg.backpressure.enabled = config_.backpressureEnabled;
+    cfg.backpressure.window = config_.backpressureWindow;
+    cfg.backpressure.resolveCost = config_.backpressureResolveCost;
     cfg.forceCold = config_.streamingForceCold;
 
-    cluster::SolverContext ctx;
-    ctx.pool = pool_;
-    ctx.cache = nullptr; // each replay builds its own memo
-    ctx.pivotCutoff = config_.solverPivotCutoff;
-    ctx.pricingGrain = config_.solverPricingGrain;
+    setup.context.pool = pool_;
+    setup.context.cache = nullptr; // each replay builds its own memo
+    setup.context.pivotCutoff = config_.solverPivotCutoff;
+    setup.context.pricingGrain = config_.solverPricingGrain;
 
-    ctrl::ControlPlane plane(std::move(cells), cfg, ctx);
+    setup.clusterOf.resize(servers_.size());
+    for (std::size_t s = 0; s < servers_.size(); ++s)
+        setup.clusterOf[s] = server_table[s].cluster;
+    return setup;
+}
+
+Outcome<ctrl::CtrlRollup>
+FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
+{
+    StreamingSetup setup = streamingSetup();
+    ctrl::ControlPlane plane(std::move(setup.cells), setup.config,
+                             setup.context);
 
     // Telemetry slots are indexed by global server index here (the
     // control plane's column space), unlike run()'s cluster-major
     // slot_base_ layout.
-    std::vector<std::size_t> cluster_of(servers_.size());
-    for (std::size_t s = 0; s < servers_.size(); ++s)
-        cluster_of[s] = server_table[s].cluster;
-    sim::TelemetryAggregator aggregator(std::move(cluster_of),
+    sim::TelemetryAggregator aggregator(std::move(setup.clusterOf),
                                         clusters_.size(), pool_,
                                         config_.asyncTelemetry);
     plane.attachTelemetry(&aggregator);
@@ -350,6 +361,29 @@ FleetEvaluator::runStreaming(const ctrl::EventLog& log) const
     POCO_ASSERT(folded.size() == 1,
                 "streaming replay seals exactly one epoch");
     return outcome;
+}
+
+Outcome<ctrl::MasterGroupRollup>
+FleetEvaluator::runStreamingWithFailover(
+    const ctrl::EventLog& log,
+    const fault::FaultPlan& masterFaults) const
+{
+    StreamingSetup setup = streamingSetup();
+
+    ctrl::MasterGroupConfig group;
+    group.masters = config_.ctrlMasters;
+    group.checkpointEvery = config_.ctrlCheckpointEvery;
+    group.lease.periodTicks = config_.heartbeatPeriod;
+    group.lease.jitterTicks = config_.heartbeatJitter;
+    group.lease.suspectMisses = config_.heartbeatSuspectMisses;
+    group.lease.deadMisses = config_.heartbeatDeadMisses;
+    // Distinct stream from the server heartbeat jitter: master
+    // elections must not consume (or mirror) server liveness draws.
+    group.lease.seed = config_.seed ^ 0xc01df00d5eed1ea5ULL;
+
+    ctrl::MasterGroup masters(std::move(setup.cells), setup.config,
+                              group, setup.context);
+    return masters.run(log, masterFaults);
 }
 
 Outcome<FleetRollup>

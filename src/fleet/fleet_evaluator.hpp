@@ -31,6 +31,7 @@
 
 #include "cluster/cluster_evaluator.hpp"
 #include "ctrl/control_plane.hpp"
+#include "ctrl/master_group.hpp"
 #include "fleet/fleet_config.hpp"
 #include "sim/telemetry_rollup.hpp"
 #include "util/outcome.hpp"
@@ -205,7 +206,38 @@ class FleetEvaluator
     Outcome<ctrl::CtrlRollup>
     runStreaming(const ctrl::EventLog& log) const;
 
+    /**
+     * runStreaming() under master faults: the same flattened fleet
+     * cluster driven through a ctrl::MasterGroup of
+     * config().ctrlMasters masters, checkpointing every
+     * config().ctrlCheckpointEvery events. @p masterFaults supplies
+     * MasterKill / MasterPause windows (window.server = master
+     * index); its other window kinds are ignored here. The lease
+     * ladder reuses the heartbeat knobs with a seed split off
+     * config().seed, distinct from the server heartbeat stream.
+     *
+     * Invariants (the chaos suite gates on these): the rollup holds
+     * exactly one record per log event, conserves budget to the
+     * milliwatt, and matches an uninterrupted single-master run on
+     * the semantic fingerprint. No telemetry on this path.
+     */
+    Outcome<ctrl::MasterGroupRollup>
+    runStreamingWithFailover(const ctrl::EventLog& log,
+                             const fault::FaultPlan& masterFaults)
+        const;
+
   private:
+    /** Shared assembly for the streaming drivers. */
+    struct StreamingSetup
+    {
+        ctrl::CellModel cells;
+        ctrl::ControlPlaneConfig config;
+        cluster::SolverContext context;
+        /** Owning cluster of each global server index. */
+        std::vector<std::size_t> clusterOf;
+    };
+    StreamingSetup streamingSetup() const;
+
     ClusterEpochOutcome
     runClusterEpoch(std::size_t index, double load,
                     long long budget_mw,

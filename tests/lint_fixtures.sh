@@ -20,7 +20,7 @@ fi
 
 for rule in banned-random banned-time unchecked-parse no-float \
             no-using-namespace-std pragma-once unordered-iter \
-            deprecated-config nested-vector; do
+            deprecated-config nested-vector unbounded-queue; do
     if ! grep -q "\[$rule\]" "$out"; then
         echo "FAIL: rule $rule never fired"
         cat "$out"
@@ -32,7 +32,8 @@ for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
             bad_namespace.cpp bad_header.hpp bad_unordered.cpp \
             bad_deprecated_config.cpp \
             cluster/deprecated_config.hpp \
-            cluster/nested_vector.hpp; do
+            cluster/nested_vector.hpp \
+            ctrl/bad_queue.cpp; do
     if ! grep -q "$file:[0-9]" "$out"; then
         echo "FAIL: no file:line diagnostic for $file"
         cat "$out"
@@ -45,6 +46,16 @@ done
 nested_hits=$(grep -c "\[nested-vector\]" "$out")
 if [ "$nested_hits" -ne 1 ]; then
     echo "FAIL: expected 1 nested-vector diagnostic, got $nested_hits"
+    cat "$out"
+    exit 1
+fi
+
+# Same for bad_queue.cpp: the reserved, size-checked, and
+# suppressed sites must not inflate the count past the one seeded
+# violation.
+queue_hits=$(grep -c "\[unbounded-queue\]" "$out")
+if [ "$queue_hits" -ne 1 ]; then
+    echo "FAIL: expected 1 unbounded-queue diagnostic, got $queue_hits"
     cat "$out"
     exit 1
 fi

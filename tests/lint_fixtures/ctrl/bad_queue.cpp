@@ -1,0 +1,42 @@
+// Seeded violation: a per-event container in a ctrl/ path that
+// grows without a visible bound must be flagged by
+// [unbounded-queue] exactly once; the reserved, size-checked, and
+// reviewed-suppressed sites below must all stay silent.
+#include <cstddef>
+#include <vector>
+
+struct Event
+{
+    long long tick = 0;
+};
+
+void
+unboundedGrowth(std::vector<Event>& backlog, const Event& e)
+{
+    backlog.push_back(e); // fires unbounded-queue
+}
+
+void
+reservedGrowth(const std::vector<Event>& in)
+{
+    std::vector<Event> copy;
+    copy.reserve(in.size());
+    for (const Event& e : in)
+        copy.push_back(e); // bounded: copy.reserve above
+}
+
+void
+admissionChecked(std::vector<Event>& window, const Event& e,
+                 std::size_t cap)
+{
+    if (window.size() >= cap)
+        return; // shed instead of growing
+    window.push_back(e); // bounded: size() check just above
+}
+
+void
+reviewedSite(std::vector<Event>& log, const Event& e)
+{
+    // Bounded by construction: the caller truncates per epoch.
+    log.emplace_back(e); // poco-lint: allow(unbounded-queue)
+}

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ctrl/heartbeat.hpp"
+#include "util/milliwatts.hpp"
 #include "util/rng.hpp"
 
 namespace poco::ctrl
@@ -216,6 +217,67 @@ TEST(CtrlHeartbeat, PerServerStreamsAreIndexKeyed)
         EXPECT_EQ(small.health(s), large.health(s)) << "server " << s;
     // Misses accumulate identically on the shared prefix.
     EXPECT_EQ(small.stats().misses, large.stats().misses);
+}
+
+TEST(CtrlHeartbeat, CopyIsACheckpointAndReplaysIdempotently)
+{
+    // Failover contract: a copy of the tracker IS a checkpoint.
+    // Snapshot mid-outage — after the grant was reclaimed but
+    // before the re-registration — then drive the original and the
+    // copy through the identical suffix. The granted-flag guards
+    // must make reclaim/re-grant idempotent: one free on the death
+    // that already happened, one issue on the recovery, on both.
+    HeartbeatConfig config = exactCadence();
+    HeartbeatTracker live(3, config, Watts{50.0});
+    live.crash(2);
+    live.advanceTo(4 * kSecond); // 4 misses -> Dead, grant freed
+    ASSERT_EQ(live.health(2), ServerHealth::Dead);
+    ASSERT_EQ(live.pool(), Watts{50.0});
+
+    HeartbeatTracker restored = live; // the checkpoint
+
+    for (HeartbeatTracker* t : {&live, &restored}) {
+        t->recover(2);
+        t->advanceTo(8 * kSecond);
+        EXPECT_EQ(t->health(2), ServerHealth::Alive);
+        EXPECT_EQ(t->pool(), Watts{});
+        EXPECT_EQ(t->granted(2), Watts{50.0});
+        EXPECT_TRUE(t->conservesBudget());
+    }
+    EXPECT_EQ(restored.fingerprint(), live.fingerprint());
+    EXPECT_EQ(restored.stats().deaths, live.stats().deaths);
+    EXPECT_EQ(restored.stats().registrations,
+              live.stats().registrations);
+}
+
+TEST(CtrlHeartbeat, GrantLedgerIsExactToTheMilliwatt)
+{
+    // An awkward per-server budget (infinite binary fraction in
+    // watts) must still balance exactly: the ledger is integer
+    // milliwatts, so pool + grantedTotal == totalIssued holds as an
+    // equality at every step, never within an epsilon.
+    HeartbeatConfig config = exactCadence();
+    HeartbeatTracker tracker(7, config, Watts{33.333});
+    const auto balanced = [&tracker]() {
+        return toMilliwatts(tracker.pool()) +
+                   toMilliwatts(tracker.grantedTotal()) ==
+               toMilliwatts(tracker.totalIssued());
+    };
+    EXPECT_EQ(toMilliwatts(tracker.totalIssued()),
+              Milliwatts{7 * 33333});
+    EXPECT_TRUE(balanced());
+
+    tracker.crash(3);
+    tracker.crash(5);
+    tracker.advanceTo(4 * kSecond); // both die, grants reclaimed
+    EXPECT_EQ(toMilliwatts(tracker.pool()), Milliwatts{2 * 33333});
+    EXPECT_TRUE(balanced());
+
+    tracker.recover(3);
+    tracker.advanceTo(8 * kSecond); // 3 re-registers, 5 stays dead
+    EXPECT_EQ(toMilliwatts(tracker.pool()), Milliwatts{33333});
+    EXPECT_TRUE(balanced());
+    EXPECT_TRUE(tracker.conservesBudget());
 }
 
 } // namespace

@@ -210,6 +210,79 @@ TEST(FaultInjector, ActuatorFreezesFreqAndDutyOnly)
     EXPECT_EQ(injector.stats().suppressedCommands, 2);
 }
 
+TEST(FaultPlan, FromWindowsMergesOverlapsToHull)
+{
+    // Two overlapping SensorBias windows on server 0 would
+    // double-apply the bias; fromWindows coalesces them into their
+    // hull, keeping the earliest window's magnitude.
+    std::vector<FaultWindow> windows{
+        {2 * kSecond, 6 * kSecond, FaultKind::SensorBias, 0.1, 0},
+        {4 * kSecond, 9 * kSecond, FaultKind::SensorBias, 0.4, 0}};
+    const FaultPlan plan = FaultPlan::fromWindows(windows);
+    ASSERT_EQ(plan.windows().size(), 1u);
+    EXPECT_EQ(plan.windows()[0].start, 2 * kSecond);
+    EXPECT_EQ(plan.windows()[0].end, 9 * kSecond);
+    EXPECT_DOUBLE_EQ(plan.windows()[0].magnitude, 0.1);
+
+    // A fully-contained window must not extend the hull.
+    windows.push_back(
+        {3 * kSecond, 5 * kSecond, FaultKind::SensorBias, 0.9, 0});
+    const FaultPlan nested = FaultPlan::fromWindows(windows);
+    ASSERT_EQ(nested.windows().size(), 1u);
+    EXPECT_EQ(nested.windows()[0].end, 9 * kSecond);
+
+    // Merging is order-independent: fromWindows sorts first.
+    std::swap(windows[0], windows[1]);
+    EXPECT_EQ(FaultPlan::fromWindows(windows).fingerprint(),
+              nested.fingerprint());
+}
+
+TEST(FaultPlan, FromWindowsKeepsDistinctKeysAndTouchingWindows)
+{
+    // Same span, different server or kind: no merge — the keys are
+    // (server, kind) pairs, not time ranges.
+    const FaultPlan keys = FaultPlan::fromWindows(
+        {{2 * kSecond, 6 * kSecond, FaultKind::SensorBias, 0.1, 0},
+         {2 * kSecond, 6 * kSecond, FaultKind::SensorBias, 0.1, 1},
+         {2 * kSecond, 6 * kSecond, FaultKind::SensorStuck, 0.1, 0}});
+    EXPECT_EQ(keys.windows().size(), 3u);
+
+    // Touching windows ([a,b) then [b,c)) are distinct episodes —
+    // back-to-back outages, not one long one.
+    const FaultPlan touching = FaultPlan::fromWindows(
+        {{2 * kSecond, 6 * kSecond, FaultKind::ServerCrash, 0.0, 1},
+         {6 * kSecond, 8 * kSecond, FaultKind::ServerCrash, 0.0, 1}});
+    ASSERT_EQ(touching.windows().size(), 2u);
+    EXPECT_EQ(touching.windows()[0].end,
+              touching.windows()[1].start);
+
+    // Chained overlaps collapse transitively into one hull even
+    // when a merge grows the kept window past a later start.
+    const FaultPlan chain = FaultPlan::fromWindows(
+        {{0, 4 * kSecond, FaultKind::MasterKill, 0.0, 0},
+         {3 * kSecond, 10 * kSecond, FaultKind::MasterKill, 0.0, 0},
+         {9 * kSecond, 12 * kSecond, FaultKind::MasterKill, 0.0, 0}});
+    ASSERT_EQ(chain.windows().size(), 1u);
+    EXPECT_EQ(chain.windows()[0].start, 0);
+    EXPECT_EQ(chain.windows()[0].end, 12 * kSecond);
+}
+
+TEST(FaultInjector, RejectsControlPlaneKinds)
+{
+    // MasterKill / MasterPause / EventBurst target the control
+    // plane, not a simulated server; handing them to the
+    // server-level injector is a wiring bug, caught at attach.
+    for (const FaultKind kind :
+         {FaultKind::MasterKill, FaultKind::MasterPause,
+          FaultKind::EventBurst}) {
+        std::vector<FaultWindow> windows{
+            {0, 5 * kSecond, kind, 1.0, 0}};
+        EXPECT_THROW(FaultInjector(FaultPlan::fromWindows(windows)),
+                     FatalError)
+            << "kind " << static_cast<int>(kind);
+    }
+}
+
 TEST(FaultInjector, LoadSpikeMultiplies)
 {
     sim::EventQueue queue;

@@ -39,6 +39,16 @@
  *                     scatter cache lines and defeat the vectorized
  *                     kernels. Suppress a reviewed compatibility shim
  *                     with `// poco-lint: allow(nested-vector)`.
+ *   unbounded-queue   .push_back / .emplace_back in src/ctrl/ whose
+ *                     receiver is never .reserve()d / .resize()d in
+ *                     the file and has no .size() admission check
+ *                     within the three preceding lines. The ctrl
+ *                     layer is the always-on streaming path: a
+ *                     container that grows per event without a
+ *                     visible bound is how a control plane OOMs
+ *                     under an event storm. Suppress a reviewed
+ *                     bounded-by-construction site with
+ *                     `// poco-lint: allow(unbounded-queue)`.
  *   no-using-namespace-std   namespace hygiene.
  *
  * Output: one `file:line: [rule] message` per violation, exit 1 if
@@ -430,6 +440,73 @@ runUnorderedIter(const FileText& text, std::vector<Violation>& out)
     }
 }
 
+/**
+ * Is the container named @p receiver visibly bounded at line @p idx?
+ * Either the file sizes it somewhere (a .reserve()/.resize() on the
+ * same name — the ctrl idiom is to pre-size every per-event
+ * container at construction), or an admission check reads
+ * `receiver.size()` within the three lines above the growth site.
+ */
+bool
+receiverIsBounded(const FileText& text, std::size_t idx,
+                  const std::string& receiver)
+{
+    for (const std::string& code : text.code)
+        if (code.find(receiver + ".reserve(") != std::string::npos ||
+            code.find(receiver + ".resize(") != std::string::npos)
+            return true;
+    const std::size_t first = idx >= 3 ? idx - 3 : 0;
+    for (std::size_t i = first; i <= idx; ++i)
+        if (text.code[i].find(receiver + ".size()") !=
+            std::string::npos)
+            return true;
+    return false;
+}
+
+void
+runUnboundedQueue(const FileText& text, std::vector<Violation>& out)
+{
+    // Scoped to the streaming control plane: batch layers size
+    // their working sets from the input, but ctrl/ containers live
+    // for the whole event stream.
+    if (!pathContains(text.path, "ctrl/"))
+        return;
+    for (std::size_t i = 0; i < text.code.size(); ++i) {
+        const std::string& code = text.code[i];
+        for (const std::string& grow :
+             {std::string(".push_back("),
+              std::string(".emplace_back(")}) {
+            std::size_t pos = code.find(grow);
+            bool flagged = false;
+            while (pos != std::string::npos && !flagged) {
+                // Receiver: the identifier ending at the dot (the
+                // last path component of e.g. `roll.failovers`).
+                std::size_t begin = pos;
+                while (begin > 0 && isIdentChar(code[begin - 1]))
+                    --begin;
+                const std::string receiver =
+                    code.substr(begin, pos - begin);
+                if (!receiver.empty() &&
+                    !receiverIsBounded(text, i, receiver) &&
+                    !isSuppressed(text, i, "unbounded-queue")) {
+                    out.push_back(
+                        {text.path, i + 1, "unbounded-queue",
+                         receiver + " grows per event with no "
+                                    "reserve/resize or size() "
+                                    "admission check; bound it or "
+                                    "annotate a reviewed site with "
+                                    "poco-lint: "
+                                    "allow(unbounded-queue)"});
+                    flagged = true; // one diagnostic per line
+                }
+                pos = code.find(grow, pos + 1);
+            }
+            if (flagged)
+                break;
+        }
+    }
+}
+
 bool
 lintableFile(const fs::path& path)
 {
@@ -482,6 +559,7 @@ main(int argc, char** argv)
         runUsingNamespaceStd(text, violations);
         runPragmaOnce(text, violations);
         runUnorderedIter(text, violations);
+        runUnboundedQueue(text, violations);
     }
 
     for (const Violation& v : violations)
