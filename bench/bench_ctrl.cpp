@@ -193,7 +193,8 @@ runSingleEvent(std::size_t n, const cluster::SolverContext& context)
             matrix(i, j) = rng.uniform(0.0, 100.0);
 
     cluster::IncrementalPlacer placer(context);
-    placer.resolve(matrix, cluster::PlacementDelta::shape());
+    // Warm-up solve; the outcome itself is intentionally unused.
+    (void)placer.resolve(matrix, cluster::PlacementDelta::shape());
 
     MicroResult out;
     out.servers = n;

@@ -438,7 +438,8 @@ BM_IncrementalResolve(benchmark::State& state)
         for (std::size_t j = 0; j < n; ++j)
             matrix(i, j) = rng.uniform(0.0, 100.0);
     cluster::IncrementalPlacer placer;
-    placer.resolve(matrix, cluster::PlacementDelta::shape());
+    // Warm-up solve; the outcome itself is intentionally unused.
+    (void)placer.resolve(matrix, cluster::PlacementDelta::shape());
     std::size_t col = 0;
     for (auto _ : state) {
         for (std::size_t i = 0; i < n; ++i)
@@ -868,7 +869,8 @@ gateIncrementalResolve()
             matrix(i, j) = rng.uniform(0.0, 100.0);
 
     cluster::IncrementalPlacer placer;
-    placer.resolve(matrix, cluster::PlacementDelta::shape());
+    // Warm-up solve; the outcome itself is intentionally unused.
+    (void)placer.resolve(matrix, cluster::PlacementDelta::shape());
 
     GateRow row;
     row.kernel = "incremental-resolve";

@@ -395,7 +395,7 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
         << managerKindName(kind) << "/" << cap_override << "/"
         << seed_variant;
     {
-        std::lock_guard<std::mutex> guard(cache_mutex_);
+        runtime::LockGuard guard(cache_mutex_);
         if (auto it = cache_.find(key.str()); it != cache_.end())
             return it->second;
     }
@@ -420,7 +420,7 @@ ClusterEvaluator::runPair(std::size_t lc_idx, int be_idx,
         duration, config_.server);
     // Concurrent tasks may have raced on the same key; the runs are
     // deterministic, so whichever insert lands first is the value.
-    std::lock_guard<std::mutex> guard(cache_mutex_);
+    runtime::LockGuard guard(cache_mutex_);
     return cache_.emplace(key.str(), std::move(outcome))
         .first->second;
 }
@@ -442,7 +442,7 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
         << managerKindName(kind) << "/" << load_fraction << "/"
         << cap_override;
     {
-        std::lock_guard<std::mutex> guard(cache_mutex_);
+        runtime::LockGuard guard(cache_mutex_);
         if (auto it = cache_.find(key.str()); it != cache_.end())
             return it->second;
     }
@@ -462,7 +462,7 @@ ClusterEvaluator::runPairAtLoad(std::size_t lc_idx, int be_idx,
         lc, be, cap, makeController(lc_idx, kind, 0),
         wl::LoadTrace::constant(load_fraction), duration,
         config_.server);
-    std::lock_guard<std::mutex> guard(cache_mutex_);
+    runtime::LockGuard guard(cache_mutex_);
     return cache_.emplace(key.str(), std::move(outcome))
         .first->second;
 }

@@ -21,17 +21,18 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "cluster/fleet_config.hpp"
 #include "cluster/performance_matrix.hpp"
 #include "cluster/placement.hpp"
 #include "fault/fault_plan.hpp"
-#include "fleet/fleet_config.hpp"
 #include "math/solver_cache.hpp"
 #include "model/profiler.hpp"
+#include "runtime/mutex.hpp"
 #include "runtime/thread_pool.hpp"
+#include "util/annotations.hpp"
 #include "server/server_manager.hpp"
 #include "wl/load_trace.hpp"
 #include "wl/registry.hpp"
@@ -248,8 +249,9 @@ class ClusterEvaluator
      * same value and the first insert wins. The mutex only guards
      * the map itself.
      */
-    mutable std::mutex cache_mutex_;
-    mutable std::map<std::string, ServerOutcome> cache_;
+    mutable runtime::Mutex cache_mutex_;
+    mutable std::map<std::string, ServerOutcome> cache_
+        POCO_GUARDED_BY(cache_mutex_);
 
     /**
      * Assignment-solve memo shared by every placeBe() call: policies

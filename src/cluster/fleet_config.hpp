@@ -17,7 +17,10 @@
  *
  * The struct lives in namespace poco (not poco::fleet) because every
  * layer consumes it: ClusterEvaluator takes it directly, and
- * fleet::FleetEvaluator adds no config type of its own.
+ * fleet::FleetEvaluator adds no config type of its own. The header
+ * lives under cluster/ — the lowest layer that consumes it — so that
+ * no cluster header reaches *up* into fleet/ (the poco_lint
+ * `layering` rule enforces the downward-only include DAG).
  */
 
 #pragma once

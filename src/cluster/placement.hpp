@@ -61,7 +61,7 @@ const char* placementKindName(PlacementKind kind);
  * (pool) and what to remember (memo cache), plus the LP fan-out
  * cutoffs. The defaults run serially with no memoization; results
  * never depend on the settings. The tuning knobs are owned by
- * poco::FleetConfig (fleet/fleet_config.hpp) — this struct is the
+ * poco::FleetConfig (cluster/fleet_config.hpp) — this struct is the
  * runtime wiring the evaluators assemble from it.
  */
 struct SolverContext

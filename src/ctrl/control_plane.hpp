@@ -218,7 +218,7 @@ struct CtrlCheckpoint
     std::size_t dirtySheds = 0;
 
     /** FNV-1a over every field; restore round-trips must preserve it. */
-    std::uint64_t fingerprint() const;
+    [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /**

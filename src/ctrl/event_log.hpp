@@ -115,7 +115,7 @@ class EventLog
     EventLog suffixFrom(std::size_t lsn) const;
 
     /** FNV-1a over every event's fields (replay identity checks). */
-    std::uint64_t fingerprint() const;
+    [[nodiscard]] std::uint64_t fingerprint() const;
 
   private:
     std::vector<ControlEvent> events_;

@@ -144,12 +144,12 @@ class HeartbeatTracker
     Watts totalIssued() const;
 
     /** Exact ledger invariant: pool + sum(grants) == total issued. */
-    bool conservesBudget() const;
+    [[nodiscard]] bool conservesBudget() const;
 
     const HeartbeatStats& stats() const { return stats_; }
 
     /** FNV-1a over health, grants, and counters (replay identity). */
-    std::uint64_t fingerprint() const;
+    [[nodiscard]] std::uint64_t fingerprint() const;
 
   private:
     struct ServerState

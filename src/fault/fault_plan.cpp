@@ -150,7 +150,16 @@ FaultPlan::generate(const FaultPlanConfig& config)
               case FaultKind::EventBurst:
                 w.magnitude = config.burstEventsPerSecond;
                 break;
-              default:
+              // Every remaining kind is magnitude-free, spelled out
+              // (no default) so -Wswitch-enum forces a decision here
+              // when a new FaultKind is added.
+              case FaultKind::SensorStuck:
+              case FaultKind::SensorDropout:
+              case FaultKind::ActuatorStuck:
+              case FaultKind::TelemetryStale:
+              case FaultKind::ServerCrash:
+              case FaultKind::MasterKill:
+              case FaultKind::MasterPause:
                 w.magnitude = 0.0;
                 break;
             }

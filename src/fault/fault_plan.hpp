@@ -156,7 +156,7 @@ class FaultPlan
      * caches: two plans with equal fingerprints and window counts
      * are treated as the same schedule.
      */
-    std::uint64_t fingerprint() const;
+    [[nodiscard]] std::uint64_t fingerprint() const;
 
   private:
     std::vector<FaultWindow> windows_;

@@ -32,7 +32,7 @@
 #include "cluster/cluster_evaluator.hpp"
 #include "ctrl/control_plane.hpp"
 #include "ctrl/master_group.hpp"
-#include "fleet/fleet_config.hpp"
+#include "cluster/fleet_config.hpp"
 #include "sim/telemetry_rollup.hpp"
 #include "util/outcome.hpp"
 #include "util/units.hpp"
@@ -140,7 +140,7 @@ struct FleetRollup
      * Equal fingerprints mean bit-identical rollups — the
      * shard-determinism suite and bench_ext_hetero gate on this.
      */
-    std::uint64_t fingerprint() const;
+    [[nodiscard]] std::uint64_t fingerprint() const;
 };
 
 /**

@@ -76,7 +76,7 @@ std::optional<std::vector<int>>
 AssignmentCache::lookup(std::string_view tag, MatrixView value) const
 {
     const std::uint64_t h = hashMatrixContent(value);
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::LockGuard guard(mutex_);
     if (auto it = buckets_.find(h); it != buckets_.end()) {
         for (const Entry& entry : it->second) {
             if (matches(entry, tag, value)) {
@@ -115,7 +115,7 @@ AssignmentCache::insert(std::string_view tag, MatrixView value,
     entry.assignment = std::move(assignment);
 
     const std::uint64_t h = hashMatrixContent(value);
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::LockGuard guard(mutex_);
     auto& bucket = buckets_[h];
     // Racing writers compute identical values; keep the first.
     for (const Entry& existing : bucket)
@@ -140,14 +140,14 @@ AssignmentCache::insert(std::string_view tag,
 SolverCacheStats
 AssignmentCache::stats() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::LockGuard guard(mutex_);
     return {hits_, misses_, entries_};
 }
 
 void
 AssignmentCache::clear()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::LockGuard guard(mutex_);
     buckets_.clear();
     hits_ = 0;
     misses_ = 0;

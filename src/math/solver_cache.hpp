@@ -27,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -36,6 +35,8 @@
 #include <vector>
 
 #include "math/matrix_view.hpp"
+#include "runtime/mutex.hpp"
+#include "util/annotations.hpp"
 
 namespace poco::math
 {
@@ -131,11 +132,12 @@ class AssignmentCache
     static bool matches(const Entry& entry, std::string_view tag,
                         MatrixView value);
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_;
-    mutable std::uint64_t hits_ = 0;
-    mutable std::uint64_t misses_ = 0;
-    std::uint64_t entries_ = 0;
+    mutable runtime::Mutex mutex_;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> buckets_
+        POCO_GUARDED_BY(mutex_);
+    mutable std::uint64_t hits_ POCO_GUARDED_BY(mutex_) = 0;
+    mutable std::uint64_t misses_ POCO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t entries_ POCO_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace poco::math

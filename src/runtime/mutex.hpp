@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Capability-annotated mutex primitives (DESIGN.md §16).
+ *
+ * Every mutex-protected structure in the tree locks through these
+ * wrappers instead of <mutex> directly: the wrappers carry the Clang
+ * thread-safety attributes from util/annotations.hpp, so a member
+ * declared POCO_GUARDED_BY(mutex_) can only be touched under a
+ * LockGuard/UniqueLock of that mutex — enforced at compile time by
+ * the -Werror=thread-safety CI job (POCO_THREAD_SAFETY=ON). The
+ * poco_lint `raw-mutex` rule keeps new code from reaching around the
+ * wrappers back to std::mutex.
+ *
+ * The wrappers are zero-cost: each is a thin inline shell over the
+ * corresponding <mutex>/<condition_variable> type, and on non-Clang
+ * compilers the annotations vanish entirely.
+ *
+ * Known analysis limits, and the house idioms for them:
+ *  - Lambdas do not inherit the caller's capability set, so condition
+ *    variable waits use explicit re-check loops around CondVar::wait
+ *    / waitFor instead of predicate overloads.
+ *  - CondVar::wait releases and reacquires the lock internally; the
+ *    analysis treats the capability as held across the call (the
+ *    standard Clang pattern — guarded reads inside the loop re-check
+ *    are exactly the ones the wait just made valid).
+ */
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace poco::runtime
+{
+
+/**
+ * A std::mutex declared as a thread-safety capability. Lock through
+ * LockGuard / UniqueLock; the raw lock()/unlock() surface exists for
+ * the wrappers and for the rare hand-over-hand pattern.
+ */
+class POCO_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() POCO_ACQUIRE() { mutex_.lock(); }
+    void unlock() POCO_RELEASE() { mutex_.unlock(); }
+
+    bool
+    tryLock() POCO_TRY_ACQUIRE(true)
+    {
+        return mutex_.try_lock();
+    }
+
+    /**
+     * Tells the analysis the capability is held without acquiring it
+     * — for code paths where exclusivity is established externally.
+     */
+    void assertHeld() const POCO_ASSERT_CAPABILITY(this) {}
+
+    /** The wrapped mutex, for UniqueLock/CondVar interop only. */
+    std::mutex& native() { return mutex_; }
+
+  private:
+    std::mutex mutex_;
+};
+
+/** RAII lock: the annotated std::lock_guard. */
+class POCO_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex& mutex) POCO_ACQUIRE(mutex)
+        : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+
+    ~LockGuard() POCO_RELEASE() { mutex_.unlock(); }
+
+    LockGuard(const LockGuard&) = delete;
+    LockGuard& operator=(const LockGuard&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/**
+ * RAII lock built on std::unique_lock so it can feed CondVar::wait.
+ * Deliberately minimal: no deferred/adopted modes, no manual
+ * unlock/relock — the lock is held from construction to destruction
+ * as far as the analysis (and every caller) is concerned.
+ */
+class POCO_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex& mutex) POCO_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    ~UniqueLock() POCO_RELEASE() = default;
+
+    UniqueLock(const UniqueLock&) = delete;
+    UniqueLock& operator=(const UniqueLock&) = delete;
+
+    /** The wrapped lock, for CondVar interop only. */
+    std::unique_lock<std::mutex>& native() { return lock_; }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+/**
+ * Condition variable over a UniqueLock. No predicate overloads — the
+ * analysis cannot see capabilities inside a lambda, so callers write
+ * the re-check loop explicitly:
+ *
+ *     UniqueLock lock(mutex_);
+ *     while (!condition_)
+ *         cv_.wait(lock);
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    /** Atomically release @p lock, block, reacquire. May wake
+     *  spuriously — always re-check the condition. */
+    void wait(UniqueLock& lock) { cv_.wait(lock.native()); }
+
+    /** Timed wait; returns (spuriously or not) after at most
+     *  @p timeout. Always re-check the condition. */
+    template <typename Rep, typename Period>
+    void
+    waitFor(UniqueLock& lock,
+            const std::chrono::duration<Rep, Period>& timeout)
+    {
+        cv_.wait_for(lock.native(), timeout);
+    }
+
+    void notifyOne() { cv_.notify_one(); }
+    void notifyAll() { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace poco::runtime

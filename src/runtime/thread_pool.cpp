@@ -34,10 +34,10 @@ ThreadPool::ThreadPool(unsigned threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> guard(wakeMutex_);
+        LockGuard guard(wakeMutex_);
         stop_ = true;
     }
-    wake_.notify_all();
+    wake_.notifyAll();
     for (auto& worker : workers_)
         worker.join();
 }
@@ -63,7 +63,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     POCO_REQUIRE(task != nullptr, "cannot submit an empty task");
     {
-        std::lock_guard<std::mutex> wake(wakeMutex_);
+        LockGuard wake(wakeMutex_);
         // Nested spawns from our own workers go to the spawning
         // worker's deque (LIFO locality); external submissions
         // round-robin.
@@ -78,10 +78,10 @@ ThreadPool::submit(std::function<void()> task)
         // the "work available" predicate forever.
         ++ready_;
         Queue& queue = *queues_[target];
-        std::lock_guard<std::mutex> guard(queue.mutex);
+        LockGuard guard(queue.mutex);
         queue.tasks.push_back(std::move(task));
     }
-    wake_.notify_one();
+    wake_.notifyOne();
 }
 
 bool
@@ -90,7 +90,7 @@ ThreadPool::popTask(std::size_t home, std::function<void()>& out)
     const std::size_t n = queues_.size();
     {
         Queue& queue = *queues_[home % n];
-        std::lock_guard<std::mutex> guard(queue.mutex);
+        LockGuard guard(queue.mutex);
         if (!queue.tasks.empty()) {
             out = std::move(queue.tasks.back());
             queue.tasks.pop_back();
@@ -99,7 +99,7 @@ ThreadPool::popTask(std::size_t home, std::function<void()>& out)
     }
     for (std::size_t k = 1; k < n; ++k) {
         Queue& queue = *queues_[(home + k) % n];
-        std::lock_guard<std::mutex> guard(queue.mutex);
+        LockGuard guard(queue.mutex);
         if (!queue.tasks.empty()) {
             out = std::move(queue.tasks.front());
             queue.tasks.pop_front();
@@ -112,7 +112,7 @@ ThreadPool::popTask(std::size_t home, std::function<void()>& out)
 void
 ThreadPool::noteTaskTaken()
 {
-    std::lock_guard<std::mutex> guard(wakeMutex_);
+    LockGuard guard(wakeMutex_);
     if (ready_ > 0)
         --ready_;
 }
@@ -142,8 +142,11 @@ ThreadPool::workerLoop(std::size_t index)
             task = nullptr;
             continue;
         }
-        std::unique_lock<std::mutex> lock(wakeMutex_);
-        wake_.wait(lock, [this] { return stop_ || ready_ > 0; });
+        UniqueLock lock(wakeMutex_);
+        // Explicit re-check loop: the thread-safety analysis cannot
+        // see capabilities inside a predicate lambda (DESIGN.md §16).
+        while (!stop_ && ready_ == 0)
+            wake_.wait(lock);
         if (stop_ && ready_ == 0)
             break; // drained: every queued task has been taken
     }
@@ -170,18 +173,18 @@ TaskGroup::finishOne(std::exception_ptr error)
     // return from wait() — and destroy this group, condvar included —
     // until the notifying thread has left both the notify and the
     // lock. Notifying after unlocking would race wait()'s return
-    // against notify_all() on a dead condvar.
-    std::lock_guard<std::mutex> guard(mutex_);
+    // against notifyAll() on a dead condvar.
+    LockGuard guard(mutex_);
     if (error && !error_)
         error_ = error;
     if (--pending_ == 0)
-        done_.notify_all();
+        done_.notifyAll();
 }
 
 bool
 TaskGroup::idle()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    LockGuard guard(mutex_);
     return pending_ == 0;
 }
 
@@ -196,13 +199,16 @@ TaskGroup::wait()
         // already executing on some other thread.
         if (pool_ != nullptr && pool_->tryRunOne())
             continue;
-        std::unique_lock<std::mutex> lock(mutex_);
-        done_.wait_for(lock, std::chrono::microseconds(200),
-                       [this] { return pending_ == 0; });
+        UniqueLock lock(mutex_);
+        // No predicate overload (the analysis cannot see into the
+        // lambda); the outer while re-checks pending_ after every
+        // wakeup, spurious or timed-out alike.
+        if (pending_ != 0)
+            done_.waitFor(lock, std::chrono::microseconds(200));
     }
     std::exception_ptr error;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        LockGuard guard(mutex_);
         error = std::exchange(error_, nullptr);
     }
     if (error)

@@ -29,18 +29,19 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "runtime/mutex.hpp"
+#include "util/annotations.hpp"
 
 namespace poco::runtime
 {
@@ -93,8 +94,9 @@ class ThreadPool
   private:
     struct Queue
     {
-        std::mutex mutex;
-        std::deque<std::function<void()>> tasks;
+        Mutex mutex;
+        std::deque<std::function<void()>> tasks
+            POCO_GUARDED_BY(mutex);
     };
 
     /**
@@ -108,14 +110,15 @@ class ThreadPool
     std::vector<std::unique_ptr<Queue>> queues_;
     std::vector<std::thread> workers_;
 
-    /** Sleep/wake bookkeeping; guards ready_ and stop_. */
-    std::mutex wakeMutex_;
-    std::condition_variable wake_;
-    std::size_t ready_ = 0; ///< queued-task count (wakeup hint)
-    bool stop_ = false;
+    /** Sleep/wake bookkeeping; guards ready_, stop_, nextQueue_. */
+    Mutex wakeMutex_;
+    CondVar wake_;
+    /** Queued-task count (wakeup hint). */
+    std::size_t ready_ POCO_GUARDED_BY(wakeMutex_) = 0;
+    bool stop_ POCO_GUARDED_BY(wakeMutex_) = false;
 
     /** Round-robin target for external submissions. */
-    std::size_t nextQueue_ = 0;
+    std::size_t nextQueue_ POCO_GUARDED_BY(wakeMutex_) = 0;
 };
 
 /**
@@ -148,7 +151,7 @@ class TaskGroup
             return;
         }
         {
-            std::lock_guard<std::mutex> guard(mutex_);
+            LockGuard guard(mutex_);
             ++pending_;
         }
         pool_->submit(
@@ -177,7 +180,7 @@ class TaskGroup
         try {
             std::forward<F>(fn)();
         } catch (...) {
-            std::lock_guard<std::mutex> guard(mutex_);
+            LockGuard guard(mutex_);
             if (!error_)
                 error_ = std::current_exception();
         }
@@ -187,10 +190,10 @@ class TaskGroup
     bool idle();
 
     ThreadPool* pool_;
-    std::mutex mutex_;
-    std::condition_variable done_;
-    std::size_t pending_ = 0;
-    std::exception_ptr error_;
+    Mutex mutex_;
+    CondVar done_;
+    std::size_t pending_ POCO_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr error_ POCO_GUARDED_BY(mutex_);
 };
 
 /**
@@ -211,7 +214,7 @@ class Future
     bool
     ready() const
     {
-        std::lock_guard<std::mutex> guard(state_->mutex);
+        LockGuard guard(state_->mutex);
         return state_->ready;
     }
 
@@ -225,22 +228,35 @@ class Future
         auto state = std::move(state_);
         for (;;) {
             {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                LockGuard guard(state->mutex);
                 if (state->ready)
                     break;
             }
             if (state->pool != nullptr && state->pool->tryRunOne())
                 continue;
-            std::unique_lock<std::mutex> lock(state->mutex);
-            state->done.wait_for(lock,
-                                 std::chrono::microseconds(200),
-                                 [&] { return state->ready; });
-            if (state->ready)
-                break;
+            {
+                UniqueLock lock(state->mutex);
+                // The timed wait covers the window where the task is
+                // already executing elsewhere; the outer loop
+                // re-checks ready after every wakeup (spurious or
+                // not), so no predicate overload is needed.
+                if (!state->ready)
+                    state->done.waitFor(
+                        lock, std::chrono::microseconds(200));
+                if (state->ready)
+                    break;
+            }
         }
-        if (state->error)
-            std::rethrow_exception(state->error);
-        return std::move(*state->value);
+        std::exception_ptr error;
+        std::optional<T> value;
+        {
+            LockGuard guard(state->mutex);
+            error = state->error;
+            value = std::move(state->value);
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return std::move(*value);
     }
 
     /** Launch @p fn on @p pool (inline when null) and bind a future. */
@@ -259,12 +275,12 @@ class Future
                 error = std::current_exception();
             }
             {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                LockGuard guard(state->mutex);
                 state->value = std::move(value);
                 state->error = error;
                 state->ready = true;
             }
-            state->done.notify_all();
+            state->done.notifyAll();
         };
         if (pool != nullptr && pool->threadCount() > 0)
             pool->submit(std::move(task));
@@ -278,11 +294,12 @@ class Future
   private:
     struct State
     {
-        std::mutex mutex;
-        std::condition_variable done;
-        bool ready = false;
-        std::exception_ptr error;
-        std::optional<T> value;
+        mutable Mutex mutex;
+        CondVar done;
+        bool ready POCO_GUARDED_BY(mutex) = false;
+        std::exception_ptr error POCO_GUARDED_BY(mutex);
+        std::optional<T> value POCO_GUARDED_BY(mutex);
+        /** Set once before the state is shared; read-only after. */
         ThreadPool* pool = nullptr;
     };
 

@@ -100,9 +100,15 @@ struct Degradation
  * A value plus the story of how it was obtained: the solver tier
  * that produced it, how many attempts the fallback chain spent, and
  * any degradation flags picked up along the way.
+ *
+ * [[nodiscard]]: an Outcome dropped on the floor silently discards
+ * the degradation flags with it — exactly the failure mode the
+ * fallback chain exists to report. The compiler warns on any
+ * expression-statement discard; the poco_lint `discarded-outcome`
+ * rule covers the fingerprint/conservesBudget family the same way.
  */
 template <typename T>
-struct Outcome
+struct [[nodiscard]] Outcome
 {
     T value{};
     SolverTier tier = SolverTier::None;

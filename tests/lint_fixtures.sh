@@ -1,6 +1,7 @@
 # poco_lint self-test: the seeded fixture violations must all be
-# named, the clean fixtures must stay silent, and a clean-only run
-# must exit 0.
+# named, the clean fixtures must stay silent, a clean-only run must
+# exit 0, parallel scans must be byte-identical to serial, and the
+# SARIF emitter must produce a well-formed 2.1.0 log.
 #
 # usage: lint_fixtures.sh <poco_lint-binary> <fixtures-dir>
 set -u
@@ -8,10 +9,12 @@ set -u
 lint="$1"
 fixtures="$2"
 out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+out4=$(mktemp)
+sarif=$(mktemp)
+trap 'rm -f "$out" "$out4" "$sarif"' EXIT
 
 # 1. The full fixture set must fail and name every rule and file.
-"$lint" "$fixtures" >"$out" 2>/dev/null
+"$lint" --jobs 1 "$fixtures" >"$out" 2>/dev/null
 status=$?
 if [ "$status" -ne 1 ]; then
     echo "FAIL: expected exit 1 on seeded fixtures, got $status"
@@ -20,7 +23,8 @@ fi
 
 for rule in banned-random banned-time unchecked-parse no-float \
             no-using-namespace-std pragma-once unordered-iter \
-            deprecated-config nested-vector unbounded-queue; do
+            deprecated-config nested-vector unbounded-queue \
+            raw-mutex layering include-cycle discarded-outcome; do
     if ! grep -q "\[$rule\]" "$out"; then
         echo "FAIL: rule $rule never fired"
         cat "$out"
@@ -33,7 +37,9 @@ for file in bad_random.cpp bad_time.cpp bad_parse.cpp bad_float.cpp \
             bad_deprecated_config.cpp \
             cluster/deprecated_config.hpp \
             cluster/nested_vector.hpp \
-            ctrl/bad_queue.cpp; do
+            ctrl/bad_queue.cpp \
+            bad_mutex.cpp bad_discard.cpp suppress_scope.cpp \
+            cycle/cycle_a.hpp sim/bad_layering.hpp; do
     if ! grep -q "$file:[0-9]" "$out"; then
         echo "FAIL: no file:line diagnostic for $file"
         cat "$out"
@@ -60,8 +66,56 @@ if [ "$queue_hits" -ne 1 ]; then
     exit 1
 fi
 
+# Suppression scoping: the trailing allow and the allow separated by
+# a blank line in suppress_scope.cpp must NOT suppress, while the
+# standalone allow must — exactly two banned-random diagnostics in
+# that file.
+scope_hits=$(grep -c "suppress_scope.cpp.*\[banned-random\]" "$out")
+if [ "$scope_hits" -ne 2 ]; then
+    echo "FAIL: expected 2 banned-random in suppress_scope.cpp," \
+         "got $scope_hits"
+    cat "$out"
+    exit 1
+fi
+
+# Discarded-outcome: the assigned, returned, (void)-cast, and
+# suppressed calls in bad_discard.cpp must not inflate the count
+# past the two seeded statement-position discards.
+discard_hits=$(grep -c "\[discarded-outcome\]" "$out")
+if [ "$discard_hits" -ne 2 ]; then
+    echo "FAIL: expected 2 discarded-outcome diagnostics," \
+         "got $discard_hits"
+    cat "$out"
+    exit 1
+fi
+
+# Include cycles: the cycle_a <-> cycle_b loop is reported exactly
+# once, anchored at the lexicographically smallest member.
+cycle_hits=$(grep -c "\[include-cycle\]" "$out")
+if [ "$cycle_hits" -ne 1 ]; then
+    echo "FAIL: expected 1 include-cycle diagnostic, got $cycle_hits"
+    cat "$out"
+    exit 1
+fi
+if ! grep -q "cycle/cycle_a.hpp:[0-9].*\[include-cycle\]" "$out"; then
+    echo "FAIL: include-cycle not anchored at cycle_a.hpp"
+    cat "$out"
+    exit 1
+fi
+
+# Layering: exactly the one upward include in sim/bad_layering.hpp
+# fires; the downward includes there and in fleet/good_layering.hpp
+# stay silent.
+layer_hits=$(grep -c "\[layering\]" "$out")
+if [ "$layer_hits" -ne 1 ]; then
+    echo "FAIL: expected 1 layering diagnostic, got $layer_hits"
+    cat "$out"
+    exit 1
+fi
+
 # 2. Clean fixtures must not appear in the report at all.
-for file in suppressed_ok.cpp good.hpp; do
+for file in suppressed_ok.cpp good.hpp chain/chain_a.hpp \
+            chain/chain_b.hpp fleet/good_layering.hpp; do
     if grep -q "$file" "$out"; then
         echo "FAIL: clean fixture $file was flagged"
         cat "$out"
@@ -71,9 +125,52 @@ done
 
 # 3. A run over only the clean fixtures must exit 0.
 if ! "$lint" "$fixtures/suppressed_ok.cpp" "$fixtures/good.hpp" \
+        "$fixtures/chain" "$fixtures/fleet" \
         >/dev/null 2>/dev/null; then
     echo "FAIL: clean fixtures did not lint clean"
     exit 1
+fi
+
+# 4. Parallel scans are byte-identical to serial.
+"$lint" --jobs 4 "$fixtures" >"$out4" 2>/dev/null
+if ! cmp -s "$out" "$out4"; then
+    echo "FAIL: --jobs 4 output differs from --jobs 1"
+    diff "$out" "$out4"
+    exit 1
+fi
+
+# 5. The SARIF log is well-formed 2.1.0 with one result per printed
+# diagnostic (validated structurally when python3 is available).
+"$lint" --sarif "$sarif" "$fixtures" >/dev/null 2>/dev/null
+expected=$(wc -l <"$out")
+if command -v python3 >/dev/null 2>&1; then
+    if ! python3 - "$sarif" "$expected" <<'EOF'
+import json, sys
+log = json.load(open(sys.argv[1]))
+assert log["version"] == "2.1.0", "not SARIF 2.1.0"
+run = log["runs"][0]
+assert run["tool"]["driver"]["name"] == "poco_lint"
+assert len(run["tool"]["driver"]["rules"]) > 0, "no rule metadata"
+results = run["results"]
+assert len(results) == int(sys.argv[2]), (
+    f"{len(results)} SARIF results vs {sys.argv[2]} printed")
+for r in results:
+    assert r["ruleId"] and r["message"]["text"]
+    loc = r["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"]
+    assert loc["region"]["startLine"] >= 1
+EOF
+    then
+        echo "FAIL: SARIF output is malformed"
+        exit 1
+    fi
+else
+    for needle in '"2.1.0"' '"ruleId"' '"startLine"'; do
+        if ! grep -q "$needle" "$sarif"; then
+            echo "FAIL: SARIF output lacks $needle"
+            exit 1
+        fi
+    done
 fi
 
 echo "PASS: all lint fixtures behave"

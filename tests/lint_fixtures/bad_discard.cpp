@@ -1,0 +1,22 @@
+// Fixture: exactly TWO discarded-outcome violations — the bare
+// statement-position calls. Assigned, returned, (void)-cast, and
+// reviewed-suppressed results must all stay silent.
+#include <cstdint>
+
+struct Plan
+{
+    std::uint64_t fingerprint() const { return 7; }
+    bool conservesBudget() const { return true; }
+};
+
+std::uint64_t
+discards(const Plan& plan)
+{
+    plan.fingerprint(); // fires: result falls on the floor
+    if (plan.conservesBudget())
+        plan.fingerprint(); // fires: discarded in an if-body
+    const std::uint64_t kept = plan.fingerprint(); // assigned: silent
+    (void)plan.conservesBudget(); // intentional discard: silent
+    plan.fingerprint(); // poco-lint: allow(discarded-outcome)
+    return kept + plan.fingerprint(); // consumed by +: silent
+}

@@ -1,0 +1,16 @@
+// Fixture: raw <mutex> primitives outside runtime/mutex.hpp must
+// trip raw-mutex — the capability-annotated runtime wrappers are the
+// only locking surface the thread-safety analysis can see.
+#include <mutex>
+
+struct RawLocker
+{
+    std::mutex mutex; // fires raw-mutex
+
+    int
+    locked()
+    {
+        std::lock_guard<std::mutex> guard(mutex); // fires raw-mutex
+        return 1;
+    }
+};

@@ -1,0 +1,10 @@
+// Fixture: must produce ZERO violations — a linear include chain
+// (chain_a -> chain_b) is exactly what the cycle pass must accept.
+#pragma once
+
+#include "chain/chain_b.hpp"
+
+struct ChainA
+{
+    ChainB leaf;
+};

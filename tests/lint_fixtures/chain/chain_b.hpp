@@ -1,0 +1,7 @@
+// Fixture: leaf of the clean chain_a -> chain_b include chain.
+#pragma once
+
+struct ChainB
+{
+    int value = 0;
+};

@@ -1,0 +1,10 @@
+// Fixture: cycle_a <-> cycle_b must trip include-cycle exactly
+// once, anchored here (the lexicographically smallest member).
+#pragma once
+
+#include "cycle/cycle_b.hpp"
+
+struct CycleA
+{
+    CycleB* other = nullptr;
+};

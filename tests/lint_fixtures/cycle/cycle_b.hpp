@@ -1,0 +1,9 @@
+// Fixture: the return edge of the cycle_a <-> cycle_b cycle.
+#pragma once
+
+#include "cycle/cycle_a.hpp"
+
+struct CycleB
+{
+    CycleA* other = nullptr;
+};

@@ -1,0 +1,11 @@
+// Fixture: must produce ZERO violations — fleet is the top layer,
+// so including cluster/ and util/ points strictly downward.
+#pragma once
+
+#include "cluster/rollup_api.hpp"
+#include "util/outcome_api.hpp"
+
+struct FleetProbe
+{
+    int value = 0;
+};

@@ -1,0 +1,11 @@
+// Fixture: a sim-layer header reaching up into fleet/ must trip the
+// layering rule; the util include below points down and stays legal.
+#pragma once
+
+#include "fleet/rollup_api.hpp" // fires layering: sim(2) -> fleet(8)
+#include "util/outcome_api.hpp" // legal: util is the bottom layer
+
+struct SimProbe
+{
+    int value = 0;
+};

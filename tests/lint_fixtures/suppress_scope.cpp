@@ -1,0 +1,30 @@
+// Fixture: suppression-scoping regression. A trailing allow covers
+// its own line only, and a standalone allow comment covers only the
+// immediately following line — never past blank lines or unrelated
+// statements. Exactly TWO banned-random violations must fire here.
+#include <cstdlib>
+
+int
+trailingAllowMustNotLeak()
+{
+    int a = rand(); // poco-lint: allow(banned-random)
+    int b = rand(); // fires: the allow above trails a statement
+    return a + b;
+}
+
+int
+allowMustNotCrossBlankLines()
+{
+    // poco-lint: allow(banned-random)
+
+    int c = rand(); // fires: a blank line separates the allow
+    return c;
+}
+
+int
+standaloneAllowStillWorks()
+{
+    // poco-lint: allow(banned-random)
+    int d = rand(); // suppressed: standalone comment directly above
+    return d;
+}

@@ -2,14 +2,24 @@
  * @file
  * poco_lint — project-invariant linter for the Pocolo tree.
  *
- * A self-contained token/line scanner (no libclang): it walks the
- * given files/directories and enforces the repo's determinism and
- * input-hygiene contracts as named per-rule diagnostics. Comments and
- * string literals are stripped before matching, so rule names or
- * banned tokens inside strings (including this file's own tables)
- * never trigger.
+ * A self-contained multi-pass analyzer (no libclang): it walks the
+ * given files/directories and enforces the repo's determinism,
+ * input-hygiene, and architecture contracts as named per-rule
+ * diagnostics. Comments and string literals are stripped before
+ * matching, so rule names or banned tokens inside strings (including
+ * this file's own tables) never trigger.
  *
- * Rules (see DESIGN.md section 11):
+ * v2 architecture (see DESIGN.md section 16): files are scanned in
+ * parallel (`--jobs N`, one worker per hardware thread by default);
+ * per-file passes — the token rules plus the brace/statement-aware
+ * `discarded-outcome` pass and the per-include `layering` pass —
+ * write into a per-file result slot, then a serial graph stage runs
+ * the cross-file `include-cycle` pass over the corpus. Every
+ * diagnostic is finally sorted by (file, line, rule, message), so
+ * output is byte-identical for any worker count. `--sarif FILE`
+ * additionally emits the run as SARIF 2.1.0 for CI artifact upload.
+ *
+ * Rules (see DESIGN.md sections 11 and 16):
  *   banned-random     std::rand / rand() / srand / random_device
  *                     outside util/rng.* — all randomness flows
  *                     through the seeded poco::Rng.
@@ -49,19 +59,46 @@
  *                     under an event storm. Suppress a reviewed
  *                     bounded-by-construction site with
  *                     `// poco-lint: allow(unbounded-queue)`.
+ *   raw-mutex         std::mutex / lock_guard / unique_lock /
+ *                     condition_variable in src/ outside
+ *                     runtime/mutex.hpp — locking goes through the
+ *                     capability-annotated runtime::Mutex wrappers so
+ *                     the Clang thread-safety analysis sees it
+ *                     (POCO_THREAD_SAFETY=ON CI job).
+ *   layering          a cross-subsystem #include must point strictly
+ *                     down the layer DAG (util at the bottom; fleet
+ *                     and ctrl at the top — table in layerOf());
+ *                     upward or same-layer includes couple
+ *                     subsystems that must stay independent.
+ *   include-cycle     the quoted-include graph of the scanned files
+ *                     must be acyclic; each cycle is reported once,
+ *                     anchored at its lexicographically smallest
+ *                     file.
+ *   discarded-outcome a statement-position call to the
+ *                     Outcome/fingerprint family (fingerprint,
+ *                     conservesBudget, placeWithFallback, replay,
+ *                     resolve, runStreaming, ...) whose result falls
+ *                     on the floor. Backed by [[nodiscard]] in the
+ *                     headers; an intentional discard is written
+ *                     `(void)call(...)`.
  *   no-using-namespace-std   namespace hygiene.
  *
  * Output: one `file:line: [rule] message` per violation, exit 1 if
- * any fired, exit 0 on a clean tree.
+ * any fired, exit 0 on a clean tree, exit 2 on usage/IO errors.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 namespace
@@ -77,12 +114,27 @@ struct Violation
     std::string message;
 };
 
+bool
+violationLess(const Violation& a, const Violation& b)
+{
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+}
+
+/** One quoted #include directive. */
+struct Include
+{
+    std::size_t line = 0;  ///< 1-based
+    std::string target;    ///< the string between the quotes
+};
+
 /** One file, split into raw lines and comment/string-stripped code. */
 struct FileText
 {
     std::string path;
     std::vector<std::string> raw;
     std::vector<std::string> code;
+    std::vector<Include> includes; ///< quoted includes, in file order
 };
 
 bool
@@ -167,27 +219,80 @@ stripLine(const std::string& line, bool& in_block)
     return out;
 }
 
-FileText
-loadFile(const std::string& path)
+/**
+ * Parse a quoted include directive from a RAW line (the stripped
+ * form has the target string blanked out). Angle-bracket includes
+ * are system headers and never part of the project graph.
+ */
+bool
+parseQuotedInclude(const std::string& raw, std::string& target)
 {
-    FileText text;
+    std::size_t i = 0;
+    while (i < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[i])) != 0)
+        ++i;
+    if (i >= raw.size() || raw[i] != '#')
+        return false;
+    ++i;
+    while (i < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[i])) != 0)
+        ++i;
+    if (raw.compare(i, 7, "include") != 0)
+        return false;
+    i += 7;
+    while (i < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[i])) != 0)
+        ++i;
+    if (i >= raw.size() || raw[i] != '"')
+        return false;
+    const std::size_t close = raw.find('"', i + 1);
+    if (close == std::string::npos)
+        return false;
+    target = raw.substr(i + 1, close - i - 1);
+    return !target.empty();
+}
+
+/** @return false (with @p error set) instead of exiting: loads run
+ *  on worker threads, and workers must never call std::exit. */
+bool
+loadFile(const std::string& path, FileText& text, std::string& error)
+{
     text.path = path;
     std::ifstream in(path);
     if (!in) {
-        std::fprintf(stderr, "poco_lint: cannot read %s\n",
-                     path.c_str());
-        std::exit(2);
+        error = "poco_lint: cannot read " + path;
+        return false;
     }
     bool in_block = false;
     std::string line;
     while (std::getline(in, line)) {
+        std::string target;
+        if (parseQuotedInclude(line, target))
+            text.includes.push_back({text.raw.size() + 1,
+                                     std::move(target)});
         text.raw.push_back(line);
         text.code.push_back(stripLine(line, in_block));
     }
-    return text;
+    return true;
 }
 
-/** Is rule @p rule suppressed on (or just above) line @p idx? */
+/** Is the stripped code of line @p idx blank (comment/empty line)? */
+bool
+codeIsBlank(const FileText& text, std::size_t idx)
+{
+    for (const char c : text.code[idx])
+        if (std::isspace(static_cast<unsigned char>(c)) == 0)
+            return false;
+    return true;
+}
+
+/**
+ * Is rule @p rule suppressed on line @p idx? A same-line trailing
+ * `// poco-lint: allow(rule)` always counts. A previous-line allow
+ * only counts when that line is a standalone comment (its stripped
+ * code is blank) — an allow trailing some unrelated statement must
+ * not leak onto the next line.
+ */
 bool
 isSuppressed(const FileText& text, std::size_t idx,
              const std::string& rule)
@@ -195,7 +300,7 @@ isSuppressed(const FileText& text, std::size_t idx,
     const std::string needle = "poco-lint: allow(" + rule + ")";
     if (text.raw[idx].find(needle) != std::string::npos)
         return true;
-    return idx > 0 &&
+    return idx > 0 && codeIsBlank(text, idx - 1) &&
            text.raw[idx - 1].find(needle) != std::string::npos;
 }
 
@@ -229,28 +334,33 @@ tokenRules()
         {"banned-random",
          {"std::rand", "rand", "srand", "random_device"},
          "unseeded randomness; use poco::Rng (util/rng.hpp)",
-         {"util/rng."}},
+         {"util/rng."},
+         {}},
         {"banned-time",
          {"time", "std::time", "system_clock", "gettimeofday"},
          "wall-clock read breaks deterministic replay; use SimTime "
          "or steady_clock",
-         {"util/rng."}},
+         {"util/rng."},
+         {}},
         {"unchecked-parse",
          {"atoi", "atof", "atol", "atoll", "strtol", "strtoll",
           "strtoul", "strtoull", "strtod", "strtof", "stoi", "stol",
           "stoul", "stoull", "stod", "stof"},
          "raw parse of external input; use the POCO_CHECK-validating "
          "helpers in util/parse.hpp",
-         {"util/parse."}},
+         {"util/parse."},
+         {}},
         {"no-float",
          {"float"},
          "float halves the mantissa; keep physical quantities in "
          "double or Quantity<Tag>",
+         {},
          {}},
         {"deprecated-config",
          {"EvaluatorConfig", "SolverConfig"},
          "deprecated config struct; use poco::FleetConfig "
-         "(fleet/fleet_config.hpp) or cluster::SolverContext",
+         "(cluster/fleet_config.hpp) or cluster::SolverContext",
+         {},
          {}},
         {"nested-vector",
          {"std::vector<std::vector<double>>"},
@@ -259,6 +369,15 @@ tokenRules()
          "cluster::PerformanceMatrix)",
          {},
          {"math/", "cluster/"}},
+        {"raw-mutex",
+         {"std::mutex", "std::lock_guard", "std::unique_lock",
+          "std::condition_variable", "std::recursive_mutex",
+          "std::shared_mutex", "std::scoped_lock"},
+         "raw <mutex> primitive is invisible to the thread-safety "
+         "analysis; use the capability-annotated runtime::Mutex / "
+         "LockGuard / UniqueLock / CondVar (runtime/mutex.hpp)",
+         {"runtime/mutex."},
+         {"src/", "lint_fixtures"}},
     };
     return rules;
 }
@@ -507,6 +626,467 @@ runUnboundedQueue(const FileText& text, std::vector<Violation>& out)
     }
 }
 
+/* ------------------------------------------------------------------
+ * layering: the include DAG points strictly downward.
+ * ------------------------------------------------------------------
+ *
+ * Layer map, derived from (and now enforcing) the actual dependency
+ * structure of src/ — higher layers may include lower ones, never
+ * sideways or up:
+ *
+ *   8  fleet
+ *   7  ctrl
+ *   6  cluster
+ *   5  server
+ *   4  model
+ *   3  wl       fault
+ *   2  math     sim
+ *   1  runtime  tco
+ *   0  util
+ */
+
+/** Layer of a known subsystem; -1 when the name is not a subsystem. */
+int
+layerOf(const std::string& subsystem)
+{
+    static const std::map<std::string, int> layers = {
+        {"util", 0},  {"runtime", 1}, {"tco", 1},
+        {"math", 2},  {"sim", 2},     {"wl", 3},
+        {"fault", 3}, {"model", 4},   {"server", 5},
+        {"cluster", 6}, {"ctrl", 7},  {"fleet", 8},
+    };
+    const auto it = layers.find(subsystem);
+    return it == layers.end() ? -1 : it->second;
+}
+
+/**
+ * Subsystem a FILE belongs to: the last path segment that names a
+ * known subsystem ("src/cluster/placement.hpp" → cluster, and a lint
+ * fixture under "lint_fixtures/sim/" → sim). Files outside every
+ * subsystem (tools, tests, bench drivers) are unconstrained sources.
+ */
+std::string
+fileSubsystem(const std::string& path)
+{
+    std::string p = path;
+    for (char& c : p)
+        if (c == '\\')
+            c = '/';
+    std::string found;
+    std::size_t begin = 0;
+    while (begin <= p.size()) {
+        const std::size_t end = p.find('/', begin);
+        if (end == std::string::npos)
+            break;
+        const std::string segment = p.substr(begin, end - begin);
+        if (layerOf(segment) >= 0)
+            found = segment;
+        begin = end + 1;
+    }
+    return found;
+}
+
+/**
+ * Subsystem an INCLUDE TARGET names: the first segment of the quoted
+ * path ("cluster/fleet_config.hpp" → cluster). Targets without a
+ * known subsystem prefix (local fixture includes, generated headers)
+ * are unconstrained.
+ */
+std::string
+includeSubsystem(const std::string& target)
+{
+    const std::size_t slash = target.find('/');
+    if (slash == std::string::npos)
+        return "";
+    const std::string segment = target.substr(0, slash);
+    return layerOf(segment) >= 0 ? segment : "";
+}
+
+void
+runLayering(const FileText& text, std::vector<Violation>& out)
+{
+    const std::string from = fileSubsystem(text.path);
+    if (from.empty())
+        return; // tools/tests/bench may include anything
+    const int from_layer = layerOf(from);
+    for (const Include& inc : text.includes) {
+        const std::string to = includeSubsystem(inc.target);
+        if (to.empty() || to == from)
+            continue;
+        const int to_layer = layerOf(to);
+        if (to_layer < from_layer)
+            continue; // strictly downward: legal
+        if (isSuppressed(text, inc.line - 1, "layering"))
+            continue;
+        const bool up = to_layer > from_layer;
+        out.push_back(
+            {text.path, inc.line, "layering",
+             from + " (layer " + std::to_string(from_layer) +
+                 ") -> " + inc.target + " (layer " +
+                 std::to_string(to_layer) + ") " +
+                 (up ? "climbs" : "crosses") +
+                 " the subsystem DAG; includes must point strictly "
+                 "down the layer order (util lowest, fleet highest)"});
+    }
+}
+
+/* ------------------------------------------------------------------
+ * include-cycle: the quoted-include graph over the scanned corpus
+ * must be acyclic.
+ * ------------------------------------------------------------------ */
+
+/**
+ * Resolve each file's quoted includes to indices into @p files by
+ * path-suffix match: path P provides include string S when P == S or
+ * P ends with "/" + S. Ambiguous matches resolve to the
+ * lexicographically smallest path (deterministic), unresolved
+ * includes (system or out-of-corpus headers) drop out of the graph.
+ * @p files must be sorted.
+ */
+std::vector<std::vector<std::size_t>>
+buildIncludeGraph(const std::vector<FileText>& files)
+{
+    std::vector<std::string> generic(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        generic[i] = files[i].path;
+        for (char& c : generic[i])
+            if (c == '\\')
+                c = '/';
+    }
+    std::vector<std::vector<std::size_t>> adjacent(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        for (const Include& inc : files[i].includes) {
+            const std::string suffix = "/" + inc.target;
+            // First match wins: files is sorted, so the smallest
+            // path provides the include.
+            for (std::size_t j = 0; j < files.size(); ++j) {
+                const std::string& p = generic[j];
+                const bool matches =
+                    p == inc.target ||
+                    (p.size() > suffix.size() &&
+                     p.compare(p.size() - suffix.size(),
+                               suffix.size(), suffix) == 0);
+                if (matches) {
+                    adjacent[i].push_back(j);
+                    break;
+                }
+            }
+        }
+    }
+    return adjacent;
+}
+
+/**
+ * Report every include cycle once. Iterative DFS in index (= sorted
+ * path) order colors files white/grey/black; a grey→grey edge closes
+ * a cycle, which is then rotated to start at its smallest member so
+ * each distinct cycle has one canonical form. The diagnostic anchors
+ * at that member's include line for the next file in the cycle.
+ */
+void
+runIncludeCycles(const std::vector<FileText>& files,
+                 std::vector<Violation>& out)
+{
+    const auto adjacent = buildIncludeGraph(files);
+    enum class Color { White, Grey, Black };
+    std::vector<Color> color(files.size(), Color::White);
+    std::vector<std::size_t> stack;      // current DFS path
+    std::set<std::vector<std::size_t>> seen; // canonical cycles
+
+    struct Frame
+    {
+        std::size_t node;
+        std::size_t edge = 0;
+    };
+    for (std::size_t root = 0; root < files.size(); ++root) {
+        if (color[root] != Color::White)
+            continue;
+        std::vector<Frame> frames{{root}};
+        color[root] = Color::Grey;
+        stack.push_back(root);
+        while (!frames.empty()) {
+            Frame& top = frames.back();
+            if (top.edge < adjacent[top.node].size()) {
+                const std::size_t next =
+                    adjacent[top.node][top.edge++];
+                if (color[next] == Color::White) {
+                    color[next] = Color::Grey;
+                    stack.push_back(next);
+                    frames.push_back({next});
+                    continue;
+                }
+                if (color[next] != Color::Grey)
+                    continue; // black: already fully explored
+                // Grey: the stack from `next` onward is a cycle.
+                auto begin = std::find(stack.begin(), stack.end(),
+                                       next);
+                std::vector<std::size_t> cycle(begin, stack.end());
+                // Canonical form: rotate the smallest index first.
+                const auto smallest =
+                    std::min_element(cycle.begin(), cycle.end());
+                std::rotate(cycle.begin(), smallest, cycle.end());
+                if (!seen.insert(cycle).second)
+                    continue;
+                const FileText& anchor = files[cycle.front()];
+                const std::string& to_path =
+                    files[cycle.size() > 1 ? cycle[1]
+                                           : cycle.front()]
+                        .path;
+                std::size_t line = 1;
+                for (const Include& inc : anchor.includes)
+                    if (pathContains(to_path, "/" + inc.target) ||
+                        to_path == inc.target) {
+                        line = inc.line;
+                        break;
+                    }
+                std::string chain;
+                for (const std::size_t n : cycle)
+                    chain += files[n].path + " -> ";
+                chain += anchor.path;
+                out.push_back(
+                    {anchor.path, line, "include-cycle",
+                     "include cycle: " + chain +
+                         "; break the loop with a forward "
+                         "declaration or by moving the shared type "
+                         "down a layer"});
+                continue;
+            }
+            color[top.node] = Color::Black;
+            stack.pop_back();
+            frames.pop_back();
+        }
+    }
+}
+
+/* ------------------------------------------------------------------
+ * discarded-outcome: statement-position calls whose result falls on
+ * the floor.
+ * ------------------------------------------------------------------ */
+
+/**
+ * The functions whose return value must never be silently ignored:
+ * Outcome-returning solver entry points, the determinism
+ * fingerprints, and the budget-conservation check. Mirrors the
+ * [[nodiscard]] set in the headers; the lint pass catches the
+ * discards GCC/Clang only warn about, and catches them in CI before
+ * a -Werror build does.
+ */
+const std::set<std::string>&
+outcomeFamily()
+{
+    static const std::set<std::string> family = {
+        "fingerprint",        "conservesBudget",
+        "placeWithFallback",  "placeBeRobust",
+        "replay",             "resolve",
+        "finish",             "runStreaming",
+        "runStreamingWithFailover",
+    };
+    return family;
+}
+
+/** The file's stripped code flattened to one string, with a map from
+ *  every character back to its 0-based source line. */
+struct FlatCode
+{
+    std::string text;
+    std::vector<std::size_t> line_of;
+};
+
+FlatCode
+flatten(const FileText& file)
+{
+    FlatCode flat;
+    std::size_t total = 0;
+    for (const std::string& code : file.code)
+        total += code.size() + 1;
+    flat.text.reserve(total);
+    flat.line_of.reserve(total);
+    for (std::size_t i = 0; i < file.code.size(); ++i) {
+        for (const char c : file.code[i]) {
+            flat.text.push_back(c);
+            flat.line_of.push_back(i);
+        }
+        flat.text.push_back('\n');
+        flat.line_of.push_back(i);
+    }
+    return flat;
+}
+
+bool
+isSpaceChar(char c)
+{
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+/** Last index <= @p i of a non-whitespace char, or npos. */
+std::size_t
+skipSpaceBackward(const std::string& text, std::size_t i)
+{
+    while (i != std::string::npos && i < text.size() &&
+           isSpaceChar(text[i]))
+        i = i == 0 ? std::string::npos : i - 1;
+    return i;
+}
+
+/**
+ * Does a `(void)` cast end at index @p i (which points at ')')?
+ * Accepts internal whitespace: `( void )`.
+ */
+bool
+closesVoidCast(const std::string& text, std::size_t i)
+{
+    if (i == std::string::npos || text[i] != ')' || i == 0)
+        return false;
+    std::size_t j = skipSpaceBackward(text, i - 1);
+    if (j == std::string::npos || j < 3)
+        return false;
+    if (text.compare(j - 3, 4, "void") != 0)
+        return false;
+    if (j >= 4 && isIdentChar(text[j - 4]))
+        return false;
+    j = j >= 4 ? skipSpaceBackward(text, j - 4) : std::string::npos;
+    return j != std::string::npos && text[j] == '(';
+}
+
+/**
+ * Scan backward from just before the called name across its receiver
+ * chain (`a.b->c::`), then return the index of the first significant
+ * character before the whole call expression, or npos at file start.
+ * The chain only extends across explicit member/scope separators, so
+ * a preceding type name or `return` keyword is NOT consumed — it
+ * shows up as an identifier character in the result, which marks the
+ * value as used.
+ */
+std::size_t
+beforeReceiverChain(const std::string& text, std::size_t name_begin)
+{
+    std::size_t i = name_begin == 0 ? std::string::npos
+                                    : name_begin - 1;
+    for (;;) {
+        i = skipSpaceBackward(text, i);
+        if (i == std::string::npos)
+            return i;
+        // A separator extends the chain backward; anything else ends
+        // the call expression.
+        std::size_t after_sep = std::string::npos;
+        if (text[i] == '.' && i > 0 &&
+            std::isdigit(static_cast<unsigned char>(text[i - 1])) ==
+                0)
+            after_sep = i - 1;
+        else if (text[i] == '>' && i > 0 && text[i - 1] == '-')
+            after_sep = i >= 2 ? i - 2 : std::string::npos;
+        else if (text[i] == ':' && i > 0 && text[i - 1] == ':')
+            after_sep = i >= 2 ? i - 2 : std::string::npos;
+        else
+            return i;
+        i = skipSpaceBackward(text, after_sep);
+        if (i == std::string::npos)
+            return i;
+        // Consume one chain element: a balanced ()/[] suffix chain,
+        // then the identifier it belongs to.
+        while (i != std::string::npos &&
+               (text[i] == ')' || text[i] == ']')) {
+            const char close = text[i];
+            const char open = close == ')' ? '(' : '[';
+            int depth = 0;
+            while (i != std::string::npos) {
+                if (text[i] == close)
+                    ++depth;
+                else if (text[i] == open && --depth == 0) {
+                    i = i == 0 ? std::string::npos : i - 1;
+                    break;
+                }
+                i = i == 0 ? std::string::npos : i - 1;
+            }
+            i = skipSpaceBackward(text, i);
+        }
+        while (i != std::string::npos && isIdentChar(text[i]))
+            i = i == 0 ? std::string::npos : i - 1;
+    }
+}
+
+void
+runDiscardedOutcome(const FileText& file, std::vector<Violation>& out)
+{
+    const FlatCode flat = flatten(file);
+    const std::string& text = flat.text;
+    for (const std::string& name : outcomeFamily()) {
+        std::size_t pos = 0;
+        while ((pos = text.find(name, pos)) != std::string::npos) {
+            const std::size_t begin = pos;
+            pos += name.size();
+            // Identifier boundaries, then call position.
+            if (begin > 0 && isIdentChar(text[begin - 1]))
+                continue;
+            std::size_t i = begin + name.size();
+            if (i < text.size() && isIdentChar(text[i]))
+                continue;
+            while (i < text.size() && isSpaceChar(text[i]))
+                ++i;
+            if (i >= text.size() || text[i] != '(')
+                continue;
+            // Balanced argument list, then a statement-ending ';'.
+            int depth = 0;
+            while (i < text.size()) {
+                if (text[i] == '(')
+                    ++depth;
+                else if (text[i] == ')' && --depth == 0) {
+                    ++i;
+                    break;
+                }
+                ++i;
+            }
+            while (i < text.size() && isSpaceChar(text[i]))
+                ++i;
+            if (i >= text.size() || text[i] != ';')
+                continue;
+            // Statement position: before the receiver chain there is
+            // nothing that could consume the value.
+            const std::size_t before =
+                beforeReceiverChain(text, begin);
+            bool discarded = false;
+            if (before == std::string::npos)
+                discarded = true; // call at start of file
+            else if (text[before] == ';' || text[before] == '{' ||
+                     text[before] == '}')
+                // Note no ':' — a ternary's else-branch feeds the
+                // conditional's value, and labels are rare enough to
+                // leave to the [[nodiscard]] compiler warning.
+                discarded = true;
+            else if (text[before] == ')' &&
+                     !closesVoidCast(text, before))
+                discarded = true; // e.g. `if (cond) call();`
+            if (!discarded)
+                continue;
+            const std::size_t line = flat.line_of[begin];
+            if (isSuppressed(file, line, "discarded-outcome"))
+                continue;
+            out.push_back(
+                {file.path, line + 1, "discarded-outcome",
+                 name + "(...) result discarded; the return value "
+                        "carries the Outcome/fingerprint contract — "
+                        "consume it or cast an intentional discard "
+                        "to (void)"});
+        }
+    }
+}
+
+/* ------------------------------------------------------------------
+ * Driver: parallel per-file scan, serial graph pass, sorted merge.
+ * ------------------------------------------------------------------ */
+
+void
+runFilePasses(const FileText& text, std::vector<Violation>& out)
+{
+    runTokenRules(text, out);
+    runUsingNamespaceStd(text, out);
+    runPragmaOnce(text, out);
+    runUnorderedIter(text, out);
+    runUnboundedQueue(text, out);
+    runLayering(text, out);
+    runDiscardedOutcome(text, out);
+}
+
 bool
 lintableFile(const fs::path& path)
 {
@@ -536,36 +1116,225 @@ collect(const fs::path& root, std::vector<std::string>& files)
     }
 }
 
+/** JSON string escaping for the SARIF emitter. */
+std::string
+jsonEscape(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size() + 8);
+    for (const char c : value) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+/** Every rule id with a one-line description (SARIF rule table). */
+const std::vector<std::pair<std::string, std::string>>&
+ruleTable()
+{
+    static const std::vector<std::pair<std::string, std::string>>
+        rules = {
+            {"banned-random",
+             "unseeded randomness outside util/rng"},
+            {"banned-time",
+             "wall-clock read breaks deterministic replay"},
+            {"unchecked-parse",
+             "raw parse of external input outside util/parse"},
+            {"no-float",
+             "float halves the mantissa; keep doubles"},
+            {"deprecated-config",
+             "removed config struct; use poco::FleetConfig"},
+            {"nested-vector",
+             "nested vectors defeat the flat row-major kernels"},
+            {"raw-mutex",
+             "raw <mutex> primitive bypasses the capability-"
+             "annotated runtime wrappers"},
+            {"no-using-namespace-std", "namespace hygiene"},
+            {"pragma-once", "header lacks #pragma once"},
+            {"unordered-iter",
+             "iteration over unordered container is "
+             "order-unspecified"},
+            {"unbounded-queue",
+             "ctrl-layer container grows per event without a bound"},
+            {"layering",
+             "include points up or sideways in the subsystem DAG"},
+            {"include-cycle", "include graph contains a cycle"},
+            {"discarded-outcome",
+             "Outcome/fingerprint-family result discarded"},
+        };
+    return rules;
+}
+
+bool
+writeSarif(const std::string& path,
+           const std::vector<Violation>& violations)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"poco_lint\",\n"
+        << "          \"rules\": [\n";
+    const auto& rules = ruleTable();
+    for (std::size_t i = 0; i < rules.size(); ++i)
+        out << "            {\"id\": \""
+            << jsonEscape(rules[i].first)
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(rules[i].second) << "\"}}"
+            << (i + 1 < rules.size() ? "," : "") << "\n";
+    out << "          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [\n";
+    for (std::size_t i = 0; i < violations.size(); ++i) {
+        const Violation& v = violations[i];
+        out << "        {\"ruleId\": \"" << jsonEscape(v.rule)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(v.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(v.file)
+            << "\"}, \"region\": {\"startLine\": " << v.line
+            << "}}}]}" << (i + 1 < violations.size() ? "," : "")
+            << "\n";
+    }
+    out << "      ]\n"
+        << "    }\n"
+        << "  ]\n"
+        << "}\n";
+    return out.good();
+}
+
+/** Manual digit parse (the unchecked-parse rule bans the std ones —
+ *  and argv is exactly the external input it exists for). */
+bool
+parseJobs(const std::string& arg, unsigned& jobs)
+{
+    if (arg.empty() || arg.size() > 4)
+        return false;
+    unsigned value = 0;
+    for (const char c : arg) {
+        if (std::isdigit(static_cast<unsigned char>(c)) == 0)
+            return false;
+        value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value == 0)
+        return false;
+    jobs = value;
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char** argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: poco_lint <file-or-dir>...\n"
-                     "lints .cpp/.hpp files; exits 1 on violation\n");
+    unsigned jobs = std::max(1u, std::thread::hardware_concurrency());
+    std::string sarif_path;
+    std::vector<std::string> files;
+    bool usage_error = argc < 2;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            if (!parseJobs(argv[++i], jobs))
+                usage_error = true;
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarif_path = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            usage_error = true;
+        } else {
+            collect(arg, files);
+        }
+    }
+    if (usage_error || files.empty()) {
+        std::fprintf(
+            stderr,
+            "usage: poco_lint [--jobs N] [--sarif FILE] "
+            "<file-or-dir>...\n"
+            "lints .cpp/.hpp files; exits 1 on violation\n");
         return 2;
     }
-    std::vector<std::string> files;
-    for (int i = 1; i < argc; ++i)
-        collect(argv[i], files);
     std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()),
+                files.end());
 
+    // Parallel per-file stage: workers claim indices from an atomic
+    // counter and write into their file's own slot — no locks, no
+    // shared mutable state, and (after the final sort) output that
+    // is byte-identical for any --jobs value.
+    std::vector<FileText> texts(files.size());
+    std::vector<std::vector<Violation>> slots(files.size());
+    std::vector<std::string> errors(files.size());
+    std::atomic<std::size_t> next{0};
+    const unsigned workers = std::min<unsigned>(
+        jobs, static_cast<unsigned>(files.size()));
+    auto scan = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= files.size())
+                return;
+            if (!loadFile(files[i], texts[i], errors[i]))
+                continue; // reported after join; no exit here
+            runFilePasses(texts[i], slots[i]);
+        }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers > 0 ? workers - 1 : 0);
+    for (unsigned t = 1; t < workers; ++t)
+        pool.emplace_back(scan);
+    scan();
+    for (std::thread& worker : pool)
+        worker.join();
+    bool load_failed = false;
+    for (const std::string& error : errors)
+        if (!error.empty()) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            load_failed = true;
+        }
+    if (load_failed)
+        return 2;
+
+    // Serial cross-file stage over the loaded corpus.
     std::vector<Violation> violations;
-    for (const std::string& path : files) {
-        const FileText text = loadFile(path);
-        runTokenRules(text, violations);
-        runUsingNamespaceStd(text, violations);
-        runPragmaOnce(text, violations);
-        runUnorderedIter(text, violations);
-        runUnboundedQueue(text, violations);
-    }
+    for (std::vector<Violation>& slot : slots)
+        violations.insert(violations.end(),
+                          std::make_move_iterator(slot.begin()),
+                          std::make_move_iterator(slot.end()));
+    runIncludeCycles(texts, violations);
+    std::sort(violations.begin(), violations.end(), violationLess);
 
     for (const Violation& v : violations)
         std::printf("%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
                     v.rule.c_str(), v.message.c_str());
     std::fprintf(stderr, "poco_lint: %zu file(s), %zu violation(s)\n",
                  files.size(), violations.size());
+    if (!sarif_path.empty() &&
+        !writeSarif(sarif_path, violations)) {
+        std::fprintf(stderr, "poco_lint: cannot write SARIF to %s\n",
+                     sarif_path.c_str());
+        return 2;
+    }
     return violations.empty() ? 0 : 1;
 }
