@@ -51,11 +51,10 @@ runDay(bench::Context& ctx, bool pom_manager, bool smart_placement)
     std::size_t server_idx = 0;
     for (const auto& [lc_name, be_name] : pocolo) {
         const wl::LcApp& lc = ctx.apps.lcByName(lc_name);
-        const auto trace = wl::LoadTrace::jittered(
-            wl::LoadTrace::diurnal(day, 0.1, 0.9,
-                                   0.1 * static_cast<double>(
-                                             server_idx)),
-            0.05, 5 * kMinute, 1234 + server_idx);
+        const auto trace = wl::LoadTrace::diurnalJittered(
+            day, 0.1, 0.9,
+            0.1 * static_cast<double>(server_idx), 0.05,
+            5 * kMinute, 1234 + server_idx);
         ++server_idx;
 
         const std::vector<std::string> partners =

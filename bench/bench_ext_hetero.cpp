@@ -172,8 +172,8 @@ main(int argc, char** argv)
     };
 
     auto build_matrix = [&](bool per_platform_models) {
-        std::vector<std::vector<double>> value(
-            8, std::vector<double>(8, 0.0));
+        cluster::PerformanceMatrix value;
+        value.resize(8, 8);
         for (std::size_t i = 0; i < 8; ++i) {
             const std::size_t be_idx = i % 4;
             for (std::size_t j = 0; j < 8; ++j) {
@@ -194,7 +194,7 @@ main(int argc, char** argv)
                 for (double load : {0.1, 0.3, 0.5, 0.7, 0.9})
                     sum += cluster::estimateCellAtLoad(
                         be, lc, host.spec, load, 1.0);
-                value[i][j] = sum / 5.0;
+                value(i, j) = sum / 5.0;
             }
         }
         return value;
@@ -205,11 +205,12 @@ main(int argc, char** argv)
     const auto truth = build_matrix(true);
     const auto naive = build_matrix(false);
 
-    const auto best = math::solveAssignmentMax(truth);
-    const auto naive_choice = math::solveAssignmentMax(naive);
-    const double best_value = math::assignmentValue(truth, best);
+    const auto best = math::solveAssignmentMax(truth.view());
+    const auto naive_choice = math::solveAssignmentMax(naive.view());
+    const double best_value =
+        math::assignmentValue(truth.view(), best);
     const double naive_value =
-        math::assignmentValue(truth, naive_choice);
+        math::assignmentValue(truth.view(), naive_choice);
 
     Rng rng(11);
     double random_value = 0.0;
@@ -217,7 +218,8 @@ main(int argc, char** argv)
     for (int d = 0; d < kDraws; ++d) {
         const auto perm = rng.permutation(8);
         random_value += math::assignmentValue(
-            truth, std::vector<int>(perm.begin(), perm.end()));
+            truth.view(),
+            std::vector<int>(perm.begin(), perm.end()));
     }
     random_value /= kDraws;
 
@@ -311,7 +313,7 @@ main(int argc, char** argv)
 
     // Machine-readable twin of the fleet tables (CI archives it).
     bench::Json root = bench::Json::object();
-    root.str("bench", "fleet")
+    root.str("bench", "hetero")
         .hex("expected_fingerprint", expected)
         .child("sharded", sharded_rows)
         .child("aggregator",
@@ -328,7 +330,7 @@ main(int argc, char** argv)
                              .num("wall_seconds",
                                   async.wallSeconds)))
         .flag("identical", identical);
-    bench::writeJson(root, argc > 1 ? argv[1] : "BENCH_fleet.json");
+    bench::writeJson(root, argc > 1 ? argv[1] : "BENCH_hetero.json");
 
     if (!identical) {
         std::printf("\nFAIL: fleet rollup fingerprints diverged "

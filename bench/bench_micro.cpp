@@ -113,13 +113,12 @@ BM_Hungarian(benchmark::State& state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(42);
-    std::vector<std::vector<double>> value(n,
-                                           std::vector<double>(n));
-    for (auto& row : value)
-        for (auto& v : row)
-            v = rng.uniform(0.0, 100.0);
+    std::vector<double> value(n * n);
+    for (double& v : value)
+        v = rng.uniform(0.0, 100.0);
+    const math::MatrixView view{value, n, n};
     for (auto _ : state) {
-        auto a = math::solveAssignmentMax(value);
+        auto a = math::solveAssignmentMax(view);
         benchmark::DoNotOptimize(a);
     }
     state.SetComplexityN(state.range(0));
@@ -131,13 +130,12 @@ BM_AssignmentLp(benchmark::State& state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(43);
-    std::vector<std::vector<double>> value(n,
-                                           std::vector<double>(n));
-    for (auto& row : value)
-        for (auto& v : row)
-            v = rng.uniform(0.0, 100.0);
+    std::vector<double> value(n * n);
+    for (double& v : value)
+        v = rng.uniform(0.0, 100.0);
+    const math::MatrixView view{value, n, n};
     for (auto _ : state) {
-        auto a = math::solveAssignmentLp(value);
+        auto a = math::solveAssignmentLp(view);
         benchmark::DoNotOptimize(a);
     }
 }
@@ -387,16 +385,14 @@ BM_SolverCacheHit(benchmark::State& state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(45);
-    std::vector<std::vector<double>> value(n,
-                                           std::vector<double>(n));
-    for (auto& row : value)
-        for (auto& v : row)
-            v = rng.uniform(0.0, 100.0);
+    std::vector<double> value(n * n);
+    for (double& v : value)
+        v = rng.uniform(0.0, 100.0);
+    const math::MatrixView view{value, n, n};
     math::AssignmentCache cache;
-    cache.insert("hungarian", value,
-                 math::solveAssignmentMax(value));
+    cache.insert("hungarian", view, math::solveAssignmentMax(view));
     for (auto _ : state) {
-        auto hit = cache.lookup("hungarian", value);
+        auto hit = cache.lookup("hungarian", view);
         benchmark::DoNotOptimize(hit);
     }
 }
@@ -407,14 +403,13 @@ BM_SolverCacheMiss(benchmark::State& state)
 {
     const auto n = static_cast<std::size_t>(state.range(0));
     Rng rng(46);
-    std::vector<std::vector<double>> value(n,
-                                           std::vector<double>(n));
-    for (auto& row : value)
-        for (auto& v : row)
-            v = rng.uniform(0.0, 100.0);
+    std::vector<double> value(n * n);
+    for (double& v : value)
+        v = rng.uniform(0.0, 100.0);
+    const math::MatrixView view{value, n, n};
     math::AssignmentCache cache; // empty: every probe is a miss
     for (auto _ : state) {
-        auto miss = cache.lookup("hungarian", value);
+        auto miss = cache.lookup("hungarian", view);
         benchmark::DoNotOptimize(miss);
     }
 }
@@ -478,15 +473,17 @@ BM_OlsFit(benchmark::State& state)
 {
     Rng rng(44);
     const auto n = static_cast<std::size_t>(state.range(0));
-    std::vector<std::vector<double>> x(n);
+    std::vector<double> x(n * 2);
     std::vector<double> y(n);
     for (std::size_t i = 0; i < n; ++i) {
-        x[i] = {rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
-        y[i] = 1.0 + 2.0 * x[i][0] + 3.0 * x[i][1] +
+        x[i * 2] = rng.uniform(0.0, 10.0);
+        x[i * 2 + 1] = rng.uniform(0.0, 10.0);
+        y[i] = 1.0 + 2.0 * x[i * 2] + 3.0 * x[i * 2 + 1] +
                rng.normal(0.0, 0.1);
     }
+    const math::MatrixView design{x, n, 2};
     for (auto _ : state) {
-        auto fit = math::fitOls(x, y);
+        auto fit = math::fitOls(design, y);
         benchmark::DoNotOptimize(fit);
     }
 }

@@ -25,6 +25,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -131,6 +132,21 @@ struct FleetConfig
      * redistribution runs between consecutive epochs.
      */
     std::vector<double> epochLoads = {0.3, 0.6, 0.9};
+    /**
+     * Optional per-cluster epoch loads from a generated scenario,
+     * flattened epoch-major: epochClusterLoads[e * width + c] is
+     * cluster c's load in epoch e. Empty (width 0) means every
+     * cluster serves epochLoads[e] — the pre-scenario behaviour.
+     * When set, epochLoads still holds one entry per epoch (the
+     * per-epoch fleet mean) so epoch counting and reports are
+     * unchanged, and the evaluator checks width against the
+     * partitioned cluster count.
+     */
+    std::vector<double> epochClusterLoads;
+    /** Clusters per epoch row of epochClusterLoads (0 = unset). */
+    std::size_t epochClusterWidth = 0;
+    /** Fingerprint of the generating scenario (0 = none). */
+    std::uint64_t scenarioFingerprint = 0;
     /**
      * Total fleet power budget. Zero means "sum of the member
      * servers' provisioned budgets"; a non-zero value is split over
@@ -261,6 +277,60 @@ struct FleetConfig
         epochLoads = std::move(loads);
         return *this;
     }
+    /**
+     * Adopt a generated scenario's per-cluster epoch schedule:
+     * @p loads is epoch-major with @p width clusters per row (see
+     * epochClusterLoads). epochLoads is rewritten to the per-epoch
+     * means so the epoch count and fleet-level reporting stay
+     * consistent, and @p fingerprint records which scenario produced
+     * the schedule.
+     */
+    FleetConfig& withScenarioLoads(std::vector<double> loads,
+                                   std::size_t width,
+                                   std::uint64_t fingerprint)
+    {
+        POCO_CHECK(width >= 1,
+                   "scenario loads need at least one cluster");
+        POCO_CHECK(!loads.empty() && loads.size() % width == 0,
+                   "scenario loads must be whole epoch rows");
+        for (const double p : loads)
+            POCO_CHECK(p > 0.0 && p <= 1.0,
+                       "scenario loads must be in (0, 1]");
+        const std::size_t n_epochs = loads.size() / width;
+        std::vector<double> means(n_epochs, 0.0);
+        for (std::size_t e = 0; e < n_epochs; ++e) {
+            for (std::size_t c = 0; c < width; ++c)
+                means[e] += loads[e * width + c];
+            means[e] /= static_cast<double>(width);
+        }
+        epochClusterLoads = std::move(loads);
+        epochClusterWidth = width;
+        scenarioFingerprint = fingerprint;
+        epochLoads = std::move(means);
+        return *this;
+    }
+
+    /**
+     * Adopt a scen::ScenarioSpec or generated scen::Scenario.
+     * Duck-typed (the cluster layer cannot name scen types): a spec
+     * — anything with generate() — is expanded first; a scenario
+     * contributes its epoch-major loads, width and fingerprint via
+     * withScenarioLoads. The scenario's servers() still need to be
+     * handed to the evaluator (fleet::serversFromScenario does
+     * both).
+     */
+    template <typename S>
+    FleetConfig& withScenario(const S& scenario)
+    {
+        if constexpr (requires { scenario.generate(); }) {
+            return withScenario(scenario.generate());
+        } else {
+            return withScenarioLoads(scenario.epochClusterLoads(),
+                                     scenario.epochClusterWidth(),
+                                     scenario.fingerprint());
+        }
+    }
+
     FleetConfig& withFleetBudget(Watts value)
     {
         POCO_CHECK(value >= Watts{},
@@ -357,6 +427,23 @@ struct FleetConfig
         for (const double p : epochLoads)
             POCO_CHECK(p > 0.0 && p <= 1.0,
                        "epoch loads must be in (0, 1]");
+        if (epochClusterWidth > 0) {
+            POCO_CHECK(!epochClusterLoads.empty() &&
+                           epochClusterLoads.size() %
+                                   epochClusterWidth ==
+                               0,
+                       "scenario loads must be whole epoch rows");
+            POCO_CHECK(epochClusterLoads.size() /
+                               epochClusterWidth ==
+                           epochLoads.size(),
+                       "scenario loads disagree with epoch count");
+            for (const double p : epochClusterLoads)
+                POCO_CHECK(p > 0.0 && p <= 1.0,
+                           "scenario loads must be in (0, 1]");
+        } else {
+            POCO_CHECK(epochClusterLoads.empty(),
+                       "epochClusterLoads set without a width");
+        }
         POCO_CHECK(fleetBudget >= Watts{},
                    "fleetBudget must be non-negative");
         POCO_CHECK(heartbeatPeriod > 0,

@@ -107,10 +107,17 @@ struct PerformanceMatrix
     static PerformanceMatrix
     fromRows(const std::vector<std::vector<double>>& rows) // poco-lint: allow(nested-vector)
     {
+        POCO_REQUIRE(!rows.empty(), "matrix must be non-empty");
+        const std::size_t cols = rows.front().size();
+        POCO_REQUIRE(cols > 0, "matrix must have columns");
         PerformanceMatrix m;
-        m.cells_ = math::flattenRows(rows);
+        m.cells_.reserve(rows.size() * cols);
+        for (const auto& row : rows) {
+            POCO_REQUIRE(row.size() == cols, "ragged matrix");
+            m.cells_.insert(m.cells_.end(), row.begin(), row.end());
+        }
         m.rows_ = rows.size();
-        m.cols_ = rows.front().size();
+        m.cols_ = cols;
         return m;
     }
 

@@ -62,6 +62,16 @@ EventLog::fromEvents(std::vector<ControlEvent> events)
 }
 
 EventLog
+EventLog::merged(const EventLog& a, const EventLog& b)
+{
+    std::vector<ControlEvent> events;
+    events.reserve(a.size() + b.size());
+    events.insert(events.end(), a.events().begin(), a.events().end());
+    events.insert(events.end(), b.events().begin(), b.events().end());
+    return fromEvents(std::move(events));
+}
+
+EventLog
 EventLog::generate(const EventLogConfig& config)
 {
     POCO_REQUIRE(config.horizon > 0, "horizon must be positive");

@@ -96,6 +96,16 @@ class EventLog
      */
     static EventLog generate(const EventLogConfig& config);
 
+    /**
+     * The union of two logs, re-sorted into total order. Because
+     * ordering is (tick, kind, subject, value), merging is
+     * commutative: merged(a, b) == merged(b, a) element-wise. This
+     * is how scenario generators compose independently generated
+     * streams (BE arrival queues, load-shift markers) into the one
+     * log a control plane replays.
+     */
+    static EventLog merged(const EventLog& a, const EventLog& b);
+
     bool empty() const { return events_.empty(); }
     std::size_t size() const { return events_.size(); }
     const std::vector<ControlEvent>& events() const { return events_; }

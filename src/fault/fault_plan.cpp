@@ -265,4 +265,42 @@ FaultPlan::fingerprint() const
     return h;
 }
 
+std::vector<FaultWindow>
+stormWindows(SimTime start, SimTime end, int servers,
+             double magnitude, std::uint64_t seed)
+{
+    POCO_REQUIRE(start >= 0 && start < end,
+                 "storm window must satisfy 0 <= start < end");
+    POCO_REQUIRE(servers > 0, "storm needs at least one server");
+    POCO_REQUIRE(magnitude >= 0.0,
+                 "storm magnitude must be non-negative");
+
+    SplitMix64 mix(seed);
+    std::vector<FaultWindow> windows;
+    windows.push_back({start, end, FaultKind::SensorBias, magnitude,
+                       /*server=*/-1});
+
+    const SimTime span = end - start;
+    const int crashes = std::max(1, servers / 8);
+    for (int i = 0; i < crashes; ++i) {
+        const int victim =
+            static_cast<int>(mix.next() %
+                             static_cast<std::uint64_t>(servers));
+        // Crash somewhere in the first half of the storm and recover
+        // within it: outages cluster near the triggering event.
+        const SimTime offset = static_cast<SimTime>(
+            mix.next() % static_cast<std::uint64_t>(
+                             std::max<SimTime>(1, span / 2)));
+        const SimTime down = std::max<SimTime>(
+            kSecond / 10,
+            static_cast<SimTime>(
+                mix.next() % static_cast<std::uint64_t>(
+                                 std::max<SimTime>(1, span - offset))));
+        windows.push_back({start + offset,
+                           std::min(end, start + offset + down),
+                           FaultKind::ServerCrash, 0.0, victim});
+    }
+    return windows;
+}
+
 } // namespace poco::fault

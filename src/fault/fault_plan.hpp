@@ -162,4 +162,20 @@ class FaultPlan
     std::vector<FaultWindow> windows_;
 };
 
+/**
+ * One correlated fault storm: the windows a single bad episode
+ * (a rack power event, a firmware rollout gone wrong) would produce
+ * across a fleet. Every storm carries a broadcast SensorBias window
+ * over [start, end) at @p magnitude plus a seeded burst of
+ * ServerCrash windows — roughly one per eight servers, at least
+ * one — each covering a sub-interval of the storm. All draws come
+ * from SplitMix64(@p seed), so the same (window, seed) pair always
+ * yields the same storm regardless of how many storms a plan stacks.
+ * Feed the concatenated storms to FaultPlan::fromWindows, which
+ * hull-merges any same-(server, kind) overlap.
+ */
+std::vector<FaultWindow> stormWindows(SimTime start, SimTime end,
+                                      int servers, double magnitude,
+                                      std::uint64_t seed);
+
 } // namespace poco::fault

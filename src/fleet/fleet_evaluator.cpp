@@ -140,6 +140,10 @@ FleetEvaluator::FleetEvaluator(std::vector<FleetServer> servers,
 {
     config_.validated();
     clusters_ = partitionFleet(servers_);
+    POCO_CHECK(config_.epochClusterWidth == 0 ||
+                   config_.epochClusterWidth == clusters_.size(),
+               "scenario loads cover a different cluster count than "
+               "this fleet partitions into");
 
     // One pool for everything: shard tasks, each shard's internal
     // cluster parallelism, and the async telemetry folds. Helping
@@ -449,7 +453,17 @@ FleetEvaluator::run() const
     Outcome<FleetRollup> outcome;
     FleetRollup& rollup = outcome.value;
 
-    for (const double load : config_.epochLoads) {
+    for (std::size_t e = 0; e < config_.epochLoads.size(); ++e) {
+        const double load = config_.epochLoads[e];
+        // Scenario schedules give every cluster its own offered
+        // load for the epoch; epoch.load then reports the fleet
+        // mean. Without one, every cluster serves the epoch load
+        // (the pre-scenario behaviour, bit for bit).
+        const double* cluster_loads =
+            config_.epochClusterWidth > 0
+                ? config_.epochClusterLoads.data() +
+                      e * config_.epochClusterWidth
+                : nullptr;
         FleetEpoch epoch;
         epoch.load = load;
         epoch.fleetBudget = fromMilliwatts(fleet_total_mw);
@@ -464,11 +478,16 @@ FleetEvaluator::run() const
             runtime::TaskGroup group(pool_);
             for (std::size_t shard = 0; shard < shards; ++shard) {
                 group.run([this, &epoch, &budget_mw, &aggregator,
-                           load, shard, shards, n_clusters] {
+                           load, cluster_loads, shard, shards,
+                           n_clusters] {
                     for (std::size_t c = shard; c < n_clusters;
                          c += shards)
                         epoch.clusters[c] = runClusterEpoch(
-                            c, load, budget_mw[c], aggregator);
+                            c,
+                            cluster_loads != nullptr
+                                ? cluster_loads[c]
+                                : load,
+                            budget_mw[c], aggregator);
                 });
             }
             group.wait();

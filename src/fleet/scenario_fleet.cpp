@@ -1,0 +1,29 @@
+#include "fleet/scenario_fleet.hpp"
+
+#include <utility>
+
+namespace poco::fleet
+{
+
+std::vector<FleetServer>
+serversFromScenario(const scen::Scenario& scenario)
+{
+    std::vector<FleetServer> out;
+    const std::vector<scen::ScenarioServer> servers =
+        scenario.servers();
+    out.reserve(servers.size());
+    for (const scen::ScenarioServer& server : servers)
+        out.push_back({server.apps, server.lcIndex, server.budget});
+    return out;
+}
+
+Outcome<FleetRollup>
+evaluateScenario(const scen::Scenario& scenario, FleetConfig config)
+{
+    config.withScenario(scenario);
+    const FleetEvaluator evaluator(serversFromScenario(scenario),
+                                   config);
+    return evaluator.run();
+}
+
+} // namespace poco::fleet

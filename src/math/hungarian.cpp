@@ -153,39 +153,4 @@ solveAssignmentExhaustive(MatrixView value)
     return best;
 }
 
-std::vector<int>
-solveAssignmentMin(const std::vector<std::vector<double>>& cost) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(cost);
-    return solveAssignmentMin(
-        MatrixView{flat.data(), cost.size(), cost.front().size()});
-}
-
-std::vector<int>
-solveAssignmentMax(const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return solveAssignmentMax(
-        MatrixView{flat.data(), value.size(), value.front().size()});
-}
-
-double
-assignmentValue(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                const std::vector<int>& assignment)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return assignmentValue(
-        MatrixView{flat.data(), value.size(), value.front().size()},
-        assignment);
-}
-
-std::vector<int>
-solveAssignmentExhaustive(
-    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return solveAssignmentExhaustive(
-        MatrixView{flat.data(), value.size(), value.front().size()});
-}
-
 } // namespace poco::math

@@ -7,10 +7,10 @@
  * Munkres [30] among the standard methods); tests cross-check both
  * against exhaustive search.
  *
- * The primary entry points take a math::MatrixView over flat
- * row-major storage (the cluster layer's PerformanceMatrix buffer);
- * the nested-vector overloads are compatibility shims for tests and
- * cold callers that still assemble nested rows.
+ * Every entry point takes a math::MatrixView over flat row-major
+ * storage (the cluster layer's PerformanceMatrix buffer). The
+ * nested-vector compatibility shims are gone: callers that assemble
+ * rows incrementally pack them flat and view the buffer.
  */
 
 #pragma once
@@ -48,15 +48,5 @@ double assignmentValue(MatrixView value,
  * Only suitable for tiny instances such as the paper's 4x4 study.
  */
 std::vector<int> solveAssignmentExhaustive(MatrixView value);
-
-/** Nested-row compatibility shims (cold paths and tests). */
-std::vector<int>
-solveAssignmentMin(const std::vector<std::vector<double>>& cost); // poco-lint: allow(nested-vector)
-std::vector<int>
-solveAssignmentMax(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
-double assignmentValue(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                       const std::vector<int>& assignment);
-std::vector<int>
-solveAssignmentExhaustive(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
 } // namespace poco::math

@@ -155,17 +155,6 @@ HungarianRepair::solveFull(MatrixView value)
     return extract();
 }
 
-std::vector<int>
-HungarianRepair::solveFull(
-    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    POCO_REQUIRE(value.size() <= value.front().size(),
-                 "requires rows <= cols");
-    return solveFull(
-        MatrixView{flat.data(), value.size(), value.front().size()});
-}
-
 std::optional<std::vector<int>>
 HungarianRepair::repairRow(std::size_t row, const double* rowValues,
                            std::size_t n)

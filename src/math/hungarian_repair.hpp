@@ -47,10 +47,6 @@ class HungarianRepair
      */
     std::vector<int> solveFull(MatrixView value);
 
-    /** Nested-row compatibility shim (tests and cold callers). */
-    std::vector<int>
-    solveFull(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
-
     /** True when state for a (rows, cols) instance is retained. */
     bool
     hasState(std::size_t rows, std::size_t cols) const

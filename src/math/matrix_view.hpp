@@ -50,6 +50,20 @@ struct MatrixView
                      "flat buffer size must equal rows * cols");
     }
 
+    /**
+     * View of a packed flat buffer whose row width is inferred from
+     * @p rows_ (size must divide evenly). Convenience for callers
+     * assembling row-major designs incrementally.
+     */
+    static MatrixView ofRows(const std::vector<double>& flat,
+                             std::size_t rows_)
+    {
+        POCO_REQUIRE(rows_ > 0, "matrix must have rows");
+        POCO_REQUIRE(flat.size() % rows_ == 0,
+                     "flat buffer size must be a multiple of rows");
+        return {flat.data(), rows_, flat.size() / rows_};
+    }
+
     bool empty() const { return rows == 0 || cols == 0; }
 
     const double* row(std::size_t r) const
@@ -62,13 +76,5 @@ struct MatrixView
         return data[r * stride + c];
     }
 };
-
-/**
- * Pack nested rows into one row-major buffer (validates rectangular).
- * Compatibility shim for callers still holding nested storage (tests,
- * cold paths); hot paths should hold flat buffers and view them.
- */
-std::vector<double>
-flattenRows(const std::vector<std::vector<double>>& rows); // poco-lint: allow(nested-vector)
 
 } // namespace poco::math

@@ -20,18 +20,15 @@ OlsResult::predict(const std::vector<double>& x) const
 }
 
 OlsResult
-// poco-lint: allow(nested-vector) -- fit-time sample rows, not a solver matrix
-fitOls(const std::vector<std::vector<double>>& x,
-       const std::vector<double>& y,
+fitOls(MatrixView x, const std::vector<double>& y,
        bool fit_intercept)
 {
-    POCO_REQUIRE(!x.empty(), "OLS needs at least one sample");
-    POCO_REQUIRE(x.size() == y.size(), "OLS feature/target size mismatch");
-    const std::size_t n = x.size();
-    const std::size_t k = x.front().size();
+    POCO_REQUIRE(x.rows >= 1, "OLS needs at least one sample");
+    POCO_REQUIRE(x.rows == y.size(),
+                 "OLS feature/target size mismatch");
+    const std::size_t n = x.rows;
+    const std::size_t k = x.cols;
     POCO_REQUIRE(k >= 1, "OLS needs at least one predictor");
-    for (const auto& row : x)
-        POCO_REQUIRE(row.size() == k, "ragged OLS design");
 
     // Build the design including the (optional) intercept column so the
     // same normal-equation path handles both cases.
@@ -44,7 +41,7 @@ fitOls(const std::vector<std::vector<double>>& x,
         if (fit_intercept)
             design(i, c++) = 1.0;
         for (std::size_t j = 0; j < k; ++j)
-            design(i, c++) = x[i][j];
+            design(i, c++) = x(i, j);
     }
 
     const Matrix xt = design.transpose();
@@ -66,8 +63,12 @@ fitOls(const std::vector<std::vector<double>>& x,
         result.coefficients[j + 1] = beta[c++];
 
     std::vector<double> predicted(n);
-    for (std::size_t i = 0; i < n; ++i)
-        predicted[i] = result.predict(x[i]);
+    std::vector<double> features(k);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < k; ++j)
+            features[j] = x(i, j);
+        predicted[i] = result.predict(features);
+    }
     result.r_squared = poco::rSquared(y, predicted);
     result.rss = 0.0;
     for (std::size_t i = 0; i < n; ++i) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "math/matrix.hpp"
+#include "math/matrix_view.hpp"
 
 namespace poco::math
 {
@@ -46,16 +47,16 @@ struct OlsResult
  * (X'X) b = X'y solved with partial pivoting. Designs here are tiny
  * (k <= 4, n <= a few hundred) so normal equations are accurate enough.
  *
- * @param x Feature rows; all rows must share one length k >= 1.
- * @param y Targets, same length as @p x.
+ * @param x Design matrix view: one row per sample, one column per
+ *        predictor (k >= 1). Callers pack samples into a flat
+ *        row-major buffer and view it (MatrixView::ofRows).
+ * @param y Targets, one per design row.
  * @param fit_intercept When false, forces b0 = 0 (used for models where
  *        the static term is measured separately).
  * @throws poco::FatalError on shape errors or a singular design
  *         (e.g. fewer samples than parameters, collinear features).
  */
-// poco-lint: allow(nested-vector) -- fit-time sample rows, not a solver matrix
-OlsResult fitOls(const std::vector<std::vector<double>>& x,
-                 const std::vector<double>& y,
+OlsResult fitOls(MatrixView x, const std::vector<double>& y,
                  bool fit_intercept = true);
 
 } // namespace poco::math

@@ -561,16 +561,6 @@ solveAssignmentLp(MatrixView value, const LpOptions& options)
 }
 
 std::vector<int>
-solveAssignmentLp(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                  const LpOptions& options)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return solveAssignmentLp(
-        MatrixView{flat.data(), value.size(), value.front().size()},
-        options);
-}
-
-std::vector<int>
 AssignmentLpSolver::solveCold(MatrixView value)
 {
     const std::size_t rows = value.rows;
@@ -597,15 +587,6 @@ AssignmentLpSolver::solveCold(MatrixView value)
     has_basis_ = true;
     exported_basis_ = tableau_.basis();
     return *assignment;
-}
-
-std::vector<int>
-AssignmentLpSolver::solveCold(
-    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return solveCold(
-        MatrixView{flat.data(), value.size(), value.front().size()});
 }
 
 std::optional<std::vector<int>>
@@ -652,15 +633,6 @@ AssignmentLpSolver::solveWarm(MatrixView value)
     }
     exported_basis_ = tableau_.basis();
     return assignment;
-}
-
-std::optional<std::vector<int>>
-AssignmentLpSolver::solveWarm(
-    const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return solveWarm(
-        MatrixView{flat.data(), value.size(), value.front().size()});
 }
 
 std::uint64_t

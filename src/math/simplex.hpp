@@ -245,11 +245,6 @@ LpSolution solveLp(const LpProblem& problem,
 std::vector<int> solveAssignmentLp(MatrixView value,
                                    const LpOptions& options = {});
 
-/** Nested-row compatibility shim (cold paths and tests). */
-std::vector<int>
-solveAssignmentLp(const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                  const LpOptions& options = {});
-
 /**
  * Warm-startable assignment-LP solver (the control plane's hot path).
  *
@@ -291,12 +286,6 @@ class AssignmentLpSolver
      *         to solveCold().
      */
     std::optional<std::vector<int>> solveWarm(MatrixView value);
-
-    /** Nested-row compatibility shims (cold paths and tests). */
-    std::vector<int>
-    solveCold(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
-    std::optional<std::vector<int>>
-    solveWarm(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
     /** True when a basis for a (rows, cols) instance is retained. */
     bool hasBasis(std::size_t rows, std::size_t cols) const

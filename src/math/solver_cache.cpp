@@ -39,18 +39,6 @@ hashMatrixContent(MatrixView value)
     return h;
 }
 
-std::uint64_t
-hashMatrixContent(const std::vector<std::vector<double>>& value) // poco-lint: allow(nested-vector)
-{
-    std::uint64_t h = mix64(value.size() * kGolden + 1);
-    if (!value.empty())
-        h = mix64(h ^ (value.front().size() * kGolden));
-    for (const auto& row : value)
-        for (double v : row)
-            h = mix64(h ^ (std::bit_cast<std::uint64_t>(v) + kGolden));
-    return h;
-}
-
 bool
 AssignmentCache::matches(const Entry& entry, std::string_view tag,
                          MatrixView value)
@@ -89,16 +77,6 @@ AssignmentCache::lookup(std::string_view tag, MatrixView value) const
     return std::nullopt;
 }
 
-std::optional<std::vector<int>>
-AssignmentCache::lookup(
-    std::string_view tag,
-    const std::vector<std::vector<double>>& value) const // poco-lint: allow(nested-vector)
-{
-    const std::vector<double> flat = flattenRows(value);
-    return lookup(tag, MatrixView{flat.data(), value.size(),
-                                  value.front().size()});
-}
-
 void
 AssignmentCache::insert(std::string_view tag, MatrixView value,
                         std::vector<int> assignment)
@@ -123,18 +101,6 @@ AssignmentCache::insert(std::string_view tag, MatrixView value,
             return;
     bucket.push_back(std::move(entry));
     ++entries_;
-}
-
-void
-AssignmentCache::insert(std::string_view tag,
-                        const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                        std::vector<int> assignment)
-{
-    const std::vector<double> flat = flattenRows(value);
-    insert(tag,
-           MatrixView{flat.data(), value.size(),
-                      value.front().size()},
-           std::move(assignment));
 }
 
 SolverCacheStats

@@ -52,12 +52,10 @@ struct SolverCacheStats
 /**
  * 64-bit content hash of a rectangular matrix: dimensions plus every
  * element's bit pattern (row-major), mixed SplitMix64-style.
- * Deterministic across runs and platforms with IEEE-754 doubles; the
- * view and nested overloads hash identically for equal content.
+ * Deterministic across runs and platforms with IEEE-754 doubles;
+ * equal content hashes equally regardless of the backing stride.
  */
 std::uint64_t hashMatrixContent(MatrixView value);
-std::uint64_t
-hashMatrixContent(const std::vector<std::vector<double>>& value); // poco-lint: allow(nested-vector)
 
 /** Content-addressed memo of assignment solutions. */
 class AssignmentCache
@@ -69,15 +67,9 @@ class AssignmentCache
      */
     std::optional<std::vector<int>> lookup(std::string_view tag,
                                            MatrixView value) const;
-    std::optional<std::vector<int>>
-    lookup(std::string_view tag,
-           const std::vector<std::vector<double>>& value) const; // poco-lint: allow(nested-vector)
 
     /** Store a solution; an exact duplicate key keeps the first. */
     void insert(std::string_view tag, MatrixView value,
-                std::vector<int> assignment);
-    void insert(std::string_view tag,
-                const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
                 std::vector<int> assignment);
 
     /**
@@ -94,20 +86,6 @@ class AssignmentCache
         std::vector<int> result = solve();
         insert(tag, value, result);
         return result;
-    }
-
-    template <typename Solve>
-    std::vector<int>
-    getOrCompute(std::string_view tag,
-                 const std::vector<std::vector<double>>& value, // poco-lint: allow(nested-vector)
-                 Solve&& solve)
-    {
-        const std::vector<double> flat = flattenRows(value);
-        return getOrCompute(
-            tag,
-            MatrixView{flat.data(), value.size(),
-                       value.front().size()},
-            std::forward<Solve>(solve));
     }
 
     SolverCacheStats stats() const;

@@ -15,9 +15,11 @@ UtilityFitter::fit(const std::vector<ProfileSample>& samples) const
     const std::size_t k = samples.front().r.size();
     POCO_REQUIRE(k >= 1, "samples must carry >= 1 resource");
 
-    std::vector<std::vector<double>> log_r;
+    // Flat row-major designs (one row per usable sample), viewed by
+    // the OLS kernel without copies.
+    std::vector<double> log_r;
     std::vector<double> log_perf;
-    std::vector<std::vector<double>> lin_r;
+    std::vector<double> lin_r;
     std::vector<double> power;
 
     for (const auto& s : samples) {
@@ -27,19 +29,20 @@ UtilityFitter::fit(const std::vector<ProfileSample>& samples) const
             positive = positive && rj > 0.0;
         if (!positive)
             continue; // unusable for the log transform
-        std::vector<double> lr(k);
         for (std::size_t j = 0; j < k; ++j)
-            lr[j] = std::log(s.r[j]);
-        log_r.push_back(std::move(lr));
+            log_r.push_back(std::log(s.r[j]));
         log_perf.push_back(std::log(s.perf));
-        lin_r.push_back(s.r);
+        lin_r.insert(lin_r.end(), s.r.begin(), s.r.end());
         power.push_back(s.power);
     }
-    POCO_REQUIRE(log_r.size() >= k + 1,
+    const std::size_t usable = log_perf.size();
+    POCO_REQUIRE(usable >= k + 1,
                  "too few usable samples to identify the model");
 
-    const math::OlsResult perf_fit = math::fitOls(log_r, log_perf);
-    const math::OlsResult power_fit = math::fitOls(lin_r, power);
+    const math::OlsResult perf_fit = math::fitOls(
+        math::MatrixView{log_r, usable, k}, log_perf);
+    const math::OlsResult power_fit = math::fitOls(
+        math::MatrixView{lin_r, usable, k}, power);
 
     std::vector<double> alpha(k), p_coef(k);
     for (std::size_t j = 0; j < k; ++j) {

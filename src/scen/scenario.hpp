@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Seeded fleet-scenario generation (the output half of poco::scen).
+ *
+ * Scenario::generate expands a ScenarioSpec into everything a fleet
+ * evaluation consumes, composing the existing layers rather than
+ * bypassing them: a Zipf-skewed catalog of sim::ServerSpec platform
+ * generations, one wl::AppSet per cluster (address-stable, so
+ * fleet::partitionFleet groups servers by it), per-epoch offered
+ * loads sampled from wl::LoadTrace diurnal + jitter + flash-crowd
+ * compositions with correlated per-region spike windows, a staggered
+ * BE arrival queue lowered to a ctrl::EventLog, and correlated fault
+ * storms layered through fault::FaultPlan::fromWindows.
+ *
+ * Determinism: every cluster draws only from
+ * Rng(spec.seed).split(clusterIndex) plus region-keyed streams, and
+ * generation writes index-addressed slots — so the fleet is
+ * bit-identical for any thread count, and the ScenarioFingerprint
+ * (an FNV-1a hash over the emitted fleet) is the equality witness
+ * tests and benchmarks diff.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ctrl/event_log.hpp"
+#include "fault/fault_plan.hpp"
+#include "scen/scenario_spec.hpp"
+#include "sim/server_spec.hpp"
+#include "util/units.hpp"
+#include "wl/registry.hpp"
+
+namespace poco::scen
+{
+
+/** Content hash over an emitted fleet (FNV-1a; wall-clock free). */
+using ScenarioFingerprint = std::uint64_t;
+
+/** One generated cluster: platform, region, apps, epoch loads. */
+struct ClusterScenario
+{
+    /** Canonical cluster index (the Rng::split stream key). */
+    std::size_t index = 0;
+
+    /** Rank into Scenario::platforms() (0 = incumbent generation). */
+    std::size_t platform = 0;
+
+    /** Spike-correlation group; clusters are striped across regions. */
+    std::size_t region = 0;
+
+    /**
+     * The cluster's app set. Heap-allocated so its address is stable
+     * across Scenario moves — fleet::partitionFleet groups servers
+     * by AppSet address.
+     */
+    std::unique_ptr<wl::AppSet> apps;
+
+    /** Offered LC load per epoch, in (0, 1]. */
+    std::vector<double> epochLoads;
+};
+
+/**
+ * One server of a generated fleet. Mirrors fleet::FleetServer field
+ * for field without depending on the fleet layer (scen sits below
+ * fleet in the layering DAG); fleet::serversFromScenario converts.
+ */
+struct ScenarioServer
+{
+    const wl::AppSet* apps = nullptr;
+    /** Which LC app of the set this server hosts. */
+    std::size_t lcIndex = 0;
+    /** Provisioned budget; 0 = right-size to the LC peak. */
+    Watts budget{};
+};
+
+/**
+ * A fully generated fleet. Move-only (clusters own their app sets);
+ * accessors are const and the object is immutable after generate.
+ */
+class Scenario
+{
+  public:
+    /**
+     * Expand @p spec (validated first) into a concrete fleet.
+     * Cluster synthesis fans out over @p pool; the result is
+     * bit-identical for any thread count.
+     */
+    static Scenario generate(const ScenarioSpec& spec,
+                             runtime::ThreadPool* pool = nullptr);
+
+    const ScenarioSpec& spec() const { return spec_; }
+
+    /** The platform catalog, by Zipf rank. */
+    const std::vector<sim::ServerSpec>& platforms() const
+    {
+        return platforms_;
+    }
+
+    std::size_t clusterCount() const { return clusters_.size(); }
+
+    const std::vector<ClusterScenario>& clusters() const
+    {
+        return clusters_;
+    }
+
+    /**
+     * The flat server list: spec.serversPerCluster servers per
+     * cluster, striped across the cluster's LC apps. Pointers alias
+     * this Scenario's app sets — keep it alive while they are used.
+     */
+    std::vector<ScenarioServer> servers() const;
+
+    /**
+     * Per-cluster offered load, epoch-major:
+     * loads[e * epochClusterWidth() + c] is cluster c's load in
+     * epoch e. This is the FleetConfig::withScenarioLoads payload.
+     */
+    const std::vector<double>& epochClusterLoads() const
+    {
+        return epochClusterLoads_;
+    }
+
+    /** Clusters per epoch row of epochClusterLoads(). */
+    std::size_t epochClusterWidth() const { return clusters_.size(); }
+
+    /**
+     * The staggered BE arrival queue merged with per-epoch broadcast
+     * LoadShift markers, as one totally-ordered control-plane log.
+     */
+    const ctrl::EventLog& beArrivals() const { return beArrivals_; }
+
+    /** Every fault storm's windows, hull-merged into one plan. */
+    const fault::FaultPlan& faultStorm() const { return faultStorm_; }
+
+    /**
+     * FNV-1a over the emitted fleet: platform catalog, every
+     * cluster's (platform, region, app names, epoch loads), the
+     * event log and the fault plan. Two generations agree on the
+     * fingerprint iff they emitted the same fleet bit for bit.
+     */
+    ScenarioFingerprint fingerprint() const { return fingerprint_; }
+
+  private:
+    Scenario() = default;
+
+    ScenarioSpec spec_;
+    std::vector<sim::ServerSpec> platforms_;
+    std::vector<ClusterScenario> clusters_;
+    std::vector<double> epochClusterLoads_;
+    ctrl::EventLog beArrivals_;
+    fault::FaultPlan faultStorm_;
+    ScenarioFingerprint fingerprint_ = 0;
+};
+
+} // namespace poco::scen

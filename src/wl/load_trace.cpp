@@ -98,6 +98,32 @@ LoadTrace::jittered(LoadTrace base, double sigma, SimTime dwell,
 }
 
 LoadTrace
+LoadTrace::diurnalJittered(SimTime period, double low, double high,
+                           double phase, double sigma, SimTime dwell,
+                           std::uint64_t seed)
+{
+    return jittered(diurnal(period, low, high, phase), sigma, dwell,
+                    seed);
+}
+
+LoadTrace
+LoadTrace::flashCrowd(LoadTrace base, std::vector<SpikeWindow> windows,
+                      double magnitude)
+{
+    POCO_REQUIRE(magnitude >= 0.0,
+                 "flash-crowd magnitude must be non-negative");
+    for (const SpikeWindow& window : windows)
+        POCO_REQUIRE(window.start < window.end,
+                     "flash-crowd window must satisfy start < end");
+    return LoadTrace(base.name() + "+crowd", [=](SimTime t) {
+        for (const SpikeWindow& window : windows)
+            if (window.covers(t))
+                return base.at(t) * (1.0 + magnitude);
+        return base.at(t);
+    });
+}
+
+LoadTrace
 LoadTrace::fromCsv(const std::string& content, SimTime dwell)
 {
     POCO_REQUIRE(dwell > 0, "trace dwell must be positive");

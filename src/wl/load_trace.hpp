@@ -19,6 +19,20 @@
 namespace poco::wl
 {
 
+/**
+ * One flash-crowd episode: offered load is amplified while
+ * start <= t < end. Plain data so scenario generators can draw
+ * correlated window sets (e.g. one set per region) and hand the
+ * same vector to every affected trace.
+ */
+struct SpikeWindow
+{
+    SimTime start = 0;
+    SimTime end = 0;
+
+    bool covers(SimTime t) const { return t >= start && t < end; }
+};
+
 /** A load trace: time -> load fraction of peak, in [floor, 1]. */
 class LoadTrace
 {
@@ -73,6 +87,29 @@ class LoadTrace
      */
     static LoadTrace jittered(LoadTrace base, double sigma,
                               SimTime dwell, std::uint64_t seed);
+
+    /**
+     * Diurnal curve with multiplicative jitter — the composition the
+     * external benchmarks hand-rolled per server, extracted so fleet
+     * scenario generators and benchmarks build the same shape.
+     * Equivalent to jittered(diurnal(period, low, high, phase),
+     * sigma, dwell, seed).
+     */
+    static LoadTrace diurnalJittered(SimTime period, double low,
+                                     double high, double phase,
+                                     double sigma, SimTime dwell,
+                                     std::uint64_t seed);
+
+    /**
+     * Amplify @p base by (1 + magnitude) inside every spike window
+     * (flash crowds, Section II-B). Windows may overlap; overlapping
+     * windows amplify once, not multiplicatively, so a window set
+     * shared across a region cannot push load past (1 + magnitude) x
+     * base. The result is still clamped to [0, 1] by at().
+     */
+    static LoadTrace flashCrowd(LoadTrace base,
+                                std::vector<SpikeWindow> windows,
+                                double magnitude);
 
     /**
      * Replay a recorded trace: one load fraction per line (blank

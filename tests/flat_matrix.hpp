@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Owning flat row-major matrix for test literals.
+ *
+ * The solver layer's nested-vector compatibility shims are gone
+ * (DESIGN.md §9): every math:: entry point takes a MatrixView over
+ * flat storage. Tests still want readable nested literals, so this
+ * helper packs them into one owning buffer and converts implicitly
+ * to a view — `solveAssignmentMax(flat({{1, 2}, {3, 4}}))`.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "math/matrix_view.hpp"
+#include "util/check.hpp"
+
+namespace poco::test
+{
+
+/** Owning rectangular matrix; converts to math::MatrixView. */
+struct FlatMatrix
+{
+    std::vector<double> cells;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+
+    FlatMatrix() = default;
+
+    FlatMatrix(std::size_t rows_, std::size_t cols_, double fill = 0.0)
+        : cells(rows_ * cols_, fill), rows(rows_), cols(cols_)
+    {}
+
+    double& at(std::size_t i, std::size_t j)
+    {
+        return cells[i * cols + j];
+    }
+    double at(std::size_t i, std::size_t j) const
+    {
+        return cells[i * cols + j];
+    }
+
+    math::MatrixView view() const
+    {
+        return {cells.data(), rows, cols, cols};
+    }
+    operator math::MatrixView() const { return view(); } // NOLINT
+};
+
+/** Pack nested rows (validates rectangular, as the old shims did). */
+inline FlatMatrix
+flat(const std::vector<std::vector<double>>& rows)
+{
+    POCO_REQUIRE(!rows.empty(), "matrix must be non-empty");
+    const std::size_t cols = rows.front().size();
+    POCO_REQUIRE(cols > 0, "matrix must have columns");
+    FlatMatrix m;
+    m.rows = rows.size();
+    m.cols = cols;
+    m.cells.reserve(m.rows * cols);
+    for (const auto& row : rows) {
+        POCO_REQUIRE(row.size() == cols, "ragged matrix");
+        m.cells.insert(m.cells.end(), row.begin(), row.end());
+    }
+    return m;
+}
+
+} // namespace poco::test

@@ -16,6 +16,7 @@
 
 #include "cluster/incremental.hpp"
 #include "cluster/placement.hpp"
+#include "flat_matrix.hpp"
 #include "math/hungarian.hpp"
 #include "math/simplex.hpp"
 #include "util/rng.hpp"
@@ -25,25 +26,26 @@ namespace poco
 namespace
 {
 
-std::vector<std::vector<double>>
+using poco::test::FlatMatrix;
+
+FlatMatrix
 randomMatrix(Rng& rng, std::size_t rows, std::size_t cols)
 {
-    std::vector<std::vector<double>> value(
-        rows, std::vector<double>(cols));
-    for (auto& row : value)
-        for (double& cell : row)
-            cell = rng.uniform(0.0, 100.0);
+    FlatMatrix value(rows, cols);
+    for (double& cell : value.cells)
+        cell = rng.uniform(0.0, 100.0);
     return value;
 }
 
 double
-objectiveOf(const std::vector<std::vector<double>>& value,
+objectiveOf(const FlatMatrix& value,
             const std::vector<int>& assignment)
 {
     double total = 0.0;
     for (std::size_t i = 0; i < assignment.size(); ++i)
         if (assignment[i] >= 0)
-            total += value[i][static_cast<std::size_t>(assignment[i])];
+            total +=
+                value.at(i, static_cast<std::size_t>(assignment[i]));
     return total;
 }
 
@@ -78,29 +80,30 @@ TEST(CtrlWarmstart, WarmSolveMatchesColdUnderPerturbationStorm)
     for (int round = 0; round < 60; ++round) {
         switch (rng.uniformInt(0, 3)) {
           case 0: { // one cell
-            value[rng.uniformInt(0, static_cast<int>(n) - 1)]
-                 [rng.uniformInt(0, static_cast<int>(n) - 1)] =
-                rng.uniform(0.0, 100.0);
+            const auto i = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(n) - 1));
+            const auto j = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(n) - 1));
+            value.at(i, j) = rng.uniform(0.0, 100.0);
             break;
           }
           case 1: { // one row
-            auto& row =
-                value[rng.uniformInt(0, static_cast<int>(n) - 1)];
-            for (double& cell : row)
-                cell = rng.uniform(0.0, 100.0);
+            const auto i = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<int>(n) - 1));
+            for (std::size_t j = 0; j < n; ++j)
+                value.at(i, j) = rng.uniform(0.0, 100.0);
             break;
           }
           case 2: { // one column
             const auto col = static_cast<std::size_t>(
                 rng.uniformInt(0, static_cast<int>(n) - 1));
-            for (auto& row : value)
-                row[col] = rng.uniform(0.0, 100.0);
+            for (std::size_t i = 0; i < n; ++i)
+                value.at(i, col) = rng.uniform(0.0, 100.0);
             break;
           }
           default: { // everything
-            for (auto& row : value)
-                for (double& cell : row)
-                    cell = rng.uniform(0.0, 100.0);
+            for (double& cell : value.cells)
+                cell = rng.uniform(0.0, 100.0);
             break;
           }
         }
@@ -148,9 +151,11 @@ TEST(CtrlWarmstart, HungarianRepairMatchesOracleAfterRowChange)
         for (int round = 0; round < 20; ++round) {
             const auto row = static_cast<std::size_t>(
                 rng.uniformInt(0, static_cast<int>(n) - 1));
-            for (double& cell : value[row])
-                cell = rng.uniform(0.0, 100.0);
-            const auto repaired = engine.repairRow(row, value[row]);
+            for (std::size_t j = 0; j < value.cols; ++j)
+                value.at(row, j) = rng.uniform(0.0, 100.0);
+            const auto repaired = engine.repairRow(
+                row, value.cells.data() + row * value.cols,
+                value.cols);
             const std::vector<int> oracle =
                 math::solveAssignmentMax(value);
             if (repaired.has_value()) {
@@ -176,8 +181,8 @@ TEST(CtrlWarmstart, HungarianRepairMatchesOracleAfterColumnChange)
             rng.uniformInt(0, static_cast<int>(n) - 1));
         std::vector<double> column(n);
         for (std::size_t i = 0; i < n; ++i) {
-            value[i][col] = rng.uniform(0.0, 100.0);
-            column[i] = value[i][col];
+            value.at(i, col) = rng.uniform(0.0, 100.0);
+            column[i] = value.at(i, col);
         }
         const auto repaired = engine.repairColumn(col, column);
         const std::vector<int> oracle =
@@ -200,9 +205,11 @@ TEST(CtrlWarmstart, IncrementalPlacerMatchesColdChainEventByEvent)
     const std::size_t rows = 6;
     const std::size_t cols = 8;
 
-    cluster::PerformanceMatrix matrix =
-        cluster::PerformanceMatrix::fromRows(
-            randomMatrix(rng, rows, cols));
+    cluster::PerformanceMatrix matrix;
+    matrix.resize(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
 
     cluster::IncrementalPlacer placer;
     cluster::IncrementalStats last;
@@ -262,8 +269,11 @@ TEST(CtrlWarmstart, IncrementalPlacerMatchesColdChainEventByEvent)
 TEST(CtrlWarmstart, IncrementalPlacerResetForcesColdPath)
 {
     Rng rng(707);
-    cluster::PerformanceMatrix matrix =
-        cluster::PerformanceMatrix::fromRows(randomMatrix(rng, 4, 4));
+    cluster::PerformanceMatrix matrix;
+    matrix.resize(4, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            matrix(i, j) = rng.uniform(0.0, 100.0);
     cluster::IncrementalPlacer placer;
     const auto first =
         placer.resolve(matrix, cluster::PlacementDelta::shape());

@@ -2,12 +2,15 @@
  * @file
  * Tests for ordinary least squares regression, including the
  * parameter-recovery property that underpins the utility fitter.
+ * fitOls takes a math::MatrixView design; literals go through the
+ * flat() packer and incremental designs through FlatMatrix.
  */
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "flat_matrix.hpp"
 #include "math/regression.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -17,13 +20,27 @@ namespace poco::math
 namespace
 {
 
+using poco::test::FlatMatrix;
+using poco::test::flat;
+
+/** Append one design row to a flat row-major matrix. */
+void
+pushRow(FlatMatrix& x, const std::vector<double>& row)
+{
+    if (x.cols == 0)
+        x.cols = row.size();
+    ASSERT_EQ(row.size(), x.cols);
+    x.cells.insert(x.cells.end(), row.begin(), row.end());
+    ++x.rows;
+}
+
 TEST(Ols, ExactLineRecovered)
 {
     // y = 2 + 3x, noiseless.
-    std::vector<std::vector<double>> x;
+    FlatMatrix x;
     std::vector<double> y;
     for (int i = 0; i < 10; ++i) {
-        x.push_back({static_cast<double>(i)});
+        pushRow(x, {static_cast<double>(i)});
         y.push_back(2.0 + 3.0 * i);
     }
     const OlsResult fit = fitOls(x, y);
@@ -37,8 +54,8 @@ TEST(Ols, ExactLineRecovered)
 
 TEST(Ols, NoInterceptForcesOrigin)
 {
-    std::vector<std::vector<double>> x = {{1.0}, {2.0}, {3.0}};
-    std::vector<double> y = {2.0, 4.0, 6.0};
+    const FlatMatrix x = flat({{1.0}, {2.0}, {3.0}});
+    const std::vector<double> y = {2.0, 4.0, 6.0};
     const OlsResult fit = fitOls(x, y, /*fit_intercept=*/false);
     EXPECT_DOUBLE_EQ(fit.intercept(), 0.0);
     EXPECT_NEAR(fit.beta(0), 2.0, 1e-12);
@@ -46,11 +63,11 @@ TEST(Ols, NoInterceptForcesOrigin)
 
 TEST(Ols, PredictMatchesCoefficients)
 {
-    std::vector<std::vector<double>> x = {
-        {1.0, 2.0}, {2.0, 1.0}, {3.0, 3.0}, {0.0, 1.0}};
+    const FlatMatrix x = flat(
+        {{1.0, 2.0}, {2.0, 1.0}, {3.0, 3.0}, {0.0, 1.0}});
     std::vector<double> y;
-    for (const auto& row : x)
-        y.push_back(1.0 + 2.0 * row[0] - 0.5 * row[1]);
+    for (std::size_t i = 0; i < x.rows; ++i)
+        y.push_back(1.0 + 2.0 * x.at(i, 0) - 0.5 * x.at(i, 1));
     const OlsResult fit = fitOls(x, y);
     EXPECT_NEAR(fit.predict({4.0, 2.0}), 1.0 + 8.0 - 1.0, 1e-9);
     EXPECT_THROW(fit.predict({1.0}), poco::FatalError);
@@ -58,14 +75,17 @@ TEST(Ols, PredictMatchesCoefficients)
 
 TEST(Ols, InputValidation)
 {
-    EXPECT_THROW(fitOls({}, {}), poco::FatalError);
-    EXPECT_THROW(fitOls({{1.0}}, {1.0, 2.0}), poco::FatalError);
-    EXPECT_THROW(fitOls({{1.0}, {1.0, 2.0}}, {1.0, 2.0}),
+    EXPECT_THROW(fitOls(MatrixView{}, {}), poco::FatalError);
+    EXPECT_THROW(fitOls(flat({{1.0}}), {1.0, 2.0}),
                  poco::FatalError);
+    // Ragged nested literals die in the flat() packer, before any
+    // view exists.
+    EXPECT_THROW(flat({{1.0}, {1.0, 2.0}}), poco::FatalError);
     // Fewer samples than parameters.
-    EXPECT_THROW(fitOls({{1.0, 2.0}}, {1.0}), poco::FatalError);
+    EXPECT_THROW(fitOls(flat({{1.0, 2.0}}), {1.0}),
+                 poco::FatalError);
     // Collinear design -> singular normal equations.
-    EXPECT_THROW(fitOls({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}},
+    EXPECT_THROW(fitOls(flat({{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}}),
                         {1.0, 2.0, 3.0}),
                  poco::FatalError);
 }
@@ -86,17 +106,17 @@ TEST_P(OlsRecovery, RecoversPlantedCoefficients)
     const std::vector<double> beta = {0.7, -1.3, 2.1};
     const double intercept = 4.0;
 
-    std::vector<std::vector<double>> x;
+    FlatMatrix x;
     std::vector<double> y;
     for (int i = 0; i < 400; ++i) {
-        std::vector<double> row = {rng.uniform(0.0, 10.0),
-                                   rng.uniform(-5.0, 5.0),
-                                   rng.uniform(1.0, 3.0)};
+        const std::vector<double> row = {rng.uniform(0.0, 10.0),
+                                         rng.uniform(-5.0, 5.0),
+                                         rng.uniform(1.0, 3.0)};
         double target = intercept;
         for (std::size_t j = 0; j < beta.size(); ++j)
             target += beta[j] * row[j];
         target += rng.normal(0.0, noise);
-        x.push_back(std::move(row));
+        pushRow(x, row);
         y.push_back(target);
     }
 
@@ -124,12 +144,12 @@ TEST(Ols, LogLogRecoversExponents)
 {
     poco::Rng rng(77);
     const double a0 = 5.0, a1 = 0.6, a2 = 0.4;
-    std::vector<std::vector<double>> x;
+    FlatMatrix x;
     std::vector<double> y;
     for (int c = 1; c <= 12; ++c) {
         for (int w = 2; w <= 20; w += 2) {
             const double perf = a0 * std::pow(c, a1) * std::pow(w, a2);
-            x.push_back({std::log(c), std::log(w)});
+            pushRow(x, {std::log(c), std::log(w)});
             y.push_back(std::log(perf) + rng.normal(0.0, 0.01));
         }
     }

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "math/hungarian.hpp"
+#include "flat_matrix.hpp"
 #include "math/simplex.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -188,8 +189,7 @@ TEST(AssignmentLp, TiedValuesStayIntegral)
 {
     // A constant matrix makes every permutation optimal; the LP must
     // still return a 0/1 vertex (not a fractional interior point).
-    const std::vector<std::vector<double>> value(
-        4, std::vector<double>(4, 7.0));
+    const poco::test::FlatMatrix value(4, 4, 7.0);
     const auto a = solveAssignmentLp(value);
     std::vector<bool> used(4, false);
     for (int j : a) {
@@ -225,26 +225,27 @@ TEST(Simplex, InputValidation)
 TEST(AssignmentLp, SimpleMatrix)
 {
     // Diagonal is optimal.
-    const std::vector<std::vector<double>> value = {
-        {10.0, 1.0, 1.0},
-        {1.0, 10.0, 1.0},
-        {1.0, 1.0, 10.0}};
+    const poco::test::FlatMatrix value = poco::test::flat(
+        {{10.0, 1.0, 1.0},
+         {1.0, 10.0, 1.0},
+         {1.0, 1.0, 10.0}});
     const auto a = solveAssignmentLp(value);
     EXPECT_EQ(a, (std::vector<int>{0, 1, 2}));
 }
 
 TEST(AssignmentLp, RectangularLeavesTasksFree)
 {
-    const std::vector<std::vector<double>> value = {
-        {1.0, 9.0, 2.0, 3.0},
-        {8.0, 1.0, 2.0, 1.0}};
+    const poco::test::FlatMatrix value = poco::test::flat(
+        {{1.0, 9.0, 2.0, 3.0},
+         {8.0, 1.0, 2.0, 1.0}});
     const auto a = solveAssignmentLp(value);
     EXPECT_EQ(a, (std::vector<int>{1, 0}));
 }
 
 TEST(AssignmentLp, RejectsMoreAgentsThanTasks)
 {
-    const std::vector<std::vector<double>> value = {{1.0}, {2.0}};
+    const poco::test::FlatMatrix value =
+        poco::test::flat({{1.0}, {2.0}});
     EXPECT_THROW(solveAssignmentLp(value), poco::FatalError);
 }
 
@@ -261,12 +262,10 @@ TEST_P(LpVsHungarian, AgreeOnRandomInstances)
     const int n = GetParam();
     for (int trial = 0; trial < 10; ++trial) {
         poco::Rng rng(static_cast<std::uint64_t>(n * 100 + trial));
-        std::vector<std::vector<double>> value(
-            static_cast<std::size_t>(n),
-            std::vector<double>(static_cast<std::size_t>(n)));
-        for (auto& row : value)
-            for (auto& v : row)
-                v = rng.uniform(0.0, 100.0);
+        poco::test::FlatMatrix value(static_cast<std::size_t>(n),
+                                     static_cast<std::size_t>(n));
+        for (double& v : value.cells)
+            v = rng.uniform(0.0, 100.0);
 
         const auto lp = solveAssignmentLp(value);
         const auto hungarian = solveAssignmentMax(value);

@@ -18,6 +18,7 @@
 #include <cmath>
 
 #include "cluster/placement.hpp"
+#include "flat_matrix.hpp"
 #include "math/hungarian.hpp"
 #include "math/simplex.hpp"
 #include "math/solver_cache.hpp"
@@ -42,16 +43,14 @@ forcedParallel(runtime::ThreadPool* pool)
     return options;
 }
 
-std::vector<std::vector<double>>
+poco::test::FlatMatrix
 randomValueMatrix(std::size_t rows, std::size_t cols,
                   std::uint64_t seed)
 {
     poco::Rng rng(seed);
-    std::vector<std::vector<double>> value(rows,
-                                           std::vector<double>(cols));
-    for (auto& row : value)
-        for (auto& v : row)
-            v = rng.uniform(0.0, 100.0);
+    poco::test::FlatMatrix value(rows, cols);
+    for (double& v : value.cells)
+        v = rng.uniform(0.0, 100.0);
     return value;
 }
 

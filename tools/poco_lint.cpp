@@ -66,8 +66,8 @@
  *                     the Clang thread-safety analysis sees it
  *                     (POCO_THREAD_SAFETY=ON CI job).
  *   layering          a cross-subsystem #include must point strictly
- *                     down the layer DAG (util at the bottom; fleet
- *                     and ctrl at the top — table in layerOf());
+ *                     down the layer DAG (util at the bottom; scen
+ *                     and fleet at the top — table in layerOf());
  *                     upward or same-layer includes couple
  *                     subsystems that must stay independent.
  *   include-cycle     the quoted-include graph of the scanned files
@@ -634,7 +634,8 @@ runUnboundedQueue(const FileText& text, std::vector<Violation>& out)
  * structure of src/ — higher layers may include lower ones, never
  * sideways or up:
  *
- *   8  fleet
+ *   9  fleet
+ *   8  scen
  *   7  ctrl
  *   6  cluster
  *   5  server
@@ -653,7 +654,8 @@ layerOf(const std::string& subsystem)
         {"util", 0},  {"runtime", 1}, {"tco", 1},
         {"math", 2},  {"sim", 2},     {"wl", 3},
         {"fault", 3}, {"model", 4},   {"server", 5},
-        {"cluster", 6}, {"ctrl", 7},  {"fleet", 8},
+        {"cluster", 6}, {"ctrl", 7},  {"scen", 8},
+        {"fleet", 9},
     };
     const auto it = layers.find(subsystem);
     return it == layers.end() ? -1 : it->second;

@@ -13,11 +13,14 @@
  *                                placement under a solver
  *   policies                     run Random/POM/POColo end to end
  *   tco                          amortized monthly TCO comparison
+ *   scen [clusters] [regions]    generate a seeded fleet scenario
+ *                                and print its summary + fingerprint
  *
  * Output is plain text (aligned tables) on stdout; `profile` emits
  * CSV so it can feed external plotting.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +34,7 @@
 #include "model/model_store.hpp"
 #include "model/profiler.hpp"
 #include "runtime/thread_pool.hpp"
+#include "scen/scenario.hpp"
 #include "server/server_manager.hpp"
 #include "tco/tco_model.hpp"
 #include "util/check.hpp"
@@ -131,7 +135,9 @@ usage()
         "  models <file>              list a saved model store\n"
         "  simulate <lc> <be> <load%%|trace.csv> <minutes>\n"
         "                             run a managed colocation and\n"
-        "                             print telemetry as CSV\n");
+        "                             print telemetry as CSV\n"
+        "  scen [clusters] [regions]  generate a seeded fleet\n"
+        "                             scenario; summary + fingerprint\n");
     return 2;
 }
 
@@ -439,6 +445,60 @@ cmdSimulate(const wl::AppSet& apps, const Options& options,
     return 0;
 }
 
+int
+cmdScen(const Options& options, std::size_t clusters,
+        std::size_t regions)
+{
+    const scen::ScenarioSpec spec =
+        scen::ScenarioSpec{}
+            .withClusters(clusters)
+            .withRegions(regions)
+            .withPlatformZipf(1.1)
+            .withFlashCrowds(2, 0.5, 1 * kHour)
+            .withBeArrivals(4.0)
+            .withFaultStorms(2, 10 * kMinute, 0.25)
+            .withSeed(options.seed);
+    CliPool cli_pool(options);
+    const scen::Scenario scenario =
+        scen::Scenario::generate(spec, cli_pool.pool);
+
+    std::vector<std::size_t> platform_counts(
+        scenario.platforms().size(), 0);
+    double load_min = 1.0, load_max = 0.0, load_sum = 0.0;
+    for (const scen::ClusterScenario& cluster : scenario.clusters())
+        ++platform_counts[cluster.platform];
+    for (const double load : scenario.epochClusterLoads()) {
+        load_min = std::min(load_min, load);
+        load_max = std::max(load_max, load);
+        load_sum += load;
+    }
+    load_sum /= static_cast<double>(
+        scenario.epochClusterLoads().size());
+
+    TextTable t({"property", "value"});
+    t.addRow({"clusters", std::to_string(scenario.clusterCount())});
+    t.addRow({"servers", std::to_string(scenario.servers().size())});
+    t.addRow({"regions", std::to_string(spec.regions)});
+    t.addRow({"epochs", std::to_string(spec.epochs)});
+    for (std::size_t p = 0; p < platform_counts.size(); ++p)
+        t.addRow({"platform " + scenario.platforms()[p].name,
+                  std::to_string(platform_counts[p])});
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.3f / %.3f / %.3f",
+                  load_min, load_sum, load_max);
+    t.addRow({"load min/mean/max", buffer});
+    t.addRow({"control events",
+              std::to_string(scenario.beArrivals().size())});
+    t.addRow({"fault windows",
+              std::to_string(scenario.faultStorm().windows().size())});
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(
+                      scenario.fingerprint()));
+    t.addRow({"fingerprint", buffer});
+    std::printf("%s", t.render().c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -508,6 +568,17 @@ main(int argc, char** argv)
             return cmdSimulate(apps, options, args[0], args[1],
                                args[2],
                                parseDouble(args[3], "minutes"));
+        if (cmd == "scen" && n <= 2) {
+            const int clusters =
+                n >= 1 ? parseInt(args[0], "clusters") : 100;
+            const int regions =
+                n >= 2 ? parseInt(args[1], "regions") : 4;
+            if (clusters < 1 || regions < 1)
+                return usage();
+            return cmdScen(options,
+                           static_cast<std::size_t>(clusters),
+                           static_cast<std::size_t>(regions));
+        }
     } catch (const poco::FatalError& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
